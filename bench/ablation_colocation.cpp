@@ -1,0 +1,94 @@
+// Ablation 1 — co-location degree (paper section 4.2): "while 2 co-located
+// applications provide improvement over 1 application in terms of energy
+// efficiency, co-locating beyond 2 applications (i.e. 4, 6 and 8) at a node
+// level degrades energy efficiency significantly."
+//
+// Eight jobs drain through one node with K co-residency slots (cores split
+// evenly); the workload EDP is reported per K.
+#include <deque>
+#include <iostream>
+
+#include "core/cluster_engine.hpp"
+#include "util/table.hpp"
+#include "workloads/apps.hpp"
+
+using namespace ecost;
+using core::ClusterEngine;
+using core::Dispatcher;
+using core::QueuedJob;
+using core::RunningJob;
+using mapreduce::AppConfig;
+using mapreduce::JobSpec;
+
+namespace {
+
+class FifoDispatcher final : public Dispatcher {
+ public:
+  FifoDispatcher(std::deque<QueuedJob> jobs, AppConfig cfg)
+      : jobs_(std::move(jobs)), cfg_(cfg) {}
+
+  std::vector<std::pair<QueuedJob, AppConfig>> dispatch(
+      int, std::span<const RunningJob>, std::size_t free_slots,
+      double) override {
+    std::vector<std::pair<QueuedJob, AppConfig>> out;
+    while (free_slots-- && !jobs_.empty()) {
+      out.emplace_back(jobs_.front(), cfg_);
+      jobs_.pop_front();
+    }
+    return out;
+  }
+
+ private:
+  std::deque<QueuedJob> jobs_;
+  AppConfig cfg_;
+};
+
+double workload_edp(const mapreduce::NodeEvaluator& eval,
+                    const std::vector<const char*>& apps, int degree) {
+  std::deque<QueuedJob> jobs;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    QueuedJob qj;
+    qj.id = i;
+    qj.info.job = JobSpec::of_gib(workloads::app_by_abbrev(apps[i]), 1.0);
+    qj.info.cls = qj.info.job.app.true_class;
+    jobs.push_back(qj);
+  }
+  const AppConfig cfg{sim::FreqLevel::F2_4, 128, eval.spec().cores / degree};
+  FifoDispatcher d(std::move(jobs), cfg);
+  ClusterEngine engine(eval, /*nodes=*/1, /*slots_per_node=*/degree);
+  return engine.run(d).edp();
+}
+
+}  // namespace
+
+int main() {
+  const mapreduce::NodeEvaluator eval;
+  struct Mix {
+    const char* name;
+    std::vector<const char*> apps;
+  };
+  const Mix mixes[] = {
+      {"I/O-heavy (8x ST)", {"st", "st", "st", "st", "st", "st", "st", "st"}},
+      {"hybrid (8x TS)", {"ts", "ts", "ts", "ts", "ts", "ts", "ts", "ts"}},
+      {"compute (8x WC)", {"wc", "wc", "wc", "wc", "wc", "wc", "wc", "wc"}},
+      {"memory (8x CF)", {"cf", "cf", "cf", "cf", "cf", "cf", "cf", "cf"}},
+      {"mixed (WS8 head)", {"cf", "fp", "ts", "st", "cf", "fp", "ts", "st"}},
+  };
+
+  std::cout << "=== Ablation: co-location degree on one node ===\n"
+            << "(8 jobs, 1 GiB each, cores split evenly across K resident "
+               "jobs; EDP normalized to K=2)\n\n";
+  Table table({"workload mix", "K=1", "K=2", "K=4", "K=8"});
+  for (const Mix& mix : mixes) {
+    const double base = workload_edp(eval, mix.apps, 2);
+    std::vector<std::string> row = {mix.name};
+    for (int k : {1, 2, 4, 8}) {
+      row.push_back(Table::num(workload_edp(eval, mix.apps, k) / base, 2));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\n(paper: 2 co-located apps improve over 1; beyond 2 "
+               "degrades energy efficiency)\n";
+  return 0;
+}

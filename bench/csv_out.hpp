@@ -1,0 +1,27 @@
+// Shared helper for the bench harnesses: when ECOST_CSV_DIR is set, each
+// bench also drops its series as CSV files there for plotting.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace ecost::bench {
+
+/// Writes `csv` to $ECOST_CSV_DIR/<name>.csv when the env var is set;
+/// silently does nothing otherwise.
+inline void maybe_write_csv(const std::string& name, const CsvWriter& csv) {
+  const char* dir = std::getenv("ECOST_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  try {
+    csv.write(path);
+    std::cout << "[csv] wrote " << path << '\n';
+  } catch (const std::exception& e) {
+    std::cerr << "[csv] " << e.what() << '\n';
+  }
+}
+
+}  // namespace ecost::bench

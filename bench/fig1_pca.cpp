@@ -1,0 +1,90 @@
+// Figure 1 reproduction: PCA of the 14 feature metrics across all studied
+// applications, printing the PC1/PC2 scatter coordinates, the variance the
+// first two components capture (paper: 85.22%), and the hierarchical
+// clustering that reduces the metrics to 7 representatives.
+#include <iostream>
+
+#include "core/profiling.hpp"
+#include "hdfs/config.hpp"
+#include "ml/hierarchical.hpp"
+#include "ml/pca.hpp"
+#include "util/table.hpp"
+#include "workloads/apps.hpp"
+
+using namespace ecost;
+
+int main() {
+  const mapreduce::NodeEvaluator eval;
+
+  // Feature matrix: one row per (application, input size) profiling run.
+  ml::Matrix features(0, 0);
+  std::vector<std::string> row_names;
+  for (const auto& app : workloads::all_apps()) {
+    for (double gib : hdfs::kInputSizesGib) {
+      core::ProfilingOptions opts;
+      opts.sample_gib = gib;
+      opts.seed = 1000 + row_names.size();
+      const auto fv = core::profile_application(eval, app, opts);
+      features.push_row(std::vector<double>(fv.begin(), fv.end()));
+      row_names.push_back(app.abbrev + "/" + Table::num(gib, 0) + "G");
+    }
+  }
+
+  ml::Pca pca;
+  pca.fit(features);
+
+  std::cout << "=== Figure 1: PCA of " << perfmon::kNumFeatures
+            << " feature metrics over " << features.rows()
+            << " profiling runs ===\n\n";
+  std::cout << "Variance captured: PC1 = "
+            << Table::num(100.0 * pca.explained_variance_ratio()[0], 2)
+            << "%, PC1+PC2 = "
+            << Table::num(100.0 * pca.cumulative_variance(2), 2)
+            << "%  (paper: 85.22%)\n\n";
+
+  Table scatter({"run", "class", "PC1", "PC2"});
+  const ml::Matrix proj = pca.transform(features, 2);
+  std::size_t r = 0;
+  for (const auto& app : workloads::all_apps()) {
+    for (double gib : hdfs::kInputSizesGib) {
+      (void)gib;
+      scatter.add_row({row_names[r],
+                       std::string(1, class_letter(app.true_class)),
+                       Table::num(proj.at(r, 0), 3),
+                       Table::num(proj.at(r, 1), 3)});
+      ++r;
+    }
+  }
+  scatter.print(std::cout);
+
+  // Feature-metric clustering: cluster the 14 metrics (as points described
+  // by their loadings on the leading components) into 7 groups and name a
+  // representative per group, mirroring section 3.2.
+  ml::Matrix loadings(0, 0);
+  for (std::size_t f = 0; f < perfmon::kNumFeatures; ++f) {
+    std::vector<double> row;
+    for (std::size_t c = 0; c < 4; ++c) row.push_back(pca.loading(f, c));
+    loadings.push_row(row);
+  }
+  ml::HierarchicalClustering hc;
+  hc.fit(loadings);
+  const auto labels = hc.cut(7);
+
+  std::cout << "\nFeature clusters (k = 7, average linkage on PC loadings):\n";
+  for (std::size_t k = 0; k < 7; ++k) {
+    std::cout << "  cluster " << k << ":";
+    for (std::size_t f = 0; f < perfmon::kNumFeatures; ++f) {
+      if (labels[f] == k) {
+        std::cout << ' '
+                  << perfmon::feature_name(static_cast<perfmon::Feature>(f));
+      }
+    }
+    std::cout << '\n';
+  }
+  std::cout << "\nSelected representatives (paper's 7): ";
+  for (perfmon::Feature f : perfmon::selected_features()) {
+    std::cout << perfmon::feature_name(f) << ' ';
+  }
+  std::cout << '\n';
+  return 0;
+}

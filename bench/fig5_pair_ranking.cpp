@@ -1,0 +1,98 @@
+// Figure 5 reproduction: EDP of every class pair across all core
+// partitionings (with the remaining knobs tuned), the per-pair minimum
+// (the paper's solid line), the resulting priority ranking, and the
+// decision-tree partner order ECoST derives from it.
+//
+// Expected shape: I-I ranks first (lowest EDP); pairing anything with an
+// I/O-bound app minimizes its EDP; M partners rank last.
+#include <algorithm>
+#include <iostream>
+#include <limits>
+#include <map>
+
+#include "core/pairing.hpp"
+#include "hdfs/config.hpp"
+#include "tuning/brute_force.hpp"
+#include "util/table.hpp"
+#include "workloads/apps.hpp"
+
+using namespace ecost;
+using mapreduce::AppClass;
+using mapreduce::JobSpec;
+using mapreduce::PairConfig;
+
+int main() {
+  const mapreduce::NodeEvaluator eval;
+  const double gib = 1.0;
+
+  const std::pair<AppClass, const char*> reps[] = {
+      {AppClass::IoBound, "ST"},
+      {AppClass::Hybrid, "TS"},
+      {AppClass::Compute, "WC"},
+      {AppClass::MemBound, "FP"},
+  };
+
+  std::cout << "=== Figure 5: tuned EDP per class pair and core split ===\n\n";
+
+  // Min EDP per (pair, split) with freq/block tuned.
+  Table table({"pair", "m=1", "m=2", "m=3", "m=4", "m=5", "m=6", "m=7",
+               "min (solid line)"});
+  std::map<core::ClassPair, double> best_edp;
+  std::vector<std::pair<double, std::string>> ranking;
+  for (std::size_t i = 0; i < std::size(reps); ++i) {
+    for (std::size_t j = i; j < std::size(reps); ++j) {
+      const JobSpec a = JobSpec::of_gib(
+          workloads::app_by_abbrev(reps[i].second), gib);
+      const JobSpec b = JobSpec::of_gib(
+          workloads::app_by_abbrev(reps[j].second), gib);
+      std::vector<std::string> row;
+      const std::string name = std::string(1, class_letter(reps[i].first)) +
+                               "-" + class_letter(reps[j].first);
+      row.push_back(name);
+      double overall = std::numeric_limits<double>::infinity();
+      for (int m1 = 1; m1 < eval.spec().cores; ++m1) {
+        double best = std::numeric_limits<double>::infinity();
+        for (sim::FreqLevel f1 : sim::kAllFreqLevels) {
+          for (int h1 : hdfs::kBlockSizesMib) {
+            for (sim::FreqLevel f2 : sim::kAllFreqLevels) {
+              for (int h2 : hdfs::kBlockSizesMib) {
+                const PairConfig pc{{f1, h1, m1},
+                                    {f2, h2, eval.spec().cores - m1}};
+                best = std::min(
+                    best, eval.run_pair(a, pc.first, b, pc.second).edp());
+              }
+            }
+          }
+        }
+        row.push_back(Table::num(best, 0));
+        overall = std::min(overall, best);
+      }
+      row.push_back(Table::num(overall, 0));
+      table.add_row(row);
+      best_edp[core::ClassPair::of(reps[i].first, reps[j].first)] = overall;
+      ranking.emplace_back(overall, name);
+    }
+  }
+  table.print(std::cout);
+
+  std::sort(ranking.begin(), ranking.end());
+  std::cout << "\nPriority ranking by lowest tuned EDP (paper: I-I first, "
+               "M-X last):\n";
+  int rank = 1;
+  for (const auto& [edp, name] : ranking) {
+    std::cout << "  " << rank++ << ". " << name << "  (EDP "
+              << Table::num(edp, 0) << ")\n";
+  }
+
+  std::cout << "\nDerived partner priority per running class (the ECoST "
+               "decision tree):\n";
+  for (const auto& [cls, abbrev] : reps) {
+    (void)abbrev;
+    const auto order = core::PairingPolicy::derive_priority(best_edp, cls);
+    std::cout << "  running " << class_letter(cls) << " -> prefer ";
+    for (AppClass c : order) std::cout << class_letter(c) << ' ';
+    std::cout << '\n';
+  }
+  std::cout << "(paper's tree: always prefer I, then H/C, M last)\n";
+  return 0;
+}

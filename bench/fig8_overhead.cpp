@@ -1,0 +1,72 @@
+// Figure 8 reproduction: training time and prediction time of each STP
+// technique.
+//
+// Expected shape (paper: training LkT 15s, MLP 77.8s, LR 0.13s, REPTree
+// 0.06s; prediction LkT fastest): LkT's "training" is the exhaustive sweep
+// that populates its table; MLP training dwarfs the rest; all predictions
+// are cheap, LkT's trivially so.
+#include <chrono>
+#include <iostream>
+
+#include "core/dataset_builder.hpp"
+#include "core/profiling.hpp"
+#include "core/stp.hpp"
+#include "util/table.hpp"
+#include "workloads/apps.hpp"
+
+using namespace ecost;
+using core::ModelKind;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  const mapreduce::NodeEvaluator eval;
+
+  // LkT "training" is the database-population sweep.
+  auto t0 = Clock::now();
+  const core::TrainingData td = core::build_training_data(eval);
+  const double lkt_train_s = seconds_since(t0);
+  const core::LkTStp lkt(td);
+
+  const core::MlmStp lr(ModelKind::LinearRegression, td, eval.spec());
+  const core::MlmStp rep(ModelKind::RepTree, td, eval.spec());
+  const core::MlmStp mlp(ModelKind::Mlp, td, eval.spec());
+
+  // Prediction time: average over repeated predictions for an unknown pair.
+  core::AppInfo a, b;
+  a.job = mapreduce::JobSpec::of_gib(workloads::app_by_abbrev("SVM"), 5.0);
+  b.job = mapreduce::JobSpec::of_gib(workloads::app_by_abbrev("PR"), 5.0);
+  core::ProfilingOptions opts;
+  opts.seed = 5;
+  a.features = core::profile_application(eval, a.job.app, opts);
+  opts.seed = 6;
+  b.features = core::profile_application(eval, b.job.app, opts);
+
+  auto predict_time = [&](const core::SelfTuner& stp, int reps) {
+    const auto start = Clock::now();
+    for (int i = 0; i < reps; ++i) (void)stp.predict(a, b);
+    return seconds_since(start) / reps;
+  };
+
+  std::cout << "=== Figure 8: STP training and prediction cost ===\n\n";
+  Table table({"model", "training time (s)", "prediction time (ms)"});
+  table.add_row({"LkT", Table::num(lkt_train_s, 2),
+                 Table::num(1e3 * predict_time(lkt, 50), 3)});
+  table.add_row({"LR", Table::num(lr.train_seconds(), 3),
+                 Table::num(1e3 * predict_time(lr, 20), 3)});
+  table.add_row({"REPTree", Table::num(rep.train_seconds(), 3),
+                 Table::num(1e3 * predict_time(rep, 20), 3)});
+  table.add_row({"MLP", Table::num(mlp.train_seconds(), 2),
+                 Table::num(1e3 * predict_time(mlp, 5), 3)});
+  table.print(std::cout);
+  std::cout << "\n(paper training: LkT 15s, MLP 77.8s, LR 0.13s, REPTree "
+               "0.06s; LkT's training is the table-population sweep)\n";
+  return 0;
+}

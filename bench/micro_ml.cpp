@@ -1,0 +1,97 @@
+// Microbenchmarks of the ML substrate (google-benchmark): fit/predict cost
+// of the STP model families on sweep-shaped data.
+#include <benchmark/benchmark.h>
+
+#include "ml/linear_regression.hpp"
+#include "ml/mlp.hpp"
+#include "ml/pca.hpp"
+#include "ml/reptree.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ecost;
+
+ml::Dataset sweep_shaped(std::size_t rows, std::size_t dims) {
+  ml::Dataset d;
+  Rng rng(9);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<double> row(dims);
+    for (double& v : row) v = rng.uniform(0.0, 10.0);
+    double y = 1000.0;
+    for (std::size_t j = 0; j < dims; ++j) {
+      y += (j % 2 ? 50.0 : -30.0) * row[j] + 4.0 * row[j] * row[(j + 1) % dims];
+    }
+    d.add(row, y * y / 1000.0);
+  }
+  return d;
+}
+
+void BM_RepTreeFit(benchmark::State& state) {
+  const ml::Dataset d =
+      sweep_shaped(static_cast<std::size_t>(state.range(0)), 22);
+  for (auto _ : state) {
+    ml::RepTree tree;
+    tree.fit(d);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_RepTreeFit)->Arg(1000)->Arg(4000);
+
+void BM_RepTreePredict(benchmark::State& state) {
+  const ml::Dataset d = sweep_shaped(4000, 22);
+  ml::RepTree tree;
+  tree.fit(d);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.predict(d.x.row(i++ % d.size())));
+  }
+}
+BENCHMARK(BM_RepTreePredict);
+
+void BM_LinearRegressionFit(benchmark::State& state) {
+  const ml::Dataset d = sweep_shaped(4000, 22);
+  for (auto _ : state) {
+    ml::LinearRegression lr;
+    lr.fit(d);
+    benchmark::DoNotOptimize(lr.weights().size());
+  }
+}
+BENCHMARK(BM_LinearRegressionFit);
+
+void BM_MlpPredict(benchmark::State& state) {
+  const ml::Dataset d = sweep_shaped(500, 22);
+  ml::MlpParams p;
+  p.epochs = 5;
+  ml::Mlp mlp(p);
+  mlp.fit(d);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.predict(d.x.row(i++ % d.size())));
+  }
+}
+BENCHMARK(BM_MlpPredict);
+
+void BM_MlpTrainEpoch(benchmark::State& state) {
+  const ml::Dataset d = sweep_shaped(2000, 22);
+  for (auto _ : state) {
+    ml::MlpParams p;
+    p.epochs = 1;
+    ml::Mlp mlp(p);
+    mlp.fit(d);
+    benchmark::DoNotOptimize(mlp.final_train_mse());
+  }
+}
+BENCHMARK(BM_MlpTrainEpoch);
+
+void BM_PcaFit(benchmark::State& state) {
+  const ml::Dataset d = sweep_shaped(500, 14);
+  for (auto _ : state) {
+    ml::Pca pca;
+    pca.fit(d.x);
+    benchmark::DoNotOptimize(pca.cumulative_variance(2));
+  }
+}
+BENCHMARK(BM_PcaFit);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Microbenchmarks of the functional MapReduce engine (google-benchmark):
+// throughput of the real map/shuffle/reduce path on synthetic data.
+#include <benchmark/benchmark.h>
+
+#include "mrexec/builtin_jobs.hpp"
+#include "mrexec/synthetic_data.hpp"
+
+namespace {
+
+using namespace ecost::mrexec;
+
+const std::vector<std::string>& text_corpus() {
+  static const std::vector<std::string> lines = [] {
+    TextOptions opts;
+    opts.lines = 20000;
+    opts.words_per_line = 12;
+    opts.vocabulary = 2000;
+    opts.seed = 77;
+    return generate_text(opts);
+  }();
+  return lines;
+}
+
+void BM_WordCount(benchmark::State& state) {
+  const Engine engine({static_cast<std::size_t>(state.range(0)), 4, 2048, {}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.run(text_corpus(), wordcount_mapper(), sum_reducer()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text_corpus().size()));
+}
+BENCHMARK(BM_WordCount)->Arg(1)->Arg(4);
+
+void BM_Grep(benchmark::State& state) {
+  const Engine engine({4, 2, 2048, {}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.run(text_corpus(), grep_mapper("w42"), identity_reducer()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text_corpus().size()));
+}
+BENCHMARK(BM_Grep);
+
+void BM_Sort(benchmark::State& state) {
+  const auto records =
+      generate_records(static_cast<std::size_t>(state.range(0)), 32, 5);
+  const Engine engine({4, 4, 1024, {}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_sort(engine, records));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_Sort)->Arg(10000)->Arg(50000);
+
+}  // namespace

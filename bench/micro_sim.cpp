@@ -1,0 +1,91 @@
+// Microbenchmarks of the simulator substrate (google-benchmark): the
+// analytic evaluator must stay in the microsecond range or the 84,480-run
+// sweeps of section 7 stop being tractable.
+#include <benchmark/benchmark.h>
+
+#include "mapreduce/env_solver.hpp"
+#include "mapreduce/node_evaluator.hpp"
+#include "mapreduce/node_runner.hpp"
+#include "util/units.hpp"
+#include "workloads/apps.hpp"
+
+namespace {
+
+using namespace ecost;
+using mapreduce::AppConfig;
+using mapreduce::JobSpec;
+
+const mapreduce::NodeEvaluator& evaluator() {
+  static const mapreduce::NodeEvaluator eval;
+  return eval;
+}
+
+void BM_TaskModelMapTask(benchmark::State& state) {
+  const mapreduce::TaskModel model(sim::NodeSpec::atom_c2758());
+  const auto& app = workloads::app_by_abbrev("TS");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.map_task(app, mib_to_bytes(512),
+                                            sim::FreqLevel::F2_4, {}));
+  }
+}
+BENCHMARK(BM_TaskModelMapTask);
+
+void BM_JointEnvSolve(benchmark::State& state) {
+  const mapreduce::TaskModel model(sim::NodeSpec::atom_c2758());
+  const mapreduce::GroupCtx groups[] = {
+      {&workloads::app_by_abbrev("ST"), mib_to_bytes(128),
+       sim::FreqLevel::F2_4, 4, false},
+      {&workloads::app_by_abbrev("CF"), mib_to_bytes(128),
+       sim::FreqLevel::F2_4, 4, false},
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapreduce::solve_joint_env(model, groups));
+  }
+}
+BENCHMARK(BM_JointEnvSolve);
+
+void BM_RunSolo(benchmark::State& state) {
+  const JobSpec job = JobSpec::of_gib(workloads::app_by_abbrev("WC"), 1.0);
+  const AppConfig cfg{sim::FreqLevel::F2_4, 128, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator().run_solo(job, cfg));
+  }
+}
+BENCHMARK(BM_RunSolo);
+
+void BM_RunPair(benchmark::State& state) {
+  const JobSpec a = JobSpec::of_gib(workloads::app_by_abbrev("ST"), 1.0);
+  const JobSpec b = JobSpec::of_gib(workloads::app_by_abbrev("CF"), 1.0);
+  const AppConfig cfg{sim::FreqLevel::F2_4, 128, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator().run_pair(a, cfg, b, cfg));
+  }
+}
+BENCHMARK(BM_RunPair);
+
+void BM_PairSweepPerConfig(benchmark::State& state) {
+  // One data point of the brute-force sweep (how COLAO scales).
+  const JobSpec a = JobSpec::of_gib(workloads::app_by_abbrev("TS"), 5.0);
+  const JobSpec b = JobSpec::of_gib(workloads::app_by_abbrev("WC"), 5.0);
+  int m1 = 1;
+  for (auto _ : state) {
+    const AppConfig ca{sim::FreqLevel::F2_4, 256, m1};
+    const AppConfig cb{sim::FreqLevel::F1_6, 512, 8 - m1};
+    benchmark::DoNotOptimize(evaluator().run_pair(a, ca, b, cb));
+    m1 = m1 % 7 + 1;
+  }
+}
+BENCHMARK(BM_PairSweepPerConfig);
+
+void BM_DiscreteEventSolo(benchmark::State& state) {
+  const JobSpec job = JobSpec::of_gib(workloads::app_by_abbrev("GP"), 1.0);
+  const AppConfig cfg{sim::FreqLevel::F2_4, 128, 4};
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    mapreduce::NodeRunner runner(sim::NodeSpec::atom_c2758(), ++seed);
+    benchmark::DoNotOptimize(runner.run_solo(job, cfg));
+  }
+}
+BENCHMARK(BM_DiscreteEventSolo);
+
+}  // namespace

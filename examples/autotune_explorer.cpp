@@ -1,0 +1,64 @@
+// Autotune explorer: sweep the full knob space for one application and
+// print the EDP surface — the offline analysis behind Figure 2.
+//
+// Usage: ./build/examples/autotune_explorer [APP] [GIB]
+//   APP  application abbreviation (WC ST GP TS NB FP CF SVM PR HMM KM),
+//        default TS
+//   GIB  input size per node in GiB, default 5
+#include <cstdlib>
+#include <iostream>
+
+#include "hdfs/config.hpp"
+#include "tuning/brute_force.hpp"
+#include "util/table.hpp"
+#include "workloads/apps.hpp"
+
+using namespace ecost;
+
+int main(int argc, char** argv) {
+  const std::string abbrev = argc > 1 ? argv[1] : "TS";
+  const double gib = argc > 2 ? std::atof(argv[2]) : 5.0;
+  if (gib <= 0.0) {
+    std::cerr << "input size must be positive\n";
+    return 1;
+  }
+
+  const mapreduce::NodeEvaluator node;
+  const auto& app = workloads::app_by_abbrev(abbrev);
+  const auto job = mapreduce::JobSpec::of_gib(app, gib);
+
+  std::cout << "EDP surface for " << app.name << " ("
+            << class_letter(app.true_class) << " class, " << gib
+            << " GiB/node). Each cell: EDP at the best frequency.\n\n";
+
+  Table table({"block \\ mappers", "1", "2", "3", "4", "5", "6", "7", "8"});
+  for (int h : hdfs::kBlockSizesMib) {
+    std::vector<std::string> row = {std::to_string(h) + " MB"};
+    for (int m = 1; m <= node.spec().cores; ++m) {
+      double best = 1e300;
+      for (sim::FreqLevel f : sim::kAllFreqLevels) {
+        best = std::min(best, node.run_solo(job, {f, h, m}).edp());
+      }
+      row.push_back(Table::num(best, 0));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  const tuning::BruteForce bf(node);
+  const auto best = bf.tune_solo(job);
+  std::cout << "\nOptimum over all 160 configurations: "
+            << best.cfg.to_string() << "\n  time   "
+            << Table::num(best.result.makespan_s, 1) << " s\n  power  "
+            << Table::num(best.result.avg_dyn_power_w(), 1)
+            << " W (idle-subtracted)\n  EDP    " << Table::num(best.edp, 0)
+            << "\n";
+
+  // How much tuning matters vs the Hadoop-ish default.
+  const auto def =
+      node.run_solo(job, {sim::FreqLevel::F2_4, 128, node.spec().cores});
+  std::cout << "\nUntuned default (2.4GHz/128MB/m8) EDP: "
+            << Table::num(def.edp(), 0) << "  ->  tuning saves "
+            << Table::num(100.0 * (1.0 - best.edp / def.edp()), 1) << "%\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Profile-and-classify: the measurement substrate end to end. Runs one
+// application through the discrete-event engine, shows what the emulated
+// Wattsup meter and dstat record second by second, extracts the feature
+// vector, and classifies the application.
+//
+// Usage: ./build/examples/profile_and_classify [APP]
+//   APP  application abbreviation, default PR (an "unknown" app)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/dataset_builder.hpp"
+#include "core/profiling.hpp"
+#include "mapreduce/node_runner.hpp"
+#include "perfmon/dstat.hpp"
+#include "perfmon/wattsup.hpp"
+#include "util/table.hpp"
+#include "workloads/apps.hpp"
+
+using namespace ecost;
+
+int main(int argc, char** argv) {
+  const std::string abbrev = argc > 1 ? argv[1] : "PR";
+  const auto& app = workloads::app_by_abbrev(abbrev);
+  const auto job = mapreduce::JobSpec::of_gib(app, 1.0);
+  const sim::NodeSpec spec = sim::NodeSpec::atom_c2758();
+
+  std::cout << "Running " << app.name
+            << " (1 GiB, 2.4GHz/128MB/m4) through the discrete-event "
+               "engine...\n\n";
+  mapreduce::NodeRunner runner(spec, 42);
+  const auto des =
+      runner.run_solo(job, {sim::FreqLevel::F2_4, 128, 4});
+
+  // The Wattsup meter's view (1 Hz wall power) and the dstat records.
+  perfmon::WattsUp meter(7);
+  const auto readings = meter.record(des.trace);
+  const auto records = perfmon::dstat_records(des.trace);
+
+  std::cout << "First seconds, as the instruments would log them:\n";
+  Table trace({"t (s)", "watts", "cpu usr", "cpu wai", "rd MiB/s",
+               "wr MiB/s", "cache MiB"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, records.size()); ++i) {
+    trace.add_row({Table::num(records[i].t_s, 0),
+                   Table::num(readings[i].watts, 1),
+                   Table::num(records[i].cpu_user, 2),
+                   Table::num(records[i].cpu_iowait, 2),
+                   Table::num(records[i].io_read_mibps, 1),
+                   Table::num(records[i].io_write_mibps, 1),
+                   Table::num(records[i].mem_cache_mib, 0)});
+  }
+  trace.print(std::cout);
+
+  const auto summary = perfmon::summarize(records);
+  std::cout << "\nRun summary: " << Table::num(des.run.makespan_s, 1)
+            << " s, avg wall power "
+            << Table::num(perfmon::WattsUp::average_w(readings), 1)
+            << " W, dynamic "
+            << Table::num(
+                   perfmon::WattsUp::dynamic_w(readings, spec.idle_power_w), 1)
+            << " W (idle-subtracted), peak footprint "
+            << Table::num(summary.peak_mem_used_mib, 0) << " MiB\n\n";
+
+  // Feature extraction + classification against the training apps.
+  const mapreduce::NodeEvaluator eval(spec);
+  core::SweepOptions opts;
+  opts.sizes_gib = {1.0};
+  const core::TrainingData td = core::build_training_data(eval, opts);
+  core::ProfilingOptions popts;
+  popts.seed = 11;
+  const auto fv = core::profile_application(eval, app, popts);
+
+  Table features({"feature", "value"});
+  for (perfmon::Feature f : perfmon::selected_features()) {
+    features.add_row({std::string(perfmon::feature_name(f)),
+                      Table::num(fv[static_cast<std::size_t>(f)], 2)});
+  }
+  features.print(std::cout);
+  std::cout << "\nClassifier verdict: class "
+            << class_letter(td.classifier.classify(fv)) << " (k-NN), class "
+            << class_letter(td.classifier.classify_rules(fv))
+            << " (threshold rules); ground truth "
+            << class_letter(app.true_class) << ".\n";
+  return 0;
+}

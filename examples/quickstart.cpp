@@ -1,0 +1,83 @@
+// Quickstart: the ECoST pipeline on one node in ~60 lines.
+//
+//   1. simulate two MapReduce jobs (a known kernel and an "unknown" app),
+//   2. profile the unknown one and classify it,
+//   3. let ECoST's self-tuning predictor pick the co-location knobs,
+//   4. compare against running them serially and against the oracle.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "core/dataset_builder.hpp"
+#include "core/profiling.hpp"
+#include "core/stp.hpp"
+#include "tuning/brute_force.hpp"
+#include "util/table.hpp"
+#include "workloads/apps.hpp"
+
+using namespace ecost;
+
+int main() {
+  // The simulated 8-core Atom microserver node.
+  const mapreduce::NodeEvaluator node;
+
+  // Two applications, 1 GiB of input each: Sort is a known training kernel;
+  // SVM arrives as an unknown application.
+  const auto sort_job =
+      mapreduce::JobSpec::of_gib(workloads::app_by_abbrev("ST"), 1.0);
+  const auto svm_job =
+      mapreduce::JobSpec::of_gib(workloads::app_by_abbrev("SVM"), 1.0);
+
+  // Offline step (done once per cluster): sweep the known applications to
+  // build the tuning database and train the REPTree EDP model.
+  std::cout << "Building training database (offline, done once)...\n";
+  core::SweepOptions opts;
+  opts.sizes_gib = {1.0};  // quickstart-sized sweep
+  const core::TrainingData td = core::build_training_data(node, opts);
+  const core::MlmStp stp(core::ModelKind::RepTree, td, node.spec());
+
+  // Online step: profile both applications for a learning period, classify.
+  core::AppInfo sort_info{sort_job, {}, {}};
+  core::AppInfo svm_info{svm_job, {}, {}};
+  core::ProfilingOptions popts;
+  popts.seed = 1;
+  sort_info.features = core::profile_application(node, sort_job.app, popts);
+  popts.seed = 2;
+  svm_info.features = core::profile_application(node, svm_job.app, popts);
+  std::cout << "Classifier says: ST -> "
+            << class_letter(td.classifier.classify(sort_info.features))
+            << ", SVM -> "
+            << class_letter(td.classifier.classify(svm_info.features))
+            << " (truth: I and C)\n\n";
+
+  // ECoST predicts the pair configuration; compare the alternatives.
+  const mapreduce::PairConfig predicted = stp.predict(sort_info, svm_info);
+  const auto co_run =
+      node.run_pair(sort_job, predicted.first, svm_job, predicted.second);
+
+  const tuning::BruteForce bf(node);
+  const auto serial = bf.ilao(sort_job, svm_job);
+  const auto oracle = bf.colao(sort_job, svm_job);
+
+  Table table({"strategy", "config", "time (s)", "energy (J)", "EDP"});
+  table.add_row({"serial, individually tuned (ILAO)",
+                 serial.cfg_a.to_string() + " ; " + serial.cfg_b.to_string(),
+                 Table::num(serial.makespan_s, 1),
+                 Table::num(serial.energy_j, 0), Table::num(serial.edp, 0)});
+  table.add_row({"co-located, ECoST-tuned", predicted.to_string(),
+                 Table::num(co_run.makespan_s, 1),
+                 Table::num(co_run.energy_dyn_j, 0),
+                 Table::num(co_run.edp(), 0)});
+  table.add_row({"co-located, oracle (COLAO)", oracle.cfg.to_string(),
+                 Table::num(oracle.result.makespan_s, 1),
+                 Table::num(oracle.result.energy_dyn_j, 0),
+                 Table::num(oracle.edp, 0)});
+  table.print(std::cout);
+
+  std::cout << "\nECoST is within "
+            << Table::num(100.0 * (co_run.edp() / oracle.edp - 1.0), 1)
+            << "% of the brute-force oracle, and "
+            << Table::num(serial.edp / co_run.edp(), 2)
+            << "x better than serial execution.\n";
+  return 0;
+}

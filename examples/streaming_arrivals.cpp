@@ -1,0 +1,81 @@
+// Streaming arrivals: the Figure 4 story end to end. Jobs arrive at the
+// datacenter over time (Poisson process); each is profiled for a learning
+// period, classified, queued, paired by the decision tree the moment a node
+// slot frees (honouring the head reservation and small-job leap-forward),
+// and self-tuned. The per-placement decision log is printed.
+//
+// Usage: ./build/examples/streaming_arrivals [JOBS] [MEAN_GAP_S] [NODES]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/ecost_dispatcher.hpp"
+#include "core/profiling.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workloads/apps.hpp"
+
+using namespace ecost;
+
+int main(int argc, char** argv) {
+  const int n_jobs = argc > 1 ? std::atoi(argv[1]) : 12;
+  const double mean_gap_s = argc > 2 ? std::atof(argv[2]) : 30.0;
+  const int nodes = argc > 3 ? std::atoi(argv[3]) : 2;
+  if (n_jobs < 1 || mean_gap_s <= 0.0 || nodes < 1) {
+    std::cerr << "usage: streaming_arrivals [JOBS>=1] [MEAN_GAP>0] [NODES>=1]\n";
+    return 1;
+  }
+
+  const mapreduce::NodeEvaluator eval;
+  std::cout << "Training ECoST (offline)...\n";
+  core::SweepOptions opts;
+  opts.sizes_gib = {1.0};
+  const core::TrainingData td = core::build_training_data(eval, opts);
+  const core::MlmStp stp(core::ModelKind::RepTree, td, eval.spec());
+
+  // A Poisson stream drawn from the full application mix.
+  Rng rng(2026);
+  const auto apps = workloads::all_apps();
+  std::vector<core::ArrivingJob> stream;
+  double t = 0.0;
+  std::cout << "\nArrivals:\n";
+  for (int i = 0; i < n_jobs; ++i) {
+    t += -mean_gap_s * std::log(1.0 - rng.uniform());
+    core::ArrivingJob aj;
+    aj.arrival_s = t;
+    aj.job.id = static_cast<std::uint64_t>(i);
+    const auto& app = apps[rng.uniform_u64(apps.size())];
+    aj.job.info.job = mapreduce::JobSpec::of_gib(app, 1.0);
+    core::ProfilingOptions popts;
+    popts.seed = 7000 + static_cast<std::uint64_t>(i);
+    aj.job.info.features = core::profile_application(eval, app, popts);
+    aj.job.info.cls = td.classifier.classify(aj.job.info.features);
+    aj.job.est_duration_s =
+        eval.run_solo(aj.job.info.job, {sim::FreqLevel::F2_4, 128, 8})
+            .makespan_s;
+    std::cout << "  t=" << Table::num(t, 0) << "s  job " << i << " = "
+              << app.abbrev << " (classified "
+              << class_letter(aj.job.info.cls) << ", est "
+              << Table::num(aj.job.est_duration_s, 0) << "s)\n";
+    stream.push_back(std::move(aj));
+  }
+
+  core::EcostDispatcher dispatcher(eval, td, stp, std::move(stream));
+  core::ClusterEngine engine(eval, nodes, 2);
+  const core::ClusterOutcome oc = engine.run(dispatcher);
+
+  std::cout << "\nPlacement decisions:\n";
+  Table table({"t (s)", "job", "node", "config", "co-located with"});
+  for (const auto& d : dispatcher.decisions()) {
+    table.add_row({Table::num(d.t_s, 0), std::to_string(d.job_id),
+                   std::to_string(d.node), d.cfg,
+                   d.paired ? std::to_string(d.partner_id) : "-"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAll " << oc.finish_times.size() << " jobs done at t="
+            << Table::num(oc.makespan_s, 0) << "s; dynamic energy "
+            << Table::num(oc.energy_dyn_j / 1000.0, 1) << " kJ; EDP "
+            << Table::num(oc.edp(), 0) << ".\n";
+  return 0;
+}

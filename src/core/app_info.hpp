@@ -1,0 +1,20 @@
+// What ECoST knows about an application at scheduling time: the job itself,
+// the features measured during its learning period, and the class the
+// incoming-application analyzer assigned (Figure 4, Step 1).
+#pragma once
+
+#include "mapreduce/app_profile.hpp"
+#include "mapreduce/job.hpp"
+#include "perfmon/feature_vector.hpp"
+
+namespace ecost::core {
+
+struct AppInfo {
+  mapreduce::JobSpec job;
+  perfmon::FeatureVector features{};
+  mapreduce::AppClass cls = mapreduce::AppClass::Hybrid;
+
+  double size_gib() const { return job.input_gib(); }
+};
+
+}  // namespace ecost::core

@@ -1,0 +1,33 @@
+// Canonically ordered pair of application classes ("C-M", "I-I", ...),
+// the unit at which the paper trains its per-class STP models (Figure 7,
+// Step 0-B) and reports APE (Table 1).
+#pragma once
+
+#include <string>
+
+#include "mapreduce/app_profile.hpp"
+
+namespace ecost::core {
+
+struct ClassPair {
+  mapreduce::AppClass first = mapreduce::AppClass::Compute;
+  mapreduce::AppClass second = mapreduce::AppClass::Compute;
+
+  /// Canonicalizes (enum order); `swapped` reports whether a/b exchanged.
+  static ClassPair of(mapreduce::AppClass a, mapreduce::AppClass b,
+                      bool* swapped = nullptr) {
+    const bool swap = static_cast<int>(b) < static_cast<int>(a);
+    if (swapped) *swapped = swap;
+    return swap ? ClassPair{b, a} : ClassPair{a, b};
+  }
+
+  /// "C-M" style label matching the paper's tables.
+  std::string to_string() const {
+    return std::string(1, mapreduce::class_letter(first)) + "-" +
+           mapreduce::class_letter(second);
+  }
+
+  friend auto operator<=>(const ClassPair&, const ClassPair&) = default;
+};
+
+}  // namespace ecost::core

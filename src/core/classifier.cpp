@@ -1,0 +1,68 @@
+#include "core/classifier.hpp"
+
+#include "util/error.hpp"
+
+namespace ecost::core {
+
+using mapreduce::AppClass;
+using perfmon::Feature;
+using perfmon::FeatureVector;
+
+namespace {
+
+double get(const FeatureVector& fv, Feature f) {
+  return fv[static_cast<std::size_t>(f)];
+}
+
+}  // namespace
+
+std::vector<double> AppClassifier::select(const FeatureVector& fv) {
+  std::vector<double> out;
+  out.reserve(perfmon::selected_features().size());
+  for (Feature f : perfmon::selected_features()) out.push_back(get(fv, f));
+  return out;
+}
+
+void AppClassifier::fit(const std::vector<FeatureVector>& features,
+                        const std::vector<AppClass>& labels) {
+  ECOST_REQUIRE(features.size() == labels.size(), "features/labels mismatch");
+  ECOST_REQUIRE(!features.empty(), "empty training set");
+
+  ml::Matrix x(0, 0);
+  std::vector<int> y;
+  avg_user_ = avg_iowait_ = avg_mpki_ = 0.0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    x.push_row(select(features[i]));
+    y.push_back(static_cast<int>(labels[i]));
+    avg_user_ += get(features[i], Feature::CpuUser);
+    avg_iowait_ += get(features[i], Feature::CpuIowait);
+    avg_mpki_ += get(features[i], Feature::LlcMpki);
+  }
+  const double n = static_cast<double>(features.size());
+  avg_user_ /= n;
+  avg_iowait_ /= n;
+  avg_mpki_ /= n;
+  knn_.fit(x, std::move(y));
+}
+
+AppClass AppClassifier::classify(const FeatureVector& fv) const {
+  ECOST_REQUIRE(fitted(), "classifier not fitted");
+  return static_cast<AppClass>(knn_.predict(select(fv)));
+}
+
+AppClass AppClassifier::classify_rules(const FeatureVector& fv) const {
+  ECOST_REQUIRE(fitted(), "classifier not fitted");
+  const double user = get(fv, Feature::CpuUser);
+  const double iowait = get(fv, Feature::CpuIowait);
+  const double mpki = get(fv, Feature::LlcMpki);
+
+  // Section 3.2's narrative, checked from the strongest signal down:
+  // memory-bound apps stand out by LLC misses, I/O-bound by iowait,
+  // compute-bound by above-average user time with low iowait.
+  if (mpki > 1.5 * avg_mpki_) return AppClass::MemBound;
+  if (iowait > std::max(0.30, avg_iowait_)) return AppClass::IoBound;
+  if (user > avg_user_ && iowait < 0.5 * avg_iowait_) return AppClass::Compute;
+  return AppClass::Hybrid;
+}
+
+}  // namespace ecost::core

@@ -1,0 +1,43 @@
+// Incoming-application analyzer/classifier (Figure 4, Step 1): assigns an
+// unknown application to one of the four classes from its measured feature
+// vector. Two interchangeable mechanisms are provided:
+//  * k-NN against the training feature matrix (the default — the "cluster
+//    algorithm" of section 6.4), and
+//  * the paper's threshold rules on CPUuser / CPUiowait / LLC MPKI relative
+//    to training averages (section 3.2's narrative description).
+#pragma once
+
+#include <vector>
+
+#include "mapreduce/app_profile.hpp"
+#include "ml/knn.hpp"
+#include "perfmon/feature_vector.hpp"
+
+namespace ecost::core {
+
+class AppClassifier {
+ public:
+  /// Extracts the 7 selected features (section 3.2) as an ML row.
+  static std::vector<double> select(const perfmon::FeatureVector& fv);
+
+  /// Trains on profiled feature vectors of the known applications.
+  void fit(const std::vector<perfmon::FeatureVector>& features,
+           const std::vector<mapreduce::AppClass>& labels);
+
+  bool fitted() const { return knn_.fitted(); }
+
+  /// k-NN classification (default mechanism).
+  mapreduce::AppClass classify(const perfmon::FeatureVector& fv) const;
+
+  /// Threshold-rule classification relative to training averages.
+  mapreduce::AppClass classify_rules(const perfmon::FeatureVector& fv) const;
+
+ private:
+  ml::KnnClassifier knn_{3};
+  // Training means used by the rule-based path.
+  double avg_user_ = 0.0;
+  double avg_iowait_ = 0.0;
+  double avg_mpki_ = 0.0;
+};
+
+}  // namespace ecost::core

@@ -1,0 +1,119 @@
+#include "core/cluster_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ecost::core {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+ClusterEngine::ClusterEngine(const mapreduce::NodeEvaluator& eval, int nodes,
+                             int slots_per_node)
+    : eval_(eval), nodes_(nodes), slots_(slots_per_node) {
+  ECOST_REQUIRE(nodes >= 1, "need at least one node");
+  ECOST_REQUIRE(slots_per_node >= 1, "need at least one slot per node");
+}
+
+ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
+  std::vector<std::vector<RunningJob>> node_jobs(
+      static_cast<std::size_t>(nodes_));
+  ClusterOutcome out;
+  double now = 0.0;
+  std::size_t guard = 0;
+
+  auto fill_node = [&](int n) {
+    auto& jobs = node_jobs[static_cast<std::size_t>(n)];
+    if (static_cast<int>(jobs.size()) >= slots_) return;
+    const auto starts = dispatcher.dispatch(
+        n, jobs, static_cast<std::size_t>(slots_) - jobs.size(), now);
+    ECOST_REQUIRE(jobs.size() + starts.size() <=
+                      static_cast<std::size_t>(slots_),
+                  "dispatcher exceeded free slots");
+    for (const auto& [qj, cfg] : starts) {
+      jobs.push_back(RunningJob{qj, cfg, 1.0, 0.0});
+    }
+    // Give the dispatcher a chance to re-tune residents (e.g. survivor
+    // expansion) now that membership changed.
+    for (RunningJob& rj : jobs) {
+      if (const auto new_cfg = dispatcher.retune(rj, jobs)) rj.cfg = *new_cfg;
+    }
+  };
+
+  for (int n = 0; n < nodes_; ++n) fill_node(n);
+
+  auto any_running = [&] {
+    return std::any_of(node_jobs.begin(), node_jobs.end(),
+                       [](const auto& v) { return !v.empty(); });
+  };
+
+  while (true) {
+    if (!any_running()) {
+      // Idle cluster: jump to the next arrival, if any work remains.
+      const double next = dispatcher.next_arrival_s(now);
+      if (!std::isfinite(next)) break;
+      now = std::max(now, next);
+      for (int n = 0; n < nodes_; ++n) fill_node(n);
+      if (!any_running()) break;  // dispatcher produced nothing — done
+    }
+    ECOST_CHECK(++guard < 1'000'000, "cluster engine event budget exhausted");
+
+    // Re-solve every node's joint environment for the current residents.
+    std::vector<double> node_power(static_cast<std::size_t>(nodes_), 0.0);
+    double dt = std::numeric_limits<double>::infinity();
+    for (int n = 0; n < nodes_; ++n) {
+      auto& jobs = node_jobs[static_cast<std::size_t>(n)];
+      if (jobs.empty()) continue;
+      std::vector<const mapreduce::JobSpec*> specs;
+      std::vector<mapreduce::AppConfig> cfgs;
+      for (const RunningJob& rj : jobs) {
+        specs.push_back(&rj.job.info.job);
+        cfgs.push_back(rj.cfg);
+      }
+      const auto loads = eval_.co_run_loads(specs, cfgs);
+      node_power[static_cast<std::size_t>(n)] =
+          eval_.dynamic_power_w(loads);
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        jobs[j].est_total_s = std::max(loads[j].total_s, kEps);
+        dt = std::min(dt, jobs[j].remaining * jobs[j].est_total_s);
+      }
+    }
+    ECOST_CHECK(std::isfinite(dt) && dt >= 0.0, "bad event horizon");
+    // A mid-flight arrival interrupts the horizon so it gets placed on any
+    // free slot promptly.
+    const double next_arrival = dispatcher.next_arrival_s(now);
+    if (std::isfinite(next_arrival) && next_arrival > now) {
+      dt = std::min(dt, next_arrival - now);
+    }
+    dt = std::max(dt, kEps);
+
+    // Advance time, integrate energy, retire finished jobs.
+    now += dt;
+    for (int n = 0; n < nodes_; ++n) {
+      auto& jobs = node_jobs[static_cast<std::size_t>(n)];
+      if (jobs.empty()) continue;
+      out.energy_dyn_j += node_power[static_cast<std::size_t>(n)] * dt;
+      bool changed = false;
+      for (auto it = jobs.begin(); it != jobs.end();) {
+        it->remaining -= dt / it->est_total_s;
+        if (it->remaining <= 1e-6) {
+          out.finish_times.emplace_back(it->job.id, now);
+          it = jobs.erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+      if (changed || static_cast<int>(jobs.size()) < slots_) fill_node(n);
+    }
+  }
+  out.makespan_s = now;
+  return out;
+}
+
+}  // namespace ecost::core

@@ -1,0 +1,82 @@
+// Job-granular cluster simulation engine.
+//
+// Nodes hold up to `slots_per_node` co-resident jobs. Whenever the running
+// set of a node changes, the joint environment is re-solved (through
+// NodeEvaluator::co_run_loads) and every resident job's completion rate is
+// updated — so a job slowed by a contentious partner speeds back up when
+// that partner leaves. Energy integrates the idle-subtracted node power
+// between events. Dispatchers (the mapping policies of section 8) decide
+// which job enters a freed slot and with which tuning knobs.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/wait_queue.hpp"
+#include "mapreduce/config.hpp"
+#include "mapreduce/node_evaluator.hpp"
+
+namespace ecost::core {
+
+struct RunningJob {
+  QueuedJob job;
+  mapreduce::AppConfig cfg;
+  double remaining = 1.0;     ///< fraction of the job's work left
+  double est_total_s = 0.0;   ///< completion time under current conditions
+};
+
+/// Policy hook: decides what runs where.
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+
+  /// Called when `node` has at least one free slot. May return up to
+  /// `free_slots` jobs to start, each with its tuning configuration.
+  virtual std::vector<std::pair<QueuedJob, mapreduce::AppConfig>> dispatch(
+      int node, std::span<const RunningJob> co_resident,
+      std::size_t free_slots, double now_s) = 0;
+
+  /// Called after membership changes; may re-tune a still-running job
+  /// (e.g. expand a survivor onto freed cores). Return nullopt to keep the
+  /// current configuration.
+  virtual std::optional<mapreduce::AppConfig> retune(
+      const RunningJob& running, std::span<const RunningJob> others) {
+    (void)running;
+    (void)others;
+    return std::nullopt;
+  }
+
+  /// Time of the next job arrival after `now_s`, or +infinity when no more
+  /// work will ever arrive. The engine idles forward to this time when the
+  /// cluster drains, and re-dispatches mid-flight when an arrival lands.
+  virtual double next_arrival_s(double now_s) const {
+    (void)now_s;
+    return std::numeric_limits<double>::infinity();
+  }
+};
+
+struct ClusterOutcome {
+  double makespan_s = 0.0;
+  double energy_dyn_j = 0.0;
+  std::vector<std::pair<std::uint64_t, double>> finish_times;  // (job id, t)
+
+  double edp() const { return makespan_s * energy_dyn_j; }
+};
+
+class ClusterEngine {
+ public:
+  ClusterEngine(const mapreduce::NodeEvaluator& eval, int nodes,
+                int slots_per_node = 2);
+
+  /// Runs until every node drains and the dispatcher stops producing work.
+  ClusterOutcome run(Dispatcher& dispatcher);
+
+ private:
+  const mapreduce::NodeEvaluator& eval_;
+  int nodes_;
+  int slots_;
+};
+
+}  // namespace ecost::core

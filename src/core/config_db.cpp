@@ -1,0 +1,69 @@
+#include "core/config_db.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ecost::core {
+
+using mapreduce::PairConfig;
+
+PairKey PairKey::canonical(PairSide a, PairSide b, bool* swapped) {
+  const bool swap = b < a;
+  if (swapped) *swapped = swap;
+  return swap ? PairKey{b, a} : PairKey{a, b};
+}
+
+void ConfigDatabase::record(PairSide a, PairSide b, const PairConfig& cfg,
+                            double edp) {
+  ECOST_REQUIRE(edp >= 0.0, "negative EDP");
+  bool swapped = false;
+  const PairKey key = PairKey::canonical(a, b, &swapped);
+  const PairConfig canon = swapped ? PairConfig{cfg.second, cfg.first} : cfg;
+  auto it = entries_.find(key);
+  if (it == entries_.end() || edp < it->second.edp) {
+    entries_[key] = Entry{canon, edp};
+  }
+}
+
+std::optional<ConfigDatabase::Entry> ConfigDatabase::lookup(
+    PairSide a, PairSide b) const {
+  bool swapped = false;
+  const PairKey key = PairKey::canonical(a, b, &swapped);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  Entry e = it->second;
+  if (swapped) std::swap(e.cfg.first, e.cfg.second);
+  return e;
+}
+
+std::optional<ConfigDatabase::Entry> ConfigDatabase::lookup_nearest(
+    PairSide a, PairSide b) const {
+  if (auto exact = lookup(a, b)) return exact;
+
+  bool swapped = false;
+  const PairKey want = PairKey::canonical(a, b, &swapped);
+  double best_dist = std::numeric_limits<double>::infinity();
+  const Entry* best = nullptr;
+  for (const auto& [key, entry] : entries_) {
+    if (key.first.cls != want.first.cls || key.second.cls != want.second.cls) {
+      continue;
+    }
+    auto dist1 = [](double x, double y) {
+      return std::abs(std::log(std::max(x, 1e-6) / std::max(y, 1e-6)));
+    };
+    const double d = dist1(key.first.size_gib, want.first.size_gib) +
+                     dist1(key.second.size_gib, want.second.size_gib);
+    if (d < best_dist) {
+      best_dist = d;
+      best = &entry;
+    }
+  }
+  if (!best) return std::nullopt;
+  Entry e = *best;
+  if (swapped) std::swap(e.cfg.first, e.cfg.second);
+  return e;
+}
+
+}  // namespace ecost::core

@@ -1,0 +1,62 @@
+// The best-configuration database (section 6.2): for each (class, input
+// size) pair of co-located applications it stores the tuning parameters
+// that minimized EDP during the offline training sweep. LkT-STP is a direct
+// lookup into this table.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "mapreduce/app_profile.hpp"
+#include "mapreduce/config.hpp"
+
+namespace ecost::core {
+
+/// One side of a co-location key: the application's class and input size.
+struct PairSide {
+  mapreduce::AppClass cls = mapreduce::AppClass::Hybrid;
+  double size_gib = 0.0;
+
+  friend auto operator<=>(const PairSide&, const PairSide&) = default;
+};
+
+/// Canonically ordered key (first <= second) so (A,B) and (B,A) coincide.
+struct PairKey {
+  PairSide first;
+  PairSide second;
+
+  /// Builds the canonical key; `swapped` reports whether the inputs were
+  /// exchanged (the stored config must then be mirrored on lookup).
+  static PairKey canonical(PairSide a, PairSide b, bool* swapped = nullptr);
+
+  friend auto operator<=>(const PairKey&, const PairKey&) = default;
+};
+
+class ConfigDatabase {
+ public:
+  struct Entry {
+    mapreduce::PairConfig cfg;  ///< in canonical key order
+    double edp = 0.0;
+  };
+
+  /// Records one evaluated configuration; keeps the minimum-EDP entry per
+  /// key. `cfg` must be given in (a, b) order — it is canonicalized here.
+  void record(PairSide a, PairSide b, const mapreduce::PairConfig& cfg,
+              double edp);
+
+  /// Exact lookup; the returned config is in (a, b) argument order.
+  std::optional<Entry> lookup(PairSide a, PairSide b) const;
+
+  /// Nearest lookup: exact class pair, closest sizes by |log-ratio|.
+  /// Returns nullopt only when the class pair is absent entirely.
+  std::optional<Entry> lookup_nearest(PairSide a, PairSide b) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  const std::map<PairKey, Entry>& entries() const { return entries_; }
+
+ private:
+  std::map<PairKey, Entry> entries_;
+};
+
+}  // namespace ecost::core

@@ -1,0 +1,299 @@
+#include "core/dataset_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "core/profiling.hpp"
+#include "hdfs/config.hpp"
+#include "perfmon/perf_sampler.hpp"
+#include "tuning/brute_force.hpp"
+#include "tuning/config_space.hpp"
+#include "util/error.hpp"
+#include "util/parallel_for.hpp"
+#include "util/rng.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::core {
+
+using mapreduce::AppConfig;
+using mapreduce::AppProfile;
+using mapreduce::JobSpec;
+using mapreduce::PairConfig;
+
+std::vector<double> stp_row(const std::vector<double>& selected_a,
+                            double size_a_gib,
+                            const std::vector<double>& selected_b,
+                            double size_b_gib, const PairConfig& cfg) {
+  ECOST_REQUIRE(selected_a.size() == perfmon::selected_features().size() &&
+                    selected_b.size() == selected_a.size(),
+                "selected-feature arity mismatch");
+  std::vector<double> row;
+  row.reserve(stp_row_arity());
+  row.insert(row.end(), selected_a.begin(), selected_a.end());
+  row.push_back(size_a_gib);
+  row.insert(row.end(), selected_b.begin(), selected_b.end());
+  row.push_back(size_b_gib);
+  auto push_cfg = [&](const AppConfig& c) {
+    row.push_back(sim::ghz(c.freq));
+    row.push_back(std::log2(static_cast<double>(c.block_mib)));
+    row.push_back(static_cast<double>(c.mappers));
+  };
+  push_cfg(cfg.first);
+  push_cfg(cfg.second);
+  return row;
+}
+
+std::size_t stp_row_arity() {
+  return 2 * (perfmon::selected_features().size() + 1) + 6;
+}
+
+namespace {
+
+/// Reservoir sampler that keeps a bounded number of (row, target) pairs.
+class RowReservoir {
+ public:
+  RowReservoir(std::size_t cap, std::uint64_t seed) : cap_(cap), rng_(seed) {}
+
+  void offer(std::vector<double> row, double y) {
+    ++seen_;
+    if (rows_.size() < cap_) {
+      rows_.push_back(std::move(row));
+      ys_.push_back(y);
+      return;
+    }
+    const std::uint64_t j = rng_.uniform_u64(seen_);
+    if (j < cap_) {
+      rows_[j] = std::move(row);
+      ys_[j] = y;
+    }
+  }
+
+  ml::Dataset to_dataset() const {
+    ml::Dataset d;
+    for (std::size_t i = 0; i < rows_.size(); ++i) d.add(rows_[i], ys_[i]);
+    return d;
+  }
+
+ private:
+  std::size_t cap_;
+  Rng rng_;
+  std::uint64_t seen_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> ys_;
+};
+
+}  // namespace
+
+TrainingData build_training_data(const mapreduce::NodeEvaluator& eval,
+                                 const SweepOptions& opts) {
+  ECOST_REQUIRE(!opts.sizes_gib.empty(), "need at least one input size");
+  ECOST_REQUIRE(opts.validation_fraction >= 0.0 &&
+                    opts.validation_fraction < 1.0,
+                "validation fraction out of range");
+
+  TrainingData td;
+  td.sizes_gib = opts.sizes_gib;
+  const auto apps = workloads::training_apps();
+  Rng rng(opts.seed);
+
+  // --- Step 0: profile every training app (features + classifier) ---------
+  std::vector<perfmon::FeatureVector> clf_features;
+  std::vector<mapreduce::AppClass> clf_labels;
+  for (const AppProfile& app : apps) {
+    for (int si = 0; si < static_cast<int>(opts.sizes_gib.size()); ++si) {
+      ProfilingOptions popts;
+      popts.seed = rng.next_u64();
+      const perfmon::FeatureVector fv =
+          opts.noisy_features ? profile_application(eval, app, popts)
+                              : profile_application_exact(eval, app, popts);
+      td.profiles[{app.abbrev, si}] = fv;
+      clf_features.push_back(fv);
+      clf_labels.push_back(app.true_class);
+      // Extra independently-noised profiling replicas: the k-NN classifier
+      // needs several same-class neighbours per application to vote.
+      for (int rep = 0; rep < 2; ++rep) {
+        ProfilingOptions ropts;
+        ropts.seed = rng.next_u64();
+        clf_features.push_back(
+            opts.noisy_features ? profile_application(eval, app, ropts)
+                                : profile_application_exact(eval, app, ropts));
+        clf_labels.push_back(app.true_class);
+      }
+    }
+  }
+  td.classifier.fit(clf_features, clf_labels);
+
+  // --- best solo configs per (class, size) for PTM --------------------------
+  const tuning::BruteForce bf(eval);
+  std::map<SoloKey, double> solo_edp;
+  for (const AppProfile& app : apps) {
+    for (double gib : opts.sizes_gib) {
+      const auto solo = bf.tune_solo(JobSpec::of_gib(app, gib));
+      const SoloKey key{app.true_class, gib};
+      const auto it = solo_edp.find(key);
+      if (it == solo_edp.end() || solo.edp < it->second) {
+        solo_edp[key] = solo.edp;
+        td.solo_db[key] = solo.cfg;
+      }
+    }
+  }
+
+  // --- the pair sweep --------------------------------------------------------
+  struct Combo {
+    const AppProfile* app;
+    int size_idx;
+  };
+  std::vector<Combo> combos;
+  for (const AppProfile& app : apps) {
+    for (int si = 0; si < static_cast<int>(opts.sizes_gib.size()); ++si) {
+      combos.push_back({&app, si});
+    }
+  }
+
+  const auto pair_cfgs = tuning::pair_configs(eval.spec());
+  std::map<ClassPair, RowReservoir> reservoirs;
+
+  // Per-(class,size) key we aggregate the NORMALIZED EDP of every config
+  // across all app combos that map to it, and store the argmin — the config
+  // that is robustly good for the whole class, not the optimum of whichever
+  // training pair happened to be cheapest.
+  auto cfg_index = [&](const PairConfig& pc) -> std::size_t {
+    auto block_idx = [](int mib) -> std::size_t {
+      for (std::size_t i = 0; i < hdfs::kBlockSizesMib.size(); ++i) {
+        if (hdfs::kBlockSizesMib[i] == mib) return i;
+      }
+      ECOST_REQUIRE(false, "unknown block size");
+      return 0;
+    };
+    const std::size_t f1 = static_cast<std::size_t>(pc.first.freq);
+    const std::size_t f2 = static_cast<std::size_t>(pc.second.freq);
+    const std::size_t h1 = block_idx(pc.first.block_mib);
+    const std::size_t h2 = block_idx(pc.second.block_mib);
+    const std::size_t m1 = static_cast<std::size_t>(pc.first.mappers - 1);
+    return (((f1 * 5 + h1) * 4 + f2) * 5 + h2) * 7 + m1;
+  };
+  struct KeyAgg {
+    std::vector<double> norm_sum;
+    int combos = 0;
+  };
+  std::map<PairKey, KeyAgg> aggregates;
+
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    for (std::size_t j = i; j < combos.size(); ++j) {
+      const Combo& ca = combos[i];
+      const Combo& cb = combos[j];
+      const double size_a = opts.sizes_gib[static_cast<std::size_t>(ca.size_idx)];
+      const double size_b = opts.sizes_gib[static_cast<std::size_t>(cb.size_idx)];
+      const JobSpec job_a = JobSpec::of_gib(*ca.app, size_a);
+      const JobSpec job_b = JobSpec::of_gib(*cb.app, size_b);
+      // Every paper run re-measures the counters, so each row carries an
+      // independently noisy feature observation. Without this, learners can
+      // split on one frozen noise realization and then mis-route unknown
+      // applications whose features differ slightly.
+      perfmon::PerfSampler noise_a(opts.seed ^ (0x51ED270B + i));
+      perfmon::PerfSampler noise_b(opts.seed ^ (0xC2B2AE35 + j));
+      const perfmon::FeatureVector base_a =
+          td.profiles.at({ca.app->abbrev, ca.size_idx});
+      const perfmon::FeatureVector base_b =
+          td.profiles.at({cb.app->abbrev, cb.size_idx});
+
+      bool swapped = false;
+      const ClassPair cp =
+          ClassPair::of(ca.app->true_class, cb.app->true_class, &swapped);
+      auto [res_it, inserted] = reservoirs.try_emplace(
+          cp, opts.max_rows_per_class_pair, opts.seed ^ (i * 131 + j));
+      RowReservoir& reservoir = res_it->second;
+
+      // Evaluate the whole joint space in parallel, then fold.
+      std::vector<double> edps(pair_cfgs.size());
+      parallel_for(pair_cfgs.size(), [&](std::size_t c) {
+        edps[c] = eval.run_pair(job_a, pair_cfgs[c].first, job_b,
+                                pair_cfgs[c].second)
+                      .edp();
+      });
+      // Candidate set: the best configs for this combo, canonicalized.
+      {
+        std::vector<std::size_t> order(pair_cfgs.size());
+        for (std::size_t c = 0; c < order.size(); ++c) order[c] = c;
+        const std::size_t keep =
+            std::min(opts.candidates_per_combo, order.size());
+        std::partial_sort(order.begin(),
+                          order.begin() + static_cast<std::ptrdiff_t>(keep),
+                          order.end(), [&](std::size_t x, std::size_t y) {
+                            return edps[x] < edps[y];
+                          });
+        auto& cands = td.candidate_configs[cp];
+        for (std::size_t c = 0; c < keep; ++c) {
+          const PairConfig& pc = pair_cfgs[order[c]];
+          const PairConfig canon =
+              swapped ? PairConfig{pc.second, pc.first} : pc;
+          if (std::find(cands.begin(), cands.end(), canon) == cands.end()) {
+            cands.push_back(canon);
+          }
+        }
+      }
+
+      // Accumulate normalized EDP per canonical config for this key.
+      {
+        bool key_swapped = false;
+        const PairKey key = PairKey::canonical(
+            {ca.app->true_class, size_a}, {cb.app->true_class, size_b},
+            &key_swapped);
+        KeyAgg& agg = aggregates[key];
+        if (agg.norm_sum.empty()) agg.norm_sum.assign(pair_cfgs.size(), 0.0);
+        ++agg.combos;
+        const double best = *std::min_element(edps.begin(), edps.end());
+        for (std::size_t c = 0; c < pair_cfgs.size(); ++c) {
+          const PairConfig& pc = pair_cfgs[c];
+          const PairConfig canon =
+              key_swapped ? PairConfig{pc.second, pc.first} : pc;
+          agg.norm_sum[cfg_index(canon)] += edps[c] / best;
+        }
+      }
+
+      for (std::size_t c = 0; c < pair_cfgs.size(); ++c) {
+        const PairConfig& pc = pair_cfgs[c];
+        // Rows are stored in canonical class order so the per-class-pair
+        // models see a consistent layout.
+        auto sel_a = AppClassifier::select(noise_a.sample_run(base_a));
+        auto sel_b = AppClassifier::select(noise_b.sample_run(base_b));
+        if (opts.feature_augmentation > 0.0) {
+          for (double& v : sel_a) {
+            v *= std::exp(rng.normal(0.0, opts.feature_augmentation));
+          }
+          for (double& v : sel_b) {
+            v *= std::exp(rng.normal(0.0, opts.feature_augmentation));
+          }
+        }
+        const std::vector<double> row =
+            swapped ? stp_row(sel_b, size_b, sel_a, size_a,
+                              PairConfig{pc.second, pc.first})
+                    : stp_row(sel_a, size_a, sel_b, size_b, pc);
+        reservoir.offer(row, edps[c]);
+      }
+    }
+  }
+
+  // --- materialize the database from the aggregates --------------------------
+  for (const auto& [key, agg] : aggregates) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < agg.norm_sum.size(); ++c) {
+      if (agg.norm_sum[c] < agg.norm_sum[best]) best = c;
+    }
+    td.db.record(key.first, key.second, pair_cfgs[best],
+                 agg.norm_sum[best] / static_cast<double>(agg.combos));
+  }
+
+  // --- split reservoirs into train/validation -------------------------------
+  for (const auto& [cp, reservoir] : reservoirs) {
+    ml::Dataset all = reservoir.to_dataset();
+    Rng split_rng(opts.seed ^ 0xABCDEF);
+    auto [train, valid] = all.split(opts.validation_fraction, split_rng);
+    td.train_rows[cp] = std::move(train);
+    td.validation_rows[cp] = std::move(valid);
+  }
+  return td;
+}
+
+}  // namespace ecost::core

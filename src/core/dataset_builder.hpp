@@ -1,0 +1,82 @@
+// Offline training-database construction (sections 6.1-6.2, 7).
+//
+// Sweeps every pair of known (training) applications and input sizes across
+// the full joint configuration space — the simulator's stand-in for the
+// paper's 84,480 instrumented Hadoop runs — and produces:
+//   * the best-config database that LkT-STP consults,
+//   * per-class-pair regression datasets (features + knobs -> EDP) that the
+//     MLM-STP models train on, with a held-out validation split (Table 1),
+//   * the fitted incoming-application classifier,
+//   * a best solo-config table per (class, size) for the PTM mapping policy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/class_pair.hpp"
+#include "core/classifier.hpp"
+#include "core/config_db.hpp"
+#include "mapreduce/node_evaluator.hpp"
+#include "ml/dataset.hpp"
+
+namespace ecost::core {
+
+/// Feature layout of one STP regression row:
+/// [7 selected features of A, size_A, 7 of B, size_B,
+///  ghz_A, log2(block_A), mappers_A, ghz_B, log2(block_B), mappers_B].
+std::vector<double> stp_row(const std::vector<double>& selected_a,
+                            double size_a_gib,
+                            const std::vector<double>& selected_b,
+                            double size_b_gib,
+                            const mapreduce::PairConfig& cfg);
+
+/// Arity of stp_row's output.
+std::size_t stp_row_arity();
+
+struct SweepOptions {
+  std::vector<double> sizes_gib = {1.0, 5.0, 10.0};
+  std::size_t max_rows_per_class_pair = 12000;  ///< reservoir-subsampled
+  double validation_fraction = 0.2;
+  std::size_t candidates_per_combo = 64;  ///< top configs kept per app/size
+  /// Lognormal sigma of per-row feature jitter. Training covers only a
+  /// couple of applications per class, so models must stay calibrated for
+  /// same-class applications whose counters differ by tens of percent;
+  /// augmentation teaches that invariance instead of letting smooth models
+  /// extrapolate wildly along feature axes.
+  double feature_augmentation = 0.20;
+  std::uint64_t seed = 7;
+  bool noisy_features = true;  ///< measure features through perf emulation
+};
+
+struct SoloKey {
+  mapreduce::AppClass cls;
+  double size_gib;
+  friend auto operator<=>(const SoloKey&, const SoloKey&) = default;
+};
+
+struct TrainingData {
+  ConfigDatabase db;
+  std::map<ClassPair, ml::Dataset> train_rows;
+  std::map<ClassPair, ml::Dataset> validation_rows;
+  AppClassifier classifier;
+  std::map<SoloKey, mapreduce::AppConfig> solo_db;
+
+  /// Per class pair: configurations that ranked near-optimal for at least
+  /// one training (app, size) combination, in canonical class order. The
+  /// MLM-STP argmin searches this set — the sweep already proved the rest
+  /// of the space is never close to optimal, and an unconstrained argmin
+  /// would chase the model's own under-predictions there.
+  std::map<ClassPair, std::vector<mapreduce::PairConfig>> candidate_configs;
+
+  /// Profiled features of each training (app index, size index) combo.
+  std::map<std::pair<std::string, int>, perfmon::FeatureVector> profiles;
+  std::vector<double> sizes_gib;
+};
+
+/// Runs the full training sweep. This is the expensive offline step the
+/// paper performs once; with the analytic evaluator it takes seconds.
+TrainingData build_training_data(const mapreduce::NodeEvaluator& eval,
+                                 const SweepOptions& opts = {});
+
+}  // namespace ecost::core

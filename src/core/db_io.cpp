@@ -1,0 +1,89 @@
+#include "core/db_io.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "hdfs/config.hpp"
+#include "util/error.hpp"
+
+namespace ecost::core {
+namespace {
+
+void expect_tag(std::istream& is, const std::string& want) {
+  std::string got;
+  is >> got;
+  ECOST_REQUIRE(static_cast<bool>(is) && got == want,
+                "database stream: expected '" + want + "', got '" + got +
+                    "'");
+}
+
+void save_side(std::ostream& os, const PairSide& side) {
+  os << mapreduce::class_letter(side.cls) << ' ' << side.size_gib;
+}
+
+PairSide load_side(std::istream& is) {
+  char letter = 0;
+  PairSide side;
+  is >> letter >> side.size_gib;
+  ECOST_REQUIRE(static_cast<bool>(is), "truncated pair side");
+  side.cls = mapreduce::class_from_letter(letter);
+  return side;
+}
+
+void save_cfg(std::ostream& os, const mapreduce::AppConfig& cfg) {
+  os << sim::ghz(cfg.freq) << ' ' << cfg.block_mib << ' ' << cfg.mappers;
+}
+
+mapreduce::AppConfig load_cfg(std::istream& is) {
+  double ghz = 0.0;
+  mapreduce::AppConfig cfg;
+  is >> ghz >> cfg.block_mib >> cfg.mappers;
+  ECOST_REQUIRE(static_cast<bool>(is), "truncated config");
+  cfg.freq = sim::freq_from_ghz(ghz);
+  ECOST_REQUIRE(hdfs::is_valid_block_mib(cfg.block_mib),
+                "invalid block size in database");
+  return cfg;
+}
+
+}  // namespace
+
+void save_database(std::ostream& os, const ConfigDatabase& db) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10)
+     << "ecost-db v1 " << db.size() << '\n';
+  for (const auto& [key, entry] : db.entries()) {
+    save_side(os, key.first);
+    os << ' ';
+    save_side(os, key.second);
+    os << ' ';
+    save_cfg(os, entry.cfg.first);
+    os << ' ';
+    save_cfg(os, entry.cfg.second);
+    os << ' ' << entry.edp << '\n';
+  }
+}
+
+ConfigDatabase load_database(std::istream& is) {
+  expect_tag(is, "ecost-db");
+  expect_tag(is, "v1");
+  std::size_t count = 0;
+  is >> count;
+  ECOST_REQUIRE(static_cast<bool>(is), "truncated database header");
+  ConfigDatabase db;
+  for (std::size_t i = 0; i < count; ++i) {
+    const PairSide a = load_side(is);
+    const PairSide b = load_side(is);
+    mapreduce::PairConfig cfg;
+    cfg.first = load_cfg(is);
+    cfg.second = load_cfg(is);
+    double edp = 0.0;
+    is >> edp;
+    ECOST_REQUIRE(static_cast<bool>(is), "truncated database entry");
+    db.record(a, b, cfg, edp);
+  }
+  return db;
+}
+
+}  // namespace ecost::core

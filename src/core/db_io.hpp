@@ -1,0 +1,17 @@
+// Persistence for the best-config database: the product of the offline
+// sweep that every node's LkT-STP consults at run time.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/config_db.hpp"
+
+namespace ecost::core {
+
+/// Line-oriented, versioned text format; doubles round-trip exactly.
+void save_database(std::ostream& os, const ConfigDatabase& db);
+
+/// Throws InvariantError on a malformed stream.
+ConfigDatabase load_database(std::istream& is);
+
+}  // namespace ecost::core

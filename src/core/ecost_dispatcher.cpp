@@ -1,0 +1,126 @@
+#include "core/ecost_dispatcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ecost::core {
+
+using mapreduce::AppConfig;
+using mapreduce::PairConfig;
+
+namespace {
+const AppConfig kDefaultCfg{sim::FreqLevel::F2_4, 128, 8};
+}  // namespace
+
+EcostDispatcher::EcostDispatcher(const mapreduce::NodeEvaluator& eval,
+                                 const TrainingData& td, const SelfTuner& stp,
+                                 std::vector<ArrivingJob> jobs)
+    : eval_(eval), td_(td), stp_(stp), pending_(std::move(jobs)) {
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const ArrivingJob& a, const ArrivingJob& b) {
+                     return a.arrival_s < b.arrival_s;
+                   });
+  for (const ArrivingJob& aj : pending_) {
+    ECOST_REQUIRE(aj.arrival_s >= 0.0, "arrival time must be non-negative");
+  }
+}
+
+void EcostDispatcher::admit_arrivals(double now_s) {
+  while (next_pending_ < pending_.size() &&
+         pending_[next_pending_].arrival_s <= now_s + 1e-9) {
+    queue_.push(pending_[next_pending_].job);
+    ++next_pending_;
+  }
+}
+
+double EcostDispatcher::next_arrival_s(double now_s) const {
+  for (std::size_t i = next_pending_; i < pending_.size(); ++i) {
+    if (pending_[i].arrival_s > now_s + 1e-9) return pending_[i].arrival_s;
+  }
+  // Anything already arrived but still queued is dispatchable "now".
+  if (next_pending_ < pending_.size()) return pending_[next_pending_].arrival_s;
+  return queue_.empty() ? std::numeric_limits<double>::infinity() : now_s;
+}
+
+AppConfig EcostDispatcher::solo_config(const AppInfo& info) const {
+  const auto cls = td_.classifier.classify(info.features);
+  const AppConfig* best = &kDefaultCfg;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const auto& [key, cfg] : td_.solo_db) {
+    if (key.cls != cls) continue;
+    const double d = std::abs(std::log(std::max(key.size_gib, 1e-6) /
+                                       std::max(info.size_gib(), 1e-6)));
+    if (d < best_d) {
+      best_d = d;
+      best = &cfg;
+    }
+  }
+  return *best;
+}
+
+std::vector<std::pair<QueuedJob, AppConfig>> EcostDispatcher::dispatch(
+    int node, std::span<const RunningJob> co_resident,
+    std::size_t free_slots, double now_s) {
+  admit_arrivals(now_s);
+  std::vector<std::pair<QueuedJob, AppConfig>> out;
+  if (queue_.empty()) return out;
+
+  if (co_resident.empty() && free_slots >= 2) {
+    auto head = queue_.pop_head();
+    if (!head) return out;
+    auto partner =
+        queue_.pop_for(head->info.cls, head->est_duration_s, policy_);
+    if (partner) {
+      const PairConfig pc = stp_.predict(head->info, partner->info);
+      decisions_.push_back({now_s, head->id, node, pc.first.to_string(),
+                            true, partner->id});
+      decisions_.push_back({now_s, partner->id, node, pc.second.to_string(),
+                            true, head->id});
+      out.emplace_back(std::move(*head), pc.first);
+      out.emplace_back(std::move(*partner), pc.second);
+    } else {
+      const AppConfig cfg = solo_config(head->info);
+      decisions_.push_back({now_s, head->id, node, cfg.to_string(), false, 0});
+      out.emplace_back(std::move(*head), cfg);
+    }
+    return out;
+  }
+
+  if (co_resident.size() == 1 && free_slots >= 1) {
+    const RunningJob& survivor = co_resident[0];
+    const double remaining_s = survivor.remaining * survivor.est_total_s;
+    auto partner =
+        queue_.pop_for(survivor.job.info.cls, remaining_s, policy_);
+    if (partner) {
+      const PairConfig pc = stp_.predict(survivor.job.info, partner->info);
+      pending_retune_[survivor.job.id] = pc.first;
+      decisions_.push_back({now_s, partner->id, node, pc.second.to_string(),
+                            true, survivor.job.id});
+      out.emplace_back(std::move(*partner), pc.second);
+    }
+  }
+  return out;
+}
+
+std::optional<AppConfig> EcostDispatcher::retune(
+    const RunningJob& running, std::span<const RunningJob> others) {
+  const auto it = pending_retune_.find(running.job.id);
+  if (it != pending_retune_.end()) {
+    const AppConfig cfg = it->second;
+    pending_retune_.erase(it);
+    return cfg;
+  }
+  // Alone with nothing queued or pending: expand onto the whole node.
+  if (others.size() == 1 && queue_.empty() &&
+      next_pending_ >= pending_.size()) {
+    AppConfig cfg = solo_config(running.job.info);
+    if (cfg == running.cfg) return std::nullopt;
+    return cfg;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ecost::core

@@ -1,0 +1,75 @@
+// The ECoST online scheduling loop (Figure 4) as a reusable dispatcher:
+// arriving applications are profiled/classified into the wait queue, paired
+// onto nodes by the decision-tree priority (with head reservation and
+// leap-forward), and tuned by a self-tuning predictor. Drives ClusterEngine
+// both for the batch mapping-policy study (section 8) and for streaming
+// arrival scenarios.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cluster_engine.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/pairing.hpp"
+#include "core/stp.hpp"
+#include "core/wait_queue.hpp"
+
+namespace ecost::core {
+
+/// A job plus the time it reaches the datacenter.
+struct ArrivingJob {
+  QueuedJob job;
+  double arrival_s = 0.0;
+};
+
+class EcostDispatcher final : public Dispatcher {
+ public:
+  /// One scheduling decision, for audit/inspection.
+  struct Decision {
+    double t_s = 0.0;
+    std::uint64_t job_id = 0;
+    int node = -1;
+    std::string cfg;
+    bool paired = false;         ///< placed as a partner of a running job
+    std::uint64_t partner_id = 0;
+  };
+
+  /// Borrows `eval`, `td`, and `stp`; they must outlive the dispatcher.
+  /// `jobs` may arrive in any order; they enter the wait queue at their
+  /// arrival time, in arrival order.
+  EcostDispatcher(const mapreduce::NodeEvaluator& eval,
+                  const TrainingData& td, const SelfTuner& stp,
+                  std::vector<ArrivingJob> jobs);
+
+  std::vector<std::pair<QueuedJob, mapreduce::AppConfig>> dispatch(
+      int node, std::span<const RunningJob> co_resident,
+      std::size_t free_slots, double now_s) override;
+
+  std::optional<mapreduce::AppConfig> retune(
+      const RunningJob& running, std::span<const RunningJob> others) override;
+
+  double next_arrival_s(double now_s) const override;
+
+  /// Every placement made so far, in time order.
+  std::span<const Decision> decisions() const { return decisions_; }
+
+  std::size_t queued() const { return queue_.size(); }
+
+ private:
+  void admit_arrivals(double now_s);
+  mapreduce::AppConfig solo_config(const AppInfo& info) const;
+
+  const mapreduce::NodeEvaluator& eval_;
+  const TrainingData& td_;
+  const SelfTuner& stp_;
+  PairingPolicy policy_;
+  std::vector<ArrivingJob> pending_;  ///< sorted by arrival, not yet admitted
+  std::size_t next_pending_ = 0;
+  WaitQueue queue_;
+  std::map<std::uint64_t, mapreduce::AppConfig> pending_retune_;
+  std::vector<Decision> decisions_;
+};
+
+}  // namespace ecost::core

@@ -1,0 +1,62 @@
+// The application mapping policies of section 8 / Figure 9.
+//
+//  SM    [NT]    serial: each job gets the whole cluster, one at a time.
+//  MNM1  [NT]    two jobs in parallel, each on half the nodes.
+//  MNM2  [NT]    four jobs in parallel, each on a quarter of the nodes.
+//  SNM   [NT]    one job per node (all 8 cores), nodes in parallel.
+//  CBM   [NT]    two jobs co-located per node, 4+4 cores, untuned.
+//  PTM   [NP,T]  one job per node, knobs predicted by STP (no pairing).
+//  ECoST [P,T]   decision-tree pairing from the wait queue + STP tuning.
+//  UB            oracle: optimal pairing (exact min-cost matching on COLAO
+//                EDP) with COLAO-oracle knobs.
+//
+// "NT" (not tuned) means Hadoop defaults: 2.4 GHz governor, 128 MB blocks,
+// one mapper slot per core (or 4+4 for CBM).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dataset_builder.hpp"
+#include "core/stp.hpp"
+#include "mapreduce/node_evaluator.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace ecost::core {
+
+struct PolicyResult {
+  std::string policy;
+  double makespan_s = 0.0;
+  double energy_dyn_j = 0.0;
+
+  double edp() const { return makespan_s * energy_dyn_j; }
+};
+
+class MappingPolicies {
+ public:
+  /// `gib_per_app` is each application's TOTAL input; multi-node policies
+  /// split it evenly across the nodes a job runs on.
+  MappingPolicies(const mapreduce::NodeEvaluator& eval,
+                  std::vector<mapreduce::JobSpec> jobs, int nodes);
+
+  PolicyResult serial_mapping() const;             // SM
+  PolicyResult multi_node(int parallel_jobs) const; // MNM1 (2) / MNM2 (4)
+  PolicyResult single_node() const;                // SNM
+  PolicyResult core_balance() const;               // CBM
+  PolicyResult predict_tuning(const TrainingData& td) const;  // PTM
+  PolicyResult ecost(const TrainingData& td, const SelfTuner& stp) const;
+  PolicyResult upper_bound() const;                // UB
+
+  int nodes() const { return nodes_; }
+
+ private:
+  /// Solo run of `job` spread over `k` nodes (input split evenly).
+  mapreduce::RunResult run_spread(const mapreduce::JobSpec& job, int k,
+                                  const mapreduce::AppConfig& cfg) const;
+
+  const mapreduce::NodeEvaluator& eval_;
+  std::vector<mapreduce::JobSpec> jobs_;
+  int nodes_;
+};
+
+}  // namespace ecost::core

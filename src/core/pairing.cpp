@@ -1,0 +1,42 @@
+#include "core/pairing.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ecost::core {
+
+using mapreduce::AppClass;
+
+std::array<AppClass, 4> PairingPolicy::default_priority() {
+  return {AppClass::IoBound, AppClass::Hybrid, AppClass::Compute,
+          AppClass::MemBound};
+}
+
+std::array<AppClass, 4> PairingPolicy::derive_priority(
+    const std::map<ClassPair, double>& best_pair_edp, AppClass current) {
+  std::array<AppClass, 4> classes = {AppClass::Compute, AppClass::Hybrid,
+                                     AppClass::IoBound, AppClass::MemBound};
+  auto edp_with = [&](AppClass partner) {
+    const auto it = best_pair_edp.find(ClassPair::of(current, partner));
+    return it == best_pair_edp.end()
+               ? std::numeric_limits<double>::infinity()
+               : it->second;
+  };
+  std::stable_sort(classes.begin(), classes.end(),
+                   [&](AppClass a, AppClass b) {
+                     return edp_with(a) < edp_with(b);
+                   });
+  return classes;
+}
+
+int PairingPolicy::rank(AppClass candidate) const {
+  for (std::size_t i = 0; i < priority_.size(); ++i) {
+    if (priority_[i] == candidate) return static_cast<int>(i);
+  }
+  ECOST_REQUIRE(false, "candidate class missing from priority order");
+  return 4;  // unreachable
+}
+
+}  // namespace ecost::core

@@ -1,0 +1,42 @@
+// The co-location pairing decision tree (Figure 4 / section 5, Step 2).
+//
+// Derived offline from the Figure 5 analysis: pairing ANY running class
+// with an I/O-bound partner minimizes EDP, then H, then C; memory-bound
+// applications are the worst partner for everyone. The policy therefore
+// ranks wait-queue candidates I > H > C > M regardless of the running
+// class. `derive_priority` reproduces that derivation from a measured
+// class-pair EDP table (bench/fig5_pair_ranking exercises it).
+#pragma once
+
+#include <array>
+#include <map>
+
+#include "core/class_pair.hpp"
+#include "mapreduce/app_profile.hpp"
+
+namespace ecost::core {
+
+class PairingPolicy {
+ public:
+  /// The paper's default priority order: I > H > C > M.
+  static std::array<mapreduce::AppClass, 4> default_priority();
+
+  /// Derives the partner-priority order for `current` from a measured
+  /// table of best pair EDPs (lower EDP with `current` => higher priority).
+  /// Missing combinations rank last.
+  static std::array<mapreduce::AppClass, 4> derive_priority(
+      const std::map<ClassPair, double>& best_pair_edp,
+      mapreduce::AppClass current);
+
+  PairingPolicy() : priority_(default_priority()) {}
+  explicit PairingPolicy(std::array<mapreduce::AppClass, 4> priority)
+      : priority_(priority) {}
+
+  /// Rank of `candidate` as a partner (0 = best).
+  int rank(mapreduce::AppClass candidate) const;
+
+ private:
+  std::array<mapreduce::AppClass, 4> priority_;
+};
+
+}  // namespace ecost::core

@@ -1,0 +1,29 @@
+#include "core/profiling.hpp"
+
+#include "perfmon/perf_sampler.hpp"
+#include "util/error.hpp"
+
+namespace ecost::core {
+
+using mapreduce::JobSpec;
+using perfmon::FeatureVector;
+
+FeatureVector profile_application_exact(const mapreduce::NodeEvaluator& eval,
+                                        const mapreduce::AppProfile& app,
+                                        const ProfilingOptions& opts) {
+  ECOST_REQUIRE(opts.sample_gib > 0.0, "sample size must be positive");
+  const JobSpec sample = JobSpec::of_gib(app, opts.sample_gib);
+  const mapreduce::RunResult rr = eval.run_solo(sample, opts.probe);
+  ECOST_REQUIRE(!rr.apps.empty(), "profiling run produced no telemetry");
+  return perfmon::features_from_telemetry(rr.apps[0], eval.spec());
+}
+
+FeatureVector profile_application(const mapreduce::NodeEvaluator& eval,
+                                  const mapreduce::AppProfile& app,
+                                  const ProfilingOptions& opts) {
+  const FeatureVector truth = profile_application_exact(eval, app, opts);
+  perfmon::PerfSampler sampler(opts.seed);
+  return sampler.sample_averaged(truth, opts.averaged_runs);
+}
+
+}  // namespace ecost::core

@@ -1,0 +1,34 @@
+// Learning-period profiling (section 6.4, Step 1): run the application
+// briefly on a data sample under a fixed probe configuration, collect its
+// dstat/perf signals (with PMU multiplexing noise), and produce the feature
+// vector the classifier and STP consume.
+#pragma once
+
+#include <cstdint>
+
+#include "mapreduce/config.hpp"
+#include "mapreduce/job.hpp"
+#include "mapreduce/node_evaluator.hpp"
+#include "perfmon/feature_vector.hpp"
+
+namespace ecost::core {
+
+struct ProfilingOptions {
+  double sample_gib = 0.5;  ///< learning-period input sample
+  mapreduce::AppConfig probe{sim::FreqLevel::F2_4, 128, 4};
+  int averaged_runs = 3;    ///< repeated runs to de-noise multiplexing
+  std::uint64_t seed = 1234;
+};
+
+/// Profiles one application: solo run of a `sample_gib` slice under the
+/// probe config, measured through the perf/dstat emulation.
+perfmon::FeatureVector profile_application(
+    const mapreduce::NodeEvaluator& eval, const mapreduce::AppProfile& app,
+    const ProfilingOptions& opts = {});
+
+/// Noise-free variant (ground-truth features) for tests and baselines.
+perfmon::FeatureVector profile_application_exact(
+    const mapreduce::NodeEvaluator& eval, const mapreduce::AppProfile& app,
+    const ProfilingOptions& opts = {});
+
+}  // namespace ecost::core

@@ -1,0 +1,154 @@
+#include "core/stp.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+
+#include "ml/linear_regression.hpp"
+#include "ml/mlp.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/reptree.hpp"
+#include "tuning/config_space.hpp"
+#include "util/error.hpp"
+
+namespace ecost::core {
+
+using mapreduce::PairConfig;
+
+LkTStp::LkTStp(const TrainingData& td) : td_(td) {
+  ECOST_REQUIRE(td.db.size() > 0, "training database is empty");
+}
+
+PairConfig LkTStp::predict(const AppInfo& a, const AppInfo& b) const {
+  const auto cls_a = td_.classifier.classify(a.features);
+  const auto cls_b = td_.classifier.classify(b.features);
+  const auto entry = td_.db.lookup_nearest({cls_a, a.size_gib()},
+                                           {cls_b, b.size_gib()});
+  ECOST_REQUIRE(entry.has_value(),
+                "no database entry for class pair " +
+                    ClassPair::of(cls_a, cls_b).to_string());
+  return entry->cfg;
+}
+
+std::string to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::LinearRegression: return "LR";
+    case ModelKind::RepTree: return "REPTree";
+    case ModelKind::Mlp: return "MLP";
+    case ModelKind::Forest: return "Forest";
+  }
+  return "?";
+}
+
+std::unique_ptr<ml::Regressor> make_regressor(ModelKind kind,
+                                              std::uint64_t seed) {
+  switch (kind) {
+    case ModelKind::LinearRegression:
+      return std::make_unique<ml::LinearRegression>();
+    case ModelKind::RepTree: {
+      ml::RepTreeParams p;
+      p.seed = seed;
+      return std::make_unique<ml::RepTree>(p);
+    }
+    case ModelKind::Mlp: {
+      ml::MlpParams p;
+      p.seed = seed;
+      p.log_target = true;  // EDP is positive and spans decades
+      return std::make_unique<ml::Mlp>(p);
+    }
+    case ModelKind::Forest: {
+      ml::RandomForestParams p;
+      p.seed = seed;
+      return std::make_unique<ml::RandomForest>(p);
+    }
+  }
+  ECOST_REQUIRE(false, "unknown model kind");
+  return nullptr;  // unreachable
+}
+
+std::map<ClassPair, std::unique_ptr<ml::Regressor>> train_models(
+    ModelKind kind, const TrainingData& td) {
+  std::map<ClassPair, std::unique_ptr<ml::Regressor>> models;
+  for (const auto& [cp, rows] : td.train_rows) {
+    if (rows.size() == 0) continue;
+    auto model = make_regressor(kind, 11 + static_cast<std::uint64_t>(
+                                              static_cast<int>(cp.first)) *
+                                              7 +
+                                    static_cast<std::uint64_t>(
+                                        static_cast<int>(cp.second)));
+    model->fit(rows);
+    models.emplace(cp, std::move(model));
+  }
+  return models;
+}
+
+MlmStp::MlmStp(ModelKind kind, const TrainingData& td,
+               const sim::NodeSpec& spec)
+    : kind_(kind), td_(td), configs_(tuning::pair_configs(spec)) {
+  const auto t0 = std::chrono::steady_clock::now();
+  models_ = train_models(kind, td);
+  const auto t1 = std::chrono::steady_clock::now();
+  train_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+  ECOST_REQUIRE(!models_.empty(), "no class-pair models trained");
+}
+
+const ml::Regressor* MlmStp::model_for(ClassPair cp) const {
+  const auto it = models_.find(cp);
+  return it == models_.end() ? nullptr : it->second.get();
+}
+
+PairConfig MlmStp::predict(const AppInfo& a, const AppInfo& b) const {
+  const auto cls_a = td_.classifier.classify(a.features);
+  const auto cls_b = td_.classifier.classify(b.features);
+  bool swapped = false;
+  const ClassPair cp = ClassPair::of(cls_a, cls_b, &swapped);
+
+  // Fall back to the nearest trained class pair when this exact pair never
+  // occurred among training applications.
+  const ml::Regressor* model = model_for(cp);
+  if (model == nullptr) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& [key, m] : models_) {
+      const double d =
+          std::abs(static_cast<int>(key.first) - static_cast<int>(cp.first)) +
+          std::abs(static_cast<int>(key.second) -
+                   static_cast<int>(cp.second));
+      if (d < best) {
+        best = d;
+        model = m.get();
+      }
+    }
+  }
+  ECOST_CHECK(model != nullptr, "no usable model");
+
+  // Step 4 (Figure 7): run the selected model over the permutations of the
+  // tunable parameters and keep the predicted-minimum EDP configuration.
+  // The search is restricted to the class pair's candidate set (configs the
+  // offline sweep found near-optimal for some training combination) so the
+  // argmin cannot wander into regions where it would only be exploiting
+  // model error; the full space is used when no candidates were recorded.
+  const AppInfo& ca = swapped ? b : a;
+  const AppInfo& cb = swapped ? a : b;
+  const auto sel_a = AppClassifier::select(ca.features);
+  const auto sel_b = AppClassifier::select(cb.features);
+  const auto cand_it = td_.candidate_configs.find(cp);
+  const std::vector<PairConfig>& domain =
+      (cand_it != td_.candidate_configs.end() && !cand_it->second.empty())
+          ? cand_it->second
+          : configs_;
+  double best_pred = std::numeric_limits<double>::infinity();
+  PairConfig best_cfg = domain.front();
+  for (const PairConfig& pc : domain) {
+    const auto row =
+        stp_row(sel_a, ca.size_gib(), sel_b, cb.size_gib(), pc);
+    const double pred = model->predict(row);
+    if (pred < best_pred) {
+      best_pred = pred;
+      best_cfg = pc;
+    }
+  }
+  if (swapped) std::swap(best_cfg.first, best_cfg.second);
+  return best_cfg;
+}
+
+}  // namespace ecost::core

@@ -1,0 +1,83 @@
+// Self-Tuning Prediction techniques (section 6.4):
+//
+//  * LkT-STP  (Figure 6) — classify both incoming applications, then read
+//    the best configuration straight out of the training database.
+//  * MLM-STP  (Figure 7) — classify, select the per-class-pair learned EDP
+//    model (LR / REPTree / MLP), evaluate it over every permutation of the
+//    tunable parameters, and pick the predicted-minimum configuration.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/app_info.hpp"
+#include "core/class_pair.hpp"
+#include "core/dataset_builder.hpp"
+#include "ml/model.hpp"
+
+namespace ecost::core {
+
+/// Common interface: given two profiled incoming applications, predict the
+/// pair configuration to run them with.
+class SelfTuner {
+ public:
+  virtual ~SelfTuner() = default;
+  virtual mapreduce::PairConfig predict(const AppInfo& a,
+                                        const AppInfo& b) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Lookup-table based STP.
+class LkTStp final : public SelfTuner {
+ public:
+  /// Borrows the training data (must outlive this object).
+  explicit LkTStp(const TrainingData& td);
+
+  mapreduce::PairConfig predict(const AppInfo& a,
+                                const AppInfo& b) const override;
+  std::string name() const override { return "LkT"; }
+
+ private:
+  const TrainingData& td_;
+};
+
+/// Which learned model backs MLM-STP. The paper studies LR/REPTree/MLP;
+/// Forest (bagged REPTrees) is this library's extension.
+enum class ModelKind { LinearRegression, RepTree, Mlp, Forest };
+
+std::string to_string(ModelKind kind);
+
+/// Fresh untrained regressor of the given kind.
+std::unique_ptr<ml::Regressor> make_regressor(ModelKind kind,
+                                              std::uint64_t seed = 11);
+
+/// Trains one regressor per class pair on the sweep rows.
+std::map<ClassPair, std::unique_ptr<ml::Regressor>> train_models(
+    ModelKind kind, const TrainingData& td);
+
+/// Machine-learning-model based STP.
+class MlmStp final : public SelfTuner {
+ public:
+  /// Trains per-class-pair models at construction. Borrows `td`.
+  MlmStp(ModelKind kind, const TrainingData& td, const sim::NodeSpec& spec);
+
+  mapreduce::PairConfig predict(const AppInfo& a,
+                                const AppInfo& b) const override;
+  std::string name() const override { return to_string(kind_); }
+
+  /// Wall-clock seconds spent training (Figure 8).
+  double train_seconds() const { return train_seconds_; }
+
+  /// The model for one class pair (nullptr if that pair never trained).
+  const ml::Regressor* model_for(ClassPair cp) const;
+
+ private:
+  ModelKind kind_;
+  const TrainingData& td_;
+  std::map<ClassPair, std::unique_ptr<ml::Regressor>> models_;
+  std::vector<mapreduce::PairConfig> configs_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace ecost::core

@@ -1,0 +1,44 @@
+#include "core/wait_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace ecost::core {
+
+void WaitQueue::push(QueuedJob job) {
+  ECOST_REQUIRE(job.est_duration_s >= 0.0, "negative duration estimate");
+  jobs_.push_back(std::move(job));
+}
+
+std::optional<mapreduce::AppClass> WaitQueue::head_class() const {
+  if (jobs_.empty()) return std::nullopt;
+  return jobs_.front().info.cls;
+}
+
+std::optional<QueuedJob> WaitQueue::pop_head() {
+  if (jobs_.empty()) return std::nullopt;
+  QueuedJob job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return job;
+}
+
+std::optional<QueuedJob> WaitQueue::pop_for(mapreduce::AppClass /*unused*/,
+                                            double co_runner_remaining_s,
+                                            const PairingPolicy& policy) {
+  if (jobs_.empty()) return std::nullopt;
+
+  std::size_t best_idx = 0;  // head is always eligible
+  int best_rank = policy.rank(jobs_.front().info.cls);
+  for (std::size_t i = 1; i < jobs_.size(); ++i) {
+    if (jobs_[i].est_duration_s > co_runner_remaining_s) continue;
+    const int r = policy.rank(jobs_[i].info.cls);
+    if (r < best_rank) {
+      best_rank = r;
+      best_idx = i;
+    }
+  }
+  QueuedJob job = std::move(jobs_[best_idx]);
+  jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(best_idx));
+  return job;
+}
+
+}  // namespace ecost::core

@@ -1,0 +1,50 @@
+// The ECoST wait queue (Figure 4): FIFO with a reservation for the job at
+// the head to prevent starvation. A smaller job may leap forward only when
+// doing so does not delay the head job — here, when its estimated runtime
+// fits inside the co-runner's estimated remaining time, so the slot the
+// head is waiting for frees no later than it would have anyway.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "core/app_info.hpp"
+#include "core/pairing.hpp"
+
+namespace ecost::core {
+
+struct QueuedJob {
+  std::uint64_t id = 0;
+  AppInfo info;
+  double est_duration_s = 0.0;  ///< estimate from the learning-period model
+};
+
+class WaitQueue {
+ public:
+  /// Jobs arrive at the tail.
+  void push(QueuedJob job);
+
+  bool empty() const { return jobs_.empty(); }
+  std::size_t size() const { return jobs_.size(); }
+
+  /// Class of the head job (reservation holder).
+  std::optional<mapreduce::AppClass> head_class() const;
+
+  /// Unconditionally takes the head job.
+  std::optional<QueuedJob> pop_head();
+
+  /// ECoST selection: choose the partner for an application of class
+  /// `running_cls` that just lost its co-runner. The head job is always
+  /// eligible. A non-head job is eligible to leap only if
+  /// `est_duration_s <= co_runner_remaining_s`. Among eligible jobs the
+  /// pairing policy's class rank decides (FIFO order breaks ties).
+  std::optional<QueuedJob> pop_for(mapreduce::AppClass running_cls,
+                                   double co_runner_remaining_s,
+                                   const PairingPolicy& policy);
+
+ private:
+  std::deque<QueuedJob> jobs_;
+};
+
+}  // namespace ecost::core

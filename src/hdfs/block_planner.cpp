@@ -1,0 +1,33 @@
+#include "hdfs/block_planner.hpp"
+
+#include "hdfs/config.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecost::hdfs {
+
+std::uint64_t BlockPlan::partial_bytes() const {
+  if (blocks.empty()) return 0;
+  const std::uint64_t last = blocks.back().bytes;
+  return last == block_bytes ? 0 : last;
+}
+
+BlockPlan plan_blocks(std::uint64_t input_bytes, int block_mib) {
+  ECOST_REQUIRE(is_valid_block_mib(block_mib),
+                "HDFS block size must be one of 64/128/256/512/1024 MiB");
+  BlockPlan plan;
+  plan.input_bytes = input_bytes;
+  plan.block_bytes =
+      static_cast<std::uint64_t>(mib_to_bytes(static_cast<double>(block_mib)));
+  if (input_bytes == 0) return plan;
+
+  std::uint64_t remaining = input_bytes;
+  while (remaining >= plan.block_bytes) {
+    plan.blocks.push_back(Block{plan.block_bytes});
+    remaining -= plan.block_bytes;
+  }
+  if (remaining > 0) plan.blocks.push_back(Block{remaining});
+  return plan;
+}
+
+}  // namespace ecost::hdfs

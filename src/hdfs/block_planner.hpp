@@ -1,0 +1,36 @@
+// Input split planning: HDFS block size + input size => map tasks.
+//
+// This is the entire mechanism through which the paper's "HDFS block size"
+// knob acts: it determines how many map tasks exist, how much data each one
+// touches, and therefore how per-task overhead amortizes and how full the
+// final scheduling wave is.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ecost::hdfs {
+
+/// One input split (== one map task's input).
+struct Block {
+  std::uint64_t bytes = 0;
+};
+
+/// Result of planning an input file into HDFS blocks.
+struct BlockPlan {
+  std::uint64_t input_bytes = 0;
+  std::uint64_t block_bytes = 0;  ///< configured block size
+  std::vector<Block> blocks;      ///< full blocks then one trailing partial
+
+  std::size_t num_blocks() const { return blocks.size(); }
+
+  /// Bytes of the trailing partial block; 0 when the input divides evenly.
+  std::uint64_t partial_bytes() const;
+};
+
+/// Splits `input_bytes` into blocks of `block_mib`. A non-empty input always
+/// produces at least one block (Hadoop schedules a map task even for a tiny
+/// file). Throws InvariantError for a block size outside the studied set.
+BlockPlan plan_blocks(std::uint64_t input_bytes, int block_mib);
+
+}  // namespace ecost::hdfs

@@ -1,0 +1,24 @@
+// HDFS configuration constants: the block sizes studied in the paper
+// (section 2.4) and the per-node input data sizes (section 2.3).
+#pragma once
+
+#include <array>
+
+namespace ecost::hdfs {
+
+/// HDFS block sizes studied in the paper, in MiB.
+inline constexpr std::array<int, 5> kBlockSizesMib = {64, 128, 256, 512, 1024};
+
+/// Per-node input data sizes studied in the paper, in GiB
+/// (small / medium / large).
+inline constexpr std::array<double, 3> kInputSizesGib = {1.0, 5.0, 10.0};
+
+/// True when `mib` is one of the studied block sizes.
+constexpr bool is_valid_block_mib(int mib) {
+  for (int b : kBlockSizesMib) {
+    if (b == mib) return true;
+  }
+  return false;
+}
+
+}  // namespace ecost::hdfs

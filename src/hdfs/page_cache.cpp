@@ -1,0 +1,40 @@
+#include "hdfs/page_cache.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecost::hdfs {
+
+PageCache::PageCache(const sim::NodeSpec& spec, double app_footprint_mib) {
+  ECOST_REQUIRE(app_footprint_mib >= 0.0, "footprint must be non-negative");
+  const double ram_mib = spec.ram_gib * 1024.0;
+  capacity_mib_ = std::max(0.0, ram_mib - app_footprint_mib);
+}
+
+void PageCache::flush() { cached_mib_ = 0.0; }
+
+double PageCache::absorb_write(double mib) {
+  ECOST_REQUIRE(mib >= 0.0, "write size must be non-negative");
+  if (mib <= 0.0) return 0.0;
+  const double room = std::max(0.0, capacity_mib_ - cached_mib_);
+  const double absorbed = std::min(mib, room);
+  cached_mib_ += absorbed;
+  return absorbed / mib;
+}
+
+double PageCache::read_hit_fraction(double mib) {
+  ECOST_REQUIRE(mib >= 0.0, "read size must be non-negative");
+  if (mib <= 0.0 || capacity_mib_ <= 0.0) return 0.0;
+  // Uniform re-reference assumption: the chance a read hits is the fraction
+  // of the (recently written) working set that is resident.
+  return std::min(1.0, cached_mib_ / capacity_mib_);
+}
+
+void PageCache::writeback(double mib) {
+  ECOST_REQUIRE(mib >= 0.0, "writeback size must be non-negative");
+  cached_mib_ = std::max(0.0, cached_mib_ - mib);
+}
+
+}  // namespace ecost::hdfs

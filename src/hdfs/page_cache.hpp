@@ -1,0 +1,47 @@
+// OS page cache model.
+//
+// The paper flushes the buffer cache before each run (section 2.1) so reads
+// come from disk; during a run, dirty map output accumulates in the cache
+// before write-back. We model the cache as a fill level bounded by the RAM
+// left over after application footprints — it produces the "MemCache" dstat
+// feature and a write-absorption fraction for the disk model.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/node_spec.hpp"
+
+namespace ecost::hdfs {
+
+class PageCache {
+ public:
+  /// `app_footprint_mib` is the RAM claimed by running tasks; the cache may
+  /// use whatever is left.
+  PageCache(const sim::NodeSpec& spec, double app_footprint_mib);
+
+  /// Drops all cached contents (echo 3 > /proc/sys/vm/drop_caches).
+  void flush();
+
+  /// Records `mib` of freshly written file data; returns the fraction that
+  /// the cache absorbed (writes beyond capacity go straight to disk).
+  double absorb_write(double mib);
+
+  /// Records `mib` of file reads; returns the hit fraction (bytes served
+  /// from cache). After a flush this is 0 until writes repopulate the cache.
+  double read_hit_fraction(double mib);
+
+  /// Background write-back: drains up to `mib` of dirty data.
+  void writeback(double mib);
+
+  /// Current cached bytes, the dstat "MemCache" metric.
+  double cached_mib() const { return cached_mib_; }
+
+  /// Capacity available to the cache.
+  double capacity_mib() const { return capacity_mib_; }
+
+ private:
+  double capacity_mib_;
+  double cached_mib_ = 0.0;
+};
+
+}  // namespace ecost::hdfs

@@ -1,0 +1,50 @@
+#include "mapreduce/app_profile.hpp"
+
+#include "util/error.hpp"
+
+namespace ecost::mapreduce {
+
+char class_letter(AppClass c) {
+  switch (c) {
+    case AppClass::Compute: return 'C';
+    case AppClass::Hybrid: return 'H';
+    case AppClass::IoBound: return 'I';
+    case AppClass::MemBound: return 'M';
+  }
+  return '?';
+}
+
+std::string to_string(AppClass c) { return std::string(1, class_letter(c)); }
+
+AppClass class_from_letter(char c) {
+  switch (c) {
+    case 'C': return AppClass::Compute;
+    case 'H': return AppClass::Hybrid;
+    case 'I': return AppClass::IoBound;
+    case 'M': return AppClass::MemBound;
+    default:
+      ECOST_REQUIRE(false, std::string("unknown app class letter '") + c + "'");
+      return AppClass::Compute;  // unreachable
+  }
+}
+
+void AppProfile::validate() const {
+  ECOST_REQUIRE(!name.empty(), "profile needs a name");
+  ECOST_REQUIRE(!abbrev.empty(), "profile needs an abbreviation");
+  ECOST_REQUIRE(instr_per_byte > 0.0, "instr_per_byte must be positive");
+  ECOST_REQUIRE(base_cpi > 0.0, "base_cpi must be positive");
+  ECOST_REQUIRE(llc_mpki >= 0.0, "llc_mpki must be non-negative");
+  ECOST_REQUIRE(icache_mpki >= 0.0, "icache_mpki must be non-negative");
+  ECOST_REQUIRE(branch_mpki >= 0.0, "branch_mpki must be non-negative");
+  ECOST_REQUIRE(io_read_bpb >= 0.0, "io_read_bpb must be non-negative");
+  ECOST_REQUIRE(io_write_bpb >= 0.0, "io_write_bpb must be non-negative");
+  ECOST_REQUIRE(shuffle_bpb >= 0.0, "shuffle_bpb must be non-negative");
+  ECOST_REQUIRE(footprint_fixed_mib >= 0.0, "footprint base must be >= 0");
+  ECOST_REQUIRE(footprint_per_input_mib >= 0.0,
+                "footprint slope must be >= 0");
+  ECOST_REQUIRE(cache_mib >= 0.0, "cache working set must be >= 0");
+  ECOST_REQUIRE(reduce_instr_per_byte >= 0.0,
+                "reduce_instr_per_byte must be >= 0");
+}
+
+}  // namespace ecost::mapreduce

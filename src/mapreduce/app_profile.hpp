@@ -1,0 +1,57 @@
+// Application resource-signature profiles.
+//
+// The paper characterizes each MapReduce application by its resource
+// utilization and micro-architectural metrics and buckets it into one of
+// four classes (section 3): compute-bound (C), hybrid (H), I/O-bound (I),
+// memory-bound (M). An AppProfile is the generative model behind those
+// signatures: a handful of per-byte intensities from which the task model
+// derives time, energy, and every observable counter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ecost::mapreduce {
+
+/// The four application classes of the paper.
+enum class AppClass : std::uint8_t { Compute, Hybrid, IoBound, MemBound };
+
+/// 'C', 'H', 'I', 'M' — the paper's letters.
+char class_letter(AppClass c);
+
+/// "C", "H", "I", "M".
+std::string to_string(AppClass c);
+
+/// Parses 'C'/'H'/'I'/'M'; throws InvariantError otherwise.
+AppClass class_from_letter(char c);
+
+struct AppProfile {
+  std::string name;    ///< e.g. "wordcount"
+  std::string abbrev;  ///< e.g. "WC"
+  AppClass true_class = AppClass::Compute;  ///< ground-truth label
+
+  // --- compute ------------------------------------------------------------
+  double instr_per_byte = 100.0;  ///< map-side instructions per input byte
+  double base_cpi = 1.0;          ///< CPI excluding LLC-miss stalls
+  double llc_mpki = 2.0;          ///< LLC misses/kilo-instr at full cache
+  double icache_mpki = 1.0;
+  double branch_mpki = 3.0;
+
+  // --- I/O ------------------------------------------------------------------
+  double io_read_bpb = 1.0;   ///< disk bytes read per input byte (>= input)
+  double io_write_bpb = 0.1;  ///< disk bytes written per input byte
+  double shuffle_bpb = 0.1;   ///< map-output bytes per input byte
+
+  // --- memory ----------------------------------------------------------------
+  double footprint_fixed_mib = 80.0;     ///< per-task resident base (JVM heap)
+  double footprint_per_input_mib = 0.2;  ///< resident MiB per MiB of split
+  double cache_mib = 0.5;  ///< hot working set contending for the shared LLC
+
+  // --- reduce side -------------------------------------------------------------
+  double reduce_instr_per_byte = 50.0;  ///< reduce instructions per shuffle byte
+
+  /// Throws InvariantError for non-physical values.
+  void validate() const;
+};
+
+}  // namespace ecost::mapreduce

@@ -1,0 +1,31 @@
+#include "mapreduce/config.hpp"
+
+#include "hdfs/config.hpp"
+#include "util/error.hpp"
+
+namespace ecost::mapreduce {
+
+void AppConfig::validate(const sim::NodeSpec& spec) const {
+  ECOST_REQUIRE(hdfs::is_valid_block_mib(block_mib),
+                "invalid HDFS block size");
+  ECOST_REQUIRE(mappers >= 1 && mappers <= spec.cores,
+                "mapper count must be within [1, cores]");
+}
+
+std::string AppConfig::to_string() const {
+  return sim::to_string(freq) + "GHz/" + std::to_string(block_mib) + "MB/m" +
+         std::to_string(mappers);
+}
+
+void PairConfig::validate(const sim::NodeSpec& spec) const {
+  first.validate(spec);
+  second.validate(spec);
+  ECOST_REQUIRE(first.mappers + second.mappers <= spec.cores,
+                "pair mapper counts exceed the node's cores");
+}
+
+std::string PairConfig::to_string() const {
+  return first.to_string() + " + " + second.to_string();
+}
+
+}  // namespace ecost::mapreduce

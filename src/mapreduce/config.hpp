@@ -1,0 +1,42 @@
+// Tuning-knob configuration types: the (frequency, HDFS block size, mapper
+// count) triple per application, and the pair configuration for co-located
+// runs — the exact search space of the paper (5 blocks x 8 mappers x
+// 4 frequencies = 160 points per application).
+#pragma once
+
+#include <string>
+
+#include "sim/dvfs.hpp"
+#include "sim/node_spec.hpp"
+
+namespace ecost::mapreduce {
+
+/// One application's tuning knobs.
+struct AppConfig {
+  sim::FreqLevel freq = sim::FreqLevel::F2_4;
+  int block_mib = 512;
+  int mappers = 4;
+
+  /// Throws InvariantError when invalid for the given node.
+  void validate(const sim::NodeSpec& spec) const;
+
+  /// "2.4GHz/512MB/m4" — used in the Table 2 style output.
+  std::string to_string() const;
+
+  friend bool operator==(const AppConfig&, const AppConfig&) = default;
+};
+
+/// Tuning knobs of two co-located applications. The mapper counts partition
+/// the node's cores (m1 + m2 <= cores).
+struct PairConfig {
+  AppConfig first;
+  AppConfig second;
+
+  void validate(const sim::NodeSpec& spec) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const PairConfig&, const PairConfig&) = default;
+};
+
+}  // namespace ecost::mapreduce

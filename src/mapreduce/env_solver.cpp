@@ -1,0 +1,129 @@
+#include "mapreduce/env_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/contention.hpp"
+#include "util/error.hpp"
+
+namespace ecost::mapreduce {
+namespace {
+
+constexpr int kIters = 16;
+constexpr double kDamping = 0.5;
+
+TaskRates eval_group(const TaskModel& model, const GroupCtx& g,
+                     const SharedEnv& env) {
+  if (g.is_reduce) return model.reduce_task(*g.app, g.block_bytes, g.freq, env);
+  return model.map_task(*g.app, g.block_bytes, g.freq, env);
+}
+
+}  // namespace
+
+JointEnv solve_joint_env(const TaskModel& model,
+                         std::span<const GroupCtx> groups) {
+  const sim::NodeSpec& spec = model.spec();
+  const std::size_t k = groups.size();
+  ECOST_REQUIRE(k >= 1, "need at least one group");
+
+  JointEnv je;
+  je.rates.resize(k);
+  je.envs.resize(k);
+
+  auto is_active = [&](std::size_t g) {
+    return groups[g].concurrent > 0 && groups[g].block_bytes > 0.0 &&
+           groups[g].app != nullptr;
+  };
+
+  // Initial evaluation under a neutral environment establishes footprints
+  // and first-cut demand rates.
+  std::vector<double> mem_gibps(k, 0.0);  // whole-group traffic
+  std::vector<double> io_duty(k, 0.0);    // per-task duty
+  std::vector<double> cache_mib(k, 0.0);  // whole-group hot working set
+  for (std::size_t g = 0; g < k; ++g) {
+    if (!is_active(g)) continue;
+    ECOST_REQUIRE(groups[g].concurrent <= spec.cores,
+                  "more concurrent tasks than cores");
+    const TaskRates r = eval_group(model, groups[g], SharedEnv{});
+    const double m = static_cast<double>(groups[g].concurrent);
+    mem_gibps[g] = r.mem_gibps * m;
+    io_duty[g] = r.io_duty;
+    cache_mib[g] = r.cache_mib * m;
+    je.rates[g] = r;
+  }
+
+  int total_tasks = 0;
+  int active_jobs = 0;
+  for (const GroupCtx& g : groups) {
+    total_tasks += std::max(0, g.concurrent);
+    if (g.concurrent > 0 && g.block_bytes > 0.0) ++active_jobs;
+  }
+  const double crowd_mult =
+      1.0 + spec.cpu_crowd_coeff * std::max(0, total_tasks - 1) +
+      spec.job_crowd_coeff * std::max(0, active_jobs - 1);
+
+  // RAM pressure: task working sets plus per-job framework overhead against
+  // physical memory. Past the threshold, paging inflates memory latency —
+  // the mechanism that makes deep co-location (4/6/8 jobs) degrade.
+  double resident_mib =
+      static_cast<double>(active_jobs) * spec.job_overhead_mib;
+  for (std::size_t g = 0; g < k; ++g) {
+    if (!is_active(g)) continue;
+    resident_mib += je.rates[g].footprint_mib *
+                    static_cast<double>(groups[g].concurrent);
+  }
+  const double ram_mib = spec.ram_gib * 1024.0;
+  const double fill = resident_mib / ram_mib;
+  const double pressure =
+      std::max(0.0, fill - spec.ram_pressure_threshold) /
+      (1.0 - spec.ram_pressure_threshold);
+  const double swap_mult = 1.0 + spec.swap_latency_penalty * pressure;
+
+  for (int iter = 0; iter < kIters; ++iter) {
+    double mem_demand = 0.0;
+    double total_streams = 0.0;
+    std::vector<double> streams(k, 0.0);
+    std::vector<double> disk_demand(k, 0.0);
+    for (std::size_t g = 0; g < k; ++g) {
+      mem_demand += mem_gibps[g];
+      streams[g] = io_duty[g] * static_cast<double>(groups[g].concurrent);
+      total_streams += streams[g];
+      // A job's HDFS pipeline caps what it can pull no matter how many of
+      // its mappers stream concurrently.
+      disk_demand[g] = std::min(streams[g] * spec.disk_stream_cap_mibps,
+                                spec.disk_job_cap_mibps);
+    }
+    const double lat_mult =
+        sim::mem_latency_multiplier(mem_demand, spec) * swap_mult;
+    const double agg_bw = sim::disk_effective_bw_mibps(
+        static_cast<int>(std::ceil(total_streams)), spec);
+    const std::vector<double> grants = sim::waterfill(disk_demand, agg_bw);
+
+    for (std::size_t g = 0; g < k; ++g) {
+      if (!is_active(g)) continue;
+      double others_ws = 0.0;
+      for (std::size_t h = 0; h < k; ++h) {
+        if (h != g) others_ws += cache_mib[h];
+      }
+      je.envs[g].mem_lat_mult = lat_mult;
+      je.envs[g].mpki_mult =
+          sim::llc_mpki_multiplier(cache_mib[g], others_ws, spec);
+      je.envs[g].cpu_eff_mult = crowd_mult;
+      // Granted rate per concurrently-active stream of this group.
+      const double per_stream =
+          streams[g] > 1e-9
+              ? std::min(spec.disk_stream_cap_mibps, grants[g] / streams[g])
+              : std::min(spec.disk_stream_cap_mibps, spec.disk_job_cap_mibps);
+      je.envs[g].io_rate_mibps = std::max(per_stream, 1e-3);
+
+      const TaskRates r = eval_group(model, groups[g], je.envs[g]);
+      const double m = static_cast<double>(groups[g].concurrent);
+      mem_gibps[g] = kDamping * mem_gibps[g] + (1.0 - kDamping) * r.mem_gibps * m;
+      io_duty[g] = kDamping * io_duty[g] + (1.0 - kDamping) * r.io_duty;
+      je.rates[g] = r;
+    }
+  }
+  return je;
+}
+
+}  // namespace ecost::mapreduce

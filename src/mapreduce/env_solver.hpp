@@ -1,0 +1,39 @@
+// Joint shared-resource fixed point.
+//
+// All task groups on a node are coupled: memory latency depends on total
+// DRAM traffic, which depends on task durations, which depend on memory
+// latency (and likewise for the disk). This solver iterates that loop to a
+// fixed point with damping. Both the analytic NodeEvaluator and the
+// discrete-event NodeRunner call it, which guarantees the two engines see
+// identical physics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mapreduce/task_model.hpp"
+
+namespace ecost::mapreduce {
+
+/// One task group's instantaneous context on the node.
+struct GroupCtx {
+  const AppProfile* app = nullptr;
+  double block_bytes = 0.0;   ///< input per task (split or shuffle partition)
+  sim::FreqLevel freq = sim::FreqLevel::F2_4;
+  int concurrent = 0;         ///< tasks of this group running right now
+  bool is_reduce = false;     ///< evaluate as reduce task instead of map
+};
+
+/// Converged result: per-group representative task rates + environment.
+struct JointEnv {
+  std::vector<TaskRates> rates;
+  std::vector<SharedEnv> envs;
+};
+
+/// Solves the joint environment for the given groups. Groups with
+/// `concurrent == 0` or `block_bytes == 0` contribute nothing and get
+/// zeroed rates.
+JointEnv solve_joint_env(const TaskModel& model,
+                         std::span<const GroupCtx> groups);
+
+}  // namespace ecost::mapreduce

@@ -1,0 +1,23 @@
+// A job = an application plus its per-node input size.
+#pragma once
+
+#include <cstdint>
+
+#include "mapreduce/app_profile.hpp"
+#include "util/units.hpp"
+
+namespace ecost::mapreduce {
+
+struct JobSpec {
+  AppProfile app;
+  std::uint64_t input_bytes = 0;  ///< input per node
+
+  static JobSpec of_gib(AppProfile app, double gib) {
+    return JobSpec{std::move(app),
+                   static_cast<std::uint64_t>(gib_to_bytes(gib))};
+  }
+
+  double input_gib() const { return bytes_to_gib(static_cast<double>(input_bytes)); }
+};
+
+}  // namespace ecost::mapreduce

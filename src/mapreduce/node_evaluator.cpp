@@ -1,0 +1,313 @@
+#include "mapreduce/node_evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hdfs/block_planner.hpp"
+#include "mapreduce/env_solver.hpp"
+#include "sim/contention.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecost::mapreduce {
+
+NodeEvaluator::NodeEvaluator(const sim::NodeSpec& spec)
+    : spec_(spec), tasks_(spec), waves_(spec), power_(spec) {
+  spec_.validate();
+}
+
+std::vector<NodeEvaluator::GroupSolution> NodeEvaluator::solve_groups(
+    std::span<const GroupInput> groups) const {
+  const std::size_t k = groups.size();
+  ECOST_REQUIRE(k >= 1, "need at least one group");
+  int total_mappers = 0;
+  for (const GroupInput& g : groups) {
+    g.cfg.validate(spec_);
+    g.job->app.validate();
+    total_mappers += g.cfg.mappers;
+  }
+  ECOST_REQUIRE(total_mappers <= spec_.cores,
+                "groups use more mapper slots than the node has cores");
+
+  // Plan the splits, then delegate the shared-resource coupling to the joint
+  // environment solver (a group contends with `mappers` concurrent tasks).
+  std::vector<hdfs::BlockPlan> plans(k);
+  std::vector<GroupCtx> ctxs(k);
+  for (std::size_t g = 0; g < k; ++g) {
+    plans[g] = hdfs::plan_blocks(groups[g].job->input_bytes,
+                                 groups[g].cfg.block_mib);
+    ctxs[g].app = &groups[g].job->app;
+    ctxs[g].block_bytes = plans[g].blocks.empty()
+                              ? 0.0
+                              : static_cast<double>(plans[g].blocks[0].bytes);
+    ctxs[g].freq = groups[g].cfg.freq;
+    // Steady-state concurrency cannot exceed the number of tasks that exist.
+    ctxs[g].concurrent = std::min(groups[g].cfg.mappers,
+                                  static_cast<int>(plans[g].num_blocks()));
+  }
+  const JointEnv je = solve_joint_env(tasks_, ctxs);
+
+  // The reduce phase sees a different shared-resource mix (its own
+  // concurrency, shuffle-sized streams): solve its environment separately
+  // so shuffle-heavy jobs are not priced under map-phase disk conditions.
+  std::vector<GroupCtx> red_ctxs(k);
+  for (std::size_t g = 0; g < k; ++g) {
+    const double shuffle_total =
+        groups[g].job->app.shuffle_bpb *
+        static_cast<double>(groups[g].job->input_bytes);
+    red_ctxs[g].app = &groups[g].job->app;
+    red_ctxs[g].freq = groups[g].cfg.freq;
+    red_ctxs[g].is_reduce = true;
+    if (shuffle_total >= 1.0 && !plans[g].blocks.empty()) {
+      red_ctxs[g].concurrent = groups[g].cfg.mappers;
+      red_ctxs[g].block_bytes =
+          shuffle_total / static_cast<double>(groups[g].cfg.mappers);
+    }
+  }
+  const JointEnv je_reduce = solve_joint_env(tasks_, red_ctxs);
+
+  // --- materialize converged group executions -----------------------------
+  std::vector<GroupSolution> out(k);
+  for (std::size_t g = 0; g < k; ++g) {
+    GroupSolution& sol = out[g];
+    sol.freq = groups[g].cfg.freq;
+    sol.mappers = groups[g].cfg.mappers;
+    if (plans[g].blocks.empty()) continue;
+
+    const AppProfile& app = groups[g].job->app;
+    sol.full = je.rates[g];
+
+    TaskRates partial = sol.full;
+    if (plans[g].partial_bytes() > 0) {
+      partial = tasks_.map_task(app,
+                                static_cast<double>(plans[g].partial_bytes()),
+                                groups[g].cfg.freq, je.envs[g]);
+    }
+    sol.map_ph =
+        waves_.map_phase(plans[g], groups[g].cfg.mappers, sol.full, partial);
+
+    TaskRates reduce{};
+    if (red_ctxs[g].concurrent > 0) reduce = je_reduce.rates[g];
+    sol.reduce_ph = waves_.reduce_phase(groups[g].cfg.mappers, reduce);
+
+    const double n = static_cast<double>(plans[g].num_blocks());
+    sol.total_read_bytes =
+        sol.full.read_bytes * n + reduce.read_bytes * groups[g].cfg.mappers;
+    sol.total_write_bytes =
+        sol.full.write_bytes * n + reduce.write_bytes * groups[g].cfg.mappers;
+
+    // Duration-weighted loads across the two phases.
+    const double total = sol.total_s();
+    if (total > 0.0) {
+      auto blend = [&](double map_v, double red_v) {
+        return (map_v * sol.map_ph.duration_s +
+                red_v * sol.reduce_ph.duration_s) /
+               total;
+      };
+      sol.avg_cores =
+          blend(sol.map_ph.avg_concurrency, sol.reduce_ph.avg_concurrency);
+      sol.mem_gibps = blend(sol.map_ph.mem_gibps, sol.reduce_ph.mem_gibps);
+      sol.disk_mibps = blend(sol.map_ph.disk_mibps, sol.reduce_ph.disk_mibps);
+      sol.io_streams = blend(sol.map_ph.io_streams, sol.reduce_ph.io_streams);
+      const double core_secs =
+          sol.map_ph.task_core_seconds + sol.reduce_ph.task_core_seconds;
+      sol.activity = core_secs > 0.0
+                         ? (sol.map_ph.activity * sol.map_ph.task_core_seconds +
+                            sol.reduce_ph.activity *
+                                sol.reduce_ph.task_core_seconds) /
+                               core_secs
+                         : 0.0;
+    }
+  }
+  return out;
+}
+
+sim::PowerBreakdown NodeEvaluator::power_for(
+    std::span<const GroupSolution* const> running) const {
+  sim::PowerBreakdown pb;
+  pb.idle_w = spec_.idle_power_w;
+  if (!running.empty()) pb.framework_w = spec_.active_floor_w;
+  double mem_total = 0.0;
+  double disk_total = 0.0;
+  double streams = 0.0;
+  for (const GroupSolution* g : running) {
+    const sim::CoreLoad load{g->freq, std::clamp(g->activity, 0.0, 1.0)};
+    const double per_core = power_.core_power_w(load);
+    // core_power_w includes both dynamic and static parts; split them so the
+    // breakdown stays meaningful.
+    const double v = sim::volts(g->freq);
+    const double leak = spec_.core_static_w_per_v * v;
+    pb.core_dynamic_w += g->avg_cores * (per_core - leak);
+    pb.core_static_w += g->avg_cores * leak;
+    mem_total += g->mem_gibps;
+    disk_total += g->disk_mibps;
+    streams += g->io_streams;
+  }
+  pb.memory_w = power_.memory_power_w(mem_total);
+  const double agg_bw = sim::disk_effective_bw_mibps(
+      std::max(1, static_cast<int>(std::ceil(streams))), spec_);
+  pb.disk_w = power_.disk_power_w(std::min(1.0, disk_total / agg_bw));
+  return pb;
+}
+
+AppTelemetry NodeEvaluator::telemetry_for(const GroupSolution& g,
+                                          double finish_s,
+                                          double cache_capacity_mib) const {
+  AppTelemetry t;
+  t.finish_s = finish_s;
+  const TaskRates& r = g.full;
+  if (r.duration_s > 0.0) {
+    t.cpu_user_frac = r.compute_s / r.duration_s;
+    t.cpu_iowait_frac = r.iowait_s / r.duration_s;
+  }
+  if (r.io_bytes > 0.0) {
+    t.io_read_mibps = g.disk_mibps * (r.read_bytes / r.io_bytes);
+    t.io_write_mibps = g.disk_mibps * (r.write_bytes / r.io_bytes);
+  }
+  t.footprint_mib = static_cast<double>(g.mappers) * r.footprint_mib;
+  t.memcache_mib = std::min(cache_capacity_mib,
+                            0.4 * bytes_to_mib(g.total_write_bytes));
+  t.ipc = r.ipc;
+  t.llc_mpki = r.mpki_eff;
+  t.mem_gibps = g.mem_gibps;
+  t.avg_active_cores = g.avg_cores;
+  return t;
+}
+
+std::vector<NodeEvaluator::GroupLoads> NodeEvaluator::co_run_loads(
+    std::span<const JobSpec* const> jobs,
+    std::span<const AppConfig> cfgs) const {
+  ECOST_REQUIRE(jobs.size() == cfgs.size(), "jobs/configs mismatch");
+  std::vector<GroupInput> gis;
+  gis.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    gis.push_back({jobs[i], cfgs[i]});
+  }
+  const auto sols = solve_groups(gis);
+  std::vector<GroupLoads> out(sols.size());
+  for (std::size_t i = 0; i < sols.size(); ++i) {
+    out[i].total_s = sols[i].total_s();
+    out[i].avg_cores = sols[i].avg_cores;
+    out[i].activity = sols[i].activity;
+    out[i].mem_gibps = sols[i].mem_gibps;
+    out[i].disk_mibps = sols[i].disk_mibps;
+    out[i].io_streams = sols[i].io_streams;
+    out[i].freq = sols[i].freq;
+  }
+  return out;
+}
+
+double NodeEvaluator::dynamic_power_w(std::span<const GroupLoads> loads) const {
+  sim::PowerBreakdown pb;
+  pb.idle_w = spec_.idle_power_w;
+  if (!loads.empty()) pb.framework_w = spec_.active_floor_w;
+  double mem_total = 0.0, disk_total = 0.0, streams = 0.0;
+  for (const GroupLoads& g : loads) {
+    const sim::CoreLoad load{g.freq, std::clamp(g.activity, 0.0, 1.0)};
+    pb.core_dynamic_w += g.avg_cores * power_.core_power_w(load);
+    mem_total += g.mem_gibps;
+    disk_total += g.disk_mibps;
+    streams += g.io_streams;
+  }
+  pb.memory_w = power_.memory_power_w(mem_total);
+  const double agg_bw = sim::disk_effective_bw_mibps(
+      std::max(1, static_cast<int>(std::ceil(streams))), spec_);
+  pb.disk_w = power_.disk_power_w(std::min(1.0, disk_total / agg_bw));
+  return pb.dynamic_w();
+}
+
+RunResult NodeEvaluator::run_solo(const JobSpec& job,
+                                  const AppConfig& cfg) const {
+  const GroupInput gi{&job, cfg};
+  const auto sols = solve_groups(std::span(&gi, 1));
+  const GroupSolution& g = sols[0];
+
+  RunResult rr;
+  rr.makespan_s = g.total_s();
+  if (rr.makespan_s > 0.0) {
+    const GroupSolution* running[] = {&g};
+    const sim::PowerBreakdown pb = power_for(running);
+    rr.energy_dyn_j = pb.dynamic_w() * rr.makespan_s;
+    rr.energy_total_j = pb.total_w() * rr.makespan_s;
+  }
+  const double ram_mib = spec_.ram_gib * 1024.0;
+  const double cache_cap =
+      std::max(0.0, ram_mib - static_cast<double>(g.mappers) *
+                                  g.full.footprint_mib);
+  AppTelemetry t = telemetry_for(g, rr.makespan_s, cache_cap);
+  t.icache_mpki = job.app.icache_mpki;
+  t.branch_mpki = job.app.branch_mpki;
+  rr.apps.push_back(t);
+  return rr;
+}
+
+RunResult NodeEvaluator::run_pair(const JobSpec& a, const AppConfig& cfg_a,
+                                  const JobSpec& b,
+                                  const AppConfig& cfg_b) const {
+  PairConfig pc{cfg_a, cfg_b};
+  pc.validate(spec_);
+
+  const GroupInput gis[] = {{&a, cfg_a}, {&b, cfg_b}};
+  const auto joint = solve_groups(std::span(gis, 2));
+
+  const double ta = joint[0].total_s();
+  const double tb = joint[1].total_s();
+  const std::size_t short_idx = ta <= tb ? 0 : 1;
+  const std::size_t long_idx = 1 - short_idx;
+  const double t_short = std::min(ta, tb);
+  const double t_long_joint = std::max(ta, tb);
+
+  RunResult rr;
+  rr.apps.resize(2);
+
+  // Degenerate cases: one (or both) groups have no work.
+  if (t_long_joint <= 0.0) return rr;
+
+  // Remaining work of the survivor re-runs contention-free, and its task
+  // waves expand onto the slots freed by the finished partner (Hadoop
+  // schedules pending map tasks on any free slot).
+  double t_final_long = t_long_joint;
+  GroupSolution survivor_solo{};
+  bool has_tail = t_long_joint > t_short + 1e-12;
+  if (has_tail) {
+    GroupInput solo_gi = gis[long_idx];
+    solo_gi.cfg.mappers = spec_.cores;
+    survivor_solo = solve_groups(std::span(&solo_gi, 1))[0];
+    const double frac_done =
+        t_long_joint > 0.0 ? t_short / t_long_joint : 1.0;
+    t_final_long = t_short + (1.0 - frac_done) * survivor_solo.total_s();
+  }
+  rr.makespan_s = t_final_long;
+
+  // --- energy over the two segments ---------------------------------------
+  if (t_short > 0.0) {
+    const GroupSolution* both[] = {&joint[0], &joint[1]};
+    const sim::PowerBreakdown pb = power_for(both);
+    rr.energy_dyn_j += pb.dynamic_w() * t_short;
+    rr.energy_total_j += pb.total_w() * t_short;
+  }
+  if (has_tail) {
+    const GroupSolution* solo[] = {&survivor_solo};
+    const sim::PowerBreakdown pb = power_for(solo);
+    const double dt = t_final_long - t_short;
+    rr.energy_dyn_j += pb.dynamic_w() * dt;
+    rr.energy_total_j += pb.total_w() * dt;
+  }
+
+  // --- per-app telemetry (joint-phase signals, as dstat would observe) ----
+  const double ram_mib = spec_.ram_gib * 1024.0;
+  const double fp_total =
+      static_cast<double>(joint[0].mappers) * joint[0].full.footprint_mib +
+      static_cast<double>(joint[1].mappers) * joint[1].full.footprint_mib;
+  const double cache_cap = std::max(0.0, ram_mib - fp_total);
+  for (std::size_t g = 0; g < 2; ++g) {
+    const double finish = g == short_idx ? t_short : t_final_long;
+    rr.apps[g] = telemetry_for(joint[g], finish, cache_cap);
+    const AppProfile& app = g == 0 ? a.app : b.app;
+    rr.apps[g].icache_mpki = app.icache_mpki;
+    rr.apps[g].branch_mpki = app.branch_mpki;
+  }
+  return rr;
+}
+
+}  // namespace ecost::mapreduce

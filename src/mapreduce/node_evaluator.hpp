@@ -1,0 +1,107 @@
+// Analytic node-level evaluator.
+//
+// Evaluates a solo run or a co-located pair on one node in closed form:
+//   1. a joint fixed point couples all task groups through the shared LLC,
+//      DRAM bandwidth, and disk (sim/contention.hpp),
+//   2. the wave model turns per-task rates into phase wall times,
+//   3. a two-segment timeline handles the shorter application finishing
+//      first (the survivor is re-evaluated contention-free),
+//   4. the power model integrates idle-subtracted energy, yielding EDP.
+//
+// This evaluator is microsecond-fast, which is what makes the paper's
+// 84,480-run brute-force sweeps (section 7) tractable; the discrete-event
+// NodeRunner produces time-resolved traces from the same physics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mapreduce/config.hpp"
+#include "mapreduce/job.hpp"
+#include "mapreduce/run_result.hpp"
+#include "mapreduce/task_model.hpp"
+#include "mapreduce/wave_model.hpp"
+#include "sim/power.hpp"
+
+namespace ecost::mapreduce {
+
+class NodeEvaluator {
+ public:
+  explicit NodeEvaluator(
+      const sim::NodeSpec& spec = sim::NodeSpec::atom_c2758());
+
+  /// Runs one application alone on the node with the given knobs. Cores
+  /// beyond `cfg.mappers` stay idle.
+  RunResult run_solo(const JobSpec& job, const AppConfig& cfg) const;
+
+  /// Runs two applications co-located on the node. Mapper counts must
+  /// partition the cores (m1 + m2 <= cores).
+  RunResult run_pair(const JobSpec& a, const AppConfig& cfg_a,
+                     const JobSpec& b, const AppConfig& cfg_b) const;
+
+  const sim::NodeSpec& spec() const { return spec_; }
+  const TaskModel& task_model() const { return tasks_; }
+
+  /// Time-averaged loads of jobs co-resident on the node — the building
+  /// block for cluster-level scheduling simulations that must re-pair jobs
+  /// mid-flight (core/MappingPolicy). Entry i describes jobs[i] under the
+  /// joint environment: its completion time if conditions persisted, and
+  /// the node loads it contributes.
+  struct GroupLoads {
+    double total_s = 0.0;
+    double avg_cores = 0.0;
+    double activity = 0.0;
+    double mem_gibps = 0.0;
+    double disk_mibps = 0.0;
+    double io_streams = 0.0;
+    sim::FreqLevel freq = sim::FreqLevel::F2_4;
+  };
+  std::vector<GroupLoads> co_run_loads(std::span<const JobSpec* const> jobs,
+                                       std::span<const AppConfig> cfgs) const;
+
+  /// Idle-subtracted node power while the given groups run concurrently.
+  double dynamic_power_w(std::span<const GroupLoads> loads) const;
+
+ private:
+  struct GroupInput {
+    const JobSpec* job;
+    AppConfig cfg;
+  };
+
+  /// Converged execution of one task group under the joint environment.
+  struct GroupSolution {
+    sim::FreqLevel freq = sim::FreqLevel::F2_4;
+    int mappers = 1;
+    TaskRates full;           ///< representative full-block map task
+    PhaseStats map_ph;
+    PhaseStats reduce_ph;
+    double total_write_bytes = 0.0;
+    double total_read_bytes = 0.0;
+
+    double total_s() const { return map_ph.duration_s + reduce_ph.duration_s; }
+
+    // Time-averaged loads over total_s():
+    double avg_cores = 0.0;
+    double activity = 0.0;
+    double mem_gibps = 0.0;
+    double disk_mibps = 0.0;
+    double io_streams = 0.0;
+  };
+
+  std::vector<GroupSolution> solve_groups(
+      std::span<const GroupInput> groups) const;
+
+  /// Instantaneous node power for a set of concurrently running groups.
+  sim::PowerBreakdown power_for(
+      std::span<const GroupSolution* const> running) const;
+
+  AppTelemetry telemetry_for(const GroupSolution& g, double finish_s,
+                             double cache_capacity_mib) const;
+
+  sim::NodeSpec spec_;
+  TaskModel tasks_;
+  WaveModel waves_;
+  sim::PowerModel power_;
+};
+
+}  // namespace ecost::mapreduce

@@ -1,0 +1,358 @@
+#include "mapreduce/node_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hdfs/block_planner.hpp"
+#include "hdfs/page_cache.hpp"
+#include "mapreduce/env_solver.hpp"
+#include "sim/contention.hpp"
+#include "sim/power.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecost::mapreduce {
+namespace {
+
+constexpr double kSetupActivity = 0.3;
+constexpr double kEps = 1e-9;
+
+/// A task in flight. Progress through the work stage is tracked as a
+/// fraction so the remaining time rescales when the environment changes.
+struct LiveTask {
+  enum class Stage { Setup, Work };
+  Stage stage = Stage::Setup;
+  double setup_left_s = 0.0;
+  double work_left = 1.0;    ///< fraction of the work stage remaining
+  double bytes = 0.0;        ///< split bytes (map) or partition bytes (reduce)
+  bool is_reduce = false;
+  double jitter = 1.0;       ///< multiplicative duration noise
+};
+
+struct GroupState {
+  const JobSpec* job = nullptr;
+  AppConfig cfg;
+  hdfs::BlockPlan plan;
+  std::size_t next_block = 0;
+  int reduce_pending = 0;       ///< reduce tasks not yet launched
+  double reduce_bytes = 0.0;    ///< shuffle bytes per reducer
+  std::vector<LiveTask> running;
+  bool map_done = false;
+  bool done = false;
+  double finish_s = 0.0;
+
+  // Telemetry accumulators (time integrals).
+  double int_compute = 0.0;   // core-seconds retiring
+  double int_iowait = 0.0;    // core-seconds waiting on I/O
+  double int_read_mib = 0.0;
+  double int_write_mib = 0.0;
+  double int_mem_gib = 0.0;
+  double int_core_seconds = 0.0;
+
+  bool all_work_launched() const {
+    return next_block >= plan.num_blocks() && map_done && reduce_pending == 0;
+  }
+};
+
+}  // namespace
+
+NodeRunner::NodeRunner(const sim::NodeSpec& spec, std::uint64_t seed)
+    : spec_(spec), tasks_(spec), rng_(seed) {
+  spec_.validate();
+}
+
+void NodeRunner::set_jitter(double sigma) {
+  ECOST_REQUIRE(sigma >= 0.0 && sigma < 1.0, "jitter sigma out of range");
+  jitter_sigma_ = sigma;
+}
+
+DesResult NodeRunner::run_solo(const JobSpec& job, const AppConfig& cfg) {
+  return run_groups({&job}, {cfg});
+}
+
+DesResult NodeRunner::run_pair(const JobSpec& a, const AppConfig& cfg_a,
+                               const JobSpec& b, const AppConfig& cfg_b) {
+  PairConfig pc{cfg_a, cfg_b};
+  pc.validate(spec_);
+  return run_groups({&a, &b}, {cfg_a, cfg_b});
+}
+
+DesResult NodeRunner::run_groups(std::vector<const JobSpec*> jobs,
+                                 std::vector<AppConfig> cfgs) {
+  ECOST_REQUIRE(jobs.size() == cfgs.size(), "jobs/configs mismatch");
+  const std::size_t k = jobs.size();
+  std::vector<GroupState> gs(k);
+  double total_footprint_peak = 0.0;
+  for (std::size_t g = 0; g < k; ++g) {
+    cfgs[g].validate(spec_);
+    jobs[g]->app.validate();
+    gs[g].job = jobs[g];
+    gs[g].cfg = cfgs[g];
+    gs[g].plan = hdfs::plan_blocks(jobs[g]->input_bytes, cfgs[g].block_mib);
+    const double shuffle =
+        jobs[g]->app.shuffle_bpb * static_cast<double>(jobs[g]->input_bytes);
+    if (shuffle >= 1.0) {
+      gs[g].reduce_pending = cfgs[g].mappers;
+      gs[g].reduce_bytes = shuffle / static_cast<double>(cfgs[g].mappers);
+    }
+    if (gs[g].plan.num_blocks() == 0) {
+      gs[g].map_done = true;
+      gs[g].done = gs[g].reduce_pending == 0;
+    }
+    total_footprint_peak +=
+        static_cast<double>(cfgs[g].mappers) *
+        tasks_.footprint_mib(jobs[g]->app,
+                             gs[g].plan.blocks.empty()
+                                 ? 0.0
+                                 : static_cast<double>(
+                                       gs[g].plan.blocks[0].bytes));
+  }
+
+  // The paper flushes the page cache before every run (section 2.1).
+  hdfs::PageCache cache(spec_, total_footprint_peak);
+  cache.flush();
+
+  auto launch = [&](GroupState& g) {
+    while (static_cast<int>(g.running.size()) < g.cfg.mappers) {
+      LiveTask t;
+      t.setup_left_s = spec_.task_setup_s;
+      t.jitter = std::exp(rng_.normal(0.0, jitter_sigma_));
+      if (g.next_block < g.plan.num_blocks()) {
+        t.bytes = static_cast<double>(g.plan.blocks[g.next_block].bytes);
+        ++g.next_block;
+      } else if (g.map_done && g.reduce_pending > 0) {
+        t.bytes = g.reduce_bytes;
+        t.is_reduce = true;
+        --g.reduce_pending;
+      } else {
+        break;
+      }
+      g.running.push_back(t);
+    }
+  };
+  for (auto& g : gs) {
+    if (!g.done) launch(g);
+  }
+
+  const sim::PowerModel power(spec_);
+  DesResult res;
+  res.run.apps.resize(k);
+  double now = 0.0;
+  double next_sample = 1.0;
+  double energy_dyn = 0.0;
+  double energy_total = 0.0;
+  std::size_t guard = 0;
+
+  auto all_done = [&] {
+    return std::all_of(gs.begin(), gs.end(),
+                       [](const GroupState& g) { return g.done; });
+  };
+
+  while (!all_done()) {
+    ECOST_CHECK(++guard < 50'000'000, "DES event budget exhausted");
+
+    // --- solve the environment for the current running set ----------------
+    std::vector<GroupCtx> ctxs(k);
+    for (std::size_t g = 0; g < k; ++g) {
+      int work_map = 0, work_red = 0;
+      for (const LiveTask& t : gs[g].running) {
+        if (t.stage == LiveTask::Stage::Work) {
+          (t.is_reduce ? work_red : work_map)++;
+        }
+      }
+      // A group's tasks are homogeneous per phase; reduce tasks only run
+      // after the map phase drained, so at most one kind is in Work stage.
+      ctxs[g].app = &gs[g].job->app;
+      ctxs[g].freq = gs[g].cfg.freq;
+      ctxs[g].is_reduce = work_red > 0;
+      ctxs[g].concurrent = work_red > 0 ? work_red : work_map;
+      double bytes = 0.0;
+      for (const LiveTask& t : gs[g].running) {
+        if (t.stage == LiveTask::Stage::Work &&
+            t.is_reduce == ctxs[g].is_reduce) {
+          bytes = std::max(bytes, t.bytes);
+        }
+      }
+      ctxs[g].block_bytes = bytes;
+    }
+    const JointEnv je = solve_joint_env(tasks_, ctxs);
+
+    // --- per-task rates and next event -------------------------------------
+    double dt = next_sample - now;
+    for (std::size_t g = 0; g < k; ++g) {
+      for (const LiveTask& t : gs[g].running) {
+        if (t.stage == LiveTask::Stage::Setup) {
+          dt = std::min(dt, t.setup_left_s);
+        } else {
+          const double full_dur = je.rates[g].duration_s;
+          // Scale representative duration by the task's own size (partial
+          // blocks) and jitter.
+          const double ref_bytes = std::max(ctxs[g].block_bytes, 1.0);
+          const double dur =
+              std::max(kEps, full_dur * (t.bytes / ref_bytes) * t.jitter);
+          dt = std::min(dt, t.work_left * dur);
+        }
+      }
+    }
+    dt = std::max(dt, kEps);
+
+    // --- integrate power & telemetry over [now, now+dt] --------------------
+    {
+      sim::PowerBreakdown pb;
+      pb.idle_w = spec_.idle_power_w;
+      pb.framework_w = spec_.active_floor_w;  // at least one task is running
+      double mem_total = 0.0, disk_total = 0.0, streams = 0.0;
+      double cpu_user_cores = 0.0, cpu_iowait_cores = 0.0;
+      double write_mibps_total = 0.0;
+      double footprint_now = 0.0;
+      int running_now = 0;
+      for (std::size_t g = 0; g < k; ++g) {
+        const TaskRates& r = je.rates[g];
+        const double v = sim::volts(gs[g].cfg.freq);
+        const double leak = spec_.core_static_w_per_v * v;
+        for (const LiveTask& t : gs[g].running) {
+          ++running_now;
+          double act;
+          if (t.stage == LiveTask::Stage::Setup) {
+            act = kSetupActivity;
+          } else {
+            act = r.activity;
+            mem_total += r.mem_gibps;
+            disk_total += r.disk_mibps;
+            streams += r.io_duty;
+            if (r.duration_s > 0.0) {
+              const double cu = r.compute_s / r.duration_s;
+              const double iw = r.iowait_s / r.duration_s;
+              cpu_user_cores += cu;
+              cpu_iowait_cores += iw;
+              gs[g].int_compute += cu * dt;
+              gs[g].int_iowait += iw * dt;
+              const double rd =
+                  r.io_bytes > 0.0 ? r.disk_mibps * (r.read_bytes / r.io_bytes)
+                                   : 0.0;
+              const double wr =
+                  r.io_bytes > 0.0 ? r.disk_mibps * (r.write_bytes / r.io_bytes)
+                                   : 0.0;
+              gs[g].int_read_mib += rd * dt;
+              gs[g].int_write_mib += wr * dt;
+              write_mibps_total += wr;
+              gs[g].int_mem_gib += r.mem_gibps * dt;
+            }
+            footprint_now += r.footprint_mib;
+          }
+          gs[g].int_core_seconds += dt;
+          pb.core_dynamic_w += power.core_power_w({gs[g].cfg.freq, act}) - leak;
+          pb.core_static_w += leak;
+        }
+      }
+      pb.memory_w = power.memory_power_w(mem_total);
+      const double agg_bw = sim::disk_effective_bw_mibps(
+          std::max(1, static_cast<int>(std::ceil(streams))), spec_);
+      pb.disk_w = power.disk_power_w(std::min(1.0, disk_total / agg_bw));
+      energy_dyn += pb.dynamic_w() * dt;
+      energy_total += pb.total_w() * dt;
+
+      // Page cache: absorb writes, write back continuously.
+      cache.absorb_write(write_mibps_total * dt);
+      cache.writeback(0.5 * spec_.disk_bw_mibps * dt);
+
+      if (now + dt >= next_sample - kEps) {
+        TraceSample s;
+        s.t_s = next_sample;
+        s.power_w = pb.total_w();
+        s.power_dyn_w = pb.dynamic_w();
+        const double cores = static_cast<double>(spec_.cores);
+        s.cpu_user = cpu_user_cores / cores;
+        s.cpu_iowait = cpu_iowait_cores / cores;
+        double rd = 0.0, wr = 0.0;
+        for (std::size_t g = 0; g < k; ++g) {
+          const TaskRates& r = je.rates[g];
+          int work = 0;
+          for (const LiveTask& t : gs[g].running) {
+            if (t.stage == LiveTask::Stage::Work) ++work;
+          }
+          if (r.io_bytes > 0.0) {
+            rd += work * r.disk_mibps * (r.read_bytes / r.io_bytes);
+            wr += work * r.disk_mibps * (r.write_bytes / r.io_bytes);
+          }
+        }
+        s.io_read_mibps = rd;
+        s.io_write_mibps = wr;
+        s.footprint_mib = footprint_now;
+        s.memcache_mib = cache.cached_mib();
+        s.running_tasks = running_now;
+        res.trace.push_back(s);
+        next_sample += 1.0;
+      }
+    }
+
+    // --- advance tasks ------------------------------------------------------
+    now += dt;
+    for (std::size_t g = 0; g < k; ++g) {
+      GroupState& gr = gs[g];
+      const TaskRates& r = je.rates[g];
+      for (auto it = gr.running.begin(); it != gr.running.end();) {
+        LiveTask& t = *it;
+        bool finished = false;
+        if (t.stage == LiveTask::Stage::Setup) {
+          t.setup_left_s -= dt;
+          if (t.setup_left_s <= kEps) t.stage = LiveTask::Stage::Work;
+        } else {
+          const double ref_bytes = std::max(ctxs[g].block_bytes, 1.0);
+          const double dur =
+              std::max(kEps, r.duration_s * (t.bytes / ref_bytes) * t.jitter);
+          t.work_left -= dt / dur;
+          if (t.work_left <= 1e-6) finished = true;
+        }
+        it = finished ? gr.running.erase(it) : std::next(it);
+      }
+      if (!gr.map_done && gr.next_block >= gr.plan.num_blocks()) {
+        // Map phase ends when the last map task drains.
+        const bool any_map = std::any_of(
+            gr.running.begin(), gr.running.end(),
+            [](const LiveTask& t) { return !t.is_reduce; });
+        if (!any_map) gr.map_done = true;
+      }
+      if (!gr.done) launch(gr);
+      if (!gr.done && gr.running.empty() && gr.all_work_launched()) {
+        gr.done = true;
+        gr.finish_s = now;
+      }
+    }
+  }
+
+  // --- aggregate --------------------------------------------------------------
+  res.run.makespan_s = now;
+  res.run.energy_dyn_j = energy_dyn;
+  res.run.energy_total_j = energy_total;
+  for (std::size_t g = 0; g < k; ++g) {
+    AppTelemetry& t = res.run.apps[g];
+    const GroupState& gr = gs[g];
+    t.finish_s = gr.finish_s;
+    const double span = std::max(gr.finish_s, kEps);
+    const double cores = std::max(gr.int_core_seconds, kEps);
+    t.cpu_user_frac = gr.int_compute / cores;
+    t.cpu_iowait_frac = gr.int_iowait / cores;
+    t.io_read_mibps = gr.int_read_mib / span;
+    t.io_write_mibps = gr.int_write_mib / span;
+    t.mem_gibps = gr.int_mem_gib / span;
+    t.avg_active_cores = gr.int_core_seconds / span;
+    t.icache_mpki = gr.job->app.icache_mpki;
+    t.branch_mpki = gr.job->app.branch_mpki;
+    // Final-environment values for footprint/MPKI/IPC signatures.
+    const double fb = gr.plan.blocks.empty()
+                          ? 0.0
+                          : static_cast<double>(gr.plan.blocks[0].bytes);
+    t.footprint_mib = static_cast<double>(gr.cfg.mappers) *
+                      tasks_.footprint_mib(gr.job->app, fb);
+    const TaskRates solo =
+        tasks_.map_task(gr.job->app, fb, gr.cfg.freq, SharedEnv{});
+    t.llc_mpki = solo.mpki_eff;
+    t.ipc = solo.ipc;
+    t.memcache_mib = cache.cached_mib();
+  }
+  return res;
+}
+
+}  // namespace ecost::mapreduce

@@ -1,0 +1,67 @@
+// Discrete-event node runner.
+//
+// Executes the same physics as NodeEvaluator but event-by-event: tasks start
+// and finish individually (ragged waves, per-task duration jitter), the
+// shared-resource environment is re-solved at every change of the running
+// set, and the run produces a 1 Hz trace — the signals the paper collects
+// with the Wattsup meter and dstat (section 2.5). perfmon's samplers consume
+// these traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapreduce/config.hpp"
+#include "mapreduce/job.hpp"
+#include "mapreduce/run_result.hpp"
+#include "mapreduce/task_model.hpp"
+#include "sim/node_spec.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::mapreduce {
+
+/// One 1-second sample of node state, as a wall power meter + dstat would
+/// record it.
+struct TraceSample {
+  double t_s = 0.0;
+  double power_w = 0.0;        ///< wall power (Wattsup reading)
+  double power_dyn_w = 0.0;    ///< idle-subtracted
+  double cpu_user = 0.0;       ///< node-wide retiring fraction [0,1]
+  double cpu_iowait = 0.0;     ///< node-wide I/O-wait fraction [0,1]
+  double io_read_mibps = 0.0;
+  double io_write_mibps = 0.0;
+  double footprint_mib = 0.0;
+  double memcache_mib = 0.0;
+  int running_tasks = 0;
+};
+
+struct DesResult {
+  RunResult run;
+  std::vector<TraceSample> trace;
+};
+
+class NodeRunner {
+ public:
+  NodeRunner(const sim::NodeSpec& spec, std::uint64_t seed);
+
+  /// Event-driven solo run.
+  DesResult run_solo(const JobSpec& job, const AppConfig& cfg);
+
+  /// Event-driven co-located run of two applications.
+  DesResult run_pair(const JobSpec& a, const AppConfig& cfg_a,
+                     const JobSpec& b, const AppConfig& cfg_b);
+
+  /// Relative stddev of per-task duration jitter (lognormal); default 5%.
+  void set_jitter(double sigma);
+
+ private:
+  DesResult run_groups(std::vector<const JobSpec*> jobs,
+                       std::vector<AppConfig> cfgs);
+
+  sim::NodeSpec spec_;
+  TaskModel tasks_;
+  Rng rng_;
+  double jitter_sigma_ = 0.05;
+};
+
+}  // namespace ecost::mapreduce

@@ -1,0 +1,50 @@
+// Results of a simulated run: the quantities the paper measures with the
+// Wattsup meter (makespan, idle-subtracted energy, EDP) plus per-application
+// telemetry — the raw signals perf/dstat would report, consumed by the
+// perfmon feature pipeline.
+#pragma once
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ecost::mapreduce {
+
+/// Time-averaged observable signals of one application during a run.
+struct AppTelemetry {
+  double finish_s = 0.0;          ///< completion time of this application
+
+  // dstat-style resource metrics:
+  double cpu_user_frac = 0.0;     ///< retiring fraction per allotted core
+  double cpu_iowait_frac = 0.0;   ///< I/O-wait fraction per allotted core
+  double io_read_mibps = 0.0;     ///< disk read throughput of this app
+  double io_write_mibps = 0.0;    ///< disk write throughput of this app
+  double footprint_mib = 0.0;     ///< total resident set (all tasks)
+  double memcache_mib = 0.0;      ///< page-cache fill attributable to the app
+
+  // perf-style micro-architectural metrics:
+  double ipc = 0.0;
+  double llc_mpki = 0.0;
+  double icache_mpki = 0.0;
+  double branch_mpki = 0.0;
+  double mem_gibps = 0.0;         ///< DRAM traffic
+  double avg_active_cores = 0.0;
+};
+
+/// Outcome of one (solo or co-located) node-level run.
+struct RunResult {
+  double makespan_s = 0.0;
+  double energy_dyn_j = 0.0;    ///< idle-subtracted energy (paper's metric)
+  double energy_total_j = 0.0;  ///< wall energy incl. idle floor
+  std::vector<AppTelemetry> apps;
+
+  /// Energy-delay product on dynamic energy: E * T == P * T^2 (section 2.6).
+  double edp() const { return energy_dyn_j * makespan_s; }
+
+  double avg_dyn_power_w() const {
+    ECOST_REQUIRE(makespan_s > 0.0, "no elapsed time");
+    return energy_dyn_j / makespan_s;
+  }
+};
+
+}  // namespace ecost::mapreduce

@@ -1,0 +1,139 @@
+#include "mapreduce/task_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/contention.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecost::mapreduce {
+namespace {
+
+// Fixed micro-architectural penalties (cycles) for front-end events. These
+// are second-order relative to LLC misses; they mostly differentiate the
+// counter signatures of applications.
+constexpr double kIcacheMissCycles = 20.0;
+constexpr double kBranchMissCycles = 14.0;
+constexpr double kBytesPerMiss = 64.0;
+
+}  // namespace
+
+TaskModel::TaskModel(const sim::NodeSpec& spec) : spec_(spec) {
+  spec_.validate();
+}
+
+double TaskModel::spill_bytes(const AppProfile& app,
+                              double block_bytes) const {
+  const double output = app.shuffle_bpb * block_bytes;
+  const double buffer = mib_to_bytes(spec_.sort_buffer_mib);
+  return spec_.spill_io_factor * std::max(0.0, output - buffer);
+}
+
+double TaskModel::footprint_mib(const AppProfile& app,
+                                double block_bytes) const {
+  return app.footprint_fixed_mib +
+         app.footprint_per_input_mib * bytes_to_mib(block_bytes);
+}
+
+TaskRates TaskModel::map_task(const AppProfile& app, double block_bytes,
+                              sim::FreqLevel freq,
+                              const SharedEnv& env) const {
+  ECOST_REQUIRE(block_bytes >= 0.0, "negative split size");
+  const double spill = spill_bytes(app, block_bytes);
+  const double reads = app.io_read_bpb * block_bytes + spill;
+  const double writes = app.io_write_bpb * block_bytes + spill;
+  const double instr = app.instr_per_byte * block_bytes;
+  return solve(instr, reads, writes, footprint_mib(app, block_bytes),
+               app.cache_mib, app.base_cpi, app.llc_mpki, app.icache_mpki,
+               app.branch_mpki, sim::split_io_efficiency(block_bytes, spec_),
+               freq, env);
+}
+
+TaskRates TaskModel::reduce_task(const AppProfile& app, double shuffle_bytes,
+                                 sim::FreqLevel freq,
+                                 const SharedEnv& env) const {
+  ECOST_REQUIRE(shuffle_bytes >= 0.0, "negative shuffle size");
+  // Reduce reads the fetched map output and writes the final output; merge
+  // behaviour is cache-friendlier than map-side processing (streaming runs),
+  // so the baseline MPKI is discounted.
+  const double instr = app.reduce_instr_per_byte * shuffle_bytes;
+  const double reads = shuffle_bytes;
+  const double writes = 0.7 * shuffle_bytes;
+  const double footprint =
+      0.6 * app.footprint_fixed_mib + 0.05 * bytes_to_mib(shuffle_bytes);
+  return solve(instr, reads, writes, footprint, 0.5 * app.cache_mib,
+               app.base_cpi, 0.6 * app.llc_mpki, app.icache_mpki,
+               app.branch_mpki, sim::split_io_efficiency(shuffle_bytes, spec_),
+               freq, env);
+}
+
+TaskRates TaskModel::solve(double instructions, double read_bytes,
+                           double write_bytes, double footprint,
+                           double cache_mib, double base_cpi, double llc_mpki,
+                           double icache_mpki, double branch_mpki,
+                           double io_efficiency, sim::FreqLevel freq,
+                           const SharedEnv& env) const {
+  ECOST_REQUIRE(env.mem_lat_mult >= 1.0, "latency multiplier < 1");
+  ECOST_REQUIRE(env.mpki_mult >= 1.0, "MPKI multiplier < 1");
+  ECOST_REQUIRE(env.io_rate_mibps > 0.0, "granted disk rate must be positive");
+
+  TaskRates r;
+  r.instructions = instructions;
+  r.read_bytes = read_bytes;
+  r.write_bytes = write_bytes;
+  r.io_bytes = read_bytes + write_bytes;
+  r.footprint_mib = footprint;
+  r.cache_mib = cache_mib;
+  r.mpki_eff = llc_mpki * env.mpki_mult;
+
+  const double f_hz = sim::ghz(freq) * kGHz;
+
+  // Retiring + front-end cycles scale with frequency; memory-stall *seconds*
+  // do not (DRAM latency is frequency-invariant), which is exactly why
+  // memory-bound applications see sublinear speedup from DVFS.
+  ECOST_REQUIRE(env.cpu_eff_mult >= 1.0, "crowding multiplier < 1");
+  const double cpi_frontend = base_cpi +
+                              (icache_mpki / 1000.0) * kIcacheMissCycles +
+                              (branch_mpki / 1000.0) * kBranchMissCycles;
+  r.compute_s = instructions * cpi_frontend * env.cpu_eff_mult / f_hz;
+  r.stall_s = instructions * (r.mpki_eff / 1000.0) *
+              (spec_.mem_latency_ns * env.mem_lat_mult) / kNsPerSec;
+  const double cpu_s = r.compute_s + r.stall_s;
+
+  ECOST_REQUIRE(io_efficiency > 0.0 && io_efficiency <= 1.0,
+                "I/O efficiency out of range");
+  r.io_transfer_s =
+      bytes_to_mib(r.io_bytes) / (env.io_rate_mibps * io_efficiency);
+
+  // CPU work and I/O partially overlap (read-ahead, async write-back): the
+  // shorter side is hidden by `cpu_io_overlap` of its span.
+  const double longer = std::max(cpu_s, r.io_transfer_s);
+  const double shorter = std::min(cpu_s, r.io_transfer_s);
+  r.duration_s = longer + (1.0 - spec_.cpu_io_overlap) * shorter;
+  if (r.duration_s <= 0.0) {
+    r.duration_s = 0.0;
+    r.activity = 0.0;
+    return r;
+  }
+
+  r.iowait_s = std::max(0.0, r.duration_s - cpu_s);
+  r.io_duty = std::min(1.0, r.io_transfer_s / r.duration_s);
+
+  r.activity = (r.compute_s * 1.0 + r.stall_s * spec_.stall_activity +
+                r.iowait_s * spec_.iowait_activity) /
+               r.duration_s;
+  r.activity = std::clamp(r.activity, 0.0, 1.0);
+
+  r.mem_gibps = instructions * (r.mpki_eff / 1000.0) * kBytesPerMiss /
+                r.duration_s / kGiB;
+  r.disk_mibps = bytes_to_mib(r.io_bytes) / r.duration_s;
+
+  const double busy_cycles = cpu_s * f_hz;
+  r.ipc = busy_cycles > 0.0 ? instructions / busy_cycles : 0.0;
+
+  ECOST_CHECK(r.duration_s >= longer - 1e-9, "duration below critical path");
+  return r;
+}
+
+}  // namespace ecost::mapreduce

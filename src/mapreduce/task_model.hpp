@@ -1,0 +1,87 @@
+// Per-task execution physics.
+//
+// Given an application profile, a split size, a DVFS level, and the current
+// shared-resource environment, the task model produces the steady-state
+// behaviour of one map (or reduce) task: duration, phase breakdown, demand
+// rates, and the observable counters. The environment itself (latency
+// multiplier, MPKI multiplier, granted disk rate) is solved by the caller —
+// NodeEvaluator iterates a joint fixed point across all co-located task
+// groups — so this class stays a pure function.
+#pragma once
+
+#include "mapreduce/app_profile.hpp"
+#include "sim/dvfs.hpp"
+#include "sim/node_spec.hpp"
+
+namespace ecost::mapreduce {
+
+/// Node-wide environment a task group currently experiences.
+struct SharedEnv {
+  double mem_lat_mult = 1.0;   ///< from sim::mem_latency_multiplier
+  double mpki_mult = 1.0;      ///< from sim::llc_mpki_multiplier
+  double io_rate_mibps = 60.0; ///< granted per-stream disk rate while in I/O
+  double cpu_eff_mult = 1.0;   ///< compute-time inflation from crowding (>=1)
+};
+
+/// Steady-state behaviour of one task.
+struct TaskRates {
+  double duration_s = 0.0;   ///< task time excluding setup overhead
+  double compute_s = 0.0;    ///< retiring (non-stall) CPU seconds
+  double stall_s = 0.0;      ///< memory-stall seconds
+  double io_transfer_s = 0.0;///< disk transfer seconds
+  double iowait_s = 0.0;     ///< seconds blocked on I/O (not overlapped)
+
+  double activity = 0.0;     ///< effective core switching activity in [0,1]
+  double io_duty = 0.0;      ///< fraction of the task spent issuing disk I/O
+  double mem_gibps = 0.0;    ///< average DRAM traffic of this task
+  double disk_mibps = 0.0;   ///< average disk rate of this task over duration
+
+  double footprint_mib = 0.0;///< resident set of this task
+  double cache_mib = 0.0;    ///< hot working set contending for the LLC
+  double mpki_eff = 0.0;     ///< LLC MPKI after cache pressure
+  double ipc = 0.0;          ///< observed instructions per (unhalted) cycle
+
+  double instructions = 0.0; ///< total instructions executed
+  double io_bytes = 0.0;     ///< total disk bytes moved (read+write+spill)
+  double read_bytes = 0.0;
+  double write_bytes = 0.0;
+};
+
+class TaskModel {
+ public:
+  explicit TaskModel(const sim::NodeSpec& spec);
+
+  /// Behaviour of a map task over a split of `block_bytes` input bytes.
+  TaskRates map_task(const AppProfile& app, double block_bytes,
+                     sim::FreqLevel freq, const SharedEnv& env) const;
+
+  /// Behaviour of a reduce task fetching/merging `shuffle_bytes` of map
+  /// output. Reduce work is derived from the app's reduce intensity.
+  TaskRates reduce_task(const AppProfile& app, double shuffle_bytes,
+                        sim::FreqLevel freq, const SharedEnv& env) const;
+
+  /// Map-side spill traffic (bytes, counted once for the spill write and
+  /// once for the merge re-read) when the map output of one split exceeds
+  /// the sort buffer. This is the mechanism that penalizes very large HDFS
+  /// blocks for shuffle-heavy applications.
+  double spill_bytes(const AppProfile& app, double block_bytes) const;
+
+  /// Resident set of one map task over a split of `block_bytes`.
+  double footprint_mib(const AppProfile& app, double block_bytes) const;
+
+  /// Per-task launch overhead (JVM spawn etc.).
+  double setup_s() const { return spec_.task_setup_s; }
+
+  const sim::NodeSpec& spec() const { return spec_; }
+
+ private:
+  TaskRates solve(double instructions, double read_bytes, double write_bytes,
+                  double footprint, double cache_mib, double base_cpi,
+                  double llc_mpki, double icache_mpki, double branch_mpki,
+                  double io_efficiency, sim::FreqLevel freq,
+                  const SharedEnv& env) const;
+
+  sim::NodeSpec spec_;
+};
+
+}  // namespace ecost::mapreduce

@@ -1,0 +1,99 @@
+#include "mapreduce/wave_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecost::mapreduce {
+namespace {
+
+/// Accumulates one set of tasks into the phase aggregates.
+struct LoadAccumulator {
+  double core_seconds = 0.0;      // task body + setup
+  double activity_seconds = 0.0;  // integral of activity over core time
+  double mem_gib = 0.0;           // total bytes (GiB) of DRAM traffic
+  double disk_mib_s = 0.0;        // integral of disk rate (MiB)
+  double stream_seconds = 0.0;    // integral of active streams
+
+  void add_tasks(int count, const TaskRates& r, double setup_s,
+                 double setup_activity) {
+    const double n = static_cast<double>(count);
+    core_seconds += n * (r.duration_s + setup_s);
+    activity_seconds +=
+        n * (r.duration_s * r.activity + setup_s * setup_activity);
+    mem_gib += n * r.mem_gibps * r.duration_s;
+    disk_mib_s += n * r.disk_mibps * r.duration_s;
+    stream_seconds += n * r.io_duty * r.duration_s;
+  }
+};
+
+PhaseStats finalize(const LoadAccumulator& acc, double duration_s, int tasks) {
+  PhaseStats ph;
+  ph.duration_s = duration_s;
+  ph.tasks = tasks;
+  ph.task_core_seconds = acc.core_seconds;
+  if (duration_s <= 0.0) return ph;
+  ph.avg_concurrency = acc.core_seconds / duration_s;
+  ph.activity =
+      acc.core_seconds > 0.0 ? acc.activity_seconds / acc.core_seconds : 0.0;
+  ph.mem_gibps = acc.mem_gib / duration_s;
+  ph.disk_mibps = acc.disk_mib_s / duration_s;
+  ph.io_streams = acc.stream_seconds / duration_s;
+  return ph;
+}
+
+}  // namespace
+
+WaveModel::WaveModel(const sim::NodeSpec& spec) : spec_(spec) {
+  spec_.validate();
+}
+
+PhaseStats WaveModel::map_phase(const hdfs::BlockPlan& plan, int mappers,
+                                const TaskRates& full,
+                                const TaskRates& partial) const {
+  ECOST_REQUIRE(mappers >= 1 && mappers <= spec_.cores,
+                "mapper count out of range");
+  const int n = static_cast<int>(plan.num_blocks());
+  if (n == 0) return PhaseStats{};
+
+  const bool has_partial = plan.partial_bytes() > 0;
+  const int n_full = has_partial ? n - 1 : n;
+  const int waves = (n + mappers - 1) / mappers;
+  const int last_wave_tasks = n - (waves - 1) * mappers;
+
+  // Every wave containing at least one full-block task is bounded by the
+  // full-task duration; only a final wave consisting of just the partial
+  // block finishes earlier.
+  const bool last_wave_all_partial = has_partial && last_wave_tasks == 1;
+  const double setup = spec_.task_setup_s;
+  const double full_wave_s = setup + full.duration_s;
+  const double last_wave_s =
+      last_wave_all_partial ? setup + partial.duration_s : full_wave_s;
+  const double duration =
+      static_cast<double>(waves - 1) * full_wave_s + last_wave_s;
+
+  LoadAccumulator acc;
+  acc.add_tasks(n_full, full, setup, kSetupActivity);
+  if (has_partial) acc.add_tasks(1, partial, setup, kSetupActivity);
+
+  PhaseStats ph = finalize(acc, duration, n);
+  ECOST_CHECK(ph.avg_concurrency <= static_cast<double>(mappers) + 1e-9,
+              "concurrency exceeds slot count");
+  return ph;
+}
+
+PhaseStats WaveModel::reduce_phase(int reducers,
+                                   const TaskRates& per_reducer) const {
+  ECOST_REQUIRE(reducers >= 1 && reducers <= spec_.cores,
+                "reducer count out of range");
+  if (per_reducer.duration_s <= 0.0 && per_reducer.instructions <= 0.0) {
+    return PhaseStats{};
+  }
+  const double setup = spec_.task_setup_s;
+  LoadAccumulator acc;
+  acc.add_tasks(reducers, per_reducer, setup, kSetupActivity);
+  return finalize(acc, setup + per_reducer.duration_s, reducers);
+}
+
+}  // namespace ecost::mapreduce

@@ -1,0 +1,50 @@
+// Closed-form wave execution of a task group.
+//
+// Hadoop runs map tasks in waves of `mappers` concurrent slots; the phase
+// time is the sum of wave times, and per-task setup overhead is paid once
+// per task. This module turns per-task TaskRates into phase wall time plus
+// the time-averaged node loads the power model integrates.
+#pragma once
+
+#include "hdfs/block_planner.hpp"
+#include "mapreduce/task_model.hpp"
+#include "sim/node_spec.hpp"
+
+namespace ecost::mapreduce {
+
+/// Timing and time-averaged loads of one phase (map or reduce) of one group.
+struct PhaseStats {
+  double duration_s = 0.0;        ///< wall time of the phase
+  double task_core_seconds = 0.0; ///< sum over tasks of (setup + duration)
+  int tasks = 0;
+
+  // Time-averaged loads over the phase (whole group, not per task):
+  double avg_concurrency = 0.0;  ///< average busy slots
+  double activity = 0.0;         ///< average per-busy-core activity
+  double mem_gibps = 0.0;        ///< group DRAM traffic
+  double disk_mibps = 0.0;       ///< group disk throughput
+  double io_streams = 0.0;       ///< average concurrent disk streams
+};
+
+class WaveModel {
+ public:
+  explicit WaveModel(const sim::NodeSpec& spec);
+
+  /// Executes the map phase of `plan` on `mappers` slots. `full` describes a
+  /// full-block task; `partial` the trailing partial-block task (ignored when
+  /// the plan has no partial block).
+  PhaseStats map_phase(const hdfs::BlockPlan& plan, int mappers,
+                       const TaskRates& full, const TaskRates& partial) const;
+
+  /// Executes the reduce phase: `reducers` one-wave tasks, each described by
+  /// `per_reducer`. Returns a zero phase when there is no shuffle data.
+  PhaseStats reduce_phase(int reducers, const TaskRates& per_reducer) const;
+
+ private:
+  /// Activity attributed to a slot while the task JVM is being launched.
+  static constexpr double kSetupActivity = 0.3;
+
+  sim::NodeSpec spec_;
+};
+
+}  // namespace ecost::mapreduce

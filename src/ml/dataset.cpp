@@ -1,0 +1,46 @@
+#include "ml/dataset.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecost::ml {
+
+void Dataset::add(std::span<const double> features, double target) {
+  x.push_row(features);
+  y.push_back(target);
+}
+
+void Dataset::validate() const {
+  ECOST_REQUIRE(x.rows() == y.size(), "X/y row mismatch");
+  ECOST_REQUIRE(feature_names.empty() || feature_names.size() == x.cols(),
+                "feature-name arity mismatch");
+  for (double t : y) {
+    ECOST_REQUIRE(std::isfinite(t), "non-finite target");
+  }
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double test_fraction,
+                                           Rng& rng) const {
+  ECOST_REQUIRE(test_fraction >= 0.0 && test_fraction <= 1.0,
+                "test fraction out of range");
+  const auto perm = rng.permutation(size());
+  const std::size_t n_test =
+      static_cast<std::size_t>(test_fraction * static_cast<double>(size()));
+  std::vector<std::size_t> test_idx(perm.begin(), perm.begin() + n_test);
+  std::vector<std::size_t> train_idx(perm.begin() + n_test, perm.end());
+  return {subset(train_idx), subset(test_idx)};
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.feature_names = feature_names;
+  out.x = Matrix(0, 0);
+  for (std::size_t i : indices) {
+    ECOST_REQUIRE(i < size(), "subset index out of range");
+    out.add(x.row(i), y[i]);
+  }
+  return out;
+}
+
+}  // namespace ecost::ml

@@ -1,0 +1,34 @@
+// Supervised-learning dataset: a feature matrix plus a regression target.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::ml {
+
+struct Dataset {
+  Matrix x;                                ///< one row per example
+  std::vector<double> y;                   ///< target per example
+  std::vector<std::string> feature_names;  ///< optional, arity == x.cols()
+
+  std::size_t size() const { return x.rows(); }
+
+  void add(std::span<const double> features, double target);
+
+  /// Throws InvariantError when shapes disagree.
+  void validate() const;
+
+  /// Returns {train, test} with `test_fraction` of rows (shuffled by `rng`)
+  /// in the test split.
+  std::pair<Dataset, Dataset> split(double test_fraction, Rng& rng) const;
+
+  /// Row subset by index.
+  Dataset subset(std::span<const std::size_t> indices) const;
+};
+
+}  // namespace ecost::ml

@@ -1,0 +1,107 @@
+#include "ml/hierarchical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace ecost::ml {
+
+void HierarchicalClustering::fit(const Matrix& points) {
+  n_ = points.rows();
+  merges_.clear();
+  ECOST_REQUIRE(n_ >= 1, "need at least one point");
+  if (n_ == 1) return;
+
+  // Active clusters: id -> member rows. Average linkage distance computed
+  // from the full pairwise matrix (n is small: feature metrics, app counts).
+  Matrix dist(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < points.cols(); ++c) {
+        const double d = points.at(i, c) - points.at(j, c);
+        acc += d * d;
+      }
+      dist.at(i, j) = dist.at(j, i) = std::sqrt(acc);
+    }
+  }
+
+  struct Cluster {
+    std::size_t id;
+    std::vector<std::size_t> members;
+  };
+  std::vector<Cluster> active;
+  for (std::size_t i = 0; i < n_; ++i) active.push_back({i, {i}});
+  std::size_t next_id = n_;
+
+  auto linkage = [&](const Cluster& a, const Cluster& b) {
+    double acc = 0.0;
+    for (std::size_t i : a.members) {
+      for (std::size_t j : b.members) acc += dist.at(i, j);
+    }
+    return acc / static_cast<double>(a.members.size() * b.members.size());
+  };
+
+  while (active.size() > 1) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0, bj = 1;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      for (std::size_t j = i + 1; j < active.size(); ++j) {
+        const double d = linkage(active[i], active[j]);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    MergeStep step{active[bi].id, active[bj].id, best, next_id};
+    merges_.push_back(step);
+    Cluster merged{next_id++, active[bi].members};
+    merged.members.insert(merged.members.end(), active[bj].members.begin(),
+                          active[bj].members.end());
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(bj));
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(bi));
+    active.push_back(std::move(merged));
+  }
+}
+
+std::vector<std::size_t> HierarchicalClustering::cut(std::size_t k) const {
+  ECOST_REQUIRE(fitted(), "clustering not fitted");
+  ECOST_REQUIRE(k >= 1 && k <= n_, "cluster count out of range");
+
+  // Replay merges until k clusters remain, using a union-find keyed by the
+  // merge-step ids.
+  std::vector<std::size_t> parent(n_ + merges_.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  const std::size_t merges_to_apply = n_ - k;
+  for (std::size_t s = 0; s < merges_to_apply; ++s) {
+    const MergeStep& m = merges_[s];
+    parent[find(m.a)] = m.id;
+    parent[find(m.b)] = m.id;
+  }
+
+  // Compact labels.
+  std::vector<std::size_t> labels(n_);
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t r = find(i);
+    auto it = std::find(roots.begin(), roots.end(), r);
+    if (it == roots.end()) {
+      roots.push_back(r);
+      labels[i] = roots.size() - 1;
+    } else {
+      labels[i] = static_cast<std::size_t>(it - roots.begin());
+    }
+  }
+  return labels;
+}
+
+}  // namespace ecost::ml

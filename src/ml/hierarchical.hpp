@@ -1,0 +1,39 @@
+// Agglomerative hierarchical clustering with average linkage — used to
+// group redundant feature metrics (section 3.2) before selecting one
+// representative per cluster.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace ecost::ml {
+
+struct MergeStep {
+  std::size_t a = 0;       ///< cluster ids being merged (ids >= n are merged
+  std::size_t b = 0;       ///< clusters created by earlier steps)
+  double distance = 0.0;   ///< linkage distance at the merge
+  std::size_t id = 0;      ///< id of the new cluster
+};
+
+class HierarchicalClustering {
+ public:
+  /// Clusters the ROWS of `points` (Euclidean, average linkage).
+  void fit(const Matrix& points);
+
+  bool fitted() const { return n_ > 0; }
+
+  /// The n-1 merge steps in order.
+  const std::vector<MergeStep>& merges() const { return merges_; }
+
+  /// Cuts the dendrogram into exactly k clusters; returns a label in
+  /// [0, k) per original row.
+  std::vector<std::size_t> cut(std::size_t k) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<MergeStep> merges_;
+};
+
+}  // namespace ecost::ml

@@ -1,0 +1,73 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace ecost::ml {
+
+KnnClassifier::KnnClassifier(std::size_t k) : k_(k) {
+  ECOST_REQUIRE(k >= 1, "k must be >= 1");
+}
+
+void KnnClassifier::fit(const Matrix& x, std::vector<int> labels) {
+  ECOST_REQUIRE(x.rows() == labels.size(), "rows/labels mismatch");
+  ECOST_REQUIRE(x.rows() >= 1, "need at least one training row");
+  scaler_.fit(x);
+  x_ = scaler_.transform(x);
+  labels_ = std::move(labels);
+}
+
+namespace {
+
+std::vector<std::pair<double, std::size_t>> ranked_distances(
+    const Matrix& x, std::span<const double> q) {
+  std::vector<std::pair<double, std::size_t>> d;
+  d.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < q.size(); ++j) {
+      const double diff = row[j] - q[j];
+      acc += diff * diff;
+    }
+    d.emplace_back(acc, i);
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+}  // namespace
+
+int KnnClassifier::predict(std::span<const double> features) const {
+  ECOST_REQUIRE(fitted(), "classifier not fitted");
+  const auto q = scaler_.transform_row(features);
+  const auto ranked = ranked_distances(x_, q);
+  const std::size_t k = std::min(k_, ranked.size());
+
+  std::map<int, std::size_t> votes;
+  for (std::size_t i = 0; i < k; ++i) votes[labels_[ranked[i].second]]++;
+  int best_label = labels_[ranked[0].second];
+  std::size_t best_votes = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best_votes = count;
+      best_label = label;
+    }
+  }
+  // Tie: prefer the label of the single nearest neighbour.
+  if (votes[labels_[ranked[0].second]] == best_votes) {
+    best_label = labels_[ranked[0].second];
+  }
+  return best_label;
+}
+
+std::size_t KnnClassifier::nearest(std::span<const double> features) const {
+  ECOST_REQUIRE(fitted(), "classifier not fitted");
+  const auto q = scaler_.transform_row(features);
+  return ranked_distances(x_, q).front().second;
+}
+
+}  // namespace ecost::ml

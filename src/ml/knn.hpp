@@ -1,0 +1,38 @@
+// k-nearest-neighbours classifier over standardized features — the
+// "cluster algorithm [that] classifies the testing application based on the
+// feature matrix" of LkT-STP (section 6.4).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hpp"
+#include "ml/scaler.hpp"
+
+namespace ecost::ml {
+
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 3);
+
+  /// `labels[i]` is the class id of row i.
+  void fit(const Matrix& x, std::vector<int> labels);
+
+  bool fitted() const { return !labels_.empty(); }
+
+  /// Majority vote among the k nearest training rows (ties break toward the
+  /// nearest member).
+  int predict(std::span<const double> features) const;
+
+  /// Index of the single nearest training row.
+  std::size_t nearest(std::span<const double> features) const;
+
+ private:
+  std::size_t k_;
+  StandardScaler scaler_;
+  Matrix x_;  // standardized
+  std::vector<int> labels_;
+};
+
+}  // namespace ecost::ml

@@ -1,0 +1,124 @@
+#include "ml/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace ecost::ml {
+
+std::vector<double> cholesky_solve(const Matrix& a,
+                                   std::span<const double> b) {
+  const std::size_t n = a.rows();
+  ECOST_REQUIRE(a.cols() == n, "matrix must be square");
+  ECOST_REQUIRE(b.size() == n, "rhs size mismatch");
+
+  // Lower-triangular factor L with A = L L^T.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        ECOST_REQUIRE(sum > 1e-14, "matrix is not positive definite");
+        l.at(i, i) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l.at(i, k) * y[k];
+    y[i] = sum / l.at(i, i);
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l.at(k, ii) * x[k];
+    x[ii] = sum / l.at(ii, ii);
+  }
+  return x;
+}
+
+EigenResult jacobi_eigen(const Matrix& a, int max_sweeps, double tol) {
+  const std::size_t n = a.rows();
+  ECOST_REQUIRE(a.cols() == n, "matrix must be square");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      ECOST_REQUIRE(std::abs(a.at(i, j) - a.at(j, i)) < 1e-9,
+                    "matrix must be symmetric");
+    }
+  }
+
+  Matrix m = a;
+  Matrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v.at(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += m.at(i, j) * m.at(i, j);
+    }
+    if (off < tol) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m.at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = m.at(p, p);
+        const double aqq = m.at(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m.at(k, p);
+          const double mkq = m.at(k, q);
+          m.at(k, p) = c * mkp - s * mkq;
+          m.at(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m.at(p, k);
+          const double mqk = m.at(q, k);
+          m.at(p, k) = c * mpk - s * mqk;
+          m.at(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = m.at(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+
+  EigenResult res;
+  res.values.resize(n);
+  res.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    res.values[j] = diag[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      res.vectors.at(i, j) = v.at(i, order[j]);
+    }
+  }
+  return res;
+}
+
+}  // namespace ecost::ml

@@ -1,0 +1,25 @@
+// Numerical kernels for the ML library: SPD solves (ridge regression) and a
+// symmetric eigensolver (PCA).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace ecost::ml {
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+/// Throws InvariantError when A is not SPD (within tolerance).
+std::vector<double> cholesky_solve(const Matrix& a, std::span<const double> b);
+
+struct EigenResult {
+  std::vector<double> values;  ///< descending
+  Matrix vectors;              ///< column j is the eigenvector of values[j]
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+EigenResult jacobi_eigen(const Matrix& a, int max_sweeps = 64,
+                         double tol = 1e-12);
+
+}  // namespace ecost::ml

@@ -1,0 +1,68 @@
+#include "ml/linear_regression.hpp"
+
+#include "ml/linalg.hpp"
+#include "util/error.hpp"
+
+namespace ecost::ml {
+
+LinearRegression::LinearRegression(double ridge_lambda)
+    : lambda_(ridge_lambda) {
+  ECOST_REQUIRE(ridge_lambda >= 0.0, "ridge lambda must be non-negative");
+}
+
+void LinearRegression::fit(const Dataset& data) {
+  data.validate();
+  ECOST_REQUIRE(data.size() > 0, "cannot fit on empty dataset");
+  scaler_.fit(data.x);
+  const Matrix xs = scaler_.transform(data.x);
+  const std::size_t n = xs.rows();
+  const std::size_t d = xs.cols();
+  const std::size_t da = d + 1;  // + bias
+
+  // Normal equations: (X^T X + lambda I) w = X^T y, with bias column.
+  // Standardized columns put the diagonal near n, so a relative ridge keeps
+  // the factorization positive-definite even with collinear features.
+  Matrix xtx(da, da);
+  std::vector<double> xty(da, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = xs.row(i);
+    auto feat = [&](std::size_t j) { return j < d ? row[j] : 1.0; };
+    for (std::size_t a = 0; a < da; ++a) {
+      xty[a] += feat(a) * data.y[i];
+      for (std::size_t b = a; b < da; ++b) {
+        xtx.at(a, b) += feat(a) * feat(b);
+      }
+    }
+  }
+  const double ridge = (lambda_ + 1e-8) * static_cast<double>(n);
+  for (std::size_t a = 0; a < da; ++a) {
+    for (std::size_t b = 0; b < a; ++b) xtx.at(a, b) = xtx.at(b, a);
+    xtx.at(a, a) += ridge;
+  }
+  weights_ = cholesky_solve(xtx, xty);
+}
+
+LinearRegression LinearRegression::from_params(StandardScaler scaler,
+                                               std::vector<double> weights) {
+  ECOST_REQUIRE(scaler.fitted(), "scaler must be fitted");
+  ECOST_REQUIRE(weights.size() == scaler.mean().size() + 1,
+                "weights must cover every feature plus the bias");
+  LinearRegression out;
+  out.scaler_ = std::move(scaler);
+  out.weights_ = std::move(weights);
+  return out;
+}
+
+double LinearRegression::predict(std::span<const double> features) const {
+  ECOST_REQUIRE(!weights_.empty(), "model not fitted");
+  ECOST_REQUIRE(features.size() + 1 == weights_.size(),
+                "feature arity mismatch");
+  const std::vector<double> xs = scaler_.transform_row(features);
+  double acc = weights_.back();
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    acc += weights_[j] * xs[j];
+  }
+  return acc;
+}
+
+}  // namespace ecost::ml

@@ -1,0 +1,39 @@
+// Ordinary least squares with a small ridge term, solved by normal
+// equations + Cholesky. Deliberately the paper's weakest model: EDP is
+// strongly non-linear in the tuning knobs (Table 1: ~55% APE).
+#pragma once
+
+#include <vector>
+
+#include "ml/model.hpp"
+#include "ml/scaler.hpp"
+
+namespace ecost::ml {
+
+class LinearRegression final : public Regressor {
+ public:
+  /// `ridge_lambda` is relative to the average feature variance, keeping
+  /// the normal equations well-conditioned across feature scales.
+  explicit LinearRegression(double ridge_lambda = 1e-6);
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override { return "LR"; }
+
+  /// Learned weights on standardized inputs (bias last). Empty before fit.
+  std::span<const double> weights() const { return weights_; }
+
+  /// The input scaler learned at fit time.
+  const StandardScaler& scaler() const { return scaler_; }
+
+  /// Reconstructs a fitted model from saved parameters (deserialization).
+  static LinearRegression from_params(StandardScaler scaler,
+                                      std::vector<double> weights);
+
+ private:
+  double lambda_;
+  StandardScaler scaler_;  // conditioning only; the model stays linear
+  std::vector<double> weights_;
+};
+
+}  // namespace ecost::ml

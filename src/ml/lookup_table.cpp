@@ -1,0 +1,92 @@
+#include "ml/lookup_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ecost::ml {
+
+LookupTableModel::LookupTableModel(LookupTableParams params)
+    : params_(params) {
+  ECOST_REQUIRE(params_.bins_per_feature >= 2, "need at least 2 bins");
+}
+
+std::vector<int> LookupTableModel::bin_row(
+    std::span<const double> features) const {
+  ECOST_REQUIRE(features.size() == lo_.size(), "feature arity mismatch");
+  std::vector<int> bins(features.size());
+  for (std::size_t j = 0; j < features.size(); ++j) {
+    const double range = hi_[j] - lo_[j];
+    if (range <= 0.0) {
+      bins[j] = 0;
+      continue;
+    }
+    const double t = (features[j] - lo_[j]) / range;
+    bins[j] = std::clamp(static_cast<int>(t * params_.bins_per_feature), 0,
+                         params_.bins_per_feature - 1);
+  }
+  return bins;
+}
+
+std::uint64_t LookupTableModel::key_of(std::span<const int> bins) {
+  // FNV-1a over the bin ids — collisions are astronomically unlikely for
+  // the table sizes involved, and a collision only merges two cells.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (int b : bins) {
+    h ^= static_cast<std::uint64_t>(b) + 0x9E3779B97F4A7C15ULL;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void LookupTableModel::fit(const Dataset& data) {
+  data.validate();
+  ECOST_REQUIRE(data.size() > 0, "cannot fit on empty dataset");
+  const std::size_t d = data.x.cols();
+  lo_.assign(d, std::numeric_limits<double>::infinity());
+  hi_.assign(d, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.x.row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      lo_[j] = std::min(lo_[j], row[j]);
+      hi_[j] = std::max(hi_[j], row[j]);
+    }
+  }
+  cells_.clear();
+  global_mean_ = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto bins = bin_row(data.x.row(i));
+    Cell& c = cells_[key_of(bins)];
+    if (c.count == 0) c.bins = bins;
+    c.sum += data.y[i];
+    ++c.count;
+    global_mean_ += data.y[i];
+  }
+  global_mean_ /= static_cast<double>(data.size());
+}
+
+double LookupTableModel::predict(std::span<const double> features) const {
+  ECOST_REQUIRE(!cells_.empty(), "model not fitted");
+  const auto bins = bin_row(features);
+  const auto it = cells_.find(key_of(bins));
+  if (it != cells_.end()) return it->second.mean();
+
+  // Nearest occupied cell by L1 distance in bin space.
+  double best_dist = std::numeric_limits<double>::infinity();
+  double best_val = global_mean_;
+  for (const auto& [key, cell] : cells_) {
+    double dist = 0.0;
+    for (std::size_t j = 0; j < bins.size(); ++j) {
+      dist += std::abs(bins[j] - cell.bins[j]);
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best_val = cell.mean();
+    }
+  }
+  return best_val;
+}
+
+}  // namespace ecost::ml

@@ -1,0 +1,46 @@
+// Lookup-table regressor: discretizes each feature into bins and stores the
+// mean target per occupied cell; queries fall back to the nearest occupied
+// cell. This is the LkT model of section 6.4 — trivial prediction cost, but
+// its table must be populated by exhaustive search.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/model.hpp"
+
+namespace ecost::ml {
+
+struct LookupTableParams {
+  int bins_per_feature = 8;
+};
+
+class LookupTableModel final : public Regressor {
+ public:
+  explicit LookupTableModel(LookupTableParams params = {});
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override { return "LkT"; }
+
+  std::size_t occupied_cells() const { return cells_.size(); }
+
+ private:
+  std::vector<int> bin_row(std::span<const double> features) const;
+  static std::uint64_t key_of(std::span<const int> bins);
+
+  struct Cell {
+    double sum = 0.0;
+    std::size_t count = 0;
+    std::vector<int> bins;
+    double mean() const { return sum / static_cast<double>(count); }
+  };
+
+  LookupTableParams params_;
+  std::vector<double> lo_, hi_;
+  std::unordered_map<std::uint64_t, Cell> cells_;
+  double global_mean_ = 0.0;
+};
+
+}  // namespace ecost::ml

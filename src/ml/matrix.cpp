@@ -1,0 +1,89 @@
+#include "ml/matrix.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecost::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  for (const auto& r : rows) push_row(std::vector<double>(r));
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  ECOST_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  ECOST_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  ECOST_REQUIRE(r < rows_, "row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  ECOST_REQUIRE(r < rows_, "row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+void Matrix::push_row(std::span<const double> values) {
+  if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+  ECOST_REQUIRE(values.size() == cols_, "row arity mismatch");
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  ECOST_REQUIRE(cols_ == other.rows_, "matmul dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out.at(i, j) += a * other.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> v) const {
+  ECOST_REQUIRE(v.size() == cols_, "matvec dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    const std::span<const double> r = row(i);
+    for (std::size_t j = 0; j < cols_; ++j) acc += r[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+double Matrix::distance(const Matrix& other) const {
+  ECOST_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                "shape mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace ecost::ml

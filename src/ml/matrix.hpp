@@ -1,0 +1,52 @@
+// Dense row-major matrix. Small and predictable: the ML workloads here are
+// thousands of rows by tens of columns, so clarity beats blocking tricks.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace ecost::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds from nested initializer lists; all rows must have equal arity.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  /// Appends a row; its size must match cols() (or define cols when empty).
+  void push_row(std::span<const double> values);
+
+  Matrix transposed() const;
+
+  /// this * other; inner dimensions must agree.
+  Matrix multiply(const Matrix& other) const;
+
+  /// this * v for a column vector v of size cols().
+  std::vector<double> multiply(std::span<const double> v) const;
+
+  /// Frobenius-norm distance to another same-shape matrix.
+  double distance(const Matrix& other) const;
+
+  std::span<const double> data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ecost::ml

@@ -1,0 +1,51 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecost::ml {
+
+double ape_percent(double predicted, double truth) {
+  ECOST_REQUIRE(truth != 0.0, "APE undefined for zero truth");
+  return std::abs(predicted - truth) / std::abs(truth) * 100.0;
+}
+
+double mape_percent(std::span<const double> predicted,
+                    std::span<const double> truth) {
+  ECOST_REQUIRE(predicted.size() == truth.size(), "series size mismatch");
+  ECOST_REQUIRE(!predicted.empty(), "empty series");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += ape_percent(predicted[i], truth[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double rmse(std::span<const double> predicted, std::span<const double> truth) {
+  ECOST_REQUIRE(predicted.size() == truth.size(), "series size mismatch");
+  ECOST_REQUIRE(!predicted.empty(), "empty series");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = predicted[i] - truth[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+double r2(std::span<const double> predicted, std::span<const double> truth) {
+  ECOST_REQUIRE(predicted.size() == truth.size(), "series size mismatch");
+  ECOST_REQUIRE(truth.size() >= 2, "need at least two points");
+  double mean = 0.0;
+  for (double t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot <= 0.0) return ss_res <= 1e-12 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace ecost::ml

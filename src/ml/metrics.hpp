@@ -1,0 +1,21 @@
+// Regression quality metrics, matching the paper's reporting (absolute
+// percentage error, Table 1).
+#pragma once
+
+#include <span>
+
+namespace ecost::ml {
+
+/// |pred - truth| / |truth| * 100; requires truth != 0.
+double ape_percent(double predicted, double truth);
+
+/// Mean APE over paired series.
+double mape_percent(std::span<const double> predicted,
+                    std::span<const double> truth);
+
+double rmse(std::span<const double> predicted, std::span<const double> truth);
+
+/// Coefficient of determination.
+double r2(std::span<const double> predicted, std::span<const double> truth);
+
+}  // namespace ecost::ml

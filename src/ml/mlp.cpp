@@ -1,0 +1,168 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecost::ml {
+namespace {
+
+constexpr double kAdamB1 = 0.9;
+constexpr double kAdamB2 = 0.999;
+constexpr double kAdamEps = 1e-8;
+
+}  // namespace
+
+Mlp::Mlp(MlpParams params) : params_(std::move(params)) {
+  ECOST_REQUIRE(params_.epochs >= 1, "epochs must be >= 1");
+  ECOST_REQUIRE(params_.batch_size >= 1, "batch size must be >= 1");
+  ECOST_REQUIRE(params_.learning_rate > 0.0, "learning rate must be > 0");
+}
+
+std::vector<double> Mlp::forward(
+    std::span<const double> x, std::vector<std::vector<double>>* acts) const {
+  std::vector<double> cur(x.begin(), x.end());
+  if (acts) acts->push_back(cur);
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& l = layers_[li];
+    std::vector<double> next(l.out, 0.0);
+    for (std::size_t o = 0; o < l.out; ++o) {
+      double acc = l.b[o];
+      const double* wrow = &l.w[o * l.in];
+      for (std::size_t i = 0; i < l.in; ++i) acc += wrow[i] * cur[i];
+      // tanh on hidden layers, identity on the output layer.
+      next[o] = li + 1 < layers_.size() ? std::tanh(acc) : acc;
+    }
+    cur = std::move(next);
+    if (acts) acts->push_back(cur);
+  }
+  return cur;
+}
+
+void Mlp::fit(const Dataset& data) {
+  data.validate();
+  ECOST_REQUIRE(data.size() > 0, "cannot fit on empty dataset");
+
+  x_scaler_.fit(data.x);
+  std::vector<double> targets(data.y.begin(), data.y.end());
+  if (params_.log_target) {
+    for (double& t : targets) {
+      ECOST_REQUIRE(t > 0.0, "log-target MLP requires positive targets");
+      t = std::log(t);
+    }
+  }
+  y_scaler_.fit(targets);
+  const Matrix xs = x_scaler_.transform(data.x);
+  std::vector<double> ys(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ys[i] = y_scaler_.transform(targets[i]);
+  }
+
+  // Build layers: d -> hidden... -> 1, Xavier-initialized.
+  Rng rng(params_.seed);
+  layers_.clear();
+  std::vector<std::size_t> sizes;
+  sizes.push_back(data.x.cols());
+  for (std::size_t h : params_.hidden) sizes.push_back(h);
+  sizes.push_back(1);
+  for (std::size_t li = 0; li + 1 < sizes.size(); ++li) {
+    Layer l;
+    l.in = sizes[li];
+    l.out = sizes[li + 1];
+    const double scale = std::sqrt(6.0 / static_cast<double>(l.in + l.out));
+    l.w.resize(l.in * l.out);
+    for (double& w : l.w) w = rng.uniform(-scale, scale);
+    l.b.assign(l.out, 0.0);
+    l.mw.assign(l.w.size(), 0.0);
+    l.vw.assign(l.w.size(), 0.0);
+    l.mb.assign(l.out, 0.0);
+    l.vb.assign(l.out, 0.0);
+    layers_.push_back(std::move(l));
+  }
+
+  const std::size_t n = data.size();
+  std::uint64_t adam_t = 0;
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    const auto perm = rng.permutation(n);
+    double epoch_sse = 0.0;
+    for (std::size_t start = 0; start < n; start += params_.batch_size) {
+      const std::size_t end = std::min(n, start + params_.batch_size);
+      // Zeroed gradient accumulators per layer.
+      std::vector<std::vector<double>> gw(layers_.size());
+      std::vector<std::vector<double>> gb(layers_.size());
+      for (std::size_t li = 0; li < layers_.size(); ++li) {
+        gw[li].assign(layers_[li].w.size(), 0.0);
+        gb[li].assign(layers_[li].out, 0.0);
+      }
+
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t r = perm[bi];
+        std::vector<std::vector<double>> acts;
+        const std::vector<double> out = forward(xs.row(r), &acts);
+        const double err = out[0] - ys[r];
+        epoch_sse += err * err;
+
+        // Backprop: delta at output is the error (linear + MSE/2).
+        std::vector<double> delta{err};
+        for (std::size_t lr = layers_.size(); lr-- > 0;) {
+          const Layer& l = layers_[lr];
+          const std::vector<double>& a_in = acts[lr];
+          for (std::size_t o = 0; o < l.out; ++o) {
+            gb[lr][o] += delta[o];
+            double* grow = &gw[lr][o * l.in];
+            for (std::size_t i = 0; i < l.in; ++i) {
+              grow[i] += delta[o] * a_in[i];
+            }
+          }
+          if (lr == 0) break;
+          // Propagate to the previous layer through tanh'.
+          std::vector<double> prev(l.in, 0.0);
+          for (std::size_t i = 0; i < l.in; ++i) {
+            double acc = 0.0;
+            for (std::size_t o = 0; o < l.out; ++o) {
+              acc += l.w[o * l.in + i] * delta[o];
+            }
+            const double a = a_in[i];  // tanh output of layer lr-1
+            prev[i] = acc * (1.0 - a * a);
+          }
+          delta = std::move(prev);
+        }
+      }
+
+      // Adam update.
+      ++adam_t;
+      const double bs = static_cast<double>(end - start);
+      const double bc1 = 1.0 - std::pow(kAdamB1, static_cast<double>(adam_t));
+      const double bc2 = 1.0 - std::pow(kAdamB2, static_cast<double>(adam_t));
+      for (std::size_t li = 0; li < layers_.size(); ++li) {
+        Layer& l = layers_[li];
+        for (std::size_t k = 0; k < l.w.size(); ++k) {
+          const double g = gw[li][k] / bs + params_.l2 * l.w[k];
+          l.mw[k] = kAdamB1 * l.mw[k] + (1.0 - kAdamB1) * g;
+          l.vw[k] = kAdamB2 * l.vw[k] + (1.0 - kAdamB2) * g * g;
+          l.w[k] -= params_.learning_rate * (l.mw[k] / bc1) /
+                    (std::sqrt(l.vw[k] / bc2) + kAdamEps);
+        }
+        for (std::size_t k = 0; k < l.out; ++k) {
+          const double g = gb[li][k] / bs;
+          l.mb[k] = kAdamB1 * l.mb[k] + (1.0 - kAdamB1) * g;
+          l.vb[k] = kAdamB2 * l.vb[k] + (1.0 - kAdamB2) * g * g;
+          l.b[k] -= params_.learning_rate * (l.mb[k] / bc1) /
+                    (std::sqrt(l.vb[k] / bc2) + kAdamEps);
+        }
+      }
+    }
+    final_mse_ = epoch_sse / static_cast<double>(n);
+  }
+}
+
+double Mlp::predict(std::span<const double> features) const {
+  ECOST_REQUIRE(!layers_.empty(), "model not fitted");
+  const std::vector<double> xs = x_scaler_.transform_row(features);
+  const std::vector<double> out = forward(xs, nullptr);
+  const double y = y_scaler_.inverse(out[0]);
+  return params_.log_target ? std::exp(y) : y;
+}
+
+}  // namespace ecost::ml

@@ -1,0 +1,58 @@
+// Multilayer perceptron regressor: tanh hidden layers, linear output,
+// Adam optimizer, internal input/target standardization. The paper's most
+// accurate and most expensive STP model (Table 1, Figure 8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/model.hpp"
+#include "ml/scaler.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::ml {
+
+struct MlpParams {
+  std::vector<std::size_t> hidden = {40, 20};
+  int epochs = 300;
+  std::size_t batch_size = 32;
+  double learning_rate = 2e-3;
+  double l2 = 1e-5;
+  /// Fit log(y) instead of y (targets must then be positive). EDP is
+  /// positive and spans orders of magnitude, which a tanh net handles far
+  /// better in log space; predictions are transformed back.
+  bool log_target = false;
+  std::uint64_t seed = 23;
+};
+
+class Mlp final : public Regressor {
+ public:
+  explicit Mlp(MlpParams params = {});
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override { return "MLP"; }
+
+  /// Mean squared error on standardized targets after training (diagnostic).
+  double final_train_mse() const { return final_mse_; }
+
+ private:
+  struct Layer {
+    std::size_t in = 0, out = 0;
+    std::vector<double> w;  // out x in
+    std::vector<double> b;  // out
+    // Adam state:
+    std::vector<double> mw, vw, mb, vb;
+  };
+
+  std::vector<double> forward(std::span<const double> x,
+                              std::vector<std::vector<double>>* acts) const;
+
+  MlpParams params_;
+  std::vector<Layer> layers_;
+  StandardScaler x_scaler_;
+  TargetScaler y_scaler_;
+  double final_mse_ = 0.0;
+};
+
+}  // namespace ecost::ml

@@ -1,0 +1,28 @@
+// Common interface for the paper's EDP regressors (section 6.3): linear
+// regression, REPTree, MLP, and the lookup-table model all train on a
+// Dataset and predict a scalar for one feature row.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "ml/dataset.hpp"
+
+namespace ecost::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Trains on the dataset (replaces any previous fit).
+  virtual void fit(const Dataset& data) = 0;
+
+  /// Predicts the target for one feature row. Requires a prior fit.
+  virtual double predict(std::span<const double> features) const = 0;
+
+  /// Human-readable model name ("LR", "REPTree", "MLP", "LkT").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace ecost::ml

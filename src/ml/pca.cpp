@@ -1,0 +1,79 @@
+#include "ml/pca.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ecost::ml {
+
+void Pca::fit(const Matrix& x) {
+  ECOST_REQUIRE(x.rows() >= 2, "PCA needs at least two rows");
+  scaler_.fit(x);
+  const Matrix z = scaler_.transform(x);
+
+  const std::size_t d = z.cols();
+  Matrix cov(d, d);
+  for (std::size_t i = 0; i < z.rows(); ++i) {
+    const auto row = z.row(i);
+    for (std::size_t a = 0; a < d; ++a) {
+      for (std::size_t b = a; b < d; ++b) {
+        cov.at(a, b) += row[a] * row[b];
+      }
+    }
+  }
+  const double denom = static_cast<double>(z.rows() - 1);
+  for (std::size_t a = 0; a < d; ++a) {
+    for (std::size_t b = a; b < d; ++b) {
+      cov.at(a, b) /= denom;
+      cov.at(b, a) = cov.at(a, b);
+    }
+  }
+
+  eigen_ = jacobi_eigen(cov);
+  double total = 0.0;
+  for (double v : eigen_.values) total += std::max(v, 0.0);
+  explained_.assign(eigen_.values.size(), 0.0);
+  if (total > 0.0) {
+    for (std::size_t i = 0; i < eigen_.values.size(); ++i) {
+      explained_[i] = std::max(eigen_.values[i], 0.0) / total;
+    }
+  }
+}
+
+double Pca::cumulative_variance(std::size_t k) const {
+  ECOST_REQUIRE(fitted(), "PCA not fitted");
+  k = std::min(k, explained_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) acc += explained_[i];
+  return acc;
+}
+
+double Pca::loading(std::size_t feature, std::size_t component) const {
+  ECOST_REQUIRE(fitted(), "PCA not fitted");
+  return eigen_.vectors.at(feature, component);
+}
+
+std::size_t Pca::dimensions() const {
+  ECOST_REQUIRE(fitted(), "PCA not fitted");
+  return explained_.size();
+}
+
+Matrix Pca::transform(const Matrix& x, std::size_t k) const {
+  ECOST_REQUIRE(fitted(), "PCA not fitted");
+  ECOST_REQUIRE(k >= 1 && k <= dimensions(), "component count out of range");
+  const Matrix z = scaler_.transform(x);
+  Matrix out(z.rows(), k);
+  for (std::size_t i = 0; i < z.rows(); ++i) {
+    const auto row = z.row(i);
+    for (std::size_t c = 0; c < k; ++c) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < z.cols(); ++j) {
+        acc += row[j] * eigen_.vectors.at(j, c);
+      }
+      out.at(i, c) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace ecost::ml

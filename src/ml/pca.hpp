@@ -1,0 +1,45 @@
+// Principal Component Analysis over standardized features (section 3.2 /
+// Figure 1): covariance eigendecomposition via Jacobi, loadings, explained
+// variance, and projection.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/linalg.hpp"
+#include "ml/matrix.hpp"
+#include "ml/scaler.hpp"
+
+namespace ecost::ml {
+
+class Pca {
+ public:
+  /// Fits on raw data; standardizes columns first (PCA is scale-sensitive,
+  /// as the paper notes).
+  void fit(const Matrix& x);
+
+  bool fitted() const { return !explained_.empty(); }
+
+  /// Fraction of total variance captured by each component (descending).
+  std::span<const double> explained_variance_ratio() const {
+    return explained_;
+  }
+
+  /// Cumulative variance of the first k components.
+  double cumulative_variance(std::size_t k) const;
+
+  /// Loading of original feature `feature` on component `component`.
+  double loading(std::size_t feature, std::size_t component) const;
+
+  /// Projects rows onto the first k components.
+  Matrix transform(const Matrix& x, std::size_t k) const;
+
+  std::size_t dimensions() const;
+
+ private:
+  StandardScaler scaler_;
+  EigenResult eigen_;
+  std::vector<double> explained_;
+};
+
+}  // namespace ecost::ml

@@ -1,0 +1,53 @@
+#include "ml/random_forest.hpp"
+
+#include "util/error.hpp"
+#include "util/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::ml {
+
+RandomForest::RandomForest(RandomForestParams params)
+    : params_(std::move(params)) {
+  ECOST_REQUIRE(params_.trees >= 1, "forest needs at least one tree");
+  ECOST_REQUIRE(params_.bootstrap_fraction > 0.0 &&
+                    params_.bootstrap_fraction <= 1.0,
+                "bootstrap fraction out of range");
+}
+
+void RandomForest::fit(const Dataset& data) {
+  data.validate();
+  ECOST_REQUIRE(data.size() > 0, "cannot fit on empty dataset");
+
+  // Per-tree bootstrap indices are drawn up front so tree training can run
+  // in parallel deterministically.
+  Rng rng(params_.seed);
+  std::vector<std::vector<std::size_t>> samples(params_.trees);
+  const std::size_t n_rows = std::max<std::size_t>(
+      1, static_cast<std::size_t>(params_.bootstrap_fraction *
+                                  static_cast<double>(data.size())));
+  for (auto& idx : samples) {
+    idx.resize(n_rows);
+    for (std::size_t& i : idx) {
+      i = static_cast<std::size_t>(rng.uniform_u64(data.size()));
+    }
+  }
+
+  trees_.clear();
+  trees_.resize(params_.trees);
+  parallel_for(params_.trees, [&](std::size_t t) {
+    RepTreeParams tp = params_.tree;
+    tp.seed = params_.seed + 1 + t;
+    auto tree = std::make_unique<RepTree>(tp);
+    tree->fit(data.subset(samples[t]));
+    trees_[t] = std::move(tree);
+  });
+}
+
+double RandomForest::predict(std::span<const double> features) const {
+  ECOST_REQUIRE(!trees_.empty(), "model not fitted");
+  double acc = 0.0;
+  for (const auto& tree : trees_) acc += tree->predict(features);
+  return acc / static_cast<double>(trees_.size());
+}
+
+}  // namespace ecost::ml

@@ -1,0 +1,39 @@
+// Bagged ensemble of REPTrees — an extension beyond the paper's model
+// zoo. The paper concludes that a single decision tree is the best
+// accuracy/complexity trade-off; the forest tests the obvious follow-up
+// (bench/ext_forest): does averaging bootstrap-resampled trees close the
+// gap to the MLP at tree-like cost?
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/model.hpp"
+#include "ml/reptree.hpp"
+
+namespace ecost::ml {
+
+struct RandomForestParams {
+  std::size_t trees = 16;
+  double bootstrap_fraction = 0.8;  ///< rows sampled (with replacement)
+  RepTreeParams tree;               ///< per-tree parameters
+  std::uint64_t seed = 97;
+};
+
+class RandomForest final : public Regressor {
+ public:
+  explicit RandomForest(RandomForestParams params = {});
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override { return "Forest"; }
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  RandomForestParams params_;
+  std::vector<std::unique_ptr<RepTree>> trees_;
+};
+
+}  // namespace ecost::ml

@@ -1,0 +1,218 @@
+#include "ml/reptree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace ecost::ml {
+namespace {
+
+struct SplitCandidate {
+  bool found = false;
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double sse_after = std::numeric_limits<double>::infinity();
+};
+
+double sse_of(double sum, double sumsq, double n) {
+  if (n <= 0.0) return 0.0;
+  return sumsq - sum * sum / n;
+}
+
+}  // namespace
+
+RepTree::RepTree(RepTreeParams params) : params_(params) {
+  ECOST_REQUIRE(params_.max_depth >= 1, "max_depth must be >= 1");
+  ECOST_REQUIRE(params_.min_leaf >= 1, "min_leaf must be >= 1");
+  ECOST_REQUIRE(params_.prune_fraction >= 0.0 && params_.prune_fraction < 1.0,
+                "prune fraction out of range");
+}
+
+void RepTree::fit(const Dataset& data) {
+  data.validate();
+  ECOST_REQUIRE(data.size() > 0, "cannot fit on empty dataset");
+  nodes_.clear();
+
+  Dataset grow = data;
+  Dataset hold;
+  if (params_.prune && params_.prune_fraction > 0.0 &&
+      data.size() >= 4 * params_.min_leaf) {
+    Rng rng(params_.seed);
+    auto [g, h] = data.split(params_.prune_fraction, rng);
+    if (g.size() >= 2 * params_.min_leaf && h.size() >= 1) {
+      grow = std::move(g);
+      hold = std::move(h);
+    }
+  }
+
+  std::vector<std::size_t> idx(grow.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  root_ = build(grow, idx, 0, idx.size(), 0);
+  if (hold.size() > 0) prune(hold);
+}
+
+std::int32_t RepTree::build(const Dataset& data, std::vector<std::size_t>& idx,
+                            std::size_t lo, std::size_t hi, int depth) {
+  const std::size_t n = hi - lo;
+  ECOST_CHECK(n > 0, "empty node");
+
+  double sum = 0.0, sumsq = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    sum += data.y[idx[i]];
+    sumsq += data.y[idx[i]] * data.y[idx[i]];
+  }
+  Node node;
+  node.value = sum / static_cast<double>(n);
+  const double parent_sse = sse_of(sum, sumsq, static_cast<double>(n));
+
+  SplitCandidate best;
+  if (depth < params_.max_depth && n >= 2 * params_.min_leaf &&
+      parent_sse > 1e-12) {
+    const std::size_t d = data.x.cols();
+    std::vector<std::pair<double, double>> vals(n);  // (feature, target)
+    for (std::size_t f = 0; f < d; ++f) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t r = idx[lo + i];
+        vals[i] = {data.x.at(r, f), data.y[r]};
+      }
+      std::sort(vals.begin(), vals.end());
+      double lsum = 0.0, lsq = 0.0;
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        lsum += vals[i].second;
+        lsq += vals[i].second * vals[i].second;
+        if (vals[i].first == vals[i + 1].first) continue;
+        const std::size_t nl = i + 1;
+        const std::size_t nr = n - nl;
+        if (nl < params_.min_leaf || nr < params_.min_leaf) continue;
+        const double sse = sse_of(lsum, lsq, static_cast<double>(nl)) +
+                           sse_of(sum - lsum, sumsq - lsq,
+                                  static_cast<double>(nr));
+        if (sse < best.sse_after) {
+          best = {true, f, 0.5 * (vals[i].first + vals[i + 1].first), sse};
+        }
+      }
+    }
+  }
+
+  if (!best.found || best.sse_after >= parent_sse - 1e-12) {
+    nodes_.push_back(node);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+
+  // Partition the index range in place around the chosen split.
+  const auto mid_it = std::partition(
+      idx.begin() + static_cast<std::ptrdiff_t>(lo),
+      idx.begin() + static_cast<std::ptrdiff_t>(hi), [&](std::size_t r) {
+        return data.x.at(r, best.feature) <= best.threshold;
+      });
+  const std::size_t mid =
+      static_cast<std::size_t>(mid_it - idx.begin());
+  ECOST_CHECK(mid > lo && mid < hi, "degenerate partition");
+
+  node.leaf = false;
+  node.feature = best.feature;
+  node.threshold = best.threshold;
+  nodes_.push_back(node);
+  const auto me = static_cast<std::int32_t>(nodes_.size() - 1);
+  const std::int32_t l = build(data, idx, lo, mid, depth + 1);
+  const std::int32_t r = build(data, idx, mid, hi, depth + 1);
+  nodes_[static_cast<std::size_t>(me)].left = l;
+  nodes_[static_cast<std::size_t>(me)].right = r;
+  return me;
+}
+
+double RepTree::predict_node(std::int32_t node,
+                             std::span<const double> features) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.leaf) return n.value;
+  const std::int32_t next =
+      features[n.feature] <= n.threshold ? n.left : n.right;
+  return predict_node(next, features);
+}
+
+double RepTree::subtree_sse(std::int32_t node, const Dataset& d,
+                            const std::vector<std::size_t>& idx,
+                            std::size_t lo, std::size_t hi) const {
+  double sse = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const double p = predict_node(node, d.x.row(idx[i]));
+    const double e = p - d.y[idx[i]];
+    sse += e * e;
+  }
+  return sse;
+}
+
+void RepTree::prune(const Dataset& hold) {
+  // Route the holdout set through the tree; prune bottom-up wherever the
+  // node mean beats the subtree on held-out SSE.
+  std::vector<std::size_t> idx(hold.size());
+  std::iota(idx.begin(), idx.end(), 0);
+
+  // Recursive lambda over (node, index range).
+  auto visit = [&](auto&& self, std::int32_t ni, std::vector<std::size_t> is)
+      -> void {
+    Node& n = nodes_[static_cast<std::size_t>(ni)];
+    if (n.leaf || is.empty()) return;
+    std::vector<std::size_t> ls, rs;
+    for (std::size_t r : is) {
+      (hold.x.at(r, n.feature) <= n.threshold ? ls : rs).push_back(r);
+    }
+    self(self, n.left, std::move(ls));
+    self(self, n.right, std::move(rs));
+
+    double sse_subtree = 0.0, sse_leaf = 0.0;
+    for (std::size_t r : is) {
+      const double ps = predict_node(ni, hold.x.row(r));
+      const double el = n.value - hold.y[r];
+      const double es = ps - hold.y[r];
+      sse_subtree += es * es;
+      sse_leaf += el * el;
+    }
+    if (sse_leaf <= sse_subtree) {
+      n.leaf = true;
+      n.left = n.right = -1;
+    }
+  };
+  visit(visit, root_, idx);
+}
+
+double RepTree::predict(std::span<const double> features) const {
+  ECOST_REQUIRE(root_ >= 0, "model not fitted");
+  return predict_node(root_, features);
+}
+
+namespace {
+
+template <typename Nodes, typename Pred>
+std::size_t count_reachable(const Nodes& nodes, std::int32_t root,
+                            Pred&& pred) {
+  if (root < 0) return 0;
+  std::size_t count = 0;
+  std::vector<std::int32_t> stack{root};
+  while (!stack.empty()) {
+    const std::int32_t ni = stack.back();
+    stack.pop_back();
+    const auto& n = nodes[static_cast<std::size_t>(ni)];
+    if (pred(n)) ++count;
+    if (!n.leaf) {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::size_t RepTree::node_count() const {
+  return count_reachable(nodes_, root_, [](const Node&) { return true; });
+}
+
+std::size_t RepTree::leaf_count() const {
+  return count_reachable(nodes_, root_, [](const Node& n) { return n.leaf; });
+}
+
+}  // namespace ecost::ml

@@ -1,0 +1,63 @@
+// REPTree: Weka's fast regression tree — variance-reduction splits grown
+// depth-first, then Reduced-Error Pruning against a held-out subset. The
+// paper's best accuracy/complexity trade-off (sections 6.3, 7.2).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "ml/model.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::ml {
+
+struct RepTreeParams {
+  int max_depth = 30;
+  std::size_t min_leaf = 8;       ///< minimum examples per leaf
+  double prune_fraction = 0.25;   ///< held out for reduced-error pruning
+  bool prune = true;
+  std::uint64_t seed = 17;        ///< shuffling for the prune split
+};
+
+class RepTree final : public Regressor {
+ public:
+  explicit RepTree(RepTreeParams params = {});
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override { return "REPTree"; }
+
+  /// Number of reachable nodes after pruning (diagnostic). Pruned subtrees
+  /// stay in the arena but are no longer part of the tree.
+  std::size_t node_count() const;
+  std::size_t leaf_count() const;
+
+  friend void save_model(std::ostream& os, const RepTree& model);
+  friend RepTree load_reptree(std::istream& is);
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    double value = 0.0;  ///< training mean at this node
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  std::int32_t build(const Dataset& data, std::vector<std::size_t>& idx,
+                     std::size_t lo, std::size_t hi, int depth);
+  void prune(const Dataset& prune_set);
+  double subtree_sse(std::int32_t node, const Dataset& d,
+                     const std::vector<std::size_t>& idx, std::size_t lo,
+                     std::size_t hi) const;
+  double predict_node(std::int32_t node,
+                      std::span<const double> features) const;
+
+  RepTreeParams params_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace ecost::ml

@@ -1,0 +1,97 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecost::ml {
+
+void StandardScaler::fit(const Matrix& x) {
+  ECOST_REQUIRE(x.rows() > 0, "cannot fit scaler on empty data");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = x.row(i);
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = x.row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double dlt = row[j] - mean_[j];
+      std_[j] += dlt * dlt;
+    }
+  }
+  for (double& s : std_) {
+    s = n > 1 ? std::sqrt(s / static_cast<double>(n - 1)) : 0.0;
+    if (s < 1e-12) s = 1.0;  // constant column
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  ECOST_REQUIRE(fitted(), "scaler not fitted");
+  ECOST_REQUIRE(x.cols() == mean_.size(), "column mismatch");
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      out.at(i, j) = (row[j] - mean_[j]) / std_[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> StandardScaler::transform_row(
+    std::span<const double> row) const {
+  ECOST_REQUIRE(fitted(), "scaler not fitted");
+  ECOST_REQUIRE(row.size() == mean_.size(), "column mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) / std_[j];
+  }
+  return out;
+}
+
+double StandardScaler::inverse_one(std::size_t col, double standardized) const {
+  ECOST_REQUIRE(fitted() && col < mean_.size(), "bad scaler column");
+  return standardized * std_[col] + mean_[col];
+}
+
+StandardScaler StandardScaler::from_params(std::vector<double> mean,
+                                           std::vector<double> stddev) {
+  ECOST_REQUIRE(mean.size() == stddev.size(), "scaler parameter mismatch");
+  for (double s : stddev) {
+    ECOST_REQUIRE(s > 0.0, "scaler stddev must be positive");
+  }
+  StandardScaler out;
+  out.mean_ = std::move(mean);
+  out.std_ = std::move(stddev);
+  return out;
+}
+
+void TargetScaler::fit(std::span<const double> y) {
+  ECOST_REQUIRE(!y.empty(), "cannot fit target scaler on empty data");
+  mean_ = 0.0;
+  for (double v : y) mean_ += v;
+  mean_ /= static_cast<double>(y.size());
+  double var = 0.0;
+  for (double v : y) var += (v - mean_) * (v - mean_);
+  std_ = y.size() > 1 ? std::sqrt(var / static_cast<double>(y.size() - 1))
+                      : 1.0;
+  if (std_ < 1e-12) std_ = 1.0;
+  fitted_ = true;
+}
+
+double TargetScaler::transform(double y) const {
+  ECOST_REQUIRE(fitted_, "target scaler not fitted");
+  return (y - mean_) / std_;
+}
+
+double TargetScaler::inverse(double z) const {
+  ECOST_REQUIRE(fitted_, "target scaler not fitted");
+  return z * std_ + mean_;
+}
+
+}  // namespace ecost::ml

@@ -1,0 +1,52 @@
+// Column-wise standardization (zero mean, unit variance). PCA and the MLP
+// need it; the paper normalizes features before PCA (section 3.2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace ecost::ml {
+
+class StandardScaler {
+ public:
+  /// Learns per-column mean/stddev. Constant columns get stddev 1 so they
+  /// map to 0 instead of dividing by zero.
+  void fit(const Matrix& x);
+
+  bool fitted() const { return !mean_.empty(); }
+
+  Matrix transform(const Matrix& x) const;
+  std::vector<double> transform_row(std::span<const double> row) const;
+
+  /// Inverse of transform_row for a single column index.
+  double inverse_one(std::size_t col, double standardized) const;
+
+  std::span<const double> mean() const { return mean_; }
+  std::span<const double> stddev() const { return std_; }
+
+  /// Reconstructs a fitted scaler from saved parameters (deserialization).
+  static StandardScaler from_params(std::vector<double> mean,
+                                    std::vector<double> stddev);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+/// Scalar standardization for regression targets.
+class TargetScaler {
+ public:
+  void fit(std::span<const double> y);
+  bool fitted() const { return fitted_; }
+  double transform(double y) const;
+  double inverse(double z) const;
+
+ private:
+  double mean_ = 0.0;
+  double std_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace ecost::ml

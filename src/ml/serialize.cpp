@@ -1,0 +1,111 @@
+#include "ml/serialize.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace ecost::ml {
+namespace {
+
+void expect_tag(std::istream& is, const std::string& want) {
+  std::string got;
+  is >> got;
+  ECOST_REQUIRE(static_cast<bool>(is) && got == want,
+                "serialized stream: expected '" + want + "', got '" + got +
+                    "'");
+}
+
+std::ostream& full_precision(std::ostream& os) {
+  return os << std::setprecision(std::numeric_limits<double>::max_digits10);
+}
+
+}  // namespace
+
+void save_scaler(std::ostream& os, const StandardScaler& scaler) {
+  full_precision(os) << "scaler v1 " << (scaler.fitted() ? 1 : 0);
+  if (scaler.fitted()) {
+    os << ' ' << scaler.mean().size();
+    for (double m : scaler.mean()) os << ' ' << m;
+    for (double s : scaler.stddev()) os << ' ' << s;
+  }
+  os << '\n';
+}
+
+StandardScaler load_scaler(std::istream& is) {
+  expect_tag(is, "scaler");
+  expect_tag(is, "v1");
+  int fitted = 0;
+  is >> fitted;
+  ECOST_REQUIRE(static_cast<bool>(is), "truncated scaler");
+  if (!fitted) return StandardScaler{};
+  std::size_t n = 0;
+  is >> n;
+  std::vector<double> mean(n), stddev(n);
+  for (double& v : mean) is >> v;
+  for (double& v : stddev) is >> v;
+  ECOST_REQUIRE(static_cast<bool>(is), "truncated scaler parameters");
+  return StandardScaler::from_params(std::move(mean), std::move(stddev));
+}
+
+void save_model(std::ostream& os, const LinearRegression& model) {
+  ECOST_REQUIRE(!model.weights().empty(), "cannot save an unfitted model");
+  full_precision(os) << "linreg v1 " << model.weights().size();
+  for (double w : model.weights()) os << ' ' << w;
+  os << '\n';
+  save_scaler(os, model.scaler());
+}
+
+LinearRegression load_linear_regression(std::istream& is) {
+  expect_tag(is, "linreg");
+  expect_tag(is, "v1");
+  std::size_t n = 0;
+  is >> n;
+  std::vector<double> weights(n);
+  for (double& w : weights) is >> w;
+  ECOST_REQUIRE(static_cast<bool>(is), "truncated weights");
+  StandardScaler scaler = load_scaler(is);
+  return LinearRegression::from_params(std::move(scaler), std::move(weights));
+}
+
+void save_model(std::ostream& os, const RepTree& model) {
+  ECOST_REQUIRE(model.root_ >= 0, "cannot save an unfitted tree");
+  full_precision(os) << "reptree v1 " << model.nodes_.size() << ' '
+                     << model.root_ << '\n';
+  for (const RepTree::Node& n : model.nodes_) {
+    os << (n.leaf ? 1 : 0) << ' ' << n.feature << ' ' << n.threshold << ' '
+       << n.value << ' ' << n.left << ' ' << n.right << '\n';
+  }
+}
+
+RepTree load_reptree(std::istream& is) {
+  expect_tag(is, "reptree");
+  expect_tag(is, "v1");
+  std::size_t count = 0;
+  std::int32_t root = -1;
+  is >> count >> root;
+  ECOST_REQUIRE(static_cast<bool>(is), "truncated tree header");
+  ECOST_REQUIRE(root >= 0 && static_cast<std::size_t>(root) < count,
+                "tree root out of range");
+  RepTree tree;
+  tree.nodes_.resize(count);
+  for (RepTree::Node& n : tree.nodes_) {
+    int leaf = 0;
+    is >> leaf >> n.feature >> n.threshold >> n.value >> n.left >> n.right;
+    n.leaf = leaf != 0;
+    ECOST_REQUIRE(static_cast<bool>(is), "truncated tree node");
+    if (!n.leaf) {
+      ECOST_REQUIRE(n.left >= 0 && n.right >= 0 &&
+                        static_cast<std::size_t>(n.left) < count &&
+                        static_cast<std::size_t>(n.right) < count,
+                    "tree child index out of range");
+    }
+  }
+  tree.root_ = root;
+  return tree;
+}
+
+}  // namespace ecost::ml

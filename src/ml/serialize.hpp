@@ -1,0 +1,29 @@
+// Text-format persistence for the deployable STP artifacts: the trained
+// regressors and the best-config database are produced by an expensive
+// offline sweep and shipped to every node — they must survive a process
+// boundary. The format is line-oriented, versioned, and locale-independent
+// (max-precision doubles round-trip exactly).
+#pragma once
+
+#include <iosfwd>
+
+#include "ml/linear_regression.hpp"
+#include "ml/reptree.hpp"
+#include "ml/scaler.hpp"
+
+namespace ecost::ml {
+
+/// Writes/reads a fitted StandardScaler. Loading an unfitted marker yields
+/// an unfitted scaler.
+void save_scaler(std::ostream& os, const StandardScaler& scaler);
+StandardScaler load_scaler(std::istream& is);
+
+/// Writes/reads a fitted LinearRegression (weights + scaler).
+void save_model(std::ostream& os, const LinearRegression& model);
+LinearRegression load_linear_regression(std::istream& is);
+
+/// Writes/reads a fitted RepTree (reachable nodes only).
+void save_model(std::ostream& os, const RepTree& model);
+RepTree load_reptree(std::istream& is);
+
+}  // namespace ecost::ml

@@ -1,0 +1,136 @@
+#include "mrexec/builtin_jobs.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace ecost::mrexec {
+namespace {
+
+class WordCountMapper final : public Mapper {
+ public:
+  void map(const std::string& record, Emitter& /*out*/) override {
+    std::string word;
+    for (char c : record) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        word += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      } else if (!word.empty()) {
+        ++counts_[word];
+        word.clear();
+      }
+    }
+    if (!word.empty()) ++counts_[word];
+  }
+
+  void finish(Emitter& out) override {
+    // Combiner: one record per distinct word per split.
+    for (const auto& [word, count] : counts_) {
+      out.emit(word, std::to_string(count));
+    }
+    counts_.clear();
+  }
+
+ private:
+  std::map<std::string, std::size_t> counts_;
+};
+
+class SumReducer final : public Reducer {
+ public:
+  void reduce(const std::string& key, const std::vector<std::string>& values,
+              Emitter& out) override {
+    std::size_t total = 0;
+    for (const std::string& v : values) {
+      total += static_cast<std::size_t>(std::stoull(v));
+    }
+    out.emit(key, std::to_string(total));
+  }
+};
+
+class GrepMapper final : public Mapper {
+ public:
+  explicit GrepMapper(std::string needle) : needle_(std::move(needle)) {}
+
+  void map(const std::string& record, Emitter& out) override {
+    if (record.find(needle_) != std::string::npos) out.emit(record, "1");
+  }
+
+ private:
+  std::string needle_;
+};
+
+class IdentityReducer final : public Reducer {
+ public:
+  void reduce(const std::string& key, const std::vector<std::string>& values,
+              Emitter& out) override {
+    for (const std::string& v : values) out.emit(key, v);
+  }
+};
+
+class SortMapper final : public Mapper {
+ public:
+  void map(const std::string& record, Emitter& out) override {
+    out.emit(record, "");
+  }
+};
+
+}  // namespace
+
+MapperFactory wordcount_mapper() {
+  return [] { return std::make_unique<WordCountMapper>(); };
+}
+
+ReducerFactory sum_reducer() {
+  return [] { return std::make_unique<SumReducer>(); };
+}
+
+MapperFactory grep_mapper(std::string needle) {
+  ECOST_REQUIRE(!needle.empty(), "grep needs a non-empty pattern");
+  return [needle] { return std::make_unique<GrepMapper>(needle); };
+}
+
+ReducerFactory identity_reducer() {
+  return [] { return std::make_unique<IdentityReducer>(); };
+}
+
+MapperFactory sort_mapper() {
+  return [] { return std::make_unique<SortMapper>(); };
+}
+
+std::vector<std::string> run_sort(const Engine& engine,
+                                  const std::vector<std::string>& records,
+                                  JobStats* stats) {
+  // Sample for range boundaries: every k-th record, as TeraSort's sampler
+  // does, so partitions are balanced for roughly uniform data.
+  JobConfig cfg = engine.config();
+  std::vector<std::string> sample;
+  const std::size_t stride = std::max<std::size_t>(1, records.size() / 1024);
+  for (std::size_t i = 0; i < records.size(); i += stride) {
+    sample.push_back(records[i]);
+  }
+  cfg.partitioner = make_range_partitioner(std::move(sample),
+                                           cfg.reduce_tasks);
+  const Engine ranged(cfg);
+  const auto kvs = ranged.run(records, sort_mapper(), identity_reducer(),
+                              stats);
+  std::vector<std::string> out;
+  out.reserve(kvs.size());
+  for (const KV& kv : kvs) out.push_back(kv.key);
+  return out;
+}
+
+std::vector<std::pair<std::string, std::size_t>> run_wordcount(
+    const Engine& engine, const std::vector<std::string>& lines,
+    JobStats* stats) {
+  const auto kvs = engine.run(lines, wordcount_mapper(), sum_reducer(), stats);
+  std::vector<std::pair<std::string, std::size_t>> out;
+  out.reserve(kvs.size());
+  for (const KV& kv : kvs) {
+    out.emplace_back(kv.key, static_cast<std::size_t>(std::stoull(kv.value)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ecost::mrexec

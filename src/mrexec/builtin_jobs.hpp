@@ -1,0 +1,37 @@
+// Real implementations of the paper's micro-kernels for the functional
+// engine: WordCount, Grep, and (Tera)Sort — the workloads whose resource
+// signatures the simulator profiles (src/workloads) model.
+#pragma once
+
+#include <string>
+
+#include "mrexec/engine.hpp"
+
+namespace ecost::mrexec {
+
+/// WordCount: tokenizes on non-alphanumerics, counts occurrences. The
+/// mapper pre-aggregates per split (a combiner) to cut shuffle volume.
+MapperFactory wordcount_mapper();
+ReducerFactory sum_reducer();
+
+/// Grep: emits every record containing `needle` (substring match), keyed by
+/// the record so output is deterministic.
+MapperFactory grep_mapper(std::string needle);
+ReducerFactory identity_reducer();
+
+/// Sort: identity map keyed by the record; combined with a range
+/// partitioner the concatenated reduce output is globally sorted.
+MapperFactory sort_mapper();
+
+/// Runs a complete sort job (sampling + range partitioning) and returns the
+/// globally sorted records.
+std::vector<std::string> run_sort(const Engine& engine,
+                                  const std::vector<std::string>& records,
+                                  JobStats* stats = nullptr);
+
+/// Runs wordcount and returns (word, count) pairs, sorted by word.
+std::vector<std::pair<std::string, std::size_t>> run_wordcount(
+    const Engine& engine, const std::vector<std::string>& lines,
+    JobStats* stats = nullptr);
+
+}  // namespace ecost::mrexec

@@ -1,0 +1,147 @@
+#include "mrexec/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/error.hpp"
+#include "util/parallel_for.hpp"
+
+namespace ecost::mrexec {
+
+std::size_t hash_partition(const std::string& key, std::size_t partitions) {
+  ECOST_REQUIRE(partitions > 0, "need at least one partition");
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h % partitions);
+}
+
+Partitioner make_range_partitioner(std::vector<std::string> sample,
+                                   std::size_t partitions) {
+  ECOST_REQUIRE(partitions > 0, "need at least one partition");
+  std::sort(sample.begin(), sample.end());
+  // Boundaries at sample quantiles: partition p covers keys < boundary[p].
+  std::vector<std::string> bounds;
+  for (std::size_t p = 1; p < partitions; ++p) {
+    if (sample.empty()) break;
+    const std::size_t idx =
+        std::min(sample.size() - 1, p * sample.size() / partitions);
+    bounds.push_back(sample[idx]);
+  }
+  return [bounds, partitions](const std::string& key,
+                              std::size_t parts) -> std::size_t {
+    ECOST_REQUIRE(parts == partitions,
+                  "range partitioner built for a different partition count");
+    const auto it = std::upper_bound(bounds.begin(), bounds.end(), key);
+    return static_cast<std::size_t>(it - bounds.begin());
+  };
+}
+
+void JobConfig::validate() const {
+  ECOST_REQUIRE(map_parallelism >= 1, "need at least one map worker");
+  ECOST_REQUIRE(reduce_tasks >= 1, "need at least one reduce task");
+  ECOST_REQUIRE(records_per_split >= 1, "splits need at least one record");
+}
+
+Engine::Engine(JobConfig cfg) : cfg_(std::move(cfg)) { cfg_.validate(); }
+
+std::vector<KV> Engine::run(const std::vector<std::string>& records,
+                            const MapperFactory& mapper,
+                            const ReducerFactory& reducer,
+                            JobStats* stats) const {
+  ECOST_REQUIRE(static_cast<bool>(mapper), "null mapper factory");
+  ECOST_REQUIRE(static_cast<bool>(reducer), "null reducer factory");
+  const Partitioner partition =
+      cfg_.partitioner ? cfg_.partitioner : hash_partition;
+
+  // --- map phase -----------------------------------------------------------
+  const std::size_t n_splits =
+      records.empty()
+          ? 0
+          : (records.size() + cfg_.records_per_split - 1) /
+                cfg_.records_per_split;
+  std::vector<std::vector<KV>> map_out(n_splits);
+  parallel_for(
+      n_splits,
+      [&](std::size_t s) {
+        const std::size_t lo = s * cfg_.records_per_split;
+        const std::size_t hi =
+            std::min(records.size(), lo + cfg_.records_per_split);
+        const std::unique_ptr<Mapper> m = mapper();
+        ECOST_CHECK(m != nullptr, "mapper factory returned null");
+        Emitter em;
+        for (std::size_t r = lo; r < hi; ++r) m->map(records[r], em);
+        m->finish(em);
+        map_out[s] = std::move(em.take());
+      },
+      static_cast<unsigned>(cfg_.map_parallelism));
+
+  // --- shuffle: partition + stable sort by key ------------------------------
+  std::vector<std::vector<KV>> buckets(cfg_.reduce_tasks);
+  std::size_t map_output_records = 0;
+  std::size_t shuffle_bytes = 0;
+  // Splits are drained in order so equal keys keep a deterministic value
+  // order regardless of map parallelism.
+  for (std::vector<KV>& part : map_out) {
+    map_output_records += part.size();
+    for (KV& kv : part) {
+      shuffle_bytes += kv.key.size() + kv.value.size();
+      buckets[partition(kv.key, cfg_.reduce_tasks)].push_back(std::move(kv));
+    }
+    part.clear();
+  }
+
+  // --- reduce phase ----------------------------------------------------------
+  std::vector<std::vector<KV>> reduce_out(cfg_.reduce_tasks);
+  std::atomic<std::size_t> reduce_groups{0};
+  parallel_for(
+      cfg_.reduce_tasks,
+      [&](std::size_t p) {
+        std::vector<KV>& bucket = buckets[p];
+        std::stable_sort(bucket.begin(), bucket.end(),
+                         [](const KV& a, const KV& b) { return a.key < b.key; });
+        const std::unique_ptr<Reducer> red = reducer();
+        ECOST_CHECK(red != nullptr, "reducer factory returned null");
+        Emitter em;
+        std::size_t i = 0;
+        std::size_t groups = 0;
+        while (i < bucket.size()) {
+          std::size_t j = i;
+          std::vector<std::string> values;
+          while (j < bucket.size() && bucket[j].key == bucket[i].key) {
+            values.push_back(std::move(bucket[j].value));
+            ++j;
+          }
+          red->reduce(bucket[i].key, values, em);
+          ++groups;
+          i = j;
+        }
+        reduce_groups.fetch_add(groups, std::memory_order_relaxed);
+        reduce_out[p] = std::move(em.take());
+      },
+      static_cast<unsigned>(cfg_.map_parallelism));
+
+  // --- collect ---------------------------------------------------------------
+  std::vector<KV> out;
+  std::size_t total = 0;
+  for (const auto& part : reduce_out) total += part.size();
+  out.reserve(total);
+  for (auto& part : reduce_out) {
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+
+  if (stats) {
+    stats->map_tasks = n_splits;
+    stats->input_records = records.size();
+    stats->map_output_records = map_output_records;
+    stats->shuffle_bytes = shuffle_bytes;
+    stats->reduce_groups = reduce_groups.load();
+    stats->output_records = out.size();
+  }
+  return out;
+}
+
+}  // namespace ecost::mrexec

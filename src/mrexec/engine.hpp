@@ -1,0 +1,109 @@
+// A small functional MapReduce engine.
+//
+// The performance study runs on the simulator (src/mapreduce), but a
+// MapReduce library without MapReduce would be a strange thing to adopt:
+// this engine actually executes map -> shuffle (partition + sort) -> reduce
+// over in-memory records on a thread pool, deterministically. The built-in
+// jobs (mrexec/builtin_jobs.hpp) are the real counterparts of the paper's
+// micro-kernels.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ecost::mrexec {
+
+struct KV {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const KV&, const KV&) = default;
+};
+
+/// Collects a map/reduce task's output.
+class Emitter {
+ public:
+  void emit(std::string key, std::string value) {
+    out_.push_back({std::move(key), std::move(value)});
+  }
+  std::vector<KV>& take() { return out_; }
+
+ private:
+  std::vector<KV> out_;
+};
+
+/// One map task's logic. A fresh instance is created per task (factories
+/// below), so implementations may keep per-task state (e.g. a combiner).
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual void map(const std::string& record, Emitter& out) = 0;
+  /// Called once when the task's split is exhausted (combiner flush).
+  virtual void finish(Emitter& out) { (void)out; }
+};
+
+/// One reduce group's logic.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void reduce(const std::string& key,
+                      const std::vector<std::string>& values,
+                      Emitter& out) = 0;
+};
+
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+
+/// Assigns keys to reduce partitions. Must be deterministic.
+using Partitioner = std::function<std::size_t(const std::string& key,
+                                              std::size_t partitions)>;
+
+/// Default FNV-1a hash partitioner.
+std::size_t hash_partition(const std::string& key, std::size_t partitions);
+
+/// Range partitioner built from sampled keys: partition boundaries are
+/// quantiles of the sample, so reduce output concatenated by partition
+/// index is globally key-sorted (how TeraSort achieves a total order).
+Partitioner make_range_partitioner(std::vector<std::string> sample,
+                                   std::size_t partitions);
+
+struct JobConfig {
+  std::size_t map_parallelism = 4;   ///< concurrent map tasks
+  std::size_t reduce_tasks = 4;      ///< shuffle partitions
+  std::size_t records_per_split = 4096;
+  Partitioner partitioner;           ///< default: hash_partition
+
+  void validate() const;
+};
+
+struct JobStats {
+  std::size_t map_tasks = 0;
+  std::size_t input_records = 0;
+  std::size_t map_output_records = 0;
+  std::size_t shuffle_bytes = 0;
+  std::size_t reduce_groups = 0;
+  std::size_t output_records = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(JobConfig cfg = {});
+
+  /// Runs a full job over in-memory records. Output is ordered by
+  /// (partition, key, emission order) and is identical for any
+  /// `map_parallelism` — determinism is an invariant, not an accident.
+  std::vector<KV> run(const std::vector<std::string>& records,
+                      const MapperFactory& mapper,
+                      const ReducerFactory& reducer,
+                      JobStats* stats = nullptr) const;
+
+  const JobConfig& config() const { return cfg_; }
+
+ private:
+  JobConfig cfg_;
+};
+
+}  // namespace ecost::mrexec

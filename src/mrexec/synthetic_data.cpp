@@ -1,0 +1,64 @@
+#include "mrexec/synthetic_data.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::mrexec {
+
+std::vector<std::string> generate_text(const TextOptions& opts) {
+  ECOST_REQUIRE(opts.vocabulary >= 1, "vocabulary must be non-empty");
+  ECOST_REQUIRE(opts.zipf_s >= 0.0, "zipf exponent must be >= 0");
+  Rng rng(opts.seed);
+
+  // Cumulative Zipf distribution over the vocabulary.
+  std::vector<double> cdf(opts.vocabulary);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < opts.vocabulary; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), opts.zipf_s);
+    cdf[r] = acc;
+  }
+  for (double& v : cdf) v /= acc;
+
+  auto draw_word = [&]() -> std::string {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const std::size_t rank = static_cast<std::size_t>(it - cdf.begin());
+    return "w" + std::to_string(rank);
+  };
+
+  std::vector<std::string> lines;
+  lines.reserve(opts.lines);
+  for (std::size_t l = 0; l < opts.lines; ++l) {
+    std::string line;
+    for (std::size_t w = 0; w < opts.words_per_line; ++w) {
+      if (w) line += ' ';
+      line += draw_word();
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+std::vector<std::string> generate_records(std::size_t count,
+                                          std::size_t width,
+                                          std::uint64_t seed) {
+  ECOST_REQUIRE(width >= 1, "records need at least one character");
+  static constexpr char kAlphabet[] =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string rec(width, '0');
+    for (char& c : rec) {
+      c = kAlphabet[rng.uniform_u64(sizeof(kAlphabet) - 1)];
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace ecost::mrexec

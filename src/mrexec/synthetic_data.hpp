@@ -1,0 +1,28 @@
+// Seeded synthetic inputs for the functional engine: Zipf-ish text for
+// WordCount/Grep and fixed-width random records for Sort (TeraGen-like).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecost::mrexec {
+
+struct TextOptions {
+  std::size_t lines = 1000;
+  std::size_t words_per_line = 12;
+  std::size_t vocabulary = 500;   ///< distinct words
+  double zipf_s = 1.1;            ///< skew; 0 = uniform
+  std::uint64_t seed = 1;
+};
+
+/// Lines of lowercase words drawn from a Zipf-distributed vocabulary
+/// ("w0".."wN" style tokens). Deterministic in the seed.
+std::vector<std::string> generate_text(const TextOptions& opts);
+
+/// TeraGen-like records: `count` strings of `width` random alphanumerics.
+std::vector<std::string> generate_records(std::size_t count,
+                                          std::size_t width,
+                                          std::uint64_t seed);
+
+}  // namespace ecost::mrexec

@@ -1,0 +1,48 @@
+#include "perfmon/dstat.hpp"
+
+#include <algorithm>
+
+namespace ecost::perfmon {
+
+std::vector<DstatRecord> dstat_records(
+    std::span<const mapreduce::TraceSample> trace) {
+  std::vector<DstatRecord> out;
+  out.reserve(trace.size());
+  for (const auto& s : trace) {
+    DstatRecord r;
+    r.t_s = s.t_s;
+    r.cpu_user = s.cpu_user;
+    r.cpu_iowait = s.cpu_iowait;
+    r.cpu_system = std::min(1.0, 0.04 + 0.15 * s.cpu_iowait);
+    r.cpu_idle =
+        std::max(0.0, 1.0 - r.cpu_user - r.cpu_system - r.cpu_iowait);
+    r.io_read_mibps = s.io_read_mibps;
+    r.io_write_mibps = s.io_write_mibps;
+    r.mem_used_mib = s.footprint_mib;
+    r.mem_cache_mib = s.memcache_mib;
+    out.push_back(r);
+  }
+  return out;
+}
+
+DstatSummary summarize(std::span<const DstatRecord> records) {
+  DstatSummary s;
+  if (records.empty()) return s;
+  for (const auto& r : records) {
+    s.avg_cpu_user += r.cpu_user;
+    s.avg_cpu_iowait += r.cpu_iowait;
+    s.avg_io_read_mibps += r.io_read_mibps;
+    s.avg_io_write_mibps += r.io_write_mibps;
+    s.peak_mem_used_mib = std::max(s.peak_mem_used_mib, r.mem_used_mib);
+    s.avg_mem_cache_mib += r.mem_cache_mib;
+  }
+  const double n = static_cast<double>(records.size());
+  s.avg_cpu_user /= n;
+  s.avg_cpu_iowait /= n;
+  s.avg_io_read_mibps /= n;
+  s.avg_io_write_mibps /= n;
+  s.avg_mem_cache_mib /= n;
+  return s;
+}
+
+}  // namespace ecost::perfmon

@@ -1,0 +1,40 @@
+// dstat-style system monitor (section 2.5): per-second CPU / I/O / memory
+// records derived from a DES trace, and summary statistics over a run.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mapreduce/node_runner.hpp"
+
+namespace ecost::perfmon {
+
+struct DstatRecord {
+  double t_s = 0.0;
+  double cpu_user = 0.0;     ///< [0,1]
+  double cpu_system = 0.0;   ///< [0,1]
+  double cpu_iowait = 0.0;   ///< [0,1]
+  double cpu_idle = 0.0;     ///< [0,1]
+  double io_read_mibps = 0.0;
+  double io_write_mibps = 0.0;
+  double mem_used_mib = 0.0;
+  double mem_cache_mib = 0.0;
+};
+
+struct DstatSummary {
+  double avg_cpu_user = 0.0;
+  double avg_cpu_iowait = 0.0;
+  double avg_io_read_mibps = 0.0;
+  double avg_io_write_mibps = 0.0;
+  double peak_mem_used_mib = 0.0;  ///< the paper's "memory footprint"
+  double avg_mem_cache_mib = 0.0;
+};
+
+/// Converts a DES trace to per-second dstat records.
+std::vector<DstatRecord> dstat_records(
+    std::span<const mapreduce::TraceSample> trace);
+
+/// Summary over the records.
+DstatSummary summarize(std::span<const DstatRecord> records);
+
+}  // namespace ecost::perfmon

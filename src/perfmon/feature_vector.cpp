@@ -1,0 +1,63 @@
+#include "perfmon/feature_vector.hpp"
+
+#include <algorithm>
+
+#include "sim/contention.hpp"
+#include "util/error.hpp"
+
+namespace ecost::perfmon {
+namespace {
+
+constexpr std::array<std::string_view, kNumFeatures> kNames = {
+    "CPUuser",     "CPUsystem",   "CPUiowait",   "IORead",
+    "IOWrite",     "MemFootprint", "MemCache",   "IPC",
+    "LLC_MPKI",    "ICache_MPKI", "Branch_MPKI", "MemBW",
+    "DiskUtil",    "ActiveCores",
+};
+
+constexpr std::array<Feature, 7> kSelected = {
+    Feature::CpuUser,        Feature::CpuIowait, Feature::IoReadMibps,
+    Feature::IoWriteMibps,   Feature::Ipc,       Feature::MemFootprintMib,
+    Feature::LlcMpki,
+};
+
+}  // namespace
+
+std::span<const std::string_view> feature_names() { return kNames; }
+
+std::string_view feature_name(Feature f) {
+  const auto i = static_cast<std::size_t>(f);
+  ECOST_REQUIRE(i < kNumFeatures, "feature index out of range");
+  return kNames[i];
+}
+
+std::span<const Feature> selected_features() { return kSelected; }
+
+FeatureVector features_from_telemetry(const mapreduce::AppTelemetry& t,
+                                      const sim::NodeSpec& spec) {
+  FeatureVector fv{};
+  auto set = [&](Feature f, double v) {
+    fv[static_cast<std::size_t>(f)] = v;
+  };
+  set(Feature::CpuUser, t.cpu_user_frac);
+  // Kernel time tracks I/O submission and page-cache churn.
+  set(Feature::CpuSystem,
+      std::min(1.0, 0.04 + 0.15 * t.cpu_iowait_frac +
+                        0.02 * t.cpu_user_frac));
+  set(Feature::CpuIowait, t.cpu_iowait_frac);
+  set(Feature::IoReadMibps, t.io_read_mibps);
+  set(Feature::IoWriteMibps, t.io_write_mibps);
+  set(Feature::MemFootprintMib, t.footprint_mib);
+  set(Feature::MemCacheMib, t.memcache_mib);
+  set(Feature::Ipc, t.ipc);
+  set(Feature::LlcMpki, t.llc_mpki);
+  set(Feature::IcacheMpki, t.icache_mpki);
+  set(Feature::BranchMpki, t.branch_mpki);
+  set(Feature::MemBwGibps, t.mem_gibps);
+  set(Feature::DiskUtil,
+      std::min(1.0, (t.io_read_mibps + t.io_write_mibps) / spec.disk_bw_mibps));
+  set(Feature::ActiveCores, t.avg_active_cores);
+  return fv;
+}
+
+}  // namespace ecost::perfmon

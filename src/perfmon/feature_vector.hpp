@@ -1,0 +1,54 @@
+// The 14 raw feature metrics of section 3: dstat-style resource utilization
+// plus perf-style micro-architectural counters, gathered per application.
+// PCA + hierarchical clustering (bench/fig1_pca) reduce these to the 7 the
+// paper keeps: CPUuser, CPUiowait, I/O Read, I/O Write, IPC, Memory
+// Footprint, LLC MPKI.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "mapreduce/run_result.hpp"
+#include "sim/node_spec.hpp"
+
+namespace ecost::perfmon {
+
+enum class Feature : std::size_t {
+  CpuUser = 0,
+  CpuSystem,
+  CpuIowait,
+  IoReadMibps,
+  IoWriteMibps,
+  MemFootprintMib,
+  MemCacheMib,
+  Ipc,
+  LlcMpki,
+  IcacheMpki,
+  BranchMpki,
+  MemBwGibps,
+  DiskUtil,
+  ActiveCores,
+};
+
+inline constexpr std::size_t kNumFeatures = 14;
+
+/// Canonical display names, indexable by Feature.
+std::span<const std::string_view> feature_names();
+
+/// Name of one feature.
+std::string_view feature_name(Feature f);
+
+/// A complete measurement of one application during one run.
+using FeatureVector = std::array<double, kNumFeatures>;
+
+/// Derives the ground-truth feature vector from an application's telemetry
+/// (what ideal, noiseless instrumentation would report).
+FeatureVector features_from_telemetry(const mapreduce::AppTelemetry& t,
+                                      const sim::NodeSpec& spec);
+
+/// Indices of the paper's 7 selected features (section 3.2).
+std::span<const Feature> selected_features();
+
+}  // namespace ecost::perfmon

@@ -1,0 +1,66 @@
+#include "perfmon/perf_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecost::perfmon {
+namespace {
+
+// Features backed by the PMU (multiplexed); everything else comes from
+// dstat/procfs with light sampling noise.
+constexpr Feature kPmuFeatures[] = {
+    Feature::Ipc,         Feature::LlcMpki,  Feature::IcacheMpki,
+    Feature::BranchMpki,  Feature::MemBwGibps,
+};
+
+constexpr double kDstatNoise = 0.01;   // 1% relative
+constexpr double kPmuBaseNoise = 0.02; // 2% relative with a dedicated slot
+
+bool is_pmu(Feature f) {
+  return std::find(std::begin(kPmuFeatures), std::end(kPmuFeatures), f) !=
+         std::end(kPmuFeatures);
+}
+
+}  // namespace
+
+PerfSampler::PerfSampler(std::uint64_t seed, int hw_counters)
+    : rng_(seed), hw_counters_(hw_counters) {
+  ECOST_REQUIRE(hw_counters >= 1, "need at least one hardware counter");
+}
+
+int PerfSampler::pmu_event_count() {
+  return static_cast<int>(std::size(kPmuFeatures));
+}
+
+FeatureVector PerfSampler::sample_run(const FeatureVector& truth) {
+  // Each PMU event observes only counters/slots of the run; multiplexing
+  // scales the observed window back up, amplifying sampling error.
+  const double events_per_slot =
+      std::max(1.0, static_cast<double>(pmu_event_count()) /
+                        static_cast<double>(hw_counters_));
+  FeatureVector out{};
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    const auto f = static_cast<Feature>(i);
+    const double rel =
+        is_pmu(f) ? kPmuBaseNoise * std::sqrt(events_per_slot) : kDstatNoise;
+    const double noisy = truth[i] * (1.0 + rng_.normal(0.0, rel));
+    out[i] = std::max(0.0, noisy);
+  }
+  return out;
+}
+
+FeatureVector PerfSampler::sample_averaged(const FeatureVector& truth,
+                                           int runs) {
+  ECOST_REQUIRE(runs >= 1, "need at least one run");
+  FeatureVector acc{};
+  for (int r = 0; r < runs; ++r) {
+    const FeatureVector one = sample_run(truth);
+    for (std::size_t i = 0; i < kNumFeatures; ++i) acc[i] += one[i];
+  }
+  for (double& v : acc) v /= static_cast<double>(runs);
+  return acc;
+}
+
+}  // namespace ecost::perfmon

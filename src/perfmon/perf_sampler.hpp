@@ -1,0 +1,44 @@
+// Perf-style PMU sampling with multiplexing.
+//
+// The Atom's PMU exposes few programmable counters, so perf time-multiplexes
+// events and scales the counts; estimates get noisier the more events share
+// a slot (section 2.5: "to obtain accurate values for several hardware
+// events, we run each workload multiple times"). This sampler reproduces
+// that error model so the feature-reduction story (PCA picking a minimal
+// set collectible in one run) is faithful.
+#pragma once
+
+#include <cstdint>
+
+#include "perfmon/feature_vector.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::perfmon {
+
+class PerfSampler {
+ public:
+  /// `hw_counters` — simultaneously programmable counters (Atom: 4 total,
+  /// 2 general + 2 fixed-ish; default 4).
+  explicit PerfSampler(std::uint64_t seed, int hw_counters = 4);
+
+  /// Measures the micro-architectural features of `truth` in one run.
+  /// dstat-style resource features are cheap (no PMU) and get only light
+  /// sampling noise; the PMU-backed features are multiplexed across the run
+  /// and their relative error grows with events-per-slot.
+  FeatureVector sample_run(const FeatureVector& truth);
+
+  /// Averages `runs` independent runs, as the paper does to de-noise
+  /// multiplexed counters.
+  FeatureVector sample_averaged(const FeatureVector& truth, int runs);
+
+  int hw_counters() const { return hw_counters_; }
+
+  /// Number of PMU-backed events in the feature set.
+  static int pmu_event_count();
+
+ private:
+  Rng rng_;
+  int hw_counters_;
+};
+
+}  // namespace ecost::perfmon

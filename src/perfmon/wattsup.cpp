@@ -1,0 +1,40 @@
+#include "perfmon/wattsup.hpp"
+
+#include <cmath>
+
+namespace ecost::perfmon {
+namespace {
+
+constexpr double kResolutionW = 0.1;  // Wattsup PRO display resolution
+constexpr double kNoiseW = 0.15;      // measurement noise (stddev)
+
+}  // namespace
+
+WattsUp::WattsUp(std::uint64_t seed) : rng_(seed) {}
+
+std::vector<PowerReading> WattsUp::record(
+    std::span<const mapreduce::TraceSample> trace) {
+  std::vector<PowerReading> out;
+  out.reserve(trace.size());
+  for (const auto& s : trace) {
+    const double noisy = s.power_w + rng_.normal(0.0, kNoiseW);
+    const double quantized =
+        std::round(noisy / kResolutionW) * kResolutionW;
+    out.push_back({s.t_s, std::max(0.0, quantized)});
+  }
+  return out;
+}
+
+double WattsUp::average_w(std::span<const PowerReading> readings) {
+  if (readings.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : readings) sum += r.watts;
+  return sum / static_cast<double>(readings.size());
+}
+
+double WattsUp::dynamic_w(std::span<const PowerReading> readings,
+                          double idle_w) {
+  return average_w(readings) - idle_w;
+}
+
+}  // namespace ecost::perfmon

@@ -1,0 +1,40 @@
+// Wattsup PRO power-meter emulation (section 2.5): whole-node wall power at
+// one-second granularity with the meter's quantization, plus the paper's
+// idle-subtraction methodology.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mapreduce/node_runner.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::perfmon {
+
+struct PowerReading {
+  double t_s = 0.0;
+  double watts = 0.0;  ///< wall power, 0.1 W resolution
+};
+
+class WattsUp {
+ public:
+  explicit WattsUp(std::uint64_t seed);
+
+  /// Converts a DES trace into meter readings (0.1 W quantization plus a
+  /// small measurement noise).
+  std::vector<PowerReading> record(std::span<const mapreduce::TraceSample> trace);
+
+  /// Average of the readings.
+  static double average_w(std::span<const PowerReading> readings);
+
+  /// The paper's estimate of dynamic dissipation: average power minus the
+  /// measured idle floor.
+  static double dynamic_w(std::span<const PowerReading> readings,
+                          double idle_w);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace ecost::perfmon

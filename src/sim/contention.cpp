@@ -1,0 +1,124 @@
+#include "sim/contention.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecost::sim {
+
+double llc_mpki_multiplier(double own_mib, double others_mib,
+                           const NodeSpec& spec) {
+  ECOST_REQUIRE(own_mib >= 0.0 && others_mib >= 0.0,
+                "working sets must be non-negative");
+  const double total = own_mib + others_mib;
+  if (total <= spec.llc_mib) return 1.0;
+  // Overcommit ratio drives extra misses; an app only suffers to the extent
+  // the *shared* cache is overcommitted, regardless of who overcommits it.
+  const double overcommit = total / spec.llc_mib - 1.0;
+  const double mult = 1.0 + spec.llc_sensitivity * overcommit;
+  return std::min(mult, spec.llc_pressure_cap);
+}
+
+double mem_latency_multiplier(double demand_gibps, const NodeSpec& spec) {
+  ECOST_REQUIRE(demand_gibps >= 0.0, "memory demand must be non-negative");
+  const double rho = demand_gibps / spec.mem_bw_gibps;
+  return 1.0 + spec.mem_queue_gain * std::pow(rho, spec.mem_queue_exponent);
+}
+
+double disk_effective_bw_mibps(int streams, const NodeSpec& spec) {
+  ECOST_REQUIRE(streams >= 0, "stream count must be non-negative");
+  if (streams == 0) return spec.disk_bw_mibps;
+  return spec.disk_bw_mibps /
+         (1.0 + spec.disk_seek_degradation * static_cast<double>(streams - 1));
+}
+
+std::vector<double> disk_allocate(std::span<const double> demands_mibps,
+                                  const NodeSpec& spec) {
+  std::vector<double> granted(demands_mibps.size(), 0.0);
+  int active = 0;
+  for (double d : demands_mibps) {
+    ECOST_REQUIRE(d >= 0.0, "disk demand must be non-negative");
+    if (d > 0.0) ++active;
+  }
+  if (active == 0) return granted;
+
+  double capacity = disk_effective_bw_mibps(active, spec);
+  // Demands above the per-stream ceiling are indistinguishable from demands
+  // at the ceiling, so clamp before water-filling.
+  std::vector<double> want(demands_mibps.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    want[i] = std::min(demands_mibps[i], spec.disk_stream_cap_mibps);
+  }
+
+  // Water-filling: repeatedly satisfy every stream whose remaining demand is
+  // below the fair share and redistribute the slack.
+  std::vector<bool> done(want.size(), false);
+  int remaining = active;
+  while (remaining > 0 && capacity > 1e-12) {
+    const double share = capacity / static_cast<double>(remaining);
+    bool satisfied_any = false;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      if (done[i] || want[i] <= 0.0) continue;
+      if (want[i] <= share + 1e-12) {
+        granted[i] = want[i];
+        capacity -= want[i];
+        done[i] = true;
+        --remaining;
+        satisfied_any = true;
+      }
+    }
+    if (!satisfied_any) {
+      // Everyone wants at least the fair share: split evenly and stop.
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        if (!done[i] && want[i] > 0.0) granted[i] = share;
+      }
+      capacity = 0.0;
+      break;
+    }
+  }
+  return granted;
+}
+
+std::vector<double> waterfill(std::span<const double> demands,
+                              double capacity) {
+  ECOST_REQUIRE(capacity >= 0.0, "capacity must be non-negative");
+  std::vector<double> granted(demands.size(), 0.0);
+  std::vector<bool> done(demands.size(), false);
+  int remaining = 0;
+  for (double d : demands) {
+    ECOST_REQUIRE(d >= 0.0, "demand must be non-negative");
+    if (d > 0.0) ++remaining;
+  }
+  while (remaining > 0 && capacity > 1e-12) {
+    const double share = capacity / static_cast<double>(remaining);
+    bool satisfied_any = false;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      if (done[i] || demands[i] <= 0.0) continue;
+      if (demands[i] <= share + 1e-12) {
+        granted[i] = demands[i];
+        capacity -= demands[i];
+        done[i] = true;
+        --remaining;
+        satisfied_any = true;
+      }
+    }
+    if (!satisfied_any) {
+      for (std::size_t i = 0; i < demands.size(); ++i) {
+        if (!done[i] && demands[i] > 0.0) granted[i] = share;
+      }
+      break;
+    }
+  }
+  return granted;
+}
+
+double split_io_efficiency(double split_bytes, const NodeSpec& spec) {
+  ECOST_REQUIRE(split_bytes >= 0.0, "split size must be non-negative");
+  const double b = split_bytes / kMiB;
+  if (b <= 0.0) return 1.0;
+  return b / (b + spec.disk_block_overhead_mib);
+}
+
+}  // namespace ecost::sim

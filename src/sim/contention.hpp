@@ -1,0 +1,53 @@
+// Shared-resource contention models: last-level cache, memory bandwidth,
+// and disk. These three mechanisms are what make co-location interesting —
+// they are shared by the closed-form wave evaluator and the discrete-event
+// runner so both see the same physics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/node_spec.hpp"
+
+namespace ecost::sim {
+
+/// Multiplier (>= 1) applied to an application's baseline LLC MPKI when the
+/// combined working set of everything running on the node overcommits the
+/// shared cache. Smooth and monotone in total demand; capped by the spec.
+///
+/// `own_mib`    — resident working set of the task group being evaluated.
+/// `others_mib` — combined working set of all co-running task groups.
+double llc_mpki_multiplier(double own_mib, double others_mib,
+                           const NodeSpec& spec);
+
+/// Multiplier (>= 1) applied to the unloaded memory latency given the total
+/// DRAM traffic demand on the node. 1 + gain * rho^exponent with
+/// rho = demand / bandwidth; deliberately defined for rho > 1 as well so the
+/// task-time fixed point self-limits instead of needing a hard clamp.
+double mem_latency_multiplier(double demand_gibps, const NodeSpec& spec);
+
+/// Effective aggregate disk bandwidth when `streams` concurrent sequential
+/// streams are active (seek/mixing degradation).
+double disk_effective_bw_mibps(int streams, const NodeSpec& spec);
+
+/// Max-min fair ("water-filling") allocation of disk bandwidth.
+///
+/// Each entry of `demands_mibps` is the rate one stream would consume if the
+/// disk were infinitely fast; every stream is additionally capped at the
+/// per-stream ceiling (a single Hadoop task cannot saturate the spindle —
+/// the mechanism behind the paper's I-I co-location win). Returns the granted
+/// rate per stream, preserving order. Zero-demand entries get zero.
+std::vector<double> disk_allocate(std::span<const double> demands_mibps,
+                                  const NodeSpec& spec);
+
+/// Max-min fair division of `capacity` among entries wanting `demands`
+/// (no per-entry cap beyond the demand itself). Used to split the disk
+/// between *jobs*, whose demands are already clamped by the per-job cap.
+std::vector<double> waterfill(std::span<const double> demands,
+                              double capacity);
+
+/// Per-split sequential-I/O efficiency in (0, 1]: small HDFS blocks pay a
+/// relatively larger positioning/readahead cost.
+double split_io_efficiency(double split_bytes, const NodeSpec& spec);
+
+}  // namespace ecost::sim

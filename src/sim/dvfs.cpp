@@ -1,0 +1,50 @@
+#include "sim/dvfs.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecost::sim {
+namespace {
+
+struct DvfsPoint {
+  double ghz;
+  double volts;
+};
+
+// Voltage points follow the near-linear V/f relation of Silvermont-class
+// Atom parts; absolute values are calibration constants, not measurements.
+constexpr std::array<DvfsPoint, 4> kTable = {{
+    {1.2, 0.85},
+    {1.6, 0.95},
+    {2.0, 1.05},
+    {2.4, 1.15},
+}};
+
+}  // namespace
+
+double ghz(FreqLevel level) { return kTable[static_cast<std::size_t>(level)].ghz; }
+
+double volts(FreqLevel level) {
+  return kTable[static_cast<std::size_t>(level)].volts;
+}
+
+FreqLevel freq_from_ghz(double f) {
+  for (FreqLevel level : kAllFreqLevels) {
+    if (std::abs(ghz(level) - f) < 1e-9) return level;
+  }
+  ECOST_REQUIRE(false, "no DVFS level at " + std::to_string(f) + " GHz");
+  return FreqLevel::F1_2;  // unreachable
+}
+
+std::string to_string(FreqLevel level) {
+  switch (level) {
+    case FreqLevel::F1_2: return "1.2";
+    case FreqLevel::F1_6: return "1.6";
+    case FreqLevel::F2_0: return "2.0";
+    case FreqLevel::F2_4: return "2.4";
+  }
+  return "?";
+}
+
+}  // namespace ecost::sim

@@ -1,0 +1,32 @@
+// DVFS operating points of the simulated microserver.
+//
+// The paper's Atom C2758 nodes expose four frequency settings
+// (1.2 / 1.6 / 2.0 / 2.4 GHz); voltage scales with frequency, which is what
+// makes low-frequency operation energy-attractive for stall-bound workloads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ecost::sim {
+
+/// The four DVFS levels studied in the paper (section 2.4).
+enum class FreqLevel : std::uint8_t { F1_2 = 0, F1_6 = 1, F2_0 = 2, F2_4 = 3 };
+
+inline constexpr std::array<FreqLevel, 4> kAllFreqLevels = {
+    FreqLevel::F1_2, FreqLevel::F1_6, FreqLevel::F2_0, FreqLevel::F2_4};
+
+/// Core clock in GHz for a DVFS level.
+double ghz(FreqLevel level);
+
+/// Supply voltage in volts for a DVFS level (linear-ish V/f curve).
+double volts(FreqLevel level);
+
+/// Inverse lookup; throws InvariantError when `f` is not an operating point.
+FreqLevel freq_from_ghz(double f);
+
+/// "1.2", "1.6", "2.0", "2.4" — matches the paper's table notation.
+std::string to_string(FreqLevel level);
+
+}  // namespace ecost::sim

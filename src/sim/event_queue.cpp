@@ -1,0 +1,36 @@
+#include "sim/event_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace ecost::sim {
+
+void EventQueue::schedule_at(double t, Callback cb) {
+  ECOST_REQUIRE(t >= now_ - 1e-12, "cannot schedule in the past");
+  ECOST_REQUIRE(static_cast<bool>(cb), "null event callback");
+  heap_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_in(double dt, Callback cb) {
+  ECOST_REQUIRE(dt >= 0.0, "negative delay");
+  schedule_at(now_ + dt, std::move(cb));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent, so
+  // copy the callback (cheap relative to model work per event).
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ev.cb();
+  return true;
+}
+
+void EventQueue::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (step()) {
+    ECOST_CHECK(++n <= max_events, "event budget exhausted (runaway model?)");
+  }
+}
+
+}  // namespace ecost::sim

@@ -1,0 +1,56 @@
+// Discrete-event simulation kernel.
+//
+// Minimal, deterministic: events at equal timestamps fire in scheduling
+// order (monotone sequence numbers break ties), so a given seed always
+// produces the same trajectory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ecost::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time in seconds.
+  double now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now).
+  void schedule_at(double t, Callback cb);
+
+  /// Schedules `cb` after a non-negative delay.
+  void schedule_in(double dt, Callback cb);
+
+  /// Pops and runs the earliest event. Returns false when empty.
+  bool step();
+
+  /// Runs until the queue drains; throws InvariantError after `max_events`
+  /// (runaway-model guard).
+  void run(std::size_t max_events = 100'000'000);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ecost::sim

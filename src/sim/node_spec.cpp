@@ -1,0 +1,50 @@
+#include "sim/node_spec.hpp"
+
+#include "util/error.hpp"
+
+namespace ecost::sim {
+
+void NodeSpec::validate() const {
+  ECOST_REQUIRE(cores > 0, "node needs cores");
+  ECOST_REQUIRE(ram_gib > 0.0, "node needs RAM");
+  ECOST_REQUIRE(llc_mib > 0.0, "node needs an LLC");
+  ECOST_REQUIRE(mem_bw_gibps > 0.0, "memory bandwidth must be positive");
+  ECOST_REQUIRE(mem_latency_ns > 0.0, "memory latency must be positive");
+  ECOST_REQUIRE(mem_queue_gain >= 0.0, "queue gain must be non-negative");
+  ECOST_REQUIRE(mem_queue_exponent >= 1.0, "queue exponent must be >= 1");
+  ECOST_REQUIRE(llc_sensitivity >= 0.0, "llc sensitivity must be >= 0");
+  ECOST_REQUIRE(llc_pressure_cap >= 1.0, "llc pressure cap must be >= 1");
+  ECOST_REQUIRE(disk_bw_mibps > 0.0, "disk bandwidth must be positive");
+  ECOST_REQUIRE(disk_stream_cap_mibps > 0.0, "stream cap must be positive");
+  ECOST_REQUIRE(disk_stream_cap_mibps <= disk_bw_mibps,
+                "stream cap cannot exceed aggregate bandwidth");
+  ECOST_REQUIRE(disk_seek_degradation >= 0.0, "seek degradation must be >= 0");
+  ECOST_REQUIRE(disk_job_cap_mibps > 0.0, "job cap must be positive");
+  ECOST_REQUIRE(disk_job_cap_mibps <= disk_bw_mibps,
+                "job cap cannot exceed aggregate bandwidth");
+  ECOST_REQUIRE(disk_block_overhead_mib >= 0.0,
+                "block overhead must be >= 0");
+  ECOST_REQUIRE(idle_power_w >= 0.0, "idle power must be >= 0");
+  ECOST_REQUIRE(active_floor_w >= 0.0, "active floor must be >= 0");
+  ECOST_REQUIRE(cpu_crowd_coeff >= 0.0, "crowding coefficient must be >= 0");
+  ECOST_REQUIRE(job_crowd_coeff >= 0.0, "job crowding must be >= 0");
+  ECOST_REQUIRE(job_overhead_mib >= 0.0, "job overhead must be >= 0");
+  ECOST_REQUIRE(ram_pressure_threshold > 0.0 && ram_pressure_threshold <= 1.0,
+                "RAM pressure threshold is a fraction");
+  ECOST_REQUIRE(swap_latency_penalty >= 0.0, "swap penalty must be >= 0");
+  ECOST_REQUIRE(core_dyn_w_per_v2ghz > 0.0, "core dynamic power coefficient");
+  ECOST_REQUIRE(core_static_w_per_v >= 0.0, "core static power coefficient");
+  ECOST_REQUIRE(stall_activity >= 0.0 && stall_activity <= 1.0,
+                "stall activity is a fraction");
+  ECOST_REQUIRE(iowait_activity >= 0.0 && iowait_activity <= 1.0,
+                "iowait activity is a fraction");
+  ECOST_REQUIRE(mem_power_w_per_gibps >= 0.0, "memory power coefficient");
+  ECOST_REQUIRE(disk_power_w >= 0.0, "disk power");
+  ECOST_REQUIRE(task_setup_s >= 0.0, "task setup time");
+  ECOST_REQUIRE(sort_buffer_mib > 0.0, "sort buffer size");
+  ECOST_REQUIRE(spill_io_factor >= 0.0, "spill factor");
+  ECOST_REQUIRE(cpu_io_overlap >= 0.0 && cpu_io_overlap <= 1.0,
+                "overlap is a fraction");
+}
+
+}  // namespace ecost::sim

@@ -1,0 +1,76 @@
+// Hardware description of one simulated microserver node.
+//
+// Every physical constant of the substrate lives here so the whole model can
+// be re-calibrated from a single place. Defaults approximate the paper's
+// Intel Atom C2758 node: 8 cores, 8 GB DDR3-1600, small shared last-level
+// cache, a single local disk for HDFS, and a modest idle floor.
+#pragma once
+
+namespace ecost::sim {
+
+struct NodeSpec {
+  // --- topology -----------------------------------------------------------
+  int cores = 8;           ///< mapper slots == cores, as in the paper
+  double ram_gib = 8.0;    ///< physical memory per node
+  double llc_mib = 4.0;    ///< shared last-level cache capacity
+
+  // --- memory system ------------------------------------------------------
+  double mem_bw_gibps = 6.0;      ///< sustainable DRAM bandwidth
+  double mem_latency_ns = 90.0;   ///< unloaded LLC-miss latency
+  double mem_queue_gain = 2.0;    ///< latency inflation gain vs. utilization
+  double mem_queue_exponent = 3.0;///< latency inflation curvature
+  double llc_sensitivity = 0.3;   ///< MPKI growth per unit of cache overcommit
+  double llc_pressure_cap = 2.5;  ///< max MPKI multiplier under contention
+
+  // --- disk ----------------------------------------------------------------
+  double disk_bw_mibps = 140.0;        ///< aggregate sequential bandwidth
+  double disk_stream_cap_mibps = 60.0; ///< per-stream ceiling (queue depth 1)
+  double disk_job_cap_mibps = 65.0;    ///< per-job ceiling: one job's HDFS
+                                       ///< pipeline (DataNode + JVM I/O path)
+                                       ///< cannot pull more regardless of its
+                                       ///< mapper count — why a lone I/O-bound
+                                       ///< job underuses the disk
+  double disk_seek_degradation = 0.03; ///< aggregate BW loss per extra stream
+  double disk_block_overhead_mib = 12.0; ///< per-split positioning cost: I/O
+                                         ///< efficiency = b / (b + overhead)
+
+  // --- power ---------------------------------------------------------------
+  double idle_power_w = 16.0;          ///< whole-node idle floor (subtracted)
+  double active_floor_w = 9.0;         ///< extra draw whenever any job runs:
+                                       ///< Hadoop daemons, OS, VRM losses —
+                                       ///< NOT subtracted by the idle-power
+                                       ///< methodology, and amortized across
+                                       ///< co-located applications
+  double core_dyn_w_per_v2ghz = 0.57;  ///< k in P = k * V^2 * f * activity
+  double core_static_w_per_v = 0.45;   ///< leakage per active core per volt
+  double stall_activity = 0.35;        ///< dyn. activity while memory-stalled
+  double iowait_activity = 0.05;       ///< dyn. activity while I/O-waiting
+  double mem_power_w_per_gibps = 1.2;  ///< DRAM active power per GiB/s
+  double disk_power_w = 6.0;           ///< disk active power at 100% util
+
+  // --- MapReduce framework constants (Hadoop-like) -------------------------
+  double cpu_crowd_coeff = 0.06;  ///< per-extra-running-task compute slowdown
+                                  ///< (JVM/GC/daemon interference): makes
+                                  ///< scaling to all 8 slots sublinear
+  double job_crowd_coeff = 0.05;  ///< per-extra-resident-JOB compute slowdown
+                                  ///< (per-job AppMaster/daemon churn): why
+                                  ///< co-locating beyond 2 apps degrades
+  double job_overhead_mib = 350.0;///< resident memory per job beyond tasks
+                                  ///< (AppMaster, daemons, metadata)
+  double ram_pressure_threshold = 0.75;  ///< RAM fill fraction where paging
+                                         ///< starts hurting
+  double swap_latency_penalty = 4.0;     ///< memory-latency inflation at full
+                                         ///< RAM overcommit
+  double task_setup_s = 1.5;      ///< per-task JVM/launch overhead
+  double sort_buffer_mib = 128.0; ///< io.sort.mb equivalent
+  double spill_io_factor = 1.0;   ///< extra bytes r+w per byte over the buffer
+  double cpu_io_overlap = 0.5;    ///< fraction of min(cpu,io) hidden by overlap
+
+  /// Throws InvariantError when any field is non-physical.
+  void validate() const;
+
+  /// The default calibration used throughout the reproduction.
+  static NodeSpec atom_c2758() { return NodeSpec{}; }
+};
+
+}  // namespace ecost::sim

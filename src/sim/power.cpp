@@ -1,0 +1,53 @@
+#include "sim/power.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ecost::sim {
+
+PowerModel::PowerModel(const NodeSpec& spec) : spec_(spec) { spec_.validate(); }
+
+double PowerModel::core_power_w(const CoreLoad& load) const {
+  ECOST_REQUIRE(load.activity >= 0.0 && load.activity <= 1.0,
+                "core activity is a fraction");
+  const double v = volts(load.freq);
+  const double f = ghz(load.freq);
+  const double dynamic = spec_.core_dyn_w_per_v2ghz * v * v * f * load.activity;
+  const double leakage = spec_.core_static_w_per_v * v;
+  return dynamic + leakage;
+}
+
+double PowerModel::memory_power_w(double traffic_gibps) const {
+  ECOST_REQUIRE(traffic_gibps >= 0.0, "memory traffic must be non-negative");
+  // Traffic beyond the sustainable bandwidth cannot draw extra power: the
+  // channel is already fully switching.
+  const double t = std::min(traffic_gibps, spec_.mem_bw_gibps);
+  return spec_.mem_power_w_per_gibps * t;
+}
+
+double PowerModel::disk_power_w(double utilization) const {
+  ECOST_REQUIRE(utilization >= 0.0 && utilization <= 1.0 + 1e-9,
+                "disk utilization is a fraction");
+  return spec_.disk_power_w * std::min(utilization, 1.0);
+}
+
+PowerBreakdown PowerModel::node_power(std::span<const CoreLoad> active_cores,
+                                      double mem_traffic_gibps,
+                                      double disk_utilization) const {
+  ECOST_REQUIRE(static_cast<int>(active_cores.size()) <= spec_.cores,
+                "more active cores than the node has");
+  PowerBreakdown pb;
+  pb.idle_w = spec_.idle_power_w;
+  for (const CoreLoad& load : active_cores) {
+    const double v = volts(load.freq);
+    const double f = ghz(load.freq);
+    pb.core_dynamic_w += spec_.core_dyn_w_per_v2ghz * v * v * f * load.activity;
+    pb.core_static_w += spec_.core_static_w_per_v * v;
+  }
+  pb.memory_w = memory_power_w(mem_traffic_gibps);
+  pb.disk_w = disk_power_w(disk_utilization);
+  return pb;
+}
+
+}  // namespace ecost::sim

@@ -1,0 +1,64 @@
+// Whole-node power model.
+//
+// Mirrors the paper's measurement methodology (section 2.5): a Wattsup meter
+// reads the entire node, and the idle floor is subtracted to estimate the
+// dynamic dissipation used in EDP. `PowerBreakdown::dynamic_w()` is exactly
+// that idle-subtracted quantity.
+#pragma once
+
+#include <span>
+
+#include "sim/dvfs.hpp"
+#include "sim/node_spec.hpp"
+
+namespace ecost::sim {
+
+/// Instantaneous load of one active core.
+struct CoreLoad {
+  FreqLevel freq = FreqLevel::F2_4;
+  double activity = 1.0;  ///< effective switching activity in [0, 1]
+};
+
+struct PowerBreakdown {
+  double core_dynamic_w = 0.0;
+  double core_static_w = 0.0;
+  double memory_w = 0.0;
+  double disk_w = 0.0;
+  double framework_w = 0.0;  ///< Hadoop/OS active floor (counts as dynamic)
+  double idle_w = 0.0;
+
+  /// Wall power as the Wattsup meter would read it.
+  double total_w() const {
+    return core_dynamic_w + core_static_w + memory_w + disk_w + framework_w +
+           idle_w;
+  }
+  /// Idle-subtracted power used by the paper's EDP metric.
+  double dynamic_w() const { return total_w() - idle_w; }
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(const NodeSpec& spec);
+
+  /// Dynamic + static power of one active core at the given load.
+  double core_power_w(const CoreLoad& load) const;
+
+  /// DRAM active power at the given traffic level.
+  double memory_power_w(double traffic_gibps) const;
+
+  /// Disk power at the given utilization in [0, 1].
+  double disk_power_w(double utilization) const;
+
+  /// Aggregates a full node. Inactive cores contribute nothing beyond the
+  /// idle floor (they are clock-gated in the Atom's C-states).
+  PowerBreakdown node_power(std::span<const CoreLoad> active_cores,
+                            double mem_traffic_gibps,
+                            double disk_utilization) const;
+
+  const NodeSpec& spec() const { return spec_; }
+
+ private:
+  NodeSpec spec_;
+};
+
+}  // namespace ecost::sim

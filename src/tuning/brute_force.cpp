@@ -1,0 +1,73 @@
+#include "tuning/brute_force.hpp"
+
+#include <limits>
+#include <mutex>
+
+#include "util/error.hpp"
+#include "util/parallel_for.hpp"
+
+namespace ecost::tuning {
+
+using mapreduce::AppConfig;
+using mapreduce::JobSpec;
+using mapreduce::NodeEvaluator;
+using mapreduce::PairConfig;
+using mapreduce::RunResult;
+
+BruteForce::BruteForce(const NodeEvaluator& eval) : eval_(eval) {}
+
+SoloOutcome BruteForce::tune_solo(const JobSpec& job, int min_mappers,
+                                  int max_mappers) const {
+  const auto configs = solo_configs(eval_.spec(), min_mappers,
+                                    max_mappers == 0 ? eval_.spec().cores
+                                                     : max_mappers);
+  SoloOutcome best;
+  best.edp = std::numeric_limits<double>::infinity();
+  std::mutex mu;
+  parallel_for(configs.size(), [&](std::size_t i) {
+    const RunResult rr = eval_.run_solo(job, configs[i]);
+    const double edp = rr.edp();
+    std::lock_guard lock(mu);
+    if (edp < best.edp) best = {configs[i], rr, edp};
+  });
+  ECOST_CHECK(best.edp < std::numeric_limits<double>::infinity(),
+              "no feasible solo configuration");
+  return best;
+}
+
+PairOutcome BruteForce::colao(const JobSpec& a, const JobSpec& b) const {
+  const auto configs = pair_configs(eval_.spec());
+  PairOutcome best;
+  best.edp = std::numeric_limits<double>::infinity();
+  std::mutex mu;
+  parallel_for(configs.size(), [&](std::size_t i) {
+    const RunResult rr =
+        eval_.run_pair(a, configs[i].first, b, configs[i].second);
+    const double edp = rr.edp();
+    std::lock_guard lock(mu);
+    if (edp < best.edp) best = {configs[i], rr, edp};
+  });
+  ECOST_CHECK(best.edp < std::numeric_limits<double>::infinity(),
+              "no feasible pair configuration");
+  return best;
+}
+
+IlaoOutcome BruteForce::ilao(const JobSpec& a, const JobSpec& b) const {
+  const int cores = eval_.spec().cores;
+  const SoloOutcome sa = tune_solo(a, cores, cores);
+  const SoloOutcome sb = tune_solo(b, cores, cores);
+  IlaoOutcome out;
+  out.cfg_a = sa.cfg;
+  out.cfg_b = sb.cfg;
+  out.makespan_s = sa.result.makespan_s + sb.result.makespan_s;
+  out.energy_j = sa.result.energy_dyn_j + sb.result.energy_dyn_j;
+  out.edp = out.makespan_s * out.energy_j;
+  return out;
+}
+
+double BruteForce::pair_edp(const JobSpec& a, const JobSpec& b,
+                            const PairConfig& cfg) const {
+  return eval_.run_pair(a, cfg.first, b, cfg.second).edp();
+}
+
+}  // namespace ecost::tuning

@@ -1,0 +1,65 @@
+// Offline brute-force optimization strategies from the paper:
+//
+//  * tune_solo  — exhaustive solo-knob search (the per-application oracle),
+//  * ILAO       — Individually-Located Application Optimization: the two
+//                 applications run serially on the dedicated node (every
+//                 mapper slot active, the Hadoop default for an exclusive
+//                 node) with frequency + block size tuned per application,
+//  * COLAO      — Co-Located Application Optimization: exhaustive search of
+//                 the joint pair-configuration space (the oracle that STP
+//                 techniques are measured against in Table 2).
+#pragma once
+
+#include "mapreduce/job.hpp"
+#include "mapreduce/node_evaluator.hpp"
+#include "tuning/config_space.hpp"
+
+namespace ecost::tuning {
+
+struct SoloOutcome {
+  mapreduce::AppConfig cfg;
+  mapreduce::RunResult result;
+  double edp = 0.0;
+};
+
+struct PairOutcome {
+  mapreduce::PairConfig cfg;
+  mapreduce::RunResult result;
+  double edp = 0.0;
+};
+
+struct IlaoOutcome {
+  mapreduce::AppConfig cfg_a;
+  mapreduce::AppConfig cfg_b;
+  double makespan_s = 0.0;  ///< serial: T_a + T_b
+  double energy_j = 0.0;    ///< E_a + E_b (idle-subtracted)
+  double edp = 0.0;         ///< workload EDP: makespan * energy
+};
+
+class BruteForce {
+ public:
+  explicit BruteForce(const mapreduce::NodeEvaluator& eval);
+
+  /// Exhaustive solo search over [min_mappers, max_mappers].
+  SoloOutcome tune_solo(const mapreduce::JobSpec& job, int min_mappers = 1,
+                        int max_mappers = 0 /*=cores*/) const;
+
+  /// COLAO oracle: exhaustive pair-configuration search.
+  PairOutcome colao(const mapreduce::JobSpec& a,
+                    const mapreduce::JobSpec& b) const;
+
+  /// ILAO baseline: serial dedicated-node runs, freq+block tuned per app.
+  IlaoOutcome ilao(const mapreduce::JobSpec& a,
+                   const mapreduce::JobSpec& b) const;
+
+  /// EDP of one explicit pair configuration (used to score STP choices).
+  double pair_edp(const mapreduce::JobSpec& a, const mapreduce::JobSpec& b,
+                  const mapreduce::PairConfig& cfg) const;
+
+  const mapreduce::NodeEvaluator& evaluator() const { return eval_; }
+
+ private:
+  const mapreduce::NodeEvaluator& eval_;
+};
+
+}  // namespace ecost::tuning

@@ -1,0 +1,51 @@
+#include "tuning/config_space.hpp"
+
+#include "hdfs/config.hpp"
+#include "util/error.hpp"
+
+namespace ecost::tuning {
+
+using mapreduce::AppConfig;
+using mapreduce::PairConfig;
+
+std::vector<AppConfig> solo_configs(const sim::NodeSpec& spec,
+                                    int min_mappers, int max_mappers) {
+  if (max_mappers == 0) max_mappers = spec.cores;
+  ECOST_REQUIRE(min_mappers >= 1 && min_mappers <= max_mappers &&
+                    max_mappers <= spec.cores,
+                "mapper bounds out of range");
+  std::vector<AppConfig> out;
+  out.reserve(hdfs::kBlockSizesMib.size() * sim::kAllFreqLevels.size() *
+              static_cast<std::size_t>(max_mappers - min_mappers + 1));
+  for (auto f : sim::kAllFreqLevels) {
+    for (int h : hdfs::kBlockSizesMib) {
+      for (int m = min_mappers; m <= max_mappers; ++m) {
+        out.push_back({f, h, m});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<PairConfig> pair_configs(const sim::NodeSpec& spec) {
+  std::vector<PairConfig> out;
+  for (auto f1 : sim::kAllFreqLevels) {
+    for (int h1 : hdfs::kBlockSizesMib) {
+      for (auto f2 : sim::kAllFreqLevels) {
+        for (int h2 : hdfs::kBlockSizesMib) {
+          for (int m1 = 1; m1 < spec.cores; ++m1) {
+            out.push_back({{f1, h1, m1}, {f2, h2, spec.cores - m1}});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t solo_config_count(const sim::NodeSpec& spec) {
+  return hdfs::kBlockSizesMib.size() * sim::kAllFreqLevels.size() *
+         static_cast<std::size_t>(spec.cores);
+}
+
+}  // namespace ecost::tuning

@@ -1,0 +1,27 @@
+// The exhaustive tuning search spaces of the paper (section 7): per
+// application 5 HDFS block sizes x 8 mapper counts x 4 frequencies = 160
+// configurations; per co-located pair, both apps' (frequency, block) knobs
+// crossed with every core partitioning m1 + m2 = cores.
+#pragma once
+
+#include <vector>
+
+#include "mapreduce/config.hpp"
+#include "sim/node_spec.hpp"
+
+namespace ecost::tuning {
+
+/// All solo configurations with mappers in [min_mappers, max_mappers].
+std::vector<mapreduce::AppConfig> solo_configs(const sim::NodeSpec& spec,
+                                               int min_mappers = 1,
+                                               int max_mappers = 0 /*=cores*/);
+
+/// All pair configurations: full cross of (freq, block) per app and every
+/// core partitioning m1 = 1..cores-1, m2 = cores - m1. 2800 points for the
+/// default node.
+std::vector<mapreduce::PairConfig> pair_configs(const sim::NodeSpec& spec);
+
+/// Number of solo configurations (the paper's "160 possible cases").
+std::size_t solo_config_count(const sim::NodeSpec& spec);
+
+}  // namespace ecost::tuning

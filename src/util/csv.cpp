@@ -1,0 +1,60 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace ecost {
+namespace {
+
+bool needs_quotes(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string quoted(const std::string& s) {
+  if (!needs_quotes(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  ECOST_REQUIRE(!header_.empty(), "csv needs at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  ECOST_REQUIRE(row.size() == header_.size(), "csv row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << quoted(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void CsvWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << str();
+  if (!out) throw std::runtime_error("write failed for " + path);
+}
+
+}  // namespace ecost

@@ -1,0 +1,27 @@
+// Minimal CSV writer: benches optionally dump their series for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ecost {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Serializes to a string (header + rows, quoted where needed).
+  std::string str() const;
+
+  /// Writes to a file; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ecost

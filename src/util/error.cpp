@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace ecost::detail {
+
+void throw_invariant(const char* expr, const std::string& msg,
+                     std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": invariant failed: " << expr;
+  if (!msg.empty()) os << " (" << msg << ')';
+  throw InvariantError(os.str());
+}
+
+}  // namespace ecost::detail

@@ -1,0 +1,37 @@
+// Assertion and error-reporting machinery shared by every ECoST module.
+//
+// Simulator code is full of physical invariants (times are non-negative,
+// shares sum to <= 1, ...). We check them in all build types: a silently
+// wrong simulator is worse than a crashed one.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace ecost {
+
+/// Thrown when an ECOST_REQUIRE/ECOST_CHECK invariant fails.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invariant(const char* expr, const std::string& msg,
+                                  std::source_location loc);
+}  // namespace detail
+
+/// Validates a precondition on public API arguments. Always enabled.
+#define ECOST_REQUIRE(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::ecost::detail::throw_invariant(#expr, (msg),                    \
+                                       std::source_location::current()); \
+    }                                                                   \
+  } while (false)
+
+/// Validates an internal invariant. Always enabled (models are cheap).
+#define ECOST_CHECK(expr, msg) ECOST_REQUIRE(expr, msg)
+
+}  // namespace ecost

@@ -1,0 +1,19 @@
+// Minimal data-parallel helper: static partitioning of an index range over
+// std::thread workers. The brute-force sweeps (84,480 runs) are
+// embarrassingly parallel; on a 1-core box this degrades gracefully to the
+// serial loop.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace ecost {
+
+/// Invokes fn(i) for i in [0, n), split across `threads` workers
+/// (0 = hardware_concurrency). fn must be safe to call concurrently for
+/// distinct i. Exceptions from workers are rethrown on the caller (first
+/// one wins).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+}  // namespace ecost

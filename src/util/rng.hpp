@@ -1,0 +1,46 @@
+// Deterministic, fast random number generation for the simulator and the ML
+// library. Everything in ECoST that is stochastic takes an explicit Rng (or a
+// seed) so experiments are reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ecost {
+
+/// xoshiro256** seeded via splitmix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (cached pair).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Fisher-Yates shuffle of an index permutation [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Forks an independent stream (for per-worker determinism).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace ecost

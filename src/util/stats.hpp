@@ -1,0 +1,53 @@
+// Streaming and batch statistics helpers used across the simulator, the
+// perfmon feature pipeline, and the ML metrics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ecost {
+
+/// Welford-style streaming accumulator: mean/variance/min/max in one pass.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Arithmetic mean of a span; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation; 0 for fewer than 2 samples.
+double stddev(std::span<const double> xs);
+
+/// Geometric mean; requires strictly positive values.
+double geomean(std::span<const double> xs);
+
+/// Median (copies and sorts); 0 for empty input.
+double median(std::vector<double> xs);
+
+/// p-quantile in [0,1] with linear interpolation; copies and sorts.
+double quantile(std::vector<double> xs, double p);
+
+/// Pearson correlation coefficient of two equal-length series.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace ecost

@@ -1,0 +1,57 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ecost {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ECOST_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  ECOST_REQUIRE(row.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(width[c] - cells[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+}  // namespace ecost

@@ -1,0 +1,32 @@
+// ASCII table rendering for the benchmark harnesses: every figure/table in
+// EXPERIMENTS.md is printed through this, so output formatting is uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ecost {
+
+/// Column-aligned ASCII table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with box-drawing separators.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ecost

@@ -1,0 +1,30 @@
+// Unit helpers. All simulator quantities are plain doubles in SI-ish base
+// units; these constants/conversions keep call sites readable and prevent
+// MB-vs-bytes mistakes.
+#pragma once
+
+#include <cstdint>
+
+namespace ecost {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+/// Converts mebibytes to bytes.
+constexpr double mib_to_bytes(double mib) { return mib * kMiB; }
+/// Converts gibibytes to bytes.
+constexpr double gib_to_bytes(double gib) { return gib * kGiB; }
+/// Converts bytes to mebibytes.
+constexpr double bytes_to_mib(double bytes) { return bytes / kMiB; }
+/// Converts bytes to gibibytes.
+constexpr double bytes_to_gib(double bytes) { return bytes / kGiB; }
+
+/// Converts a MB/s rate to bytes/s (decimal MB as disk vendors quote it is
+/// deliberately NOT used; the whole simulator speaks binary units).
+constexpr double mibps_to_bps(double mibps) { return mibps * kMiB; }
+
+inline constexpr double kNsPerSec = 1e9;
+inline constexpr double kGHz = 1e9;  // cycles per second per GHz
+
+}  // namespace ecost

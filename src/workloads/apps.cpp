@@ -1,0 +1,125 @@
+#include "workloads/apps.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace ecost::workloads {
+namespace {
+
+using mapreduce::AppClass;
+using mapreduce::AppProfile;
+
+// Calibration notes
+// -----------------
+// * Compute-bound (C) apps: high instructions/byte, tiny LLC working set,
+//   negligible I/O beyond the input scan => CPUuser high, scales with f.
+// * I/O-bound (I) Sort: little compute, shuffle == input, heavy spill =>
+//   high CPUiowait, a single instance cannot saturate the disk.
+// * Hybrid (H) Grep/TeraSort: balanced compute and I/O.
+// * Memory-bound (M) FP-Growth/CF/PageRank: LLC working sets far beyond the
+//   shared cache, high MPKI => stall-dominated, insensitive to frequency,
+//   prefer many cores, suffer from cache/bandwidth sharing.
+AppProfile make(const char* name, const char* abbrev, AppClass c,
+                double ipb, double cpi, double mpki, double icache,
+                double branch, double rd, double wr, double shuffle,
+                double fp_fixed, double fp_slope, double cache, double rpb) {
+  AppProfile p;
+  p.name = name;
+  p.abbrev = abbrev;
+  p.true_class = c;
+  p.instr_per_byte = ipb;
+  p.base_cpi = cpi;
+  p.llc_mpki = mpki;
+  p.icache_mpki = icache;
+  p.branch_mpki = branch;
+  p.io_read_bpb = rd;
+  p.io_write_bpb = wr;
+  p.shuffle_bpb = shuffle;
+  p.footprint_fixed_mib = fp_fixed;
+  p.footprint_per_input_mib = fp_slope;
+  p.cache_mib = cache;
+  p.reduce_instr_per_byte = rpb;
+  p.validate();
+  return p;
+}
+
+const std::vector<AppProfile>& registry() {
+  static const std::vector<AppProfile> apps = {
+      //    name            ab   class            ipb   cpi   mpki  ic   br   rd    wr    shfl  fpF  fpS   c$   rpb
+      make("wordcount",     "WC", AppClass::Compute, 620, 1.10, 2.0, 1.5, 4.0, 1.00, 0.05, 0.06,  90, 0.05, 0.40, 120),
+      make("sort",          "ST", AppClass::IoBound,  20, 1.20, 3.0, 0.8, 2.0, 1.00, 0.10, 1.00, 120, 0.15, 1.00,  15),
+      make("grep",          "GP", AppClass::Hybrid,   45, 1.15, 2.5, 1.0, 5.0, 1.00, 0.02, 0.02,  80, 0.05, 0.80,  60),
+      make("terasort",      "TS", AppClass::Hybrid,   85, 1.20, 6.0, 1.0, 3.0, 1.00, 0.10, 1.00, 140, 0.20, 1.80,  20),
+      make("naive_bayes",   "NB", AppClass::Compute, 520, 1.15, 2.6, 2.0, 5.0, 1.00, 0.05, 0.08, 110, 0.08, 0.50, 100),
+      make("fp_growth",     "FP", AppClass::MemBound,320, 1.25, 9.0, 1.2, 4.0, 1.00, 0.08, 0.15, 380, 0.40, 4.20,  80),
+      make("collab_filter", "CF", AppClass::MemBound,380, 1.30,10.0, 1.5, 5.0, 1.00, 0.10, 0.20, 420, 0.45, 4.80,  90),
+      make("svm",           "SVM",AppClass::Compute, 760, 1.05, 1.6, 1.2, 3.0, 1.00, 0.03, 0.04, 100, 0.06, 0.35,  80),
+      make("pagerank",      "PR", AppClass::MemBound,300, 1.30, 8.5, 1.4, 6.0, 1.00, 0.12, 0.30, 350, 0.50, 4.00, 110),
+      make("hmm",           "HMM",AppClass::Compute, 600, 1.10, 2.2, 1.8, 4.0, 1.00, 0.04, 0.05,  95, 0.07, 0.45,  90),
+      make("kmeans",        "KM", AppClass::Compute, 510, 1.12, 3.0, 1.3, 4.0, 1.05, 0.06, 0.07, 120, 0.10, 0.80, 100),
+  };
+  return apps;
+}
+
+// Section 7: micro-kernels + FP-Growth are "known"; the remaining real-world
+// applications arrive as unknown workloads.
+constexpr std::string_view kTrainingAbbrevs[] = {"WC", "ST", "GP", "TS", "FP"};
+
+bool iequals(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::toupper(static_cast<unsigned char>(x)) ==
+                  std::toupper(static_cast<unsigned char>(y));
+         });
+}
+
+std::vector<AppProfile> subset(bool training) {
+  std::vector<AppProfile> out;
+  for (const AppProfile& app : registry()) {
+    const bool in_training =
+        std::any_of(std::begin(kTrainingAbbrevs), std::end(kTrainingAbbrevs),
+                    [&](std::string_view t) { return iequals(t, app.abbrev); });
+    if (in_training == training) out.push_back(app);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::span<const AppProfile> all_apps() { return registry(); }
+
+const AppProfile& app_by_abbrev(std::string_view abbrev) {
+  for (const AppProfile& app : registry()) {
+    if (iequals(app.abbrev, abbrev)) return app;
+  }
+  ECOST_REQUIRE(false, "unknown application abbreviation: " +
+                           std::string(abbrev));
+  return registry().front();  // unreachable
+}
+
+std::span<const AppProfile> training_apps() {
+  static const std::vector<AppProfile> apps = subset(/*training=*/true);
+  return apps;
+}
+
+std::span<const AppProfile> testing_apps() {
+  static const std::vector<AppProfile> apps = subset(/*training=*/false);
+  return apps;
+}
+
+bool is_training_app(const AppProfile& app) {
+  return std::any_of(std::begin(kTrainingAbbrevs), std::end(kTrainingAbbrevs),
+                     [&](std::string_view t) { return iequals(t, app.abbrev); });
+}
+
+std::vector<const AppProfile*> training_apps_of_class(AppClass c) {
+  std::vector<const AppProfile*> out;
+  for (const AppProfile& app : training_apps()) {
+    if (app.true_class == c) out.push_back(&app);
+  }
+  return out;
+}
+
+}  // namespace ecost::workloads

@@ -1,0 +1,40 @@
+// The 11 Hadoop applications studied in the paper (section 2.2):
+// micro-benchmarks Wordcount (WC), Sort (ST), Grep (GP), TeraSort (TS) and
+// real-world applications Naive Bayes (NB), FP-Growth (FP), Collaborative
+// Filtering (CF), SVM, PageRank (PR), HMM, K-Means (KM) — expressed as
+// resource-signature profiles calibrated so each lands in its paper class.
+//
+// Training/testing split follows section 7: the micro-kernels plus FP-Growth
+// are the "known" training set; NB, CF, SVM, PR, HMM, KM arrive as unknown
+// applications.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "mapreduce/app_profile.hpp"
+
+namespace ecost::workloads {
+
+/// All 11 studied applications, in the paper's order.
+std::span<const mapreduce::AppProfile> all_apps();
+
+/// Lookup by abbreviation ("WC", "st", ...; case-insensitive). Throws
+/// InvariantError for an unknown abbreviation.
+const mapreduce::AppProfile& app_by_abbrev(std::string_view abbrev);
+
+/// Known applications used to build the training database.
+std::span<const mapreduce::AppProfile> training_apps();
+
+/// Unknown applications used only for validation (section 7).
+std::span<const mapreduce::AppProfile> testing_apps();
+
+/// True when `app` belongs to the training set.
+bool is_training_app(const mapreduce::AppProfile& app);
+
+/// All training apps of a given class (possibly empty for exotic specs).
+std::vector<const mapreduce::AppProfile*> training_apps_of_class(
+    mapreduce::AppClass c);
+
+}  // namespace ecost::workloads

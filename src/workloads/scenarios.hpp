@@ -1,0 +1,32 @@
+// The eight workload scenarios of Table 3: each is a stream of 16
+// applications with a prescribed class mix, used by the scalability study
+// (section 8 / Figure 9).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mapreduce/app_profile.hpp"
+#include "mapreduce/job.hpp"
+
+namespace ecost::workloads {
+
+struct WorkloadScenario {
+  std::string name;                       ///< "WS1" .. "WS8"
+  std::vector<std::string> app_abbrevs;   ///< 16 entries
+
+  /// "[C,C,H,I,...]" — the class pattern string of Table 3.
+  std::string class_pattern() const;
+
+  /// Materializes the 16 jobs with `gib_per_app` input per node each.
+  std::vector<mapreduce::JobSpec> jobs(double gib_per_app) const;
+};
+
+/// WS1..WS8 as defined in Table 3.
+std::span<const WorkloadScenario> all_scenarios();
+
+/// Lookup by name; throws InvariantError when unknown.
+const WorkloadScenario& scenario_by_name(const std::string& name);
+
+}  // namespace ecost::workloads

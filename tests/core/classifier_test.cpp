@@ -1,0 +1,116 @@
+#include "core/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/profiling.hpp"
+#include "mapreduce/node_evaluator.hpp"
+#include "util/error.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::core {
+namespace {
+
+using mapreduce::AppClass;
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval_ = new mapreduce::NodeEvaluator();
+    clf_ = new AppClassifier();
+    std::vector<perfmon::FeatureVector> features;
+    std::vector<AppClass> labels;
+    std::uint64_t seed = 1;
+    for (const auto& app : workloads::training_apps()) {
+      for (int rep = 0; rep < 3; ++rep) {
+        ProfilingOptions opts;
+        opts.seed = seed++;
+        features.push_back(profile_application(*eval_, app, opts));
+        labels.push_back(app.true_class);
+      }
+    }
+    clf_->fit(features, labels);
+  }
+
+  static void TearDownTestSuite() {
+    delete clf_;
+    delete eval_;
+    clf_ = nullptr;
+    eval_ = nullptr;
+  }
+
+  static mapreduce::NodeEvaluator* eval_;
+  static AppClassifier* clf_;
+};
+
+mapreduce::NodeEvaluator* ClassifierTest::eval_ = nullptr;
+AppClassifier* ClassifierTest::clf_ = nullptr;
+
+TEST_F(ClassifierTest, SelectExtractsSevenFeatures) {
+  perfmon::FeatureVector fv{};
+  fv[static_cast<std::size_t>(perfmon::Feature::CpuUser)] = 0.7;
+  const auto sel = AppClassifier::select(fv);
+  EXPECT_EQ(sel.size(), 7u);
+  EXPECT_DOUBLE_EQ(sel[0], 0.7);  // CPUuser is the first selected feature
+}
+
+TEST_F(ClassifierTest, ClassifiesTrainingAppsCorrectly) {
+  std::uint64_t seed = 500;
+  for (const auto& app : workloads::training_apps()) {
+    ProfilingOptions opts;
+    opts.seed = seed++;
+    const auto fv = profile_application(*eval_, app, opts);
+    EXPECT_EQ(clf_->classify(fv), app.true_class) << app.abbrev;
+  }
+}
+
+TEST_F(ClassifierTest, GeneralizesToUnknownApps) {
+  // The paper's unknown applications must land in their true classes from
+  // counters alone.
+  std::uint64_t seed = 900;
+  for (const auto& app : workloads::testing_apps()) {
+    ProfilingOptions opts;
+    opts.seed = seed++;
+    const auto fv = profile_application(*eval_, app, opts);
+    EXPECT_EQ(clf_->classify(fv), app.true_class) << app.abbrev;
+  }
+}
+
+TEST_F(ClassifierTest, RuleBasedPathAgreesOnExtremes) {
+  // Threshold rules (section 3.2's narrative) must at least nail the
+  // clearest representatives of each class.
+  for (const char* abbrev : {"WC", "ST", "CF"}) {
+    ProfilingOptions opts;
+    opts.seed = 77;
+    const auto& app = workloads::app_by_abbrev(abbrev);
+    const auto fv = profile_application(*eval_, app, opts);
+    EXPECT_EQ(clf_->classify_rules(fv), app.true_class) << abbrev;
+  }
+}
+
+TEST_F(ClassifierTest, RobustToMeasurementNoise) {
+  // Repeated noisy profilings of the same app must classify consistently.
+  const auto& app = workloads::app_by_abbrev("PR");
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    ProfilingOptions opts;
+    opts.seed = 7000 + seed;
+    const auto fv = profile_application(*eval_, app, opts);
+    EXPECT_EQ(clf_->classify(fv), AppClass::MemBound) << seed;
+  }
+}
+
+TEST(ClassifierStandaloneTest, UnfittedThrows) {
+  AppClassifier clf;
+  perfmon::FeatureVector fv{};
+  EXPECT_THROW(clf.classify(fv), ecost::InvariantError);
+  EXPECT_THROW(clf.classify_rules(fv), ecost::InvariantError);
+}
+
+TEST(ClassifierStandaloneTest, FitRejectsMismatchedArity) {
+  AppClassifier clf;
+  EXPECT_THROW(clf.fit({perfmon::FeatureVector{}}, {}),
+               ecost::InvariantError);
+  EXPECT_THROW(clf.fit({}, {}), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::core

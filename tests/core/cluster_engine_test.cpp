@@ -1,0 +1,157 @@
+#include "core/cluster_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "util/error.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::core {
+namespace {
+
+using mapreduce::AppConfig;
+using mapreduce::JobSpec;
+
+QueuedJob make_job(std::uint64_t id, const char* abbrev, double gib) {
+  QueuedJob qj;
+  qj.id = id;
+  qj.info.job = JobSpec::of_gib(workloads::app_by_abbrev(abbrev), gib);
+  qj.info.cls = qj.info.job.app.true_class;
+  return qj;
+}
+
+/// Simple FIFO dispatcher handing each free slot the next job.
+class FifoDispatcher final : public Dispatcher {
+ public:
+  FifoDispatcher(std::deque<QueuedJob> jobs, AppConfig cfg)
+      : jobs_(std::move(jobs)), cfg_(cfg) {}
+
+  std::vector<std::pair<QueuedJob, AppConfig>> dispatch(
+      int /*node*/, std::span<const RunningJob> /*co*/,
+      std::size_t free_slots, double /*now*/) override {
+    std::vector<std::pair<QueuedJob, AppConfig>> out;
+    while (free_slots-- && !jobs_.empty()) {
+      out.emplace_back(jobs_.front(), cfg_);
+      jobs_.pop_front();
+    }
+    return out;
+  }
+
+ private:
+  std::deque<QueuedJob> jobs_;
+  AppConfig cfg_;
+};
+
+class ClusterEngineTest : public ::testing::Test {
+ protected:
+  mapreduce::NodeEvaluator eval_;
+};
+
+TEST_F(ClusterEngineTest, RunsAllJobsToCompletion) {
+  std::deque<QueuedJob> jobs;
+  for (int i = 0; i < 6; ++i) jobs.push_back(make_job(i, "GP", 1.0));
+  FifoDispatcher d(jobs, AppConfig{sim::FreqLevel::F2_4, 128, 4});
+  ClusterEngine engine(eval_, 2, 2);
+  const ClusterOutcome oc = engine.run(d);
+  EXPECT_EQ(oc.finish_times.size(), 6u);
+  EXPECT_GT(oc.makespan_s, 0.0);
+  EXPECT_GT(oc.energy_dyn_j, 0.0);
+  for (const auto& [id, t] : oc.finish_times) {
+    EXPECT_LE(t, oc.makespan_s + 1e-9);
+    EXPECT_GT(t, 0.0);
+  }
+}
+
+TEST_F(ClusterEngineTest, MoreNodesShortenMakespan) {
+  auto run_with = [&](int nodes) {
+    std::deque<QueuedJob> jobs;
+    for (int i = 0; i < 8; ++i) jobs.push_back(make_job(i, "GP", 1.0));
+    FifoDispatcher d(jobs, AppConfig{sim::FreqLevel::F2_4, 128, 4});
+    ClusterEngine engine(eval_, nodes, 2);
+    return engine.run(d).makespan_s;
+  };
+  EXPECT_LT(run_with(4), run_with(1));
+}
+
+TEST_F(ClusterEngineTest, SingleJobMatchesNodeEvaluator) {
+  std::deque<QueuedJob> jobs;
+  jobs.push_back(make_job(0, "TS", 1.0));
+  const AppConfig cfg{sim::FreqLevel::F2_4, 256, 4};
+  FifoDispatcher d(jobs, cfg);
+  ClusterEngine engine(eval_, 1, 2);
+  const ClusterOutcome oc = engine.run(d);
+  const auto solo = eval_.run_solo(jobs.front().info.job, cfg);
+  EXPECT_NEAR(oc.makespan_s, solo.makespan_s, 0.02 * solo.makespan_s);
+  EXPECT_NEAR(oc.energy_dyn_j, solo.energy_dyn_j,
+              0.05 * solo.energy_dyn_j);
+}
+
+TEST_F(ClusterEngineTest, CoLocationContentionLengthensJobs) {
+  // Two memory-bound jobs on one node finish later than one alone.
+  std::deque<QueuedJob> one;
+  one.push_back(make_job(0, "CF", 1.0));
+  FifoDispatcher d1(one, AppConfig{sim::FreqLevel::F2_4, 128, 4});
+  ClusterEngine e1(eval_, 1, 2);
+  const double t_solo = e1.run(d1).makespan_s;
+
+  std::deque<QueuedJob> two;
+  two.push_back(make_job(0, "CF", 1.0));
+  two.push_back(make_job(1, "CF", 1.0));
+  FifoDispatcher d2(two, AppConfig{sim::FreqLevel::F2_4, 128, 4});
+  ClusterEngine e2(eval_, 1, 2);
+  const double t_pair = e2.run(d2).makespan_s;
+  EXPECT_GT(t_pair, t_solo);
+}
+
+TEST_F(ClusterEngineTest, RetuneHookIsApplied) {
+  // A dispatcher that expands a lone survivor to all 8 slots must shorten
+  // the tail relative to one that never retunes.
+  class ExpandingDispatcher final : public Dispatcher {
+   public:
+    explicit ExpandingDispatcher(std::deque<QueuedJob> jobs)
+        : jobs_(std::move(jobs)) {}
+    std::vector<std::pair<QueuedJob, AppConfig>> dispatch(
+        int, std::span<const RunningJob>, std::size_t free_slots,
+        double) override {
+      std::vector<std::pair<QueuedJob, AppConfig>> out;
+      while (free_slots-- && !jobs_.empty()) {
+        out.emplace_back(jobs_.front(),
+                         AppConfig{sim::FreqLevel::F2_4, 128, 2});
+        jobs_.pop_front();
+      }
+      return out;
+    }
+    std::optional<AppConfig> retune(
+        const RunningJob& running,
+        std::span<const RunningJob> others) override {
+      if (others.size() == 1 && jobs_.empty() && running.cfg.mappers != 8) {
+        return AppConfig{sim::FreqLevel::F2_4, 128, 8};
+      }
+      return std::nullopt;
+    }
+
+   private:
+    std::deque<QueuedJob> jobs_;
+  };
+
+  std::deque<QueuedJob> jobs;
+  jobs.push_back(make_job(0, "GP", 1.0));   // short
+  jobs.push_back(make_job(1, "WC", 2.0));   // long survivor
+  ExpandingDispatcher expanding(jobs);
+  ClusterEngine e1(eval_, 1, 2);
+  const double t_expand = e1.run(expanding).makespan_s;
+
+  FifoDispatcher fixed(jobs, AppConfig{sim::FreqLevel::F2_4, 128, 2});
+  ClusterEngine e2(eval_, 1, 2);
+  const double t_fixed = e2.run(fixed).makespan_s;
+  EXPECT_LT(t_expand, 0.8 * t_fixed);
+}
+
+TEST_F(ClusterEngineTest, InvalidConstructionThrows) {
+  EXPECT_THROW(ClusterEngine(eval_, 0, 2), ecost::InvariantError);
+  EXPECT_THROW(ClusterEngine(eval_, 1, 0), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::core

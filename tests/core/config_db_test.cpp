@@ -1,0 +1,107 @@
+#include "core/config_db.hpp"
+
+#include "core/class_pair.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ecost::core {
+namespace {
+
+using mapreduce::AppClass;
+using mapreduce::AppConfig;
+using mapreduce::PairConfig;
+
+PairConfig cfg(int m1, int m2) {
+  return {{sim::FreqLevel::F2_4, 512, m1}, {sim::FreqLevel::F1_2, 128, m2}};
+}
+
+TEST(ConfigDbTest, KeepsMinimumEdpEntry) {
+  ConfigDatabase db;
+  const PairSide a{AppClass::Compute, 1.0};
+  const PairSide b{AppClass::IoBound, 1.0};
+  db.record(a, b, cfg(4, 4), 100.0);
+  db.record(a, b, cfg(2, 6), 50.0);
+  db.record(a, b, cfg(6, 2), 80.0);
+  const auto e = db.lookup(a, b);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->edp, 50.0);
+  EXPECT_EQ(e->cfg.first.mappers, 2);
+}
+
+TEST(ConfigDbTest, SymmetricKeysCoincide) {
+  ConfigDatabase db;
+  const PairSide c{AppClass::Compute, 1.0};
+  const PairSide m{AppClass::MemBound, 5.0};
+  db.record(c, m, cfg(1, 7), 10.0);
+  EXPECT_EQ(db.size(), 1u);
+  // Looking up in the reversed order mirrors the config.
+  const auto e = db.lookup(m, c);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->cfg.first.mappers, 7);
+  EXPECT_EQ(e->cfg.second.mappers, 1);
+}
+
+TEST(ConfigDbTest, RecordingInEitherOrderIsEquivalent) {
+  ConfigDatabase db1, db2;
+  const PairSide c{AppClass::Compute, 1.0};
+  const PairSide m{AppClass::MemBound, 5.0};
+  db1.record(c, m, cfg(1, 7), 10.0);
+  db2.record(m, c, cfg(7, 1), 10.0);
+  const auto e1 = db1.lookup(c, m);
+  const auto e2 = db2.lookup(c, m);
+  ASSERT_TRUE(e1 && e2);
+  EXPECT_EQ(e1->cfg.first.mappers, e2->cfg.first.mappers);
+}
+
+TEST(ConfigDbTest, MissingKeyIsEmpty) {
+  ConfigDatabase db;
+  EXPECT_FALSE(db.lookup({AppClass::Compute, 1.0}, {AppClass::Hybrid, 1.0})
+                   .has_value());
+}
+
+TEST(ConfigDbTest, NearestLookupPicksClosestSizes) {
+  ConfigDatabase db;
+  const PairSide a1{AppClass::IoBound, 1.0};
+  const PairSide a10{AppClass::IoBound, 10.0};
+  db.record(a1, a1, cfg(4, 4), 1.0);
+  db.record(a10, a10, cfg(2, 6), 2.0);
+  const auto near1 = db.lookup_nearest({AppClass::IoBound, 1.5},
+                                       {AppClass::IoBound, 1.5});
+  ASSERT_TRUE(near1.has_value());
+  EXPECT_EQ(near1->cfg.first.mappers, 4);
+  const auto near10 = db.lookup_nearest({AppClass::IoBound, 8.0},
+                                        {AppClass::IoBound, 8.0});
+  ASSERT_TRUE(near10.has_value());
+  EXPECT_EQ(near10->cfg.first.mappers, 2);
+}
+
+TEST(ConfigDbTest, NearestRequiresClassMatch) {
+  ConfigDatabase db;
+  db.record({AppClass::IoBound, 1.0}, {AppClass::IoBound, 1.0}, cfg(4, 4),
+            1.0);
+  EXPECT_FALSE(db.lookup_nearest({AppClass::Compute, 1.0},
+                                 {AppClass::Compute, 1.0})
+                   .has_value());
+}
+
+TEST(ConfigDbTest, NegativeEdpRejected) {
+  ConfigDatabase db;
+  EXPECT_THROW(db.record({AppClass::Compute, 1.0}, {AppClass::Compute, 1.0},
+                         cfg(4, 4), -1.0),
+               ecost::InvariantError);
+}
+
+TEST(ClassPairTest, CanonicalizationAndLabel) {
+  bool swapped = false;
+  const ClassPair cp = ClassPair::of(AppClass::MemBound, AppClass::Compute,
+                                     &swapped);
+  EXPECT_TRUE(swapped);
+  EXPECT_EQ(cp.to_string(), "C-M");
+  const ClassPair same = ClassPair::of(AppClass::Compute, AppClass::MemBound);
+  EXPECT_EQ(cp, same);
+}
+
+}  // namespace
+}  // namespace ecost::core

@@ -1,0 +1,72 @@
+#include "core/db_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ecost::core {
+namespace {
+
+using mapreduce::AppClass;
+using mapreduce::PairConfig;
+
+ConfigDatabase sample_db() {
+  ConfigDatabase db;
+  db.record({AppClass::IoBound, 1.0}, {AppClass::IoBound, 1.0},
+            PairConfig{{sim::FreqLevel::F1_2, 128, 4},
+                       {sim::FreqLevel::F1_2, 128, 4}},
+            1.25);
+  db.record({AppClass::Compute, 5.0}, {AppClass::MemBound, 10.0},
+            PairConfig{{sim::FreqLevel::F2_4, 1024, 1},
+                       {sim::FreqLevel::F2_0, 512, 7}},
+            3.75);
+  return db;
+}
+
+TEST(DbIoTest, RoundTripPreservesEntries) {
+  const ConfigDatabase db = sample_db();
+  std::stringstream ss;
+  save_database(ss, db);
+  const ConfigDatabase loaded = load_database(ss);
+  ASSERT_EQ(loaded.size(), db.size());
+  const auto e = loaded.lookup({AppClass::Compute, 5.0},
+                               {AppClass::MemBound, 10.0});
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->edp, 3.75);
+  EXPECT_EQ(e->cfg.first.mappers, 1);
+  EXPECT_EQ(e->cfg.second.block_mib, 512);
+  EXPECT_EQ(e->cfg.second.freq, sim::FreqLevel::F2_0);
+}
+
+TEST(DbIoTest, EmptyDatabaseRoundTrips) {
+  std::stringstream ss;
+  save_database(ss, ConfigDatabase{});
+  EXPECT_EQ(load_database(ss).size(), 0u);
+}
+
+TEST(DbIoTest, ReversedLookupStillMirrors) {
+  const ConfigDatabase db = sample_db();
+  std::stringstream ss;
+  save_database(ss, db);
+  const ConfigDatabase loaded = load_database(ss);
+  const auto e = loaded.lookup({AppClass::MemBound, 10.0},
+                               {AppClass::Compute, 5.0});
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->cfg.first.mappers, 7);
+}
+
+TEST(DbIoTest, MalformedStreamsThrow) {
+  std::stringstream bad_header("wrong v1 0");
+  EXPECT_THROW(load_database(bad_header), ecost::InvariantError);
+  std::stringstream truncated("ecost-db v1 2\nC 1 C 1 2.4 128 4 2.4 128 4 1\n");
+  EXPECT_THROW(load_database(truncated), ecost::InvariantError);
+  std::stringstream bad_class("ecost-db v1 1\nZ 1 C 1 2.4 128 4 2.4 128 4 1\n");
+  EXPECT_THROW(load_database(bad_class), ecost::InvariantError);
+  std::stringstream bad_freq("ecost-db v1 1\nC 1 C 1 3.0 128 4 2.4 128 4 1\n");
+  EXPECT_THROW(load_database(bad_freq), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::core

@@ -1,0 +1,108 @@
+#include "core/ecost_dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/profiling.hpp"
+#include "tests/core/training_fixture.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::core {
+namespace {
+
+using mapreduce::JobSpec;
+
+ArrivingJob make_job(std::uint64_t id, const char* abbrev, double arrival,
+                     const TrainingData& td) {
+  ArrivingJob aj;
+  aj.arrival_s = arrival;
+  aj.job.id = id;
+  aj.job.info.job = JobSpec::of_gib(workloads::app_by_abbrev(abbrev), 1.0);
+  ProfilingOptions popts;
+  popts.seed = 9000 + id;
+  aj.job.info.features =
+      profile_application(testing::shared_eval(), aj.job.info.job.app, popts);
+  aj.job.info.cls = td.classifier.classify(aj.job.info.features);
+  aj.job.est_duration_s = 120.0;
+  return aj;
+}
+
+class EcostDispatcherTest : public ::testing::Test {
+ protected:
+  const mapreduce::NodeEvaluator& eval_ = testing::shared_eval();
+  const TrainingData& td_ = testing::shared_training_data();
+  MlmStp stp_{ModelKind::RepTree, td_, testing::shared_eval().spec()};
+};
+
+TEST_F(EcostDispatcherTest, BatchStreamRunsToCompletion) {
+  std::vector<ArrivingJob> jobs;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    jobs.push_back(make_job(i, i % 2 ? "ST" : "WC", 0.0, td_));
+  }
+  EcostDispatcher d(eval_, td_, stp_, std::move(jobs));
+  ClusterEngine engine(eval_, 2, 2);
+  const ClusterOutcome oc = engine.run(d);
+  EXPECT_EQ(oc.finish_times.size(), 6u);
+  EXPECT_EQ(d.decisions().size(), 6u);
+  EXPECT_EQ(d.queued(), 0u);
+}
+
+TEST_F(EcostDispatcherTest, DeferredArrivalsWaitForTheirTime) {
+  std::vector<ArrivingJob> jobs;
+  jobs.push_back(make_job(0, "GP", 0.0, td_));
+  jobs.push_back(make_job(1, "GP", 500.0, td_));  // long after job 0 ends
+  EcostDispatcher d(eval_, td_, stp_, std::move(jobs));
+  ClusterEngine engine(eval_, 1, 2);
+  const ClusterOutcome oc = engine.run(d);
+  ASSERT_EQ(oc.finish_times.size(), 2u);
+  // Job 1 must not start before t=500.
+  for (const auto& dec : d.decisions()) {
+    if (dec.job_id == 1) {
+      EXPECT_GE(dec.t_s, 500.0 - 1e-6);
+    }
+  }
+  EXPECT_GT(oc.makespan_s, 500.0);
+}
+
+TEST_F(EcostDispatcherTest, PairsHeadWithIoPartner) {
+  // Head is compute-bound; an I/O-bound job deeper in the queue leaps
+  // forward as its partner.
+  std::vector<ArrivingJob> jobs;
+  jobs.push_back(make_job(0, "WC", 0.0, td_));
+  jobs.push_back(make_job(1, "CF", 0.0, td_));
+  jobs.push_back(make_job(2, "ST", 0.0, td_));
+  EcostDispatcher d(eval_, td_, stp_, std::move(jobs));
+  ClusterEngine engine(eval_, 1, 2);
+  (void)engine.run(d);
+  ASSERT_GE(d.decisions().size(), 2u);
+  // First two placements are the head (job 0) and the leaping I job (2).
+  EXPECT_EQ(d.decisions()[0].job_id, 0u);
+  EXPECT_EQ(d.decisions()[1].job_id, 2u);
+  EXPECT_TRUE(d.decisions()[0].paired);
+  EXPECT_EQ(d.decisions()[0].partner_id, 2u);
+}
+
+TEST_F(EcostDispatcherTest, MidFlightArrivalJoinsSurvivor) {
+  std::vector<ArrivingJob> jobs;
+  jobs.push_back(make_job(0, "WC", 0.0, td_));   // long solo job
+  jobs.push_back(make_job(1, "ST", 30.0, td_));  // arrives mid-flight
+  EcostDispatcher d(eval_, td_, stp_, std::move(jobs));
+  ClusterEngine engine(eval_, 1, 2);
+  const ClusterOutcome oc = engine.run(d);
+  EXPECT_EQ(oc.finish_times.size(), 2u);
+  ASSERT_EQ(d.decisions().size(), 2u);
+  const auto& second = d.decisions()[1];
+  EXPECT_EQ(second.job_id, 1u);
+  EXPECT_GE(second.t_s, 30.0 - 1e-6);
+  EXPECT_TRUE(second.paired);
+  EXPECT_EQ(second.partner_id, 0u);
+}
+
+TEST_F(EcostDispatcherTest, NegativeArrivalRejected) {
+  std::vector<ArrivingJob> jobs;
+  jobs.push_back(make_job(0, "WC", -1.0, td_));
+  EXPECT_THROW(EcostDispatcher(eval_, td_, stp_, std::move(jobs)),
+               ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::core

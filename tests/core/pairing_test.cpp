@@ -1,0 +1,63 @@
+#include "core/pairing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ecost::core {
+namespace {
+
+using mapreduce::AppClass;
+
+TEST(PairingTest, DefaultPriorityIsPaperOrder) {
+  const auto p = PairingPolicy::default_priority();
+  EXPECT_EQ(p[0], AppClass::IoBound);
+  EXPECT_EQ(p[1], AppClass::Hybrid);
+  EXPECT_EQ(p[2], AppClass::Compute);
+  EXPECT_EQ(p[3], AppClass::MemBound);
+}
+
+TEST(PairingTest, RankFollowsPriority) {
+  const PairingPolicy policy;
+  EXPECT_EQ(policy.rank(AppClass::IoBound), 0);
+  EXPECT_EQ(policy.rank(AppClass::Hybrid), 1);
+  EXPECT_EQ(policy.rank(AppClass::Compute), 2);
+  EXPECT_EQ(policy.rank(AppClass::MemBound), 3);
+}
+
+TEST(PairingTest, DerivePriorityFromEdpTable) {
+  // Synthetic Figure 5 data: pairing with I is cheapest for everyone,
+  // pairing with M worst.
+  std::map<ClassPair, double> edp;
+  auto set = [&](AppClass a, AppClass b, double v) {
+    edp[ClassPair::of(a, b)] = v;
+  };
+  set(AppClass::Compute, AppClass::IoBound, 1.0);
+  set(AppClass::Compute, AppClass::Hybrid, 2.0);
+  set(AppClass::Compute, AppClass::Compute, 3.0);
+  set(AppClass::Compute, AppClass::MemBound, 9.0);
+
+  const auto order =
+      PairingPolicy::derive_priority(edp, AppClass::Compute);
+  EXPECT_EQ(order[0], AppClass::IoBound);
+  EXPECT_EQ(order[1], AppClass::Hybrid);
+  EXPECT_EQ(order[2], AppClass::Compute);
+  EXPECT_EQ(order[3], AppClass::MemBound);
+}
+
+TEST(PairingTest, MissingCombinationsRankLast) {
+  std::map<ClassPair, double> edp;
+  edp[ClassPair::of(AppClass::IoBound, AppClass::IoBound)] = 1.0;
+  const auto order = PairingPolicy::derive_priority(edp, AppClass::IoBound);
+  EXPECT_EQ(order[0], AppClass::IoBound);
+}
+
+TEST(PairingTest, CustomPriorityRespected) {
+  const PairingPolicy policy({AppClass::MemBound, AppClass::Compute,
+                              AppClass::Hybrid, AppClass::IoBound});
+  EXPECT_EQ(policy.rank(AppClass::MemBound), 0);
+  EXPECT_EQ(policy.rank(AppClass::IoBound), 3);
+}
+
+}  // namespace
+}  // namespace ecost::core

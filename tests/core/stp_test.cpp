@@ -1,0 +1,139 @@
+#include "core/stp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/profiling.hpp"
+#include "tests/core/training_fixture.hpp"
+#include "tuning/brute_force.hpp"
+#include "util/error.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::core {
+namespace {
+
+using mapreduce::JobSpec;
+using mapreduce::PairConfig;
+
+AppInfo make_info(const char* abbrev, double gib, std::uint64_t seed) {
+  AppInfo info;
+  info.job = JobSpec::of_gib(workloads::app_by_abbrev(abbrev), gib);
+  ProfilingOptions opts;
+  opts.seed = seed;
+  info.features = profile_application(testing::shared_eval(),
+                                      info.job.app, opts);
+  return info;
+}
+
+TEST(StpTest, TrainingDataIsPopulated) {
+  const TrainingData& td = testing::shared_training_data();
+  EXPECT_EQ(td.db.size(), 10u);  // 10 class pairs at one size
+  EXPECT_EQ(td.train_rows.size(), 10u);
+  EXPECT_FALSE(td.solo_db.empty());
+  EXPECT_FALSE(td.candidate_configs.empty());
+  for (const auto& [cp, rows] : td.train_rows) {
+    EXPECT_GT(rows.size(), 100u) << cp.to_string();
+    EXPECT_EQ(rows.x.cols(), stp_row_arity());
+  }
+}
+
+TEST(StpTest, LktPredictsValidConfig) {
+  const TrainingData& td = testing::shared_training_data();
+  const LkTStp lkt(td);
+  const AppInfo a = make_info("SVM", 1.0, 1);
+  const AppInfo b = make_info("CF", 1.0, 2);
+  const PairConfig cfg = lkt.predict(a, b);
+  EXPECT_NO_THROW(cfg.validate(testing::shared_eval().spec()));
+}
+
+TEST(StpTest, LktIsOrderConsistent) {
+  const TrainingData& td = testing::shared_training_data();
+  const LkTStp lkt(td);
+  const AppInfo a = make_info("SVM", 1.0, 3);
+  const AppInfo b = make_info("PR", 1.0, 4);
+  const PairConfig ab = lkt.predict(a, b);
+  const PairConfig ba = lkt.predict(b, a);
+  EXPECT_EQ(ab.first, ba.second);
+  EXPECT_EQ(ab.second, ba.first);
+}
+
+TEST(StpTest, RepTreePredictionNearOracle) {
+  const TrainingData& td = testing::shared_training_data();
+  const auto& eval = testing::shared_eval();
+  const MlmStp stp(ModelKind::RepTree, td, eval.spec());
+  const tuning::BruteForce bf(eval);
+  const AppInfo a = make_info("NB", 1.0, 5);
+  const AppInfo b = make_info("PR", 1.0, 6);
+  const double oracle = bf.colao(a.job, b.job).edp;
+  const double chosen = bf.pair_edp(a.job, b.job, stp.predict(a, b));
+  // Paper Table 2: REPTree within ~16% worst case of the oracle.
+  EXPECT_LT(chosen / oracle, 1.25);
+  EXPECT_GE(chosen / oracle, 1.0 - 1e-9);  // oracle is a lower bound
+}
+
+TEST(StpTest, ModelsTrainPerClassPair) {
+  const TrainingData& td = testing::shared_training_data();
+  const auto models = train_models(ModelKind::RepTree, td);
+  EXPECT_EQ(models.size(), td.train_rows.size());
+  for (const auto& [cp, model] : models) {
+    const auto& rows = td.train_rows.at(cp);
+    // The model must reproduce its own training rows far better than the
+    // row mean (sanity of the fit).
+    double mean = 0.0;
+    for (double y : rows.y) mean += y;
+    mean /= static_cast<double>(rows.size());
+    double sse_model = 0.0, sse_mean = 0.0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const double p = model->predict(rows.x.row(i));
+      sse_model += (p - rows.y[i]) * (p - rows.y[i]);
+      sse_mean += (mean - rows.y[i]) * (mean - rows.y[i]);
+    }
+    EXPECT_LT(sse_model, 0.3 * sse_mean) << cp.to_string();
+  }
+}
+
+TEST(StpTest, LinearRegressionIsWorseThanRepTree) {
+  // Table 1's headline: LR cannot capture the EDP surface.
+  const TrainingData& td = testing::shared_training_data();
+  const auto lr = train_models(ModelKind::LinearRegression, td);
+  const auto tree = train_models(ModelKind::RepTree, td);
+  double lr_sse = 0.0, tree_sse = 0.0;
+  for (const auto& [cp, rows] : td.validation_rows) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const double pl = lr.at(cp)->predict(rows.x.row(i));
+      const double pt = tree.at(cp)->predict(rows.x.row(i));
+      lr_sse += (pl - rows.y[i]) * (pl - rows.y[i]);
+      tree_sse += (pt - rows.y[i]) * (pt - rows.y[i]);
+    }
+  }
+  EXPECT_GT(lr_sse, 5.0 * tree_sse);
+}
+
+TEST(StpTest, TrainSecondsIsMeasured) {
+  const TrainingData& td = testing::shared_training_data();
+  const MlmStp stp(ModelKind::RepTree, td, testing::shared_eval().spec());
+  EXPECT_GT(stp.train_seconds(), 0.0);
+}
+
+TEST(StpTest, ModelKindNames) {
+  EXPECT_EQ(to_string(ModelKind::LinearRegression), "LR");
+  EXPECT_EQ(to_string(ModelKind::RepTree), "REPTree");
+  EXPECT_EQ(to_string(ModelKind::Mlp), "MLP");
+}
+
+TEST(StpTest, StpRowLayout) {
+  EXPECT_EQ(stp_row_arity(), 22u);
+  const std::vector<double> sel(7, 1.0);
+  const PairConfig pc{{sim::FreqLevel::F2_4, 512, 3},
+                      {sim::FreqLevel::F1_2, 64, 5}};
+  const auto row = stp_row(sel, 1.0, sel, 5.0, pc);
+  ASSERT_EQ(row.size(), 22u);
+  EXPECT_DOUBLE_EQ(row[7], 1.0);    // size_a
+  EXPECT_DOUBLE_EQ(row[15], 5.0);   // size_b
+  EXPECT_DOUBLE_EQ(row[16], 2.4);   // ghz_a
+  EXPECT_DOUBLE_EQ(row[17], 9.0);   // log2(512)
+  EXPECT_DOUBLE_EQ(row[18], 3.0);   // mappers_a
+  EXPECT_DOUBLE_EQ(row[21], 5.0);   // mappers_b
+}
+
+}  // namespace
+}  // namespace ecost::core

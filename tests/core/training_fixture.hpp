@@ -1,0 +1,26 @@
+// Shared, lazily-built reduced training data for core-layer tests: one
+// input size and a modest row budget keep the sweep around a second while
+// still exercising the full pipeline.
+#pragma once
+
+#include "core/dataset_builder.hpp"
+#include "mapreduce/node_evaluator.hpp"
+
+namespace ecost::core::testing {
+
+inline const mapreduce::NodeEvaluator& shared_eval() {
+  static const mapreduce::NodeEvaluator eval;
+  return eval;
+}
+
+inline const TrainingData& shared_training_data() {
+  static const TrainingData td = [] {
+    SweepOptions opts;
+    opts.sizes_gib = {1.0};
+    opts.max_rows_per_class_pair = 3000;
+    return build_training_data(shared_eval(), opts);
+  }();
+  return td;
+}
+
+}  // namespace ecost::core::testing

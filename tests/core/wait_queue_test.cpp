@@ -1,0 +1,96 @@
+#include "core/wait_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::core {
+namespace {
+
+using mapreduce::AppClass;
+
+QueuedJob make_job(std::uint64_t id, AppClass cls, double est = 100.0) {
+  QueuedJob qj;
+  qj.id = id;
+  qj.info.cls = cls;
+  qj.est_duration_s = est;
+  return qj;
+}
+
+TEST(WaitQueueTest, FifoBasics) {
+  WaitQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(make_job(1, AppClass::Compute));
+  q.push(make_job(2, AppClass::Hybrid));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.head_class(), AppClass::Compute);
+  EXPECT_EQ(q.pop_head()->id, 1u);
+  EXPECT_EQ(q.pop_head()->id, 2u);
+  EXPECT_FALSE(q.pop_head().has_value());
+}
+
+TEST(WaitQueueTest, PopForPrefersIoBoundPartner) {
+  WaitQueue q;
+  q.push(make_job(1, AppClass::Compute, 10.0));
+  q.push(make_job(2, AppClass::IoBound, 10.0));
+  PairingPolicy policy;
+  const auto picked = q.pop_for(AppClass::Compute, 100.0, policy);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->id, 2u);  // the I job leapt forward
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.head_class(), AppClass::Compute);
+}
+
+TEST(WaitQueueTest, LeapDeniedWhenJobWouldDelayHead) {
+  WaitQueue q;
+  q.push(make_job(1, AppClass::Compute, 10.0));
+  q.push(make_job(2, AppClass::IoBound, 500.0));  // too long to leap
+  PairingPolicy policy;
+  const auto picked = q.pop_for(AppClass::Compute, 100.0, policy);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->id, 1u);  // head retained its reservation
+}
+
+TEST(WaitQueueTest, HeadAlwaysEligibleEvenIfLong) {
+  WaitQueue q;
+  q.push(make_job(1, AppClass::MemBound, 1e9));
+  PairingPolicy policy;
+  const auto picked = q.pop_for(AppClass::Compute, 1.0, policy);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->id, 1u);
+}
+
+TEST(WaitQueueTest, FifoBreaksTiesAmongEqualRank) {
+  WaitQueue q;
+  q.push(make_job(1, AppClass::Hybrid, 10.0));
+  q.push(make_job(2, AppClass::Hybrid, 10.0));
+  PairingPolicy policy;
+  EXPECT_EQ(q.pop_for(AppClass::Compute, 100.0, policy)->id, 1u);
+}
+
+TEST(WaitQueueTest, BetterClassDeeperInQueueWins) {
+  WaitQueue q;
+  q.push(make_job(1, AppClass::MemBound, 10.0));
+  q.push(make_job(2, AppClass::Compute, 10.0));
+  q.push(make_job(3, AppClass::IoBound, 10.0));
+  PairingPolicy policy;
+  EXPECT_EQ(q.pop_for(AppClass::Hybrid, 100.0, policy)->id, 3u);
+  // Head is still the memory-bound job.
+  EXPECT_EQ(q.head_class(), AppClass::MemBound);
+}
+
+TEST(WaitQueueTest, EmptyQueueReturnsNothing) {
+  WaitQueue q;
+  PairingPolicy policy;
+  EXPECT_FALSE(q.pop_for(AppClass::Compute, 100.0, policy).has_value());
+}
+
+TEST(WaitQueueTest, NegativeEstimateRejected) {
+  WaitQueue q;
+  EXPECT_THROW(q.push(make_job(1, AppClass::Compute, -1.0)),
+               ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::core

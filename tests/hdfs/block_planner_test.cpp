@@ -1,0 +1,79 @@
+#include "hdfs/block_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "hdfs/config.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecost::hdfs {
+namespace {
+
+TEST(BlockPlannerTest, ExactMultipleProducesFullBlocks) {
+  const auto plan = plan_blocks(static_cast<std::uint64_t>(gib_to_bytes(1.0)),
+                                128);
+  EXPECT_EQ(plan.num_blocks(), 8u);
+  EXPECT_EQ(plan.partial_bytes(), 0u);
+  for (const Block& b : plan.blocks) {
+    EXPECT_EQ(b.bytes, static_cast<std::uint64_t>(mib_to_bytes(128)));
+  }
+}
+
+TEST(BlockPlannerTest, TrailingPartialBlock) {
+  const std::uint64_t input =
+      static_cast<std::uint64_t>(mib_to_bytes(300));  // 2x128 + 44
+  const auto plan = plan_blocks(input, 128);
+  EXPECT_EQ(plan.num_blocks(), 3u);
+  EXPECT_EQ(plan.partial_bytes(), static_cast<std::uint64_t>(mib_to_bytes(44)));
+}
+
+TEST(BlockPlannerTest, TinyInputStillGetsOneBlock) {
+  const auto plan = plan_blocks(1000, 64);
+  EXPECT_EQ(plan.num_blocks(), 1u);
+  EXPECT_EQ(plan.blocks[0].bytes, 1000u);
+  EXPECT_EQ(plan.partial_bytes(), 1000u);
+}
+
+TEST(BlockPlannerTest, EmptyInputProducesNoBlocks) {
+  const auto plan = plan_blocks(0, 64);
+  EXPECT_EQ(plan.num_blocks(), 0u);
+  EXPECT_EQ(plan.partial_bytes(), 0u);
+}
+
+TEST(BlockPlannerTest, ConservesBytes) {
+  for (int block : kBlockSizesMib) {
+    const std::uint64_t input = static_cast<std::uint64_t>(gib_to_bytes(10.0)) + 12345;
+    const auto plan = plan_blocks(input, block);
+    std::uint64_t total = 0;
+    for (const Block& b : plan.blocks) total += b.bytes;
+    EXPECT_EQ(total, input) << "block size " << block;
+  }
+}
+
+TEST(BlockPlannerTest, InvalidBlockSizeThrows) {
+  EXPECT_THROW(plan_blocks(1000, 100), ecost::InvariantError);
+  EXPECT_THROW(plan_blocks(1000, 0), ecost::InvariantError);
+}
+
+TEST(BlockPlannerTest, BlockCountMatchesPaperArithmetic) {
+  // 10 GiB per node at 64 MiB blocks = 160 map tasks; at 1024 MiB = 10.
+  EXPECT_EQ(plan_blocks(static_cast<std::uint64_t>(gib_to_bytes(10.0)), 64)
+                .num_blocks(),
+            160u);
+  EXPECT_EQ(plan_blocks(static_cast<std::uint64_t>(gib_to_bytes(10.0)), 1024)
+                .num_blocks(),
+            10u);
+}
+
+TEST(HdfsConfigTest, StudiedBlockSizes) {
+  EXPECT_TRUE(is_valid_block_mib(64));
+  EXPECT_TRUE(is_valid_block_mib(1024));
+  EXPECT_FALSE(is_valid_block_mib(96));
+  EXPECT_EQ(kBlockSizesMib.size(), 5u);
+  EXPECT_EQ(kInputSizesGib.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ecost::hdfs

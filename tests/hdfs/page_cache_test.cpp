@@ -1,0 +1,68 @@
+#include "hdfs/page_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/node_spec.hpp"
+#include "util/error.hpp"
+
+namespace ecost::hdfs {
+namespace {
+
+sim::NodeSpec spec() { return sim::NodeSpec::atom_c2758(); }
+
+TEST(PageCacheTest, CapacityIsRamMinusFootprint) {
+  PageCache cache(spec(), 1024.0);
+  EXPECT_DOUBLE_EQ(cache.capacity_mib(), spec().ram_gib * 1024.0 - 1024.0);
+}
+
+TEST(PageCacheTest, FootprintBeyondRamYieldsZeroCapacity) {
+  PageCache cache(spec(), 1e9);
+  EXPECT_DOUBLE_EQ(cache.capacity_mib(), 0.0);
+  EXPECT_DOUBLE_EQ(cache.absorb_write(100.0), 0.0);
+}
+
+TEST(PageCacheTest, FlushEmptiesCache) {
+  PageCache cache(spec(), 0.0);
+  cache.absorb_write(500.0);
+  EXPECT_GT(cache.cached_mib(), 0.0);
+  cache.flush();
+  EXPECT_DOUBLE_EQ(cache.cached_mib(), 0.0);
+}
+
+TEST(PageCacheTest, AbsorbsWritesUpToCapacity) {
+  PageCache cache(spec(), 0.0);
+  const double cap = cache.capacity_mib();
+  EXPECT_DOUBLE_EQ(cache.absorb_write(cap / 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(cache.cached_mib(), cap / 2.0);
+  // Second giant write only partially fits.
+  const double frac = cache.absorb_write(cap);
+  EXPECT_NEAR(frac, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(cache.cached_mib(), cap);
+}
+
+TEST(PageCacheTest, ReadHitFractionGrowsWithResidency) {
+  PageCache cache(spec(), 0.0);
+  EXPECT_DOUBLE_EQ(cache.read_hit_fraction(10.0), 0.0);  // cold after flush
+  cache.absorb_write(cache.capacity_mib() / 2.0);
+  EXPECT_NEAR(cache.read_hit_fraction(10.0), 0.5, 1e-12);
+}
+
+TEST(PageCacheTest, WritebackDrains) {
+  PageCache cache(spec(), 0.0);
+  cache.absorb_write(100.0);
+  cache.writeback(40.0);
+  EXPECT_DOUBLE_EQ(cache.cached_mib(), 60.0);
+  cache.writeback(1000.0);
+  EXPECT_DOUBLE_EQ(cache.cached_mib(), 0.0);
+}
+
+TEST(PageCacheTest, RejectsNegativeArguments) {
+  PageCache cache(spec(), 0.0);
+  EXPECT_THROW(cache.absorb_write(-1.0), ecost::InvariantError);
+  EXPECT_THROW(cache.read_hit_fraction(-1.0), ecost::InvariantError);
+  EXPECT_THROW(cache.writeback(-1.0), ecost::InvariantError);
+  EXPECT_THROW(PageCache(spec(), -5.0), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::hdfs

@@ -1,0 +1,106 @@
+// Cross-validation of the two execution engines: the closed-form wave
+// evaluator (NodeEvaluator) and the discrete-event runner (NodeRunner) share
+// the same task physics and must agree on aggregate outcomes.
+#include <gtest/gtest.h>
+
+#include "mapreduce/node_evaluator.hpp"
+#include "mapreduce/node_runner.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::mapreduce {
+namespace {
+
+struct EngineCase {
+  std::string abbrev;
+  double gib;
+  AppConfig cfg;
+};
+
+class EngineAgreement : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineAgreement, SoloRunsAgree) {
+  const auto& p = GetParam();
+  const sim::NodeSpec spec = sim::NodeSpec::atom_c2758();
+  const JobSpec job = JobSpec::of_gib(workloads::app_by_abbrev(p.abbrev),
+                                      p.gib);
+  const NodeEvaluator eval(spec);
+  const RunResult analytic = eval.run_solo(job, p.cfg);
+
+  NodeRunner runner(spec, 1234);
+  runner.set_jitter(0.0);
+  const DesResult des = runner.run_solo(job, p.cfg);
+
+  EXPECT_NEAR(des.run.makespan_s, analytic.makespan_s,
+              0.15 * analytic.makespan_s)
+      << "makespan drift";
+  EXPECT_NEAR(des.run.energy_dyn_j, analytic.energy_dyn_j,
+              0.20 * analytic.energy_dyn_j)
+      << "energy drift";
+}
+
+std::vector<EngineCase> engine_cases() {
+  std::vector<EngineCase> out;
+  for (const char* a : {"WC", "ST", "GP", "TS", "CF"}) {
+    out.push_back({a, 1.0, {sim::FreqLevel::F2_4, 128, 4}});
+    out.push_back({a, 1.0, {sim::FreqLevel::F1_2, 256, 8}});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, EngineAgreement,
+                         ::testing::ValuesIn(engine_cases()),
+                         [](const auto& info) {
+                           return info.param.abbrev + "_" +
+                                  std::to_string(info.index);
+                         });
+
+TEST(EngineAgreementPair, CoLocatedRunsAgree) {
+  const sim::NodeSpec spec = sim::NodeSpec::atom_c2758();
+  const JobSpec a = JobSpec::of_gib(workloads::app_by_abbrev("GP"), 1.0);
+  const JobSpec b = JobSpec::of_gib(workloads::app_by_abbrev("ST"), 1.0);
+  const AppConfig ca{sim::FreqLevel::F2_4, 128, 4};
+  const AppConfig cb{sim::FreqLevel::F2_4, 128, 4};
+
+  const NodeEvaluator eval(spec);
+  const RunResult analytic = eval.run_pair(a, ca, b, cb);
+
+  NodeRunner runner(spec, 77);
+  runner.set_jitter(0.0);
+  const DesResult des = runner.run_pair(a, ca, b, cb);
+
+  EXPECT_NEAR(des.run.makespan_s, analytic.makespan_s,
+              0.25 * analytic.makespan_s);
+  EXPECT_NEAR(des.run.energy_dyn_j, analytic.energy_dyn_j,
+              0.30 * analytic.energy_dyn_j);
+}
+
+TEST(EngineAgreementPair, EdpRankingIsPreserved) {
+  // The two engines must agree on *decisions*: which of two configs is
+  // better. Sampled over several config pairs for an I/O-bound job.
+  const sim::NodeSpec spec = sim::NodeSpec::atom_c2758();
+  const JobSpec job = JobSpec::of_gib(workloads::app_by_abbrev("ST"), 1.0);
+  const NodeEvaluator eval(spec);
+
+  const AppConfig candidates[] = {
+      {sim::FreqLevel::F1_2, 64, 8},  {sim::FreqLevel::F2_4, 128, 2},
+      {sim::FreqLevel::F2_4, 512, 4}, {sim::FreqLevel::F1_6, 1024, 6},
+  };
+  int agreements = 0, comparisons = 0;
+  for (std::size_t i = 0; i < std::size(candidates); ++i) {
+    for (std::size_t j = i + 1; j < std::size(candidates); ++j) {
+      const double ea = eval.run_solo(job, candidates[i]).edp();
+      const double eb = eval.run_solo(job, candidates[j]).edp();
+      NodeRunner r1(spec, 5), r2(spec, 5);
+      r1.set_jitter(0.0);
+      r2.set_jitter(0.0);
+      const double da = r1.run_solo(job, candidates[i]).run.edp();
+      const double db = r2.run_solo(job, candidates[j]).run.edp();
+      agreements += ((ea < eb) == (da < db));
+      ++comparisons;
+    }
+  }
+  EXPECT_GE(agreements, comparisons - 1);  // at most one borderline flip
+}
+
+}  // namespace
+}  // namespace ecost::mapreduce

@@ -1,0 +1,134 @@
+// End-to-end assertions of the paper's qualitative results: these are the
+// claims the reproduction must preserve (see DESIGN.md section 3).
+#include <gtest/gtest.h>
+
+#include "core/profiling.hpp"
+#include "hdfs/config.hpp"
+#include "core/stp.hpp"
+#include "tests/core/training_fixture.hpp"
+#include "tuning/brute_force.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost {
+namespace {
+
+using core::testing::shared_eval;
+using core::testing::shared_training_data;
+using mapreduce::JobSpec;
+
+JobSpec job(const char* abbrev, double gib = 1.0) {
+  return JobSpec::of_gib(workloads::app_by_abbrev(abbrev), gib);
+}
+
+TEST(PaperShapes, ConcurrentTuningBeatsIndividualTuning) {
+  // Figure 2: tuning block size and frequency together achieves lower EDP
+  // than tuning either alone (mappers fixed at 2, where sensitivity is
+  // high).
+  const auto& eval = shared_eval();
+  const JobSpec j = job("TS");
+  auto edp_of = [&](sim::FreqLevel f, int h) {
+    return eval.run_solo(j, {f, h, 2}).edp();
+  };
+  double best_block_only = 1e300, best_freq_only = 1e300, best_both = 1e300;
+  for (int h : hdfs::kBlockSizesMib) {
+    best_block_only = std::min(best_block_only, edp_of(sim::FreqLevel::F1_2, h));
+  }
+  for (sim::FreqLevel f : sim::kAllFreqLevels) {
+    best_freq_only = std::min(best_freq_only, edp_of(f, 64));
+  }
+  for (int h : hdfs::kBlockSizesMib) {
+    for (sim::FreqLevel f : sim::kAllFreqLevels) {
+      best_both = std::min(best_both, edp_of(f, h));
+    }
+  }
+  EXPECT_LT(best_both, best_block_only);
+  EXPECT_LT(best_both, best_freq_only);
+}
+
+TEST(PaperShapes, SensitivityShrinksWithMapperCount) {
+  // Figure 2's remark: EDP improvement from tuning shrinks as the mapper
+  // count grows.
+  const auto& eval = shared_eval();
+  const JobSpec j = job("TS");
+  auto improvement_at = [&](int m) {
+    const double base = eval.run_solo(j, {sim::FreqLevel::F1_2, 64, m}).edp();
+    double best = 1e300;
+    for (int h : hdfs::kBlockSizesMib) {
+      for (sim::FreqLevel f : sim::kAllFreqLevels) {
+        best = std::min(best, eval.run_solo(j, {f, h, m}).edp());
+      }
+    }
+    return (base - best) / base;
+  };
+  EXPECT_GT(improvement_at(1), improvement_at(8));
+}
+
+TEST(PaperShapes, ColaoVsIlaoOrderingAcrossClasses) {
+  // Figure 3: the I-I pair gains the most from co-location; memory pairs
+  // the least.
+  const auto& eval = shared_eval();
+  const tuning::BruteForce bf(eval);
+  auto ratio = [&](const char* a, const char* b) {
+    return bf.ilao(job(a), job(b)).edp / bf.colao(job(a), job(b)).edp;
+  };
+  const double ii = ratio("ST", "ST");
+  const double hh = ratio("TS", "TS");
+  const double mm = ratio("FP", "FP");
+  EXPECT_GT(ii, 2.0);      // large I-I win
+  EXPECT_GT(ii, hh);
+  EXPECT_GT(hh, mm * 0.99);
+  EXPECT_LT(mm, 1.5);      // memory pairs barely gain
+}
+
+TEST(PaperShapes, PairPriorityRankingFavorsIoPartners) {
+  // Figure 5: for every running class, an I/O-bound partner minimizes EDP,
+  // and a memory-bound partner maximizes it.
+  const auto& eval = shared_eval();
+  const tuning::BruteForce bf(eval);
+  for (const char* current : {"WC", "TS", "ST", "CF"}) {
+    const double with_io = bf.colao(job(current), job("ST")).edp;
+    const double with_mem = bf.colao(job(current), job("CF")).edp;
+    EXPECT_LT(with_io, with_mem) << current;
+  }
+}
+
+TEST(PaperShapes, ClassifierRecognizesAllUnknownApps) {
+  const auto& td = shared_training_data();
+  std::uint64_t seed = 4242;
+  for (const auto& app : workloads::testing_apps()) {
+    core::ProfilingOptions opts;
+    opts.seed = seed++;
+    const auto fv = core::profile_application(shared_eval(), app, opts);
+    EXPECT_EQ(td.classifier.classify(fv), app.true_class) << app.abbrev;
+  }
+}
+
+TEST(PaperShapes, StpWithinPaperErrorBandOfOracle) {
+  // Table 2: LkT and REPTree predictions land within tens of percent of the
+  // COLAO oracle for unknown pairs (paper worst case 16%).
+  const auto& eval = shared_eval();
+  const auto& td = shared_training_data();
+  const tuning::BruteForce bf(eval);
+  const core::LkTStp lkt(td);
+  const core::MlmStp rep(core::ModelKind::RepTree, td, eval.spec());
+
+  const char* pairs[][2] = {{"SVM", "CF"}, {"HMM", "KM"}, {"NB", "PR"}};
+  for (const auto& p : pairs) {
+    core::AppInfo a, b;
+    a.job = job(p[0]);
+    b.job = job(p[1]);
+    core::ProfilingOptions opts;
+    opts.seed = 31;
+    a.features = core::profile_application(eval, a.job.app, opts);
+    opts.seed = 37;
+    b.features = core::profile_application(eval, b.job.app, opts);
+    const double oracle = bf.colao(a.job, b.job).edp;
+    const double e_lkt = bf.pair_edp(a.job, b.job, lkt.predict(a, b));
+    const double e_rep = bf.pair_edp(a.job, b.job, rep.predict(a, b));
+    EXPECT_LT(e_lkt / oracle, 1.30) << p[0] << "-" << p[1];
+    EXPECT_LT(e_rep / oracle, 1.30) << p[0] << "-" << p[1];
+  }
+}
+
+}  // namespace
+}  // namespace ecost

@@ -1,0 +1,133 @@
+#include "mapreduce/env_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/units.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::mapreduce {
+namespace {
+
+class EnvSolverTest : public ::testing::Test {
+ protected:
+  GroupCtx ctx(const char* abbrev, int concurrent,
+               double block_mib = 512.0) {
+    GroupCtx g;
+    g.app = &app(abbrev);
+    g.block_bytes = mib_to_bytes(block_mib);
+    g.freq = sim::FreqLevel::F2_4;
+    g.concurrent = concurrent;
+    return g;
+  }
+
+  const AppProfile& app(const char* abbrev) {
+    return workloads::app_by_abbrev(abbrev);
+  }
+
+  sim::NodeSpec spec_ = sim::NodeSpec::atom_c2758();
+  TaskModel model_{spec_};
+};
+
+TEST_F(EnvSolverTest, SingleGroupConverges) {
+  const GroupCtx g = ctx("WC", 4);
+  const JointEnv je = solve_joint_env(model_, std::span(&g, 1));
+  EXPECT_GT(je.rates[0].duration_s, 0.0);
+  EXPECT_GE(je.envs[0].mem_lat_mult, 1.0);
+  EXPECT_GE(je.envs[0].mpki_mult, 1.0);
+}
+
+TEST_F(EnvSolverTest, SolverIsDeterministic) {
+  const GroupCtx g = ctx("TS", 4);
+  const JointEnv a = solve_joint_env(model_, std::span(&g, 1));
+  const JointEnv b = solve_joint_env(model_, std::span(&g, 1));
+  EXPECT_DOUBLE_EQ(a.rates[0].duration_s, b.rates[0].duration_s);
+}
+
+TEST_F(EnvSolverTest, CoRunnerSlowsMemoryBoundApp) {
+  const GroupCtx solo = ctx("CF", 4);
+  const JointEnv alone = solve_joint_env(model_, std::span(&solo, 1));
+  const GroupCtx both[] = {ctx("CF", 4), ctx("CF", 4)};
+  const JointEnv shared = solve_joint_env(model_, both);
+  EXPECT_GT(shared.rates[0].duration_s, alone.rates[0].duration_s);
+  EXPECT_GT(shared.envs[0].mpki_mult, 1.0);
+}
+
+TEST_F(EnvSolverTest, TwoIoJobsShareTheDiskFairly) {
+  const GroupCtx both[] = {ctx("ST", 4), ctx("ST", 4)};
+  const JointEnv je = solve_joint_env(model_, both);
+  EXPECT_NEAR(je.envs[0].io_rate_mibps, je.envs[1].io_rate_mibps, 1e-6);
+  // Two saturating jobs cannot both hold the full per-job cap.
+  EXPECT_LT(je.envs[0].io_rate_mibps, spec_.disk_stream_cap_mibps);
+}
+
+TEST_F(EnvSolverTest, JobCapBindsASingleIoJob) {
+  // One I/O-bound job with many mappers is limited by the per-job pipeline
+  // cap, leaving disk headroom — the mechanism behind the I-I win.
+  const GroupCtx g = ctx("ST", 8, 128.0);
+  const JointEnv je = solve_joint_env(model_, std::span(&g, 1));
+  const double streams =
+      je.rates[0].io_duty * static_cast<double>(g.concurrent);
+  const double job_rate = je.envs[0].io_rate_mibps * streams;
+  EXPECT_LE(job_rate, spec_.disk_job_cap_mibps * 1.05);
+}
+
+TEST_F(EnvSolverTest, CrowdingScalesWithTotalTasks) {
+  const GroupCtx four = ctx("WC", 4);
+  const JointEnv a = solve_joint_env(model_, std::span(&four, 1));
+  const GroupCtx two_groups[] = {ctx("WC", 4), ctx("WC", 4)};
+  const JointEnv b = solve_joint_env(model_, two_groups);
+  EXPECT_GT(b.envs[0].cpu_eff_mult, a.envs[0].cpu_eff_mult);
+}
+
+TEST_F(EnvSolverTest, InactiveGroupContributesNothing) {
+  const GroupCtx groups[] = {ctx("WC", 4), ctx("CF", 0)};
+  const JointEnv with_idle = solve_joint_env(model_, groups);
+  const GroupCtx alone = ctx("WC", 4);
+  const JointEnv solo = solve_joint_env(model_, std::span(&alone, 1));
+  EXPECT_NEAR(with_idle.rates[0].duration_s, solo.rates[0].duration_s, 1e-9);
+  EXPECT_DOUBLE_EQ(with_idle.rates[1].duration_s, 0.0);
+}
+
+TEST_F(EnvSolverTest, ReduceGroupsAreSupported) {
+  GroupCtx g = ctx("ST", 4, 256.0);
+  g.is_reduce = true;
+  const JointEnv je = solve_joint_env(model_, std::span(&g, 1));
+  EXPECT_GT(je.rates[0].duration_s, 0.0);
+}
+
+TEST_F(EnvSolverTest, PerJobCrowdingPenalizesDeepCoLocation) {
+  // Eight tasks as one job vs as four jobs: same task count, but more
+  // resident jobs mean more AppMaster/daemon churn.
+  const GroupCtx one_job = ctx("WC", 8, 128.0);
+  const JointEnv single = solve_joint_env(model_, std::span(&one_job, 1));
+  const GroupCtx four_jobs[] = {ctx("WC", 2, 128.0), ctx("WC", 2, 128.0),
+                                ctx("WC", 2, 128.0), ctx("WC", 2, 128.0)};
+  const JointEnv multi = solve_joint_env(model_, four_jobs);
+  EXPECT_GT(multi.envs[0].cpu_eff_mult, single.envs[0].cpu_eff_mult);
+}
+
+TEST_F(EnvSolverTest, RamOvercommitInflatesMemoryLatency) {
+  // Eight co-resident memory-hungry jobs overcommit the 8 GiB node: paging
+  // must inflate effective memory latency beyond the bandwidth model alone.
+  std::vector<GroupCtx> jobs;
+  for (int i = 0; i < 8; ++i) jobs.push_back(ctx("CF", 1, 1024.0));
+  const JointEnv deep = solve_joint_env(model_, jobs);
+  const GroupCtx pair[] = {ctx("CF", 4, 1024.0), ctx("CF", 4, 1024.0)};
+  const JointEnv shallow = solve_joint_env(model_, pair);
+  EXPECT_GT(deep.envs[0].mem_lat_mult, shallow.envs[0].mem_lat_mult);
+}
+
+TEST_F(EnvSolverTest, MemoryDemandSelfLimits) {
+  // Eight memory-bound tasks: the fixed point must settle with finite
+  // latency inflation (demand backs off as latency rises).
+  const GroupCtx g = ctx("CF", 8);
+  const JointEnv je = solve_joint_env(model_, std::span(&g, 1));
+  EXPECT_TRUE(std::isfinite(je.envs[0].mem_lat_mult));
+  EXPECT_GT(je.envs[0].mem_lat_mult, 1.0);
+  EXPECT_LT(je.envs[0].mem_lat_mult, 10.0);
+}
+
+}  // namespace
+}  // namespace ecost::mapreduce

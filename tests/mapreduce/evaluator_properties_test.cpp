@@ -1,0 +1,104 @@
+// Property sweeps over the analytic evaluator: physical invariants that
+// must hold for EVERY application and knob, not just the calibrated cases.
+#include <gtest/gtest.h>
+
+#include "mapreduce/node_evaluator.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::mapreduce {
+namespace {
+
+class EvaluatorProperties : public ::testing::TestWithParam<std::string> {
+ protected:
+  static const NodeEvaluator& eval() {
+    static const NodeEvaluator e;
+    return e;
+  }
+  JobSpec job(double gib) const {
+    return JobSpec::of_gib(workloads::app_by_abbrev(GetParam()), gib);
+  }
+};
+
+TEST_P(EvaluatorProperties, MakespanAndEnergyGrowWithInput) {
+  const AppConfig cfg{sim::FreqLevel::F2_4, 256, 4};
+  double prev_t = 0.0, prev_e = 0.0;
+  for (double gib : {1.0, 2.0, 5.0, 10.0}) {
+    const RunResult rr = eval().run_solo(job(gib), cfg);
+    EXPECT_GT(rr.makespan_s, prev_t) << gib;
+    EXPECT_GT(rr.energy_dyn_j, prev_e) << gib;
+    prev_t = rr.makespan_s;
+    prev_e = rr.energy_dyn_j;
+  }
+}
+
+TEST_P(EvaluatorProperties, HigherFrequencyNeverMuchSlower) {
+  // Not strictly monotone: for I/O-heavy apps a faster CPU raises the I/O
+  // duty cycle, adding concurrent streams and seek overhead — a real
+  // second-order effect. It must stay second-order (<2%).
+  for (int block : {64, 512}) {
+    for (int m : {1, 4, 8}) {
+      double prev = 1e300;
+      for (sim::FreqLevel f : sim::kAllFreqLevels) {
+        const double t = eval().run_solo(job(1.0), {f, block, m}).makespan_s;
+        EXPECT_LE(t, prev * 1.02)
+            << "block=" << block << " m=" << m << " f=" << sim::to_string(f);
+        prev = std::min(prev, t);
+      }
+    }
+  }
+}
+
+TEST_P(EvaluatorProperties, MoreMappersNeverSlowerSolo) {
+  // Wall time: extra slots may not help (waves, contention) but can never
+  // hurt beyond the crowding margin.
+  for (int m = 2; m <= 8; m *= 2) {
+    const double t_small =
+        eval().run_solo(job(1.0), {sim::FreqLevel::F2_4, 64, m / 2}).makespan_s;
+    const double t_big =
+        eval().run_solo(job(1.0), {sim::FreqLevel::F2_4, 64, m}).makespan_s;
+    EXPECT_LE(t_big, t_small * 1.10) << m;
+  }
+}
+
+TEST_P(EvaluatorProperties, DynamicPowerWithinNodeEnvelope) {
+  for (sim::FreqLevel f : sim::kAllFreqLevels) {
+    const RunResult rr = eval().run_solo(job(1.0), {f, 256, 8});
+    const double p = rr.avg_dyn_power_w();
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 60.0);  // 8 Atom cores + uncore can't draw more
+  }
+}
+
+TEST_P(EvaluatorProperties, SelfPairSlowerThanHalfJobsSolo) {
+  // Two co-located copies can never beat two ideal contention-free halves.
+  const AppConfig cfg{sim::FreqLevel::F2_4, 128, 4};
+  const RunResult pair = eval().run_pair(job(1.0), cfg, job(1.0), cfg);
+  const RunResult solo = eval().run_solo(job(1.0), cfg);
+  EXPECT_GE(pair.makespan_s, solo.makespan_s * 0.999);
+  EXPECT_GE(pair.energy_dyn_j, solo.energy_dyn_j * 0.999);
+}
+
+TEST_P(EvaluatorProperties, TelemetryFractionsAreFractions) {
+  const RunResult rr = eval().run_solo(job(1.0), {sim::FreqLevel::F1_6, 128, 3});
+  const AppTelemetry& t = rr.apps[0];
+  EXPECT_GE(t.cpu_user_frac, 0.0);
+  EXPECT_LE(t.cpu_user_frac, 1.0);
+  EXPECT_GE(t.cpu_iowait_frac, 0.0);
+  EXPECT_LE(t.cpu_iowait_frac, 1.0);
+  EXPECT_LE(t.cpu_user_frac + t.cpu_iowait_frac, 1.0 + 1e-9);
+  EXPECT_GE(t.avg_active_cores, 0.0);
+  EXPECT_LE(t.avg_active_cores, 8.0 + 1e-9);
+}
+
+std::vector<std::string> all_abbrevs() {
+  std::vector<std::string> out;
+  for (const auto& app : workloads::all_apps()) out.push_back(app.abbrev);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, EvaluatorProperties,
+                         ::testing::ValuesIn(all_abbrevs()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace ecost::mapreduce

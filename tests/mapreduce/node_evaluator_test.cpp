@@ -1,0 +1,145 @@
+#include "mapreduce/node_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::mapreduce {
+namespace {
+
+class NodeEvaluatorTest : public ::testing::Test {
+ protected:
+  JobSpec job(const char* abbrev, double gib = 1.0) {
+    return JobSpec::of_gib(workloads::app_by_abbrev(abbrev), gib);
+  }
+
+  NodeEvaluator eval_;
+};
+
+TEST_F(NodeEvaluatorTest, SoloRunIsPhysical) {
+  const RunResult rr = eval_.run_solo(job("WC"), {sim::FreqLevel::F2_4, 128, 4});
+  EXPECT_GT(rr.makespan_s, 0.0);
+  EXPECT_GT(rr.energy_dyn_j, 0.0);
+  EXPECT_GT(rr.energy_total_j, rr.energy_dyn_j);  // idle floor included
+  EXPECT_GT(rr.edp(), 0.0);
+  ASSERT_EQ(rr.apps.size(), 1u);
+  EXPECT_DOUBLE_EQ(rr.apps[0].finish_s, rr.makespan_s);
+}
+
+TEST_F(NodeEvaluatorTest, DeterministicAcrossCalls) {
+  const AppConfig cfg{sim::FreqLevel::F2_0, 256, 3};
+  const RunResult a = eval_.run_solo(job("TS"), cfg);
+  const RunResult b = eval_.run_solo(job("TS"), cfg);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_DOUBLE_EQ(a.energy_dyn_j, b.energy_dyn_j);
+}
+
+TEST_F(NodeEvaluatorTest, EmptyJobIsZero) {
+  JobSpec empty = job("WC");
+  empty.input_bytes = 0;
+  const RunResult rr = eval_.run_solo(empty, {sim::FreqLevel::F2_4, 128, 4});
+  EXPECT_DOUBLE_EQ(rr.makespan_s, 0.0);
+  EXPECT_DOUBLE_EQ(rr.energy_dyn_j, 0.0);
+}
+
+TEST_F(NodeEvaluatorTest, LargerInputTakesLonger) {
+  const AppConfig cfg{sim::FreqLevel::F2_4, 256, 4};
+  const RunResult small = eval_.run_solo(job("WC", 1.0), cfg);
+  const RunResult large = eval_.run_solo(job("WC", 5.0), cfg);
+  EXPECT_GT(large.makespan_s, 2.0 * small.makespan_s);
+  EXPECT_GT(large.energy_dyn_j, small.energy_dyn_j);
+}
+
+TEST_F(NodeEvaluatorTest, MoreMappersHelpComputeBoundApps) {
+  const RunResult m1 =
+      eval_.run_solo(job("WC"), {sim::FreqLevel::F2_4, 128, 1});
+  const RunResult m8 =
+      eval_.run_solo(job("WC"), {sim::FreqLevel::F2_4, 128, 8});
+  EXPECT_LT(m8.makespan_s, m1.makespan_s / 3.0);
+}
+
+TEST_F(NodeEvaluatorTest, PairMakespanAtLeastEachJointFinish) {
+  const RunResult rr = eval_.run_pair(job("WC"), {sim::FreqLevel::F2_4, 128, 4},
+                                      job("ST"),
+                                      {sim::FreqLevel::F2_4, 128, 4});
+  ASSERT_EQ(rr.apps.size(), 2u);
+  EXPECT_GE(rr.makespan_s, rr.apps[0].finish_s - 1e-9);
+  EXPECT_GE(rr.makespan_s, rr.apps[1].finish_s - 1e-9);
+  EXPECT_DOUBLE_EQ(
+      rr.makespan_s,
+      std::max(rr.apps[0].finish_s, rr.apps[1].finish_s));
+}
+
+TEST_F(NodeEvaluatorTest, PairIsSymmetric) {
+  const AppConfig ca{sim::FreqLevel::F2_4, 128, 3};
+  const AppConfig cb{sim::FreqLevel::F1_6, 256, 5};
+  const RunResult ab = eval_.run_pair(job("WC"), ca, job("CF"), cb);
+  const RunResult ba = eval_.run_pair(job("CF"), cb, job("WC"), ca);
+  EXPECT_NEAR(ab.makespan_s, ba.makespan_s, 1e-6);
+  EXPECT_NEAR(ab.energy_dyn_j, ba.energy_dyn_j, 1e-6);
+  EXPECT_NEAR(ab.apps[0].finish_s, ba.apps[1].finish_s, 1e-6);
+}
+
+TEST_F(NodeEvaluatorTest, CoLocationSlowsBothVsPrivateNode) {
+  const AppConfig cfg{sim::FreqLevel::F2_4, 128, 4};
+  const RunResult solo = eval_.run_solo(job("CF"), cfg);
+  const RunResult pair = eval_.run_pair(job("CF"), cfg, job("CF"), cfg);
+  // Same per-app slot count but shared LLC/membw: each finishes later.
+  EXPECT_GT(pair.apps[0].finish_s, solo.makespan_s);
+}
+
+TEST_F(NodeEvaluatorTest, PairUsesMoreSlotsThanCoresThrows) {
+  EXPECT_THROW(eval_.run_pair(job("WC"), {sim::FreqLevel::F2_4, 128, 5},
+                              job("ST"), {sim::FreqLevel::F2_4, 128, 5}),
+               ecost::InvariantError);
+}
+
+TEST_F(NodeEvaluatorTest, InvalidConfigThrows) {
+  EXPECT_THROW(eval_.run_solo(job("WC"), {sim::FreqLevel::F2_4, 100, 4}),
+               ecost::InvariantError);
+  EXPECT_THROW(eval_.run_solo(job("WC"), {sim::FreqLevel::F2_4, 128, 0}),
+               ecost::InvariantError);
+}
+
+TEST_F(NodeEvaluatorTest, TelemetryMatchesClassSignatures) {
+  const AppConfig cfg{sim::FreqLevel::F2_4, 512, 4};
+  const auto wc = eval_.run_solo(job("WC"), cfg).apps[0];
+  const auto st = eval_.run_solo(job("ST"), cfg).apps[0];
+  const auto cf = eval_.run_solo(job("CF"), cfg).apps[0];
+  EXPECT_GT(wc.cpu_user_frac, 0.6);
+  EXPECT_LT(wc.cpu_iowait_frac, 0.1);
+  EXPECT_GT(st.cpu_iowait_frac, 0.5);
+  EXPECT_GT(st.io_read_mibps, 5.0 * wc.io_read_mibps);
+  EXPECT_GT(cf.llc_mpki, 3.0 * wc.llc_mpki);
+  EXPECT_GT(cf.footprint_mib, wc.footprint_mib);
+}
+
+TEST_F(NodeEvaluatorTest, SurvivorExpansionShortensTail) {
+  // Short WC + long CF: after WC finishes, CF's waves spread onto all
+  // cores, so the pair makespan must be far less than CF pinned at 2 slots.
+  const JobSpec short_job = job("GP", 1.0);
+  const JobSpec long_job = job("CF", 5.0);
+  const AppConfig cfg_short{sim::FreqLevel::F2_4, 128, 6};
+  const AppConfig cfg_long{sim::FreqLevel::F2_4, 128, 2};
+  const RunResult pair =
+      eval_.run_pair(short_job, cfg_short, long_job, cfg_long);
+  const RunResult pinned = eval_.run_solo(long_job, cfg_long);
+  EXPECT_LT(pair.makespan_s, pinned.makespan_s * 0.75);
+}
+
+TEST_F(NodeEvaluatorTest, CoRunLoadsMatchSoloTotals) {
+  const JobSpec j = job("TS");
+  const AppConfig cfg{sim::FreqLevel::F2_4, 256, 4};
+  const JobSpec* jobs[] = {&j};
+  const AppConfig cfgs[] = {cfg};
+  const auto loads = eval_.co_run_loads(jobs, cfgs);
+  ASSERT_EQ(loads.size(), 1u);
+  const RunResult solo = eval_.run_solo(j, cfg);
+  EXPECT_NEAR(loads[0].total_s, solo.makespan_s, 1e-6);
+  const double p = eval_.dynamic_power_w(loads);
+  EXPECT_NEAR(p, solo.avg_dyn_power_w(), 0.05 * solo.avg_dyn_power_w());
+}
+
+}  // namespace
+}  // namespace ecost::mapreduce

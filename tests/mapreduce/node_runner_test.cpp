@@ -1,0 +1,116 @@
+#include "mapreduce/node_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/node_evaluator.hpp"
+#include "util/error.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::mapreduce {
+namespace {
+
+class NodeRunnerTest : public ::testing::Test {
+ protected:
+  JobSpec job(const char* abbrev, double gib = 1.0) {
+    return JobSpec::of_gib(workloads::app_by_abbrev(abbrev), gib);
+  }
+
+  sim::NodeSpec spec_ = sim::NodeSpec::atom_c2758();
+};
+
+TEST_F(NodeRunnerTest, ProducesOneHertzTrace) {
+  NodeRunner runner(spec_, 1);
+  const DesResult res =
+      runner.run_solo(job("GP"), {sim::FreqLevel::F2_4, 128, 4});
+  ASSERT_GT(res.trace.size(), 2u);
+  for (std::size_t i = 1; i < res.trace.size(); ++i) {
+    EXPECT_NEAR(res.trace[i].t_s - res.trace[i - 1].t_s, 1.0, 1e-6);
+  }
+  // Trace covers the whole run.
+  EXPECT_NEAR(res.trace.back().t_s, res.run.makespan_s, 2.0);
+}
+
+TEST_F(NodeRunnerTest, DeterministicForSameSeed) {
+  NodeRunner a(spec_, 99), b(spec_, 99);
+  const AppConfig cfg{sim::FreqLevel::F2_0, 128, 4};
+  const DesResult ra = a.run_solo(job("TS"), cfg);
+  const DesResult rb = b.run_solo(job("TS"), cfg);
+  EXPECT_DOUBLE_EQ(ra.run.makespan_s, rb.run.makespan_s);
+  EXPECT_DOUBLE_EQ(ra.run.energy_dyn_j, rb.run.energy_dyn_j);
+}
+
+TEST_F(NodeRunnerTest, JitterChangesWithSeed) {
+  NodeRunner a(spec_, 1), b(spec_, 2);
+  const AppConfig cfg{sim::FreqLevel::F2_0, 128, 4};
+  const double ta = a.run_solo(job("TS"), cfg).run.makespan_s;
+  const double tb = b.run_solo(job("TS"), cfg).run.makespan_s;
+  EXPECT_NE(ta, tb);
+}
+
+TEST_F(NodeRunnerTest, PowerTraceWithinPhysicalBounds) {
+  NodeRunner runner(spec_, 5);
+  const DesResult res =
+      runner.run_solo(job("WC"), {sim::FreqLevel::F2_4, 128, 8});
+  for (const TraceSample& s : res.trace) {
+    EXPECT_GE(s.power_w, spec_.idle_power_w - 1e-9);
+    EXPECT_LT(s.power_w, 80.0);  // a microserver node, not a Xeon
+    EXPECT_GE(s.cpu_user, 0.0);
+    EXPECT_LE(s.cpu_user + s.cpu_iowait, 1.0 + 1e-6);
+    EXPECT_LE(s.running_tasks, spec_.cores);
+  }
+}
+
+TEST_F(NodeRunnerTest, EnergyEqualsTraceIntegralApproximately) {
+  NodeRunner runner(spec_, 5);
+  const DesResult res =
+      runner.run_solo(job("GP"), {sim::FreqLevel::F2_4, 256, 4});
+  double integral = 0.0;
+  for (const TraceSample& s : res.trace) integral += s.power_dyn_w;
+  EXPECT_NEAR(integral, res.run.energy_dyn_j,
+              0.15 * res.run.energy_dyn_j + 50.0);
+}
+
+TEST_F(NodeRunnerTest, PairRunRecordsBothFinishes) {
+  NodeRunner runner(spec_, 7);
+  const DesResult res =
+      runner.run_pair(job("GP"), {sim::FreqLevel::F2_4, 128, 4}, job("ST"),
+                      {sim::FreqLevel::F2_4, 128, 4});
+  ASSERT_EQ(res.run.apps.size(), 2u);
+  EXPECT_GT(res.run.apps[0].finish_s, 0.0);
+  EXPECT_GT(res.run.apps[1].finish_s, 0.0);
+  EXPECT_NEAR(std::max(res.run.apps[0].finish_s, res.run.apps[1].finish_s),
+              res.run.makespan_s, 1e-6);
+}
+
+TEST_F(NodeRunnerTest, SlotLimitRespected) {
+  NodeRunner runner(spec_, 3);
+  const DesResult res =
+      runner.run_pair(job("WC"), {sim::FreqLevel::F2_4, 64, 3}, job("ST"),
+                      {sim::FreqLevel::F2_4, 64, 5});
+  for (const TraceSample& s : res.trace) {
+    EXPECT_LE(s.running_tasks, spec_.cores);
+  }
+}
+
+TEST_F(NodeRunnerTest, JitterBoundsValidated) {
+  NodeRunner runner(spec_, 1);
+  EXPECT_THROW(runner.set_jitter(-0.1), ecost::InvariantError);
+  EXPECT_THROW(runner.set_jitter(1.0), ecost::InvariantError);
+  EXPECT_NO_THROW(runner.set_jitter(0.0));
+}
+
+TEST_F(NodeRunnerTest, ZeroJitterMatchesAnalyticClosely) {
+  NodeRunner runner(spec_, 1);
+  runner.set_jitter(0.0);
+  const AppConfig cfg{sim::FreqLevel::F2_4, 128, 4};
+  const DesResult des = runner.run_solo(job("WC"), cfg);
+  const NodeEvaluator eval(spec_);
+  const RunResult analytic = eval.run_solo(job("WC"), cfg);
+  EXPECT_NEAR(des.run.makespan_s, analytic.makespan_s,
+              0.12 * analytic.makespan_s);
+  EXPECT_NEAR(des.run.energy_dyn_j, analytic.energy_dyn_j,
+              0.15 * analytic.energy_dyn_j);
+}
+
+}  // namespace
+}  // namespace ecost::mapreduce

@@ -1,0 +1,210 @@
+#include "mapreduce/task_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::mapreduce {
+namespace {
+
+class TaskModelTest : public ::testing::Test {
+ protected:
+  sim::NodeSpec spec_ = sim::NodeSpec::atom_c2758();
+  TaskModel model_{spec_};
+  AppProfile wc_ = workloads::app_by_abbrev("WC");
+  AppProfile st_ = workloads::app_by_abbrev("ST");
+  AppProfile cf_ = workloads::app_by_abbrev("CF");
+  double block_ = mib_to_bytes(512);
+};
+
+TEST_F(TaskModelTest, DurationIsPositiveAndDecomposes) {
+  const TaskRates r = model_.map_task(wc_, block_, sim::FreqLevel::F2_4, {});
+  EXPECT_GT(r.duration_s, 0.0);
+  EXPECT_GT(r.compute_s, 0.0);
+  EXPECT_GE(r.stall_s, 0.0);
+  EXPECT_GE(r.iowait_s, 0.0);
+  // Duration is at least the longer of the CPU and I/O sides.
+  EXPECT_GE(r.duration_s, r.compute_s + r.stall_s - 1e-9);
+  EXPECT_GE(r.duration_s, r.io_transfer_s - 1e-9);
+}
+
+TEST_F(TaskModelTest, ZeroBytesZeroWork) {
+  const TaskRates r = model_.map_task(wc_, 0.0, sim::FreqLevel::F2_4, {});
+  EXPECT_DOUBLE_EQ(r.duration_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.instructions, 0.0);
+}
+
+TEST_F(TaskModelTest, ComputeBoundSpeedsUpNearlyLinearlyWithFrequency) {
+  const TaskRates slow = model_.map_task(wc_, block_, sim::FreqLevel::F1_2, {});
+  const TaskRates fast = model_.map_task(wc_, block_, sim::FreqLevel::F2_4, {});
+  const double speedup = slow.duration_s / fast.duration_s;
+  EXPECT_GT(speedup, 1.6);  // near 2x for a compute-bound app
+  EXPECT_LE(speedup, 2.0 + 1e-9);
+}
+
+TEST_F(TaskModelTest, MemoryBoundSpeedsUpSublinearlyWithFrequency) {
+  const TaskRates slow = model_.map_task(cf_, block_, sim::FreqLevel::F1_2, {});
+  const TaskRates fast = model_.map_task(cf_, block_, sim::FreqLevel::F2_4, {});
+  const double mem_speedup = slow.duration_s / fast.duration_s;
+  const TaskRates wslow = model_.map_task(wc_, block_, sim::FreqLevel::F1_2, {});
+  const TaskRates wfast = model_.map_task(wc_, block_, sim::FreqLevel::F2_4, {});
+  EXPECT_LT(mem_speedup, wslow.duration_s / wfast.duration_s);
+}
+
+TEST_F(TaskModelTest, IoBoundBarelyCaresAboutFrequency) {
+  const TaskRates slow = model_.map_task(st_, block_, sim::FreqLevel::F1_2, {});
+  const TaskRates fast = model_.map_task(st_, block_, sim::FreqLevel::F2_4, {});
+  EXPECT_LT(slow.duration_s / fast.duration_s, 1.5);
+}
+
+TEST_F(TaskModelTest, ClassSignaturesAreDistinct) {
+  const TaskRates wc = model_.map_task(wc_, block_, sim::FreqLevel::F2_4, {});
+  const TaskRates st = model_.map_task(st_, block_, sim::FreqLevel::F2_4, {});
+  const TaskRates cf = model_.map_task(cf_, block_, sim::FreqLevel::F2_4, {});
+  // Compute-bound: high activity, low I/O duty.
+  EXPECT_GT(wc.activity, 0.6);
+  EXPECT_LT(wc.io_duty, 0.2);
+  // I/O-bound: dominated by I/O.
+  EXPECT_GT(st.io_duty, 0.5);
+  EXPECT_GT(st.iowait_s, st.compute_s);
+  // Memory-bound: large stall share, high memory traffic.
+  EXPECT_GT(cf.stall_s, cf.compute_s);
+  EXPECT_GT(cf.mem_gibps, wc.mem_gibps);
+}
+
+TEST_F(TaskModelTest, LatencyMultiplierSlowsMemoryBoundMore) {
+  SharedEnv env;
+  env.mem_lat_mult = 2.0;
+  const TaskRates cf1 = model_.map_task(cf_, block_, sim::FreqLevel::F2_4, {});
+  const TaskRates cf2 = model_.map_task(cf_, block_, sim::FreqLevel::F2_4, env);
+  const TaskRates wc1 = model_.map_task(wc_, block_, sim::FreqLevel::F2_4, {});
+  const TaskRates wc2 = model_.map_task(wc_, block_, sim::FreqLevel::F2_4, env);
+  EXPECT_GT(cf2.duration_s / cf1.duration_s, wc2.duration_s / wc1.duration_s);
+}
+
+TEST_F(TaskModelTest, MpkiMultiplierRaisesEffectiveMpki) {
+  SharedEnv env;
+  env.mpki_mult = 2.0;
+  const TaskRates r = model_.map_task(cf_, block_, sim::FreqLevel::F2_4, env);
+  EXPECT_NEAR(r.mpki_eff, 2.0 * cf_.llc_mpki, 1e-9);
+}
+
+TEST_F(TaskModelTest, SlowerDiskLengthensIoBoundTasks) {
+  SharedEnv slow_disk;
+  slow_disk.io_rate_mibps = 10.0;
+  const TaskRates base = model_.map_task(st_, block_, sim::FreqLevel::F2_4, {});
+  const TaskRates slow =
+      model_.map_task(st_, block_, sim::FreqLevel::F2_4, slow_disk);
+  EXPECT_GT(slow.duration_s, base.duration_s);
+  EXPECT_GT(slow.io_duty, 0.8);
+}
+
+TEST_F(TaskModelTest, CrowdingInflatesComputeOnly) {
+  SharedEnv crowded;
+  crowded.cpu_eff_mult = 1.5;
+  const TaskRates base = model_.map_task(wc_, block_, sim::FreqLevel::F2_4, {});
+  const TaskRates crowd =
+      model_.map_task(wc_, block_, sim::FreqLevel::F2_4, crowded);
+  EXPECT_NEAR(crowd.compute_s, 1.5 * base.compute_s, 1e-9);
+  EXPECT_DOUBLE_EQ(crowd.stall_s, base.stall_s);
+}
+
+TEST_F(TaskModelTest, SpillOnlyBeyondSortBuffer) {
+  // Sort shuffles 1 byte per input byte: a 64 MiB split fits the buffer.
+  EXPECT_DOUBLE_EQ(model_.spill_bytes(st_, mib_to_bytes(64)), 0.0);
+  // A 512 MiB split spills what exceeds the 128 MiB sort buffer.
+  const double spill = model_.spill_bytes(st_, mib_to_bytes(512));
+  EXPECT_NEAR(spill, mib_to_bytes(512 - 128) * spec_.spill_io_factor, 1.0);
+  // Wordcount's tiny shuffle never spills.
+  EXPECT_DOUBLE_EQ(model_.spill_bytes(wc_, mib_to_bytes(1024)), 0.0);
+}
+
+TEST_F(TaskModelTest, FootprintGrowsWithSplit) {
+  const double small = model_.footprint_mib(cf_, mib_to_bytes(64));
+  const double large = model_.footprint_mib(cf_, mib_to_bytes(1024));
+  EXPECT_GT(large, small);
+  EXPECT_GE(small, cf_.footprint_fixed_mib);
+}
+
+TEST_F(TaskModelTest, ReduceTaskScalesWithShuffleBytes) {
+  const TaskRates small =
+      model_.reduce_task(st_, mib_to_bytes(64), sim::FreqLevel::F2_4, {});
+  const TaskRates large =
+      model_.reduce_task(st_, mib_to_bytes(512), sim::FreqLevel::F2_4, {});
+  EXPECT_GT(large.duration_s, small.duration_s);
+  EXPECT_GT(large.io_bytes, small.io_bytes);
+}
+
+TEST_F(TaskModelTest, InvalidEnvironmentThrows) {
+  SharedEnv bad;
+  bad.mem_lat_mult = 0.5;
+  EXPECT_THROW(model_.map_task(wc_, block_, sim::FreqLevel::F2_4, bad),
+               ecost::InvariantError);
+  bad = {};
+  bad.io_rate_mibps = 0.0;
+  EXPECT_THROW(model_.map_task(wc_, block_, sim::FreqLevel::F2_4, bad),
+               ecost::InvariantError);
+  bad = {};
+  bad.cpu_eff_mult = 0.9;
+  EXPECT_THROW(model_.map_task(wc_, block_, sim::FreqLevel::F2_4, bad),
+               ecost::InvariantError);
+}
+
+// Property sweep: per-task invariants over the full knob cross product and
+// all applications.
+struct SweepParam {
+  std::string abbrev;
+  sim::FreqLevel freq;
+  int block_mib;
+};
+
+class TaskModelSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(TaskModelSweep, InvariantsHold) {
+  const sim::NodeSpec spec = sim::NodeSpec::atom_c2758();
+  const TaskModel model(spec);
+  const auto& p = GetParam();
+  const AppProfile app = workloads::app_by_abbrev(p.abbrev);
+  const double bytes = mib_to_bytes(static_cast<double>(p.block_mib));
+  const TaskRates r = model.map_task(app, bytes, p.freq, {});
+
+  EXPECT_GT(r.duration_s, 0.0);
+  EXPECT_GE(r.activity, 0.0);
+  EXPECT_LE(r.activity, 1.0);
+  EXPECT_GE(r.io_duty, 0.0);
+  EXPECT_LE(r.io_duty, 1.0);
+  EXPECT_GT(r.ipc, 0.0);
+  EXPECT_LT(r.ipc, 4.0);  // an Atom never retires 4 IPC
+  EXPECT_NEAR(r.instructions, app.instr_per_byte * bytes, 1e-3);
+  EXPECT_GE(r.read_bytes, app.io_read_bpb * bytes - 1e-3);
+  EXPECT_NEAR(r.io_bytes, r.read_bytes + r.write_bytes, 1e-3);
+  // Phases never exceed the duration.
+  EXPECT_LE(r.compute_s + r.stall_s, r.duration_s + 1e-9);
+  EXPECT_LE(r.io_transfer_s, r.duration_s + 1e-9);
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> out;
+  for (const auto& app : workloads::all_apps()) {
+    for (sim::FreqLevel f : sim::kAllFreqLevels) {
+      for (int b : {64, 512, 1024}) {
+        out.push_back({app.abbrev, f, b});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAppsKnobs, TaskModelSweep,
+                         ::testing::ValuesIn(sweep_params()),
+                         [](const auto& info) {
+                           return info.param.abbrev + "_f" +
+                                  std::to_string(static_cast<int>(
+                                      info.param.freq)) +
+                                  "_b" + std::to_string(info.param.block_mib);
+                         });
+
+}  // namespace
+}  // namespace ecost::mapreduce

@@ -1,0 +1,141 @@
+#include "mapreduce/wave_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hdfs/block_planner.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::mapreduce {
+namespace {
+
+class WaveModelTest : public ::testing::Test {
+ protected:
+  TaskRates make_task(double duration, double activity = 0.8) {
+    TaskRates r;
+    r.duration_s = duration;
+    r.activity = activity;
+    r.mem_gibps = 0.5;
+    r.disk_mibps = 10.0;
+    r.io_duty = 0.3;
+    return r;
+  }
+
+  sim::NodeSpec spec_ = sim::NodeSpec::atom_c2758();
+  WaveModel model_{spec_};
+};
+
+TEST_F(WaveModelTest, SingleWaveDuration) {
+  const auto plan = hdfs::plan_blocks(
+      static_cast<std::uint64_t>(mib_to_bytes(4 * 128)), 128);
+  const TaskRates t = make_task(10.0);
+  const PhaseStats ph = model_.map_phase(plan, 4, t, t);
+  EXPECT_EQ(ph.tasks, 4);
+  EXPECT_DOUBLE_EQ(ph.duration_s, spec_.task_setup_s + 10.0);
+  EXPECT_NEAR(ph.avg_concurrency, 4.0, 1e-9);
+}
+
+TEST_F(WaveModelTest, MultipleWavesAccumulate) {
+  const auto plan = hdfs::plan_blocks(
+      static_cast<std::uint64_t>(mib_to_bytes(8 * 128)), 128);
+  const TaskRates t = make_task(10.0);
+  const PhaseStats ph = model_.map_phase(plan, 4, t, t);
+  EXPECT_DOUBLE_EQ(ph.duration_s, 2.0 * (spec_.task_setup_s + 10.0));
+}
+
+TEST_F(WaveModelTest, PartialLastWaveOnlyShortensWhenAlone) {
+  // 5 tasks on 4 mappers: last wave holds one task. If that lone task is
+  // the partial block, the wave is shorter.
+  const std::uint64_t input =
+      static_cast<std::uint64_t>(mib_to_bytes(4 * 128 + 44));
+  const auto plan = hdfs::plan_blocks(input, 128);
+  ASSERT_EQ(plan.num_blocks(), 5u);
+  const TaskRates full = make_task(10.0);
+  const TaskRates partial = make_task(3.0);
+  const PhaseStats ph = model_.map_phase(plan, 4, full, partial);
+  EXPECT_DOUBLE_EQ(ph.duration_s, (spec_.task_setup_s + 10.0) +
+                                      (spec_.task_setup_s + 3.0));
+}
+
+TEST_F(WaveModelTest, PartialHiddenInsideFullWave) {
+  // 4 tasks (3 full + 1 partial) on 4 mappers: one wave bounded by the
+  // full-task duration.
+  const std::uint64_t input =
+      static_cast<std::uint64_t>(mib_to_bytes(3 * 128 + 44));
+  const auto plan = hdfs::plan_blocks(input, 128);
+  ASSERT_EQ(plan.num_blocks(), 4u);
+  const TaskRates full = make_task(10.0);
+  const TaskRates partial = make_task(3.0);
+  const PhaseStats ph = model_.map_phase(plan, 4, full, partial);
+  EXPECT_DOUBLE_EQ(ph.duration_s, spec_.task_setup_s + 10.0);
+}
+
+TEST_F(WaveModelTest, ConcurrencyNeverExceedsMappers) {
+  for (int mappers = 1; mappers <= spec_.cores; ++mappers) {
+    const auto plan = hdfs::plan_blocks(
+        static_cast<std::uint64_t>(gib_to_bytes(1.0)), 64);
+    const TaskRates t = make_task(7.0);
+    const PhaseStats ph = model_.map_phase(plan, mappers, t, t);
+    EXPECT_LE(ph.avg_concurrency, mappers + 1e-9);
+    EXPECT_GT(ph.avg_concurrency, 0.0);
+  }
+}
+
+TEST_F(WaveModelTest, MoreMappersNeverSlowerAtFixedTaskTime) {
+  const auto plan = hdfs::plan_blocks(
+      static_cast<std::uint64_t>(gib_to_bytes(1.0)), 64);
+  const TaskRates t = make_task(5.0);
+  double prev = 1e30;
+  for (int mappers = 1; mappers <= spec_.cores; ++mappers) {
+    const PhaseStats ph = model_.map_phase(plan, mappers, t, t);
+    EXPECT_LE(ph.duration_s, prev + 1e-9);
+    prev = ph.duration_s;
+  }
+}
+
+TEST_F(WaveModelTest, EmptyPlanIsZeroPhase) {
+  const auto plan = hdfs::plan_blocks(0, 64);
+  const TaskRates t = make_task(10.0);
+  const PhaseStats ph = model_.map_phase(plan, 4, t, t);
+  EXPECT_DOUBLE_EQ(ph.duration_s, 0.0);
+  EXPECT_EQ(ph.tasks, 0);
+}
+
+TEST_F(WaveModelTest, ReducePhaseSingleWave) {
+  const TaskRates t = make_task(12.0);
+  const PhaseStats ph = model_.reduce_phase(4, t);
+  EXPECT_DOUBLE_EQ(ph.duration_s, spec_.task_setup_s + 12.0);
+  EXPECT_EQ(ph.tasks, 4);
+}
+
+TEST_F(WaveModelTest, EmptyReduceIsZeroPhase) {
+  const PhaseStats ph = model_.reduce_phase(4, TaskRates{});
+  EXPECT_DOUBLE_EQ(ph.duration_s, 0.0);
+}
+
+TEST_F(WaveModelTest, LoadAveragesAreConsistent) {
+  const auto plan = hdfs::plan_blocks(
+      static_cast<std::uint64_t>(mib_to_bytes(8 * 128)), 128);
+  const TaskRates t = make_task(10.0, 0.5);
+  const PhaseStats ph = model_.map_phase(plan, 4, t, t);
+  // Group memory traffic: 8 tasks x rate x duration spread over the phase.
+  EXPECT_NEAR(ph.mem_gibps * ph.duration_s, 8 * t.mem_gibps * t.duration_s,
+              1e-6);
+  EXPECT_NEAR(ph.disk_mibps * ph.duration_s, 8 * t.disk_mibps * t.duration_s,
+              1e-6);
+  EXPECT_GT(ph.activity, 0.0);
+  EXPECT_LE(ph.activity, 1.0);
+}
+
+TEST_F(WaveModelTest, InvalidMapperCountThrows) {
+  const auto plan = hdfs::plan_blocks(1000, 64);
+  const TaskRates t = make_task(1.0);
+  EXPECT_THROW(model_.map_phase(plan, 0, t, t), ecost::InvariantError);
+  EXPECT_THROW(model_.map_phase(plan, spec_.cores + 1, t, t),
+               ecost::InvariantError);
+  EXPECT_THROW(model_.reduce_phase(0, t), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::mapreduce

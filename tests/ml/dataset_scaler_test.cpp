@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.hpp"
+#include "ml/scaler.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::ml {
+namespace {
+
+Dataset toy(std::size_t n = 100) {
+  Dataset d;
+  Rng rng(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<double> row = {rng.normal(10.0, 3.0),
+                                     rng.normal(-5.0, 0.5)};
+    d.add(row, rng.normal());
+  }
+  return d;
+}
+
+TEST(DatasetTest, AddAndValidate) {
+  Dataset d = toy();
+  EXPECT_EQ(d.size(), 100u);
+  EXPECT_NO_THROW(d.validate());
+  d.y.pop_back();
+  EXPECT_THROW(d.validate(), ecost::InvariantError);
+}
+
+TEST(DatasetTest, NonFiniteTargetRejected) {
+  Dataset d;
+  d.add(std::vector<double>{1.0}, std::nan(""));
+  EXPECT_THROW(d.validate(), ecost::InvariantError);
+}
+
+TEST(DatasetTest, SplitPartitionsRows) {
+  const Dataset d = toy(200);
+  Rng rng(7);
+  const auto [train, test] = d.split(0.25, rng);
+  EXPECT_EQ(test.size(), 50u);
+  EXPECT_EQ(train.size(), 150u);
+  // Targets are preserved as a multiset.
+  double sum = 0.0;
+  for (double y : train.y) sum += y;
+  for (double y : test.y) sum += y;
+  double orig = 0.0;
+  for (double y : d.y) orig += y;
+  EXPECT_NEAR(sum, orig, 1e-9);
+}
+
+TEST(DatasetTest, SubsetSelectsRows) {
+  const Dataset d = toy(10);
+  const std::vector<std::size_t> idx = {2, 5};
+  const Dataset s = d.subset(idx);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.y[0], d.y[2]);
+  EXPECT_DOUBLE_EQ(s.x.at(1, 0), d.x.at(5, 0));
+  const std::vector<std::size_t> bad = {99};
+  EXPECT_THROW(d.subset(bad), ecost::InvariantError);
+}
+
+TEST(StandardScalerTest, TransformedColumnsAreStandard) {
+  const Dataset d = toy(2000);
+  StandardScaler s;
+  s.fit(d.x);
+  const Matrix z = s.transform(d.x);
+  for (std::size_t c = 0; c < z.cols(); ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < z.rows(); ++r) mean += z.at(r, c);
+    mean /= static_cast<double>(z.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    double var = 0.0;
+    for (std::size_t r = 0; r < z.rows(); ++r) {
+      var += (z.at(r, c) - mean) * (z.at(r, c) - mean);
+    }
+    var /= static_cast<double>(z.rows() - 1);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(StandardScalerTest, ConstantColumnMapsToZero) {
+  Matrix x(0, 0);
+  for (int i = 0; i < 5; ++i) x.push_row(std::vector<double>{7.0});
+  StandardScaler s;
+  s.fit(x);
+  const auto z = s.transform_row(std::vector<double>{7.0});
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+}
+
+TEST(StandardScalerTest, InverseRoundTrips) {
+  const Dataset d = toy(50);
+  StandardScaler s;
+  s.fit(d.x);
+  const auto z = s.transform_row(d.x.row(3));
+  for (std::size_t c = 0; c < z.size(); ++c) {
+    EXPECT_NEAR(s.inverse_one(c, z[c]), d.x.at(3, c), 1e-9);
+  }
+}
+
+TEST(StandardScalerTest, UnfittedThrows) {
+  StandardScaler s;
+  EXPECT_THROW(s.transform(Matrix(1, 1)), ecost::InvariantError);
+}
+
+TEST(TargetScalerTest, RoundTrip) {
+  TargetScaler s;
+  const std::vector<double> ys = {10.0, 20.0, 30.0};
+  s.fit(ys);
+  for (double y : ys) EXPECT_NEAR(s.inverse(s.transform(y)), y, 1e-12);
+  EXPECT_NEAR(s.transform(20.0), 0.0, 1e-12);
+}
+
+TEST(TargetScalerTest, ConstantTargets) {
+  TargetScaler s;
+  const std::vector<double> ys = {5.0, 5.0, 5.0};
+  s.fit(ys);
+  EXPECT_DOUBLE_EQ(s.transform(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.inverse(0.0), 5.0);
+}
+
+}  // namespace
+}  // namespace ecost::ml

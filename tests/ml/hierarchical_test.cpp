@@ -1,0 +1,90 @@
+#include "ml/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace ecost::ml {
+namespace {
+
+Matrix two_blobs() {
+  // Four points: two tight pairs far apart.
+  return Matrix{{0.0, 0.0}, {0.1, 0.0}, {10.0, 10.0}, {10.1, 10.0}};
+}
+
+TEST(HierarchicalTest, MergesNearestFirst) {
+  HierarchicalClustering hc;
+  hc.fit(two_blobs());
+  ASSERT_EQ(hc.merges().size(), 3u);
+  // The first two merges join the tight pairs at small distance.
+  EXPECT_LT(hc.merges()[0].distance, 0.2);
+  EXPECT_LT(hc.merges()[1].distance, 0.2);
+  EXPECT_GT(hc.merges()[2].distance, 5.0);
+}
+
+TEST(HierarchicalTest, CutIntoTwoRecoversBlobs) {
+  HierarchicalClustering hc;
+  hc.fit(two_blobs());
+  const auto labels = hc.cut(2);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(HierarchicalTest, CutIntoNSingletons) {
+  HierarchicalClustering hc;
+  hc.fit(two_blobs());
+  const auto labels = hc.cut(4);
+  const std::set<std::size_t> unique(labels.begin(), labels.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(HierarchicalTest, CutIntoOneIsAllSame) {
+  HierarchicalClustering hc;
+  hc.fit(two_blobs());
+  const auto labels = hc.cut(1);
+  for (std::size_t l : labels) EXPECT_EQ(l, labels[0]);
+}
+
+TEST(HierarchicalTest, LabelsAreCompact) {
+  HierarchicalClustering hc;
+  hc.fit(two_blobs());
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const auto labels = hc.cut(k);
+    std::set<std::size_t> unique(labels.begin(), labels.end());
+    EXPECT_EQ(unique.size(), k);
+    for (std::size_t l : labels) EXPECT_LT(l, k);
+  }
+}
+
+TEST(HierarchicalTest, MergeDistancesAreNonDecreasingForSeparatedData) {
+  HierarchicalClustering hc;
+  hc.fit(two_blobs());
+  for (std::size_t i = 1; i < hc.merges().size(); ++i) {
+    EXPECT_GE(hc.merges()[i].distance, hc.merges()[i - 1].distance - 1e-9);
+  }
+}
+
+TEST(HierarchicalTest, SinglePoint) {
+  HierarchicalClustering hc;
+  hc.fit(Matrix{{1.0, 2.0}});
+  EXPECT_TRUE(hc.merges().empty());
+  EXPECT_EQ(hc.cut(1), std::vector<std::size_t>{0});
+}
+
+TEST(HierarchicalTest, InvalidCutThrows) {
+  HierarchicalClustering hc;
+  hc.fit(two_blobs());
+  EXPECT_THROW(hc.cut(0), ecost::InvariantError);
+  EXPECT_THROW(hc.cut(5), ecost::InvariantError);
+}
+
+TEST(HierarchicalTest, CutBeforeFitThrows) {
+  HierarchicalClustering hc;
+  EXPECT_THROW(hc.cut(1), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::ml

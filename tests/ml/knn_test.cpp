@@ -1,0 +1,74 @@
+#include "ml/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::ml {
+namespace {
+
+TEST(KnnTest, ClassifiesSeparatedClusters) {
+  Matrix x = {{0.0, 0.0}, {0.1, 0.1}, {0.2, 0.0},
+              {5.0, 5.0}, {5.1, 5.1}, {5.2, 5.0}};
+  KnnClassifier knn(3);
+  knn.fit(x, {0, 0, 0, 1, 1, 1});
+  EXPECT_EQ(knn.predict(std::vector<double>{0.05, 0.05}), 0);
+  EXPECT_EQ(knn.predict(std::vector<double>{5.05, 5.0}), 1);
+}
+
+TEST(KnnTest, StandardizationPreventsScaleDominance) {
+  // Second feature has a huge scale but carries no class signal.
+  Matrix x(0, 0);
+  std::vector<int> labels;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    x.push_row(std::vector<double>{0.0 + 0.1 * rng.normal(),
+                                   1e6 * rng.normal()});
+    labels.push_back(0);
+    x.push_row(std::vector<double>{4.0 + 0.1 * rng.normal(),
+                                   1e6 * rng.normal()});
+    labels.push_back(1);
+  }
+  KnnClassifier knn(5);
+  knn.fit(x, labels);
+  int correct = 0;
+  for (int i = 0; i < 20; ++i) {
+    correct += knn.predict(std::vector<double>{0.0, 1e6 * rng.normal()}) == 0;
+    correct += knn.predict(std::vector<double>{4.0, 1e6 * rng.normal()}) == 1;
+  }
+  EXPECT_GE(correct, 36);
+}
+
+TEST(KnnTest, NearestReturnsClosestRow) {
+  Matrix x = {{0.0}, {1.0}, {2.0}};
+  KnnClassifier knn(1);
+  knn.fit(x, {0, 1, 2});
+  EXPECT_EQ(knn.nearest(std::vector<double>{0.9}), 1u);
+  EXPECT_EQ(knn.nearest(std::vector<double>{1.8}), 2u);
+}
+
+TEST(KnnTest, KLargerThanTrainingSetDegradesGracefully) {
+  Matrix x = {{0.0}, {1.0}};
+  KnnClassifier knn(10);
+  knn.fit(x, {0, 1});
+  EXPECT_NO_THROW(knn.predict(std::vector<double>{0.2}));
+}
+
+TEST(KnnTest, MajorityVoteWins) {
+  Matrix x = {{0.0}, {0.2}, {0.4}, {10.0}};
+  KnnClassifier knn(3);
+  knn.fit(x, {7, 7, 7, 3});
+  EXPECT_EQ(knn.predict(std::vector<double>{0.3}), 7);
+}
+
+TEST(KnnTest, InvalidUsageThrows) {
+  EXPECT_THROW(KnnClassifier(0), ecost::InvariantError);
+  KnnClassifier knn(1);
+  EXPECT_THROW(knn.predict(std::vector<double>{0.0}), ecost::InvariantError);
+  Matrix x = {{0.0}};
+  EXPECT_THROW(knn.fit(x, {0, 1}), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::ml

@@ -1,0 +1,137 @@
+#include "ml/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::ml {
+namespace {
+
+TEST(CholeskyTest, SolvesKnownSystem) {
+  const Matrix a = {{4.0, 2.0}, {2.0, 3.0}};
+  const std::vector<double> b = {10.0, 8.0};
+  const auto x = cholesky_solve(a, b);
+  EXPECT_NEAR(4.0 * x[0] + 2.0 * x[1], 10.0, 1e-10);
+  EXPECT_NEAR(2.0 * x[0] + 3.0 * x[1], 8.0, 1e-10);
+}
+
+TEST(CholeskyTest, IdentitySolvesToRhs) {
+  Matrix eye(3, 3);
+  for (int i = 0; i < 3; ++i) eye.at(i, i) = 1.0;
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  const auto x = cholesky_solve(eye, b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x[i], b[i], 1e-12);
+}
+
+TEST(CholeskyTest, RandomSpdSystems) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + trial % 6;
+    // A = B B^T + n I is SPD.
+    Matrix bmat(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) bmat.at(i, j) = rng.normal();
+    }
+    Matrix a = bmat.multiply(bmat.transposed());
+    for (std::size_t i = 0; i < n; ++i) a.at(i, i) += static_cast<double>(n);
+    std::vector<double> b(n);
+    for (auto& v : b) v = rng.normal();
+    const auto x = cholesky_solve(a, b);
+    const auto ax = a.multiply(std::span<const double>(x));
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+  }
+}
+
+TEST(CholeskyTest, NonSpdThrows) {
+  const Matrix a = {{1.0, 2.0}, {2.0, 1.0}};  // indefinite
+  const std::vector<double> b = {1.0, 1.0};
+  EXPECT_THROW(cholesky_solve(a, b), ecost::InvariantError);
+}
+
+TEST(CholeskyTest, ShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(cholesky_solve(a, b), ecost::InvariantError);
+}
+
+TEST(JacobiTest, DiagonalMatrix) {
+  const Matrix a = {{3.0, 0.0}, {0.0, 1.0}};
+  const EigenResult e = jacobi_eigen(a);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+}
+
+TEST(JacobiTest, KnownSymmetricMatrix) {
+  const Matrix a = {{2.0, 1.0}, {1.0, 2.0}};
+  const EigenResult e = jacobi_eigen(a);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+}
+
+TEST(JacobiTest, EigenvectorsAreOrthonormal) {
+  Rng rng(9);
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a.at(i, j) = a.at(j, i) = rng.normal();
+    }
+  }
+  const EigenResult e = jacobi_eigen(a);
+  for (std::size_t c1 = 0; c1 < n; ++c1) {
+    for (std::size_t c2 = 0; c2 < n; ++c2) {
+      double dot = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        dot += e.vectors.at(r, c1) * e.vectors.at(r, c2);
+      }
+      EXPECT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(JacobiTest, ReconstructsMatrix) {
+  Rng rng(11);
+  const std::size_t n = 5;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a.at(i, j) = a.at(j, i) = rng.normal();
+    }
+  }
+  const EigenResult e = jacobi_eigen(a);
+  // A == V diag(values) V^T
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += e.vectors.at(i, k) * e.values[k] * e.vectors.at(j, k);
+      }
+      EXPECT_NEAR(acc, a.at(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(JacobiTest, EigenvaluesSortedDescending) {
+  Rng rng(13);
+  Matrix a(7, 7);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = i; j < 7; ++j) {
+      a.at(i, j) = a.at(j, i) = rng.normal();
+    }
+  }
+  const EigenResult e = jacobi_eigen(a);
+  for (std::size_t i = 1; i < e.values.size(); ++i) {
+    EXPECT_GE(e.values[i - 1], e.values[i]);
+  }
+}
+
+TEST(JacobiTest, AsymmetricThrows) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_THROW(jacobi_eigen(a), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::ml

@@ -1,0 +1,96 @@
+#include "ml/linear_regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::ml {
+namespace {
+
+TEST(LinearRegressionTest, RecoversLinearFunction) {
+  Dataset d;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double x1 = rng.uniform(-5.0, 5.0);
+    const double x2 = rng.uniform(0.0, 100.0);
+    d.add(std::vector<double>{x1, x2}, 3.0 * x1 - 0.5 * x2 + 7.0);
+  }
+  LinearRegression lr;
+  lr.fit(d);
+  EXPECT_NEAR(lr.predict(std::vector<double>{1.0, 10.0}), 5.0, 1e-3);
+  EXPECT_NEAR(lr.predict(std::vector<double>{-2.0, 0.0}), 1.0, 1e-3);
+}
+
+TEST(LinearRegressionTest, HandlesNoisyData) {
+  Dataset d;
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    d.add(std::vector<double>{x}, 2.0 * x + rng.normal(0.0, 0.1));
+  }
+  LinearRegression lr;
+  lr.fit(d);
+  EXPECT_NEAR(lr.predict(std::vector<double>{0.5}), 1.0, 0.02);
+}
+
+TEST(LinearRegressionTest, CollinearFeaturesDoNotCrash) {
+  Dataset d;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    d.add(std::vector<double>{x, 2.0 * x, x}, x);  // perfectly collinear
+  }
+  LinearRegression lr;
+  EXPECT_NO_THROW(lr.fit(d));
+  EXPECT_NEAR(lr.predict(std::vector<double>{0.5, 1.0, 0.5}), 0.5, 0.05);
+}
+
+TEST(LinearRegressionTest, ConstantFeatureIgnored) {
+  Dataset d;
+  for (int i = 0; i < 50; ++i) {
+    d.add(std::vector<double>{1.0, static_cast<double>(i)},
+          static_cast<double>(2 * i));
+  }
+  LinearRegression lr;
+  lr.fit(d);
+  EXPECT_NEAR(lr.predict(std::vector<double>{1.0, 10.0}), 20.0, 1e-3);
+}
+
+TEST(LinearRegressionTest, CannotCaptureQuadratic) {
+  // The paper's point: EDP is non-linear in the knobs, and LR fails. On a
+  // pure quadratic centered at 0, the best linear fit is flat.
+  Dataset d;
+  for (double x = -1.0; x <= 1.0; x += 0.01) {
+    d.add(std::vector<double>{x}, x * x);
+  }
+  LinearRegression lr;
+  lr.fit(d);
+  const double at_zero = lr.predict(std::vector<double>{0.0});
+  EXPECT_NEAR(at_zero, 1.0 / 3.0, 0.02);  // mean of x^2 — far from truth 0
+}
+
+TEST(LinearRegressionTest, PredictBeforeFitThrows) {
+  LinearRegression lr;
+  EXPECT_THROW(lr.predict(std::vector<double>{1.0}), ecost::InvariantError);
+}
+
+TEST(LinearRegressionTest, ArityMismatchThrows) {
+  Dataset d;
+  d.add(std::vector<double>{1.0, 2.0}, 3.0);
+  d.add(std::vector<double>{2.0, 1.0}, 3.0);
+  LinearRegression lr;
+  lr.fit(d);
+  EXPECT_THROW(lr.predict(std::vector<double>{1.0}), ecost::InvariantError);
+}
+
+TEST(LinearRegressionTest, NegativeLambdaRejected) {
+  EXPECT_THROW(LinearRegression(-1.0), ecost::InvariantError);
+}
+
+TEST(LinearRegressionTest, NameIsLR) {
+  EXPECT_EQ(LinearRegression().name(), "LR");
+}
+
+}  // namespace
+}  // namespace ecost::ml

@@ -1,0 +1,81 @@
+#include "ml/lookup_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::ml {
+namespace {
+
+TEST(LookupTableTest, ExactCellRecall) {
+  Dataset d;
+  d.add(std::vector<double>{0.0}, 1.0);
+  d.add(std::vector<double>{10.0}, 5.0);
+  LookupTableModel m;
+  m.fit(d);
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{10.0}), 5.0);
+}
+
+TEST(LookupTableTest, CellsAverageTheirMembers) {
+  Dataset d;
+  // Same cell (identical features), two targets.
+  d.add(std::vector<double>{1.0, 1.0}, 2.0);
+  d.add(std::vector<double>{1.0, 1.0}, 4.0);
+  d.add(std::vector<double>{100.0, 100.0}, 10.0);
+  LookupTableModel m;
+  m.fit(d);
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{1.0, 1.0}), 3.0);
+}
+
+TEST(LookupTableTest, NearestCellFallback) {
+  Dataset d;
+  d.add(std::vector<double>{0.0}, 1.0);
+  d.add(std::vector<double>{100.0}, 9.0);
+  LookupTableModel m(LookupTableParams{10});
+  m.fit(d);
+  // A query in an empty middle bin resolves to the nearest occupied bin.
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{20.0}), 1.0);
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{80.0}), 9.0);
+}
+
+TEST(LookupTableTest, ReconstructsSmoothFunctionApproximately) {
+  Dataset d;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    d.add(std::vector<double>{x}, 3.0 * x);
+  }
+  LookupTableModel m(LookupTableParams{16});
+  m.fit(d);
+  for (double x = 0.05; x < 1.0; x += 0.1) {
+    EXPECT_NEAR(m.predict(std::vector<double>{x}), 3.0 * x, 0.2);
+  }
+}
+
+TEST(LookupTableTest, ConstantFeatureSingleCell) {
+  Dataset d;
+  d.add(std::vector<double>{5.0}, 1.0);
+  d.add(std::vector<double>{5.0}, 3.0);
+  LookupTableModel m;
+  m.fit(d);
+  EXPECT_EQ(m.occupied_cells(), 1u);
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{5.0}), 2.0);
+}
+
+TEST(LookupTableTest, PredictBeforeFitThrows) {
+  LookupTableModel m;
+  EXPECT_THROW(m.predict(std::vector<double>{0.0}), ecost::InvariantError);
+}
+
+TEST(LookupTableTest, TooFewBinsRejected) {
+  EXPECT_THROW(LookupTableModel(LookupTableParams{1}), ecost::InvariantError);
+}
+
+TEST(LookupTableTest, NameIsLkT) {
+  EXPECT_EQ(LookupTableModel().name(), "LkT");
+}
+
+}  // namespace
+}  // namespace ecost::ml

@@ -1,0 +1,88 @@
+#include "ml/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ecost::ml {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 7.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  const Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+}
+
+TEST(MatrixTest, OutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), ecost::InvariantError);
+  EXPECT_THROW(m.at(0, 2), ecost::InvariantError);
+}
+
+TEST(MatrixTest, PushRowDefinesShape) {
+  Matrix m;
+  const std::vector<double> r1 = {1.0, 2.0, 3.0};
+  m.push_row(r1);
+  EXPECT_EQ(m.cols(), 3u);
+  const std::vector<double> bad = {1.0};
+  EXPECT_THROW(m.push_row(bad), ecost::InvariantError);
+}
+
+TEST(MatrixTest, Transpose) {
+  const Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MatrixMultiply) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), ecost::InvariantError);
+}
+
+TEST(MatrixTest, MatVec) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> v = {1.0, -1.0};
+  const auto out = a.multiply(std::span<const double>(v));
+  EXPECT_DOUBLE_EQ(out[0], -1.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.0);
+}
+
+TEST(MatrixTest, Distance) {
+  const Matrix a = {{0.0, 0.0}};
+  const Matrix b = {{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.distance(b), 5.0);
+}
+
+TEST(MatrixTest, RowSpanIsMutable) {
+  Matrix m(1, 2, 0.0);
+  auto row = m.row(0);
+  row[1] = 9.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 9.0);
+}
+
+}  // namespace
+}  // namespace ecost::ml

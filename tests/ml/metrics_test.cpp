@@ -1,0 +1,58 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ecost::ml {
+namespace {
+
+TEST(MetricsTest, ApeBasics) {
+  EXPECT_DOUBLE_EQ(ape_percent(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(ape_percent(90.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(ape_percent(100.0, 100.0), 0.0);
+  EXPECT_THROW(ape_percent(1.0, 0.0), ecost::InvariantError);
+}
+
+TEST(MetricsTest, MapeAverages) {
+  const std::vector<double> pred = {110.0, 95.0};
+  const std::vector<double> truth = {100.0, 100.0};
+  EXPECT_DOUBLE_EQ(mape_percent(pred, truth), 7.5);
+}
+
+TEST(MetricsTest, MapeRejectsBadInput) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(mape_percent(a, b), ecost::InvariantError);
+  EXPECT_THROW(mape_percent({}, {}), ecost::InvariantError);
+}
+
+TEST(MetricsTest, RmseKnown) {
+  const std::vector<double> pred = {1.0, 2.0, 3.0};
+  const std::vector<double> truth = {1.0, 2.0, 5.0};
+  EXPECT_NEAR(rmse(pred, truth), 2.0 / std::sqrt(3.0), 1e-12);
+}
+
+TEST(MetricsTest, PerfectPredictionScoresOne) {
+  const std::vector<double> truth = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r2(truth, truth), 1.0);
+  EXPECT_DOUBLE_EQ(rmse(truth, truth), 0.0);
+}
+
+TEST(MetricsTest, MeanPredictorScoresZeroR2) {
+  const std::vector<double> truth = {1.0, 2.0, 3.0};
+  const std::vector<double> pred = {2.0, 2.0, 2.0};
+  EXPECT_NEAR(r2(pred, truth), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, R2NeedsTwoPoints) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(r2(one, one), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::ml

@@ -1,0 +1,123 @@
+#include "ml/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::ml {
+namespace {
+
+MlpParams fast_params() {
+  MlpParams p;
+  p.hidden = {16, 8};
+  p.epochs = 150;
+  return p;
+}
+
+TEST(MlpTest, LearnsLinearFunction) {
+  Dataset d;
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    d.add(std::vector<double>{x}, 2.0 * x + 1.0);
+  }
+  Mlp mlp(fast_params());
+  mlp.fit(d);
+  EXPECT_NEAR(mlp.predict(std::vector<double>{0.5}), 2.0, 0.1);
+  EXPECT_NEAR(mlp.predict(std::vector<double>{-0.5}), 0.0, 0.1);
+}
+
+TEST(MlpTest, LearnsNonlinearSurface) {
+  Dataset d;
+  Rng rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    d.add(std::vector<double>{a, b}, std::sin(2.0 * a) + b * b);
+  }
+  Mlp mlp(fast_params());
+  mlp.fit(d);
+  EXPECT_NEAR(mlp.predict(std::vector<double>{0.5, 0.0}), std::sin(1.0), 0.15);
+  EXPECT_NEAR(mlp.predict(std::vector<double>{0.0, 0.8}), 0.64, 0.15);
+}
+
+TEST(MlpTest, TrainingReducesLoss) {
+  Dataset d;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    d.add(std::vector<double>{x}, x * x * x);
+  }
+  MlpParams short_p = fast_params();
+  short_p.epochs = 2;
+  MlpParams long_p = fast_params();
+  long_p.epochs = 150;
+  Mlp a(short_p), b(long_p);
+  a.fit(d);
+  b.fit(d);
+  EXPECT_LT(b.final_train_mse(), a.final_train_mse());
+}
+
+TEST(MlpTest, LogTargetHandlesWideDynamicRange) {
+  // Targets spanning 4 decades: log-target fitting keeps relative error
+  // roughly uniform.
+  Dataset d;
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(0.0, 4.0);
+    d.add(std::vector<double>{x}, std::pow(10.0, x));
+  }
+  MlpParams p = fast_params();
+  p.log_target = true;
+  p.epochs = 250;
+  Mlp mlp(p);
+  mlp.fit(d);
+  const double small = mlp.predict(std::vector<double>{0.5});
+  const double large = mlp.predict(std::vector<double>{3.5});
+  EXPECT_NEAR(small / std::pow(10.0, 0.5), 1.0, 0.3);
+  EXPECT_NEAR(large / std::pow(10.0, 3.5), 1.0, 0.3);
+}
+
+TEST(MlpTest, LogTargetRejectsNonPositive) {
+  Dataset d;
+  d.add(std::vector<double>{1.0}, -1.0);
+  d.add(std::vector<double>{2.0}, 1.0);
+  MlpParams p = fast_params();
+  p.log_target = true;
+  Mlp mlp(p);
+  EXPECT_THROW(mlp.fit(d), ecost::InvariantError);
+}
+
+TEST(MlpTest, DeterministicForSeed) {
+  Dataset d;
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    d.add(std::vector<double>{x}, x);
+  }
+  Mlp a(fast_params()), b(fast_params());
+  a.fit(d);
+  b.fit(d);
+  EXPECT_DOUBLE_EQ(a.predict(std::vector<double>{0.3}),
+                   b.predict(std::vector<double>{0.3}));
+}
+
+TEST(MlpTest, PredictBeforeFitThrows) {
+  Mlp mlp;
+  EXPECT_THROW(mlp.predict(std::vector<double>{0.0}), ecost::InvariantError);
+}
+
+TEST(MlpTest, BadParamsRejected) {
+  MlpParams p;
+  p.epochs = 0;
+  EXPECT_THROW(Mlp{p}, ecost::InvariantError);
+  p = {};
+  p.learning_rate = 0.0;
+  EXPECT_THROW(Mlp{p}, ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::ml

@@ -1,0 +1,120 @@
+#include "ml/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::ml {
+namespace {
+
+TEST(PcaTest, ExplainedVarianceSumsToOne) {
+  Rng rng(2);
+  Matrix x(0, 0);
+  for (int i = 0; i < 200; ++i) {
+    x.push_row(std::vector<double>{rng.normal(), rng.normal(10, 5),
+                                   rng.normal(-3, 0.1)});
+  }
+  Pca pca;
+  pca.fit(x);
+  double total = 0.0;
+  for (double v : pca.explained_variance_ratio()) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(pca.cumulative_variance(pca.dimensions()), 1.0, 1e-9);
+}
+
+TEST(PcaTest, PerfectlyCorrelatedDataHasOneComponent) {
+  Rng rng(3);
+  Matrix x(0, 0);
+  for (int i = 0; i < 300; ++i) {
+    const double t = rng.normal();
+    x.push_row(std::vector<double>{t, 2.0 * t, -t});
+  }
+  Pca pca;
+  pca.fit(x);
+  EXPECT_GT(pca.explained_variance_ratio()[0], 0.999);
+}
+
+TEST(PcaTest, IndependentFeaturesShareVariance) {
+  Rng rng(4);
+  Matrix x(0, 0);
+  for (int i = 0; i < 5000; ++i) {
+    x.push_row(std::vector<double>{rng.normal(), rng.normal()});
+  }
+  Pca pca;
+  pca.fit(x);
+  EXPECT_NEAR(pca.explained_variance_ratio()[0], 0.5, 0.05);
+}
+
+TEST(PcaTest, ProjectionPreservesVarianceOrdering) {
+  Rng rng(5);
+  Matrix x(0, 0);
+  for (int i = 0; i < 500; ++i) {
+    const double t = rng.normal();
+    x.push_row(std::vector<double>{t + 0.1 * rng.normal(),
+                                   t + 0.1 * rng.normal(), rng.normal()});
+  }
+  Pca pca;
+  pca.fit(x);
+  const Matrix proj = pca.transform(x, 2);
+  EXPECT_EQ(proj.rows(), x.rows());
+  EXPECT_EQ(proj.cols(), 2u);
+  // Variance along PC1 exceeds PC2.
+  double v1 = 0.0, v2 = 0.0;
+  for (std::size_t r = 0; r < proj.rows(); ++r) {
+    v1 += proj.at(r, 0) * proj.at(r, 0);
+    v2 += proj.at(r, 1) * proj.at(r, 1);
+  }
+  EXPECT_GT(v1, v2);
+}
+
+TEST(PcaTest, ScaleInvarianceFromStandardization) {
+  // A feature measured in different units must not dominate: PCA here
+  // standardizes first (the paper normalizes for exactly this reason).
+  Rng rng(6);
+  Matrix x(0, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.normal();
+    const double b = rng.normal();
+    x.push_row(std::vector<double>{a, 1e6 * b});
+  }
+  Pca pca;
+  pca.fit(x);
+  EXPECT_NEAR(pca.explained_variance_ratio()[0], 0.5, 0.05);
+}
+
+TEST(PcaTest, LoadingsIdentifyCorrelatedGroup) {
+  Rng rng(7);
+  Matrix x(0, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const double t = rng.normal();
+    x.push_row(std::vector<double>{t, t + 0.05 * rng.normal(), rng.normal()});
+  }
+  Pca pca;
+  pca.fit(x);
+  // The two correlated features load PC1 with the same sign and similar
+  // magnitude; the independent one barely loads it.
+  const double l0 = pca.loading(0, 0);
+  const double l1 = pca.loading(1, 0);
+  const double l2 = pca.loading(2, 0);
+  EXPECT_GT(l0 * l1, 0.0);
+  EXPECT_NEAR(std::abs(l0), std::abs(l1), 0.05);
+  EXPECT_LT(std::abs(l2), 0.3);
+}
+
+TEST(PcaTest, NeedsTwoRows) {
+  Matrix x(0, 0);
+  x.push_row(std::vector<double>{1.0});
+  Pca pca;
+  EXPECT_THROW(pca.fit(x), ecost::InvariantError);
+}
+
+TEST(PcaTest, TransformBeforeFitThrows) {
+  Pca pca;
+  EXPECT_THROW(pca.transform(Matrix(1, 1), 1), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::ml

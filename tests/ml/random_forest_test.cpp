@@ -1,0 +1,102 @@
+#include "ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::ml {
+namespace {
+
+Dataset noisy_sine(std::size_t n) {
+  Dataset d;
+  Rng rng(31);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(-3.0, 3.0);
+    d.add(std::vector<double>{x}, std::sin(x) + rng.normal(0.0, 0.1));
+  }
+  return d;
+}
+
+TEST(RandomForestTest, LearnsSmoothFunction) {
+  RandomForest forest;
+  forest.fit(noisy_sine(4000));
+  for (double x = -2.5; x <= 2.5; x += 0.5) {
+    EXPECT_NEAR(forest.predict(std::vector<double>{x}), std::sin(x), 0.15)
+        << "x=" << x;
+  }
+}
+
+TEST(RandomForestTest, SmootherThanSingleTree) {
+  // On very noisy data with overfit-prone trees (tiny leaves, no pruning),
+  // the bagged ensemble's test error must beat a single tree's.
+  Dataset train;
+  Dataset test;
+  Rng rng(57);
+  auto sample = [&](Dataset& d, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = rng.uniform(-3.0, 3.0);
+      d.add(std::vector<double>{x}, std::sin(x) + rng.normal(0.0, 0.5));
+    }
+  };
+  sample(train, 2000);
+  sample(test, 500);
+
+  RepTreeParams tp;
+  tp.prune = false;
+  tp.min_leaf = 2;
+  RepTree tree(tp);
+  tree.fit(train);
+
+  RandomForestParams fp;
+  fp.tree = tp;
+  fp.trees = 24;
+  RandomForest forest(fp);
+  forest.fit(train);
+
+  double sse_tree = 0.0, sse_forest = 0.0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const double t = tree.predict(test.x.row(i)) - test.y[i];
+    const double f = forest.predict(test.x.row(i)) - test.y[i];
+    sse_tree += t * t;
+    sse_forest += f * f;
+  }
+  EXPECT_LT(sse_forest, sse_tree);
+}
+
+TEST(RandomForestTest, DeterministicForSeed) {
+  const Dataset d = noisy_sine(500);
+  RandomForest a, b;
+  a.fit(d);
+  b.fit(d);
+  EXPECT_DOUBLE_EQ(a.predict(std::vector<double>{1.0}),
+                   b.predict(std::vector<double>{1.0}));
+}
+
+TEST(RandomForestTest, TreeCountMatchesParams) {
+  RandomForestParams p;
+  p.trees = 5;
+  RandomForest forest(p);
+  forest.fit(noisy_sine(100));
+  EXPECT_EQ(forest.tree_count(), 5u);
+}
+
+TEST(RandomForestTest, PredictBeforeFitThrows) {
+  RandomForest forest;
+  EXPECT_THROW(forest.predict(std::vector<double>{0.0}),
+               ecost::InvariantError);
+}
+
+TEST(RandomForestTest, BadParamsRejected) {
+  RandomForestParams p;
+  p.trees = 0;
+  EXPECT_THROW(RandomForest{p}, ecost::InvariantError);
+  p = {};
+  p.bootstrap_fraction = 0.0;
+  EXPECT_THROW(RandomForest{p}, ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::ml

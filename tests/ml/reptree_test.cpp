@@ -1,0 +1,135 @@
+#include "ml/reptree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::ml {
+namespace {
+
+Dataset step_function(std::size_t n, Rng& rng) {
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    d.add(std::vector<double>{x}, x < 0.5 ? 1.0 : 5.0);
+  }
+  return d;
+}
+
+TEST(RepTreeTest, LearnsStepFunctionExactly) {
+  Rng rng(2);
+  const Dataset d = step_function(1000, rng);
+  RepTree tree;
+  tree.fit(d);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.2}), 1.0, 1e-6);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.8}), 5.0, 1e-6);
+}
+
+TEST(RepTreeTest, LearnsQuadraticWhereLinearFails) {
+  Dataset d;
+  Rng rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    d.add(std::vector<double>{x}, x * x);
+  }
+  RepTree tree;
+  tree.fit(d);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.0}), 0.0, 0.05);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.9}), 0.81, 0.1);
+}
+
+TEST(RepTreeTest, LearnsTwoFeatureInteraction) {
+  Dataset d;
+  Rng rng(4);
+  for (int i = 0; i < 4000; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    d.add(std::vector<double>{a, b}, (a > 0.5) != (b > 0.5) ? 10.0 : 0.0);
+  }
+  RepTree tree;
+  tree.fit(d);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.2, 0.8}), 10.0, 1.0);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.8, 0.8}), 0.0, 1.0);
+}
+
+TEST(RepTreeTest, PruningShrinksNoisyTree) {
+  Dataset d;
+  Rng rng(5);
+  // Pure noise: an unpruned tree memorizes, a pruned one should collapse.
+  for (int i = 0; i < 2000; ++i) {
+    d.add(std::vector<double>{rng.uniform(0.0, 1.0)}, rng.normal());
+  }
+  RepTreeParams no_prune;
+  no_prune.prune = false;
+  RepTree big(no_prune);
+  big.fit(d);
+  RepTree pruned;
+  pruned.fit(d);
+  EXPECT_LT(pruned.node_count(), big.node_count() / 2);
+}
+
+TEST(RepTreeTest, SingleRowFallsBackToLeaf) {
+  Dataset d;
+  d.add(std::vector<double>{1.0}, 42.0);
+  RepTree tree;
+  tree.fit(d);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.0}), 42.0);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+}
+
+TEST(RepTreeTest, ConstantTargetGivesSingleLeaf) {
+  Dataset d;
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    d.add(std::vector<double>{rng.normal()}, 3.0);
+  }
+  RepTree tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{99.0}), 3.0);
+}
+
+TEST(RepTreeTest, RespectsMinLeaf) {
+  Rng rng(7);
+  const Dataset d = step_function(64, rng);
+  RepTreeParams p;
+  p.min_leaf = 32;
+  p.prune = false;
+  RepTree tree(p);
+  tree.fit(d);
+  // 64 rows with min_leaf 32: at most one split.
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(RepTreeTest, DeterministicForFixedSeed) {
+  Rng rng(8);
+  const Dataset d = step_function(500, rng);
+  RepTree a, b;
+  a.fit(d);
+  b.fit(d);
+  for (double x = 0.0; x <= 1.0; x += 0.1) {
+    EXPECT_DOUBLE_EQ(a.predict(std::vector<double>{x}),
+                     b.predict(std::vector<double>{x}));
+  }
+}
+
+TEST(RepTreeTest, PredictBeforeFitThrows) {
+  RepTree tree;
+  EXPECT_THROW(tree.predict(std::vector<double>{0.0}),
+               ecost::InvariantError);
+}
+
+TEST(RepTreeTest, BadParamsRejected) {
+  RepTreeParams p;
+  p.max_depth = 0;
+  EXPECT_THROW(RepTree{p}, ecost::InvariantError);
+  p = {};
+  p.prune_fraction = 1.0;
+  EXPECT_THROW(RepTree{p}, ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::ml

@@ -1,0 +1,100 @@
+#include "ml/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::ml {
+namespace {
+
+Dataset noisy_quadratic(std::size_t n) {
+  Dataset d;
+  Rng rng(21);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(-2.0, 2.0);
+    const double z = rng.uniform(0.0, 100.0);
+    d.add(std::vector<double>{x, z}, 3.0 * x * x - 0.1 * z + 5.0);
+  }
+  return d;
+}
+
+TEST(SerializeTest, ScalerRoundTrip) {
+  const Dataset d = noisy_quadratic(200);
+  StandardScaler s;
+  s.fit(d.x);
+  std::stringstream ss;
+  save_scaler(ss, s);
+  const StandardScaler loaded = load_scaler(ss);
+  const auto a = s.transform_row(d.x.row(7));
+  const auto b = loaded.transform_row(d.x.row(7));
+  for (std::size_t j = 0; j < a.size(); ++j) EXPECT_DOUBLE_EQ(a[j], b[j]);
+}
+
+TEST(SerializeTest, UnfittedScalerRoundTrip) {
+  std::stringstream ss;
+  save_scaler(ss, StandardScaler{});
+  EXPECT_FALSE(load_scaler(ss).fitted());
+}
+
+TEST(SerializeTest, LinearRegressionRoundTripIsExact) {
+  const Dataset d = noisy_quadratic(300);
+  LinearRegression lr;
+  lr.fit(d);
+  std::stringstream ss;
+  save_model(ss, lr);
+  const LinearRegression loaded = load_linear_regression(ss);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(lr.predict(d.x.row(i)), loaded.predict(d.x.row(i)));
+  }
+}
+
+TEST(SerializeTest, RepTreeRoundTripIsExact) {
+  const Dataset d = noisy_quadratic(1500);
+  RepTree tree;
+  tree.fit(d);
+  std::stringstream ss;
+  save_model(ss, tree);
+  const RepTree loaded = load_reptree(ss);
+  EXPECT_EQ(loaded.node_count(), tree.node_count());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tree.predict(d.x.row(i)), loaded.predict(d.x.row(i)));
+  }
+}
+
+TEST(SerializeTest, MultipleModelsShareAStream) {
+  const Dataset d = noisy_quadratic(400);
+  LinearRegression lr;
+  RepTree tree;
+  lr.fit(d);
+  tree.fit(d);
+  std::stringstream ss;
+  save_model(ss, lr);
+  save_model(ss, tree);
+  const LinearRegression l2 = load_linear_regression(ss);
+  const RepTree t2 = load_reptree(ss);
+  EXPECT_DOUBLE_EQ(l2.predict(d.x.row(0)), lr.predict(d.x.row(0)));
+  EXPECT_DOUBLE_EQ(t2.predict(d.x.row(0)), tree.predict(d.x.row(0)));
+}
+
+TEST(SerializeTest, UnfittedModelsRefuseToSave) {
+  std::stringstream ss;
+  EXPECT_THROW(save_model(ss, LinearRegression{}), ecost::InvariantError);
+  EXPECT_THROW(save_model(ss, RepTree{}), ecost::InvariantError);
+}
+
+TEST(SerializeTest, MalformedStreamsThrow) {
+  std::stringstream wrong_tag("notatree v1 1 0");
+  EXPECT_THROW(load_reptree(wrong_tag), ecost::InvariantError);
+  std::stringstream truncated("reptree v1 5 0\n1 0 0.0 1.0 -1 -1\n");
+  EXPECT_THROW(load_reptree(truncated), ecost::InvariantError);
+  std::stringstream bad_root("reptree v1 1 7\n1 0 0.0 1.0 -1 -1\n");
+  EXPECT_THROW(load_reptree(bad_root), ecost::InvariantError);
+  std::stringstream bad_child("reptree v1 1 0\n0 0 0.0 1.0 5 6\n");
+  EXPECT_THROW(load_reptree(bad_child), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::ml

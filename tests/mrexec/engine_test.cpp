@@ -1,0 +1,189 @@
+#include "mrexec/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mrexec/builtin_jobs.hpp"
+#include "mrexec/synthetic_data.hpp"
+#include "util/error.hpp"
+
+namespace ecost::mrexec {
+namespace {
+
+/// Reference single-threaded wordcount.
+std::map<std::string, std::size_t> reference_wordcount(
+    const std::vector<std::string>& lines) {
+  std::map<std::string, std::size_t> counts;
+  for (const std::string& line : lines) {
+    std::string word;
+    auto flush = [&] {
+      if (!word.empty()) {
+        ++counts[word];
+        word.clear();
+      }
+    };
+    for (char c : line) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        word += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      } else {
+        flush();
+      }
+    }
+    flush();
+  }
+  return counts;
+}
+
+TEST(MrExecEngineTest, WordCountMatchesReference) {
+  TextOptions topts;
+  topts.lines = 3000;
+  topts.seed = 5;
+  const auto lines = generate_text(topts);
+  const Engine engine({/*map_parallelism=*/4, /*reduce_tasks=*/3,
+                       /*records_per_split=*/256, {}});
+  const auto counted = run_wordcount(engine, lines);
+  const auto expected = reference_wordcount(lines);
+  ASSERT_EQ(counted.size(), expected.size());
+  for (const auto& [word, count] : counted) {
+    EXPECT_EQ(count, expected.at(word)) << word;
+  }
+}
+
+TEST(MrExecEngineTest, ParallelismDoesNotChangeOutput) {
+  TextOptions topts;
+  topts.lines = 1000;
+  topts.seed = 9;
+  const auto lines = generate_text(topts);
+  const Engine serial({1, 4, 100, {}});
+  const Engine parallel({8, 4, 100, {}});
+  const auto a = serial.run(lines, wordcount_mapper(), sum_reducer());
+  const auto b = parallel.run(lines, wordcount_mapper(), sum_reducer());
+  EXPECT_EQ(a, b);
+}
+
+TEST(MrExecEngineTest, GrepFindsExactlyMatchingRecords) {
+  std::vector<std::string> lines = {"the quick fox", "lazy dog",
+                                    "quick brown", "nothing here"};
+  const Engine engine({2, 2, 2, {}});
+  const auto out = engine.run(lines, grep_mapper("quick"),
+                              identity_reducer());
+  std::vector<std::string> matched;
+  for (const KV& kv : out) matched.push_back(kv.key);
+  std::sort(matched.begin(), matched.end());
+  EXPECT_EQ(matched,
+            (std::vector<std::string>{"quick brown", "the quick fox"}));
+}
+
+TEST(MrExecEngineTest, SortProducesGlobalOrder) {
+  const auto records = generate_records(5000, 16, 11);
+  const Engine engine({4, 5, 300, {}});
+  JobStats stats;
+  const auto sorted = run_sort(engine, records, &stats);
+  ASSERT_EQ(sorted.size(), records.size());
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  // Output is a permutation of the input.
+  auto ref = records;
+  std::sort(ref.begin(), ref.end());
+  EXPECT_EQ(sorted, ref);
+  EXPECT_EQ(stats.output_records, records.size());
+}
+
+TEST(MrExecEngineTest, StatsAreConsistent) {
+  TextOptions topts;
+  topts.lines = 512;
+  const auto lines = generate_text(topts);
+  const Engine engine({4, 3, 128, {}});
+  JobStats stats;
+  (void)engine.run(lines, wordcount_mapper(), sum_reducer(), &stats);
+  EXPECT_EQ(stats.input_records, 512u);
+  EXPECT_EQ(stats.map_tasks, 4u);  // 512 / 128
+  EXPECT_GT(stats.map_output_records, 0u);
+  EXPECT_GT(stats.shuffle_bytes, 0u);
+  EXPECT_EQ(stats.reduce_groups, stats.output_records);  // sum reducer: 1:1
+}
+
+TEST(MrExecEngineTest, CombinerShrinksShuffle) {
+  // With a Zipf vocabulary, per-split pre-aggregation must shuffle far
+  // fewer records than raw tokens.
+  TextOptions topts;
+  topts.lines = 2000;
+  topts.vocabulary = 50;
+  const auto lines = generate_text(topts);
+  const Engine engine({4, 2, 500, {}});
+  JobStats stats;
+  (void)engine.run(lines, wordcount_mapper(), sum_reducer(), &stats);
+  const std::size_t tokens = topts.lines * topts.words_per_line;
+  EXPECT_LT(stats.map_output_records, tokens / 10);
+}
+
+TEST(MrExecEngineTest, EmptyInput) {
+  const Engine engine;
+  JobStats stats;
+  const auto out =
+      engine.run({}, wordcount_mapper(), sum_reducer(), &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.map_tasks, 0u);
+}
+
+TEST(MrExecEngineTest, HashPartitionCoversAllPartitions) {
+  std::vector<std::size_t> hits(8, 0);
+  for (int i = 0; i < 4000; ++i) {
+    hits[hash_partition("key" + std::to_string(i), 8)]++;
+  }
+  for (std::size_t h : hits) EXPECT_GT(h, 200u);
+}
+
+TEST(MrExecEngineTest, RangePartitionerIsMonotone) {
+  const auto sample = generate_records(2000, 8, 3);
+  const auto part = make_range_partitioner(sample, 4);
+  const auto probe = generate_records(500, 8, 7);
+  auto sorted_probe = probe;
+  std::sort(sorted_probe.begin(), sorted_probe.end());
+  std::size_t prev = 0;
+  for (const std::string& key : sorted_probe) {
+    const std::size_t p = part(key, 4);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(MrExecEngineTest, InvalidConfigRejected) {
+  JobConfig cfg;
+  cfg.map_parallelism = 0;
+  EXPECT_THROW(Engine{cfg}, ecost::InvariantError);
+  cfg = {};
+  cfg.reduce_tasks = 0;
+  EXPECT_THROW(Engine{cfg}, ecost::InvariantError);
+  const Engine ok;
+  EXPECT_THROW(ok.run({}, nullptr, sum_reducer()), ecost::InvariantError);
+}
+
+TEST(SyntheticDataTest, DeterministicAndShaped) {
+  TextOptions topts;
+  topts.lines = 100;
+  topts.seed = 42;
+  EXPECT_EQ(generate_text(topts), generate_text(topts));
+  const auto recs = generate_records(50, 10, 1);
+  EXPECT_EQ(recs.size(), 50u);
+  for (const auto& r : recs) EXPECT_EQ(r.size(), 10u);
+  EXPECT_EQ(recs, generate_records(50, 10, 1));
+  EXPECT_NE(recs, generate_records(50, 10, 2));
+}
+
+TEST(SyntheticDataTest, ZipfSkewsWordFrequencies) {
+  TextOptions topts;
+  topts.lines = 5000;
+  topts.vocabulary = 100;
+  topts.zipf_s = 1.2;
+  const auto lines = generate_text(topts);
+  const auto counts = reference_wordcount(lines);
+  // The most common word must dominate the median word.
+  std::vector<std::size_t> freqs;
+  for (const auto& [w, c] : counts) freqs.push_back(c);
+  std::sort(freqs.begin(), freqs.end());
+  EXPECT_GT(freqs.back(), 10u * freqs[freqs.size() / 2]);
+}
+
+}  // namespace
+}  // namespace ecost::mrexec

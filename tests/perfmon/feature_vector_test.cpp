@@ -1,0 +1,71 @@
+#include "perfmon/feature_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/node_evaluator.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::perfmon {
+namespace {
+
+TEST(FeatureVectorTest, FourteenNamedFeatures) {
+  EXPECT_EQ(feature_names().size(), kNumFeatures);
+  EXPECT_EQ(kNumFeatures, 14u);
+  EXPECT_EQ(feature_name(Feature::CpuUser), "CPUuser");
+  EXPECT_EQ(feature_name(Feature::LlcMpki), "LLC_MPKI");
+}
+
+TEST(FeatureVectorTest, PaperSelectsSevenFeatures) {
+  const auto sel = selected_features();
+  EXPECT_EQ(sel.size(), 7u);
+  // The paper's kept set (section 3.2).
+  EXPECT_NE(std::find(sel.begin(), sel.end(), Feature::CpuUser), sel.end());
+  EXPECT_NE(std::find(sel.begin(), sel.end(), Feature::CpuIowait), sel.end());
+  EXPECT_NE(std::find(sel.begin(), sel.end(), Feature::IoReadMibps), sel.end());
+  EXPECT_NE(std::find(sel.begin(), sel.end(), Feature::IoWriteMibps),
+            sel.end());
+  EXPECT_NE(std::find(sel.begin(), sel.end(), Feature::Ipc), sel.end());
+  EXPECT_NE(std::find(sel.begin(), sel.end(), Feature::MemFootprintMib),
+            sel.end());
+  EXPECT_NE(std::find(sel.begin(), sel.end(), Feature::LlcMpki), sel.end());
+}
+
+TEST(FeatureVectorTest, DerivedFromTelemetryIsConsistent) {
+  const mapreduce::NodeEvaluator eval;
+  const auto job = mapreduce::JobSpec::of_gib(workloads::app_by_abbrev("ST"),
+                                              1.0);
+  const auto rr = eval.run_solo(job, {sim::FreqLevel::F2_4, 128, 4});
+  const FeatureVector fv = features_from_telemetry(rr.apps[0], eval.spec());
+
+  auto get = [&](Feature f) { return fv[static_cast<std::size_t>(f)]; };
+  EXPECT_NEAR(get(Feature::CpuUser), rr.apps[0].cpu_user_frac, 1e-12);
+  EXPECT_NEAR(get(Feature::IoReadMibps), rr.apps[0].io_read_mibps, 1e-12);
+  EXPECT_GE(get(Feature::DiskUtil), 0.0);
+  EXPECT_LE(get(Feature::DiskUtil), 1.0);
+  EXPECT_GE(get(Feature::CpuSystem), 0.0);
+  EXPECT_LE(get(Feature::CpuSystem), 1.0);
+}
+
+TEST(FeatureVectorTest, ClassesHaveDistinctSignatures) {
+  const mapreduce::NodeEvaluator eval;
+  auto features = [&](const char* abbrev) {
+    const auto job =
+        mapreduce::JobSpec::of_gib(workloads::app_by_abbrev(abbrev), 1.0);
+    const auto rr = eval.run_solo(job, {sim::FreqLevel::F2_4, 128, 4});
+    return features_from_telemetry(rr.apps[0], eval.spec());
+  };
+  const FeatureVector wc = features("WC");
+  const FeatureVector st = features("ST");
+  const FeatureVector cf = features("CF");
+  auto get = [](const FeatureVector& fv, Feature f) {
+    return fv[static_cast<std::size_t>(f)];
+  };
+  EXPECT_GT(get(wc, Feature::CpuUser), get(st, Feature::CpuUser));
+  EXPECT_GT(get(st, Feature::CpuIowait), get(wc, Feature::CpuIowait));
+  EXPECT_GT(get(cf, Feature::LlcMpki), get(wc, Feature::LlcMpki));
+  EXPECT_GT(get(cf, Feature::MemFootprintMib),
+            get(wc, Feature::MemFootprintMib));
+}
+
+}  // namespace
+}  // namespace ecost::perfmon

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mapreduce/node_runner.hpp"
+#include "perfmon/dstat.hpp"
+#include "perfmon/wattsup.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::perfmon {
+namespace {
+
+mapreduce::DesResult sample_run() {
+  mapreduce::NodeRunner runner(sim::NodeSpec::atom_c2758(), 21);
+  const auto job =
+      mapreduce::JobSpec::of_gib(workloads::app_by_abbrev("TS"), 1.0);
+  return runner.run_solo(job, {sim::FreqLevel::F2_4, 128, 4});
+}
+
+TEST(WattsUpTest, ReadingsQuantizedToTenthWatt) {
+  const auto des = sample_run();
+  WattsUp meter(7);
+  const auto readings = meter.record(des.trace);
+  ASSERT_EQ(readings.size(), des.trace.size());
+  for (const auto& r : readings) {
+    const double tenths = r.watts * 10.0;
+    EXPECT_NEAR(tenths, std::round(tenths), 1e-6);
+  }
+}
+
+TEST(WattsUpTest, AverageTracksTruePower) {
+  const auto des = sample_run();
+  WattsUp meter(8);
+  const auto readings = meter.record(des.trace);
+  double truth = 0.0;
+  for (const auto& s : des.trace) truth += s.power_w;
+  truth /= static_cast<double>(des.trace.size());
+  EXPECT_NEAR(WattsUp::average_w(readings), truth, 0.2);
+}
+
+TEST(WattsUpTest, IdleSubtractionMethodology) {
+  const auto des = sample_run();
+  WattsUp meter(9);
+  const auto readings = meter.record(des.trace);
+  const double idle = sim::NodeSpec::atom_c2758().idle_power_w;
+  EXPECT_NEAR(WattsUp::dynamic_w(readings, idle),
+              WattsUp::average_w(readings) - idle, 1e-12);
+  EXPECT_GT(WattsUp::dynamic_w(readings, idle), 0.0);
+}
+
+TEST(WattsUpTest, EmptyTraceYieldsZero) {
+  EXPECT_DOUBLE_EQ(WattsUp::average_w({}), 0.0);
+}
+
+TEST(DstatTest, RecordsMirrorTrace) {
+  const auto des = sample_run();
+  const auto records = dstat_records(des.trace);
+  ASSERT_EQ(records.size(), des.trace.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(records[i].cpu_user, des.trace[i].cpu_user);
+    EXPECT_DOUBLE_EQ(records[i].io_read_mibps, des.trace[i].io_read_mibps);
+    const double total = records[i].cpu_user + records[i].cpu_system +
+                         records[i].cpu_iowait + records[i].cpu_idle;
+    EXPECT_LE(total, 1.0 + 1e-6);
+  }
+}
+
+TEST(DstatTest, SummaryAveragesAndPeaks) {
+  const auto des = sample_run();
+  const auto records = dstat_records(des.trace);
+  const DstatSummary s = summarize(records);
+  EXPECT_GT(s.avg_cpu_user, 0.0);
+  EXPECT_GT(s.avg_io_read_mibps, 0.0);
+  double peak = 0.0;
+  for (const auto& r : records) peak = std::max(peak, r.mem_used_mib);
+  EXPECT_DOUBLE_EQ(s.peak_mem_used_mib, peak);
+}
+
+TEST(DstatTest, EmptySummaryIsZero) {
+  const DstatSummary s = summarize({});
+  EXPECT_DOUBLE_EQ(s.avg_cpu_user, 0.0);
+  EXPECT_DOUBLE_EQ(s.peak_mem_used_mib, 0.0);
+}
+
+}  // namespace
+}  // namespace ecost::perfmon

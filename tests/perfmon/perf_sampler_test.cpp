@@ -1,0 +1,102 @@
+#include "perfmon/perf_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecost::perfmon {
+namespace {
+
+FeatureVector truth() {
+  FeatureVector fv{};
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    fv[i] = 10.0 + static_cast<double>(i);
+  }
+  return fv;
+}
+
+TEST(PerfSamplerTest, SamplesStayNonNegative) {
+  PerfSampler s(1);
+  FeatureVector small{};
+  small[static_cast<std::size_t>(Feature::LlcMpki)] = 0.001;
+  for (int i = 0; i < 100; ++i) {
+    const FeatureVector fv = s.sample_run(small);
+    for (double v : fv) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(PerfSamplerTest, NoiseIsUnbiased) {
+  PerfSampler s(2);
+  const FeatureVector t = truth();
+  FeatureVector acc{};
+  const int runs = 3000;
+  for (int i = 0; i < runs; ++i) {
+    const FeatureVector fv = s.sample_run(t);
+    for (std::size_t j = 0; j < kNumFeatures; ++j) acc[j] += fv[j];
+  }
+  for (std::size_t j = 0; j < kNumFeatures; ++j) {
+    EXPECT_NEAR(acc[j] / runs, t[j], 0.01 * t[j]) << feature_name(
+        static_cast<Feature>(j));
+  }
+}
+
+TEST(PerfSamplerTest, FewerCountersMeansNoisierPmuEvents) {
+  // Relative error of a PMU-backed feature grows when the events are
+  // multiplexed over fewer hardware counters.
+  auto spread = [&](int counters) {
+    PerfSampler s(3, counters);
+    const FeatureVector t = truth();
+    const std::size_t ipc = static_cast<std::size_t>(Feature::Ipc);
+    double sq = 0.0;
+    const int runs = 4000;
+    for (int i = 0; i < runs; ++i) {
+      const double d = s.sample_run(t)[ipc] - t[ipc];
+      sq += d * d;
+    }
+    return std::sqrt(sq / runs);
+  };
+  EXPECT_GT(spread(1), 1.5 * spread(5));
+}
+
+TEST(PerfSamplerTest, AveragingRunsReducesNoise) {
+  PerfSampler s(4, 2);
+  const FeatureVector t = truth();
+  const std::size_t mpki = static_cast<std::size_t>(Feature::LlcMpki);
+  auto spread = [&](int runs_per_sample) {
+    double sq = 0.0;
+    const int samples = 600;
+    for (int i = 0; i < samples; ++i) {
+      const double d =
+          s.sample_averaged(t, runs_per_sample)[mpki] - t[mpki];
+      sq += d * d;
+    }
+    return std::sqrt(sq / samples);
+  };
+  EXPECT_GT(spread(1), 1.5 * spread(8));
+}
+
+TEST(PerfSamplerTest, DstatFeaturesAreLessNoisyThanPmu) {
+  PerfSampler s(5, 1);
+  const FeatureVector t = truth();
+  const std::size_t user = static_cast<std::size_t>(Feature::CpuUser);
+  const std::size_t ipc = static_cast<std::size_t>(Feature::Ipc);
+  double sq_user = 0.0, sq_ipc = 0.0;
+  const int runs = 4000;
+  for (int i = 0; i < runs; ++i) {
+    const FeatureVector fv = s.sample_run(t);
+    sq_user += (fv[user] - t[user]) * (fv[user] - t[user]);
+    sq_ipc += (fv[ipc] - t[ipc]) * (fv[ipc] - t[ipc]);
+  }
+  EXPECT_GT(std::sqrt(sq_ipc / runs), 2.0 * std::sqrt(sq_user / runs));
+}
+
+TEST(PerfSamplerTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(PerfSampler(1, 0), ecost::InvariantError);
+  PerfSampler s(1);
+  EXPECT_THROW(s.sample_averaged(truth(), 0), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::perfmon

@@ -1,0 +1,148 @@
+#include "sim/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecost::sim {
+namespace {
+
+NodeSpec spec() { return NodeSpec::atom_c2758(); }
+
+TEST(LlcModelTest, NoPressureWhenFits) {
+  const NodeSpec s = spec();
+  EXPECT_DOUBLE_EQ(llc_mpki_multiplier(1.0, 1.0, s), 1.0);
+  EXPECT_DOUBLE_EQ(llc_mpki_multiplier(0.0, 0.0, s), 1.0);
+}
+
+TEST(LlcModelTest, MonotoneInCoRunnerFootprint) {
+  const NodeSpec s = spec();
+  double prev = 0.0;
+  for (double others = 0.0; others <= 64.0; others += 4.0) {
+    const double m = llc_mpki_multiplier(2.0, others, s);
+    EXPECT_GE(m, prev);
+    prev = m;
+  }
+}
+
+TEST(LlcModelTest, CappedUnderExtremePressure) {
+  const NodeSpec s = spec();
+  EXPECT_DOUBLE_EQ(llc_mpki_multiplier(1000.0, 1000.0, s),
+                   s.llc_pressure_cap);
+}
+
+TEST(LlcModelTest, RejectsNegativeWorkingSets) {
+  EXPECT_THROW(llc_mpki_multiplier(-1.0, 0.0, spec()), ecost::InvariantError);
+}
+
+TEST(MemLatencyTest, UnloadedIsUnity) {
+  EXPECT_DOUBLE_EQ(mem_latency_multiplier(0.0, spec()), 1.0);
+}
+
+TEST(MemLatencyTest, StrictlyIncreasingInDemand) {
+  const NodeSpec s = spec();
+  double prev = 0.0;
+  for (double d = 0.5; d <= 12.0; d += 0.5) {
+    const double m = mem_latency_multiplier(d, s);
+    EXPECT_GT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(MemLatencyTest, DefinedBeyondSaturation) {
+  const NodeSpec s = spec();
+  const double at_bw = mem_latency_multiplier(s.mem_bw_gibps, s);
+  const double past = mem_latency_multiplier(2.0 * s.mem_bw_gibps, s);
+  EXPECT_GT(past, at_bw);
+  EXPECT_TRUE(std::isfinite(past));
+}
+
+TEST(DiskBwTest, DegradesWithStreams) {
+  const NodeSpec s = spec();
+  EXPECT_DOUBLE_EQ(disk_effective_bw_mibps(1, s), s.disk_bw_mibps);
+  EXPECT_LT(disk_effective_bw_mibps(8, s), s.disk_bw_mibps);
+  EXPECT_LT(disk_effective_bw_mibps(16, s), disk_effective_bw_mibps(8, s));
+}
+
+TEST(DiskAllocateTest, SingleStreamCappedByStreamCeiling) {
+  const NodeSpec s = spec();
+  const std::vector<double> demand = {1000.0};
+  const auto granted = disk_allocate(demand, s);
+  EXPECT_DOUBLE_EQ(granted[0], s.disk_stream_cap_mibps);
+}
+
+TEST(DiskAllocateTest, ZeroDemandGetsZero) {
+  const std::vector<double> demand = {0.0, 30.0};
+  const auto granted = disk_allocate(demand, spec());
+  EXPECT_DOUBLE_EQ(granted[0], 0.0);
+  EXPECT_GT(granted[1], 0.0);
+}
+
+TEST(DiskAllocateTest, ConservesCapacity) {
+  const NodeSpec s = spec();
+  const std::vector<double> demand(8, 100.0);
+  const auto granted = disk_allocate(demand, s);
+  const double total = std::accumulate(granted.begin(), granted.end(), 0.0);
+  EXPECT_LE(total, disk_effective_bw_mibps(8, s) + 1e-9);
+}
+
+TEST(DiskAllocateTest, SmallDemandsFullySatisfied) {
+  const std::vector<double> demand = {5.0, 10.0, 2.0};
+  const auto granted = disk_allocate(demand, spec());
+  EXPECT_DOUBLE_EQ(granted[0], 5.0);
+  EXPECT_DOUBLE_EQ(granted[1], 10.0);
+  EXPECT_DOUBLE_EQ(granted[2], 2.0);
+}
+
+TEST(DiskAllocateTest, MaxMinFairnessUnderOverload) {
+  const NodeSpec s = spec();
+  // One modest stream and two greedy ones: the modest one keeps its demand,
+  // the greedy ones split the remainder equally.
+  const std::vector<double> demand = {10.0, 500.0, 500.0};
+  const auto granted = disk_allocate(demand, s);
+  EXPECT_DOUBLE_EQ(granted[0], 10.0);
+  EXPECT_NEAR(granted[1], granted[2], 1e-9);
+  EXPECT_GT(granted[1], granted[0]);
+}
+
+TEST(WaterfillTest, SplitsEquallyWhenAllGreedy) {
+  const std::vector<double> demand = {100.0, 100.0};
+  const auto granted = waterfill(demand, 60.0);
+  EXPECT_DOUBLE_EQ(granted[0], 30.0);
+  EXPECT_DOUBLE_EQ(granted[1], 30.0);
+}
+
+TEST(WaterfillTest, RedistributesSlack) {
+  const std::vector<double> demand = {10.0, 100.0};
+  const auto granted = waterfill(demand, 60.0);
+  EXPECT_DOUBLE_EQ(granted[0], 10.0);
+  EXPECT_DOUBLE_EQ(granted[1], 50.0);
+}
+
+TEST(WaterfillTest, EmptyAndZeroCapacity) {
+  EXPECT_TRUE(waterfill({}, 10.0).empty());
+  const std::vector<double> demand = {5.0};
+  const auto granted = waterfill(demand, 0.0);
+  EXPECT_DOUBLE_EQ(granted[0], 0.0);
+}
+
+TEST(SplitIoEfficiencyTest, LargerBlocksAreMoreEfficient) {
+  const NodeSpec s = spec();
+  const double e64 = split_io_efficiency(mib_to_bytes(64), s);
+  const double e1024 = split_io_efficiency(mib_to_bytes(1024), s);
+  EXPECT_LT(e64, e1024);
+  EXPECT_GT(e64, 0.5);
+  EXPECT_LE(e1024, 1.0);
+}
+
+TEST(SplitIoEfficiencyTest, ZeroSplitIsUnity) {
+  EXPECT_DOUBLE_EQ(split_io_efficiency(0.0, spec()), 1.0);
+}
+
+}  // namespace
+}  // namespace ecost::sim

@@ -1,0 +1,41 @@
+#include "sim/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ecost::sim {
+namespace {
+
+TEST(DvfsTest, PaperOperatingPoints) {
+  EXPECT_DOUBLE_EQ(ghz(FreqLevel::F1_2), 1.2);
+  EXPECT_DOUBLE_EQ(ghz(FreqLevel::F1_6), 1.6);
+  EXPECT_DOUBLE_EQ(ghz(FreqLevel::F2_0), 2.0);
+  EXPECT_DOUBLE_EQ(ghz(FreqLevel::F2_4), 2.4);
+}
+
+TEST(DvfsTest, VoltageIncreasesWithFrequency) {
+  double prev = 0.0;
+  for (FreqLevel f : kAllFreqLevels) {
+    EXPECT_GT(volts(f), prev);
+    prev = volts(f);
+  }
+}
+
+TEST(DvfsTest, RoundTripFromGhz) {
+  for (FreqLevel f : kAllFreqLevels) {
+    EXPECT_EQ(freq_from_ghz(ghz(f)), f);
+  }
+}
+
+TEST(DvfsTest, UnknownFrequencyThrows) {
+  EXPECT_THROW(freq_from_ghz(3.0), InvariantError);
+}
+
+TEST(DvfsTest, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(to_string(FreqLevel::F1_2), "1.2");
+  EXPECT_EQ(to_string(FreqLevel::F2_4), "2.4");
+}
+
+}  // namespace
+}  // namespace ecost::sim

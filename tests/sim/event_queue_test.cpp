@@ -1,0 +1,82 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ecost::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesBreakInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] {
+    ++fired;
+    q.schedule_in(0.5, [&] { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 1.5);
+}
+
+TEST(EventQueueTest, SchedulingInPastThrows) {
+  EventQueue q;
+  q.schedule_at(2.0, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), ecost::InvariantError);
+  EXPECT_THROW(q.schedule_in(-0.1, [] {}), ecost::InvariantError);
+}
+
+TEST(EventQueueTest, NullCallbackThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_at(1.0, nullptr), ecost::InvariantError);
+}
+
+TEST(EventQueueTest, StepOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, RunawayGuardFires) {
+  EventQueue q;
+  // Self-perpetuating event chain: must hit the budget, not hang.
+  std::function<void()> loop = [&] { q.schedule_in(1.0, loop); };
+  q.schedule_at(0.0, loop);
+  EXPECT_THROW(q.run(/*max_events=*/100), ecost::InvariantError);
+}
+
+TEST(EventQueueTest, PendingCount) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.step();
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace ecost::sim

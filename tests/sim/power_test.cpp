@@ -1,0 +1,110 @@
+#include "sim/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ecost::sim {
+namespace {
+
+class PowerModelTest : public ::testing::Test {
+ protected:
+  NodeSpec spec_ = NodeSpec::atom_c2758();
+  PowerModel model_{spec_};
+};
+
+TEST_F(PowerModelTest, CorePowerGrowsWithFrequency) {
+  double prev = 0.0;
+  for (FreqLevel f : kAllFreqLevels) {
+    const double p = model_.core_power_w({f, 1.0});
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST_F(PowerModelTest, CorePowerGrowsWithActivity) {
+  const double idle = model_.core_power_w({FreqLevel::F2_4, 0.0});
+  const double busy = model_.core_power_w({FreqLevel::F2_4, 1.0});
+  EXPECT_GT(busy, idle);
+  // Zero activity still leaks.
+  EXPECT_GT(idle, 0.0);
+}
+
+TEST_F(PowerModelTest, SuperlinearInFrequencyDueToVoltage) {
+  // P ~ V^2 f: doubling frequency more than doubles dynamic power.
+  const double leak12 = spec_.core_static_w_per_v * volts(FreqLevel::F1_2);
+  const double leak24 = spec_.core_static_w_per_v * volts(FreqLevel::F2_4);
+  const double dyn12 = model_.core_power_w({FreqLevel::F1_2, 1.0}) - leak12;
+  const double dyn24 = model_.core_power_w({FreqLevel::F2_4, 1.0}) - leak24;
+  EXPECT_GT(dyn24, 2.0 * dyn12);
+}
+
+TEST_F(PowerModelTest, ActivityOutOfRangeThrows) {
+  EXPECT_THROW(model_.core_power_w({FreqLevel::F2_4, 1.5}),
+               ecost::InvariantError);
+  EXPECT_THROW(model_.core_power_w({FreqLevel::F2_4, -0.1}),
+               ecost::InvariantError);
+}
+
+TEST_F(PowerModelTest, MemoryPowerSaturatesAtBandwidth) {
+  const double at_bw = model_.memory_power_w(spec_.mem_bw_gibps);
+  const double beyond = model_.memory_power_w(10.0 * spec_.mem_bw_gibps);
+  EXPECT_DOUBLE_EQ(at_bw, beyond);
+}
+
+TEST_F(PowerModelTest, DiskPowerScalesWithUtilization) {
+  EXPECT_DOUBLE_EQ(model_.disk_power_w(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model_.disk_power_w(1.0), spec_.disk_power_w);
+  EXPECT_DOUBLE_EQ(model_.disk_power_w(0.5), 0.5 * spec_.disk_power_w);
+}
+
+TEST_F(PowerModelTest, NodePowerIncludesIdleFloor) {
+  const PowerBreakdown pb = model_.node_power({}, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(pb.total_w(), spec_.idle_power_w);
+  EXPECT_DOUBLE_EQ(pb.dynamic_w(), 0.0);
+}
+
+TEST_F(PowerModelTest, NodePowerAggregatesCores) {
+  const std::vector<CoreLoad> cores(4, {FreqLevel::F2_0, 0.8});
+  const PowerBreakdown pb = model_.node_power(cores, 2.0, 0.5);
+  EXPECT_GT(pb.core_dynamic_w, 0.0);
+  EXPECT_GT(pb.core_static_w, 0.0);
+  EXPECT_GT(pb.memory_w, 0.0);
+  EXPECT_GT(pb.disk_w, 0.0);
+  EXPECT_NEAR(pb.total_w(), pb.core_dynamic_w + pb.core_static_w +
+                                pb.memory_w + pb.disk_w + pb.framework_w +
+                                pb.idle_w,
+              1e-12);
+}
+
+TEST_F(PowerModelTest, TooManyCoresThrows) {
+  const std::vector<CoreLoad> cores(spec_.cores + 1, {FreqLevel::F1_2, 0.5});
+  EXPECT_THROW(model_.node_power(cores, 0.0, 0.0), ecost::InvariantError);
+}
+
+TEST(NodeSpecTest, DefaultValidates) {
+  EXPECT_NO_THROW(NodeSpec::atom_c2758().validate());
+}
+
+TEST(NodeSpecTest, BadValuesRejected) {
+  NodeSpec s = NodeSpec::atom_c2758();
+  s.cores = 0;
+  EXPECT_THROW(s.validate(), ecost::InvariantError);
+
+  s = NodeSpec::atom_c2758();
+  s.disk_stream_cap_mibps = s.disk_bw_mibps * 2.0;
+  EXPECT_THROW(s.validate(), ecost::InvariantError);
+
+  s = NodeSpec::atom_c2758();
+  s.cpu_io_overlap = 1.5;
+  EXPECT_THROW(s.validate(), ecost::InvariantError);
+
+  s = NodeSpec::atom_c2758();
+  s.disk_job_cap_mibps = s.disk_bw_mibps + 1.0;
+  EXPECT_THROW(s.validate(), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::sim

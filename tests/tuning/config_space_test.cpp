@@ -1,0 +1,62 @@
+#include "tuning/config_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace ecost::tuning {
+namespace {
+
+sim::NodeSpec spec() { return sim::NodeSpec::atom_c2758(); }
+
+TEST(ConfigSpaceTest, PaperSolo160Configurations) {
+  // Section 7: 5 block sizes x 8 mappers x 4 frequencies = 160.
+  EXPECT_EQ(solo_config_count(spec()), 160u);
+  EXPECT_EQ(solo_configs(spec()).size(), 160u);
+}
+
+TEST(ConfigSpaceTest, SoloConfigsAreUniqueAndValid) {
+  std::set<std::string> seen;
+  for (const auto& cfg : solo_configs(spec())) {
+    EXPECT_NO_THROW(cfg.validate(spec()));
+    EXPECT_TRUE(seen.insert(cfg.to_string()).second);
+  }
+}
+
+TEST(ConfigSpaceTest, MapperBoundsRespected) {
+  const auto cfgs = solo_configs(spec(), 3, 5);
+  EXPECT_EQ(cfgs.size(), 5u * 4u * 3u);
+  for (const auto& cfg : cfgs) {
+    EXPECT_GE(cfg.mappers, 3);
+    EXPECT_LE(cfg.mappers, 5);
+  }
+}
+
+TEST(ConfigSpaceTest, InvalidBoundsThrow) {
+  EXPECT_THROW(solo_configs(spec(), 0, 4), ecost::InvariantError);
+  EXPECT_THROW(solo_configs(spec(), 5, 4), ecost::InvariantError);
+  EXPECT_THROW(solo_configs(spec(), 1, 9), ecost::InvariantError);
+}
+
+TEST(ConfigSpaceTest, PairSpaceCoversAllPartitions) {
+  const auto cfgs = pair_configs(spec());
+  // (5 blocks x 4 freqs)^2 x 7 core partitions.
+  EXPECT_EQ(cfgs.size(), 20u * 20u * 7u);
+  std::set<int> splits;
+  for (const auto& pc : cfgs) {
+    EXPECT_EQ(pc.first.mappers + pc.second.mappers, spec().cores);
+    EXPECT_NO_THROW(pc.validate(spec()));
+    splits.insert(pc.first.mappers);
+  }
+  EXPECT_EQ(splits.size(), 7u);
+}
+
+TEST(ConfigSpaceTest, ConfigToStringFormat) {
+  const mapreduce::AppConfig cfg{sim::FreqLevel::F2_4, 512, 3};
+  EXPECT_EQ(cfg.to_string(), "2.4GHz/512MB/m3");
+}
+
+}  // namespace
+}  // namespace ecost::tuning

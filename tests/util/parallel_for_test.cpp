@@ -1,0 +1,64 @@
+#include "util/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ecost {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(
+      5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ComputesCorrectSum) {
+  std::vector<double> out(10000, 0.0);
+  parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = static_cast<double>(i);
+  });
+  const double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 9999.0 * 10000.0 / 2.0);
+}
+
+TEST(ParallelForTest, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [](std::size_t i) {
+                     if (i == 42) throw std::runtime_error("boom");
+                   },
+                   4),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, NullBodyThrows) {
+  EXPECT_THROW(parallel_for(1, nullptr), InvariantError);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::atomic<int> count{0};
+  parallel_for(3, [&](std::size_t) { count++; }, 64);
+  EXPECT_EQ(count.load(), 3);
+}
+
+}  // namespace
+}  // namespace ecost

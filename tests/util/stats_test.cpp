@@ -1,0 +1,129 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ecost {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStatsTest, KnownSeries) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(StatsTest, MeanAndStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(StatsTest, MeanOfEmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+}
+
+TEST(StatsTest, GeomeanKnown) {
+  const std::vector<double> xs = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+}
+
+TEST(StatsTest, GeomeanRejectsNonPositive) {
+  const std::vector<double> xs = {1.0, 0.0};
+  EXPECT_THROW(geomean(xs), InvariantError);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(StatsTest, QuantileEndpoints) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(StatsTest, QuantileRejectsOutOfRange) {
+  EXPECT_THROW(quantile({1.0}, -0.1), InvariantError);
+  EXPECT_THROW(quantile({1.0}, 1.1), InvariantError);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonOfConstantIsZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(StatsTest, PearsonSizeMismatchThrows) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW(pearson(xs, ys), InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace ecost {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"wc", "1.5"});
+  t.add_row({"terasort", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name     | value |"), std::string::npos);
+  EXPECT_NE(out.find("| terasort | 22    |"), std::string::npos);
+}
+
+TEST(TableTest, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvariantError);
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), InvariantError);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(CsvTest, BasicRoundTrip) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"1", "2"});
+  EXPECT_EQ(w.str(), "a,b\n1,2\n");
+}
+
+TEST(CsvTest, QuotesSpecialCharacters) {
+  CsvWriter w({"text"});
+  w.add_row({"hello, world"});
+  w.add_row({"say \"hi\""});
+  const std::string out = w.str();
+  EXPECT_NE(out.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(CsvTest, ArityMismatchThrows) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"1"}), InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost

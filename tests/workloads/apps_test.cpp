@@ -1,0 +1,111 @@
+#include "workloads/apps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace ecost::workloads {
+namespace {
+
+using mapreduce::AppClass;
+
+TEST(AppsTest, ElevenStudiedApplications) {
+  EXPECT_EQ(all_apps().size(), 11u);
+}
+
+TEST(AppsTest, AbbreviationsAreUnique) {
+  std::set<std::string> seen;
+  for (const auto& app : all_apps()) {
+    EXPECT_TRUE(seen.insert(app.abbrev).second) << app.abbrev;
+  }
+}
+
+TEST(AppsTest, AllProfilesValidate) {
+  for (const auto& app : all_apps()) EXPECT_NO_THROW(app.validate());
+}
+
+TEST(AppsTest, LookupIsCaseInsensitive) {
+  EXPECT_EQ(app_by_abbrev("wc").name, "wordcount");
+  EXPECT_EQ(app_by_abbrev("WC").name, "wordcount");
+  EXPECT_EQ(app_by_abbrev("Ts").name, "terasort");
+}
+
+TEST(AppsTest, UnknownAbbrevThrows) {
+  EXPECT_THROW(app_by_abbrev("XX"), ecost::InvariantError);
+}
+
+TEST(AppsTest, PaperClassAssignments) {
+  // Table 3's class patterns pin these down.
+  EXPECT_EQ(app_by_abbrev("WC").true_class, AppClass::Compute);
+  EXPECT_EQ(app_by_abbrev("SVM").true_class, AppClass::Compute);
+  EXPECT_EQ(app_by_abbrev("HMM").true_class, AppClass::Compute);
+  EXPECT_EQ(app_by_abbrev("TS").true_class, AppClass::Hybrid);
+  EXPECT_EQ(app_by_abbrev("GP").true_class, AppClass::Hybrid);
+  EXPECT_EQ(app_by_abbrev("ST").true_class, AppClass::IoBound);
+  EXPECT_EQ(app_by_abbrev("CF").true_class, AppClass::MemBound);
+  EXPECT_EQ(app_by_abbrev("FP").true_class, AppClass::MemBound);
+}
+
+TEST(AppsTest, TrainTestSplitMatchesPaper) {
+  // Section 7: NB, CF, SVM, PR, HMM, KM are unknown (testing) apps.
+  EXPECT_EQ(training_apps().size(), 5u);
+  EXPECT_EQ(testing_apps().size(), 6u);
+  for (const char* t : {"NB", "CF", "SVM", "PR", "HMM", "KM"}) {
+    EXPECT_FALSE(is_training_app(app_by_abbrev(t))) << t;
+  }
+  for (const char* t : {"WC", "ST", "GP", "TS", "FP"}) {
+    EXPECT_TRUE(is_training_app(app_by_abbrev(t))) << t;
+  }
+}
+
+TEST(AppsTest, TrainingCoversAllFourClasses) {
+  std::set<AppClass> classes;
+  for (const auto& app : training_apps()) classes.insert(app.true_class);
+  EXPECT_EQ(classes.size(), 4u);
+}
+
+TEST(AppsTest, TrainingAppsOfClassFilters) {
+  const auto hybrids = training_apps_of_class(AppClass::Hybrid);
+  ASSERT_EQ(hybrids.size(), 2u);  // GP and TS
+  for (const auto* app : hybrids) {
+    EXPECT_EQ(app->true_class, AppClass::Hybrid);
+  }
+}
+
+TEST(AppsTest, ClassLetterRoundTrip) {
+  for (AppClass c : {AppClass::Compute, AppClass::Hybrid, AppClass::IoBound,
+                     AppClass::MemBound}) {
+    EXPECT_EQ(mapreduce::class_from_letter(mapreduce::class_letter(c)), c);
+  }
+  EXPECT_THROW(mapreduce::class_from_letter('Z'), ecost::InvariantError);
+}
+
+TEST(AppsTest, ResourceSignaturesSeparateClasses) {
+  // Memory-bound apps have much larger LLC working sets and MPKI than
+  // compute-bound ones; I/O-bound apps have low compute intensity.
+  for (const auto& app : all_apps()) {
+    switch (app.true_class) {
+      case AppClass::Compute:
+        EXPECT_GT(app.instr_per_byte, 500.0) << app.abbrev;
+        EXPECT_LT(app.llc_mpki, 5.0) << app.abbrev;
+        break;
+      case AppClass::MemBound:
+        EXPECT_GT(app.llc_mpki, 7.0) << app.abbrev;
+        EXPECT_GT(app.cache_mib, 3.0) << app.abbrev;
+        break;
+      case AppClass::IoBound:
+        EXPECT_LT(app.instr_per_byte, 50.0) << app.abbrev;
+        EXPECT_GE(app.shuffle_bpb, 0.9) << app.abbrev;
+        break;
+      case AppClass::Hybrid:
+        EXPECT_GT(app.instr_per_byte, 30.0) << app.abbrev;
+        EXPECT_LT(app.instr_per_byte, 200.0) << app.abbrev;
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecost::workloads

@@ -1,0 +1,59 @@
+#include "workloads/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::workloads {
+namespace {
+
+TEST(ScenariosTest, EightScenarios) {
+  EXPECT_EQ(all_scenarios().size(), 8u);
+}
+
+TEST(ScenariosTest, EachHasSixteenApplications) {
+  for (const auto& ws : all_scenarios()) {
+    EXPECT_EQ(ws.app_abbrevs.size(), 16u) << ws.name;
+  }
+}
+
+TEST(ScenariosTest, AllAbbrevsResolve) {
+  for (const auto& ws : all_scenarios()) {
+    for (const auto& a : ws.app_abbrevs) {
+      EXPECT_NO_THROW(app_by_abbrev(a)) << ws.name << "/" << a;
+    }
+  }
+}
+
+TEST(ScenariosTest, LookupByName) {
+  EXPECT_EQ(scenario_by_name("WS3").app_abbrevs[0], "st");
+  EXPECT_THROW(scenario_by_name("WS9"), ecost::InvariantError);
+}
+
+TEST(ScenariosTest, ClassPatternsMatchTable3) {
+  // WS1 is all compute, WS3 all I/O-bound, WS7 memory-heavy with I/O.
+  EXPECT_EQ(scenario_by_name("WS1").class_pattern(),
+            "[C,C,C,C,C,C,C,C,C,C,C,C,C,C,C,C]");
+  EXPECT_EQ(scenario_by_name("WS3").class_pattern(),
+            "[I,I,I,I,I,I,I,I,I,I,I,I,I,I,I,I]");
+  EXPECT_EQ(scenario_by_name("WS2").class_pattern(),
+            "[H,H,H,H,H,H,H,H,H,H,H,H,H,H,H,H]");
+  EXPECT_EQ(scenario_by_name("WS4").class_pattern(),
+            "[C,C,H,I,C,C,H,I,C,C,H,I,C,C,H,I]");
+  EXPECT_EQ(scenario_by_name("WS8").class_pattern(),
+            "[M,M,H,I,M,M,H,I,C,C,H,I,C,C,H,I]");
+}
+
+TEST(ScenariosTest, JobsMaterializeWithRequestedSize) {
+  const auto jobs = scenario_by_name("WS4").jobs(2.0);
+  ASSERT_EQ(jobs.size(), 16u);
+  for (const auto& j : jobs) EXPECT_NEAR(j.input_gib(), 2.0, 1e-9);
+}
+
+TEST(ScenariosTest, JobsRejectNonPositiveSize) {
+  EXPECT_THROW(scenario_by_name("WS1").jobs(0.0), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::workloads

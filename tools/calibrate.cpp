@@ -1,0 +1,118 @@
+// Developer calibration harness: prints solo signatures, tuned optima, and
+// co-location ratios so the application profiles and NodeSpec constants can
+// be tuned against the paper's qualitative shapes.
+#include <cstdio>
+#include <limits>
+
+#include "hdfs/config.hpp"
+#include "mapreduce/node_evaluator.hpp"
+#include "sim/dvfs.hpp"
+#include "workloads/apps.hpp"
+
+using namespace ecost;
+using namespace ecost::mapreduce;
+
+namespace {
+
+struct Best {
+  AppConfig cfg;
+  double edp = std::numeric_limits<double>::infinity();
+  RunResult rr;
+};
+
+Best tune_solo(const NodeEvaluator& ev, const JobSpec& job, int min_mappers,
+               int max_mappers) {
+  Best best;
+  for (auto f : sim::kAllFreqLevels) {
+    for (int h : hdfs::kBlockSizesMib) {
+      for (int m = min_mappers; m <= max_mappers; ++m) {
+        const AppConfig cfg{f, h, m};
+        const RunResult rr = ev.run_solo(job, cfg);
+        if (rr.edp() < best.edp) best = {cfg, rr.edp(), rr};
+      }
+    }
+  }
+  return best;
+}
+
+struct BestPair {
+  PairConfig cfg;
+  double edp = std::numeric_limits<double>::infinity();
+  RunResult rr;
+};
+
+BestPair tune_pair(const NodeEvaluator& ev, const JobSpec& a,
+                   const JobSpec& b) {
+  BestPair best;
+  const int cores = ev.spec().cores;
+  for (auto f1 : sim::kAllFreqLevels)
+    for (int h1 : hdfs::kBlockSizesMib)
+      for (auto f2 : sim::kAllFreqLevels)
+        for (int h2 : hdfs::kBlockSizesMib)
+          for (int m1 = 1; m1 < cores; ++m1) {
+            const int m2 = cores - m1;
+            const PairConfig pc{{f1, h1, m1}, {f2, h2, m2}};
+            const RunResult rr = ev.run_pair(a, pc.first, b, pc.second);
+            if (rr.edp() < best.edp) best = {pc, rr.edp(), rr};
+          }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const NodeEvaluator ev;
+
+  std::printf("== Solo signatures (1 GiB, 2.4GHz/512MB/m4) ==\n");
+  std::printf("%-4s %-2s %8s %8s %7s %7s %7s %7s %8s %7s %7s\n", "app", "cl",
+              "time_s", "edp", "user", "iowait", "rdMBs", "wrMBs", "fpMiB",
+              "ipc", "mpki");
+  for (const auto& app : workloads::all_apps()) {
+    const JobSpec job = JobSpec::of_gib(app, 1.0);
+    const AppConfig cfg{sim::FreqLevel::F2_4, 512, 4};
+    const RunResult rr = ev.run_solo(job, cfg);
+    const auto& t = rr.apps[0];
+    std::printf("%-4s %-2c %8.1f %8.0f %7.2f %7.2f %7.1f %7.1f %8.0f %7.2f %7.1f\n",
+                app.abbrev.c_str(), class_letter(app.true_class), rr.makespan_s,
+                rr.edp(), t.cpu_user_frac, t.cpu_iowait_frac, t.io_read_mibps,
+                t.io_write_mibps, t.footprint_mib, t.ipc, t.llc_mpki);
+  }
+
+  std::printf("\n== Solo tuned optima (1 GiB) ==\n");
+  for (const auto& app : workloads::all_apps()) {
+    const JobSpec job = JobSpec::of_gib(app, 1.0);
+    const Best b = tune_solo(ev, job, 1, ev.spec().cores);
+    std::printf("%-4s best=%-18s time=%7.1fs  P=%5.1fW  edp=%9.0f\n",
+                app.abbrev.c_str(), b.cfg.to_string().c_str(), b.rr.makespan_s,
+                b.rr.avg_dyn_power_w(), b.edp);
+  }
+
+  std::printf("\n== EDP vs mappers for WC (block 256MB, 2.4GHz, 1GiB) ==\n");
+  for (int m = 1; m <= 8; ++m) {
+    const JobSpec job = JobSpec::of_gib(workloads::app_by_abbrev("WC"), 1.0);
+    const RunResult rr = ev.run_solo(job, {sim::FreqLevel::F2_4, 256, m});
+    std::printf("  m=%d  time=%7.1f  edp=%10.0f\n", m, rr.makespan_s, rr.edp());
+  }
+
+  std::printf("\n== Pair study: COLAO vs ILAO (1 GiB each) ==\n");
+  const char* pairs[][2] = {{"ST", "ST"}, {"ST", "TS"}, {"ST", "WC"},
+                            {"ST", "CF"}, {"WC", "WC"}, {"WC", "TS"},
+                            {"TS", "TS"}, {"TS", "CF"}, {"CF", "CF"},
+                            {"WC", "CF"}};
+  for (const auto& pr : pairs) {
+    const JobSpec a = JobSpec::of_gib(workloads::app_by_abbrev(pr[0]), 1.0);
+    const JobSpec b = JobSpec::of_gib(workloads::app_by_abbrev(pr[1]), 1.0);
+    // ILAO: run serially on the dedicated node (all mapper slots active, the
+    // Hadoop default), tuning frequency + block size per application.
+    const Best ba = tune_solo(ev, a, ev.spec().cores, ev.spec().cores);
+    const Best bb = tune_solo(ev, b, ev.spec().cores, ev.spec().cores);
+    const double ilao_time = ba.rr.makespan_s + bb.rr.makespan_s;
+    const double ilao_energy = ba.rr.energy_dyn_j + bb.rr.energy_dyn_j;
+    const double ilao_edp = ilao_time * ilao_energy;
+    const BestPair bp = tune_pair(ev, a, b);
+    std::printf("  %s-%s  ILAO=%10.0f  COLAO=%10.0f  ratio=%5.2f  cfg=%s\n",
+                pr[0], pr[1], ilao_edp, bp.edp, ilao_edp / bp.edp,
+                bp.cfg.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,189 @@
+// ecostctl — operator CLI over the ECoST library.
+//
+//   ecostctl apps                          list the studied applications
+//   ecostctl profile <APP>                 learning-period features + class
+//   ecostctl tune <APP> <GIB>              brute-force solo optimum
+//   ecostctl pair <APP_A> <APP_B> <GIB>    ILAO vs COLAO for one pair
+//   ecostctl sweep <DB_FILE>               run the offline sweep, save the DB
+//   ecostctl predict <A> <B> <GIB> <DB>    LkT prediction from a saved DB
+//   ecostctl schedule <WS#> <NODES>        mapping-policy comparison
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/db_io.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/mapping_policies.hpp"
+#include "core/profiling.hpp"
+#include "core/stp.hpp"
+#include "tuning/brute_force.hpp"
+#include "util/table.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/scenarios.hpp"
+
+using namespace ecost;
+
+namespace {
+
+int cmd_apps() {
+  Table table({"abbrev", "name", "class", "instr/B", "LLC MPKI", "shuffle",
+               "role"});
+  for (const auto& app : workloads::all_apps()) {
+    table.add_row({app.abbrev, app.name,
+                   std::string(1, class_letter(app.true_class)),
+                   Table::num(app.instr_per_byte, 0),
+                   Table::num(app.llc_mpki, 1),
+                   Table::num(app.shuffle_bpb, 2),
+                   workloads::is_training_app(app) ? "training" : "unknown"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_profile(const std::string& abbrev) {
+  const mapreduce::NodeEvaluator eval;
+  const auto& app = workloads::app_by_abbrev(abbrev);
+  core::ProfilingOptions opts;
+  opts.seed = 2026;
+  const auto fv = core::profile_application(eval, app, opts);
+  Table table({"feature", "value"});
+  for (std::size_t i = 0; i < perfmon::kNumFeatures; ++i) {
+    table.add_row({std::string(perfmon::feature_names()[i]),
+                   Table::num(fv[i], 3)});
+  }
+  table.print(std::cout);
+  std::cout << "ground-truth class: " << class_letter(app.true_class) << '\n';
+  return 0;
+}
+
+int cmd_tune(const std::string& abbrev, double gib) {
+  const mapreduce::NodeEvaluator eval;
+  const tuning::BruteForce bf(eval);
+  const auto job =
+      mapreduce::JobSpec::of_gib(workloads::app_by_abbrev(abbrev), gib);
+  const auto best = bf.tune_solo(job);
+  std::cout << "optimum over " << tuning::solo_config_count(eval.spec())
+            << " configurations: " << best.cfg.to_string() << "\n  time "
+            << Table::num(best.result.makespan_s, 1) << " s, dynamic power "
+            << Table::num(best.result.avg_dyn_power_w(), 1) << " W, EDP "
+            << Table::num(best.edp, 0) << '\n';
+  return 0;
+}
+
+int cmd_pair(const std::string& a, const std::string& b, double gib) {
+  const mapreduce::NodeEvaluator eval;
+  const tuning::BruteForce bf(eval);
+  const auto ja = mapreduce::JobSpec::of_gib(workloads::app_by_abbrev(a), gib);
+  const auto jb = mapreduce::JobSpec::of_gib(workloads::app_by_abbrev(b), gib);
+  const auto ilao = bf.ilao(ja, jb);
+  const auto colao = bf.colao(ja, jb);
+  Table table({"strategy", "config", "EDP"});
+  table.add_row({"ILAO (serial)",
+                 ilao.cfg_a.to_string() + " ; " + ilao.cfg_b.to_string(),
+                 Table::num(ilao.edp, 0)});
+  table.add_row({"COLAO (co-located)", colao.cfg.to_string(),
+                 Table::num(colao.edp, 0)});
+  table.print(std::cout);
+  std::cout << "co-location gain: " << Table::num(ilao.edp / colao.edp, 2)
+            << "x\n";
+  return 0;
+}
+
+int cmd_sweep(const std::string& path) {
+  const mapreduce::NodeEvaluator eval;
+  std::cout << "running the offline sweep (this is the paper's 84,480-run "
+               "step)...\n";
+  const core::TrainingData td = core::build_training_data(eval);
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << '\n';
+    return 1;
+  }
+  core::save_database(out, td.db);
+  std::cout << "saved " << td.db.size() << " best-config entries to " << path
+            << '\n';
+  return 0;
+}
+
+int cmd_predict(const std::string& a, const std::string& b, double gib,
+                const std::string& db_path) {
+  std::ifstream in(db_path);
+  if (!in) {
+    std::cerr << "cannot open " << db_path << '\n';
+    return 1;
+  }
+  const core::ConfigDatabase db = core::load_database(in);
+  const auto& app_a = workloads::app_by_abbrev(a);
+  const auto& app_b = workloads::app_by_abbrev(b);
+  const auto entry = db.lookup_nearest({app_a.true_class, gib},
+                                       {app_b.true_class, gib});
+  if (!entry) {
+    std::cerr << "no database entry for class pair "
+              << core::ClassPair::of(app_a.true_class, app_b.true_class)
+                     .to_string()
+              << '\n';
+    return 1;
+  }
+  std::cout << "predicted configuration: " << entry->cfg.to_string() << '\n';
+  const mapreduce::NodeEvaluator eval;
+  const auto rr = eval.run_pair(
+      mapreduce::JobSpec::of_gib(app_a, gib), entry->cfg.first,
+      mapreduce::JobSpec::of_gib(app_b, gib), entry->cfg.second);
+  std::cout << "simulated outcome: " << Table::num(rr.makespan_s, 1)
+            << " s, EDP " << Table::num(rr.edp(), 0) << '\n';
+  return 0;
+}
+
+int cmd_schedule(const std::string& ws, int nodes) {
+  const mapreduce::NodeEvaluator eval;
+  const auto& scenario = workloads::scenario_by_name(ws);
+  std::cout << "training ECoST...\n";
+  const core::TrainingData td = core::build_training_data(eval);
+  const core::MlmStp stp(core::ModelKind::RepTree, td, eval.spec());
+  const core::MappingPolicies mp(eval, scenario.jobs(1.0), nodes);
+  const double ub = mp.upper_bound().edp();
+  Table table({"policy", "EDP vs UB"});
+  table.add_row({"SNM", Table::num(mp.single_node().edp() / ub, 2)});
+  table.add_row({"CBM", Table::num(mp.core_balance().edp() / ub, 2)});
+  table.add_row({"PTM", Table::num(mp.predict_tuning(td).edp() / ub, 2)});
+  table.add_row({"ECoST", Table::num(mp.ecost(td, stp).edp() / ub, 2)});
+  table.print(std::cout);
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  ecostctl apps\n"
+               "  ecostctl profile <APP>\n"
+               "  ecostctl tune <APP> <GIB>\n"
+               "  ecostctl pair <APP_A> <APP_B> <GIB>\n"
+               "  ecostctl sweep <DB_FILE>\n"
+               "  ecostctl predict <APP_A> <APP_B> <GIB> <DB_FILE>\n"
+               "  ecostctl schedule <WS1..WS8> <NODES>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "apps" && argc == 2) return cmd_apps();
+    if (cmd == "profile" && argc == 3) return cmd_profile(argv[2]);
+    if (cmd == "tune" && argc == 4) return cmd_tune(argv[2], std::atof(argv[3]));
+    if (cmd == "pair" && argc == 5) {
+      return cmd_pair(argv[2], argv[3], std::atof(argv[4]));
+    }
+    if (cmd == "sweep" && argc == 3) return cmd_sweep(argv[2]);
+    if (cmd == "predict" && argc == 6) {
+      return cmd_predict(argv[2], argv[3], std::atof(argv[4]), argv[5]);
+    }
+    if (cmd == "schedule" && argc == 4) {
+      return cmd_schedule(argv[2], std::atoi(argv[3]));
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

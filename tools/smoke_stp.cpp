@@ -1,0 +1,111 @@
+// Developer smoke test for the full STP pipeline: training sweep, model
+// APE, and prediction error vs the COLAO oracle on unknown applications.
+#include <chrono>
+#include <cstdio>
+
+#include "core/dataset_builder.hpp"
+#include "core/profiling.hpp"
+#include "core/stp.hpp"
+#include "ml/metrics.hpp"
+#include "tuning/brute_force.hpp"
+#include "workloads/apps.hpp"
+
+using namespace ecost;
+using namespace ecost::core;
+using mapreduce::JobSpec;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const mapreduce::NodeEvaluator eval;
+
+  double t0 = now_s();
+  SweepOptions opts;
+  opts.sizes_gib = {1.0, 5.0};  // reduced for the smoke test
+  const TrainingData td = build_training_data(eval, opts);
+  std::printf("sweep: %.1fs, db entries=%zu, class pairs=%zu\n",
+              now_s() - t0, td.db.size(), td.train_rows.size());
+  for (const auto& [cp, rows] : td.train_rows) {
+    std::printf("  %s train=%zu valid=%zu\n", cp.to_string().c_str(),
+                rows.size(), td.validation_rows.at(cp).size());
+  }
+
+  // Classifier sanity on unknown apps.
+  for (const auto& app : workloads::testing_apps()) {
+    ProfilingOptions popts;
+    popts.seed = 42;
+    const auto fv = profile_application(eval, app, popts);
+    const auto cls = td.classifier.classify(fv);
+    std::printf("classify %-4s true=%c knn=%c rules=%c\n", app.abbrev.c_str(),
+                class_letter(app.true_class), class_letter(cls),
+                class_letter(td.classifier.classify_rules(fv)));
+  }
+
+  // Model APE per class pair.
+  for (const ModelKind kind : {ModelKind::LinearRegression, ModelKind::RepTree,
+                               ModelKind::Mlp}) {
+    t0 = now_s();
+    const auto models = train_models(kind, td);
+    double total_ape = 0.0;
+    int pairs = 0;
+    for (const auto& [cp, model] : models) {
+      const auto& valid = td.validation_rows.at(cp);
+      if (valid.size() == 0) continue;
+      std::vector<double> pred, truth;
+      for (std::size_t i = 0; i < valid.size(); ++i) {
+        pred.push_back(model->predict(valid.x.row(i)));
+        truth.push_back(valid.y[i]);
+      }
+      const double ape = ml::mape_percent(pred, truth);
+      total_ape += ape;
+      ++pairs;
+      std::printf("  %s %-8s APE=%6.2f%%\n", cp.to_string().c_str(),
+                  to_string(kind).c_str(), ape);
+    }
+    std::printf("%-8s avg APE=%6.2f%%  (train %.1fs)\n",
+                to_string(kind).c_str(), total_ape / pairs, now_s() - t0);
+  }
+
+  // STP error vs COLAO for a few unknown pairs.
+  const tuning::BruteForce bf(eval);
+  const LkTStp lkt(td);
+  const MlmStp rep(ModelKind::RepTree, td, eval.spec());
+  const MlmStp mlp(ModelKind::Mlp, td, eval.spec());
+  const char* test_pairs[][2] = {{"SVM", "CF"}, {"NB", "PR"}, {"HMM", "KM"},
+                                 {"CF", "PR"}, {"SVM", "HMM"}};
+  for (const auto& tp : test_pairs) {
+    AppInfo a, b;
+    a.job = JobSpec::of_gib(workloads::app_by_abbrev(tp[0]), 1.0);
+    b.job = JobSpec::of_gib(workloads::app_by_abbrev(tp[1]), 1.0);
+    ProfilingOptions popts;
+    popts.seed = 99;
+    a.features = profile_application(eval, a.job.app, popts);
+    popts.seed = 101;
+    b.features = profile_application(eval, b.job.app, popts);
+
+    t0 = now_s();
+    const auto oracle = bf.colao(a.job, b.job);
+    const double t_oracle = now_s() - t0;
+    const double edp_lkt = bf.pair_edp(a.job, b.job, lkt.predict(a, b));
+    t0 = now_s();
+    const double edp_rep = bf.pair_edp(a.job, b.job, rep.predict(a, b));
+    const double t_rep = now_s() - t0;
+    const double edp_mlp = bf.pair_edp(a.job, b.job, mlp.predict(a, b));
+    std::printf(
+        "%s-%s oracle=%.0f (%.2fs)  LkT=%5.2f%%  REPTree=%5.2f%% (pred %.3fs) "
+        " MLP=%5.2f%%\n",
+        tp[0], tp[1], oracle.edp, t_oracle,
+        100.0 * (edp_lkt / oracle.edp - 1.0),
+        100.0 * (edp_rep / oracle.edp - 1.0), t_rep,
+        100.0 * (edp_mlp / oracle.edp - 1.0));
+  }
+  return 0;
+}
