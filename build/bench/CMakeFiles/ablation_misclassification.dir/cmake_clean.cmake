@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_misclassification.dir/ablation_misclassification.cpp.o"
+  "CMakeFiles/ablation_misclassification.dir/ablation_misclassification.cpp.o.d"
+  "ablation_misclassification"
+  "ablation_misclassification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_misclassification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_forest.dir/ext_forest.cpp.o"
+  "CMakeFiles/ext_forest.dir/ext_forest.cpp.o.d"
+  "ext_forest"
+  "ext_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

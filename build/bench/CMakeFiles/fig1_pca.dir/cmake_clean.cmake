@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_pca.dir/fig1_pca.cpp.o"
+  "CMakeFiles/fig1_pca.dir/fig1_pca.cpp.o.d"
+  "fig1_pca"
+  "fig1_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

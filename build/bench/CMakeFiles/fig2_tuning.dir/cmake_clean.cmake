@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_tuning.dir/fig2_tuning.cpp.o"
+  "CMakeFiles/fig2_tuning.dir/fig2_tuning.cpp.o.d"
+  "fig2_tuning"
+  "fig2_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

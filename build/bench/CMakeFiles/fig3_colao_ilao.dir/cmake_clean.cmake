@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_colao_ilao.dir/fig3_colao_ilao.cpp.o"
+  "CMakeFiles/fig3_colao_ilao.dir/fig3_colao_ilao.cpp.o.d"
+  "fig3_colao_ilao"
+  "fig3_colao_ilao.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_colao_ilao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

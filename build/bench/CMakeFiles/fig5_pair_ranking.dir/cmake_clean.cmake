@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pair_ranking.dir/fig5_pair_ranking.cpp.o"
+  "CMakeFiles/fig5_pair_ranking.dir/fig5_pair_ranking.cpp.o.d"
+  "fig5_pair_ranking"
+  "fig5_pair_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pair_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

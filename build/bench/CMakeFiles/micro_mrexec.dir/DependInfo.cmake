@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_mrexec.cpp" "bench/CMakeFiles/micro_mrexec.dir/micro_mrexec.cpp.o" "gcc" "bench/CMakeFiles/micro_mrexec.dir/micro_mrexec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecost_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/ecost_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ecost_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmon/CMakeFiles/ecost_perfmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ecost_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/ecost_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrexec/CMakeFiles/ecost_mrexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/ecost_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecost_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecost_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

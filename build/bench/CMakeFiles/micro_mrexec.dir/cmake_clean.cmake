@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mrexec.dir/micro_mrexec.cpp.o"
+  "CMakeFiles/micro_mrexec.dir/micro_mrexec.cpp.o.d"
+  "micro_mrexec"
+  "micro_mrexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mrexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_model_ape.dir/tab1_model_ape.cpp.o"
+  "CMakeFiles/tab1_model_ape.dir/tab1_model_ape.cpp.o.d"
+  "tab1_model_ape"
+  "tab1_model_ape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_model_ape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

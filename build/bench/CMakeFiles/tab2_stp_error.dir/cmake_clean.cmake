@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_stp_error.dir/tab2_stp_error.cpp.o"
+  "CMakeFiles/tab2_stp_error.dir/tab2_stp_error.cpp.o.d"
+  "tab2_stp_error"
+  "tab2_stp_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_stp_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

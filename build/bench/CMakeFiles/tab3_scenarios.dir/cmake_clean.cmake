@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_scenarios.dir/tab3_scenarios.cpp.o"
+  "CMakeFiles/tab3_scenarios.dir/tab3_scenarios.cpp.o.d"
+  "tab3_scenarios"
+  "tab3_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_and_classify.dir/profile_and_classify.cpp.o"
+  "CMakeFiles/profile_and_classify.dir/profile_and_classify.cpp.o.d"
+  "profile_and_classify"
+  "profile_and_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_and_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

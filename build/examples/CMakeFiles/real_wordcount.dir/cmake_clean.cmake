@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_wordcount.dir/real_wordcount.cpp.o"
+  "CMakeFiles/real_wordcount.dir/real_wordcount.cpp.o.d"
+  "real_wordcount"
+  "real_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cpp" "src/core/CMakeFiles/ecost_core.dir/classifier.cpp.o" "gcc" "src/core/CMakeFiles/ecost_core.dir/classifier.cpp.o.d"
+  "/root/repo/src/core/cluster_engine.cpp" "src/core/CMakeFiles/ecost_core.dir/cluster_engine.cpp.o" "gcc" "src/core/CMakeFiles/ecost_core.dir/cluster_engine.cpp.o.d"
+  "/root/repo/src/core/config_db.cpp" "src/core/CMakeFiles/ecost_core.dir/config_db.cpp.o" "gcc" "src/core/CMakeFiles/ecost_core.dir/config_db.cpp.o.d"
+  "/root/repo/src/core/dataset_builder.cpp" "src/core/CMakeFiles/ecost_core.dir/dataset_builder.cpp.o" "gcc" "src/core/CMakeFiles/ecost_core.dir/dataset_builder.cpp.o.d"
+  "/root/repo/src/core/db_io.cpp" "src/core/CMakeFiles/ecost_core.dir/db_io.cpp.o" "gcc" "src/core/CMakeFiles/ecost_core.dir/db_io.cpp.o.d"
+  "/root/repo/src/core/ecost_dispatcher.cpp" "src/core/CMakeFiles/ecost_core.dir/ecost_dispatcher.cpp.o" "gcc" "src/core/CMakeFiles/ecost_core.dir/ecost_dispatcher.cpp.o.d"
+  "/root/repo/src/core/mapping_policies.cpp" "src/core/CMakeFiles/ecost_core.dir/mapping_policies.cpp.o" "gcc" "src/core/CMakeFiles/ecost_core.dir/mapping_policies.cpp.o.d"
+  "/root/repo/src/core/pairing.cpp" "src/core/CMakeFiles/ecost_core.dir/pairing.cpp.o" "gcc" "src/core/CMakeFiles/ecost_core.dir/pairing.cpp.o.d"
+  "/root/repo/src/core/profiling.cpp" "src/core/CMakeFiles/ecost_core.dir/profiling.cpp.o" "gcc" "src/core/CMakeFiles/ecost_core.dir/profiling.cpp.o.d"
+  "/root/repo/src/core/stp.cpp" "src/core/CMakeFiles/ecost_core.dir/stp.cpp.o" "gcc" "src/core/CMakeFiles/ecost_core.dir/stp.cpp.o.d"
+  "/root/repo/src/core/wait_queue.cpp" "src/core/CMakeFiles/ecost_core.dir/wait_queue.cpp.o" "gcc" "src/core/CMakeFiles/ecost_core.dir/wait_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/ecost_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmon/CMakeFiles/ecost_perfmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ecost_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/ecost_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ecost_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/ecost_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecost_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecost_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

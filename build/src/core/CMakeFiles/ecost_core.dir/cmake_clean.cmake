@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecost_core.dir/classifier.cpp.o"
+  "CMakeFiles/ecost_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/ecost_core.dir/cluster_engine.cpp.o"
+  "CMakeFiles/ecost_core.dir/cluster_engine.cpp.o.d"
+  "CMakeFiles/ecost_core.dir/config_db.cpp.o"
+  "CMakeFiles/ecost_core.dir/config_db.cpp.o.d"
+  "CMakeFiles/ecost_core.dir/dataset_builder.cpp.o"
+  "CMakeFiles/ecost_core.dir/dataset_builder.cpp.o.d"
+  "CMakeFiles/ecost_core.dir/db_io.cpp.o"
+  "CMakeFiles/ecost_core.dir/db_io.cpp.o.d"
+  "CMakeFiles/ecost_core.dir/ecost_dispatcher.cpp.o"
+  "CMakeFiles/ecost_core.dir/ecost_dispatcher.cpp.o.d"
+  "CMakeFiles/ecost_core.dir/mapping_policies.cpp.o"
+  "CMakeFiles/ecost_core.dir/mapping_policies.cpp.o.d"
+  "CMakeFiles/ecost_core.dir/pairing.cpp.o"
+  "CMakeFiles/ecost_core.dir/pairing.cpp.o.d"
+  "CMakeFiles/ecost_core.dir/profiling.cpp.o"
+  "CMakeFiles/ecost_core.dir/profiling.cpp.o.d"
+  "CMakeFiles/ecost_core.dir/stp.cpp.o"
+  "CMakeFiles/ecost_core.dir/stp.cpp.o.d"
+  "CMakeFiles/ecost_core.dir/wait_queue.cpp.o"
+  "CMakeFiles/ecost_core.dir/wait_queue.cpp.o.d"
+  "libecost_core.a"
+  "libecost_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecost_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

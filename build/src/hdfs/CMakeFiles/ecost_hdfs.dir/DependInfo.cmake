@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdfs/block_planner.cpp" "src/hdfs/CMakeFiles/ecost_hdfs.dir/block_planner.cpp.o" "gcc" "src/hdfs/CMakeFiles/ecost_hdfs.dir/block_planner.cpp.o.d"
+  "/root/repo/src/hdfs/page_cache.cpp" "src/hdfs/CMakeFiles/ecost_hdfs.dir/page_cache.cpp.o" "gcc" "src/hdfs/CMakeFiles/ecost_hdfs.dir/page_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ecost_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecost_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

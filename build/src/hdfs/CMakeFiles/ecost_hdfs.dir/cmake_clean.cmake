@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecost_hdfs.dir/block_planner.cpp.o"
+  "CMakeFiles/ecost_hdfs.dir/block_planner.cpp.o.d"
+  "CMakeFiles/ecost_hdfs.dir/page_cache.cpp.o"
+  "CMakeFiles/ecost_hdfs.dir/page_cache.cpp.o.d"
+  "libecost_hdfs.a"
+  "libecost_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecost_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

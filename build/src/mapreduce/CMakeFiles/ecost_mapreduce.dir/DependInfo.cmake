@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/app_profile.cpp" "src/mapreduce/CMakeFiles/ecost_mapreduce.dir/app_profile.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ecost_mapreduce.dir/app_profile.cpp.o.d"
+  "/root/repo/src/mapreduce/config.cpp" "src/mapreduce/CMakeFiles/ecost_mapreduce.dir/config.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ecost_mapreduce.dir/config.cpp.o.d"
+  "/root/repo/src/mapreduce/env_solver.cpp" "src/mapreduce/CMakeFiles/ecost_mapreduce.dir/env_solver.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ecost_mapreduce.dir/env_solver.cpp.o.d"
+  "/root/repo/src/mapreduce/node_evaluator.cpp" "src/mapreduce/CMakeFiles/ecost_mapreduce.dir/node_evaluator.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ecost_mapreduce.dir/node_evaluator.cpp.o.d"
+  "/root/repo/src/mapreduce/node_runner.cpp" "src/mapreduce/CMakeFiles/ecost_mapreduce.dir/node_runner.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ecost_mapreduce.dir/node_runner.cpp.o.d"
+  "/root/repo/src/mapreduce/task_model.cpp" "src/mapreduce/CMakeFiles/ecost_mapreduce.dir/task_model.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ecost_mapreduce.dir/task_model.cpp.o.d"
+  "/root/repo/src/mapreduce/wave_model.cpp" "src/mapreduce/CMakeFiles/ecost_mapreduce.dir/wave_model.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ecost_mapreduce.dir/wave_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ecost_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecost_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/ecost_hdfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecost_mapreduce.dir/app_profile.cpp.o"
+  "CMakeFiles/ecost_mapreduce.dir/app_profile.cpp.o.d"
+  "CMakeFiles/ecost_mapreduce.dir/config.cpp.o"
+  "CMakeFiles/ecost_mapreduce.dir/config.cpp.o.d"
+  "CMakeFiles/ecost_mapreduce.dir/env_solver.cpp.o"
+  "CMakeFiles/ecost_mapreduce.dir/env_solver.cpp.o.d"
+  "CMakeFiles/ecost_mapreduce.dir/node_evaluator.cpp.o"
+  "CMakeFiles/ecost_mapreduce.dir/node_evaluator.cpp.o.d"
+  "CMakeFiles/ecost_mapreduce.dir/node_runner.cpp.o"
+  "CMakeFiles/ecost_mapreduce.dir/node_runner.cpp.o.d"
+  "CMakeFiles/ecost_mapreduce.dir/task_model.cpp.o"
+  "CMakeFiles/ecost_mapreduce.dir/task_model.cpp.o.d"
+  "CMakeFiles/ecost_mapreduce.dir/wave_model.cpp.o"
+  "CMakeFiles/ecost_mapreduce.dir/wave_model.cpp.o.d"
+  "libecost_mapreduce.a"
+  "libecost_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecost_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecost_mapreduce.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/ecost_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/ecost_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/hierarchical.cpp" "src/ml/CMakeFiles/ecost_ml.dir/hierarchical.cpp.o" "gcc" "src/ml/CMakeFiles/ecost_ml.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/ecost_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/ecost_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/linalg.cpp" "src/ml/CMakeFiles/ecost_ml.dir/linalg.cpp.o" "gcc" "src/ml/CMakeFiles/ecost_ml.dir/linalg.cpp.o.d"
+  "/root/repo/src/ml/linear_regression.cpp" "src/ml/CMakeFiles/ecost_ml.dir/linear_regression.cpp.o" "gcc" "src/ml/CMakeFiles/ecost_ml.dir/linear_regression.cpp.o.d"
+  "/root/repo/src/ml/lookup_table.cpp" "src/ml/CMakeFiles/ecost_ml.dir/lookup_table.cpp.o" "gcc" "src/ml/CMakeFiles/ecost_ml.dir/lookup_table.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/ecost_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/ecost_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/ecost_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/ecost_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/ecost_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/ecost_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/ml/CMakeFiles/ecost_ml.dir/pca.cpp.o" "gcc" "src/ml/CMakeFiles/ecost_ml.dir/pca.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/ecost_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/ecost_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/reptree.cpp" "src/ml/CMakeFiles/ecost_ml.dir/reptree.cpp.o" "gcc" "src/ml/CMakeFiles/ecost_ml.dir/reptree.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/ecost_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/ecost_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/ecost_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/ecost_ml.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ecost_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

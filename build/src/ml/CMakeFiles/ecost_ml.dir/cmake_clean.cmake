@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecost_ml.dir/dataset.cpp.o"
+  "CMakeFiles/ecost_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/ecost_ml.dir/hierarchical.cpp.o"
+  "CMakeFiles/ecost_ml.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/ecost_ml.dir/knn.cpp.o"
+  "CMakeFiles/ecost_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/ecost_ml.dir/linalg.cpp.o"
+  "CMakeFiles/ecost_ml.dir/linalg.cpp.o.d"
+  "CMakeFiles/ecost_ml.dir/linear_regression.cpp.o"
+  "CMakeFiles/ecost_ml.dir/linear_regression.cpp.o.d"
+  "CMakeFiles/ecost_ml.dir/lookup_table.cpp.o"
+  "CMakeFiles/ecost_ml.dir/lookup_table.cpp.o.d"
+  "CMakeFiles/ecost_ml.dir/matrix.cpp.o"
+  "CMakeFiles/ecost_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/ecost_ml.dir/metrics.cpp.o"
+  "CMakeFiles/ecost_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/ecost_ml.dir/mlp.cpp.o"
+  "CMakeFiles/ecost_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/ecost_ml.dir/pca.cpp.o"
+  "CMakeFiles/ecost_ml.dir/pca.cpp.o.d"
+  "CMakeFiles/ecost_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/ecost_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/ecost_ml.dir/reptree.cpp.o"
+  "CMakeFiles/ecost_ml.dir/reptree.cpp.o.d"
+  "CMakeFiles/ecost_ml.dir/scaler.cpp.o"
+  "CMakeFiles/ecost_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/ecost_ml.dir/serialize.cpp.o"
+  "CMakeFiles/ecost_ml.dir/serialize.cpp.o.d"
+  "libecost_ml.a"
+  "libecost_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecost_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrexec/builtin_jobs.cpp" "src/mrexec/CMakeFiles/ecost_mrexec.dir/builtin_jobs.cpp.o" "gcc" "src/mrexec/CMakeFiles/ecost_mrexec.dir/builtin_jobs.cpp.o.d"
+  "/root/repo/src/mrexec/engine.cpp" "src/mrexec/CMakeFiles/ecost_mrexec.dir/engine.cpp.o" "gcc" "src/mrexec/CMakeFiles/ecost_mrexec.dir/engine.cpp.o.d"
+  "/root/repo/src/mrexec/synthetic_data.cpp" "src/mrexec/CMakeFiles/ecost_mrexec.dir/synthetic_data.cpp.o" "gcc" "src/mrexec/CMakeFiles/ecost_mrexec.dir/synthetic_data.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ecost_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecost_mrexec.dir/builtin_jobs.cpp.o"
+  "CMakeFiles/ecost_mrexec.dir/builtin_jobs.cpp.o.d"
+  "CMakeFiles/ecost_mrexec.dir/engine.cpp.o"
+  "CMakeFiles/ecost_mrexec.dir/engine.cpp.o.d"
+  "CMakeFiles/ecost_mrexec.dir/synthetic_data.cpp.o"
+  "CMakeFiles/ecost_mrexec.dir/synthetic_data.cpp.o.d"
+  "libecost_mrexec.a"
+  "libecost_mrexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecost_mrexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ecost_mrexec.
+# This may be replaced when dependencies are built.

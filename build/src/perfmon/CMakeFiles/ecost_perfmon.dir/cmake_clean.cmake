@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecost_perfmon.dir/dstat.cpp.o"
+  "CMakeFiles/ecost_perfmon.dir/dstat.cpp.o.d"
+  "CMakeFiles/ecost_perfmon.dir/feature_vector.cpp.o"
+  "CMakeFiles/ecost_perfmon.dir/feature_vector.cpp.o.d"
+  "CMakeFiles/ecost_perfmon.dir/perf_sampler.cpp.o"
+  "CMakeFiles/ecost_perfmon.dir/perf_sampler.cpp.o.d"
+  "CMakeFiles/ecost_perfmon.dir/wattsup.cpp.o"
+  "CMakeFiles/ecost_perfmon.dir/wattsup.cpp.o.d"
+  "libecost_perfmon.a"
+  "libecost_perfmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecost_perfmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/contention.cpp" "src/sim/CMakeFiles/ecost_sim.dir/contention.cpp.o" "gcc" "src/sim/CMakeFiles/ecost_sim.dir/contention.cpp.o.d"
+  "/root/repo/src/sim/dvfs.cpp" "src/sim/CMakeFiles/ecost_sim.dir/dvfs.cpp.o" "gcc" "src/sim/CMakeFiles/ecost_sim.dir/dvfs.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/ecost_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/ecost_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/node_spec.cpp" "src/sim/CMakeFiles/ecost_sim.dir/node_spec.cpp.o" "gcc" "src/sim/CMakeFiles/ecost_sim.dir/node_spec.cpp.o.d"
+  "/root/repo/src/sim/power.cpp" "src/sim/CMakeFiles/ecost_sim.dir/power.cpp.o" "gcc" "src/sim/CMakeFiles/ecost_sim.dir/power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ecost_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecost_sim.dir/contention.cpp.o"
+  "CMakeFiles/ecost_sim.dir/contention.cpp.o.d"
+  "CMakeFiles/ecost_sim.dir/dvfs.cpp.o"
+  "CMakeFiles/ecost_sim.dir/dvfs.cpp.o.d"
+  "CMakeFiles/ecost_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ecost_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ecost_sim.dir/node_spec.cpp.o"
+  "CMakeFiles/ecost_sim.dir/node_spec.cpp.o.d"
+  "CMakeFiles/ecost_sim.dir/power.cpp.o"
+  "CMakeFiles/ecost_sim.dir/power.cpp.o.d"
+  "libecost_sim.a"
+  "libecost_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecost_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

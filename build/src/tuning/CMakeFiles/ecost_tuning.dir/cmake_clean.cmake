@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecost_tuning.dir/brute_force.cpp.o"
+  "CMakeFiles/ecost_tuning.dir/brute_force.cpp.o.d"
+  "CMakeFiles/ecost_tuning.dir/config_space.cpp.o"
+  "CMakeFiles/ecost_tuning.dir/config_space.cpp.o.d"
+  "libecost_tuning.a"
+  "libecost_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecost_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecost_util.dir/csv.cpp.o"
+  "CMakeFiles/ecost_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ecost_util.dir/error.cpp.o"
+  "CMakeFiles/ecost_util.dir/error.cpp.o.d"
+  "CMakeFiles/ecost_util.dir/parallel_for.cpp.o"
+  "CMakeFiles/ecost_util.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/ecost_util.dir/rng.cpp.o"
+  "CMakeFiles/ecost_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ecost_util.dir/stats.cpp.o"
+  "CMakeFiles/ecost_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ecost_util.dir/table.cpp.o"
+  "CMakeFiles/ecost_util.dir/table.cpp.o.d"
+  "libecost_util.a"
+  "libecost_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecost_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecost_workloads.dir/apps.cpp.o"
+  "CMakeFiles/ecost_workloads.dir/apps.cpp.o.d"
+  "CMakeFiles/ecost_workloads.dir/scenarios.cpp.o"
+  "CMakeFiles/ecost_workloads.dir/scenarios.cpp.o.d"
+  "libecost_workloads.a"
+  "libecost_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecost_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/classifier_test.cpp" "tests/CMakeFiles/core_tests.dir/core/classifier_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/classifier_test.cpp.o.d"
+  "/root/repo/tests/core/cluster_engine_test.cpp" "tests/CMakeFiles/core_tests.dir/core/cluster_engine_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cluster_engine_test.cpp.o.d"
+  "/root/repo/tests/core/config_db_test.cpp" "tests/CMakeFiles/core_tests.dir/core/config_db_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/config_db_test.cpp.o.d"
+  "/root/repo/tests/core/db_io_test.cpp" "tests/CMakeFiles/core_tests.dir/core/db_io_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/db_io_test.cpp.o.d"
+  "/root/repo/tests/core/ecost_dispatcher_test.cpp" "tests/CMakeFiles/core_tests.dir/core/ecost_dispatcher_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ecost_dispatcher_test.cpp.o.d"
+  "/root/repo/tests/core/mapping_policies_test.cpp" "tests/CMakeFiles/core_tests.dir/core/mapping_policies_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mapping_policies_test.cpp.o.d"
+  "/root/repo/tests/core/pairing_test.cpp" "tests/CMakeFiles/core_tests.dir/core/pairing_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pairing_test.cpp.o.d"
+  "/root/repo/tests/core/stp_test.cpp" "tests/CMakeFiles/core_tests.dir/core/stp_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/stp_test.cpp.o.d"
+  "/root/repo/tests/core/wait_queue_test.cpp" "tests/CMakeFiles/core_tests.dir/core/wait_queue_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/wait_queue_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecost_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/ecost_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ecost_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmon/CMakeFiles/ecost_perfmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ecost_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/ecost_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/ecost_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecost_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecost_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/classifier_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/classifier_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/cluster_engine_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/cluster_engine_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/config_db_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/config_db_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/db_io_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/db_io_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ecost_dispatcher_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ecost_dispatcher_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/mapping_policies_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/mapping_policies_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/pairing_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/pairing_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/stp_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/stp_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/wait_queue_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/wait_queue_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdfs_tests.dir/hdfs/block_planner_test.cpp.o"
+  "CMakeFiles/hdfs_tests.dir/hdfs/block_planner_test.cpp.o.d"
+  "CMakeFiles/hdfs_tests.dir/hdfs/page_cache_test.cpp.o"
+  "CMakeFiles/hdfs_tests.dir/hdfs/page_cache_test.cpp.o.d"
+  "hdfs_tests"
+  "hdfs_tests.pdb"
+  "hdfs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdfs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

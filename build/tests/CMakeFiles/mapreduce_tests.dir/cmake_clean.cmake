@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/env_solver_test.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/env_solver_test.cpp.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/evaluator_properties_test.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/evaluator_properties_test.cpp.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/node_evaluator_test.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/node_evaluator_test.cpp.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/node_runner_test.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/node_runner_test.cpp.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/task_model_test.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/task_model_test.cpp.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/wave_model_test.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/wave_model_test.cpp.o.d"
+  "mapreduce_tests"
+  "mapreduce_tests.pdb"
+  "mapreduce_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/dataset_scaler_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/dataset_scaler_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/dataset_scaler_test.cpp.o.d"
+  "/root/repo/tests/ml/hierarchical_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/hierarchical_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/hierarchical_test.cpp.o.d"
+  "/root/repo/tests/ml/knn_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/knn_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/knn_test.cpp.o.d"
+  "/root/repo/tests/ml/linalg_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/linalg_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/linalg_test.cpp.o.d"
+  "/root/repo/tests/ml/linear_regression_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/linear_regression_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/linear_regression_test.cpp.o.d"
+  "/root/repo/tests/ml/lookup_table_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/lookup_table_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/lookup_table_test.cpp.o.d"
+  "/root/repo/tests/ml/matrix_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/matrix_test.cpp.o.d"
+  "/root/repo/tests/ml/metrics_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/metrics_test.cpp.o.d"
+  "/root/repo/tests/ml/mlp_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/mlp_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/mlp_test.cpp.o.d"
+  "/root/repo/tests/ml/pca_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/pca_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/pca_test.cpp.o.d"
+  "/root/repo/tests/ml/random_forest_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/random_forest_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/random_forest_test.cpp.o.d"
+  "/root/repo/tests/ml/reptree_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/reptree_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/reptree_test.cpp.o.d"
+  "/root/repo/tests/ml/serialize_test.cpp" "tests/CMakeFiles/ml_tests.dir/ml/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/ml_tests.dir/ml/serialize_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecost_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/ecost_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ecost_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmon/CMakeFiles/ecost_perfmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ecost_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/ecost_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/ecost_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecost_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecost_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tests.dir/ml/dataset_scaler_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/dataset_scaler_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/hierarchical_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/hierarchical_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/knn_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/knn_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/linalg_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/linalg_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/linear_regression_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/linear_regression_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/lookup_table_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/lookup_table_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/matrix_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/matrix_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/metrics_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/metrics_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/mlp_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/mlp_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/pca_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/pca_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/random_forest_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/random_forest_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/reptree_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/reptree_test.cpp.o.d"
+  "CMakeFiles/ml_tests.dir/ml/serialize_test.cpp.o"
+  "CMakeFiles/ml_tests.dir/ml/serialize_test.cpp.o.d"
+  "ml_tests"
+  "ml_tests.pdb"
+  "ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

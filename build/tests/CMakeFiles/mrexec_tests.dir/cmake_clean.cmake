@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrexec_tests.dir/mrexec/engine_test.cpp.o"
+  "CMakeFiles/mrexec_tests.dir/mrexec/engine_test.cpp.o.d"
+  "mrexec_tests"
+  "mrexec_tests.pdb"
+  "mrexec_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrexec_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfmon_tests.dir/perfmon/feature_vector_test.cpp.o"
+  "CMakeFiles/perfmon_tests.dir/perfmon/feature_vector_test.cpp.o.d"
+  "CMakeFiles/perfmon_tests.dir/perfmon/meters_test.cpp.o"
+  "CMakeFiles/perfmon_tests.dir/perfmon/meters_test.cpp.o.d"
+  "CMakeFiles/perfmon_tests.dir/perfmon/perf_sampler_test.cpp.o"
+  "CMakeFiles/perfmon_tests.dir/perfmon/perf_sampler_test.cpp.o.d"
+  "perfmon_tests"
+  "perfmon_tests.pdb"
+  "perfmon_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfmon_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

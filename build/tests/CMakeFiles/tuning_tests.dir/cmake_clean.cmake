@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_tests.dir/tuning/brute_force_test.cpp.o"
+  "CMakeFiles/tuning_tests.dir/tuning/brute_force_test.cpp.o.d"
+  "CMakeFiles/tuning_tests.dir/tuning/config_space_test.cpp.o"
+  "CMakeFiles/tuning_tests.dir/tuning/config_space_test.cpp.o.d"
+  "tuning_tests"
+  "tuning_tests.pdb"
+  "tuning_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

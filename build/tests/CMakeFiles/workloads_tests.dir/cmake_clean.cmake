@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_tests.dir/workloads/apps_test.cpp.o"
+  "CMakeFiles/workloads_tests.dir/workloads/apps_test.cpp.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/scenarios_test.cpp.o"
+  "CMakeFiles/workloads_tests.dir/workloads/scenarios_test.cpp.o.d"
+  "workloads_tests"
+  "workloads_tests.pdb"
+  "workloads_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecostctl.dir/ecostctl.cpp.o"
+  "CMakeFiles/ecostctl.dir/ecostctl.cpp.o.d"
+  "ecostctl"
+  "ecostctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecostctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_stp.dir/smoke_stp.cpp.o"
+  "CMakeFiles/smoke_stp.dir/smoke_stp.cpp.o.d"
+  "smoke_stp"
+  "smoke_stp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke_stp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
