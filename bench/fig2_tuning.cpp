@@ -10,6 +10,7 @@
 
 #include "bench/csv_out.hpp"
 #include "hdfs/config.hpp"
+#include "mapreduce/eval_cache.hpp"
 #include "mapreduce/node_evaluator.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -21,6 +22,9 @@ using mapreduce::JobSpec;
 
 int main() {
   const mapreduce::NodeEvaluator eval;
+  // The three tuning scopes below re-query overlapping (freq, block) slices
+  // of the same grid; the cache collapses them to one eval per point.
+  mapreduce::EvalCache cache(eval);
   const double gib = 5.0;
 
   Table table({"mappers", "block only (%)", "freq only (%)",
@@ -34,7 +38,7 @@ int main() {
     for (const auto& app : workloads::training_apps()) {
       const JobSpec job = JobSpec::of_gib(app, gib);
       auto edp = [&](sim::FreqLevel f, int h) {
-        return eval.run_solo(job, AppConfig{f, h, m}).edp();
+        return cache.run_solo(job, AppConfig{f, h, m}).edp();
       };
       const double base = edp(sim::FreqLevel::F1_2, 64);
       double best_block = 1e300, best_freq = 1e300, best_both = 1e300;

@@ -23,6 +23,7 @@ using mapreduce::PairConfig;
 
 int main() {
   const mapreduce::NodeEvaluator eval;
+  mapreduce::EvalCache cache(eval);  // survivor-tail + reduce-env memo
   const double gib = 1.0;
 
   const std::pair<AppClass, const char*> reps[] = {
@@ -59,7 +60,7 @@ int main() {
                 const PairConfig pc{{f1, h1, m1},
                                     {f2, h2, eval.spec().cores - m1}};
                 best = std::min(
-                    best, eval.run_pair(a, pc.first, b, pc.second).edp());
+                    best, cache.run_pair(a, pc.first, b, pc.second).edp());
               }
             }
           }

@@ -1,0 +1,161 @@
+// Microbenchmarks of the sweep engine (google-benchmark): thread-pool
+// dispatch overhead, the memoized evaluation layer, and batched STP
+// scoring. These are the substrate costs behind build_training_data and
+// the COLAO oracle; see tools/bench_sweep for the end-to-end pipeline
+// comparison that produces BENCH_sweep.json.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset_builder.hpp"
+#include "mapreduce/eval_cache.hpp"
+#include "mapreduce/node_evaluator.hpp"
+#include "ml/dataset.hpp"
+#include "ml/reptree.hpp"
+#include "util/parallel_for.hpp"
+#include "util/rng.hpp"
+#include "workloads/apps.hpp"
+
+namespace {
+
+using namespace ecost;
+using mapreduce::AppConfig;
+using mapreduce::JobSpec;
+
+const mapreduce::NodeEvaluator& evaluator() {
+  static const mapreduce::NodeEvaluator eval;
+  return eval;
+}
+
+// Per-dispatch cost of a pool loop with a near-empty body: the old
+// spawn-threads-per-call implementation sat in the milliseconds here.
+void BM_ParallelForDispatch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    parallel_for(n, [&](std::size_t i) { out[i] = static_cast<double>(i); });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(64)->Arg(4096);
+
+void BM_RunPairUncached(benchmark::State& state) {
+  const JobSpec a = JobSpec::of_gib(workloads::app_by_abbrev("ST"), 1.0);
+  const JobSpec b = JobSpec::of_gib(workloads::app_by_abbrev("CF"), 1.0);
+  const AppConfig cfg{sim::FreqLevel::F2_4, 128, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator().run_pair(a, cfg, b, cfg));
+  }
+}
+BENCHMARK(BM_RunPairUncached);
+
+void BM_RunPairCacheHit(benchmark::State& state) {
+  const JobSpec a = JobSpec::of_gib(workloads::app_by_abbrev("ST"), 1.0);
+  const JobSpec b = JobSpec::of_gib(workloads::app_by_abbrev("CF"), 1.0);
+  const AppConfig cfg{sim::FreqLevel::F2_4, 128, 4};
+  mapreduce::EvalCache cache(evaluator());
+  (void)cache.run_pair(a, cfg, b, cfg);  // warm the entry
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.run_pair(a, cfg, b, cfg));
+  }
+}
+BENCHMARK(BM_RunPairCacheHit);
+
+// A cold pair miss that still rides the survivor-tail and reduce-env
+// sub-caches — the steady state of a sweep's first pass over a combo.
+void BM_RunPairMissWarmTails(benchmark::State& state) {
+  const JobSpec a = JobSpec::of_gib(workloads::app_by_abbrev("ST"), 1.0);
+  const JobSpec b = JobSpec::of_gib(workloads::app_by_abbrev("CF"), 1.0);
+  int m1 = 1;
+  mapreduce::EvalCache cache(evaluator());
+  for (auto _ : state) {
+    state.PauseTiming();
+    cache.clear();  // drop the RunResult layer...
+    const AppConfig ca{sim::FreqLevel::F2_4, 256, m1};
+    const AppConfig cb{sim::FreqLevel::F1_6, 512, 8 - m1};
+    // ...then re-warm only the sub-caches a sweep would carry over.
+    (void)cache.run_pair(a, ca, b, cb);
+    cache.clear();
+    (void)cache.full_node_solo(a, ca);
+    (void)cache.full_node_solo(b, cb);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(cache.run_pair(a, ca, b, cb));
+    m1 = m1 % 7 + 1;
+  }
+}
+BENCHMARK(BM_RunPairMissWarmTails);
+
+ml::Dataset synthetic_rows(std::size_t n) {
+  const std::size_t arity = core::stp_row_arity();
+  Rng rng(41);
+  ml::Dataset d;
+  std::vector<double> row(arity);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& v : row) v = rng.uniform(0.0, 4.0);
+    d.add(row, rng.uniform(10.0, 1000.0));
+  }
+  return d;
+}
+
+const ml::RepTree& fitted_tree() {
+  static const ml::RepTree tree = [] {
+    ml::RepTree t;
+    t.fit(synthetic_rows(2000));
+    return t;
+  }();
+  return tree;
+}
+
+// predict() in a loop vs one predict_batch call — the MLM-STP argmin scores
+// hundreds to thousands of candidate configurations per prediction.
+void BM_PredictLoop(benchmark::State& state) {
+  const ml::Dataset rows = synthetic_rows(512);
+  const ml::RepTree& tree = fitted_tree();
+  std::vector<double> preds(rows.size());
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      preds[r] = tree.predict(rows.x.row(r));
+    }
+    benchmark::DoNotOptimize(preds.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows.size()));
+}
+BENCHMARK(BM_PredictLoop);
+
+void BM_PredictBatch(benchmark::State& state) {
+  const ml::Dataset rows = synthetic_rows(512);
+  const ml::RepTree& tree = fitted_tree();
+  const std::size_t arity = core::stp_row_arity();
+  std::vector<double> flat(rows.size() * arity);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto row = rows.x.row(r);
+    std::copy(row.begin(), row.end(), flat.begin() + r * arity);
+  }
+  std::vector<double> preds(rows.size());
+  for (auto _ : state) {
+    tree.predict_batch(flat, arity, preds);
+    benchmark::DoNotOptimize(preds.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows.size()));
+}
+BENCHMARK(BM_PredictBatch);
+
+// One small end-to-end training sweep through a fresh cache.
+void BM_BuildTrainingDataSmall(benchmark::State& state) {
+  core::SweepOptions opts;
+  opts.sizes_gib = {1.0};
+  opts.max_rows_per_class_pair = 500;
+  opts.candidates_per_combo = 8;
+  for (auto _ : state) {
+    mapreduce::EvalCache cache(evaluator());
+    benchmark::DoNotOptimize(core::build_training_data(cache, opts));
+  }
+}
+BENCHMARK(BM_BuildTrainingDataSmall)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -37,9 +37,12 @@ AppInfo make_info(const mapreduce::NodeEvaluator& eval, const char* abbrev,
 
 int main() {
   const mapreduce::NodeEvaluator eval;
+  // One cache across the sweep and the oracle: COLAO re-scores exactly the
+  // pair space the training sweep just evaluated.
+  mapreduce::EvalCache cache(eval);
   std::cout << "Building the training database...\n";
-  const core::TrainingData td = core::build_training_data(eval);
-  const tuning::BruteForce bf(eval);
+  const core::TrainingData td = core::build_training_data(cache);
+  const tuning::BruteForce bf(cache);
 
   std::cout << "Training STP models (LkT is a database lookup; LR/REPTree/"
                "MLP are learned)...\n\n";

@@ -34,18 +34,24 @@ std::vector<double> stp_row(const std::vector<double>& selected_a,
   row.push_back(size_a_gib);
   row.insert(row.end(), selected_b.begin(), selected_b.end());
   row.push_back(size_b_gib);
-  auto push_cfg = [&](const AppConfig& c) {
-    row.push_back(sim::ghz(c.freq));
-    row.push_back(std::log2(static_cast<double>(c.block_mib)));
-    row.push_back(static_cast<double>(c.mappers));
-  };
-  push_cfg(cfg.first);
-  push_cfg(cfg.second);
+  row.resize(row.size() + 6);
+  stp_fill_config_columns(std::span(row).last(6), cfg);
   return row;
 }
 
 std::size_t stp_row_arity() {
   return 2 * (perfmon::selected_features().size() + 1) + 6;
+}
+
+void stp_fill_config_columns(std::span<double> tail6, const PairConfig& cfg) {
+  ECOST_REQUIRE(tail6.size() == 6, "expected the six knob columns");
+  auto fill = [&](std::size_t at, const AppConfig& c) {
+    tail6[at] = sim::ghz(c.freq);
+    tail6[at + 1] = std::log2(static_cast<double>(c.block_mib));
+    tail6[at + 2] = static_cast<double>(c.mappers);
+  };
+  fill(0, cfg.first);
+  fill(3, cfg.second);
 }
 
 namespace {
@@ -87,11 +93,18 @@ class RowReservoir {
 
 TrainingData build_training_data(const mapreduce::NodeEvaluator& eval,
                                  const SweepOptions& opts) {
+  mapreduce::EvalCache cache(eval);
+  return build_training_data(cache, opts);
+}
+
+TrainingData build_training_data(mapreduce::EvalCache& cache,
+                                 const SweepOptions& opts) {
   ECOST_REQUIRE(!opts.sizes_gib.empty(), "need at least one input size");
   ECOST_REQUIRE(opts.validation_fraction >= 0.0 &&
                     opts.validation_fraction < 1.0,
                 "validation fraction out of range");
 
+  const mapreduce::NodeEvaluator& eval = cache.evaluator();
   TrainingData td;
   td.sizes_gib = opts.sizes_gib;
   const auto apps = workloads::training_apps();
@@ -125,7 +138,7 @@ TrainingData build_training_data(const mapreduce::NodeEvaluator& eval,
   td.classifier.fit(clf_features, clf_labels);
 
   // --- best solo configs per (class, size) for PTM --------------------------
-  const tuning::BruteForce bf(eval);
+  const tuning::BruteForce bf(cache);
   std::map<SoloKey, double> solo_edp;
   for (const AppProfile& app : apps) {
     for (double gib : opts.sizes_gib) {
@@ -179,14 +192,48 @@ TrainingData build_training_data(const mapreduce::NodeEvaluator& eval,
   };
   std::map<PairKey, KeyAgg> aggregates;
 
+  // Phase 1 — evaluate every combo pair's joint space in parallel, one
+  // combo pair per work item. Per-item results are pure evaluator values
+  // (cache-backed, order-independent), so the schedule cannot leak into the
+  // output. Everything that consumes shared RNG state folds serially below,
+  // in the same order the single-threaded sweep always used.
+  struct PairTask {
+    std::size_t i, j;
+  };
+  std::vector<PairTask> tasks;
   for (std::size_t i = 0; i < combos.size(); ++i) {
-    for (std::size_t j = i; j < combos.size(); ++j) {
+    for (std::size_t j = i; j < combos.size(); ++j) tasks.push_back({i, j});
+  }
+  std::vector<std::vector<double>> edps_all(tasks.size());
+  parallel_for(
+      tasks.size(),
+      [&](std::size_t t) {
+        const Combo& ca = combos[tasks[t].i];
+        const Combo& cb = combos[tasks[t].j];
+        const JobSpec job_a = JobSpec::of_gib(
+            *ca.app, opts.sizes_gib[static_cast<std::size_t>(ca.size_idx)]);
+        const JobSpec job_b = JobSpec::of_gib(
+            *cb.app, opts.sizes_gib[static_cast<std::size_t>(cb.size_idx)]);
+        std::vector<double>& edps = edps_all[t];
+        edps.resize(pair_cfgs.size());
+        for (std::size_t c = 0; c < pair_cfgs.size(); ++c) {
+          edps[c] = cache
+                        .run_pair(job_a, pair_cfgs[c].first, job_b,
+                                  pair_cfgs[c].second)
+                        .edp();
+        }
+      },
+      opts.threads, /*grain=*/1);
+
+  // Phase 2 — serial fold in combo order.
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const std::size_t i = tasks[t].i;
+    const std::size_t j = tasks[t].j;
+    {
       const Combo& ca = combos[i];
       const Combo& cb = combos[j];
       const double size_a = opts.sizes_gib[static_cast<std::size_t>(ca.size_idx)];
       const double size_b = opts.sizes_gib[static_cast<std::size_t>(cb.size_idx)];
-      const JobSpec job_a = JobSpec::of_gib(*ca.app, size_a);
-      const JobSpec job_b = JobSpec::of_gib(*cb.app, size_b);
       // Every paper run re-measures the counters, so each row carries an
       // independently noisy feature observation. Without this, learners can
       // split on one frozen noise realization and then mis-route unknown
@@ -205,13 +252,7 @@ TrainingData build_training_data(const mapreduce::NodeEvaluator& eval,
           cp, opts.max_rows_per_class_pair, opts.seed ^ (i * 131 + j));
       RowReservoir& reservoir = res_it->second;
 
-      // Evaluate the whole joint space in parallel, then fold.
-      std::vector<double> edps(pair_cfgs.size());
-      parallel_for(pair_cfgs.size(), [&](std::size_t c) {
-        edps[c] = eval.run_pair(job_a, pair_cfgs[c].first, job_b,
-                                pair_cfgs[c].second)
-                      .edp();
-      });
+      const std::vector<double>& edps = edps_all[t];
       // Candidate set: the best configs for this combo, canonicalized.
       {
         std::vector<std::size_t> order(pair_cfgs.size());

@@ -12,11 +12,13 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "core/class_pair.hpp"
 #include "core/classifier.hpp"
 #include "core/config_db.hpp"
+#include "mapreduce/eval_cache.hpp"
 #include "mapreduce/node_evaluator.hpp"
 #include "ml/dataset.hpp"
 
@@ -34,6 +36,13 @@ std::vector<double> stp_row(const std::vector<double>& selected_a,
 /// Arity of stp_row's output.
 std::size_t stp_row_arity();
 
+/// Rewrites the six trailing knob columns of an stp_row-layout row in place.
+/// `tail6` must view the last 6 slots of the row; the 16 feature/size
+/// columns before them do not depend on the configuration, so an argmin over
+/// configurations can build the prefix once and only patch this tail.
+void stp_fill_config_columns(std::span<double> tail6,
+                             const mapreduce::PairConfig& cfg);
+
 struct SweepOptions {
   std::vector<double> sizes_gib = {1.0, 5.0, 10.0};
   std::size_t max_rows_per_class_pair = 12000;  ///< reservoir-subsampled
@@ -47,6 +56,10 @@ struct SweepOptions {
   double feature_augmentation = 0.20;
   std::uint64_t seed = 7;
   bool noisy_features = true;  ///< measure features through perf emulation
+  /// Thread cap for the pair sweep (0 = all available). The output is
+  /// byte-identical for every value: evaluation parallelizes per combo
+  /// pair, but all RNG-consuming folding stays serial in combo order.
+  unsigned threads = 0;
 };
 
 struct SoloKey {
@@ -77,6 +90,12 @@ struct TrainingData {
 /// Runs the full training sweep. This is the expensive offline step the
 /// paper performs once; with the analytic evaluator it takes seconds.
 TrainingData build_training_data(const mapreduce::NodeEvaluator& eval,
+                                 const SweepOptions& opts = {});
+
+/// Same sweep through a shared evaluation cache, so a downstream stage that
+/// re-scores the same pairs (the COLAO oracle, policy studies) reuses every
+/// point this sweep already solved.
+TrainingData build_training_data(mapreduce::EvalCache& cache,
                                  const SweepOptions& opts = {});
 
 }  // namespace ecost::core

@@ -53,7 +53,7 @@ Scheduled list_schedule(std::vector<std::pair<double, double>> items,
 
 MappingPolicies::MappingPolicies(const mapreduce::NodeEvaluator& eval,
                                  std::vector<JobSpec> jobs, int nodes)
-    : eval_(eval), jobs_(std::move(jobs)), nodes_(nodes) {
+    : eval_(eval), cache_(eval_), jobs_(std::move(jobs)), nodes_(nodes) {
   ECOST_REQUIRE(nodes >= 1, "need at least one node");
   ECOST_REQUIRE(!jobs_.empty(), "need at least one job");
 }
@@ -63,7 +63,7 @@ RunResult MappingPolicies::run_spread(const JobSpec& job, int k,
   ECOST_REQUIRE(k >= 1 && k <= nodes_, "spread width out of range");
   JobSpec per_node = job;
   per_node.input_bytes = job.input_bytes / static_cast<std::uint64_t>(k);
-  RunResult rr = eval_.run_solo(per_node, cfg);
+  RunResult rr = cache_.run_solo(per_node, cfg);
   rr.energy_dyn_j *= static_cast<double>(k);  // k identical nodes
   rr.energy_total_j *= static_cast<double>(k);
   return rr;
@@ -97,7 +97,7 @@ PolicyResult MappingPolicies::single_node() const {
   std::vector<std::pair<double, double>> items;
   items.reserve(jobs_.size());
   for (const JobSpec& job : jobs_) {
-    const RunResult rr = eval_.run_solo(job, kDefaultCfg);
+    const RunResult rr = cache_.run_solo(job, kDefaultCfg);
     items.emplace_back(rr.makespan_s, rr.energy_dyn_j);
   }
   const Scheduled s = list_schedule(std::move(items), nodes_);
@@ -109,10 +109,10 @@ PolicyResult MappingPolicies::core_balance() const {
   for (std::size_t i = 0; i < jobs_.size(); i += 2) {
     if (i + 1 < jobs_.size()) {
       const RunResult rr =
-          eval_.run_pair(jobs_[i], kCbmCfg, jobs_[i + 1], kCbmCfg);
+          cache_.run_pair(jobs_[i], kCbmCfg, jobs_[i + 1], kCbmCfg);
       items.emplace_back(rr.makespan_s, rr.energy_dyn_j);
     } else {
-      const RunResult rr = eval_.run_solo(jobs_[i], kCbmCfg);
+      const RunResult rr = cache_.run_solo(jobs_[i], kCbmCfg);
       items.emplace_back(rr.makespan_s, rr.energy_dyn_j);
     }
   }
@@ -140,7 +140,7 @@ PolicyResult MappingPolicies::predict_tuning(const TrainingData& td) const {
         best_cfg = &cfg;
       }
     }
-    const RunResult rr = eval_.run_solo(job, *best_cfg);
+    const RunResult rr = cache_.run_solo(job, *best_cfg);
     items.emplace_back(rr.makespan_s, rr.energy_dyn_j);
   }
   const Scheduled s = list_schedule(std::move(items), nodes_);
@@ -161,7 +161,7 @@ PolicyResult MappingPolicies::ecost(const TrainingData& td,
     aj.job.info.features = profile_application(eval_, jobs_[i].app, popts);
     aj.job.info.cls = td.classifier.classify(aj.job.info.features);
     aj.job.est_duration_s =
-        eval_.run_solo(jobs_[i], kDefaultCfg).makespan_s;
+        cache_.run_solo(jobs_[i], kDefaultCfg).makespan_s;
     queued.push_back(std::move(aj));
   }
   EcostDispatcher dispatcher(eval_, td, stp, std::move(queued));
@@ -174,7 +174,7 @@ PolicyResult MappingPolicies::upper_bound() const {
   const std::size_t n = jobs_.size();
   ECOST_REQUIRE(n % 2 == 0, "UB matching needs an even job count");
   ECOST_REQUIRE(n <= 20, "bitmask matching limited to 20 jobs");
-  const tuning::BruteForce bf(eval_);
+  const tuning::BruteForce bf(cache_);
 
   // COLAO oracle per unique (app, size) pair — scenarios repeat apps, so
   // cache aggressively.

@@ -55,6 +55,10 @@ class MappingPolicies {
                                   const mapreduce::AppConfig& cfg) const;
 
   const mapreduce::NodeEvaluator& eval_;
+  /// Policies score overlapping (job, config) points — every spread width
+  /// of SM/MNM re-runs the same solo evals, UB's matching re-queries pair
+  /// EDPs — so all node-level evaluation funnels through one cache.
+  mutable mapreduce::EvalCache cache_;
   std::vector<mapreduce::JobSpec> jobs_;
   int nodes_;
 };

@@ -1,8 +1,10 @@
 #include "core/stp.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <limits>
+#include <span>
 
 #include "ml/linear_regression.hpp"
 #include "ml/mlp.hpp"
@@ -136,17 +138,26 @@ PairConfig MlmStp::predict(const AppInfo& a, const AppInfo& b) const {
       (cand_it != td_.candidate_configs.end() && !cand_it->second.empty())
           ? cand_it->second
           : configs_;
-  double best_pred = std::numeric_limits<double>::infinity();
-  PairConfig best_cfg = domain.front();
-  for (const PairConfig& pc : domain) {
-    const auto row =
-        stp_row(sel_a, ca.size_gib(), sel_b, cb.size_gib(), pc);
-    const double pred = model->predict(row);
-    if (pred < best_pred) {
-      best_pred = pred;
-      best_cfg = pc;
-    }
+  // Batched scoring: the 16 feature/size columns are identical for every
+  // candidate, so build one prototype row, tile it, and rewrite only the six
+  // knob columns per candidate. One predict_batch call then scores the whole
+  // domain without per-row allocation or virtual dispatch.
+  const std::size_t arity = stp_row_arity();
+  const std::vector<double> proto =
+      stp_row(sel_a, ca.size_gib(), sel_b, cb.size_gib(), domain.front());
+  std::vector<double> rows(domain.size() * arity);
+  for (std::size_t c = 0; c < domain.size(); ++c) {
+    double* row = rows.data() + c * arity;
+    std::copy(proto.begin(), proto.end(), row);
+    stp_fill_config_columns(std::span(row + arity - 6, 6), domain[c]);
   }
+  std::vector<double> preds(domain.size());
+  model->predict_batch(rows, arity, preds);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < domain.size(); ++c) {
+    if (preds[c] < preds[best]) best = c;
+  }
+  PairConfig best_cfg = domain[best];
   if (swapped) std::swap(best_cfg.first, best_cfg.second);
   return best_cfg;
 }

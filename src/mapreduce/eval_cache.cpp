@@ -1,0 +1,257 @@
+#include "mapreduce/eval_cache.hpp"
+
+#include <bit>
+#include <string_view>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ecost::mapreduce {
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // Boost-style combine over 64-bit lanes; good enough for table bucketing.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t mix_double(std::uint64_t h, double v) {
+  return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t mix_string(std::uint64_t h, std::string_view s) {
+  std::uint64_t sh = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const char c : s) {
+    sh ^= static_cast<unsigned char>(c);
+    sh *= 0x100000001b3ULL;
+  }
+  return mix(h, sh);
+}
+
+std::uint64_t hash_eval_key(const EvalKey& k) {
+  std::uint64_t h = k.app_digest;
+  h = mix(h, k.input_bytes);
+  h = mix(h, k.freq);
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.block_mib)));
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.mappers)));
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t app_digest(const AppProfile& app) {
+  std::uint64_t h = 0x6563537400000001ULL;
+  h = mix_string(h, app.name);
+  h = mix_string(h, app.abbrev);
+  h = mix(h, static_cast<std::uint64_t>(app.true_class));
+  h = mix_double(h, app.instr_per_byte);
+  h = mix_double(h, app.base_cpi);
+  h = mix_double(h, app.llc_mpki);
+  h = mix_double(h, app.icache_mpki);
+  h = mix_double(h, app.branch_mpki);
+  h = mix_double(h, app.io_read_bpb);
+  h = mix_double(h, app.io_write_bpb);
+  h = mix_double(h, app.shuffle_bpb);
+  h = mix_double(h, app.footprint_fixed_mib);
+  h = mix_double(h, app.footprint_per_input_mib);
+  h = mix_double(h, app.cache_mib);
+  h = mix_double(h, app.reduce_instr_per_byte);
+  return h;
+}
+
+EvalKey make_eval_key(const JobSpec& job, const AppConfig& cfg) {
+  EvalKey k;
+  k.app_digest = app_digest(job.app);
+  k.input_bytes = job.input_bytes;
+  k.freq = static_cast<std::uint8_t>(cfg.freq);
+  k.block_mib = cfg.block_mib;
+  k.mappers = cfg.mappers;
+  return k;
+}
+
+std::size_t EvalCache::EvalKeyHash::operator()(const EvalKey& k) const {
+  return static_cast<std::size_t>(hash_eval_key(k));
+}
+
+std::size_t EvalCache::ResultKeyHash::operator()(const ResultKey& k) const {
+  std::uint64_t h = hash_eval_key(k.a);
+  h = mix(h, hash_eval_key(k.b));
+  h = mix(h, k.pair ? 2u : 1u);
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t EvalCache::EnvKeyHash::operator()(const EnvKey& k) const {
+  std::uint64_t h = k.groups;
+  for (std::uint8_t g = 0; g < k.groups; ++g) {
+    h = mix(h, hash_eval_key(k.sides[g]));
+    h = mix(h, k.block_bits[g]);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+EvalCache::EvalCache(const NodeEvaluator& eval) : EvalCache(eval, Options{}) {}
+
+EvalCache::EvalCache(const NodeEvaluator& eval, Options opts)
+    : eval_(eval), opts_(opts) {
+  ECOST_REQUIRE(opts_.shards >= 1, "need at least one shard");
+  ECOST_REQUIRE(opts_.capacity >= 1, "need capacity for at least one entry");
+  std::size_t n = 1;
+  while (n < opts_.shards) n <<= 1;
+  shard_mask_ = n - 1;
+  per_shard_capacity_ = std::max<std::size_t>(1, opts_.capacity / n);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void EvalCache::insert_result(Shard& shard, const ResultKey& key,
+                              const RunResult& rr) {
+  if (shard.results.size() >= per_shard_capacity_) {
+    // FIFO: evict the oldest insertion. A concurrent computation may have
+    // raced us in; try_emplace below keeps the winner either way.
+    shard.results.erase(shard.fifo.front());
+    shard.fifo.pop_front();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const auto [it, inserted] = shard.results.try_emplace(key, rr);
+  if (inserted) shard.fifo.push_back(key);
+}
+
+RunResult EvalCache::run_solo(const JobSpec& job, const AppConfig& cfg) {
+  if (!opts_.enabled) return eval_.run_solo(job, cfg);
+
+  ResultKey key;
+  key.a = make_eval_key(job, cfg);
+  key.pair = false;
+  Shard& shard = shard_for(ResultKeyHash{}(key));
+  {
+    std::lock_guard lock(shard.mu);
+    if (const auto it = shard.results.find(key); it != shard.results.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const RunResult rr = eval_.run_solo(job, cfg, this);
+  {
+    std::lock_guard lock(shard.mu);
+    insert_result(shard, key, rr);
+  }
+  return rr;
+}
+
+RunResult EvalCache::run_pair(const JobSpec& a, const AppConfig& cfg_a,
+                              const JobSpec& b, const AppConfig& cfg_b) {
+  if (!opts_.enabled) return eval_.run_pair(a, cfg_a, b, cfg_b);
+
+  // (A, B) and (B, A) describe the same physical run: store under the
+  // canonically ordered key and swap the per-app telemetry on the way out.
+  ResultKey key;
+  key.a = make_eval_key(a, cfg_a);
+  key.b = make_eval_key(b, cfg_b);
+  key.pair = true;
+  const bool swapped = key.b < key.a;
+  if (swapped) std::swap(key.a, key.b);
+
+  Shard& shard = shard_for(ResultKeyHash{}(key));
+  {
+    std::lock_guard lock(shard.mu);
+    if (const auto it = shard.results.find(key); it != shard.results.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      RunResult rr = it->second;
+      if (swapped) std::swap(rr.apps[0], rr.apps[1]);
+      return rr;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Compute in canonical operand order so the cached value — and everything
+  // derived from it — does not depend on which orientation arrived first.
+  RunResult rr = swapped ? eval_.run_pair(b, cfg_b, a, cfg_a, this)
+                         : eval_.run_pair(a, cfg_a, b, cfg_b, this);
+  {
+    std::lock_guard lock(shard.mu);
+    insert_result(shard, key, rr);
+  }
+  if (swapped) std::swap(rr.apps[0], rr.apps[1]);
+  return rr;
+}
+
+NodeEvaluator::GroupSolution EvalCache::full_node_solo(const JobSpec& job,
+                                                       const AppConfig& cfg) {
+  // cfg.mappers is ignored by the tail solve; key with a sentinel so every
+  // pair configuration sharing (app, size, freq, block) maps to one entry.
+  EvalKey key = make_eval_key(job, cfg);
+  key.mappers = 0;
+  Shard& shard = shard_for(EvalKeyHash{}(key));
+  {
+    std::lock_guard lock(shard.mu);
+    if (const auto it = shard.tails.find(key); it != shard.tails.end()) {
+      tail_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  tail_misses_.fetch_add(1, std::memory_order_relaxed);
+  const NodeEvaluator::GroupSolution sol = eval_.full_node_solo(job, cfg);
+  std::lock_guard lock(shard.mu);
+  return shard.tails.try_emplace(key, sol).first->second;
+}
+
+std::optional<JointEnv> EvalCache::joint_env(std::span<const GroupCtx> ctxs) {
+  if (ctxs.size() > 2) return std::nullopt;  // sweeps only solve 1-2 groups
+
+  EnvKey key;
+  key.groups = static_cast<std::uint8_t>(ctxs.size());
+  for (std::size_t g = 0; g < ctxs.size(); ++g) {
+    EvalKey& side = key.sides[g];
+    side.app_digest = app_digest(*ctxs[g].app);
+    side.freq = static_cast<std::uint8_t>(ctxs[g].freq);
+    side.mappers = ctxs[g].concurrent;
+    key.block_bits[g] = std::bit_cast<std::uint64_t>(ctxs[g].block_bytes);
+  }
+  Shard& shard = shard_for(EnvKeyHash{}(key));
+  {
+    std::lock_guard lock(shard.mu);
+    if (const auto it = shard.envs.find(key); it != shard.envs.end()) {
+      env_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  env_misses_.fetch_add(1, std::memory_order_relaxed);
+  JointEnv je = solve_joint_env(eval_.task_model(), ctxs);
+  std::lock_guard lock(shard.mu);
+  return shard.envs.try_emplace(key, std::move(je)).first->second;
+}
+
+EvalCache::Stats EvalCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.tail_hits = tail_hits_.load(std::memory_order_relaxed);
+  s.tail_misses = tail_misses_.load(std::memory_order_relaxed);
+  s.env_hits = env_hits_.load(std::memory_order_relaxed);
+  s.env_misses = env_misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t EvalCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    n += shard->results.size();
+  }
+  return n;
+}
+
+void EvalCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    shard->results.clear();
+    shard->fifo.clear();
+    shard->tails.clear();
+    shard->envs.clear();
+  }
+}
+
+}  // namespace ecost::mapreduce

@@ -17,7 +17,7 @@ NodeEvaluator::NodeEvaluator(const sim::NodeSpec& spec)
 }
 
 std::vector<NodeEvaluator::GroupSolution> NodeEvaluator::solve_groups(
-    std::span<const GroupInput> groups) const {
+    std::span<const GroupInput> groups, Memo* memo) const {
   const std::size_t k = groups.size();
   ECOST_REQUIRE(k >= 1, "need at least one group");
   int total_mappers = 0;
@@ -64,7 +64,14 @@ std::vector<NodeEvaluator::GroupSolution> NodeEvaluator::solve_groups(
           shuffle_total / static_cast<double>(groups[g].cfg.mappers);
     }
   }
-  const JointEnv je_reduce = solve_joint_env(tasks_, red_ctxs);
+  // The reduce env is invariant in the block knob (shuffle partitions are
+  // sized by mappers, not splits), so a memo layer can serve most of a
+  // sweep's reduce solves from ~|freqs| x |mappers| distinct entries.
+  JointEnv je_reduce;
+  std::optional<JointEnv> memoized;
+  if (memo != nullptr) memoized = memo->joint_env(red_ctxs);
+  je_reduce = memoized ? *std::move(memoized)
+                       : solve_joint_env(tasks_, red_ctxs);
 
   // --- materialize converged group executions -----------------------------
   std::vector<GroupSolution> out(k);
@@ -216,10 +223,17 @@ double NodeEvaluator::dynamic_power_w(std::span<const GroupLoads> loads) const {
   return pb.dynamic_w();
 }
 
-RunResult NodeEvaluator::run_solo(const JobSpec& job,
-                                  const AppConfig& cfg) const {
+NodeEvaluator::GroupSolution NodeEvaluator::full_node_solo(
+    const JobSpec& job, AppConfig cfg) const {
+  cfg.mappers = spec_.cores;
   const GroupInput gi{&job, cfg};
-  const auto sols = solve_groups(std::span(&gi, 1));
+  return solve_groups(std::span(&gi, 1))[0];
+}
+
+RunResult NodeEvaluator::run_solo(const JobSpec& job, const AppConfig& cfg,
+                                  Memo* memo) const {
+  const GroupInput gi{&job, cfg};
+  const auto sols = solve_groups(std::span(&gi, 1), memo);
   const GroupSolution& g = sols[0];
 
   RunResult rr;
@@ -242,13 +256,13 @@ RunResult NodeEvaluator::run_solo(const JobSpec& job,
 }
 
 RunResult NodeEvaluator::run_pair(const JobSpec& a, const AppConfig& cfg_a,
-                                  const JobSpec& b,
-                                  const AppConfig& cfg_b) const {
+                                  const JobSpec& b, const AppConfig& cfg_b,
+                                  Memo* memo) const {
   PairConfig pc{cfg_a, cfg_b};
   pc.validate(spec_);
 
   const GroupInput gis[] = {{&a, cfg_a}, {&b, cfg_b}};
-  const auto joint = solve_groups(std::span(gis, 2));
+  const auto joint = solve_groups(std::span(gis, 2), memo);
 
   const double ta = joint[0].total_s();
   const double tb = joint[1].total_s();
@@ -270,9 +284,9 @@ RunResult NodeEvaluator::run_pair(const JobSpec& a, const AppConfig& cfg_a,
   GroupSolution survivor_solo{};
   bool has_tail = t_long_joint > t_short + 1e-12;
   if (has_tail) {
-    GroupInput solo_gi = gis[long_idx];
-    solo_gi.cfg.mappers = spec_.cores;
-    survivor_solo = solve_groups(std::span(&solo_gi, 1))[0];
+    const GroupInput& lg = gis[long_idx];
+    survivor_solo = memo != nullptr ? memo->full_node_solo(*lg.job, lg.cfg)
+                                    : full_node_solo(*lg.job, lg.cfg);
     const double frac_done =
         t_long_joint > 0.0 ? t_short / t_long_joint : 1.0;
     t_final_long = t_short + (1.0 - frac_done) * survivor_solo.total_s();

@@ -13,10 +13,12 @@
 // NodeRunner produces time-resolved traces from the same physics.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "mapreduce/config.hpp"
+#include "mapreduce/env_solver.hpp"
 #include "mapreduce/job.hpp"
 #include "mapreduce/run_result.hpp"
 #include "mapreduce/task_model.hpp"
@@ -30,14 +32,65 @@ class NodeEvaluator {
   explicit NodeEvaluator(
       const sim::NodeSpec& spec = sim::NodeSpec::atom_c2758());
 
+  /// Converged execution of one task group under the joint environment.
+  struct GroupSolution {
+    sim::FreqLevel freq = sim::FreqLevel::F2_4;
+    int mappers = 1;
+    TaskRates full;           ///< representative full-block map task
+    PhaseStats map_ph;
+    PhaseStats reduce_ph;
+    double total_write_bytes = 0.0;
+    double total_read_bytes = 0.0;
+
+    double total_s() const { return map_ph.duration_s + reduce_ph.duration_s; }
+
+    // Time-averaged loads over total_s():
+    double avg_cores = 0.0;
+    double activity = 0.0;
+    double mem_gibps = 0.0;
+    double disk_mibps = 0.0;
+    double io_streams = 0.0;
+  };
+
+  /// Memoization hooks a cache layer (mapreduce/eval_cache.hpp) can supply
+  /// to short-circuit the sub-solves that are invariant across large parts
+  /// of a sweep. Both hooks must return exactly what the evaluator would
+  /// compute itself — they are value caches, not approximations.
+  class Memo {
+   public:
+    virtual ~Memo() = default;
+
+    /// run_pair's survivor tail: the full-node solo execution of `job` at
+    /// `cfg`'s frequency and block size (cfg.mappers is ignored — every
+    /// core hosts a mapper slot). Only ~|freqs| x |blocks| distinct tails
+    /// exist per (app, size), versus one solve per pair configuration.
+    virtual GroupSolution full_node_solo(const JobSpec& job,
+                                         const AppConfig& cfg) = 0;
+
+    /// Joint-environment solve for `ctxs` (as passed to solve_joint_env).
+    /// Consulted only for reduce-phase environments, whose inputs do not
+    /// depend on the HDFS block knob — the evaluator never offers the
+    /// map-phase env, where every sweep point is distinct. Return nullopt
+    /// to decline; the evaluator then solves directly.
+    virtual std::optional<JointEnv> joint_env(
+        std::span<const GroupCtx> ctxs) = 0;
+  };
+
   /// Runs one application alone on the node with the given knobs. Cores
   /// beyond `cfg.mappers` stay idle.
-  RunResult run_solo(const JobSpec& job, const AppConfig& cfg) const;
+  RunResult run_solo(const JobSpec& job, const AppConfig& cfg,
+                     Memo* memo = nullptr) const;
 
   /// Runs two applications co-located on the node. Mapper counts must
   /// partition the cores (m1 + m2 <= cores).
   RunResult run_pair(const JobSpec& a, const AppConfig& cfg_a,
-                     const JobSpec& b, const AppConfig& cfg_b) const;
+                     const JobSpec& b, const AppConfig& cfg_b,
+                     Memo* memo = nullptr) const;
+
+  /// The survivor-tail solve of run_pair, exposed so memo layers can key it
+  /// on (job, freq, block) alone: `job` run solo with every core active
+  /// (cfg.mappers is ignored) at cfg's frequency and block size.
+  GroupSolution full_node_solo(const JobSpec& job, AppConfig cfg) const;
 
   const sim::NodeSpec& spec() const { return spec_; }
   const TaskModel& task_model() const { return tasks_; }
@@ -68,28 +121,8 @@ class NodeEvaluator {
     AppConfig cfg;
   };
 
-  /// Converged execution of one task group under the joint environment.
-  struct GroupSolution {
-    sim::FreqLevel freq = sim::FreqLevel::F2_4;
-    int mappers = 1;
-    TaskRates full;           ///< representative full-block map task
-    PhaseStats map_ph;
-    PhaseStats reduce_ph;
-    double total_write_bytes = 0.0;
-    double total_read_bytes = 0.0;
-
-    double total_s() const { return map_ph.duration_s + reduce_ph.duration_s; }
-
-    // Time-averaged loads over total_s():
-    double avg_cores = 0.0;
-    double activity = 0.0;
-    double mem_gibps = 0.0;
-    double disk_mibps = 0.0;
-    double io_streams = 0.0;
-  };
-
-  std::vector<GroupSolution> solve_groups(
-      std::span<const GroupInput> groups) const;
+  std::vector<GroupSolution> solve_groups(std::span<const GroupInput> groups,
+                                          Memo* memo = nullptr) const;
 
   /// Instantaneous node power for a set of concurrently running groups.
   sim::PowerBreakdown power_for(

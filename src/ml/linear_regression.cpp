@@ -65,4 +65,27 @@ double LinearRegression::predict(std::span<const double> features) const {
   return acc;
 }
 
+void LinearRegression::predict_batch(std::span<const double> rows,
+                                     std::size_t row_len,
+                                     std::span<double> out) const {
+  ECOST_REQUIRE(!weights_.empty(), "model not fitted");
+  ECOST_REQUIRE(row_len + 1 == weights_.size(), "feature arity mismatch");
+  ECOST_REQUIRE(row_len > 0 && rows.size() % row_len == 0,
+                "ragged row buffer");
+  ECOST_REQUIRE(out.size() == rows.size() / row_len,
+                "output size must match row count");
+  const std::span<const double> mean = scaler_.mean();
+  const std::span<const double> stddev = scaler_.stddev();
+  ECOST_REQUIRE(mean.size() == row_len, "scaler arity mismatch");
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    const double* row = rows.data() + r * row_len;
+    // Same per-element order as predict(): standardize, then accumulate.
+    double acc = weights_.back();
+    for (std::size_t j = 0; j < row_len; ++j) {
+      acc += weights_[j] * ((row[j] - mean[j]) / stddev[j]);
+    }
+    out[r] = acc;
+  }
+}
+
 }  // namespace ecost::ml

@@ -165,4 +165,44 @@ double Mlp::predict(std::span<const double> features) const {
   return params_.log_target ? std::exp(y) : y;
 }
 
+void Mlp::predict_batch(std::span<const double> rows, std::size_t row_len,
+                        std::span<double> out) const {
+  ECOST_REQUIRE(!layers_.empty(), "model not fitted");
+  ECOST_REQUIRE(row_len > 0 && rows.size() % row_len == 0,
+                "ragged row buffer");
+  ECOST_REQUIRE(out.size() == rows.size() / row_len,
+                "output size must match row count");
+  const std::span<const double> mean = x_scaler_.mean();
+  const std::span<const double> stddev = x_scaler_.stddev();
+  ECOST_REQUIRE(mean.size() == row_len, "scaler arity mismatch");
+
+  // Two ping-pong activation buffers sized for the widest layer, reused
+  // across the whole batch. Per neuron the accumulation runs in the same
+  // order as forward(), so results match predict() bit for bit.
+  std::size_t width = row_len;
+  for (const Layer& l : layers_) width = std::max(width, l.out);
+  std::vector<double> buf_a(width), buf_b(width);
+
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    const double* row = rows.data() + r * row_len;
+    double* cur = buf_a.data();
+    double* next = buf_b.data();
+    for (std::size_t j = 0; j < row_len; ++j) {
+      cur[j] = (row[j] - mean[j]) / stddev[j];
+    }
+    for (std::size_t li = 0; li < layers_.size(); ++li) {
+      const Layer& l = layers_[li];
+      for (std::size_t o = 0; o < l.out; ++o) {
+        double acc = l.b[o];
+        const double* wrow = &l.w[o * l.in];
+        for (std::size_t i = 0; i < l.in; ++i) acc += wrow[i] * cur[i];
+        next[o] = li + 1 < layers_.size() ? std::tanh(acc) : acc;
+      }
+      std::swap(cur, next);
+    }
+    const double y = y_scaler_.inverse(cur[0]);
+    out[r] = params_.log_target ? std::exp(y) : y;
+  }
+}
+
 }  // namespace ecost::ml

@@ -31,6 +31,8 @@ class Mlp final : public Regressor {
 
   void fit(const Dataset& data) override;
   double predict(std::span<const double> features) const override;
+  void predict_batch(std::span<const double> rows, std::size_t row_len,
+                     std::span<double> out) const override;
   std::string name() const override { return "MLP"; }
 
   /// Mean squared error on standardized targets after training (diagnostic).

@@ -1,0 +1,19 @@
+#include "ml/model.hpp"
+
+#include "util/error.hpp"
+
+namespace ecost::ml {
+
+void Regressor::predict_batch(std::span<const double> rows,
+                              std::size_t row_len,
+                              std::span<double> out) const {
+  ECOST_REQUIRE(row_len > 0, "row length must be positive");
+  ECOST_REQUIRE(rows.size() % row_len == 0, "ragged row buffer");
+  ECOST_REQUIRE(out.size() == rows.size() / row_len,
+                "output size must match row count");
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    out[r] = predict(rows.subspan(r * row_len, row_len));
+  }
+}
+
+}  // namespace ecost::ml

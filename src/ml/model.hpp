@@ -21,6 +21,15 @@ class Regressor {
   /// Predicts the target for one feature row. Requires a prior fit.
   virtual double predict(std::span<const double> features) const = 0;
 
+  /// Predicts one target per row of a packed row-major buffer holding
+  /// `rows.size() / row_len` rows of `row_len` features each. `out` must
+  /// hold exactly one slot per row. Semantically identical to calling
+  /// predict() row by row — overrides only remove the per-row allocations
+  /// and virtual dispatch that a scoring loop over thousands of candidate
+  /// configurations would otherwise pay.
+  virtual void predict_batch(std::span<const double> rows, std::size_t row_len,
+                             std::span<double> out) const;
+
   /// Human-readable model name ("LR", "REPTree", "MLP", "LkT").
   virtual std::string name() const = 0;
 };

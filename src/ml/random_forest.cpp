@@ -1,5 +1,7 @@
 #include "ml/random_forest.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/parallel_for.hpp"
 #include "util/rng.hpp"
@@ -48,6 +50,27 @@ double RandomForest::predict(std::span<const double> features) const {
   double acc = 0.0;
   for (const auto& tree : trees_) acc += tree->predict(features);
   return acc / static_cast<double>(trees_.size());
+}
+
+void RandomForest::predict_batch(std::span<const double> rows,
+                                 std::size_t row_len,
+                                 std::span<double> out) const {
+  ECOST_REQUIRE(!trees_.empty(), "model not fitted");
+  ECOST_REQUIRE(row_len > 0 && rows.size() % row_len == 0,
+                "ragged row buffer");
+  ECOST_REQUIRE(out.size() == rows.size() / row_len,
+                "output size must match row count");
+  // Tree-major order keeps each tree's node array hot across the whole
+  // batch; per row the trees still accumulate in index order, so the sum
+  // matches predict() bit for bit.
+  std::fill(out.begin(), out.end(), 0.0);
+  std::vector<double> tree_out(out.size());
+  for (const auto& tree : trees_) {
+    tree->predict_batch(rows, row_len, tree_out);
+    for (std::size_t r = 0; r < out.size(); ++r) out[r] += tree_out[r];
+  }
+  const double n_trees = static_cast<double>(trees_.size());
+  for (double& v : out) v /= n_trees;
 }
 
 }  // namespace ecost::ml

@@ -27,6 +27,8 @@ class RandomForest final : public Regressor {
 
   void fit(const Dataset& data) override;
   double predict(std::span<const double> features) const override;
+  void predict_batch(std::span<const double> rows, std::size_t row_len,
+                     std::span<double> out) const override;
   std::string name() const override { return "Forest"; }
 
   std::size_t tree_count() const { return trees_.size(); }

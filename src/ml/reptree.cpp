@@ -184,6 +184,29 @@ double RepTree::predict(std::span<const double> features) const {
   return predict_node(root_, features);
 }
 
+void RepTree::predict_batch(std::span<const double> rows, std::size_t row_len,
+                            std::span<double> out) const {
+  ECOST_REQUIRE(root_ >= 0, "model not fitted");
+  ECOST_REQUIRE(row_len > 0 && rows.size() % row_len == 0,
+                "ragged row buffer");
+  ECOST_REQUIRE(out.size() == rows.size() / row_len,
+                "output size must match row count");
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    const double* row = rows.data() + r * row_len;
+    // Iterative walk; same routing (and therefore same leaf) as the
+    // recursive predict_node.
+    std::int32_t ni = root_;
+    for (;;) {
+      const Node& n = nodes_[static_cast<std::size_t>(ni)];
+      if (n.leaf) {
+        out[r] = n.value;
+        break;
+      }
+      ni = row[n.feature] <= n.threshold ? n.left : n.right;
+    }
+  }
+}
+
 namespace {
 
 template <typename Nodes, typename Pred>

@@ -1,7 +1,7 @@
 #include "tuning/brute_force.hpp"
 
 #include <limits>
-#include <mutex>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/parallel_for.hpp"
@@ -9,51 +9,59 @@
 namespace ecost::tuning {
 
 using mapreduce::AppConfig;
+using mapreduce::EvalCache;
 using mapreduce::JobSpec;
 using mapreduce::NodeEvaluator;
 using mapreduce::PairConfig;
 using mapreduce::RunResult;
 
-BruteForce::BruteForce(const NodeEvaluator& eval) : eval_(eval) {}
+BruteForce::BruteForce(const NodeEvaluator& eval)
+    : owned_(std::make_unique<EvalCache>(eval)), cache_(owned_.get()) {}
+
+BruteForce::BruteForce(EvalCache& cache) : cache_(&cache) {}
 
 SoloOutcome BruteForce::tune_solo(const JobSpec& job, int min_mappers,
                                   int max_mappers) const {
-  const auto configs = solo_configs(eval_.spec(), min_mappers,
-                                    max_mappers == 0 ? eval_.spec().cores
-                                                     : max_mappers);
-  SoloOutcome best;
-  best.edp = std::numeric_limits<double>::infinity();
-  std::mutex mu;
+  const auto configs =
+      solo_configs(evaluator().spec(), min_mappers,
+                   max_mappers == 0 ? evaluator().spec().cores : max_mappers);
+  // Parallel EDP fill, serial first-wins argmin: the winner (EDP ties
+  // included) never depends on thread interleaving, and the winning
+  // RunResult is re-read from the cache instead of being copied 160 times.
+  std::vector<double> edps(configs.size());
   parallel_for(configs.size(), [&](std::size_t i) {
-    const RunResult rr = eval_.run_solo(job, configs[i]);
-    const double edp = rr.edp();
-    std::lock_guard lock(mu);
-    if (edp < best.edp) best = {configs[i], rr, edp};
+    edps[i] = cache_->run_solo(job, configs[i]).edp();
   });
-  ECOST_CHECK(best.edp < std::numeric_limits<double>::infinity(),
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < edps.size(); ++i) {
+    if (edps[i] < edps[best]) best = i;
+  }
+  ECOST_CHECK(!configs.empty() &&
+                  edps[best] < std::numeric_limits<double>::infinity(),
               "no feasible solo configuration");
-  return best;
+  return {configs[best], cache_->run_solo(job, configs[best]), edps[best]};
 }
 
 PairOutcome BruteForce::colao(const JobSpec& a, const JobSpec& b) const {
-  const auto configs = pair_configs(eval_.spec());
-  PairOutcome best;
-  best.edp = std::numeric_limits<double>::infinity();
-  std::mutex mu;
+  const auto configs = pair_configs(evaluator().spec());
+  std::vector<double> edps(configs.size());
   parallel_for(configs.size(), [&](std::size_t i) {
-    const RunResult rr =
-        eval_.run_pair(a, configs[i].first, b, configs[i].second);
-    const double edp = rr.edp();
-    std::lock_guard lock(mu);
-    if (edp < best.edp) best = {configs[i], rr, edp};
+    edps[i] = cache_->run_pair(a, configs[i].first, b, configs[i].second).edp();
   });
-  ECOST_CHECK(best.edp < std::numeric_limits<double>::infinity(),
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < edps.size(); ++i) {
+    if (edps[i] < edps[best]) best = i;
+  }
+  ECOST_CHECK(!configs.empty() &&
+                  edps[best] < std::numeric_limits<double>::infinity(),
               "no feasible pair configuration");
-  return best;
+  return {configs[best],
+          cache_->run_pair(a, configs[best].first, b, configs[best].second),
+          edps[best]};
 }
 
 IlaoOutcome BruteForce::ilao(const JobSpec& a, const JobSpec& b) const {
-  const int cores = eval_.spec().cores;
+  const int cores = evaluator().spec().cores;
   const SoloOutcome sa = tune_solo(a, cores, cores);
   const SoloOutcome sb = tune_solo(b, cores, cores);
   IlaoOutcome out;
@@ -67,7 +75,7 @@ IlaoOutcome BruteForce::ilao(const JobSpec& a, const JobSpec& b) const {
 
 double BruteForce::pair_edp(const JobSpec& a, const JobSpec& b,
                             const PairConfig& cfg) const {
-  return eval_.run_pair(a, cfg.first, b, cfg.second).edp();
+  return cache_->run_pair(a, cfg.first, b, cfg.second).edp();
 }
 
 }  // namespace ecost::tuning

@@ -8,8 +8,16 @@
 //  * COLAO      — Co-Located Application Optimization: exhaustive search of
 //                 the joint pair-configuration space (the oracle that STP
 //                 techniques are measured against in Table 2).
+//
+// All searches run data-parallel on the global thread pool and evaluate
+// through an EvalCache, so repeated sweeps over the same jobs (the dataset
+// builder immediately followed by the COLAO oracle, policy studies scoring
+// the same pairs) are served from memory instead of re-solving.
 #pragma once
 
+#include <memory>
+
+#include "mapreduce/eval_cache.hpp"
 #include "mapreduce/job.hpp"
 #include "mapreduce/node_evaluator.hpp"
 #include "tuning/config_space.hpp"
@@ -38,7 +46,13 @@ struct IlaoOutcome {
 
 class BruteForce {
  public:
+  /// Owns a private EvalCache over `eval`; results are reused across this
+  /// object's searches only.
   explicit BruteForce(const mapreduce::NodeEvaluator& eval);
+
+  /// Borrows a shared cache (must outlive this object) so several pipeline
+  /// stages — dataset builder, oracle, policy study — pool their results.
+  explicit BruteForce(mapreduce::EvalCache& cache);
 
   /// Exhaustive solo search over [min_mappers, max_mappers].
   SoloOutcome tune_solo(const mapreduce::JobSpec& job, int min_mappers = 1,
@@ -56,10 +70,14 @@ class BruteForce {
   double pair_edp(const mapreduce::JobSpec& a, const mapreduce::JobSpec& b,
                   const mapreduce::PairConfig& cfg) const;
 
-  const mapreduce::NodeEvaluator& evaluator() const { return eval_; }
+  const mapreduce::NodeEvaluator& evaluator() const {
+    return cache_->evaluator();
+  }
+  mapreduce::EvalCache& cache() const { return *cache_; }
 
  private:
-  const mapreduce::NodeEvaluator& eval_;
+  std::unique_ptr<mapreduce::EvalCache> owned_;
+  mapreduce::EvalCache* cache_;  ///< owned_ or the borrowed shared cache
 };
 
 }  // namespace ecost::tuning

@@ -1,11 +1,5 @@
 #include "util/parallel_for.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <exception>
-#include <thread>
-#include <vector>
-
 #include "util/error.hpp"
 
 namespace ecost {
@@ -13,42 +7,7 @@ namespace ecost {
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   unsigned threads) {
   ECOST_REQUIRE(static_cast<bool>(fn), "null body");
-  if (n == 0) return;
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, n));
-
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::atomic<bool> failed{false};
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  // Dynamic chunking: workers pull modest chunks so uneven per-item cost
-  // (different configs converge differently) still balances.
-  const std::size_t chunk = std::max<std::size_t>(1, n / (threads * 8));
-  for (unsigned t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
-      while (!failed.load(std::memory_order_relaxed)) {
-        const std::size_t start =
-            next.fetch_add(chunk, std::memory_order_relaxed);
-        if (start >= n) break;
-        const std::size_t end = std::min(n, start + chunk);
-        try {
-          for (std::size_t i = start; i < end; ++i) fn(i);
-        } catch (...) {
-          if (!failed.exchange(true)) first_error = std::current_exception();
-          break;
-        }
-      }
-    });
-  }
-  for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  ThreadPool::global().run(n, fn, threads);
 }
 
 }  // namespace ecost

@@ -1,18 +1,24 @@
-// Minimal data-parallel helper: static partitioning of an index range over
-// std::thread workers. The brute-force sweeps (84,480 runs) are
-// embarrassingly parallel; on a 1-core box this degrades gracefully to the
-// serial loop.
+// Data-parallel index loop over the persistent pool (util/thread_pool.hpp).
+//
+// The template overload binds the body directly — no std::function erasure,
+// no per-call thread spawn. A std::function overload remains for callers
+// that store loop bodies behind type erasure (and to keep the null-body
+// diagnostic); anything invocable lands on the template.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 
+#include "util/thread_pool.hpp"
+
 namespace ecost {
 
-/// Invokes fn(i) for i in [0, n), split across `threads` workers
-/// (0 = hardware_concurrency). fn must be safe to call concurrently for
-/// distinct i. Exceptions from workers are rethrown on the caller (first
-/// one wins).
+// The primary entry point is the template ecost::parallel_for declared in
+// util/thread_pool.hpp (re-exported here): fn(i) for i in [0, n), split
+// across the pool, with optional participant cap and steal grain.
+
+/// Type-erased fallback. Throws InvariantError on a null body; otherwise
+/// identical to the template overload.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   unsigned threads = 0);
 

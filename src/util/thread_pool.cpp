@@ -1,0 +1,174 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace ecost {
+
+namespace {
+
+// Set while a thread executes pool work; nested parallel loops detect it and
+// degrade to inline serial execution instead of deadlocking on the pool.
+thread_local bool tl_in_pool_task = false;
+
+unsigned default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 0;
+}
+
+}  // namespace
+
+struct ThreadPool::Task {
+  // One shard per participant, cache-line separated so chunk claiming does
+  // not false-share.
+  struct alignas(64) Shard {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+  };
+
+  std::unique_ptr<Shard[]> shards;
+  std::size_t num_shards = 0;
+  std::size_t grain = 1;
+  void (*fn)(void*, std::size_t) = nullptr;
+  void* ctx = nullptr;
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  // guarded by the pool mutex
+  int joined = 0;            // workers that picked this task up (pool mutex)
+  int max_join = 0;          // worker budget (participants - submitter)
+  int active = 0;            // workers still executing (pool mutex)
+};
+
+ThreadPool::ThreadPool(unsigned workers) {
+  workers_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_workers());
+  return pool;
+}
+
+void ThreadPool::work_on(Task& t, std::size_t home) {
+  const std::size_t shards = t.num_shards;
+  for (std::size_t off = 0; off < shards; ++off) {
+    Task::Shard& s = t.shards[(home + off) % shards];
+    while (!t.failed.load(std::memory_order_relaxed)) {
+      const std::size_t start =
+          s.next.fetch_add(t.grain, std::memory_order_relaxed);
+      if (start >= s.end) break;
+      const std::size_t end = std::min(s.end, start + t.grain);
+      try {
+        for (std::size_t i = start; i < end; ++i) {
+          // A failure elsewhere stops mid-chunk, not at the next steal.
+          if (t.failed.load(std::memory_order_relaxed)) return;
+          t.fn(t.ctx, i);
+        }
+      } catch (...) {
+        if (!t.failed.exchange(true)) {
+          std::lock_guard lk(mu_);
+          t.error = std::current_exception();
+        }
+        return;
+      }
+    }
+    if (t.failed.load(std::memory_order_relaxed)) return;
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Task* t = nullptr;
+    std::size_t home = 0;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [&] {
+        return stop_ || (task_ != nullptr && epoch_ != seen_epoch &&
+                         task_->joined < task_->max_join);
+      });
+      if (stop_) return;
+      t = task_;
+      seen_epoch = epoch_;
+      home = static_cast<std::size_t>(++t->joined);  // submitter owns shard 0
+      ++t->active;
+    }
+    tl_in_pool_task = true;
+    work_on(*t, home % t->num_shards);
+    tl_in_pool_task = false;
+    {
+      std::lock_guard lk(mu_);
+      if (--t->active == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::invoke(std::size_t n, unsigned max_threads, std::size_t grain,
+                        void (*fn)(void*, std::size_t), void* ctx) {
+  if (n == 0) return;
+
+  std::size_t participants =
+      max_threads == 0 ? workers_.size() + 1 : max_threads;
+  participants = std::min<std::size_t>(participants, workers_.size() + 1);
+  participants = std::min(participants, n);
+
+  if (participants <= 1 || tl_in_pool_task) {
+    for (std::size_t i = 0; i < n; ++i) fn(ctx, i);
+    return;
+  }
+
+  if (grain == 0) {
+    // Clamp so small loops never degenerate to single-index chunks (atomic
+    // traffic per index) and huge loops still rebalance.
+    grain = std::clamp<std::size_t>(n / (participants * 8), 8, 2048);
+  }
+
+  // One top-level loop at a time: a second submitter blocks here instead of
+  // interleaving with (and starving) the running task.
+  std::lock_guard submit_lock(submit_mu_);
+
+  Task task;
+  task.num_shards = participants;
+  task.shards = std::make_unique<Task::Shard[]>(participants);
+  for (std::size_t s = 0; s < participants; ++s) {
+    task.shards[s].next.store(n * s / participants,
+                              std::memory_order_relaxed);
+    task.shards[s].end = n * (s + 1) / participants;
+  }
+  task.grain = grain;
+  task.fn = fn;
+  task.ctx = ctx;
+  task.max_join = static_cast<int>(participants) - 1;
+
+  {
+    std::lock_guard lk(mu_);
+    task_ = &task;
+    ++epoch_;
+  }
+  cv_.notify_all();
+
+  tl_in_pool_task = true;
+  work_on(task, 0);
+  tl_in_pool_task = false;
+
+  {
+    std::unique_lock lk(mu_);
+    task_ = nullptr;  // no further joiners; stragglers hold their pointer
+    done_cv_.wait(lk, [&] { return task.active == 0; });
+  }
+  if (task.error) std::rethrow_exception(task.error);
+}
+
+}  // namespace ecost

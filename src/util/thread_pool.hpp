@@ -1,0 +1,92 @@
+// Persistent worker pool behind every data-parallel sweep.
+//
+// The brute-force sweeps call parallel_for thousands of times (once per
+// combo, once per solo search, ...); spawning std::threads per call and
+// erasing the body behind std::function taxed exactly the hot path the
+// paper's "84,480 runs" live on. The pool is created lazily on first use,
+// keeps its workers parked on a condition variable between loops, and runs
+// bodies through a raw function pointer captured from the caller's stack —
+// no allocation, no type erasure.
+//
+// Scheduling is chunked work-stealing: the index range is split into one
+// contiguous shard per participant, each participant claims grain-sized
+// chunks from its own shard first and then steals chunks from the other
+// shards, so uneven per-index cost (different configs converge differently)
+// still balances without a single contended counter.
+#pragma once
+
+#include <concepts>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ecost {
+
+class ThreadPool {
+ public:
+  /// Pool with `workers` parked threads. The thread calling run() always
+  /// participates too, so `workers == 0` degrades to serial execution.
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool, constructed (and its threads started) on first use
+  /// with hardware_concurrency() - 1 workers.
+  static ThreadPool& global();
+
+  unsigned worker_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Invokes body(i) for i in [0, n) across the caller plus up to
+  /// `max_threads - 1` workers (0 = no cap). `grain` is the number of
+  /// indices claimed per steal (0 = automatic). body must be safe to call
+  /// concurrently for distinct i; the first exception wins and is rethrown
+  /// on the caller after all participants stop. Nested calls from inside a
+  /// pool task run inline and serially (re-entrant submit is safe but adds
+  /// no extra parallelism).
+  template <typename F>
+    requires std::invocable<F&, std::size_t>
+  void run(std::size_t n, F&& body, unsigned max_threads = 0,
+           std::size_t grain = 0) {
+    using Body = std::remove_reference_t<F>;
+    invoke(n, max_threads, grain,
+           [](void* ctx, std::size_t i) { (*static_cast<Body*>(ctx))(i); },
+           const_cast<void*>(static_cast<const void*>(std::addressof(body))));
+  }
+
+ private:
+  struct Task;
+
+  void invoke(std::size_t n, unsigned max_threads, std::size_t grain,
+              void (*fn)(void*, std::size_t), void* ctx);
+  void work_on(Task& task, std::size_t home);
+  void worker_loop();
+
+  std::mutex mu_;                  // guards task_, epoch_, Task bookkeeping
+  std::condition_variable cv_;     // workers wait here for a task
+  std::condition_variable done_cv_;  // the submitter waits for stragglers
+  Task* task_ = nullptr;
+  std::uint64_t epoch_ = 0;        // bumped per task so workers join once
+  bool stop_ = false;
+  std::mutex submit_mu_;           // one top-level loop at a time
+  std::vector<std::thread> workers_;
+};
+
+/// Data-parallel loop over [0, n) on the global pool. `threads` caps the
+/// participants (0 = all available); `grain` is the steal granularity
+/// (0 = automatic). With threads == 1 the loop runs serially in index
+/// order on the calling thread.
+template <typename F>
+  requires std::invocable<F&, std::size_t>
+void parallel_for(std::size_t n, F&& fn, unsigned threads = 0,
+                  std::size_t grain = 0) {
+  ThreadPool::global().run(n, std::forward<F>(fn), threads, grain);
+}
+
+}  // namespace ecost

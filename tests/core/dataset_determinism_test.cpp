@@ -1,0 +1,110 @@
+// Regression test for the parallel training sweep: build_training_data
+// must produce byte-identical output for every thread cap. Evaluation is
+// parallelized per combo pair, but all RNG-consuming folding stays serial
+// in combo order, so the thread count must never leak into the data.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/dataset_builder.hpp"
+#include "mapreduce/eval_cache.hpp"
+#include "mapreduce/node_evaluator.hpp"
+
+namespace ecost::core {
+namespace {
+
+SweepOptions small_opts(unsigned threads) {
+  SweepOptions opts;
+  opts.sizes_gib = {1.0};
+  opts.max_rows_per_class_pair = 500;
+  opts.candidates_per_combo = 16;
+  opts.threads = threads;
+  return opts;
+}
+
+bool datasets_identical(const ml::Dataset& a, const ml::Dataset& b) {
+  if (a.x.rows() != b.x.rows() || a.x.cols() != b.x.cols()) return false;
+  if (a.y.size() != b.y.size()) return false;
+  for (std::size_t r = 0; r < a.x.rows(); ++r) {
+    const auto ra = a.x.row(r);
+    const auto rb = b.x.row(r);
+    if (std::memcmp(ra.data(), rb.data(), ra.size_bytes()) != 0) return false;
+  }
+  return std::memcmp(a.y.data(), b.y.data(), a.y.size() * sizeof(double)) == 0;
+}
+
+void expect_training_data_identical(const TrainingData& a,
+                                    const TrainingData& b) {
+  // Config database: same keys, bit-identical EDPs, identical configs.
+  ASSERT_EQ(a.db.size(), b.db.size());
+  auto ita = a.db.entries().begin();
+  auto itb = b.db.entries().begin();
+  for (; ita != a.db.entries().end(); ++ita, ++itb) {
+    ASSERT_TRUE(ita->first == itb->first);
+    EXPECT_EQ(std::memcmp(&ita->second.edp, &itb->second.edp, sizeof(double)),
+              0);
+    EXPECT_EQ(ita->second.cfg.first.freq, itb->second.cfg.first.freq);
+    EXPECT_EQ(ita->second.cfg.first.block_mib, itb->second.cfg.first.block_mib);
+    EXPECT_EQ(ita->second.cfg.first.mappers, itb->second.cfg.first.mappers);
+    EXPECT_EQ(ita->second.cfg.second.freq, itb->second.cfg.second.freq);
+    EXPECT_EQ(ita->second.cfg.second.block_mib,
+              itb->second.cfg.second.block_mib);
+    EXPECT_EQ(ita->second.cfg.second.mappers, itb->second.cfg.second.mappers);
+  }
+
+  // STP training rows: every feature and target bit-identical.
+  ASSERT_EQ(a.train_rows.size(), b.train_rows.size());
+  for (const auto& [key, ds] : a.train_rows) {
+    const auto it = b.train_rows.find(key);
+    ASSERT_NE(it, b.train_rows.end());
+    EXPECT_TRUE(datasets_identical(ds, it->second));
+  }
+  ASSERT_EQ(a.validation_rows.size(), b.validation_rows.size());
+  for (const auto& [key, ds] : a.validation_rows) {
+    const auto it = b.validation_rows.find(key);
+    ASSERT_NE(it, b.validation_rows.end());
+    EXPECT_TRUE(datasets_identical(ds, it->second));
+  }
+
+  // Candidate sets feed the MLM-STP argmin; order matters, not just content.
+  ASSERT_EQ(a.candidate_configs.size(), b.candidate_configs.size());
+  for (const auto& [key, cfgs] : a.candidate_configs) {
+    const auto it = b.candidate_configs.find(key);
+    ASSERT_NE(it, b.candidate_configs.end());
+    ASSERT_EQ(cfgs.size(), it->second.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      EXPECT_EQ(cfgs[i].to_string(), it->second[i].to_string());
+    }
+  }
+
+  // Solo database (survivor configs for the dispatcher's solo fallback).
+  ASSERT_EQ(a.solo_db.size(), b.solo_db.size());
+  auto sa = a.solo_db.begin();
+  auto sb = b.solo_db.begin();
+  for (; sa != a.solo_db.end(); ++sa, ++sb) {
+    EXPECT_TRUE(sa->first == sb->first);
+    EXPECT_EQ(sa->second.to_string(), sb->second.to_string());
+  }
+}
+
+TEST(DatasetDeterminismTest, ThreadCountDoesNotChangeOutput) {
+  const mapreduce::NodeEvaluator eval;
+  const TrainingData serial = build_training_data(eval, small_opts(1));
+  const TrainingData parallel = build_training_data(eval, small_opts(4));
+  expect_training_data_identical(serial, parallel);
+}
+
+TEST(DatasetDeterminismTest, SharedCacheDoesNotChangeOutput) {
+  // A cache pre-warmed by a prior sweep must not perturb a later one:
+  // hits return exactly what a fresh evaluation would have produced.
+  const mapreduce::NodeEvaluator eval;
+  const TrainingData cold = build_training_data(eval, small_opts(0));
+
+  mapreduce::EvalCache cache(eval);
+  (void)build_training_data(cache, small_opts(0));  // warm every key
+  const TrainingData warm = build_training_data(cache, small_opts(0));
+  expect_training_data_identical(cold, warm);
+}
+
+}  // namespace
+}  // namespace ecost::core

@@ -1,0 +1,177 @@
+#include "mapreduce/eval_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mapreduce/node_evaluator.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::mapreduce {
+namespace {
+
+const NodeEvaluator& evaluator() {
+  static const NodeEvaluator eval;
+  return eval;
+}
+
+JobSpec job_of(const char* abbrev, double gib) {
+  return JobSpec::of_gib(workloads::app_by_abbrev(abbrev), gib);
+}
+
+bool bit_identical(const RunResult& a, const RunResult& b) {
+  if (a.apps.size() != b.apps.size()) return false;
+  if (std::memcmp(&a.makespan_s, &b.makespan_s, sizeof(double)) != 0 ||
+      std::memcmp(&a.energy_dyn_j, &b.energy_dyn_j, sizeof(double)) != 0 ||
+      std::memcmp(&a.energy_total_j, &b.energy_total_j, sizeof(double)) != 0) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    if (std::memcmp(&a.apps[i], &b.apps[i], sizeof(AppTelemetry)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(EvalCacheTest, SoloHitIsBitIdentical) {
+  EvalCache cache(evaluator());
+  const JobSpec job = job_of("WC", 1.0);
+  const AppConfig cfg{sim::FreqLevel::F2_4, 128, 4};
+  const RunResult first = cache.run_solo(job, cfg);
+  const RunResult second = cache.run_solo(job, cfg);
+  EXPECT_TRUE(bit_identical(first, second));
+  const EvalCache::Stats st = cache.stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EvalCacheTest, SoloMatchesEvaluator) {
+  EvalCache cache(evaluator());
+  const JobSpec job = job_of("ST", 1.0);
+  const AppConfig cfg{sim::FreqLevel::F1_6, 256, 3};
+  const RunResult cached = cache.run_solo(job, cfg);
+  const RunResult direct = evaluator().run_solo(job, cfg);
+  EXPECT_DOUBLE_EQ(cached.makespan_s, direct.makespan_s);
+  EXPECT_DOUBLE_EQ(cached.energy_dyn_j, direct.energy_dyn_j);
+}
+
+TEST(EvalCacheTest, PairKeySymmetry) {
+  // (A, B) and (B, A) must share one entry, with telemetry swapped back.
+  EvalCache cache(evaluator());
+  const JobSpec a = job_of("ST", 1.0);
+  const JobSpec b = job_of("CF", 5.0);
+  const AppConfig ca{sim::FreqLevel::F2_4, 128, 3};
+  const AppConfig cb{sim::FreqLevel::F1_6, 512, 5};
+
+  const RunResult ab = cache.run_pair(a, ca, b, cb);
+  const RunResult ba = cache.run_pair(b, cb, a, ca);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  ASSERT_EQ(ab.apps.size(), 2u);
+  ASSERT_EQ(ba.apps.size(), 2u);
+  EXPECT_EQ(ab.makespan_s, ba.makespan_s);
+  EXPECT_EQ(ab.energy_dyn_j, ba.energy_dyn_j);
+  // apps[0] must always describe the caller's first operand.
+  EXPECT_EQ(ab.apps[0].finish_s, ba.apps[1].finish_s);
+  EXPECT_EQ(ab.apps[0].footprint_mib, ba.apps[1].footprint_mib);
+  EXPECT_EQ(ab.apps[1].ipc, ba.apps[0].ipc);
+}
+
+TEST(EvalCacheTest, PairValueIndependentOfQueryOrientation) {
+  // Whichever orientation arrives first, the cached value is computed in
+  // canonical operand order — so two caches warmed in opposite orders
+  // agree bit for bit.
+  const JobSpec a = job_of("TS", 1.0);
+  const JobSpec b = job_of("FP", 5.0);
+  const AppConfig ca{sim::FreqLevel::F2_0, 128, 2};
+  const AppConfig cb{sim::FreqLevel::F2_4, 256, 6};
+
+  EvalCache first_ab(evaluator());
+  EvalCache first_ba(evaluator());
+  const RunResult warm_ab = first_ab.run_pair(a, ca, b, cb);
+  (void)first_ba.run_pair(b, cb, a, ca);
+  const RunResult read_ab = first_ba.run_pair(a, ca, b, cb);
+  EXPECT_TRUE(bit_identical(warm_ab, read_ab));
+}
+
+TEST(EvalCacheTest, DistinctConfigsAreDistinctEntries) {
+  EvalCache cache(evaluator());
+  const JobSpec job = job_of("WC", 1.0);
+  const RunResult a = cache.run_solo(job, {sim::FreqLevel::F2_4, 128, 4});
+  const RunResult b = cache.run_solo(job, {sim::FreqLevel::F2_4, 256, 4});
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_NE(a.makespan_s, b.makespan_s);
+}
+
+TEST(EvalCacheTest, CapacityEviction) {
+  EvalCache::Options opts;
+  opts.shards = 1;
+  opts.capacity = 4;
+  EvalCache cache(evaluator(), opts);
+  const JobSpec job = job_of("WC", 1.0);
+  for (int m = 1; m <= 8; ++m) {
+    (void)cache.run_solo(job, {sim::FreqLevel::F2_4, 128, m});
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 4u);
+  // Oldest entries were dropped; re-querying one re-computes.
+  (void)cache.run_solo(job, {sim::FreqLevel::F2_4, 128, 1});
+  EXPECT_EQ(cache.stats().misses, 9u);
+}
+
+TEST(EvalCacheTest, DisabledCacheIsPassThrough) {
+  EvalCache::Options opts;
+  opts.enabled = false;
+  EvalCache cache(evaluator(), opts);
+  const JobSpec job = job_of("GP", 1.0);
+  const AppConfig cfg{sim::FreqLevel::F2_4, 128, 4};
+  const RunResult direct = evaluator().run_solo(job, cfg);
+  const RunResult through = cache.run_solo(job, cfg);
+  EXPECT_TRUE(bit_identical(direct, through));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 0u);
+}
+
+TEST(EvalCacheTest, MemoizedPairMatchesPlainEvaluator) {
+  // The memo hooks (survivor tail, reduce env) must not change results:
+  // compare a cache-computed pair against the evaluator with no memo.
+  EvalCache cache(evaluator());
+  const JobSpec a = job_of("ST", 1.0);
+  const JobSpec b = job_of("WC", 10.0);
+  for (int m1 = 1; m1 <= 7; ++m1) {
+    const AppConfig ca{sim::FreqLevel::F2_4, 128, m1};
+    const AppConfig cb{sim::FreqLevel::F1_2, 512, 8 - m1};
+    const RunResult cached = cache.run_pair(a, ca, b, cb);
+    const RunResult direct = evaluator().run_pair(a, ca, b, cb);
+    EXPECT_DOUBLE_EQ(cached.makespan_s, direct.makespan_s) << "m1=" << m1;
+    EXPECT_DOUBLE_EQ(cached.energy_dyn_j, direct.energy_dyn_j) << "m1=" << m1;
+  }
+  EXPECT_GT(cache.stats().tail_hits + cache.stats().env_hits, 0u);
+}
+
+TEST(EvalCacheTest, ClearResetsEntriesButKeepsStats) {
+  EvalCache cache(evaluator());
+  const JobSpec job = job_of("WC", 1.0);
+  (void)cache.run_solo(job, {sim::FreqLevel::F2_4, 128, 4});
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  (void)cache.run_solo(job, {sim::FreqLevel::F2_4, 128, 4});
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(EvalCacheTest, AppDigestSeparatesDifferentProfiles) {
+  AppProfile p1 = workloads::app_by_abbrev("WC");
+  AppProfile p2 = p1;
+  p2.llc_mpki *= 1.5;
+  EXPECT_NE(app_digest(p1), app_digest(p2));
+  EXPECT_EQ(app_digest(p1), app_digest(workloads::app_by_abbrev("WC")));
+}
+
+}  // namespace
+}  // namespace ecost::mapreduce

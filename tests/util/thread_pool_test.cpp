@@ -1,0 +1,105 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace ecost {
+namespace {
+
+TEST(ThreadPoolTest, OwnPoolVisitsEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(5000);
+  pool.run(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolDegradesToSerial) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  std::vector<int> order;
+  pool.run(6, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ThreadPoolTest, SingleThreadCapRunsInIndexOrder) {
+  std::vector<int> order;
+  ThreadPool::global().run(
+      8, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+      /*max_threads=*/1);
+  std::vector<int> expect(8);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPoolTest, ExplicitGrainCoversRange) {
+  std::vector<std::atomic<int>> hits(1000);
+  ThreadPool::global().run(hits.size(), [&](std::size_t i) { hits[i]++; },
+                           /*max_threads=*/0, /*grain=*/7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagatesAndPoolSurvives) {
+  auto throwing = [](std::size_t i) {
+    if (i % 13 == 5) throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(ThreadPool::global().run(300, throwing), std::runtime_error);
+  // The pool must stay usable after a failed loop.
+  std::atomic<int> count{0};
+  ThreadPool::global().run(100, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ExceptionSkipsRemainingChunks) {
+  // With serial execution the failure flag must stop the loop early: index
+  // 0 throws, so at most one grain-sized chunk of work runs per thread.
+  std::atomic<int> ran{0};
+  EXPECT_THROW(ThreadPool::global().run(
+                   1 << 20,
+                   [&](std::size_t i) {
+                     ran++;
+                     if (i == 0) throw std::runtime_error("first");
+                   },
+                   /*max_threads=*/1),
+               std::runtime_error);
+  EXPECT_LT(ran.load(), 1 << 20);
+}
+
+TEST(ThreadPoolTest, NestedSubmitRunsInline) {
+  // A body that itself calls parallel_for must not deadlock; the nested
+  // loop runs serially on the worker that entered it.
+  std::vector<std::atomic<int>> hits(64 * 16);
+  ThreadPool::global().run(64, [&](std::size_t outer) {
+    parallel_for(16, [&](std::size_t inner) { hits[outer * 16 + inner]++; });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReentrantSequentialSubmits) {
+  // Back-to-back loops on the same pool reuse the parked workers.
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool::global().run(100, [&](std::size_t) { total++; });
+  }
+  EXPECT_EQ(total.load(), 5000);
+}
+
+TEST(ThreadPoolTest, CapBeyondWorkAndWorkers) {
+  std::atomic<int> count{0};
+  ThreadPool::global().run(3, [&](std::size_t) { count++; },
+                           /*max_threads=*/1000);
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, LargeGrainFallsBackToOneChunk) {
+  std::atomic<int> count{0};
+  ThreadPool::global().run(10, [&](std::size_t) { count++; },
+                           /*max_threads=*/0, /*grain=*/1 << 20);
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace ecost

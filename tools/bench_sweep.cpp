@@ -1,0 +1,176 @@
+// End-to-end sweep-engine benchmark: runs the paper's offline pipeline —
+// build_training_data followed by the COLAO oracle over every training
+// combo pair — twice on this machine, first with the evaluation cache
+// disabled (the pre-overhaul execution profile) and then with it enabled,
+// and writes the wall times, cache statistics, and speedup to a JSON file.
+//
+// Usage: bench_sweep [--quick] [--out=BENCH_sweep.json]
+//   --quick  one input size and smaller reservoirs (CI smoke run)
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dataset_builder.hpp"
+#include "mapreduce/eval_cache.hpp"
+#include "tuning/brute_force.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/apps.hpp"
+
+using namespace ecost;
+using mapreduce::EvalCache;
+using mapreduce::JobSpec;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct PhaseTimes {
+  double build_s = 0.0;
+  double colao_s = 0.0;
+
+  double total_s() const { return build_s + colao_s; }
+};
+
+/// Training sweep + COLAO oracle over every unordered training combo pair,
+/// all through `cache`.
+PhaseTimes run_pipeline(EvalCache& cache, const core::SweepOptions& opts) {
+  PhaseTimes t;
+
+  auto t0 = std::chrono::steady_clock::now();
+  const core::TrainingData td = core::build_training_data(cache, opts);
+  t.build_s = seconds_since(t0);
+  ECOST_CHECK(td.db.size() > 0, "sweep produced an empty database");
+
+  struct Combo {
+    const mapreduce::AppProfile* app;
+    double gib;
+  };
+  std::vector<Combo> combos;
+  for (const auto& app : workloads::training_apps()) {
+    for (double gib : opts.sizes_gib) combos.push_back({&app, gib});
+  }
+
+  const tuning::BruteForce bf(cache);
+  t0 = std::chrono::steady_clock::now();
+  double edp_sum = 0.0;
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    for (std::size_t j = i; j < combos.size(); ++j) {
+      const JobSpec a = JobSpec::of_gib(*combos[i].app, combos[i].gib);
+      const JobSpec b = JobSpec::of_gib(*combos[j].app, combos[j].gib);
+      edp_sum += bf.colao(a, b).edp;
+    }
+  }
+  t.colao_s = seconds_since(t0);
+  ECOST_CHECK(edp_sum > 0.0, "COLAO sweep produced no finite EDP");
+  return t;
+}
+
+std::string json_u64(std::uint64_t v) { return std::to_string(v); }
+
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_sweep.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::cerr << "usage: bench_sweep [--quick] [--out=FILE]\n";
+      return 2;
+    }
+  }
+
+  // Fail on an unwritable output path before spending minutes benchmarking.
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::cerr << "bench_sweep: cannot write " << out_path << "\n";
+    return 1;
+  }
+
+  core::SweepOptions opts;
+  if (quick) {
+    opts.sizes_gib = {1.0};
+    opts.max_rows_per_class_pair = 1000;
+    opts.candidates_per_combo = 16;
+  }
+
+  const mapreduce::NodeEvaluator eval;
+  const unsigned participants = ThreadPool::global().worker_count() + 1;
+
+  std::cout << "bench_sweep: " << (quick ? "quick" : "full")
+            << " pipeline, " << participants << " thread(s)\n";
+
+  // Baseline: cache disabled — every run_solo/run_pair query re-solves,
+  // exactly as the pipeline executed before the sweep-engine overhaul.
+  EvalCache::Options off;
+  off.enabled = false;
+  EvalCache baseline_cache(eval, off);
+  std::cout << "baseline (cache disabled)...\n";
+  const PhaseTimes base = run_pipeline(baseline_cache, opts);
+  std::cout << "  build " << json_double(base.build_s) << " s, colao "
+            << json_double(base.colao_s) << " s\n";
+
+  // Tuned: one shared cache across both stages.
+  EvalCache cache(eval);
+  std::cout << "tuned (cache enabled)...\n";
+  const PhaseTimes tuned = run_pipeline(cache, opts);
+  std::cout << "  build " << json_double(tuned.build_s) << " s, colao "
+            << json_double(tuned.colao_s) << " s\n";
+
+  const EvalCache::Stats st = cache.stats();
+  const double speedup = base.total_s() / tuned.total_s();
+  std::cout << "cache hit rate " << json_double(st.hit_rate())
+            << ", speedup " << json_double(speedup) << "x\n";
+
+  out << "{\n"
+      << "  \"benchmark\": \"sweep_pipeline\",\n"
+      << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
+      << "  \"threads\": " << participants << ",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"sizes_gib\": " << opts.sizes_gib.size() << ",\n"
+      << "  \"baseline\": {\n"
+      << "    \"build_training_data_s\": " << json_double(base.build_s)
+      << ",\n"
+      << "    \"colao_sweep_s\": " << json_double(base.colao_s) << ",\n"
+      << "    \"total_s\": " << json_double(base.total_s()) << "\n"
+      << "  },\n"
+      << "  \"tuned\": {\n"
+      << "    \"build_training_data_s\": " << json_double(tuned.build_s)
+      << ",\n"
+      << "    \"colao_sweep_s\": " << json_double(tuned.colao_s) << ",\n"
+      << "    \"total_s\": " << json_double(tuned.total_s()) << "\n"
+      << "  },\n"
+      << "  \"eval_cache\": {\n"
+      << "    \"hits\": " << json_u64(st.hits) << ",\n"
+      << "    \"misses\": " << json_u64(st.misses) << ",\n"
+      << "    \"hit_rate\": " << json_double(st.hit_rate()) << ",\n"
+      << "    \"tail_hits\": " << json_u64(st.tail_hits) << ",\n"
+      << "    \"tail_misses\": " << json_u64(st.tail_misses) << ",\n"
+      << "    \"env_hits\": " << json_u64(st.env_hits) << ",\n"
+      << "    \"env_misses\": " << json_u64(st.env_misses) << ",\n"
+      << "    \"evictions\": " << json_u64(st.evictions) << ",\n"
+      << "    \"entries\": " << cache.size() << "\n"
+      << "  },\n"
+      << "  \"speedup\": " << json_double(speedup) << "\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
