@@ -9,39 +9,18 @@
 #include <iostream>
 
 #include "core/cluster_engine.hpp"
+#include "core/dispatchers/fifo.hpp"
 #include "util/table.hpp"
 #include "workloads/apps.hpp"
 
 using namespace ecost;
 using core::ClusterEngine;
-using core::Dispatcher;
 using core::QueuedJob;
-using core::RunningJob;
+using core::dispatchers::FifoDispatcher;
 using mapreduce::AppConfig;
 using mapreduce::JobSpec;
 
 namespace {
-
-class FifoDispatcher final : public Dispatcher {
- public:
-  FifoDispatcher(std::deque<QueuedJob> jobs, AppConfig cfg)
-      : jobs_(std::move(jobs)), cfg_(cfg) {}
-
-  std::vector<std::pair<QueuedJob, AppConfig>> dispatch(
-      int, std::span<const RunningJob>, std::size_t free_slots,
-      double) override {
-    std::vector<std::pair<QueuedJob, AppConfig>> out;
-    while (free_slots-- && !jobs_.empty()) {
-      out.emplace_back(jobs_.front(), cfg_);
-      jobs_.pop_front();
-    }
-    return out;
-  }
-
- private:
-  std::deque<QueuedJob> jobs_;
-  AppConfig cfg_;
-};
 
 double workload_edp(const mapreduce::NodeEvaluator& eval,
                     const std::vector<const char*>& apps, int degree) {

@@ -9,7 +9,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/ecost_dispatcher.hpp"
+#include "core/dispatchers/ecost.hpp"
 #include "core/profiling.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -36,12 +36,12 @@ int main(int argc, char** argv) {
   // A Poisson stream drawn from the full application mix.
   Rng rng(2026);
   const auto apps = workloads::all_apps();
-  std::vector<core::ArrivingJob> stream;
+  std::vector<core::dispatchers::ArrivingJob> stream;
   double t = 0.0;
   std::cout << "\nArrivals:\n";
   for (int i = 0; i < n_jobs; ++i) {
     t += -mean_gap_s * std::log(1.0 - rng.uniform());
-    core::ArrivingJob aj;
+    core::dispatchers::ArrivingJob aj;
     aj.arrival_s = t;
     aj.job.id = static_cast<std::uint64_t>(i);
     const auto& app = apps[rng.uniform_u64(apps.size())];
@@ -60,7 +60,8 @@ int main(int argc, char** argv) {
     stream.push_back(std::move(aj));
   }
 
-  core::EcostDispatcher dispatcher(eval, td, stp, std::move(stream));
+  core::dispatchers::EcostDispatcher dispatcher(eval, td, stp,
+                                                std::move(stream));
   core::ClusterEngine engine(eval, nodes, 2);
   const core::ClusterOutcome oc = engine.run(dispatcher);
 
@@ -68,7 +69,7 @@ int main(int argc, char** argv) {
   Table table({"t (s)", "job", "node", "config", "co-located with"});
   for (const auto& d : dispatcher.decisions()) {
     table.add_row({Table::num(d.t_s, 0), std::to_string(d.job_id),
-                   std::to_string(d.node), d.cfg,
+                   std::to_string(d.node), d.cfg.to_string(),
                    d.paired ? std::to_string(d.partner_id) : "-"});
   }
   table.print(std::cout);

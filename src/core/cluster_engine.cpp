@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <sstream>
 
 #include "util/error.hpp"
 
@@ -10,8 +12,32 @@ namespace ecost::core {
 namespace {
 
 constexpr double kEps = 1e-9;
+/// A part is retired once its remaining work fraction drops below this.
+constexpr double kDoneFrac = 1e-6;
 
 }  // namespace
+
+std::size_t ClusterView::free_slots(int node) const {
+  const auto& jobs = (*node_jobs_)[static_cast<std::size_t>(node)];
+  for (const RunningJob& rj : jobs) {
+    if (rj.exclusive) return 0;
+  }
+  const std::size_t used = jobs.size();
+  const std::size_t cap = static_cast<std::size_t>(slots_);
+  return used >= cap ? 0 : cap - used;
+}
+
+std::string PlacementRecord::format() const {
+  std::ostringstream os;
+  os << "t=" << static_cast<long long>(t_s + 0.5) << "s job " << job_id
+     << " -> node";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    os << (i == 0 ? " " : "+") << nodes[i];
+  }
+  os << " [" << cfg.to_string() << "]";
+  if (exclusive) os << " exclusive";
+  return os.str();
+}
 
 ClusterEngine::ClusterEngine(const mapreduce::NodeEvaluator& eval, int nodes,
                              int slots_per_node)
@@ -21,36 +47,87 @@ ClusterEngine::ClusterEngine(const mapreduce::NodeEvaluator& eval, int nodes,
 }
 
 ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
-  std::vector<std::vector<RunningJob>> node_jobs(
-      static_cast<std::size_t>(nodes_));
+  const std::size_t n_nodes = static_cast<std::size_t>(nodes_);
+  std::vector<std::vector<RunningJob>> node_jobs(n_nodes);
+  std::vector<char> dirty(n_nodes, 1);  ///< environment must be re-solved
+  std::vector<double> node_power(n_nodes, 0.0);
+  std::map<std::uint64_t, int> parts_left;  ///< logical job id -> live parts
   ClusterOutcome out;
   double now = 0.0;
   std::size_t guard = 0;
+  const ClusterView view(&node_jobs, slots_);
 
-  auto fill_node = [&](int n) {
-    auto& jobs = node_jobs[static_cast<std::size_t>(n)];
-    if (static_cast<int>(jobs.size()) >= slots_) return;
-    const auto starts = dispatcher.dispatch(
-        n, jobs, static_cast<std::size_t>(slots_) - jobs.size(), now);
-    ECOST_REQUIRE(jobs.size() + starts.size() <=
-                      static_cast<std::size_t>(slots_),
-                  "dispatcher exceeded free slots");
-    for (const auto& [qj, cfg] : starts) {
-      jobs.push_back(RunningJob{qj, cfg, 1.0, 0.0});
-    }
-    // Give the dispatcher a chance to re-tune residents (e.g. survivor
-    // expansion) now that membership changed.
-    for (RunningJob& rj : jobs) {
-      if (const auto new_cfg = dispatcher.retune(rj, jobs)) rj.cfg = *new_cfg;
+  // Asks the dispatcher for placements and applies them. Placements are
+  // validated against the evolving state, so a plan may not over-commit the
+  // capacity it saw.
+  auto apply_plan = [&] {
+    const auto placements = dispatcher.plan(view, now);
+    for (const Placement& p : placements) {
+      const std::size_t k = p.nodes.size();
+      ECOST_REQUIRE(k >= 1, "placement targets no nodes");
+      for (std::size_t i = 0; i < k; ++i) {
+        const int n = p.nodes[i];
+        ECOST_REQUIRE(n >= 0 && n < nodes_, "placement node out of range");
+        for (std::size_t j = i + 1; j < k; ++j) {
+          ECOST_REQUIRE(p.nodes[j] != n, "placement repeats a node");
+        }
+        if (p.exclusive) {
+          ECOST_REQUIRE(node_jobs[static_cast<std::size_t>(n)].empty(),
+                        "exclusive placement on a busy node");
+        } else {
+          ECOST_REQUIRE(view.free_slots(n) >= 1,
+                        "placement exceeds free slots");
+        }
+      }
+      ECOST_REQUIRE(parts_left.find(p.job.id) == parts_left.end(),
+                    "job id already running");
+
+      // Input splits evenly across the gang (integer division, as an HDFS
+      // block assignment would round).
+      mapreduce::JobSpec part = p.job.info.job;
+      part.input_bytes /= static_cast<std::uint64_t>(k);
+      for (const int n : p.nodes) {
+        RunningJob rj;
+        rj.job = p.job;
+        rj.part = part;
+        rj.cfg = p.cfg;
+        rj.exclusive = p.exclusive;
+        rj.spread = static_cast<int>(k);
+        node_jobs[static_cast<std::size_t>(n)].push_back(std::move(rj));
+        dirty[static_cast<std::size_t>(n)] = 1;
+      }
+      parts_left[p.job.id] = static_cast<int>(k);
+      out.placements.push_back(
+          PlacementRecord{now, p.job.id, p.nodes, p.cfg, p.exclusive});
     }
   };
 
-  for (int n = 0; n < nodes_; ++n) fill_node(n);
+  // Offers a re-tune for every resident of a node whose membership changed
+  // or that still has spare capacity (a survivor next to a free slot may
+  // expand onto it as soon as nothing is left to fill it).
+  auto run_retunes = [&] {
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+      auto& jobs = node_jobs[n];
+      if (jobs.empty()) continue;
+      if (!dirty[n] && view.free_slots(static_cast<int>(n)) == 0) continue;
+      for (RunningJob& rj : jobs) {
+        if (const auto cfg = dispatcher.retune(rj, jobs)) {
+          if (!(rj.cfg == *cfg)) {
+            rj.cfg = *cfg;
+            dirty[n] = 1;
+          }
+        }
+      }
+    }
+  };
 
   auto any_running = [&] {
     return std::any_of(node_jobs.begin(), node_jobs.end(),
                        [](const auto& v) { return !v.empty(); });
   };
+
+  apply_plan();
+  run_retunes();
 
   while (true) {
     if (!any_running()) {
@@ -58,59 +135,74 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
       const double next = dispatcher.next_arrival_s(now);
       if (!std::isfinite(next)) break;
       now = std::max(now, next);
-      for (int n = 0; n < nodes_; ++n) fill_node(n);
+      apply_plan();
+      run_retunes();
       if (!any_running()) break;  // dispatcher produced nothing — done
     }
     ECOST_CHECK(++guard < 1'000'000, "cluster engine event budget exhausted");
 
-    // Re-solve every node's joint environment for the current residents.
-    std::vector<double> node_power(static_cast<std::size_t>(nodes_), 0.0);
+    // Re-solve the joint environment of nodes whose residents (or knobs)
+    // changed; untouched nodes keep their converged solution.
     double dt = std::numeric_limits<double>::infinity();
-    for (int n = 0; n < nodes_; ++n) {
-      auto& jobs = node_jobs[static_cast<std::size_t>(n)];
-      if (jobs.empty()) continue;
-      std::vector<const mapreduce::JobSpec*> specs;
-      std::vector<mapreduce::AppConfig> cfgs;
-      for (const RunningJob& rj : jobs) {
-        specs.push_back(&rj.job.info.job);
-        cfgs.push_back(rj.cfg);
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+      auto& jobs = node_jobs[n];
+      if (jobs.empty()) {
+        node_power[n] = 0.0;
+        continue;
       }
-      const auto loads = eval_.co_run_loads(specs, cfgs);
-      node_power[static_cast<std::size_t>(n)] =
-          eval_.dynamic_power_w(loads);
-      for (std::size_t j = 0; j < jobs.size(); ++j) {
-        jobs[j].est_total_s = std::max(loads[j].total_s, kEps);
-        dt = std::min(dt, jobs[j].remaining * jobs[j].est_total_s);
+      if (dirty[n]) {
+        std::vector<const mapreduce::JobSpec*> specs;
+        std::vector<mapreduce::AppConfig> cfgs;
+        specs.reserve(jobs.size());
+        cfgs.reserve(jobs.size());
+        for (const RunningJob& rj : jobs) {
+          specs.push_back(&rj.part);
+          cfgs.push_back(rj.cfg);
+        }
+        const auto loads = eval_.co_run_loads(specs, cfgs);
+        node_power[n] = eval_.dynamic_power_w(loads);
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+          jobs[j].est_total_s = std::max(loads[j].total_s, kEps);
+        }
+        dirty[n] = 0;
+      }
+      for (const RunningJob& rj : jobs) {
+        dt = std::min(dt, rj.remaining * rj.est_total_s);
       }
     }
     ECOST_CHECK(std::isfinite(dt) && dt >= 0.0, "bad event horizon");
     // A mid-flight arrival interrupts the horizon so it gets placed on any
-    // free slot promptly.
+    // free capacity promptly.
     const double next_arrival = dispatcher.next_arrival_s(now);
     if (std::isfinite(next_arrival) && next_arrival > now) {
       dt = std::min(dt, next_arrival - now);
     }
     dt = std::max(dt, kEps);
 
-    // Advance time, integrate energy, retire finished jobs.
+    // Advance time, integrate energy, retire finished parts.
     now += dt;
-    for (int n = 0; n < nodes_; ++n) {
-      auto& jobs = node_jobs[static_cast<std::size_t>(n)];
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+      auto& jobs = node_jobs[n];
       if (jobs.empty()) continue;
-      out.energy_dyn_j += node_power[static_cast<std::size_t>(n)] * dt;
-      bool changed = false;
+      out.energy_dyn_j += node_power[n] * dt;
       for (auto it = jobs.begin(); it != jobs.end();) {
         it->remaining -= dt / it->est_total_s;
-        if (it->remaining <= 1e-6) {
-          out.finish_times.emplace_back(it->job.id, now);
+        if (it->remaining <= kDoneFrac) {
+          const auto pl = parts_left.find(it->job.id);
+          ECOST_CHECK(pl != parts_left.end(), "retired an untracked part");
+          if (--pl->second == 0) {
+            out.finish_times.emplace_back(it->job.id, now);
+            parts_left.erase(pl);
+          }
           it = jobs.erase(it);
-          changed = true;
+          dirty[n] = 1;
         } else {
           ++it;
         }
       }
-      if (changed || static_cast<int>(jobs.size()) < slots_) fill_node(n);
     }
+    apply_plan();
+    run_retunes();
   }
   out.makespan_s = now;
   return out;

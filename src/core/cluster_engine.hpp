@@ -1,17 +1,30 @@
-// Job-granular cluster simulation engine.
+// Job-granular cluster runtime — the ONLY way a workload runs on a cluster.
+//
+// Every mapping policy (SM/MNM/SNM/CBM/PTM/ECoST/UB) is a Dispatcher over
+// this engine: the dispatcher decides what starts where and with which
+// tuning knobs, the engine owns time, contention, and energy accounting.
 //
 // Nodes hold up to `slots_per_node` co-resident jobs. Whenever the running
 // set of a node changes, the joint environment is re-solved (through
 // NodeEvaluator::co_run_loads) and every resident job's completion rate is
 // updated — so a job slowed by a contentious partner speeds back up when
 // that partner leaves. Energy integrates the idle-subtracted node power
-// between events. Dispatchers (the mapping policies of section 8) decide
-// which job enters a freed slot and with which tuning knobs.
+// between events; unchanged nodes keep their solved environment, so only
+// dirty nodes pay for a re-solve.
+//
+// Placements may span several nodes (a gang): the job's input is split
+// evenly across the gang members and the logical job finishes when its last
+// part does — this is how serial and multi-node mappings express "one job
+// over k nodes". A placement may also claim its nodes exclusively, which
+// blocks co-location on them for the placement's lifetime (one-job-per-node
+// mappings, reserved capacity).
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/wait_queue.hpp"
@@ -20,11 +33,48 @@
 
 namespace ecost::core {
 
+/// One node-resident part of a running (possibly multi-node) job.
 struct RunningJob {
+  QueuedJob job;              ///< the logical job (full input)
+  mapreduce::JobSpec part;    ///< what THIS node runs (split input for gangs)
+  mapreduce::AppConfig cfg;
+  double remaining = 1.0;     ///< fraction of the part's work left
+  double est_total_s = 0.0;   ///< part completion time under current conditions
+  bool exclusive = false;     ///< this part's placement claimed the whole node
+  int spread = 1;             ///< number of nodes the logical job spans
+};
+
+/// One dispatcher decision: start `job` on `nodes` with knobs `cfg`.
+/// More than one node means the input is split evenly (integer division,
+/// like an HDFS block assignment) and every node runs its share as a part
+/// of the same logical job. `exclusive` reserves each target node whole —
+/// no other job may be placed there until this one finishes.
+struct Placement {
   QueuedJob job;
   mapreduce::AppConfig cfg;
-  double remaining = 1.0;     ///< fraction of the job's work left
-  double est_total_s = 0.0;   ///< completion time under current conditions
+  std::vector<int> nodes;
+  bool exclusive = false;
+};
+
+/// Read-only cluster state handed to Dispatcher::plan.
+class ClusterView {
+ public:
+  int nodes() const { return static_cast<int>(node_jobs_->size()); }
+  int slots_per_node() const { return slots_; }
+  std::span<const RunningJob> residents(int node) const {
+    return (*node_jobs_)[static_cast<std::size_t>(node)];
+  }
+  bool empty(int node) const { return residents(node).empty(); }
+  /// Free co-residency slots; 0 while an exclusive placement holds the node.
+  std::size_t free_slots(int node) const;
+
+ private:
+  friend class ClusterEngine;
+  ClusterView(const std::vector<std::vector<RunningJob>>* node_jobs, int slots)
+      : node_jobs_(node_jobs), slots_(slots) {}
+
+  const std::vector<std::vector<RunningJob>>* node_jobs_;
+  int slots_;
 };
 
 /// Policy hook: decides what runs where.
@@ -32,14 +82,16 @@ class Dispatcher {
  public:
   virtual ~Dispatcher() = default;
 
-  /// Called when `node` has at least one free slot. May return up to
-  /// `free_slots` jobs to start, each with its tuning configuration.
-  virtual std::vector<std::pair<QueuedJob, mapreduce::AppConfig>> dispatch(
-      int node, std::span<const RunningJob> co_resident,
-      std::size_t free_slots, double now_s) = 0;
+  /// Called at every scheduling opportunity (start of time, any membership
+  /// change, any arrival landing while capacity is free). Returns the
+  /// placements to apply now; they must fit the capacity visible in `view`
+  /// (the engine validates). An empty vector means "nothing to start".
+  virtual std::vector<Placement> plan(const ClusterView& view,
+                                      double now_s) = 0;
 
-  /// Called after membership changes; may re-tune a still-running job
-  /// (e.g. expand a survivor onto freed cores). Return nullopt to keep the
+  /// Called after membership changes (and while a node has spare capacity);
+  /// may re-tune a still-running part — e.g. expand a survivor's task waves
+  /// onto the cores its finished partner freed. Return nullopt to keep the
   /// current configuration.
   virtual std::optional<mapreduce::AppConfig> retune(
       const RunningJob& running, std::span<const RunningJob> others) {
@@ -50,17 +102,31 @@ class Dispatcher {
 
   /// Time of the next job arrival after `now_s`, or +infinity when no more
   /// work will ever arrive. The engine idles forward to this time when the
-  /// cluster drains, and re-dispatches mid-flight when an arrival lands.
+  /// cluster drains, and re-plans mid-flight when an arrival lands.
   virtual double next_arrival_s(double now_s) const {
     (void)now_s;
     return std::numeric_limits<double>::infinity();
   }
 };
 
+/// Structured record of one applied placement — the engine-level decision
+/// telemetry (typed knobs, not a display string).
+struct PlacementRecord {
+  double t_s = 0.0;
+  std::uint64_t job_id = 0;
+  std::vector<int> nodes;
+  mapreduce::AppConfig cfg;
+  bool exclusive = false;
+
+  /// "t=42s job 3 -> node 0+1 [2.4GHz/128MB/m8] exclusive" — for logs.
+  std::string format() const;
+};
+
 struct ClusterOutcome {
   double makespan_s = 0.0;
   double energy_dyn_j = 0.0;
   std::vector<std::pair<std::uint64_t, double>> finish_times;  // (job id, t)
+  std::vector<PlacementRecord> placements;  ///< every decision, in time order
 
   double edp() const { return makespan_s * energy_dyn_j; }
 };

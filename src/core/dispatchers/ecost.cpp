@@ -1,12 +1,13 @@
-#include "core/ecost_dispatcher.hpp"
+#include "core/dispatchers/ecost.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "util/error.hpp"
 
-namespace ecost::core {
+namespace ecost::core::dispatchers {
 
 using mapreduce::AppConfig;
 using mapreduce::PairConfig;
@@ -14,6 +15,14 @@ using mapreduce::PairConfig;
 namespace {
 const AppConfig kDefaultCfg{sim::FreqLevel::F2_4, 128, 8};
 }  // namespace
+
+std::string EcostDispatcher::Decision::format() const {
+  std::ostringstream os;
+  os << "t=" << static_cast<long long>(t_s + 0.5) << "s job " << job_id
+     << " -> node " << node << " [" << cfg.to_string() << "]";
+  if (paired) os << " paired with " << partner_id;
+  return os.str();
+}
 
 EcostDispatcher::EcostDispatcher(const mapreduce::NodeEvaluator& eval,
                                  const TrainingData& td, const SelfTuner& stp,
@@ -61,45 +70,49 @@ AppConfig EcostDispatcher::solo_config(const AppInfo& info) const {
   return *best;
 }
 
-std::vector<std::pair<QueuedJob, AppConfig>> EcostDispatcher::dispatch(
-    int node, std::span<const RunningJob> co_resident,
-    std::size_t free_slots, double now_s) {
+std::vector<Placement> EcostDispatcher::plan(const ClusterView& view,
+                                             double now_s) {
   admit_arrivals(now_s);
-  std::vector<std::pair<QueuedJob, AppConfig>> out;
-  if (queue_.empty()) return out;
+  std::vector<Placement> out;
+  for (int node = 0; node < view.nodes() && !queue_.empty(); ++node) {
+    const auto residents = view.residents(node);
+    const std::size_t free = view.free_slots(node);
 
-  if (co_resident.empty() && free_slots >= 2) {
-    auto head = queue_.pop_head();
-    if (!head) return out;
-    auto partner =
-        queue_.pop_for(head->info.cls, head->est_duration_s, policy_);
-    if (partner) {
-      const PairConfig pc = stp_.predict(head->info, partner->info);
-      decisions_.push_back({now_s, head->id, node, pc.first.to_string(),
-                            true, partner->id});
-      decisions_.push_back({now_s, partner->id, node, pc.second.to_string(),
-                            true, head->id});
-      out.emplace_back(std::move(*head), pc.first);
-      out.emplace_back(std::move(*partner), pc.second);
-    } else {
-      const AppConfig cfg = solo_config(head->info);
-      decisions_.push_back({now_s, head->id, node, cfg.to_string(), false, 0});
-      out.emplace_back(std::move(*head), cfg);
+    if (residents.empty() && free >= 2) {
+      auto head = queue_.pop_head();
+      if (!head) continue;
+      auto partner =
+          queue_.pop_for(head->info.cls, head->est_duration_s, policy_);
+      if (partner) {
+        const PairConfig pc = stp_.predict(head->info, partner->info);
+        decisions_.push_back(
+            {now_s, head->id, node, pc.first, true, partner->id});
+        decisions_.push_back(
+            {now_s, partner->id, node, pc.second, true, head->id});
+        out.push_back(Placement{std::move(*head), pc.first, {node}, false});
+        out.push_back(
+            Placement{std::move(*partner), pc.second, {node}, false});
+      } else {
+        const AppConfig cfg = solo_config(head->info);
+        decisions_.push_back({now_s, head->id, node, cfg, false, 0});
+        out.push_back(Placement{std::move(*head), cfg, {node}, false});
+      }
+      continue;
     }
-    return out;
-  }
 
-  if (co_resident.size() == 1 && free_slots >= 1) {
-    const RunningJob& survivor = co_resident[0];
-    const double remaining_s = survivor.remaining * survivor.est_total_s;
-    auto partner =
-        queue_.pop_for(survivor.job.info.cls, remaining_s, policy_);
-    if (partner) {
-      const PairConfig pc = stp_.predict(survivor.job.info, partner->info);
-      pending_retune_[survivor.job.id] = pc.first;
-      decisions_.push_back({now_s, partner->id, node, pc.second.to_string(),
-                            true, survivor.job.id});
-      out.emplace_back(std::move(*partner), pc.second);
+    if (residents.size() == 1 && free >= 1) {
+      const RunningJob& survivor = residents[0];
+      const double remaining_s = survivor.remaining * survivor.est_total_s;
+      auto partner =
+          queue_.pop_for(survivor.job.info.cls, remaining_s, policy_);
+      if (partner) {
+        const PairConfig pc = stp_.predict(survivor.job.info, partner->info);
+        pending_retune_[survivor.job.id] = pc.first;
+        decisions_.push_back(
+            {now_s, partner->id, node, pc.second, true, survivor.job.id});
+        out.push_back(
+            Placement{std::move(*partner), pc.second, {node}, false});
+      }
     }
   }
   return out;
@@ -123,4 +136,4 @@ std::optional<AppConfig> EcostDispatcher::retune(
   return std::nullopt;
 }
 
-}  // namespace ecost::core
+}  // namespace ecost::core::dispatchers

@@ -1,6 +1,6 @@
-// The ECoST online scheduling loop (Figure 4) as a reusable dispatcher:
-// arriving applications are profiled/classified into the wait queue, paired
-// onto nodes by the decision-tree priority (with head reservation and
+// The ECoST online scheduling loop (Figure 4) as a dispatcher: arriving
+// applications are profiled/classified into the wait queue, paired onto
+// nodes by the decision-tree priority (with head reservation and
 // leap-forward), and tuned by a self-tuning predictor. Drives ClusterEngine
 // both for the batch mapping-policy study (section 8) and for streaming
 // arrival scenarios.
@@ -16,7 +16,7 @@
 #include "core/stp.hpp"
 #include "core/wait_queue.hpp"
 
-namespace ecost::core {
+namespace ecost::core::dispatchers {
 
 /// A job plus the time it reaches the datacenter.
 struct ArrivingJob {
@@ -31,9 +31,12 @@ class EcostDispatcher final : public Dispatcher {
     double t_s = 0.0;
     std::uint64_t job_id = 0;
     int node = -1;
-    std::string cfg;
+    mapreduce::AppConfig cfg;
     bool paired = false;         ///< placed as a partner of a running job
     std::uint64_t partner_id = 0;
+
+    /// "t=12s job 3 -> node 1 [2.4GHz/128MB/m4] paired with 5" — for logs.
+    std::string format() const;
   };
 
   /// Borrows `eval`, `td`, and `stp`; they must outlive the dispatcher.
@@ -43,9 +46,7 @@ class EcostDispatcher final : public Dispatcher {
                   const TrainingData& td, const SelfTuner& stp,
                   std::vector<ArrivingJob> jobs);
 
-  std::vector<std::pair<QueuedJob, mapreduce::AppConfig>> dispatch(
-      int node, std::span<const RunningJob> co_resident,
-      std::size_t free_slots, double now_s) override;
+  std::vector<Placement> plan(const ClusterView& view, double now_s) override;
 
   std::optional<mapreduce::AppConfig> retune(
       const RunningJob& running, std::span<const RunningJob> others) override;
@@ -72,4 +73,4 @@ class EcostDispatcher final : public Dispatcher {
   std::vector<Decision> decisions_;
 };
 
-}  // namespace ecost::core
+}  // namespace ecost::core::dispatchers

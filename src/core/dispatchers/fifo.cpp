@@ -1,0 +1,21 @@
+#include "core/dispatchers/fifo.hpp"
+
+namespace ecost::core::dispatchers {
+
+FifoDispatcher::FifoDispatcher(std::deque<QueuedJob> jobs,
+                               mapreduce::AppConfig cfg)
+    : jobs_(std::move(jobs)), cfg_(cfg) {}
+
+std::vector<Placement> FifoDispatcher::plan(const ClusterView& view,
+                                            double /*now_s*/) {
+  std::vector<Placement> out;
+  for (int n = 0; n < view.nodes() && !jobs_.empty(); ++n) {
+    for (std::size_t s = view.free_slots(n); s > 0 && !jobs_.empty(); --s) {
+      out.push_back(Placement{jobs_.front(), cfg_, {n}, false});
+      jobs_.pop_front();
+    }
+  }
+  return out;
+}
+
+}  // namespace ecost::core::dispatchers

@@ -1,0 +1,26 @@
+// First-come-first-served dispatcher: hands every free slot the next queued
+// job, one node at a time. The simplest policy over ClusterEngine — used by
+// tests and the co-location-degree ablation as a neutral baseline.
+#pragma once
+
+#include <deque>
+
+#include "core/cluster_engine.hpp"
+
+namespace ecost::core::dispatchers {
+
+class FifoDispatcher final : public Dispatcher {
+ public:
+  /// Every job runs with the same knobs `cfg`.
+  FifoDispatcher(std::deque<QueuedJob> jobs, mapreduce::AppConfig cfg);
+
+  std::vector<Placement> plan(const ClusterView& view, double now_s) override;
+
+  std::size_t queued() const { return jobs_.size(); }
+
+ private:
+  std::deque<QueuedJob> jobs_;
+  mapreduce::AppConfig cfg_;
+};
+
+}  // namespace ecost::core::dispatchers

@@ -1,0 +1,45 @@
+#include "core/dispatchers/pair_gang.hpp"
+
+#include "util/error.hpp"
+
+namespace ecost::core::dispatchers {
+
+PairGangDispatcher::PairGangDispatcher(std::vector<PairEntry> entries,
+                                       int cores)
+    : entries_(std::move(entries)), cores_(cores) {
+  ECOST_REQUIRE(cores_ >= 1, "node must have at least one core");
+}
+
+std::vector<Placement> PairGangDispatcher::plan(const ClusterView& view,
+                                                double /*now_s*/) {
+  std::vector<Placement> out;
+  for (int n = 0; n < view.nodes() && next_ < entries_.size(); ++n) {
+    if (!view.empty(n)) continue;
+    ECOST_REQUIRE(view.free_slots(n) >= (entries_[next_].b ? 2u : 1u),
+                  "pair gang needs two slots per node");
+    PairEntry& e = entries_[next_++];
+    if (e.b) {
+      paired_ids_.insert(e.a.id);
+      paired_ids_.insert(e.b->id);
+      out.push_back(Placement{std::move(e.a), e.cfg_a, {n}, false});
+      out.push_back(Placement{std::move(*e.b), e.cfg_b, {n}, false});
+    } else {
+      out.push_back(Placement{std::move(e.a), e.cfg_a, {n}, false});
+    }
+  }
+  return out;
+}
+
+std::optional<mapreduce::AppConfig> PairGangDispatcher::retune(
+    const RunningJob& running, std::span<const RunningJob> others) {
+  if (others.size() != 1) return std::nullopt;
+  if (paired_ids_.find(running.job.id) == paired_ids_.end()) {
+    return std::nullopt;
+  }
+  mapreduce::AppConfig cfg = running.cfg;
+  cfg.mappers = cores_;
+  if (cfg == running.cfg) return std::nullopt;
+  return cfg;
+}
+
+}  // namespace ecost::core::dispatchers

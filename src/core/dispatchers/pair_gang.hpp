@@ -1,0 +1,52 @@
+// Pair-gang dispatcher: a fixed list of co-located pairs (or leftover solo
+// jobs), each occupying one node for its whole lifetime. Both partners
+// start together on an empty node; the node is never backfilled, and when
+// the shorter partner finishes the survivor's pending map waves expand onto
+// the freed mapper slots (a retune to the full-node mapper count at the
+// survivor's frequency and block size) — exactly the two-segment timeline
+// of NodeEvaluator::run_pair.
+//
+// Expresses the paper's co-location mapping policies: CBM (arrival-order
+// pairs, untuned 4+4 split) and UB (min-cost matched pairs with the COLAO
+// oracle's knobs, longest pair first).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/cluster_engine.hpp"
+
+namespace ecost::core::dispatchers {
+
+/// One node-sized unit of the plan: a pair, or a leftover solo job.
+struct PairEntry {
+  QueuedJob a;
+  mapreduce::AppConfig cfg_a;
+  std::optional<QueuedJob> b;
+  mapreduce::AppConfig cfg_b;  ///< ignored when `b` is empty
+};
+
+class PairGangDispatcher final : public Dispatcher {
+ public:
+  /// Entries start in order, one per empty node. `cores` is the node's core
+  /// count — the mapper count a survivor expands to.
+  PairGangDispatcher(std::vector<PairEntry> entries, int cores);
+
+  std::vector<Placement> plan(const ClusterView& view, double now_s) override;
+
+  /// Survivor expansion: a job that lost its partner spreads over every
+  /// core, keeping its own frequency and block size.
+  std::optional<mapreduce::AppConfig> retune(
+      const RunningJob& running, std::span<const RunningJob> others) override;
+
+  std::size_t dispatched() const { return next_; }
+
+ private:
+  std::vector<PairEntry> entries_;
+  std::set<std::uint64_t> paired_ids_;  ///< jobs placed with a partner
+  std::size_t next_ = 0;
+  int cores_;
+};
+
+}  // namespace ecost::core::dispatchers

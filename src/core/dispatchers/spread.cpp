@@ -1,0 +1,45 @@
+#include "core/dispatchers/spread.hpp"
+
+#include "util/error.hpp"
+
+namespace ecost::core::dispatchers {
+
+SpreadDispatcher::SpreadDispatcher(std::vector<SpreadEntry> entries,
+                                   int width, int max_parallel)
+    : entries_(std::move(entries)), width_(width), max_parallel_(max_parallel) {
+  ECOST_REQUIRE(width_ >= 1, "spread width must be at least one node");
+  ECOST_REQUIRE(max_parallel_ >= 0, "negative concurrency cap");
+}
+
+std::vector<Placement> SpreadDispatcher::plan(const ClusterView& view,
+                                              double /*now_s*/) {
+  ECOST_REQUIRE(width_ <= view.nodes(), "spread width exceeds cluster size");
+  std::vector<int> empties;
+  int busy = 0;
+  for (int n = 0; n < view.nodes(); ++n) {
+    if (view.empty(n)) {
+      empties.push_back(n);
+    } else {
+      ++busy;
+    }
+  }
+  // Every running entry holds exactly `width` nodes.
+  int active = busy / width_;
+  std::vector<Placement> out;
+  std::size_t taken = 0;
+  while (next_ < entries_.size() &&
+         empties.size() - taken >= static_cast<std::size_t>(width_) &&
+         (max_parallel_ == 0 || active < max_parallel_)) {
+    ++active;
+    SpreadEntry& e = entries_[next_++];
+    std::vector<int> targets(empties.begin() + static_cast<std::ptrdiff_t>(taken),
+                             empties.begin() +
+                                 static_cast<std::ptrdiff_t>(taken + width_));
+    taken += static_cast<std::size_t>(width_);
+    out.push_back(
+        Placement{std::move(e.job), e.cfg, std::move(targets), true});
+  }
+  return out;
+}
+
+}  // namespace ecost::core::dispatchers

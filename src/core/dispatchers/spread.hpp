@@ -1,0 +1,45 @@
+// Static spread dispatcher: runs a fixed list of jobs in order, each
+// claiming `width` empty nodes exclusively with its input split evenly
+// across them. One dispatcher expresses three of the paper's untuned
+// mapping policies (section 8 / Figure 9) plus the predict-tuning one:
+//
+//   width == cluster size  -> SM   (serial: whole cluster per job)
+//   width == nodes / p     -> MNM-p (p jobs in parallel on node groups)
+//   width == 1             -> SNM / PTM (greedy list scheduling onto nodes;
+//                             PTM differs only in the per-job knobs)
+#pragma once
+
+#include <vector>
+
+#include "core/cluster_engine.hpp"
+
+namespace ecost::core::dispatchers {
+
+/// One job of the plan with its tuning knobs.
+struct SpreadEntry {
+  QueuedJob job;
+  mapreduce::AppConfig cfg;
+};
+
+class SpreadDispatcher final : public Dispatcher {
+ public:
+  /// Entries start in order; each waits for `width` simultaneously empty
+  /// nodes (first-fit by node index) and reserves them whole. At most
+  /// `max_parallel` entries run concurrently (0 = no cap beyond capacity) —
+  /// MNM-p runs exactly p jobs at a time even when leftover nodes could
+  /// host another group.
+  SpreadDispatcher(std::vector<SpreadEntry> entries, int width,
+                   int max_parallel = 0);
+
+  std::vector<Placement> plan(const ClusterView& view, double now_s) override;
+
+  std::size_t dispatched() const { return next_; }
+
+ private:
+  std::vector<SpreadEntry> entries_;
+  std::size_t next_ = 0;
+  int width_;
+  int max_parallel_;
+};
+
+}  // namespace ecost::core::dispatchers

@@ -4,49 +4,40 @@
 #include <cmath>
 #include <limits>
 #include <map>
-#include <queue>
 #include <tuple>
+#include <utility>
 
 #include "core/cluster_engine.hpp"
-#include "core/ecost_dispatcher.hpp"
+#include "core/dispatchers/ecost.hpp"
+#include "core/dispatchers/pair_gang.hpp"
+#include "core/dispatchers/spread.hpp"
 #include "core/profiling.hpp"
 #include "tuning/brute_force.hpp"
+#include "tuning/matching.hpp"
 #include "util/error.hpp"
 
 namespace ecost::core {
 
+using dispatchers::ArrivingJob;
+using dispatchers::EcostDispatcher;
+using dispatchers::PairEntry;
+using dispatchers::PairGangDispatcher;
+using dispatchers::SpreadDispatcher;
+using dispatchers::SpreadEntry;
 using mapreduce::AppConfig;
 using mapreduce::JobSpec;
 using mapreduce::PairConfig;
-using mapreduce::RunResult;
 
 namespace {
 
 const AppConfig kDefaultCfg{sim::FreqLevel::F2_4, 128, 8};  // Hadoop defaults
 const AppConfig kCbmCfg{sim::FreqLevel::F2_4, 128, 4};
 
-/// Greedy list scheduling of (duration, energy) items onto `slots` machines:
-/// returns {makespan, total energy}.
-struct Scheduled {
-  double makespan_s = 0.0;
-  double energy_j = 0.0;
-};
-
-Scheduled list_schedule(std::vector<std::pair<double, double>> items,
-                        int slots) {
-  ECOST_REQUIRE(slots >= 1, "need at least one slot");
-  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
-  for (int s = 0; s < slots; ++s) free_at.push(0.0);
-  Scheduled out;
-  for (const auto& [dur, energy] : items) {
-    const double start = free_at.top();
-    free_at.pop();
-    const double end = start + dur;
-    free_at.push(end);
-    out.makespan_s = std::max(out.makespan_s, end);
-    out.energy_j += energy;
-  }
-  return out;
+QueuedJob bare_job(std::size_t index, const JobSpec& spec) {
+  QueuedJob qj;
+  qj.id = index;
+  qj.info.job = spec;
+  return qj;
 }
 
 }  // namespace
@@ -58,73 +49,71 @@ MappingPolicies::MappingPolicies(const mapreduce::NodeEvaluator& eval,
   ECOST_REQUIRE(!jobs_.empty(), "need at least one job");
 }
 
-RunResult MappingPolicies::run_spread(const JobSpec& job, int k,
-                                      const AppConfig& cfg) const {
-  ECOST_REQUIRE(k >= 1 && k <= nodes_, "spread width out of range");
-  JobSpec per_node = job;
-  per_node.input_bytes = job.input_bytes / static_cast<std::uint64_t>(k);
-  RunResult rr = cache_.run_solo(per_node, cfg);
-  rr.energy_dyn_j *= static_cast<double>(k);  // k identical nodes
-  rr.energy_total_j *= static_cast<double>(k);
-  return rr;
-}
-
 PolicyResult MappingPolicies::serial_mapping() const {
-  PolicyResult out{"SM"};
-  for (const JobSpec& job : jobs_) {
-    const RunResult rr = run_spread(job, nodes_, kDefaultCfg);
-    out.makespan_s += rr.makespan_s;
-    out.energy_dyn_j += rr.energy_dyn_j;
+  std::vector<SpreadEntry> entries;
+  entries.reserve(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    entries.push_back(SpreadEntry{bare_job(i, jobs_[i]), kDefaultCfg});
   }
-  return out;
+  SpreadDispatcher d(std::move(entries), nodes_);
+  ClusterEngine engine(eval_, nodes_, 2);
+  const ClusterOutcome oc = engine.run(d);
+  return {"SM", oc.makespan_s, oc.energy_dyn_j};
 }
 
 PolicyResult MappingPolicies::multi_node(int parallel_jobs) const {
   ECOST_REQUIRE(parallel_jobs >= 1 && parallel_jobs <= nodes_,
                 "parallel job count exceeds nodes");
   const int group_nodes = nodes_ / parallel_jobs;
-  std::vector<std::pair<double, double>> items;
-  items.reserve(jobs_.size());
-  for (const JobSpec& job : jobs_) {
-    const RunResult rr = run_spread(job, group_nodes, kDefaultCfg);
-    items.emplace_back(rr.makespan_s, rr.energy_dyn_j);
+  std::vector<SpreadEntry> entries;
+  entries.reserve(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    entries.push_back(SpreadEntry{bare_job(i, jobs_[i]), kDefaultCfg});
   }
-  const Scheduled s = list_schedule(std::move(items), parallel_jobs);
-  return {parallel_jobs == 2 ? "MNM1" : "MNM2", s.makespan_s, s.energy_j};
+  SpreadDispatcher d(std::move(entries), group_nodes, parallel_jobs);
+  ClusterEngine engine(eval_, nodes_, 2);
+  const ClusterOutcome oc = engine.run(d);
+  return {parallel_jobs == 2 ? "MNM1" : "MNM2", oc.makespan_s,
+          oc.energy_dyn_j};
 }
 
 PolicyResult MappingPolicies::single_node() const {
-  std::vector<std::pair<double, double>> items;
-  items.reserve(jobs_.size());
-  for (const JobSpec& job : jobs_) {
-    const RunResult rr = cache_.run_solo(job, kDefaultCfg);
-    items.emplace_back(rr.makespan_s, rr.energy_dyn_j);
+  std::vector<SpreadEntry> entries;
+  entries.reserve(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    entries.push_back(SpreadEntry{bare_job(i, jobs_[i]), kDefaultCfg});
   }
-  const Scheduled s = list_schedule(std::move(items), nodes_);
-  return {"SNM", s.makespan_s, s.energy_j};
+  SpreadDispatcher d(std::move(entries), 1);
+  ClusterEngine engine(eval_, nodes_, 2);
+  const ClusterOutcome oc = engine.run(d);
+  return {"SNM", oc.makespan_s, oc.energy_dyn_j};
 }
 
 PolicyResult MappingPolicies::core_balance() const {
-  std::vector<std::pair<double, double>> items;
+  std::vector<PairEntry> entries;
   for (std::size_t i = 0; i < jobs_.size(); i += 2) {
+    PairEntry e;
+    e.a = bare_job(i, jobs_[i]);
+    e.cfg_a = kCbmCfg;
     if (i + 1 < jobs_.size()) {
-      const RunResult rr =
-          cache_.run_pair(jobs_[i], kCbmCfg, jobs_[i + 1], kCbmCfg);
-      items.emplace_back(rr.makespan_s, rr.energy_dyn_j);
-    } else {
-      const RunResult rr = cache_.run_solo(jobs_[i], kCbmCfg);
-      items.emplace_back(rr.makespan_s, rr.energy_dyn_j);
+      e.b = bare_job(i + 1, jobs_[i + 1]);
+      e.cfg_b = kCbmCfg;
     }
+    entries.push_back(std::move(e));
   }
-  const Scheduled s = list_schedule(std::move(items), nodes_);
-  return {"CBM", s.makespan_s, s.energy_j};
+  PairGangDispatcher d(std::move(entries), eval_.spec().cores);
+  ClusterEngine engine(eval_, nodes_, 2);
+  const ClusterOutcome oc = engine.run(d);
+  return {"CBM", oc.makespan_s, oc.energy_dyn_j};
 }
 
 PolicyResult MappingPolicies::predict_tuning(const TrainingData& td) const {
-  std::vector<std::pair<double, double>> items;
-  for (const JobSpec& job : jobs_) {
+  std::vector<SpreadEntry> entries;
+  entries.reserve(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const JobSpec& job = jobs_[i];
     ProfilingOptions popts;
-    popts.seed = 977 + items.size();
+    popts.seed = 977 + i;
     const auto fv = profile_application(eval_, job.app, popts);
     const auto cls = td.classifier.classify(fv);
 
@@ -140,11 +129,12 @@ PolicyResult MappingPolicies::predict_tuning(const TrainingData& td) const {
         best_cfg = &cfg;
       }
     }
-    const RunResult rr = cache_.run_solo(job, *best_cfg);
-    items.emplace_back(rr.makespan_s, rr.energy_dyn_j);
+    entries.push_back(SpreadEntry{bare_job(i, job), *best_cfg});
   }
-  const Scheduled s = list_schedule(std::move(items), nodes_);
-  return {"PTM", s.makespan_s, s.energy_j};
+  SpreadDispatcher d(std::move(entries), 1);
+  ClusterEngine engine(eval_, nodes_, 2);
+  const ClusterOutcome oc = engine.run(d);
+  return {"PTM", oc.makespan_s, oc.energy_dyn_j};
 }
 
 PolicyResult MappingPolicies::ecost(const TrainingData& td,
@@ -173,81 +163,61 @@ PolicyResult MappingPolicies::ecost(const TrainingData& td,
 PolicyResult MappingPolicies::upper_bound() const {
   const std::size_t n = jobs_.size();
   ECOST_REQUIRE(n % 2 == 0, "UB matching needs an even job count");
-  ECOST_REQUIRE(n <= 20, "bitmask matching limited to 20 jobs");
   const tuning::BruteForce bf(cache_);
 
   // COLAO oracle per unique (app, size) pair — scenarios repeat apps, so
-  // cache aggressively.
+  // cache aggressively. `swapped` reports whether (i, j) had to be flipped
+  // to match the canonical key order, so the caller can assign cfg.first /
+  // cfg.second to the right job.
   using PairDesc = std::tuple<std::string, double, std::string, double>;
-  std::map<PairDesc, tuning::PairOutcome> cache;
-  auto colao_of = [&](std::size_t i, std::size_t j) -> tuning::PairOutcome& {
+  std::map<PairDesc, tuning::PairOutcome> colao_cache;
+  auto colao_of = [&](std::size_t i, std::size_t j,
+                      bool* swapped = nullptr) -> tuning::PairOutcome& {
     PairDesc key{jobs_[i].app.abbrev, jobs_[i].input_gib(),
                  jobs_[j].app.abbrev, jobs_[j].input_gib()};
     PairDesc rkey{std::get<2>(key), std::get<3>(key), std::get<0>(key),
                   std::get<1>(key)};
     if (rkey < key) key = rkey;
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-      const JobSpec& a =
-          jobs_[i].app.abbrev == std::get<0>(key) ? jobs_[i] : jobs_[j];
-      const JobSpec& b =
-          jobs_[i].app.abbrev == std::get<0>(key) ? jobs_[j] : jobs_[i];
-      it = cache.emplace(key, bf.colao(a, b)).first;
+    const bool i_is_first = jobs_[i].app.abbrev == std::get<0>(key) &&
+                            jobs_[i].input_gib() == std::get<1>(key);
+    if (swapped != nullptr) *swapped = !i_is_first;
+    auto it = colao_cache.find(key);
+    if (it == colao_cache.end()) {
+      const JobSpec& a = i_is_first ? jobs_[i] : jobs_[j];
+      const JobSpec& b = i_is_first ? jobs_[j] : jobs_[i];
+      it = colao_cache.emplace(key, bf.colao(a, b)).first;
     }
     return it->second;
   };
 
-  // Exact minimum-cost perfect matching by DP over subsets: always pair the
-  // lowest unset bit with some other free job.
-  const std::size_t full = (std::size_t{1} << n) - 1;
-  std::vector<double> dp(full + 1,
-                         std::numeric_limits<double>::infinity());
-  std::vector<std::pair<int, int>> choice(full + 1, {-1, -1});
-  dp[0] = 0.0;
-  for (std::size_t mask = 0; mask < full; ++mask) {
-    if (!std::isfinite(dp[mask])) continue;
-    int first = -1;
-    for (std::size_t b = 0; b < n; ++b) {
-      if (!(mask & (std::size_t{1} << b))) {
-        first = static_cast<int>(b);
-        break;
-      }
-    }
-    for (std::size_t b = static_cast<std::size_t>(first) + 1; b < n; ++b) {
-      if (mask & (std::size_t{1} << b)) continue;
-      const std::size_t next = mask | (std::size_t{1} << first) |
-                               (std::size_t{1} << b);
-      const double cost =
-          dp[mask] +
-          colao_of(static_cast<std::size_t>(first), b).edp;
-      if (cost < dp[next]) {
-        dp[next] = cost;
-        choice[next] = {first, static_cast<int>(b)};
-      }
-    }
-  }
+  const auto pairs = tuning::min_cost_perfect_matching(
+      n, [&](std::size_t i, std::size_t j) { return colao_of(i, j).edp; });
 
-  // Recover the pairs and schedule them (longest pair first).
-  std::vector<std::pair<std::size_t, std::size_t>> pairs;
-  std::size_t mask = full;
-  while (mask != 0) {
-    const auto [a, b] = choice[mask];
-    ECOST_CHECK(a >= 0 && b >= 0, "matching reconstruction failed");
-    pairs.emplace_back(static_cast<std::size_t>(a),
-                       static_cast<std::size_t>(b));
-    mask &= ~(std::size_t{1} << static_cast<std::size_t>(a));
-    mask &= ~(std::size_t{1} << static_cast<std::size_t>(b));
-  }
-
-  std::vector<std::pair<double, double>> items;
+  // Longest pair first, then gang-schedule pairs onto nodes.
+  std::vector<std::pair<double, PairEntry>> timed;
+  timed.reserve(pairs.size());
   for (const auto& [a, b] : pairs) {
-    const tuning::PairOutcome& po = colao_of(a, b);
-    items.emplace_back(po.result.makespan_s, po.result.energy_dyn_j);
+    bool swapped = false;
+    const tuning::PairOutcome& po = colao_of(a, b, &swapped);
+    PairEntry e;
+    e.a = bare_job(a, jobs_[a]);
+    e.b = bare_job(b, jobs_[b]);
+    e.cfg_a = swapped ? po.cfg.second : po.cfg.first;
+    e.cfg_b = swapped ? po.cfg.first : po.cfg.second;
+    timed.emplace_back(po.result.makespan_s, std::move(e));
   }
-  std::sort(items.begin(), items.end(),
-            [](const auto& x, const auto& y) { return x.first > y.first; });
-  const Scheduled s = list_schedule(std::move(items), nodes_);
-  return {"UB", s.makespan_s, s.energy_j};
+  std::stable_sort(timed.begin(), timed.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.first > y.first;
+                   });
+  std::vector<PairEntry> entries;
+  entries.reserve(timed.size());
+  for (auto& [t, e] : timed) entries.push_back(std::move(e));
+
+  PairGangDispatcher d(std::move(entries), eval_.spec().cores);
+  ClusterEngine engine(eval_, nodes_, 2);
+  const ClusterOutcome oc = engine.run(d);
+  return {"UB", oc.makespan_s, oc.energy_dyn_j};
 }
 
 }  // namespace ecost::core

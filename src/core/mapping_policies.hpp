@@ -12,6 +12,11 @@
 //
 // "NT" (not tuned) means Hadoop defaults: 2.4 GHz governor, 128 MB blocks,
 // one mapper slot per core (or 4+4 for CBM).
+//
+// This class is a thin façade: each policy builds the matching Dispatcher
+// (core/dispatchers/) and executes it through ClusterEngine — the single
+// cluster runtime. There is no closed-form scoring path; every number in a
+// PolicyResult was produced by the event-driven engine.
 #pragma once
 
 #include <string>
@@ -34,7 +39,7 @@ struct PolicyResult {
 
 class MappingPolicies {
  public:
-  /// `gib_per_app` is each application's TOTAL input; multi-node policies
+  /// `jobs` carry each application's TOTAL input; multi-node policies
   /// split it evenly across the nodes a job runs on.
   MappingPolicies(const mapreduce::NodeEvaluator& eval,
                   std::vector<mapreduce::JobSpec> jobs, int nodes);
@@ -50,14 +55,9 @@ class MappingPolicies {
   int nodes() const { return nodes_; }
 
  private:
-  /// Solo run of `job` spread over `k` nodes (input split evenly).
-  mapreduce::RunResult run_spread(const mapreduce::JobSpec& job, int k,
-                                  const mapreduce::AppConfig& cfg) const;
-
   const mapreduce::NodeEvaluator& eval_;
-  /// Policies score overlapping (job, config) points — every spread width
-  /// of SM/MNM re-runs the same solo evals, UB's matching re-queries pair
-  /// EDPs — so all node-level evaluation funnels through one cache.
+  /// UB's matching re-queries pair EDPs and ECoST's duration estimates
+  /// re-score the same solo runs — shared across this object's policies.
   mutable mapreduce::EvalCache cache_;
   std::vector<mapreduce::JobSpec> jobs_;
   int nodes_;

@@ -1,0 +1,54 @@
+#include "tuning/matching.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ecost::tuning {
+
+std::vector<std::pair<std::size_t, std::size_t>> min_cost_perfect_matching(
+    std::size_t n, const PairCostFn& cost) {
+  ECOST_REQUIRE(n % 2 == 0, "perfect matching needs an even item count");
+  ECOST_REQUIRE(n <= 20, "bitmask matching limited to 20 items");
+  ECOST_REQUIRE(n >= 2, "nothing to match");
+
+  const std::size_t full = (std::size_t{1} << n) - 1;
+  std::vector<double> dp(full + 1, std::numeric_limits<double>::infinity());
+  std::vector<std::pair<int, int>> choice(full + 1, {-1, -1});
+  dp[0] = 0.0;
+  for (std::size_t mask = 0; mask < full; ++mask) {
+    if (!std::isfinite(dp[mask])) continue;
+    int first = -1;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (!(mask & (std::size_t{1} << b))) {
+        first = static_cast<int>(b);
+        break;
+      }
+    }
+    for (std::size_t b = static_cast<std::size_t>(first) + 1; b < n; ++b) {
+      if (mask & (std::size_t{1} << b)) continue;
+      const std::size_t next =
+          mask | (std::size_t{1} << first) | (std::size_t{1} << b);
+      const double c = dp[mask] + cost(static_cast<std::size_t>(first), b);
+      if (c < dp[next]) {
+        dp[next] = c;
+        choice[next] = {first, static_cast<int>(b)};
+      }
+    }
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  std::size_t mask = full;
+  while (mask != 0) {
+    const auto [a, b] = choice[mask];
+    ECOST_CHECK(a >= 0 && b >= 0, "matching reconstruction failed");
+    pairs.emplace_back(static_cast<std::size_t>(a),
+                       static_cast<std::size_t>(b));
+    mask &= ~(std::size_t{1} << static_cast<std::size_t>(a));
+    mask &= ~(std::size_t{1} << static_cast<std::size_t>(b));
+  }
+  return pairs;
+}
+
+}  // namespace ecost::tuning

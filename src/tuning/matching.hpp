@@ -1,0 +1,23 @@
+// Exact minimum-cost perfect matching over a small item set — the pairing
+// oracle behind the UB mapping policy (which jobs should share a node so the
+// sum of pair costs is minimal). DP over bitmask subsets: always pair the
+// lowest unset bit with some other free item, O(2^n * n).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace ecost::tuning {
+
+/// Cost of pairing items i and j (i < j). Must be symmetric in meaning —
+/// it is only ever queried with i < j.
+using PairCostFn = std::function<double(std::size_t, std::size_t)>;
+
+/// Returns the perfect matching of {0..n-1} minimizing the summed pair
+/// cost, as (i, j) pairs with i < j. Requires n even and n <= 20.
+std::vector<std::pair<std::size_t, std::size_t>> min_cost_perfect_matching(
+    std::size_t n, const PairCostFn& cost);
+
+}  // namespace ecost::tuning

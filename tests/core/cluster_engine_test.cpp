@@ -3,13 +3,24 @@
 #include <gtest/gtest.h>
 
 #include <deque>
+#include <limits>
+#include <set>
+#include <string>
 
+#include "core/dispatchers/fifo.hpp"
+#include "core/dispatchers/pair_gang.hpp"
+#include "core/dispatchers/spread.hpp"
 #include "util/error.hpp"
 #include "workloads/apps.hpp"
 
 namespace ecost::core {
 namespace {
 
+using dispatchers::FifoDispatcher;
+using dispatchers::PairEntry;
+using dispatchers::PairGangDispatcher;
+using dispatchers::SpreadDispatcher;
+using dispatchers::SpreadEntry;
 using mapreduce::AppConfig;
 using mapreduce::JobSpec;
 
@@ -20,28 +31,6 @@ QueuedJob make_job(std::uint64_t id, const char* abbrev, double gib) {
   qj.info.cls = qj.info.job.app.true_class;
   return qj;
 }
-
-/// Simple FIFO dispatcher handing each free slot the next job.
-class FifoDispatcher final : public Dispatcher {
- public:
-  FifoDispatcher(std::deque<QueuedJob> jobs, AppConfig cfg)
-      : jobs_(std::move(jobs)), cfg_(cfg) {}
-
-  std::vector<std::pair<QueuedJob, AppConfig>> dispatch(
-      int /*node*/, std::span<const RunningJob> /*co*/,
-      std::size_t free_slots, double /*now*/) override {
-    std::vector<std::pair<QueuedJob, AppConfig>> out;
-    while (free_slots-- && !jobs_.empty()) {
-      out.emplace_back(jobs_.front(), cfg_);
-      jobs_.pop_front();
-    }
-    return out;
-  }
-
- private:
-  std::deque<QueuedJob> jobs_;
-  AppConfig cfg_;
-};
 
 class ClusterEngineTest : public ::testing::Test {
  protected:
@@ -55,6 +44,7 @@ TEST_F(ClusterEngineTest, RunsAllJobsToCompletion) {
   ClusterEngine engine(eval_, 2, 2);
   const ClusterOutcome oc = engine.run(d);
   EXPECT_EQ(oc.finish_times.size(), 6u);
+  EXPECT_EQ(oc.placements.size(), 6u);
   EXPECT_GT(oc.makespan_s, 0.0);
   EXPECT_GT(oc.energy_dyn_j, 0.0);
   for (const auto& [id, t] : oc.finish_times) {
@@ -111,14 +101,17 @@ TEST_F(ClusterEngineTest, RetuneHookIsApplied) {
    public:
     explicit ExpandingDispatcher(std::deque<QueuedJob> jobs)
         : jobs_(std::move(jobs)) {}
-    std::vector<std::pair<QueuedJob, AppConfig>> dispatch(
-        int, std::span<const RunningJob>, std::size_t free_slots,
-        double) override {
-      std::vector<std::pair<QueuedJob, AppConfig>> out;
-      while (free_slots-- && !jobs_.empty()) {
-        out.emplace_back(jobs_.front(),
-                         AppConfig{sim::FreqLevel::F2_4, 128, 2});
-        jobs_.pop_front();
+    std::vector<Placement> plan(const ClusterView& view, double) override {
+      std::vector<Placement> out;
+      for (int n = 0; n < view.nodes() && !jobs_.empty(); ++n) {
+        for (std::size_t s = view.free_slots(n); s > 0 && !jobs_.empty();
+             --s) {
+          out.push_back(Placement{jobs_.front(),
+                                  AppConfig{sim::FreqLevel::F2_4, 128, 2},
+                                  {n},
+                                  false});
+          jobs_.pop_front();
+        }
       }
       return out;
     }
@@ -146,6 +139,224 @@ TEST_F(ClusterEngineTest, RetuneHookIsApplied) {
   ClusterEngine e2(eval_, 1, 2);
   const double t_fixed = e2.run(fixed).makespan_s;
   EXPECT_LT(t_expand, 0.8 * t_fixed);
+}
+
+TEST_F(ClusterEngineTest, PairGangMatchesRunPairExactly) {
+  // Engine + PairGangDispatcher must reproduce NodeEvaluator::run_pair's
+  // two-segment timeline (joint phase, then survivor expanded to the full
+  // node) — the parity the co-location policies rely on.
+  const AppConfig cfg{sim::FreqLevel::F2_4, 128, 4};
+  const JobSpec a = JobSpec::of_gib(workloads::app_by_abbrev("GP"), 1.0);
+  const JobSpec b = JobSpec::of_gib(workloads::app_by_abbrev("WC"), 2.0);
+
+  PairEntry e;
+  e.a = make_job(0, "GP", 1.0);
+  e.cfg_a = cfg;
+  e.b = make_job(1, "WC", 2.0);
+  e.cfg_b = cfg;
+  PairGangDispatcher d({e}, eval_.spec().cores);
+  ClusterEngine engine(eval_, 1, 2);
+  const ClusterOutcome oc = engine.run(d);
+
+  const auto pair = eval_.run_pair(a, cfg, b, cfg);
+  EXPECT_NEAR(oc.makespan_s, pair.makespan_s, 1e-6 * pair.makespan_s);
+  EXPECT_NEAR(oc.energy_dyn_j, pair.energy_dyn_j,
+              1e-6 * pair.energy_dyn_j);
+}
+
+TEST_F(ClusterEngineTest, GangPlacementSplitsInputAcrossNodes) {
+  // One job over 4 nodes: every node runs a quarter of the input and the
+  // logical job finishes exactly when its parts do — once, not four times.
+  std::vector<SpreadEntry> entries;
+  entries.push_back(
+      SpreadEntry{make_job(0, "TS", 4.0), AppConfig{sim::FreqLevel::F2_4,
+                                                    128, 8}});
+  SpreadDispatcher d(std::move(entries), 4);
+  ClusterEngine engine(eval_, 4, 2);
+  const ClusterOutcome oc = engine.run(d);
+  ASSERT_EQ(oc.finish_times.size(), 1u);
+  ASSERT_EQ(oc.placements.size(), 1u);
+  EXPECT_EQ(oc.placements[0].nodes.size(), 4u);
+  EXPECT_TRUE(oc.placements[0].exclusive);
+
+  const JobSpec quarter = JobSpec::of_gib(workloads::app_by_abbrev("TS"),
+                                          1.0);
+  const auto solo =
+      eval_.run_solo(quarter, AppConfig{sim::FreqLevel::F2_4, 128, 8});
+  EXPECT_NEAR(oc.makespan_s, solo.makespan_s, 1e-6 * solo.makespan_s);
+  EXPECT_NEAR(oc.energy_dyn_j, 4.0 * solo.energy_dyn_j,
+              1e-6 * 4.0 * solo.energy_dyn_j);
+}
+
+TEST_F(ClusterEngineTest, ExclusivePlacementBlocksCoLocation) {
+  // An exclusive job holds its node whole: a FIFO backlog must wait even
+  // though a co-residency slot is numerically free.
+  class MixedDispatcher final : public Dispatcher {
+   public:
+    std::vector<Placement> plan(const ClusterView& view, double) override {
+      std::vector<Placement> out;
+      if (!first_placed_) {
+        first_placed_ = true;
+        out.push_back(Placement{make_job(0, "WC", 1.0),
+                                AppConfig{sim::FreqLevel::F2_4, 128, 8},
+                                {0},
+                                true});
+        return out;
+      }
+      if (!second_placed_ && view.free_slots(0) >= 1) {
+        second_placed_ = true;
+        out.push_back(Placement{make_job(1, "GP", 1.0),
+                                AppConfig{sim::FreqLevel::F2_4, 128, 8},
+                                {0},
+                                false});
+      }
+      return out;
+    }
+    double next_arrival_s(double now_s) const override {
+      return second_placed_ ? std::numeric_limits<double>::infinity() : now_s;
+    }
+
+   private:
+    bool first_placed_ = false;
+    bool second_placed_ = false;
+  };
+
+  MixedDispatcher d;
+  ClusterEngine engine(eval_, 1, 2);
+  const ClusterOutcome oc = engine.run(d);
+  ASSERT_EQ(oc.placements.size(), 2u);
+  // The second job could only start once the exclusive one finished.
+  EXPECT_EQ(oc.placements[0].t_s, 0.0);
+  EXPECT_GT(oc.placements[1].t_s, 0.0);
+  EXPECT_GE(oc.placements[1].t_s, oc.finish_times[0].second - 1e-9);
+}
+
+TEST_F(ClusterEngineTest, ArrivalExactlyAtDrainTimeIsPlaced) {
+  // A job arriving exactly when the cluster drains must still run; the
+  // engine may not declare the workload finished at the seam.
+  class TimedDispatcher final : public Dispatcher {
+   public:
+    explicit TimedDispatcher(std::vector<std::pair<QueuedJob, double>> jobs)
+        : jobs_(std::move(jobs)) {}
+    std::vector<Placement> plan(const ClusterView& view,
+                                double now_s) override {
+      std::vector<Placement> out;
+      for (auto& [job, arrival] : jobs_) {
+        if (arrival > now_s + 1e-9) continue;
+        if (placed_.count(job.id)) continue;
+        for (int n = 0; n < view.nodes(); ++n) {
+          if (view.free_slots(n) >= 1) {
+            out.push_back(Placement{
+                job, AppConfig{sim::FreqLevel::F2_4, 128, 8}, {n}, false});
+            placed_.insert(job.id);
+            break;
+          }
+        }
+      }
+      return out;
+    }
+    double next_arrival_s(double now_s) const override {
+      double next = std::numeric_limits<double>::infinity();
+      for (const auto& [job, arrival] : jobs_) {
+        if (!placed_.count(job.id) && arrival > now_s) {
+          next = std::min(next, arrival);
+        } else if (!placed_.count(job.id)) {
+          return now_s;  // arrived, waiting for a slot
+        }
+      }
+      return next;
+    }
+
+   private:
+    std::vector<std::pair<QueuedJob, double>> jobs_;
+    std::set<std::uint64_t> placed_;
+  };
+
+  const AppConfig cfg{sim::FreqLevel::F2_4, 128, 8};
+  const double solo_s =
+      eval_.run_solo(JobSpec::of_gib(workloads::app_by_abbrev("GP"), 1.0),
+                     cfg)
+          .makespan_s;
+  std::vector<std::pair<QueuedJob, double>> jobs;
+  jobs.emplace_back(make_job(0, "GP", 1.0), 0.0);
+  jobs.emplace_back(make_job(1, "GP", 1.0), solo_s);  // lands at the drain
+  TimedDispatcher d(std::move(jobs));
+  ClusterEngine engine(eval_, 1, 2);
+  const ClusterOutcome oc = engine.run(d);
+  ASSERT_EQ(oc.finish_times.size(), 2u);
+  EXPECT_NEAR(oc.makespan_s, 2.0 * solo_s, 0.01 * solo_s);
+}
+
+TEST_F(ClusterEngineTest, ZeroJobWorkloadFinishesImmediately) {
+  FifoDispatcher d({}, AppConfig{sim::FreqLevel::F2_4, 128, 8});
+  ClusterEngine engine(eval_, 4, 2);
+  const ClusterOutcome oc = engine.run(d);
+  EXPECT_EQ(oc.makespan_s, 0.0);
+  EXPECT_EQ(oc.energy_dyn_j, 0.0);
+  EXPECT_TRUE(oc.finish_times.empty());
+  EXPECT_TRUE(oc.placements.empty());
+}
+
+TEST_F(ClusterEngineTest, OneJobWorkloadMatchesSolo) {
+  std::deque<QueuedJob> jobs;
+  jobs.push_back(make_job(0, "WC", 1.0));
+  const AppConfig cfg{sim::FreqLevel::F2_4, 128, 8};
+  FifoDispatcher d(jobs, cfg);
+  ClusterEngine engine(eval_, 4, 2);
+  const ClusterOutcome oc = engine.run(d);
+  ASSERT_EQ(oc.finish_times.size(), 1u);
+  const auto solo = eval_.run_solo(jobs.front().info.job, cfg);
+  EXPECT_NEAR(oc.makespan_s, solo.makespan_s, 1e-6 * solo.makespan_s);
+}
+
+TEST_F(ClusterEngineTest, PlacementRecordFormatsReadably) {
+  PlacementRecord rec;
+  rec.t_s = 41.6;
+  rec.job_id = 3;
+  rec.nodes = {0, 1};
+  rec.cfg = AppConfig{sim::FreqLevel::F2_4, 128, 8};
+  rec.exclusive = true;
+  const std::string s = rec.format();
+  EXPECT_NE(s.find("t=42s"), std::string::npos);
+  EXPECT_NE(s.find("job 3"), std::string::npos);
+  EXPECT_NE(s.find("node 0+1"), std::string::npos);
+  EXPECT_NE(s.find("exclusive"), std::string::npos);
+  EXPECT_NE(s.find(rec.cfg.to_string()), std::string::npos);
+}
+
+TEST_F(ClusterEngineTest, RejectsOverlappingAndOutOfRangePlacements) {
+  class BadDispatcher final : public Dispatcher {
+   public:
+    explicit BadDispatcher(std::vector<int> nodes)
+        : nodes_(std::move(nodes)) {}
+    std::vector<Placement> plan(const ClusterView&, double) override {
+      if (done_) return {};
+      done_ = true;
+      return {Placement{make_job(0, "GP", 1.0),
+                        AppConfig{sim::FreqLevel::F2_4, 128, 8}, nodes_,
+                        false}};
+    }
+
+   private:
+    std::vector<int> nodes_;
+    bool done_ = false;
+  };
+
+  {
+    BadDispatcher d({0, 0});  // repeats a node
+    ClusterEngine engine(eval_, 2, 2);
+    EXPECT_THROW(engine.run(d), ecost::InvariantError);
+  }
+  {
+    BadDispatcher d({5});  // out of range
+    ClusterEngine engine(eval_, 2, 2);
+    EXPECT_THROW(engine.run(d), ecost::InvariantError);
+  }
+  {
+    BadDispatcher d({});  // no nodes at all
+    ClusterEngine engine(eval_, 2, 2);
+    EXPECT_THROW(engine.run(d), ecost::InvariantError);
+  }
 }
 
 TEST_F(ClusterEngineTest, InvalidConstructionThrows) {

@@ -1,0 +1,133 @@
+// Unit tests for the dispatcher library: the policy-shaped placement rules
+// that ClusterEngine executes.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/cluster_engine.hpp"
+#include "core/dispatchers/fifo.hpp"
+#include "core/dispatchers/pair_gang.hpp"
+#include "core/dispatchers/spread.hpp"
+#include "util/error.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::core {
+namespace {
+
+using dispatchers::FifoDispatcher;
+using dispatchers::PairEntry;
+using dispatchers::PairGangDispatcher;
+using dispatchers::SpreadDispatcher;
+using dispatchers::SpreadEntry;
+using mapreduce::AppConfig;
+using mapreduce::JobSpec;
+
+const AppConfig kCfg{sim::FreqLevel::F2_4, 128, 8};
+const AppConfig kHalfCfg{sim::FreqLevel::F2_4, 128, 4};
+
+QueuedJob make_job(std::uint64_t id) {
+  QueuedJob qj;
+  qj.id = id;
+  qj.info.job = JobSpec::of_gib(workloads::app_by_abbrev("WC"), 1.0);
+  qj.info.cls = qj.info.job.app.true_class;
+  return qj;
+}
+
+TEST(SpreadDispatcherTest, HonorsConcurrencyCap) {
+  // 5 entries, width 1, cap 2 on a 4-node cluster: only two may ever run
+  // at once, so placements happen in at least three waves.
+  const mapreduce::NodeEvaluator eval;
+  std::vector<SpreadEntry> entries;
+  for (int i = 0; i < 5; ++i) {
+    entries.push_back(SpreadEntry{make_job(i), kCfg});
+  }
+  SpreadDispatcher d(std::move(entries), 1, 2);
+  ClusterEngine engine(eval, 4, 2);
+  const ClusterOutcome oc = engine.run(d);
+  ASSERT_EQ(oc.finish_times.size(), 5u);
+  // Never more than two distinct nodes in use: with identical jobs and a
+  // cap of 2, nodes 0 and 1 serve everything.
+  for (const PlacementRecord& rec : oc.placements) {
+    ASSERT_EQ(rec.nodes.size(), 1u);
+    EXPECT_LT(rec.nodes[0], 2);
+    EXPECT_TRUE(rec.exclusive);
+  }
+}
+
+TEST(SpreadDispatcherTest, WidthClaimsWholeGangs) {
+  const mapreduce::NodeEvaluator eval;
+  std::vector<SpreadEntry> entries;
+  entries.push_back(SpreadEntry{make_job(0), kCfg});
+  entries.push_back(SpreadEntry{make_job(1), kCfg});
+  SpreadDispatcher d(std::move(entries), 2);
+  ClusterEngine engine(eval, 4, 2);
+  const ClusterOutcome oc = engine.run(d);
+  ASSERT_EQ(oc.placements.size(), 2u);
+  EXPECT_EQ(oc.placements[0].nodes, (std::vector<int>{0, 1}));
+  EXPECT_EQ(oc.placements[1].nodes, (std::vector<int>{2, 3}));
+  // Identical jobs on identical gangs: both land at t=0 and the makespan is
+  // a single round.
+  EXPECT_EQ(oc.placements[0].t_s, 0.0);
+  EXPECT_EQ(oc.placements[1].t_s, 0.0);
+}
+
+TEST(SpreadDispatcherTest, RejectsWidthBeyondCluster) {
+  const mapreduce::NodeEvaluator eval;
+  std::vector<SpreadEntry> entries;
+  entries.push_back(SpreadEntry{make_job(0), kCfg});
+  SpreadDispatcher d(std::move(entries), 3);
+  ClusterEngine engine(eval, 2, 2);
+  EXPECT_THROW(engine.run(d), ecost::InvariantError);
+}
+
+TEST(PairGangDispatcherTest, PairsShareNodesSolosDoNot) {
+  const mapreduce::NodeEvaluator eval;
+  std::vector<PairEntry> entries;
+  PairEntry pair;
+  pair.a = make_job(0);
+  pair.cfg_a = kHalfCfg;
+  pair.b = make_job(1);
+  pair.cfg_b = kHalfCfg;
+  entries.push_back(pair);
+  PairEntry solo;
+  solo.a = make_job(2);
+  solo.cfg_a = kHalfCfg;
+  entries.push_back(solo);
+  PairGangDispatcher d(std::move(entries), eval.spec().cores);
+  ClusterEngine engine(eval, 2, 2);
+  const ClusterOutcome oc = engine.run(d);
+  ASSERT_EQ(oc.placements.size(), 3u);
+  EXPECT_EQ(oc.placements[0].nodes, (std::vector<int>{0}));
+  EXPECT_EQ(oc.placements[1].nodes, (std::vector<int>{0}));
+  EXPECT_EQ(oc.placements[2].nodes, (std::vector<int>{1}));
+  EXPECT_EQ(oc.finish_times.size(), 3u);
+  EXPECT_EQ(d.dispatched(), 2u);
+}
+
+TEST(PairGangDispatcherTest, OnlyPairedSurvivorsExpand) {
+  PairGangDispatcher d({}, 8);
+  RunningJob solo;
+  solo.job = make_job(7);
+  solo.cfg = kHalfCfg;
+  const RunningJob others[] = {solo};
+  // Job 7 was never placed as part of a pair -> no expansion.
+  EXPECT_FALSE(d.retune(solo, others).has_value());
+}
+
+TEST(FifoDispatcherTest, DrainsQueueAcrossSlots) {
+  const mapreduce::NodeEvaluator eval;
+  std::deque<QueuedJob> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(make_job(i));
+  FifoDispatcher d(jobs, kHalfCfg);
+  ClusterEngine engine(eval, 2, 2);
+  const ClusterOutcome oc = engine.run(d);
+  EXPECT_EQ(oc.finish_times.size(), 4u);
+  // All four start immediately: two co-resident per node.
+  for (const PlacementRecord& rec : oc.placements) {
+    EXPECT_EQ(rec.t_s, 0.0);
+    EXPECT_FALSE(rec.exclusive);
+  }
+}
+
+}  // namespace
+}  // namespace ecost::core

@@ -1,4 +1,4 @@
-#include "core/ecost_dispatcher.hpp"
+#include "core/dispatchers/ecost.hpp"
 
 #include <gtest/gtest.h>
 
@@ -9,6 +9,8 @@
 namespace ecost::core {
 namespace {
 
+using dispatchers::ArrivingJob;
+using dispatchers::EcostDispatcher;
 using mapreduce::JobSpec;
 
 ArrivingJob make_job(std::uint64_t id, const char* abbrev, double arrival,

@@ -1,0 +1,75 @@
+// Every mapping policy now executes through ClusterEngine. This suite pins
+// the refactor to the numbers the closed-form arithmetic produced right
+// before it was deleted: for each of WS1..WS8, every policy's EDP must stay
+// within 1% of the captured fixture (policy_parity_fixture.hpp).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/mapping_policies.hpp"
+#include "tests/core/policy_parity_fixture.hpp"
+#include "tests/core/training_fixture.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace ecost::core {
+namespace {
+
+class PolicyParityTest : public ::testing::Test {
+ protected:
+  const mapreduce::NodeEvaluator& eval_ = testing::shared_eval();
+
+  const MappingPolicies& policies(const std::string& scenario) {
+    auto it = cache_.find(scenario);
+    if (it == cache_.end()) {
+      it = cache_
+               .emplace(scenario,
+                        std::make_unique<MappingPolicies>(
+                            eval_,
+                            workloads::scenario_by_name(scenario).jobs(
+                                testing::kPolicyGoldenGibPerApp),
+                            testing::kPolicyGoldenNodes))
+               .first;
+    }
+    return *it->second;
+  }
+
+  PolicyResult run(const std::string& scenario, const std::string& policy) {
+    const MappingPolicies& mp = policies(scenario);
+    if (policy == "SM") return mp.serial_mapping();
+    if (policy == "MNM1") return mp.multi_node(2);
+    if (policy == "MNM2") return mp.multi_node(4);
+    if (policy == "SNM") return mp.single_node();
+    if (policy == "CBM") return mp.core_balance();
+    if (policy == "PTM") {
+      return mp.predict_tuning(testing::shared_training_data());
+    }
+    if (policy == "ECoST") {
+      const TrainingData& td = testing::shared_training_data();
+      const MlmStp stp(ModelKind::RepTree, td, eval_.spec());
+      return mp.ecost(td, stp);
+    }
+    if (policy == "UB") return mp.upper_bound();
+    ADD_FAILURE() << "unknown policy " << policy;
+    return {};
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<MappingPolicies>> cache_;
+};
+
+TEST_F(PolicyParityTest, EngineReproducesClosedFormNumbers) {
+  for (const testing::PolicyGolden& g : testing::policy_golden()) {
+    const PolicyResult r = run(g.scenario, g.policy);
+    EXPECT_NEAR(r.edp(), g.edp(), 0.01 * g.edp())
+        << g.scenario << "/" << g.policy << " EDP drifted";
+    EXPECT_NEAR(r.makespan_s, g.makespan_s, 0.01 * g.makespan_s)
+        << g.scenario << "/" << g.policy << " makespan drifted";
+    EXPECT_NEAR(r.energy_dyn_j, g.energy_dyn_j, 0.01 * g.energy_dyn_j)
+        << g.scenario << "/" << g.policy << " energy drifted";
+  }
+}
+
+}  // namespace
+}  // namespace ecost::core

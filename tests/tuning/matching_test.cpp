@@ -1,0 +1,57 @@
+#include "tuning/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ecost::tuning {
+namespace {
+
+double pair_sum(const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+                const PairCostFn& cost) {
+  double s = 0.0;
+  for (const auto& [a, b] : pairs) s += cost(a, b);
+  return s;
+}
+
+TEST(MatchingTest, PicksTheCheaperOfBothThreeWaySplits) {
+  // Costs chosen so (0,3)+(1,2) beats (0,1)+(2,3) and (0,2)+(1,3).
+  const double c[4][4] = {{0, 9, 7, 1},  //
+                          {9, 0, 2, 8},
+                          {7, 2, 0, 9},
+                          {1, 8, 9, 0}};
+  const PairCostFn cost = [&](std::size_t i, std::size_t j) {
+    return c[i][j];
+  };
+  const auto pairs = min_cost_perfect_matching(4, cost);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_DOUBLE_EQ(pair_sum(pairs, cost), 3.0);
+}
+
+TEST(MatchingTest, CoversEveryItemExactlyOnce) {
+  const std::size_t n = 10;
+  const PairCostFn cost = [](std::size_t i, std::size_t j) {
+    return static_cast<double>((i * 7 + j * 13) % 23);
+  };
+  const auto pairs = min_cost_perfect_matching(n, cost);
+  ASSERT_EQ(pairs.size(), n / 2);
+  std::vector<int> seen(n, 0);
+  for (const auto& [a, b] : pairs) {
+    ASSERT_LT(a, n);
+    ASSERT_LT(b, n);
+    EXPECT_LT(a, b);
+    ++seen[a];
+    ++seen[b];
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(seen[i], 1) << i;
+}
+
+TEST(MatchingTest, RejectsOddOrOversizedInputs) {
+  const PairCostFn cost = [](std::size_t, std::size_t) { return 1.0; };
+  EXPECT_THROW(min_cost_perfect_matching(7, cost), ecost::InvariantError);
+  EXPECT_THROW(min_cost_perfect_matching(0, cost), ecost::InvariantError);
+  EXPECT_THROW(min_cost_perfect_matching(22, cost), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::tuning

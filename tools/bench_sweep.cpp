@@ -4,8 +4,12 @@
 // disabled (the pre-overhaul execution profile) and then with it enabled,
 // and writes the wall times, cache statistics, and speedup to a JSON file.
 //
+// A third phase times the Figure-9 mapping-policy study end to end: all
+// eight policies (SM/MNM1/MNM2/SNM/CBM/PTM/ECoST/UB) executed as
+// dispatchers through the unified ClusterEngine, per scenario.
+//
 // Usage: bench_sweep [--quick] [--out=BENCH_sweep.json]
-//   --quick  one input size and smaller reservoirs (CI smoke run)
+//   --quick  one input size, smaller reservoirs, fig9 on WS8 only (CI smoke)
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -15,11 +19,14 @@
 #include <vector>
 
 #include "core/dataset_builder.hpp"
+#include "core/mapping_policies.hpp"
+#include "core/stp.hpp"
 #include "mapreduce/eval_cache.hpp"
 #include "tuning/brute_force.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/apps.hpp"
+#include "workloads/scenarios.hpp"
 
 using namespace ecost;
 using mapreduce::EvalCache;
@@ -71,6 +78,26 @@ PhaseTimes run_pipeline(EvalCache& cache, const core::SweepOptions& opts) {
   t.colao_s = seconds_since(t0);
   ECOST_CHECK(edp_sum > 0.0, "COLAO sweep produced no finite EDP");
   return t;
+}
+
+/// Wall time of the Figure-9 policy study on one scenario: every mapping
+/// policy executed as a dispatcher through ClusterEngine (4 nodes, 1 GiB
+/// per application).
+double run_fig9_scenario(const mapreduce::NodeEvaluator& eval,
+                         const workloads::WorkloadScenario& ws,
+                         const core::TrainingData& td,
+                         const core::SelfTuner& stp) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::MappingPolicies mp(eval, ws.jobs(1.0), /*nodes=*/4);
+  double edp_sum = 0.0;
+  for (const core::PolicyResult& r :
+       {mp.serial_mapping(), mp.multi_node(2), mp.multi_node(4),
+        mp.single_node(), mp.core_balance(), mp.predict_tuning(td),
+        mp.ecost(td, stp), mp.upper_bound()}) {
+    edp_sum += r.edp();
+  }
+  ECOST_CHECK(edp_sum > 0.0, "fig9 policy study produced no finite EDP");
+  return seconds_since(t0);
 }
 
 std::string json_u64(std::uint64_t v) { return std::to_string(v); }
@@ -139,6 +166,20 @@ int main(int argc, char** argv) {
   std::cout << "cache hit rate " << json_double(st.hit_rate())
             << ", speedup " << json_double(speedup) << "x\n";
 
+  // Figure-9 mapping-policy study through the unified cluster runtime.
+  std::cout << "fig9 policy study (unified engine)...\n";
+  const core::TrainingData td = core::build_training_data(cache, opts);
+  const core::MlmStp stp(core::ModelKind::RepTree, td, eval.spec());
+  std::vector<std::pair<std::string, double>> fig9;
+  double fig9_total_s = 0.0;
+  for (const auto& ws : workloads::all_scenarios()) {
+    if (quick && ws.name != "WS8") continue;
+    const double s = run_fig9_scenario(eval, ws, td, stp);
+    std::cout << "  " << ws.name << " " << json_double(s) << " s\n";
+    fig9.emplace_back(ws.name, s);
+    fig9_total_s += s;
+  }
+
   out << "{\n"
       << "  \"benchmark\": \"sweep_pipeline\",\n"
       << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
@@ -168,6 +209,14 @@ int main(int argc, char** argv) {
       << "    \"env_misses\": " << json_u64(st.env_misses) << ",\n"
       << "    \"evictions\": " << json_u64(st.evictions) << ",\n"
       << "    \"entries\": " << cache.size() << "\n"
+      << "  },\n"
+      << "  \"fig9_unified_engine\": {\n"
+      << "    \"nodes\": 4,\n"
+      << "    \"policies\": 8,\n";
+  for (const auto& [name, s] : fig9) {
+    out << "    \"" << name << "_s\": " << json_double(s) << ",\n";
+  }
+  out << "    \"total_s\": " << json_double(fig9_total_s) << "\n"
       << "  },\n"
       << "  \"speedup\": " << json_double(speedup) << "\n"
       << "}\n";
