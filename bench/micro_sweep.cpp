@@ -6,13 +6,17 @@
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <deque>
 #include <vector>
 
+#include "core/cluster_engine.hpp"
 #include "core/dataset_builder.hpp"
+#include "core/dispatchers/fifo.hpp"
 #include "mapreduce/eval_cache.hpp"
 #include "mapreduce/node_evaluator.hpp"
 #include "ml/dataset.hpp"
 #include "ml/reptree.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel_for.hpp"
 #include "util/rng.hpp"
 #include "workloads/apps.hpp"
@@ -144,6 +148,55 @@ void BM_PredictBatch(benchmark::State& state) {
                           static_cast<std::int64_t>(rows.size()));
 }
 BENCHMARK(BM_PredictBatch);
+
+// The zero-overhead-when-disabled budget of the tracing layer: the same
+// cluster-engine run with no trace attached (every emission site is one
+// null-pointer test) vs with a recorder attached. The disabled variant is
+// the <2% overhead gate; the enabled variant prices an emission.
+double engine_run_once(ecost::obs::TraceRecorder* trace) {
+  std::deque<core::QueuedJob> jobs;
+  const auto apps = workloads::training_apps();
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    core::QueuedJob qj;
+    qj.id = i;
+    qj.info.job = JobSpec::of_gib(apps[i % apps.size()], 0.5);
+    jobs.push_back(qj);
+  }
+  core::dispatchers::FifoDispatcher d(std::move(jobs),
+                                      AppConfig{sim::FreqLevel::F2_4, 128, 4});
+  core::ClusterEngine engine(evaluator(), /*nodes=*/4, /*slots_per_node=*/2);
+  if (trace != nullptr) {
+    engine.set_obs(trace, trace->track("bench"));
+  }
+  return engine.run(d).makespan_s;
+}
+
+void BM_EngineTraceDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine_run_once(nullptr));
+  }
+}
+BENCHMARK(BM_EngineTraceDisabled)->Unit(benchmark::kMicrosecond);
+
+void BM_EngineTraceEnabled(benchmark::State& state) {
+  ecost::obs::TraceRecorder rec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine_run_once(&rec));
+  }
+}
+BENCHMARK(BM_EngineTraceEnabled)->Unit(benchmark::kMicrosecond);
+
+// Raw cost of one emission into the ring (span is the largest event).
+void BM_TraceEmitSpan(benchmark::State& state) {
+  ecost::obs::TraceRecorder rec;
+  double t = 0.0;
+  for (auto _ : state) {
+    rec.span(1, 0, "part", t, t + 1.0, /*job=*/7, /*node=*/0);
+    t += 1.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceEmitSpan);
 
 // One small end-to-end training sweep through a fresh cache.
 void BM_BuildTrainingDataSmall(benchmark::State& state) {

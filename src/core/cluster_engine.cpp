@@ -46,6 +46,21 @@ ClusterEngine::ClusterEngine(const mapreduce::NodeEvaluator& eval, int nodes,
   ECOST_REQUIRE(slots_per_node >= 1, "need at least one slot per node");
 }
 
+void ClusterEngine::set_obs(obs::TraceRecorder* trace, std::uint32_t pid) {
+  trace_ = trace;
+  pid_ = pid;
+  if (trace_ == nullptr) return;
+  trace_->name_lane(pid_, 0, "scheduler");
+  for (int n = 0; n < nodes_; ++n) {
+    trace_->name_lane(pid_, static_cast<std::uint32_t>(n) + 1,
+                      "node " + std::to_string(n));
+  }
+}
+
+void ClusterEngine::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics != nullptr ? metrics : &obs::MetricsRegistry::global();
+}
+
 ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
   const std::size_t n_nodes = static_cast<std::size_t>(nodes_);
   std::vector<std::vector<RunningJob>> node_jobs(n_nodes);
@@ -56,6 +71,23 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
   double now = 0.0;
   std::size_t guard = 0;
   const ClusterView view(&node_jobs, slots_);
+
+  // Observability. Counters are process-wide totals; trace events carry the
+  // engine's deterministic simulated clock on this run's track (pid_).
+  obs::Counter& c_placements = metrics_->counter("engine.placements");
+  obs::Counter& c_retunes = metrics_->counter("engine.retunes");
+  obs::Counter& c_env_resolves = metrics_->counter("engine.env_resolves");
+  obs::Counter& c_parts_done = metrics_->counter("engine.parts_finished");
+  obs::Counter& c_jobs_done = metrics_->counter("engine.jobs_finished");
+  obs::Counter& c_idle_jumps = metrics_->counter("engine.idle_jumps");
+  obs::Histogram& h_dt = metrics_->histogram(
+      "engine.step_dt_s", {0.1, 1.0, 10.0, 60.0, 300.0, 1800.0, 7200.0});
+  dispatcher.set_obs(trace_, pid_, metrics_);
+  std::map<std::uint64_t, double> job_start;  ///< logical job id -> t placed
+  // A "wave" is a constant co-residency segment on one node: it opens when
+  // the node's joint environment is (re-)solved and closes at the next
+  // membership or knob change. -1 marks an idle node (no open wave).
+  std::vector<double> wave_start(n_nodes, -1.0);
 
   // Asks the dispatcher for placements and applies them. Placements are
   // validated against the evolving state, so a plan may not over-commit the
@@ -91,12 +123,18 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
         rj.job = p.job;
         rj.part = part;
         rj.cfg = p.cfg;
+        rj.placed_s = now;
         rj.exclusive = p.exclusive;
         rj.spread = static_cast<int>(k);
         node_jobs[static_cast<std::size_t>(n)].push_back(std::move(rj));
         dirty[static_cast<std::size_t>(n)] = 1;
       }
       parts_left[p.job.id] = static_cast<int>(k);
+      job_start.emplace(p.job.id, now);
+      c_placements.add();
+      if (trace_ != nullptr) {
+        trace_->instant(pid_, 0, "place", now, p.job.id, p.nodes.front());
+      }
       out.placements.push_back(
           PlacementRecord{now, p.job.id, p.nodes, p.cfg, p.exclusive});
     }
@@ -115,6 +153,11 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
           if (!(rj.cfg == *cfg)) {
             rj.cfg = *cfg;
             dirty[n] = 1;
+            c_retunes.add();
+            if (trace_ != nullptr) {
+              trace_->instant(pid_, static_cast<std::uint32_t>(n) + 1,
+                              "retune", now, rj.job.id, static_cast<int>(n));
+            }
           }
         }
       }
@@ -134,7 +177,12 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
       // Idle cluster: jump to the next arrival, if any work remains.
       const double next = dispatcher.next_arrival_s(now);
       if (!std::isfinite(next)) break;
+      const double idle_from = now;
       now = std::max(now, next);
+      c_idle_jumps.add();
+      if (trace_ != nullptr && now > idle_from + kEps) {
+        trace_->span(pid_, 0, "idle", idle_from, now);
+      }
       apply_plan();
       run_retunes();
       if (!any_running()) break;  // dispatcher produced nothing — done
@@ -147,10 +195,25 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
     for (std::size_t n = 0; n < n_nodes; ++n) {
       auto& jobs = node_jobs[n];
       if (jobs.empty()) {
+        if (trace_ != nullptr && wave_start[n] >= 0.0) {
+          if (now > wave_start[n] + kEps) {
+            trace_->span(pid_, static_cast<std::uint32_t>(n) + 1, "wave",
+                         wave_start[n], now, obs::kNoJob, static_cast<int>(n));
+          }
+          wave_start[n] = -1.0;
+        }
         node_power[n] = 0.0;
         continue;
       }
       if (dirty[n]) {
+        if (trace_ != nullptr) {
+          if (wave_start[n] >= 0.0 && now > wave_start[n] + kEps) {
+            trace_->span(pid_, static_cast<std::uint32_t>(n) + 1, "wave",
+                         wave_start[n], now, obs::kNoJob, static_cast<int>(n));
+          }
+          wave_start[n] = now;
+        }
+        c_env_resolves.add();
         std::vector<const mapreduce::JobSpec*> specs;
         std::vector<mapreduce::AppConfig> cfgs;
         specs.reserve(jobs.size());
@@ -171,6 +234,11 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
       }
     }
     ECOST_CHECK(std::isfinite(dt) && dt >= 0.0, "bad event horizon");
+    if (trace_ != nullptr) {
+      double total_w = 0.0;
+      for (std::size_t n = 0; n < n_nodes; ++n) total_w += node_power[n];
+      trace_->counter(pid_, 0, "power_w", now, total_w);
+    }
     // A mid-flight arrival interrupts the horizon so it gets placed on any
     // free capacity promptly.
     const double next_arrival = dispatcher.next_arrival_s(now);
@@ -178,6 +246,7 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
       dt = std::min(dt, next_arrival - now);
     }
     dt = std::max(dt, kEps);
+    h_dt.observe(dt);
 
     // Advance time, integrate energy, retire finished parts.
     now += dt;
@@ -188,10 +257,20 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
       for (auto it = jobs.begin(); it != jobs.end();) {
         it->remaining -= dt / it->est_total_s;
         if (it->remaining <= kDoneFrac) {
+          c_parts_done.add();
+          if (trace_ != nullptr) {
+            trace_->span(pid_, static_cast<std::uint32_t>(n) + 1, "part",
+                         it->placed_s, now, it->job.id, static_cast<int>(n));
+          }
           const auto pl = parts_left.find(it->job.id);
           ECOST_CHECK(pl != parts_left.end(), "retired an untracked part");
           if (--pl->second == 0) {
             out.finish_times.emplace_back(it->job.id, now);
+            c_jobs_done.add();
+            if (trace_ != nullptr) {
+              trace_->span(pid_, 0, "job", job_start[it->job.id], now,
+                           it->job.id);
+            }
             parts_left.erase(pl);
           }
           it = jobs.erase(it);
@@ -203,6 +282,16 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
     }
     apply_plan();
     run_retunes();
+  }
+  // The loop exits before the next re-solve pass, so waves on nodes that
+  // retired their last part in the final step are still open — close them.
+  if (trace_ != nullptr) {
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+      if (wave_start[n] >= 0.0 && now > wave_start[n] + kEps) {
+        trace_->span(pid_, static_cast<std::uint32_t>(n) + 1, "wave",
+                     wave_start[n], now, obs::kNoJob, static_cast<int>(n));
+      }
+    }
   }
   out.makespan_s = now;
   return out;

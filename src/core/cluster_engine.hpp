@@ -30,6 +30,8 @@
 #include "core/wait_queue.hpp"
 #include "mapreduce/config.hpp"
 #include "mapreduce/node_evaluator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ecost::core {
 
@@ -40,6 +42,7 @@ struct RunningJob {
   mapreduce::AppConfig cfg;
   double remaining = 1.0;     ///< fraction of the part's work left
   double est_total_s = 0.0;   ///< part completion time under current conditions
+  double placed_s = 0.0;      ///< simulated time this part started
   bool exclusive = false;     ///< this part's placement claimed the whole node
   int spread = 1;             ///< number of nodes the logical job spans
 };
@@ -107,6 +110,22 @@ class Dispatcher {
     (void)now_s;
     return std::numeric_limits<double>::infinity();
   }
+
+  /// Attaches observability sinks. `trace` may be null (disabled); `pid`
+  /// is the recorder track group this dispatcher's events belong to —
+  /// normally the same track the engine run writes to. Dispatchers emit
+  /// decision instants on the scheduler lane (tid 0).
+  void set_obs(obs::TraceRecorder* trace, std::uint32_t pid,
+               obs::MetricsRegistry* metrics = nullptr) {
+    trace_ = trace;
+    obs_pid_ = pid;
+    if (metrics != nullptr) metrics_ = metrics;
+  }
+
+ protected:
+  obs::TraceRecorder* trace_ = nullptr;   ///< null = tracing off
+  std::uint32_t obs_pid_ = 0;
+  obs::MetricsRegistry* metrics_ = &obs::MetricsRegistry::global();
 };
 
 /// Structured record of one applied placement — the engine-level decision
@@ -136,13 +155,27 @@ class ClusterEngine {
   ClusterEngine(const mapreduce::NodeEvaluator& eval, int nodes,
                 int slots_per_node = 2);
 
+  /// Attaches a trace sink. `pid` is the recorder track group the run
+  /// writes to (one per engine run — see TraceRecorder::track); the engine
+  /// names lane 0 "scheduler" and lane n+1 "node n". Null disables:
+  /// every emission site is behind a single pointer test.
+  void set_obs(obs::TraceRecorder* trace, std::uint32_t pid);
+
+  /// Registry for the engine.* counters (default: the process global).
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   /// Runs until every node drains and the dispatcher stops producing work.
+  /// The attached trace/metrics sinks are also handed to `dispatcher`
+  /// (Dispatcher::set_obs) so decision events land on the same track.
   ClusterOutcome run(Dispatcher& dispatcher);
 
  private:
   const mapreduce::NodeEvaluator& eval_;
   int nodes_;
   int slots_;
+  obs::TraceRecorder* trace_ = nullptr;
+  std::uint32_t pid_ = 0;
+  obs::MetricsRegistry* metrics_ = &obs::MetricsRegistry::global();
 };
 
 }  // namespace ecost::core

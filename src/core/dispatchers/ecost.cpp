@@ -40,7 +40,12 @@ EcostDispatcher::EcostDispatcher(const mapreduce::NodeEvaluator& eval,
 void EcostDispatcher::admit_arrivals(double now_s) {
   while (next_pending_ < pending_.size() &&
          pending_[next_pending_].arrival_s <= now_s + 1e-9) {
-    queue_.push(pending_[next_pending_].job);
+    const ArrivingJob& aj = pending_[next_pending_];
+    metrics_->counter("dispatcher.ecost.admitted").add();
+    if (trace_ != nullptr) {
+      trace_->instant(obs_pid_, 0, "arrive", aj.arrival_s, aj.job.id);
+    }
+    queue_.push(aj.job);
     ++next_pending_;
   }
 }
@@ -85,6 +90,10 @@ std::vector<Placement> EcostDispatcher::plan(const ClusterView& view,
           queue_.pop_for(head->info.cls, head->est_duration_s, policy_);
       if (partner) {
         const PairConfig pc = stp_.predict(head->info, partner->info);
+        metrics_->counter("dispatcher.ecost.pairs").add();
+        if (trace_ != nullptr) {
+          trace_->instant(obs_pid_, 0, "pair", now_s, head->id, node);
+        }
         decisions_.push_back(
             {now_s, head->id, node, pc.first, true, partner->id});
         decisions_.push_back(
@@ -94,6 +103,10 @@ std::vector<Placement> EcostDispatcher::plan(const ClusterView& view,
             Placement{std::move(*partner), pc.second, {node}, false});
       } else {
         const AppConfig cfg = solo_config(head->info);
+        metrics_->counter("dispatcher.ecost.solos").add();
+        if (trace_ != nullptr) {
+          trace_->instant(obs_pid_, 0, "solo", now_s, head->id, node);
+        }
         decisions_.push_back({now_s, head->id, node, cfg, false, 0});
         out.push_back(Placement{std::move(*head), cfg, {node}, false});
       }
@@ -108,12 +121,20 @@ std::vector<Placement> EcostDispatcher::plan(const ClusterView& view,
       if (partner) {
         const PairConfig pc = stp_.predict(survivor.job.info, partner->info);
         pending_retune_[survivor.job.id] = pc.first;
+        metrics_->counter("dispatcher.ecost.backfills").add();
+        if (trace_ != nullptr) {
+          trace_->instant(obs_pid_, 0, "backfill", now_s, partner->id, node);
+        }
         decisions_.push_back(
             {now_s, partner->id, node, pc.second, true, survivor.job.id});
         out.push_back(
             Placement{std::move(*partner), pc.second, {node}, false});
       }
     }
+  }
+  if (trace_ != nullptr) {
+    trace_->counter(obs_pid_, 0, "queue_depth", now_s,
+                    static_cast<double>(queue_.size()));
   }
   return out;
 }

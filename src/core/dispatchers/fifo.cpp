@@ -7,13 +7,20 @@ FifoDispatcher::FifoDispatcher(std::deque<QueuedJob> jobs,
     : jobs_(std::move(jobs)), cfg_(cfg) {}
 
 std::vector<Placement> FifoDispatcher::plan(const ClusterView& view,
-                                            double /*now_s*/) {
+                                            double now_s) {
   std::vector<Placement> out;
   for (int n = 0; n < view.nodes() && !jobs_.empty(); ++n) {
     for (std::size_t s = view.free_slots(n); s > 0 && !jobs_.empty(); --s) {
+      if (trace_ != nullptr) {
+        trace_->instant(obs_pid_, 0, "dispatch", now_s, jobs_.front().id, n);
+      }
       out.push_back(Placement{jobs_.front(), cfg_, {n}, false});
       jobs_.pop_front();
     }
+  }
+  if (!out.empty()) {
+    metrics_->counter("dispatcher.fifo.dispatched")
+        .add(static_cast<std::uint64_t>(out.size()));
   }
   return out;
 }

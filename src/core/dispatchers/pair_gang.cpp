@@ -11,7 +11,7 @@ PairGangDispatcher::PairGangDispatcher(std::vector<PairEntry> entries,
 }
 
 std::vector<Placement> PairGangDispatcher::plan(const ClusterView& view,
-                                                double /*now_s*/) {
+                                                double now_s) {
   std::vector<Placement> out;
   for (int n = 0; n < view.nodes() && next_ < entries_.size(); ++n) {
     if (!view.empty(n)) continue;
@@ -19,11 +19,19 @@ std::vector<Placement> PairGangDispatcher::plan(const ClusterView& view,
                   "pair gang needs two slots per node");
     PairEntry& e = entries_[next_++];
     if (e.b) {
+      metrics_->counter("dispatcher.pair_gang.pairs").add();
+      if (trace_ != nullptr) {
+        trace_->instant(obs_pid_, 0, "pair", now_s, e.a.id, n);
+      }
       paired_ids_.insert(e.a.id);
       paired_ids_.insert(e.b->id);
       out.push_back(Placement{std::move(e.a), e.cfg_a, {n}, false});
       out.push_back(Placement{std::move(*e.b), e.cfg_b, {n}, false});
     } else {
+      metrics_->counter("dispatcher.pair_gang.solos").add();
+      if (trace_ != nullptr) {
+        trace_->instant(obs_pid_, 0, "solo", now_s, e.a.id, n);
+      }
       out.push_back(Placement{std::move(e.a), e.cfg_a, {n}, false});
     }
   }

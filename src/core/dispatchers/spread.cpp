@@ -12,7 +12,7 @@ SpreadDispatcher::SpreadDispatcher(std::vector<SpreadEntry> entries,
 }
 
 std::vector<Placement> SpreadDispatcher::plan(const ClusterView& view,
-                                              double /*now_s*/) {
+                                              double now_s) {
   ECOST_REQUIRE(width_ <= view.nodes(), "spread width exceeds cluster size");
   std::vector<int> empties;
   int busy = 0;
@@ -36,6 +36,10 @@ std::vector<Placement> SpreadDispatcher::plan(const ClusterView& view,
                              empties.begin() +
                                  static_cast<std::ptrdiff_t>(taken + width_));
     taken += static_cast<std::size_t>(width_);
+    metrics_->counter("dispatcher.spread.gangs").add();
+    if (trace_ != nullptr) {
+      trace_->instant(obs_pid_, 0, "gang", now_s, e.job.id, targets.front());
+    }
     out.push_back(
         Placement{std::move(e.job), e.cfg, std::move(targets), true});
   }

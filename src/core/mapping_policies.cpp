@@ -49,6 +49,24 @@ MappingPolicies::MappingPolicies(const mapreduce::NodeEvaluator& eval,
   ECOST_REQUIRE(!jobs_.empty(), "need at least one job");
 }
 
+void MappingPolicies::set_obs(obs::TraceRecorder* trace,
+                              obs::MetricsRegistry* metrics,
+                              std::string track_prefix) {
+  trace_ = trace;
+  obs_metrics_ = metrics;
+  track_prefix_ = std::move(track_prefix);
+}
+
+ClusterOutcome MappingPolicies::run_policy(Dispatcher& d,
+                                           const char* policy) const {
+  ClusterEngine engine(eval_, nodes_, 2);
+  if (trace_ != nullptr) {
+    engine.set_obs(trace_, trace_->track(track_prefix_ + policy));
+  }
+  engine.set_metrics(obs_metrics_);
+  return engine.run(d);
+}
+
 PolicyResult MappingPolicies::serial_mapping() const {
   std::vector<SpreadEntry> entries;
   entries.reserve(jobs_.size());
@@ -56,8 +74,7 @@ PolicyResult MappingPolicies::serial_mapping() const {
     entries.push_back(SpreadEntry{bare_job(i, jobs_[i]), kDefaultCfg});
   }
   SpreadDispatcher d(std::move(entries), nodes_);
-  ClusterEngine engine(eval_, nodes_, 2);
-  const ClusterOutcome oc = engine.run(d);
+  const ClusterOutcome oc = run_policy(d, "SM");
   return {"SM", oc.makespan_s, oc.energy_dyn_j};
 }
 
@@ -71,10 +88,9 @@ PolicyResult MappingPolicies::multi_node(int parallel_jobs) const {
     entries.push_back(SpreadEntry{bare_job(i, jobs_[i]), kDefaultCfg});
   }
   SpreadDispatcher d(std::move(entries), group_nodes, parallel_jobs);
-  ClusterEngine engine(eval_, nodes_, 2);
-  const ClusterOutcome oc = engine.run(d);
-  return {parallel_jobs == 2 ? "MNM1" : "MNM2", oc.makespan_s,
-          oc.energy_dyn_j};
+  const char* name = parallel_jobs == 2 ? "MNM1" : "MNM2";
+  const ClusterOutcome oc = run_policy(d, name);
+  return {name, oc.makespan_s, oc.energy_dyn_j};
 }
 
 PolicyResult MappingPolicies::single_node() const {
@@ -84,8 +100,7 @@ PolicyResult MappingPolicies::single_node() const {
     entries.push_back(SpreadEntry{bare_job(i, jobs_[i]), kDefaultCfg});
   }
   SpreadDispatcher d(std::move(entries), 1);
-  ClusterEngine engine(eval_, nodes_, 2);
-  const ClusterOutcome oc = engine.run(d);
+  const ClusterOutcome oc = run_policy(d, "SNM");
   return {"SNM", oc.makespan_s, oc.energy_dyn_j};
 }
 
@@ -102,8 +117,7 @@ PolicyResult MappingPolicies::core_balance() const {
     entries.push_back(std::move(e));
   }
   PairGangDispatcher d(std::move(entries), eval_.spec().cores);
-  ClusterEngine engine(eval_, nodes_, 2);
-  const ClusterOutcome oc = engine.run(d);
+  const ClusterOutcome oc = run_policy(d, "CBM");
   return {"CBM", oc.makespan_s, oc.energy_dyn_j};
 }
 
@@ -132,8 +146,7 @@ PolicyResult MappingPolicies::predict_tuning(const TrainingData& td) const {
     entries.push_back(SpreadEntry{bare_job(i, job), *best_cfg});
   }
   SpreadDispatcher d(std::move(entries), 1);
-  ClusterEngine engine(eval_, nodes_, 2);
-  const ClusterOutcome oc = engine.run(d);
+  const ClusterOutcome oc = run_policy(d, "PTM");
   return {"PTM", oc.makespan_s, oc.energy_dyn_j};
 }
 
@@ -155,8 +168,7 @@ PolicyResult MappingPolicies::ecost(const TrainingData& td,
     queued.push_back(std::move(aj));
   }
   EcostDispatcher dispatcher(eval_, td, stp, std::move(queued));
-  ClusterEngine engine(eval_, nodes_, 2);
-  const ClusterOutcome oc = engine.run(dispatcher);
+  const ClusterOutcome oc = run_policy(dispatcher, "ECoST");
   return {"ECoST", oc.makespan_s, oc.energy_dyn_j};
 }
 
@@ -215,8 +227,7 @@ PolicyResult MappingPolicies::upper_bound() const {
   for (auto& [t, e] : timed) entries.push_back(std::move(e));
 
   PairGangDispatcher d(std::move(entries), eval_.spec().cores);
-  ClusterEngine engine(eval_, nodes_, 2);
-  const ClusterOutcome oc = engine.run(d);
+  const ClusterOutcome oc = run_policy(d, "UB");
   return {"UB", oc.makespan_s, oc.energy_dyn_j};
 }
 

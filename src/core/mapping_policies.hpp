@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cluster_engine.hpp"
 #include "core/dataset_builder.hpp"
 #include "core/stp.hpp"
 #include "mapreduce/node_evaluator.hpp"
@@ -54,13 +55,29 @@ class MappingPolicies {
 
   int nodes() const { return nodes_; }
 
+  /// Attaches observability sinks to every subsequent policy run. Each run
+  /// gets its own trace track named "<prefix><policy>" (e.g. "WS3/ECoST"),
+  /// so the per-policy timelines sit side by side in one trace. `metrics`
+  /// overrides the registry the engine counters record into (null keeps
+  /// the process-global registry). Null `trace` disables tracing.
+  void set_obs(obs::TraceRecorder* trace,
+               obs::MetricsRegistry* metrics = nullptr,
+               std::string track_prefix = "");
+
  private:
+  /// Shared engine boilerplate: builds the engine, wires the attached
+  /// observability sinks, runs the dispatcher.
+  ClusterOutcome run_policy(Dispatcher& d, const char* policy) const;
+
   const mapreduce::NodeEvaluator& eval_;
   /// UB's matching re-queries pair EDPs and ECoST's duration estimates
   /// re-score the same solo runs — shared across this object's policies.
   mutable mapreduce::EvalCache cache_;
   std::vector<mapreduce::JobSpec> jobs_;
   int nodes_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* obs_metrics_ = nullptr;
+  std::string track_prefix_;
 };
 
 }  // namespace ecost::core

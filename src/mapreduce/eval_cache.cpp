@@ -92,7 +92,19 @@ std::size_t EvalCache::EnvKeyHash::operator()(const EnvKey& k) const {
 EvalCache::EvalCache(const NodeEvaluator& eval) : EvalCache(eval, Options{}) {}
 
 EvalCache::EvalCache(const NodeEvaluator& eval, Options opts)
-    : eval_(eval), opts_(opts) {
+    : eval_(eval),
+      opts_(opts),
+      owned_metrics_(opts.metrics != nullptr
+                         ? nullptr
+                         : std::make_unique<obs::MetricsRegistry>()),
+      metrics_(opts.metrics != nullptr ? opts.metrics : owned_metrics_.get()),
+      hits_(metrics_->counter("eval_cache.hits")),
+      misses_(metrics_->counter("eval_cache.misses")),
+      tail_hits_(metrics_->counter("eval_cache.tail_hits")),
+      tail_misses_(metrics_->counter("eval_cache.tail_misses")),
+      env_hits_(metrics_->counter("eval_cache.env_hits")),
+      env_misses_(metrics_->counter("eval_cache.env_misses")),
+      evictions_(metrics_->counter("eval_cache.evictions")) {
   ECOST_REQUIRE(opts_.shards >= 1, "need at least one shard");
   ECOST_REQUIRE(opts_.capacity >= 1, "need capacity for at least one entry");
   std::size_t n = 1;
@@ -112,15 +124,36 @@ void EvalCache::insert_result(Shard& shard, const ResultKey& key,
     // raced us in; try_emplace below keeps the winner either way.
     shard.results.erase(shard.fifo.front());
     shard.fifo.pop_front();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.add();
   }
   const auto [it, inserted] = shard.results.try_emplace(key, rr);
   if (inserted) shard.fifo.push_back(key);
 }
 
+void EvalCache::set_trace(obs::TraceRecorder* trace, std::uint32_t sample) {
+  std::uint32_t mask = 1;
+  while (mask < std::max<std::uint32_t>(1, sample)) mask <<= 1;
+  trace_mask_ = mask - 1;
+  trace_.store(trace, std::memory_order_release);
+}
+
+void EvalCache::trace_lookup() {
+  obs::TraceRecorder* const trace = trace_.load(std::memory_order_acquire);
+  if (trace == nullptr) return;
+  const std::uint64_t n = lookups_.fetch_add(1, std::memory_order_relaxed);
+  if ((n & trace_mask_) != 0) return;
+  // Host track, lane 2: the cache's warm-up curve next to the pool lane.
+  const double ts = trace->wall_s();
+  trace->counter(0, 2, "eval_cache.hits", ts,
+                 static_cast<double>(hits_.value()));
+  trace->counter(0, 2, "eval_cache.misses", ts,
+                 static_cast<double>(misses_.value()));
+}
+
 RunResult EvalCache::run_solo(const JobSpec& job, const AppConfig& cfg) {
   if (!opts_.enabled) return eval_.run_solo(job, cfg);
 
+  trace_lookup();
   ResultKey key;
   key.a = make_eval_key(job, cfg);
   key.pair = false;
@@ -128,11 +161,11 @@ RunResult EvalCache::run_solo(const JobSpec& job, const AppConfig& cfg) {
   {
     std::lock_guard lock(shard.mu);
     if (const auto it = shard.results.find(key); it != shard.results.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.add();
       return it->second;
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.add();
   const RunResult rr = eval_.run_solo(job, cfg, this);
   {
     std::lock_guard lock(shard.mu);
@@ -145,6 +178,7 @@ RunResult EvalCache::run_pair(const JobSpec& a, const AppConfig& cfg_a,
                               const JobSpec& b, const AppConfig& cfg_b) {
   if (!opts_.enabled) return eval_.run_pair(a, cfg_a, b, cfg_b);
 
+  trace_lookup();
   // (A, B) and (B, A) describe the same physical run: store under the
   // canonically ordered key and swap the per-app telemetry on the way out.
   ResultKey key;
@@ -158,13 +192,13 @@ RunResult EvalCache::run_pair(const JobSpec& a, const AppConfig& cfg_a,
   {
     std::lock_guard lock(shard.mu);
     if (const auto it = shard.results.find(key); it != shard.results.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.add();
       RunResult rr = it->second;
       if (swapped) std::swap(rr.apps[0], rr.apps[1]);
       return rr;
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.add();
   // Compute in canonical operand order so the cached value — and everything
   // derived from it — does not depend on which orientation arrived first.
   RunResult rr = swapped ? eval_.run_pair(b, cfg_b, a, cfg_a, this)
@@ -187,11 +221,11 @@ NodeEvaluator::GroupSolution EvalCache::full_node_solo(const JobSpec& job,
   {
     std::lock_guard lock(shard.mu);
     if (const auto it = shard.tails.find(key); it != shard.tails.end()) {
-      tail_hits_.fetch_add(1, std::memory_order_relaxed);
+      tail_hits_.add();
       return it->second;
     }
   }
-  tail_misses_.fetch_add(1, std::memory_order_relaxed);
+  tail_misses_.add();
   const NodeEvaluator::GroupSolution sol = eval_.full_node_solo(job, cfg);
   std::lock_guard lock(shard.mu);
   return shard.tails.try_emplace(key, sol).first->second;
@@ -213,11 +247,11 @@ std::optional<JointEnv> EvalCache::joint_env(std::span<const GroupCtx> ctxs) {
   {
     std::lock_guard lock(shard.mu);
     if (const auto it = shard.envs.find(key); it != shard.envs.end()) {
-      env_hits_.fetch_add(1, std::memory_order_relaxed);
+      env_hits_.add();
       return it->second;
     }
   }
-  env_misses_.fetch_add(1, std::memory_order_relaxed);
+  env_misses_.add();
   JointEnv je = solve_joint_env(eval_.task_model(), ctxs);
   std::lock_guard lock(shard.mu);
   return shard.envs.try_emplace(key, std::move(je)).first->second;
@@ -225,13 +259,13 @@ std::optional<JointEnv> EvalCache::joint_env(std::span<const GroupCtx> ctxs) {
 
 EvalCache::Stats EvalCache::stats() const {
   Stats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.tail_hits = tail_hits_.load(std::memory_order_relaxed);
-  s.tail_misses = tail_misses_.load(std::memory_order_relaxed);
-  s.env_hits = env_hits_.load(std::memory_order_relaxed);
-  s.env_misses = env_misses_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.tail_hits = tail_hits_.value();
+  s.tail_misses = tail_misses_.value();
+  s.env_hits = env_hits_.value();
+  s.env_misses = env_misses_.value();
+  s.evictions = evictions_.value();
   return s;
 }
 

@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "mapreduce/node_evaluator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ecost::mapreduce {
 
@@ -61,6 +63,9 @@ class EvalCache final : public NodeEvaluator::Memo {
     std::size_t shards = 16;         ///< rounded up to a power of two
     std::size_t capacity = 1 << 20;  ///< max cached RunResults (all shards)
     bool enabled = true;  ///< false: transparent pass-through, no memo hooks
+    /// Registry the hit/miss/eviction counters live in. Null: the cache
+    /// owns a private registry, so per-instance Stats stay isolated.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit EvalCache(const NodeEvaluator& eval);
@@ -103,6 +108,15 @@ class EvalCache final : public NodeEvaluator::Memo {
   bool enabled() const { return opts_.enabled; }
   const NodeEvaluator& evaluator() const { return eval_; }
 
+  /// The registry the cache counters record into (owned or external).
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// Attach a trace sink: every `sample`-th lookup emits hit/miss counter
+  /// events (host track, wall clock) so a sweep's cache warm-up is visible
+  /// next to the engine timeline. Null detaches. `sample` is rounded up to
+  /// a power of two; sampling keeps the hot path at one relaxed increment.
+  void set_trace(obs::TraceRecorder* trace, std::uint32_t sample = 1024);
+
  private:
   struct ResultKey {
     EvalKey a;
@@ -144,19 +158,30 @@ class EvalCache final : public NodeEvaluator::Memo {
   }
   void insert_result(Shard& shard, const ResultKey& key, const RunResult& rr);
 
+  /// Sampled hit/miss counter events into the attached trace, if any.
+  void trace_lookup();
+
   const NodeEvaluator& eval_;
   Options opts_;
   std::size_t shard_mask_ = 0;
   std::size_t per_shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> tail_hits_{0};
-  std::atomic<std::uint64_t> tail_misses_{0};
-  std::atomic<std::uint64_t> env_hits_{0};
-  std::atomic<std::uint64_t> env_misses_{0};
-  std::atomic<std::uint64_t> evictions_{0};
+  // The bespoke per-cache atomics became obs counters: a private registry
+  // by default (per-instance Stats), or the caller's via Options::metrics.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& tail_hits_;
+  obs::Counter& tail_misses_;
+  obs::Counter& env_hits_;
+  obs::Counter& env_misses_;
+  obs::Counter& evictions_;
+
+  std::atomic<obs::TraceRecorder*> trace_{nullptr};
+  std::uint32_t trace_mask_ = 1023;
+  std::atomic<std::uint64_t> lookups_{0};
 };
 
 }  // namespace ecost::mapreduce

@@ -14,12 +14,18 @@ namespace ecost::mapreduce {
 NodeEvaluator::NodeEvaluator(const sim::NodeSpec& spec)
     : spec_(spec), tasks_(spec), waves_(spec), power_(spec) {
   spec_.validate();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  c_solo_runs_ = &reg.counter("evaluator.solo_runs");
+  c_pair_runs_ = &reg.counter("evaluator.pair_runs");
+  c_group_solves_ = &reg.counter("evaluator.group_solves");
+  c_co_run_solves_ = &reg.counter("evaluator.co_run_solves");
 }
 
 std::vector<NodeEvaluator::GroupSolution> NodeEvaluator::solve_groups(
     std::span<const GroupInput> groups, Memo* memo) const {
   const std::size_t k = groups.size();
   ECOST_REQUIRE(k >= 1, "need at least one group");
+  c_group_solves_->add();
   int total_mappers = 0;
   for (const GroupInput& g : groups) {
     g.cfg.validate(spec_);
@@ -185,6 +191,7 @@ std::vector<NodeEvaluator::GroupLoads> NodeEvaluator::co_run_loads(
     std::span<const JobSpec* const> jobs,
     std::span<const AppConfig> cfgs) const {
   ECOST_REQUIRE(jobs.size() == cfgs.size(), "jobs/configs mismatch");
+  c_co_run_solves_->add();
   std::vector<GroupInput> gis;
   gis.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -232,6 +239,7 @@ NodeEvaluator::GroupSolution NodeEvaluator::full_node_solo(
 
 RunResult NodeEvaluator::run_solo(const JobSpec& job, const AppConfig& cfg,
                                   Memo* memo) const {
+  c_solo_runs_->add();
   const GroupInput gi{&job, cfg};
   const auto sols = solve_groups(std::span(&gi, 1), memo);
   const GroupSolution& g = sols[0];
@@ -258,6 +266,7 @@ RunResult NodeEvaluator::run_solo(const JobSpec& job, const AppConfig& cfg,
 RunResult NodeEvaluator::run_pair(const JobSpec& a, const AppConfig& cfg_a,
                                   const JobSpec& b, const AppConfig& cfg_b,
                                   Memo* memo) const {
+  c_pair_runs_->add();
   PairConfig pc{cfg_a, cfg_b};
   pc.validate(spec_);
 

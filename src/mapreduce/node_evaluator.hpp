@@ -23,6 +23,7 @@
 #include "mapreduce/run_result.hpp"
 #include "mapreduce/task_model.hpp"
 #include "mapreduce/wave_model.hpp"
+#include "obs/metrics.hpp"
 #include "sim/power.hpp"
 
 namespace ecost::mapreduce {
@@ -135,6 +136,13 @@ class NodeEvaluator {
   TaskModel tasks_;
   WaveModel waves_;
   sim::PowerModel power_;
+
+  // Process-wide evaluator counters (obs global registry): evaluation
+  // volume is the denominator every cache hit rate is judged against.
+  obs::Counter* c_solo_runs_;
+  obs::Counter* c_pair_runs_;
+  obs::Counter* c_group_solves_;
+  obs::Counter* c_co_run_solves_;
 };
 
 }  // namespace ecost::mapreduce

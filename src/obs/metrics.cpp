@@ -1,0 +1,256 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace ecost::obs {
+namespace {
+
+void add_relaxed(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+double quantile_from_buckets(std::span<const double> bounds,
+                             std::span<const std::uint64_t> counts,
+                             std::uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double next = cum + static_cast<double>(counts[b]);
+    if (next >= target || b + 1 == counts.size()) {
+      // The overflow bucket has no upper edge: clamp to the last bound.
+      if (b >= bounds.size()) {
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lo = b == 0 ? 0.0 : bounds[b - 1];
+      const double hi = bounds[b];
+      const double in_bucket = static_cast<double>(counts[b]);
+      if (in_bucket <= 0.0) return hi;
+      const double frac = std::clamp((target - cum) / in_bucket, 0.0, 1.0);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::logic_error("histogram bounds must be strictly increasing");
+    }
+  }
+  for (std::size_t i = 0; i < bounds_.size() + 1; ++i) {
+    counts_.emplace_back(0);
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v,
+                                   [](double a, double b) { return a <= b; });
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  add_relaxed(sum_, v);
+}
+
+double Histogram::quantile(double q) const {
+  std::vector<std::uint64_t> counts(counts_.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  return quantile_from_buckets(bounds_, counts, total, q);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  if (const auto it = counters_.find(name); it != counters_.end()) {
+    return *it->second;
+  }
+  if (kinds_.count(name) != 0) {
+    throw std::logic_error("metric '" + name + "' already registered "
+                           "as a different kind");
+  }
+  kinds_.emplace(name, Kind::Counter);
+  Counter& c = counter_store_.emplace_back();
+  counters_.emplace(name, &c);
+  return c;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  if (const auto it = gauges_.find(name); it != gauges_.end()) {
+    return *it->second;
+  }
+  if (kinds_.count(name) != 0) {
+    throw std::logic_error("metric '" + name + "' already registered "
+                           "as a different kind");
+  }
+  kinds_.emplace(name, Kind::Gauge);
+  Gauge& g = gauge_store_.emplace_back();
+  gauges_.emplace(name, &g);
+  return g;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  if (const auto it = histograms_.find(name); it != histograms_.end()) {
+    return *it->second;
+  }
+  if (kinds_.count(name) != 0) {
+    throw std::logic_error("metric '" + name + "' already registered "
+                           "as a different kind");
+  }
+  kinds_.emplace(name, Kind::Histogram);
+  Histogram& h = histogram_store_.emplace_back(std::move(bounds));
+  histograms_.emplace(name, &h);
+  return h;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramRow row;
+    row.name = name;
+    row.bounds.assign(h->bounds().begin(), h->bounds().end());
+    row.counts.resize(row.bounds.size() + 1);
+    for (std::size_t b = 0; b < row.counts.size(); ++b) {
+      row.counts[b] = h->bucket_count(b);
+      row.count += row.counts[b];
+    }
+    row.sum = h->sum();
+    row.p50 = quantile_from_buckets(row.bounds, row.counts, row.count, 0.50);
+    row.p90 = quantile_from_buckets(row.bounds, row.counts, row.count, 0.90);
+    row.p99 = quantile_from_buckets(row.bounds, row.counts, row.count, 0.99);
+    snap.histograms.push_back(std::move(row));
+  }
+  std::sort(snap.counters.begin(), snap.counters.end());
+  std::sort(snap.gauges.begin(), snap.gauges.end());
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const HistogramRow& a, const HistogramRow& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const Snapshot snap = snapshot();
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \""
+       << json_escape(snap.counters[i].first)
+       << "\": " << snap.counters[i].second;
+  }
+  os << (snap.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \""
+       << json_escape(snap.gauges[i].first)
+       << "\": " << fmt_double(snap.gauges[i].second);
+  }
+  os << (snap.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramRow& h = snap.histograms[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(h.name)
+       << "\": {\"count\": " << h.count << ", \"sum\": " << fmt_double(h.sum)
+       << ", \"p50\": " << fmt_double(h.p50)
+       << ", \"p90\": " << fmt_double(h.p90)
+       << ", \"p99\": " << fmt_double(h.p99) << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      os << (b == 0 ? "" : ", ") << "{\"le\": "
+         << (b < h.bounds.size() ? fmt_double(h.bounds[b]) : "\"inf\"")
+         << ", \"count\": " << h.counts[b] << "}";
+    }
+    os << "]}";
+  }
+  os << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+void MetricsRegistry::write_table(std::ostream& os) const {
+  const Snapshot snap = snapshot();
+  std::size_t width = 8;
+  for (const auto& [name, v] : snap.counters) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& h : snap.histograms) width = std::max(width, h.name.size());
+
+  auto pad = [&](const std::string& s) {
+    os << s;
+    for (std::size_t i = s.size(); i < width + 2; ++i) os << ' ';
+  };
+  if (!snap.counters.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, v] : snap.counters) {
+      os << "  ";
+      pad(name);
+      os << v << '\n';
+    }
+  }
+  if (!snap.gauges.empty()) {
+    os << "gauges:\n";
+    for (const auto& [name, v] : snap.gauges) {
+      os << "  ";
+      pad(name);
+      os << fmt_double(v) << '\n';
+    }
+  }
+  if (!snap.histograms.empty()) {
+    os << "histograms:\n";
+    for (const auto& h : snap.histograms) {
+      os << "  ";
+      pad(h.name);
+      os << "count " << h.count << "  sum " << fmt_double(h.sum) << "  p50 "
+         << fmt_double(h.p50) << "  p90 " << fmt_double(h.p90) << "  p99 "
+         << fmt_double(h.p99) << '\n';
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace ecost::obs

@@ -1,0 +1,137 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket
+// histograms behind one registry with a snapshot/export API.
+//
+// This is the single home for the runtime's operational counters — the
+// evaluation-cache hit/miss tallies that used to live as bespoke atomics
+// inside EvalCache, the thread-pool loop statistics, and the cluster
+// engine's event/placement/retune counts. Instrumented code resolves its
+// handles once (a mutex-guarded name lookup) and then updates them with
+// relaxed atomics only; `snapshot()` reads everything without stopping
+// writers, and the JSON/table writers render a snapshot deterministically
+// (sorted by name).
+//
+// Handles returned by counter()/gauge()/histogram() are stable for the
+// registry's lifetime (elements live in deques and are never moved).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ecost::obs {
+
+/// Monotonic event count. Relaxed increments; safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (e.g. a queue depth or the most recent makespan).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// first N buckets; one overflow bucket catches everything above the last
+/// edge. Quantiles are estimated by linear interpolation inside the
+/// containing bucket — exact enough for regression gating, cheap enough
+/// for hot paths (one binary search + one relaxed increment per observe).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::span<const double> bounds() const { return bounds_; }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Estimated q-quantile (q in [0, 1]) from the bucket counts; the
+  /// overflow bucket clamps to the last edge. 0 observations -> 0.
+  double quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::deque<std::atomic<std::uint64_t>> counts_;  ///< bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name. Repeated calls with the same name return the
+  /// same handle; a name registered as one kind may not be reused as
+  /// another (throws std::logic_error).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` must be strictly increasing; ignored (the first winner's
+  /// edges stick) when the histogram already exists.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Consistent-enough point-in-time copy (each value is read atomically;
+  /// the set of metrics is read under the registry lock). Rows sorted by
+  /// name.
+  struct HistogramRow {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1
+    double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramRow> histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} — stable
+  /// key order (sorted), parseable by tools/check_bench.py.
+  void write_json(std::ostream& os) const;
+
+  /// Human-readable aligned table, one section per metric kind.
+  void write_table(std::ostream& os) const;
+
+  /// Process-wide default registry. Library code that is not handed an
+  /// explicit registry records here (thread pool, node evaluator, cluster
+  /// engine); tools export it via --metrics-out.
+  static MetricsRegistry& global();
+
+ private:
+  enum class Kind { Counter, Gauge, Histogram };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Kind> kinds_;
+  std::unordered_map<std::string, Counter*> counters_;
+  std::unordered_map<std::string, Gauge*> gauges_;
+  std::unordered_map<std::string, Histogram*> histograms_;
+  // Deques never relocate elements: handles stay valid as metrics appear.
+  std::deque<Counter> counter_store_;
+  std::deque<Gauge> gauge_store_;
+  std::deque<Histogram> histogram_store_;
+};
+
+}  // namespace ecost::obs

@@ -1,0 +1,240 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <ostream>
+#include <thread>
+
+namespace ecost::obs {
+namespace {
+
+std::atomic<TraceRecorder*> g_trace{nullptr};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string fmt_us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+std::string fmt_value(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+TraceRecorder* global_trace() {
+  return g_trace.load(std::memory_order_acquire);
+}
+
+void set_global_trace(TraceRecorder* recorder) {
+  g_trace.store(recorder, std::memory_order_release);
+}
+
+TraceRecorder::TraceRecorder(Options opts)
+    : epoch_(std::chrono::steady_clock::now()) {
+  std::size_t n = 1;
+  while (n < std::max<std::size_t>(1, opts.shards)) n <<= 1;
+  shard_mask_ = n - 1;
+  per_shard_capacity_ = std::max<std::size_t>(1, opts.capacity / n);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->ring.resize(per_shard_capacity_);
+  }
+}
+
+TraceRecorder::Shard& TraceRecorder::shard_for_this_thread() {
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return *shards_[h & shard_mask_];
+}
+
+void TraceRecorder::emit(const TraceEvent& ev) {
+  Shard& shard = shard_for_this_thread();
+  std::lock_guard lock(shard.mu);
+  if (shard.used == shard.ring.size()) ++shard.dropped;
+  shard.ring[shard.next] = ev;
+  shard.next = (shard.next + 1) % shard.ring.size();
+  shard.used = std::min(shard.used + 1, shard.ring.size());
+}
+
+std::uint32_t TraceRecorder::track(std::string name) {
+  const std::uint32_t pid =
+      next_pid_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(names_mu_);
+  track_names_.emplace(pid, std::move(name));
+  return pid;
+}
+
+void TraceRecorder::name_lane(std::uint32_t pid, std::uint32_t tid,
+                              std::string name) {
+  std::lock_guard lock(names_mu_);
+  lane_names_[{pid, tid}] = std::move(name);
+}
+
+void TraceRecorder::instant(std::uint32_t pid, std::uint32_t tid,
+                            const char* name, double ts_s, std::uint64_t job,
+                            int node) {
+  TraceEvent ev;
+  ev.ph = 'i';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  ev.ts_s = ts_s;
+  ev.name = name;
+  ev.job = job;
+  ev.node = node;
+  emit(ev);
+}
+
+void TraceRecorder::span(std::uint32_t pid, std::uint32_t tid,
+                         const char* name, double start_s, double end_s,
+                         std::uint64_t job, int node) {
+  TraceEvent ev;
+  ev.ph = 'X';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  ev.ts_s = start_s;
+  ev.dur_s = std::max(0.0, end_s - start_s);
+  ev.name = name;
+  ev.job = job;
+  ev.node = node;
+  emit(ev);
+}
+
+void TraceRecorder::counter(std::uint32_t pid, std::uint32_t tid,
+                            const char* name, double ts_s, double value) {
+  TraceEvent ev;
+  ev.ph = 'C';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  ev.ts_s = ts_s;
+  ev.name = name;
+  ev.value = value;
+  ev.has_value = true;
+  emit(ev);
+}
+
+double TraceRecorder::wall_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+std::size_t TraceRecorder::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    n += shard->used;
+  }
+  return n;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    n += shard->dropped;
+  }
+  return n;
+}
+
+void TraceRecorder::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    shard->next = 0;
+    shard->used = 0;
+    shard->dropped = 0;
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::sorted_events() const {
+  std::vector<TraceEvent> events;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    // Ring contents in emission order: oldest first.
+    const std::size_t cap = shard->ring.size();
+    const std::size_t start = (shard->next + cap - shard->used) % cap;
+    for (std::size_t i = 0; i < shard->used; ++i) {
+      events.push_back(shard->ring[(start + i) % cap]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_s != b.ts_s) return a.ts_s < b.ts_s;
+              return a.seq < b.seq;
+            });
+  return events;
+}
+
+void TraceRecorder::export_chrome_json(std::ostream& os) const {
+  const std::vector<TraceEvent> events = sorted_events();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  {
+    std::lock_guard lock(names_mu_);
+    os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+          "\"args\":{\"name\":\"host\"}}";
+    first = false;
+    for (const auto& [pid, name] : track_names_) {
+      os << ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+    }
+    for (const auto& [key, name] : lane_names_) {
+      os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << key.first
+         << ",\"tid\":" << key.second << ",\"args\":{\"name\":\""
+         << json_escape(name) << "\"}}";
+    }
+  }
+  for (const TraceEvent& ev : events) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "{\"name\":\"" << json_escape(ev.name);
+    if (ev.job != kNoJob && ev.ph != 'C') os << " #" << ev.job;
+    os << "\",\"cat\":\"ecost\",\"ph\":\"" << ev.ph
+       << "\",\"ts\":" << fmt_us(ev.ts_s);
+    if (ev.ph == 'X') os << ",\"dur\":" << fmt_us(ev.dur_s);
+    os << ",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid;
+    if (ev.ph == 'i') os << ",\"s\":\"t\"";
+    os << ",\"args\":{";
+    bool first_arg = true;
+    if (ev.ph == 'C') {
+      os << "\"" << json_escape(ev.name) << "\":" << fmt_value(ev.value);
+      first_arg = false;
+    } else {
+      if (ev.job != kNoJob) {
+        os << "\"job\":" << ev.job;
+        first_arg = false;
+      }
+      if (ev.node >= 0) {
+        os << (first_arg ? "" : ",") << "\"node\":" << ev.node;
+        first_arg = false;
+      }
+      if (ev.has_value) {
+        os << (first_arg ? "" : ",") << "\"value\":" << fmt_value(ev.value);
+        first_arg = false;
+      }
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace ecost::obs

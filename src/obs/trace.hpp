@@ -1,0 +1,129 @@
+// Structured tracing: typed span/instant/counter events into lock-cheap
+// ring-buffer sinks, exported as Chrome trace_event JSON (open the file in
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// Producers hold a `TraceRecorder*` and call span()/instant()/counter()
+// with explicit timestamps — the cluster engine passes its deterministic
+// simulated clock, host-side producers (thread pool, evaluation cache)
+// pass `wall_s()`. A null recorder pointer is the disabled state: every
+// instrumentation site guards with one pointer test, so tracing costs
+// nothing when off (guarded by the micro_sweep trace benchmarks).
+//
+// Events land in per-shard rings (shard picked by the producing thread's
+// id) as fixed-size PODs under a short mutex hold; when a ring fills, the
+// oldest events are overwritten and counted as dropped. Export merges the
+// shards and sorts by (timestamp, sequence), so a single-threaded
+// deterministic producer — the engine — yields a byte-stable event order
+// (pinned by the golden-trace test).
+//
+// Track model: a `pid` names one track group (one engine run: "WS3/ECoST"),
+// `tid` 0 is that run's scheduler lane and `tid` n+1 is cluster node n.
+// pid 0 is reserved for host-side (wall-clock) producers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ecost::obs {
+
+inline constexpr std::uint64_t kNoJob = ~std::uint64_t{0};
+
+/// One trace event. `ph` follows the Chrome trace_event phases that the
+/// exporter emits: 'X' complete (span), 'i' instant, 'C' counter.
+struct TraceEvent {
+  char ph = 'i';
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t seq = 0;    ///< global emission order, breaks timestamp ties
+  double ts_s = 0.0;        ///< event (or span start) time, seconds
+  double dur_s = 0.0;       ///< span length ('X' only)
+  const char* name = "";    ///< static taxonomy string — never freed
+  std::uint64_t job = kNoJob;
+  std::int32_t node = -1;
+  double value = 0.0;       ///< counter value / free numeric argument
+  bool has_value = false;
+};
+
+class TraceRecorder {
+ public:
+  struct Options {
+    std::size_t capacity = 1 << 16;  ///< total ring slots across all shards
+    std::size_t shards = 8;          ///< rounded up to a power of two
+  };
+
+  TraceRecorder() : TraceRecorder(Options{}) {}
+  explicit TraceRecorder(Options opts);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Allocates a fresh track group (pid) named `name` — one per engine
+  /// run. Thread-safe.
+  std::uint32_t track(std::string name);
+
+  /// Names a lane inside a track group ("node 0", "scheduler").
+  void name_lane(std::uint32_t pid, std::uint32_t tid, std::string name);
+
+  void instant(std::uint32_t pid, std::uint32_t tid, const char* name,
+               double ts_s, std::uint64_t job = kNoJob, int node = -1);
+  void span(std::uint32_t pid, std::uint32_t tid, const char* name,
+            double start_s, double end_s, std::uint64_t job = kNoJob,
+            int node = -1);
+  void counter(std::uint32_t pid, std::uint32_t tid, const char* name,
+               double ts_s, double value);
+
+  /// Seconds since this recorder was created (steady clock) — the
+  /// timestamp source for host-side (non-simulated) producers.
+  double wall_s() const;
+
+  std::size_t size() const;
+  std::uint64_t dropped() const;
+  void clear();
+
+  /// All retained events, merged across shards and sorted by
+  /// (ts_s, seq) — the exact order the exporter writes.
+  std::vector<TraceEvent> sorted_events() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}): metadata names for
+  /// every track, then the sorted events. Loads in Perfetto as-is.
+  void export_chrome_json(std::ostream& os) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> ring;
+    std::size_t next = 0;   ///< ring cursor
+    std::size_t used = 0;   ///< filled slots (<= ring.size())
+    std::uint64_t dropped = 0;
+  };
+
+  void emit(const TraceEvent& ev);
+  Shard& shard_for_this_thread();
+
+  std::size_t shard_mask_ = 0;
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint32_t> next_pid_{1};  ///< pid 0 = host track
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex names_mu_;
+  std::map<std::uint32_t, std::string> track_names_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string> lane_names_;
+};
+
+/// Process-wide recorder hook for producers that are not wired explicitly
+/// (the thread pool, sampled cache counters). Null when tracing is off —
+/// the default. The caller owns the recorder and must clear the hook
+/// before destroying it.
+TraceRecorder* global_trace();
+void set_global_trace(TraceRecorder* recorder);
+
+}  // namespace ecost::obs

@@ -4,6 +4,9 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace ecost {
 
 namespace {
@@ -34,13 +37,33 @@ struct ThreadPool::Task {
   void* ctx = nullptr;
 
   std::atomic<bool> failed{false};
+  std::atomic<std::size_t> steals{0};  // chunks claimed from foreign shards
   std::exception_ptr error;  // guarded by the pool mutex
   int joined = 0;            // workers that picked this task up (pool mutex)
   int max_join = 0;          // worker budget (participants - submitter)
   int active = 0;            // workers still executing (pool mutex)
 };
 
+// Relaxed-atomic observability handles, resolved once against the global
+// registry so the hot path never takes the registry lock.
+struct ThreadPool::Metrics {
+  obs::Counter& loops;
+  obs::Counter& items;
+  obs::Counter& steals;
+  obs::Histogram& loop_items;
+
+  Metrics()
+      : loops(obs::MetricsRegistry::global().counter("thread_pool.loops")),
+        items(obs::MetricsRegistry::global().counter("thread_pool.items")),
+        steals(obs::MetricsRegistry::global().counter("thread_pool.steals")),
+        loop_items(obs::MetricsRegistry::global().histogram(
+            "thread_pool.loop_items",
+            {1, 8, 64, 512, 4096, 32768, 262144})) {}
+};
+
 ThreadPool::ThreadPool(unsigned workers) {
+  static Metrics metrics;  // outlives every pool, including the global one
+  metrics_ = &metrics;
   workers_.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -63,17 +86,22 @@ ThreadPool& ThreadPool::global() {
 
 void ThreadPool::work_on(Task& t, std::size_t home) {
   const std::size_t shards = t.num_shards;
+  std::size_t stolen = 0;
   for (std::size_t off = 0; off < shards; ++off) {
     Task::Shard& s = t.shards[(home + off) % shards];
     while (!t.failed.load(std::memory_order_relaxed)) {
       const std::size_t start =
           s.next.fetch_add(t.grain, std::memory_order_relaxed);
       if (start >= s.end) break;
+      if (off != 0) ++stolen;
       const std::size_t end = std::min(s.end, start + t.grain);
       try {
         for (std::size_t i = start; i < end; ++i) {
           // A failure elsewhere stops mid-chunk, not at the next steal.
-          if (t.failed.load(std::memory_order_relaxed)) return;
+          if (t.failed.load(std::memory_order_relaxed)) {
+            t.steals.fetch_add(stolen, std::memory_order_relaxed);
+            return;
+          }
           t.fn(t.ctx, i);
         }
       } catch (...) {
@@ -81,11 +109,13 @@ void ThreadPool::work_on(Task& t, std::size_t home) {
           std::lock_guard lk(mu_);
           t.error = std::current_exception();
         }
+        t.steals.fetch_add(stolen, std::memory_order_relaxed);
         return;
       }
     }
-    if (t.failed.load(std::memory_order_relaxed)) return;
+    if (t.failed.load(std::memory_order_relaxed)) break;
   }
+  t.steals.fetch_add(stolen, std::memory_order_relaxed);
 }
 
 void ThreadPool::worker_loop() {
@@ -124,8 +154,23 @@ void ThreadPool::invoke(std::size_t n, unsigned max_threads, std::size_t grain,
   participants = std::min<std::size_t>(participants, workers_.size() + 1);
   participants = std::min(participants, n);
 
+  obs::TraceRecorder* trace = nullptr;
+  double trace_t0 = 0.0;
+  if (!tl_in_pool_task) {
+    // Nested loops run inline on a worker; count only top-level loops so
+    // thread_pool.items matches the indices the caller asked for.
+    metrics_->loops.add(1);
+    metrics_->items.add(n);
+    metrics_->loop_items.observe(static_cast<double>(n));
+    trace = obs::global_trace();
+    if (trace != nullptr) trace_t0 = trace->wall_s();
+  }
+
   if (participants <= 1 || tl_in_pool_task) {
     for (std::size_t i = 0; i < n; ++i) fn(ctx, i);
+    if (trace != nullptr) {
+      trace->span(0, 1, "parallel_for", trace_t0, trace->wall_s());
+    }
     return;
   }
 
@@ -167,6 +212,11 @@ void ThreadPool::invoke(std::size_t n, unsigned max_threads, std::size_t grain,
     std::unique_lock lk(mu_);
     task_ = nullptr;  // no further joiners; stragglers hold their pointer
     done_cv_.wait(lk, [&] { return task.active == 0; });
+  }
+  metrics_->steals.add(task.steals.load(std::memory_order_relaxed));
+  if (trace != nullptr) {
+    // Host track (pid 0), lane 1: one span per top-level pool loop.
+    trace->span(0, 1, "parallel_for", trace_t0, trace->wall_s());
   }
   if (task.error) std::rethrow_exception(task.error);
 }

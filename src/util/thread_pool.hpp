@@ -62,12 +62,14 @@ class ThreadPool {
 
  private:
   struct Task;
+  struct Metrics;
 
   void invoke(std::size_t n, unsigned max_threads, std::size_t grain,
               void (*fn)(void*, std::size_t), void* ctx);
   void work_on(Task& task, std::size_t home);
   void worker_loop();
 
+  Metrics* metrics_;               // obs handles, resolved at construction
   std::mutex mu_;                  // guards task_, epoch_, Task bookkeeping
   std::condition_variable cv_;     // workers wait here for a task
   std::condition_variable done_cv_;  // the submitter waits for stragglers

@@ -1,0 +1,141 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace ecost::obs {
+namespace {
+
+TEST(MetricsTest, CounterFindOrCreate) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add();
+  a.add(4);
+  EXPECT_EQ(b.value(), 5u);
+  EXPECT_EQ(reg.counter("y").value(), 0u);
+}
+
+TEST(MetricsTest, GaugeHoldsLastWrite) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("depth");
+  g.set(3.0);
+  g.set(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), -1.5);
+}
+
+TEST(MetricsTest, KindConflictThrows) {
+  MetricsRegistry reg;
+  reg.counter("name");
+  EXPECT_THROW(reg.gauge("name"), std::logic_error);
+  EXPECT_THROW(reg.histogram("name", {1.0}), std::logic_error);
+}
+
+TEST(MetricsTest, HistogramBucketsAndQuantiles) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 10; ++i) h.observe(0.5);   // bucket [.., 1]
+  for (int i = 0; i < 80; ++i) h.observe(5.0);   // bucket (1, 10]
+  for (int i = 0; i < 10; ++i) h.observe(50.0);  // bucket (10, 100]
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.sum(), 10 * 0.5 + 80 * 5.0 + 10 * 50.0, 1e-9);
+  EXPECT_EQ(h.bucket_count(0), 10u);
+  EXPECT_EQ(h.bucket_count(1), 80u);
+  EXPECT_EQ(h.bucket_count(2), 10u);
+  EXPECT_EQ(h.bucket_count(3), 0u);
+  // p50 falls inside (1, 10]; p99 inside (10, 100]; interpolation keeps
+  // them within the containing bucket.
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 10.0);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GT(p99, 10.0);
+  EXPECT_LE(p99, 100.0);
+}
+
+TEST(MetricsTest, HistogramOverflowClampsToLastEdge) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("big", {1.0});
+  for (int i = 0; i < 100; ++i) h.observe(1e9);
+  EXPECT_EQ(h.bucket_count(1), 100u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+}
+
+TEST(MetricsTest, SnapshotSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("zeta").add(1);
+  reg.counter("alpha").add(2);
+  reg.gauge("mid").set(7.0);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "zeta");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].first, "mid");
+}
+
+TEST(MetricsTest, JsonExportIsParseableShape) {
+  MetricsRegistry reg;
+  reg.counter("c").add(3);
+  reg.gauge("g").set(1.25);
+  reg.histogram("h", {1.0, 2.0}).observe(1.5);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"counters\""), std::string::npos);
+  EXPECT_NE(s.find("\"c\": 3"), std::string::npos);
+  EXPECT_NE(s.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(s.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(s.find("\"le\""), std::string::npos);
+}
+
+TEST(MetricsTest, TableExportMentionsEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("hits").add(9);
+  reg.histogram("dt", {1.0}).observe(0.5);
+  std::ostringstream os;
+  reg.write_table(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("hits"), std::string::npos);
+  EXPECT_NE(s.find("dt"), std::string::npos);
+}
+
+// Hammered from many threads; meaningful under TSan (the CI tsan job runs
+// this suite) and as a totals check everywhere else.
+TEST(MetricsConcurrencyTest, ParallelRegistrationAndUpdates) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Every thread find-or-creates the same handles while others update
+      // them — the registry lock and the relaxed hot path race here.
+      Counter& c = reg.counter("shared.counter");
+      Gauge& g = reg.gauge("shared.gauge");
+      Histogram& h = reg.histogram("shared.hist", {1.0, 10.0, 100.0});
+      for (int i = 0; i < kIters; ++i) {
+        c.add();
+        g.set(static_cast<double>(i));
+        h.observe(static_cast<double>(i % 150));
+        if (i % 1000 == 0) (void)reg.snapshot();  // concurrent reader
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter("shared.counter").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  Histogram& h = reg.histogram("shared.hist", {1.0, 10.0, 100.0});
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i < 4; ++i) bucket_total += h.bucket_count(i);
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+}  // namespace
+}  // namespace ecost::obs

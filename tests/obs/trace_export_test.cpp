@@ -1,0 +1,111 @@
+// Chrome trace_event export: a golden-file check of the exact JSON the
+// exporter writes for a scripted event sequence, plus a determinism check
+// over the real cluster engine (two identical runs must export
+// byte-identical traces — the engine clock is simulated, so nothing
+// host-dependent may leak into the event stream).
+//
+// Regenerate the golden after an intentional exporter change:
+//   ECOST_UPDATE_GOLDEN=1 ./obs_tests --gtest_filter='*GoldenChromeJson*'
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/cluster_engine.hpp"
+#include "core/dispatchers/fifo.hpp"
+#include "obs/trace.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::obs {
+namespace {
+
+std::string golden_path() {
+  return std::string(ECOST_TEST_DATA_DIR) + "/golden_trace.json";
+}
+
+/// A miniature engine-shaped event sequence with hand-picked timestamps:
+/// two jobs placed on one node, a retune, a wave boundary, retirement.
+void emit_script(TraceRecorder& rec) {
+  const std::uint32_t pid = rec.track("WS0/TEST");
+  rec.name_lane(pid, 0, "scheduler");
+  rec.name_lane(pid, 1, "node 0");
+  rec.instant(pid, 0, "place", 0.0, /*job=*/0, /*node=*/0);
+  rec.instant(pid, 0, "place", 0.0, /*job=*/1, /*node=*/0);
+  rec.counter(pid, 0, "power_w", 0.0, 47.25);
+  rec.instant(pid, 1, "retune", 120.0, /*job=*/1, /*node=*/0);
+  rec.span(pid, 1, "wave", 0.0, 120.0, kNoJob, /*node=*/0);
+  rec.span(pid, 1, "part", 0.0, 120.0, /*job=*/0, /*node=*/0);
+  rec.span(pid, 0, "job", 0.0, 120.0, /*job=*/0);
+  rec.counter(pid, 0, "power_w", 120.0, 31.5);
+  rec.span(pid, 1, "wave", 120.0, 300.0, kNoJob, /*node=*/0);
+  rec.span(pid, 1, "part", 0.0, 300.0, /*job=*/1, /*node=*/0);
+  rec.span(pid, 0, "job", 0.0, 300.0, /*job=*/1);
+}
+
+TEST(TraceExportTest, GoldenChromeJson) {
+  TraceRecorder rec;
+  emit_script(rec);
+  std::ostringstream os;
+  rec.export_chrome_json(os);
+  const std::string actual = os.str();
+
+  if (std::getenv("ECOST_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << actual;
+    GTEST_SKIP() << "golden regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " — regenerate with ECOST_UPDATE_GOLDEN=1";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(actual, want.str());
+}
+
+TEST(TraceExportTest, ExportIsStableAcrossRepeatedCalls) {
+  TraceRecorder rec;
+  emit_script(rec);
+  std::ostringstream a;
+  std::ostringstream b;
+  rec.export_chrome_json(a);
+  rec.export_chrome_json(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+std::string run_engine_trace() {
+  const mapreduce::NodeEvaluator eval;
+  std::deque<core::QueuedJob> jobs;
+  const auto& apps = workloads::training_apps();
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    core::QueuedJob qj;
+    qj.id = i;
+    qj.info.job = mapreduce::JobSpec::of_gib(apps[i % apps.size()], 0.5);
+    jobs.push_back(qj);
+  }
+  core::dispatchers::FifoDispatcher d(
+      std::move(jobs), mapreduce::AppConfig{sim::FreqLevel::F2_4, 128, 4});
+  TraceRecorder rec;
+  core::ClusterEngine engine(eval, /*nodes=*/2, /*slots_per_node=*/2);
+  engine.set_obs(&rec, rec.track("golden"));
+  (void)engine.run(d);
+  std::ostringstream os;
+  rec.export_chrome_json(os);
+  return os.str();
+}
+
+TEST(TraceExportTest, EngineTraceIsDeterministic) {
+  const std::string first = run_engine_trace();
+  const std::string second = run_engine_trace();
+  EXPECT_FALSE(first.empty());
+  EXPECT_NE(first.find("\"ph\":\"X\""), std::string::npos)
+      << "engine run emitted no spans";
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace ecost::obs

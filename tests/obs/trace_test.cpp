@@ -1,0 +1,134 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace ecost::obs {
+namespace {
+
+TEST(TraceTest, RecordsTypedEvents) {
+  TraceRecorder rec;
+  const std::uint32_t pid = rec.track("run");
+  rec.instant(pid, 0, "place", 1.0, /*job=*/7, /*node=*/2);
+  rec.span(pid, 3, "part", 1.0, 5.0, /*job=*/7, /*node=*/2);
+  rec.counter(pid, 0, "power_w", 2.0, 61.5);
+  const auto evs = rec.sorted_events();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(evs[0].ph, 'i');
+  EXPECT_EQ(evs[0].job, 7u);
+  EXPECT_EQ(evs[0].node, 2);
+  EXPECT_EQ(evs[1].ph, 'X');
+  EXPECT_DOUBLE_EQ(evs[1].dur_s, 4.0);
+  EXPECT_EQ(evs[2].ph, 'C');
+  EXPECT_TRUE(evs[2].has_value);
+  EXPECT_DOUBLE_EQ(evs[2].value, 61.5);
+}
+
+TEST(TraceTest, SortedByTimestampThenSequence) {
+  TraceRecorder rec;
+  const std::uint32_t pid = rec.track("run");
+  rec.instant(pid, 0, "b", 2.0);
+  rec.instant(pid, 0, "a", 1.0);
+  rec.instant(pid, 0, "c", 1.0);  // same ts as "a", emitted later
+  const auto evs = rec.sorted_events();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_STREQ(evs[0].name, "a");
+  EXPECT_STREQ(evs[1].name, "c");
+  EXPECT_STREQ(evs[2].name, "b");
+}
+
+TEST(TraceTest, NegativeSpanClampsToZeroDuration) {
+  TraceRecorder rec;
+  rec.span(0, 0, "weird", 5.0, 3.0);
+  const auto evs = rec.sorted_events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_DOUBLE_EQ(evs[0].dur_s, 0.0);
+}
+
+TEST(TraceTest, RingOverwritesOldestAndCountsDropped) {
+  TraceRecorder::Options opts;
+  opts.capacity = 8;
+  opts.shards = 1;
+  TraceRecorder rec(opts);
+  for (int i = 0; i < 20; ++i) {
+    rec.instant(0, 0, "e", static_cast<double>(i));
+  }
+  EXPECT_EQ(rec.size(), 8u);
+  EXPECT_EQ(rec.dropped(), 12u);
+  // Survivors are the newest events.
+  const auto evs = rec.sorted_events();
+  EXPECT_DOUBLE_EQ(evs.front().ts_s, 12.0);
+  EXPECT_DOUBLE_EQ(evs.back().ts_s, 19.0);
+}
+
+TEST(TraceTest, ClearResetsEverything) {
+  TraceRecorder rec;
+  rec.instant(0, 0, "e", 1.0);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_TRUE(rec.sorted_events().empty());
+}
+
+TEST(TraceTest, TrackIdsAreUniqueAndNonZero) {
+  TraceRecorder rec;
+  const std::uint32_t a = rec.track("a");
+  const std::uint32_t b = rec.track("b");
+  EXPECT_NE(a, 0u);  // pid 0 is the host track
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceTest, WallClockAdvances) {
+  TraceRecorder rec;
+  const double t0 = rec.wall_s();
+  EXPECT_GE(t0, 0.0);
+  EXPECT_GE(rec.wall_s(), t0);
+}
+
+TEST(TraceTest, GlobalHookDefaultsToNull) {
+  EXPECT_EQ(global_trace(), nullptr);
+  TraceRecorder rec;
+  set_global_trace(&rec);
+  EXPECT_EQ(global_trace(), &rec);
+  set_global_trace(nullptr);
+  EXPECT_EQ(global_trace(), nullptr);
+}
+
+// Concurrent emitters across shards; meaningful under TSan (CI tsan job)
+// and as a no-loss check everywhere else (capacity exceeds the load).
+TEST(TraceConcurrencyTest, ParallelEmittersLoseNothing) {
+  TraceRecorder::Options opts;
+  opts.capacity = 1 << 16;
+  opts.shards = 8;
+  TraceRecorder rec(opts);
+  constexpr int kThreads = 8;
+  constexpr int kEach = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < kEach; ++i) {
+        rec.instant(1, static_cast<std::uint32_t>(t), "e",
+                    static_cast<double>(i));
+        if (i % 500 == 0) (void)rec.size();  // concurrent reader
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(rec.size() + rec.dropped(),
+            static_cast<std::size_t>(kThreads) * kEach);
+  // Sequence numbers are unique across threads.
+  const auto evs = rec.sorted_events();
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(evs.size());
+  for (const auto& ev : evs) seqs.push_back(ev.seq);
+  std::sort(seqs.begin(), seqs.end());
+  EXPECT_TRUE(std::adjacent_find(seqs.begin(), seqs.end()) == seqs.end());
+}
+
+}  // namespace
+}  // namespace ecost::obs

@@ -9,7 +9,14 @@
 // dispatchers through the unified ClusterEngine, per scenario.
 //
 // Usage: bench_sweep [--quick] [--out=BENCH_sweep.json]
-//   --quick  one input size, smaller reservoirs, fig9 on WS8 only (CI smoke)
+//                    [--trace-out=FILE] [--metrics-out=FILE]
+//   --quick        one input size, smaller reservoirs, fig9 on WS8 only
+//                  (CI smoke)
+//   --trace-out    record a Chrome trace of the fig9 policy runs (one track
+//                  per scenario/policy) plus host-side pool/cache activity;
+//                  open the file in chrome://tracing or ui.perfetto.dev
+//   --metrics-out  dump the process metrics registry (engine, dispatcher,
+//                  evaluator, thread pool counters) as JSON
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -22,6 +29,8 @@
 #include "core/mapping_policies.hpp"
 #include "core/stp.hpp"
 #include "mapreduce/eval_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tuning/brute_force.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -86,9 +95,13 @@ PhaseTimes run_pipeline(EvalCache& cache, const core::SweepOptions& opts) {
 double run_fig9_scenario(const mapreduce::NodeEvaluator& eval,
                          const workloads::WorkloadScenario& ws,
                          const core::TrainingData& td,
-                         const core::SelfTuner& stp) {
+                         const core::SelfTuner& stp,
+                         obs::TraceRecorder* trace) {
   const auto t0 = std::chrono::steady_clock::now();
-  const core::MappingPolicies mp(eval, ws.jobs(1.0), /*nodes=*/4);
+  core::MappingPolicies mp(eval, ws.jobs(1.0), /*nodes=*/4);
+  if (trace != nullptr) {
+    mp.set_obs(trace, nullptr, ws.name + "/");
+  }
   double edp_sum = 0.0;
   for (const core::PolicyResult& r :
        {mp.serial_mapping(), mp.multi_node(2), mp.multi_node(4),
@@ -112,14 +125,21 @@ std::string json_double(double v) {
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_sweep.json";
+  std::string trace_path;
+  std::string metrics_path;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_path = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_path = argv[i] + 14;
     } else {
-      std::cerr << "usage: bench_sweep [--quick] [--out=FILE]\n";
+      std::cerr << "usage: bench_sweep [--quick] [--out=FILE]"
+                   " [--trace-out=FILE] [--metrics-out=FILE]\n";
       return 2;
     }
   }
@@ -139,10 +159,23 @@ int main(int argc, char** argv) {
   }
 
   const mapreduce::NodeEvaluator eval;
-  const unsigned participants = ThreadPool::global().worker_count() + 1;
+  // The pool size actually used: worker threads plus the calling thread,
+  // which participates in every parallel_for.
+  const unsigned pool_workers = ThreadPool::global().worker_count();
+  const unsigned participants = pool_workers + 1;
 
   std::cout << "bench_sweep: " << (quick ? "quick" : "full")
             << " pipeline, " << participants << " thread(s)\n";
+
+  // Optional observability sinks. The recorder must outlive every producer
+  // holding it through the global hook, so it lives for all of main.
+  obs::TraceRecorder trace;
+  obs::TraceRecorder* const trace_p = trace_path.empty() ? nullptr : &trace;
+  if (trace_p != nullptr) {
+    trace_p->name_lane(0, 1, "thread pool");
+    trace_p->name_lane(0, 2, "eval cache");
+    obs::set_global_trace(trace_p);
+  }
 
   // Baseline: cache disabled — every run_solo/run_pair query re-solves,
   // exactly as the pipeline executed before the sweep-engine overhaul.
@@ -156,6 +189,7 @@ int main(int argc, char** argv) {
 
   // Tuned: one shared cache across both stages.
   EvalCache cache(eval);
+  cache.set_trace(trace_p);
   std::cout << "tuned (cache enabled)...\n";
   const PhaseTimes tuned = run_pipeline(cache, opts);
   std::cout << "  build " << json_double(tuned.build_s) << " s, colao "
@@ -174,7 +208,7 @@ int main(int argc, char** argv) {
   double fig9_total_s = 0.0;
   for (const auto& ws : workloads::all_scenarios()) {
     if (quick && ws.name != "WS8") continue;
-    const double s = run_fig9_scenario(eval, ws, td, stp);
+    const double s = run_fig9_scenario(eval, ws, td, stp, trace_p);
     std::cout << "  " << ws.name << " " << json_double(s) << " s\n";
     fig9.emplace_back(ws.name, s);
     fig9_total_s += s;
@@ -184,6 +218,7 @@ int main(int argc, char** argv) {
       << "  \"benchmark\": \"sweep_pipeline\",\n"
       << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
       << "  \"threads\": " << participants << ",\n"
+      << "  \"pool_workers\": " << pool_workers << ",\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n"
       << "  \"sizes_gib\": " << opts.sizes_gib.size() << ",\n"
@@ -221,5 +256,28 @@ int main(int argc, char** argv) {
       << "  \"speedup\": " << json_double(speedup) << "\n"
       << "}\n";
   std::cout << "wrote " << out_path << "\n";
+
+  if (trace_p != nullptr) {
+    // Detach the producers before the recorder leaves scope.
+    cache.set_trace(nullptr);
+    obs::set_global_trace(nullptr);
+    std::ofstream tf(trace_path);
+    if (!tf.good()) {
+      std::cerr << "bench_sweep: cannot write " << trace_path << "\n";
+      return 1;
+    }
+    trace_p->export_chrome_json(tf);
+    std::cout << "wrote " << trace_path << " (" << trace_p->size()
+              << " events, " << trace_p->dropped() << " dropped)\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream mf(metrics_path);
+    if (!mf.good()) {
+      std::cerr << "bench_sweep: cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    obs::MetricsRegistry::global().write_json(mf);
+    std::cout << "wrote " << metrics_path << "\n";
+  }
   return 0;
 }

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Regression gate over bench_sweep JSON output.
+
+Compares a freshly produced bench_sweep report against a committed
+baseline and fails when the pipeline got materially slower or the
+evaluation cache stopped hitting:
+
+    check_bench.py CURRENT BASELINE [--tolerance=0.25] [--update]
+
+Checks (relative, +/- tolerance band):
+  * tuned.total_s          -- wall time of the cached sweep pipeline
+  * eval_cache.hit_rate    -- RunResult-layer hit rate
+
+Reports from different machines or configurations are not comparable:
+the gate refuses (exit 2) when the benchmark mode (--quick vs full) or
+the thread count differs between the two reports, instead of producing
+a nonsense verdict. Regenerate the baseline on the matching
+configuration, or rerun with --update to overwrite it with CURRENT.
+
+Exit codes: 0 ok, 1 regression, 2 incomparable / bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def refuse(msg: str) -> None:
+    print(f"check_bench: REFUSING comparison: {msg}", file=sys.stderr)
+    print(
+        "check_bench: regenerate the baseline on a matching configuration"
+        " (bench_sweep --quick --out=...), or pass --update to overwrite"
+        " it with the current report.",
+        file=sys.stderr,
+    )
+    sys.exit(2)
+
+
+def pick(report: dict, path: str, origin: str) -> float:
+    node = report
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            refuse(f"{origin} has no field '{path}'")
+        node = node[key]
+    if not isinstance(node, (int, float)):
+        refuse(f"{origin} field '{path}' is not numeric")
+    return float(node)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="bench_sweep JSON from this run")
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative tolerance band (default 0.25 = +/-25%%)",
+    )
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite BASELINE with CURRENT and exit 0",
+    )
+    args = ap.parse_args()
+
+    cur = load(args.current)
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"check_bench: baseline {args.baseline} updated")
+        return 0
+
+    base = load(args.baseline)
+
+    # Apples to apples only: a full-mode baseline says nothing about a
+    # --quick run, and wall times scale with the worker pool.
+    cur_mode = cur.get("mode")
+    base_mode = base.get("mode")
+    if cur_mode != base_mode:
+        refuse(f"mode mismatch: current '{cur_mode}' vs baseline '{base_mode}'")
+    cur_threads = cur.get("threads")
+    base_threads = base.get("threads")
+    if cur_threads != base_threads:
+        refuse(
+            f"thread count mismatch: current ran with {cur_threads}"
+            f" thread(s), baseline with {base_threads}"
+        )
+
+    checks = [
+        ("tuned.total_s", "lower-is-better"),
+        ("eval_cache.hit_rate", "higher-is-better"),
+    ]
+    failed = False
+    for path, direction in checks:
+        c = pick(cur, path, args.current)
+        b = pick(base, path, args.baseline)
+        if b == 0.0:
+            refuse(f"baseline field '{path}' is zero")
+        rel = (c - b) / b
+        lo, hi = -args.tolerance, args.tolerance
+        ok = lo <= rel <= hi
+        verdict = "ok" if ok else "FAIL"
+        print(
+            f"check_bench: {path}: current={c:.6g} baseline={b:.6g}"
+            f" delta={rel:+.1%} (band +/-{args.tolerance:.0%},"
+            f" {direction}) {verdict}"
+        )
+        if not ok:
+            failed = True
+
+    if failed:
+        print(
+            "check_bench: regression detected. If this change is intended"
+            " (new hardware, intentional trade-off), refresh the baseline:"
+            f" check_bench.py {args.current} {args.baseline} --update",
+            file=sys.stderr,
+        )
+        return 1
+    print("check_bench: all checks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,11 @@
 //   ecostctl sweep <DB_FILE>               run the offline sweep, save the DB
 //   ecostctl predict <A> <B> <GIB> <DB>    LkT prediction from a saved DB
 //   ecostctl schedule <WS#> <NODES>        mapping-policy comparison
+//   ecostctl trace <WS#> <NODES>           like schedule, but records a
+//                                          Chrome trace of every policy run
+//                                          (open in chrome://tracing or
+//                                          https://ui.perfetto.dev)
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -16,6 +21,8 @@
 #include "core/mapping_policies.hpp"
 #include "core/profiling.hpp"
 #include "core/stp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tuning/brute_force.hpp"
 #include "util/table.hpp"
 #include "workloads/apps.hpp"
@@ -151,6 +158,60 @@ int cmd_schedule(const std::string& ws, int nodes) {
   return 0;
 }
 
+int cmd_trace(const std::string& ws, int nodes, const std::string& out_path,
+              const std::string& metrics_path) {
+  const mapreduce::NodeEvaluator eval;
+  const auto& scenario = workloads::scenario_by_name(ws);
+
+  // Quick training sweep — the trace targets the policy runs, not the
+  // offline pipeline, so the cheap reservoir settings are enough.
+  core::SweepOptions opts;
+  opts.sizes_gib = {1.0};
+  opts.max_rows_per_class_pair = 1000;
+  opts.candidates_per_combo = 16;
+  std::cout << "training ECoST (quick sweep)...\n";
+  const core::TrainingData td = core::build_training_data(eval, opts);
+  const core::MlmStp stp(core::ModelKind::RepTree, td, eval.spec());
+
+  obs::TraceRecorder trace;
+  trace.name_lane(0, 1, "thread pool");
+  trace.name_lane(0, 2, "eval cache");
+  obs::set_global_trace(&trace);
+  core::MappingPolicies mp(eval, scenario.jobs(1.0), nodes);
+  mp.set_obs(&trace, nullptr, scenario.name + "/");
+
+  Table table({"policy", "makespan [s]", "EDP"});
+  for (const core::PolicyResult& r :
+       {mp.serial_mapping(), mp.multi_node(2), mp.multi_node(4),
+        mp.single_node(), mp.core_balance(), mp.predict_tuning(td),
+        mp.ecost(td, stp), mp.upper_bound()}) {
+    table.add_row(
+        {r.policy, Table::num(r.makespan_s, 1), Table::num(r.edp(), 0)});
+  }
+  obs::set_global_trace(nullptr);
+  table.print(std::cout);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << '\n';
+    return 1;
+  }
+  trace.export_chrome_json(out);
+  std::cout << "wrote " << out_path << " (" << trace.size()
+            << " events); open it in chrome://tracing or ui.perfetto.dev\n";
+
+  if (!metrics_path.empty()) {
+    std::ofstream mf(metrics_path);
+    if (!mf) {
+      std::cerr << "cannot open " << metrics_path << '\n';
+      return 1;
+    }
+    obs::MetricsRegistry::global().write_json(mf);
+    std::cout << "wrote " << metrics_path << '\n';
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage:\n"
                "  ecostctl apps\n"
@@ -159,7 +220,9 @@ int usage() {
                "  ecostctl pair <APP_A> <APP_B> <GIB>\n"
                "  ecostctl sweep <DB_FILE>\n"
                "  ecostctl predict <APP_A> <APP_B> <GIB> <DB_FILE>\n"
-               "  ecostctl schedule <WS1..WS8> <NODES>\n";
+               "  ecostctl schedule <WS1..WS8> <NODES>\n"
+               "  ecostctl trace <WS1..WS8> <NODES> [--out=trace.json]"
+               " [--metrics-out=FILE]\n";
   return 2;
 }
 
@@ -180,6 +243,20 @@ int main(int argc, char** argv) {
     }
     if (cmd == "schedule" && argc == 4) {
       return cmd_schedule(argv[2], std::atoi(argv[3]));
+    }
+    if (cmd == "trace" && argc >= 4) {
+      std::string out_path = "trace.json";
+      std::string metrics_path;
+      for (int i = 4; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--out=", 6) == 0) {
+          out_path = argv[i] + 6;
+        } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+          metrics_path = argv[i] + 14;
+        } else {
+          return usage();
+        }
+      }
+      return cmd_trace(argv[2], std::atoi(argv[3]), out_path, metrics_path);
     }
     return usage();
   } catch (const std::exception& e) {
