@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <mutex>
+
+#include "mapreduce/grid_evaluator.hpp"
 
 #include "core/profiling.hpp"
 #include "hdfs/config.hpp"
@@ -204,7 +207,12 @@ TrainingData build_training_data(mapreduce::EvalCache& cache,
   for (std::size_t i = 0; i < combos.size(); ++i) {
     for (std::size_t j = i; j < combos.size(); ++j) tasks.push_back({i, j});
   }
-  std::vector<std::vector<double>> edps_all(tasks.size());
+  // Each task's 2800-point EDP column comes from one batched surface
+  // evaluation (mapreduce/grid_evaluator.hpp) instead of 2800 scalar
+  // run_pair calls; the surface stays cached so the COLAO oracle that
+  // typically follows re-reads it for free.
+  std::vector<std::shared_ptr<const mapreduce::GridEvaluator::Surface>>
+      edps_all(tasks.size());
   parallel_for(
       tasks.size(),
       [&](std::size_t t) {
@@ -214,14 +222,7 @@ TrainingData build_training_data(mapreduce::EvalCache& cache,
             *ca.app, opts.sizes_gib[static_cast<std::size_t>(ca.size_idx)]);
         const JobSpec job_b = JobSpec::of_gib(
             *cb.app, opts.sizes_gib[static_cast<std::size_t>(cb.size_idx)]);
-        std::vector<double>& edps = edps_all[t];
-        edps.resize(pair_cfgs.size());
-        for (std::size_t c = 0; c < pair_cfgs.size(); ++c) {
-          edps[c] = cache
-                        .run_pair(job_a, pair_cfgs[c].first, job_b,
-                                  pair_cfgs[c].second)
-                        .edp();
-        }
+        edps_all[t] = cache.pair_grid(job_a, job_b, pair_cfgs);
       },
       opts.threads, /*grain=*/1);
 
@@ -252,7 +253,7 @@ TrainingData build_training_data(mapreduce::EvalCache& cache,
           cp, opts.max_rows_per_class_pair, opts.seed ^ (i * 131 + j));
       RowReservoir& reservoir = res_it->second;
 
-      const std::vector<double>& edps = edps_all[t];
+      const std::vector<double>& edps = edps_all[t]->edp;
       // Candidate set: the best configs for this combo, canonicalized.
       {
         std::vector<std::size_t> order(pair_cfgs.size());

@@ -3,14 +3,40 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "sim/contention.hpp"
 #include "util/error.hpp"
 
 namespace ecost::mapreduce {
 namespace {
 
-constexpr int kIters = 16;
-constexpr double kDamping = 0.5;
+// The damped iteration contracts with ratio ~= kDamping, so reaching
+// kConvergedTol takes ~35 plain sweeps. Aitken delta-squared extrapolation
+// (every other sweep, guarded below) collapses that to ~9 on the paper's
+// pair grids; kMaxIters bounds the few lanes that limit-cycle on the disk
+// model's stream-count quantization instead of converging.
+constexpr int kMaxIters = 48;
+constexpr double kDamping = 0.25;
+constexpr double kConvergedTol = 1e-10;
+// Extrapolate only for a plausible geometric contraction; rho >= ~1 means
+// the component is not converging geometrically and a jump would be wild.
+constexpr double kAitkenRhoMax = 0.95;
+
+obs::Histogram& iters_histogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "env_solver.iters",
+      {1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0, 24.0, 32.0, 40.0,
+       48.0});
+  return h;
+}
+
+obs::Histogram& lanes_histogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "env_solver.batch_lanes",
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+       2048.0, 4096.0});
+  return h;
+}
 
 TaskRates eval_group(const TaskModel& model, const GroupCtx& g,
                      const SharedEnv& env) {
@@ -18,112 +44,308 @@ TaskRates eval_group(const TaskModel& model, const GroupCtx& g,
   return model.map_task(*g.app, g.block_bytes, g.freq, env);
 }
 
+bool is_active(const GroupCtx& g) {
+  return g.concurrent > 0 && g.block_bytes > 0.0 && g.app != nullptr;
+}
+
+/// All lanes' solver state, struct-of-arrays. One instance per thread is
+/// reused across calls so the steady state allocates nothing — the old
+/// scalar solver heap-allocated four vectors per iteration, which dominated
+/// its profile (the task model itself is ~50 flops of branchless
+/// arithmetic).
+class LaneSolver {
+ public:
+  std::uint64_t solve(const TaskModel& model, std::size_t k,
+                      std::span<const GroupCtx> ctxs,
+                      std::span<TaskRates> rates, std::span<SharedEnv> envs);
+
+ private:
+  /// One damped sweep of lane `l`: environment from the current state,
+  /// rates at that environment, damped next state into ns_. Returns the max
+  /// relative state delta over the lane's active groups. This is the shared
+  /// step — the scalar path and every batched grid lane execute exactly
+  /// this code, which is what makes grid-vs-scalar parity bit-exact.
+  double step(const TaskModel& model, const sim::NodeSpec& spec,
+              std::size_t k, std::size_t l, std::span<const GroupCtx> ctxs,
+              std::span<TaskRates> rates, std::span<SharedEnv> envs);
+
+  // Per-group state, lane-major (lane l, group g at index l * k + g).
+  std::vector<double> mem_;    ///< whole-group DRAM traffic (GiB/s)
+  std::vector<double> duty_;   ///< per-task I/O duty
+  std::vector<double> cache_;  ///< whole-group hot working set (MiB)
+  std::vector<double> conc_;   ///< concurrency as a double (hot-loop form)
+  std::vector<double> ns_;     ///< candidate next state: k mem then k duty
+  std::vector<double> prev_d_; ///< previous state delta (Aitken ratio)
+  std::vector<unsigned char> group_active_;
+  // Per-lane state.
+  std::vector<double> crowd_;
+  std::vector<double> swap_;
+  std::vector<unsigned char> have_prev_;
+  std::vector<std::uint32_t> active_lanes_;
+  // Per-step scratch (k entries, reused by every lane in turn).
+  std::vector<double> streams_;
+  std::vector<double> demand_;
+  std::vector<double> grants_;
+};
+
+double LaneSolver::step(const TaskModel& model, const sim::NodeSpec& spec,
+                        std::size_t k, std::size_t l,
+                        std::span<const GroupCtx> ctxs,
+                        std::span<TaskRates> rates,
+                        std::span<SharedEnv> envs) {
+  const std::size_t base = l * k;
+  const double* mem = mem_.data() + base;
+  const double* duty = duty_.data() + base;
+  const double* cache = cache_.data() + base;
+  const double* conc = conc_.data() + base;
+  double* ns = ns_.data();
+  const double stream_cap = spec.disk_stream_cap_mibps;
+  const double job_cap = spec.disk_job_cap_mibps;
+
+  double mem_demand = 0.0;
+  double total_streams = 0.0;
+  for (std::size_t g = 0; g < k; ++g) {
+    mem_demand += mem[g];
+    streams_[g] = duty[g] * conc[g];
+    total_streams += streams_[g];
+    // A job's HDFS pipeline caps what it can pull no matter how many of
+    // its mappers stream concurrently.
+    demand_[g] = std::min(streams_[g] * stream_cap, job_cap);
+  }
+  const double lat_mult =
+      sim::mem_latency_multiplier(mem_demand, spec) * swap_[l];
+  const double agg_bw = sim::disk_effective_bw_mibps(
+      static_cast<int>(std::ceil(total_streams)), spec);
+  sim::waterfill_into(std::span(demand_.data(), k), agg_bw,
+                      std::span(grants_.data(), k));
+
+  double delta = 0.0;
+  for (std::size_t g = 0; g < k; ++g) {
+    if (group_active_[base + g] == 0) {
+      ns[g] = mem[g];
+      ns[k + g] = duty[g];
+      continue;
+    }
+    double others_ws = 0.0;
+    for (std::size_t h = 0; h < k; ++h) {
+      if (h != g) others_ws += cache[h];
+    }
+    SharedEnv& env = envs[base + g];
+    env.mem_lat_mult = lat_mult;
+    env.mpki_mult = sim::llc_mpki_multiplier(cache[g], others_ws, spec);
+    env.cpu_eff_mult = crowd_[l];
+    // Granted rate per concurrently-active stream of this group.
+    const double per_stream =
+        streams_[g] > 1e-9 ? std::min(stream_cap, grants_[g] / streams_[g])
+                           : std::min(stream_cap, job_cap);
+    env.io_rate_mibps = std::max(per_stream, 1e-3);
+
+    const TaskRates r = eval_group(model, ctxs[base + g], env);
+    const double m = conc[g];
+    const double nm = kDamping * mem[g] + (1.0 - kDamping) * r.mem_gibps * m;
+    const double nd = kDamping * duty[g] + (1.0 - kDamping) * r.io_duty;
+    ns[g] = nm;
+    ns[k + g] = nd;
+    delta = std::max(delta,
+                     std::abs(nm - mem[g]) / std::max(std::abs(nm), 1e-30));
+    delta = std::max(delta,
+                     std::abs(nd - duty[g]) / std::max(std::abs(nd), 1e-30));
+    rates[base + g] = r;
+  }
+  return delta;
+}
+
+std::uint64_t LaneSolver::solve(const TaskModel& model, std::size_t k,
+                                std::span<const GroupCtx> ctxs,
+                                std::span<TaskRates> rates,
+                                std::span<SharedEnv> envs) {
+  const sim::NodeSpec& spec = model.spec();
+  ECOST_REQUIRE(k >= 1, "need at least one group per lane");
+  ECOST_REQUIRE(ctxs.size() % k == 0, "ctxs length must be a multiple of k");
+  ECOST_REQUIRE(rates.size() == ctxs.size() && envs.size() == ctxs.size(),
+                "rates/envs must parallel ctxs");
+  const std::size_t lanes = ctxs.size() / k;
+  if (lanes == 0) return 0;
+
+  const std::size_t n = lanes * k;
+  mem_.assign(n, 0.0);
+  duty_.assign(n, 0.0);
+  cache_.assign(n, 0.0);
+  conc_.resize(n);
+  prev_d_.assign(2 * n, 0.0);
+  ns_.resize(2 * k);
+  group_active_.assign(n, 0);
+  crowd_.resize(lanes);
+  swap_.resize(lanes);
+  have_prev_.assign(lanes, 0);
+  streams_.resize(k);
+  demand_.resize(k);
+  grants_.resize(k);
+  active_lanes_.resize(lanes);
+
+  // Initial evaluation under a neutral environment establishes footprints
+  // and first-cut demand rates (identical to the original scalar solver).
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const std::size_t base = l * k;
+    int total_tasks = 0;
+    int active_jobs = 0;
+    for (std::size_t g = 0; g < k; ++g) {
+      const GroupCtx& ctx = ctxs[base + g];
+      conc_[base + g] = static_cast<double>(ctx.concurrent);
+      rates[base + g] = TaskRates{};
+      envs[base + g] = SharedEnv{};
+      total_tasks += std::max(0, ctx.concurrent);
+      if (ctx.concurrent > 0 && ctx.block_bytes > 0.0) ++active_jobs;
+      if (!is_active(ctx)) continue;
+      ECOST_REQUIRE(ctx.concurrent <= spec.cores,
+                    "more concurrent tasks than cores");
+      group_active_[base + g] = 1;
+      const TaskRates r = eval_group(model, ctx, SharedEnv{});
+      const double m = static_cast<double>(ctx.concurrent);
+      mem_[base + g] = r.mem_gibps * m;
+      duty_[base + g] = r.io_duty;
+      cache_[base + g] = r.cache_mib * m;
+      rates[base + g] = r;
+    }
+    crowd_[l] = 1.0 + spec.cpu_crowd_coeff * std::max(0, total_tasks - 1) +
+                spec.job_crowd_coeff * std::max(0, active_jobs - 1);
+    // RAM pressure: task working sets plus per-job framework overhead
+    // against physical memory. Past the threshold, paging inflates memory
+    // latency — the mechanism that makes deep co-location degrade. Summed
+    // in the same order as the original scalar solver (overhead first,
+    // then footprints in group order) so the result is bit-identical.
+    double resident_mib =
+        static_cast<double>(active_jobs) * spec.job_overhead_mib;
+    for (std::size_t g = 0; g < k; ++g) {
+      if (group_active_[base + g] == 0) continue;
+      resident_mib += rates[base + g].footprint_mib *
+                      static_cast<double>(ctxs[base + g].concurrent);
+    }
+    const double ram_mib = spec.ram_gib * 1024.0;
+    const double fill = resident_mib / ram_mib;
+    const double pressure =
+        std::max(0.0, fill - spec.ram_pressure_threshold) /
+        (1.0 - spec.ram_pressure_threshold);
+    swap_[l] = 1.0 + spec.swap_latency_penalty * pressure;
+    active_lanes_[l] = static_cast<std::uint32_t>(l);
+  }
+
+  obs::Histogram& iters_h = iters_histogram();
+  std::uint64_t sweeps = 0;
+  std::size_t n_active = lanes;
+  for (int iter = 0; iter < kMaxIters && n_active > 0; ++iter) {
+    std::size_t out = 0;
+    for (std::size_t a = 0; a < n_active; ++a) {
+      const std::size_t l = active_lanes_[a];
+      const std::size_t base = l * k;
+      const double delta = step(model, spec, k, l, ctxs, rates, envs);
+      ++sweeps;
+      double* ns = ns_.data();
+      double* mem = mem_.data() + base;
+      double* duty = duty_.data() + base;
+      double* prev_d = prev_d_.data() + 2 * base;
+
+      if (delta < kConvergedTol) {
+        for (std::size_t g = 0; g < k; ++g) {
+          mem[g] = ns[g];
+          duty[g] = ns[k + g];
+        }
+        iters_h.observe(static_cast<double>(iter + 1));
+        continue;  // lane converged: drops out of the active set
+      }
+
+      if (have_prev_[l] != 0) {
+        // Aitken delta-squared: per component, estimate the contraction
+        // ratio rho from two consecutive deltas and jump to the projected
+        // limit d * rho / (1 - rho) past the damped update. Guards:
+        //  * rho in (0, kAitkenRhoMax) — geometric contraction only,
+        //  * physical clamps (traffic >= 0, duty in [0, 1]),
+        //  * the jump must not cross a ceil(total_streams) boundary — the
+        //    disk model quantizes the stream count, and hopping the
+        //    discontinuity can land the lane on a different
+        //    self-consistent attractor than plain iteration reaches.
+        double st_plain = 0.0;
+        double st_ex = 0.0;
+        for (std::size_t g = 0; g < k; ++g) {
+          for (std::size_t c = 0; c < 2; ++c) {
+            const std::size_t s = c * k + g;  // mem slot or duty slot
+            const double cur = c == 0 ? mem[g] : duty[g];
+            const double d = ns[s] - cur;
+            double v = ns[s];
+            if (std::abs(prev_d[s]) > 0.0) {
+              const double rho = d / prev_d[s];
+              if (rho > 0.0 && rho < kAitkenRhoMax) {
+                v += d * rho / (1.0 - rho);
+                if (v < 0.0) v = 0.0;
+                if (c == 1 && v > 1.0) v = 1.0;
+              }
+            }
+            if (c == 1) {
+              const double m = conc_[base + g];
+              st_plain += ns[s] * m;
+              st_ex += v * m;
+            }
+            // Stash the extrapolated candidate in prev_d for the moment —
+            // it is either committed below or discarded by the guard.
+            prev_d[s] = v;
+          }
+        }
+        if (std::ceil(st_plain) == std::ceil(st_ex)) {
+          for (std::size_t g = 0; g < k; ++g) {
+            mem[g] = prev_d[g];
+            duty[g] = prev_d[k + g];
+          }
+        } else {
+          for (std::size_t g = 0; g < k; ++g) {
+            mem[g] = ns[g];
+            duty[g] = ns[k + g];
+          }
+        }
+        // Re-measure the ratio from scratch after a (possible) jump.
+        have_prev_[l] = 0;
+        for (std::size_t s = 0; s < 2 * k; ++s) prev_d[s] = 0.0;
+      } else {
+        for (std::size_t g = 0; g < k; ++g) {
+          prev_d[g] = ns[g] - mem[g];
+          prev_d[k + g] = ns[k + g] - duty[g];
+          mem[g] = ns[g];
+          duty[g] = ns[k + g];
+        }
+        have_prev_[l] = 1;
+      }
+      active_lanes_[out++] = static_cast<std::uint32_t>(l);
+    }
+    n_active = out;
+  }
+  // Lanes still active at the cap keep their latest state — the same
+  // truncation semantics the fixed 16-iteration solver always had.
+  for (std::size_t a = 0; a < n_active; ++a) {
+    iters_h.observe(static_cast<double>(kMaxIters));
+  }
+  lanes_histogram().observe(static_cast<double>(lanes));
+  return sweeps;
+}
+
+thread_local LaneSolver tls_solver;
+
 }  // namespace
 
 JointEnv solve_joint_env(const TaskModel& model,
                          std::span<const GroupCtx> groups) {
-  const sim::NodeSpec& spec = model.spec();
   const std::size_t k = groups.size();
   ECOST_REQUIRE(k >= 1, "need at least one group");
-
   JointEnv je;
   je.rates.resize(k);
   je.envs.resize(k);
-
-  auto is_active = [&](std::size_t g) {
-    return groups[g].concurrent > 0 && groups[g].block_bytes > 0.0 &&
-           groups[g].app != nullptr;
-  };
-
-  // Initial evaluation under a neutral environment establishes footprints
-  // and first-cut demand rates.
-  std::vector<double> mem_gibps(k, 0.0);  // whole-group traffic
-  std::vector<double> io_duty(k, 0.0);    // per-task duty
-  std::vector<double> cache_mib(k, 0.0);  // whole-group hot working set
-  for (std::size_t g = 0; g < k; ++g) {
-    if (!is_active(g)) continue;
-    ECOST_REQUIRE(groups[g].concurrent <= spec.cores,
-                  "more concurrent tasks than cores");
-    const TaskRates r = eval_group(model, groups[g], SharedEnv{});
-    const double m = static_cast<double>(groups[g].concurrent);
-    mem_gibps[g] = r.mem_gibps * m;
-    io_duty[g] = r.io_duty;
-    cache_mib[g] = r.cache_mib * m;
-    je.rates[g] = r;
-  }
-
-  int total_tasks = 0;
-  int active_jobs = 0;
-  for (const GroupCtx& g : groups) {
-    total_tasks += std::max(0, g.concurrent);
-    if (g.concurrent > 0 && g.block_bytes > 0.0) ++active_jobs;
-  }
-  const double crowd_mult =
-      1.0 + spec.cpu_crowd_coeff * std::max(0, total_tasks - 1) +
-      spec.job_crowd_coeff * std::max(0, active_jobs - 1);
-
-  // RAM pressure: task working sets plus per-job framework overhead against
-  // physical memory. Past the threshold, paging inflates memory latency —
-  // the mechanism that makes deep co-location (4/6/8 jobs) degrade.
-  double resident_mib =
-      static_cast<double>(active_jobs) * spec.job_overhead_mib;
-  for (std::size_t g = 0; g < k; ++g) {
-    if (!is_active(g)) continue;
-    resident_mib += je.rates[g].footprint_mib *
-                    static_cast<double>(groups[g].concurrent);
-  }
-  const double ram_mib = spec.ram_gib * 1024.0;
-  const double fill = resident_mib / ram_mib;
-  const double pressure =
-      std::max(0.0, fill - spec.ram_pressure_threshold) /
-      (1.0 - spec.ram_pressure_threshold);
-  const double swap_mult = 1.0 + spec.swap_latency_penalty * pressure;
-
-  for (int iter = 0; iter < kIters; ++iter) {
-    double mem_demand = 0.0;
-    double total_streams = 0.0;
-    std::vector<double> streams(k, 0.0);
-    std::vector<double> disk_demand(k, 0.0);
-    for (std::size_t g = 0; g < k; ++g) {
-      mem_demand += mem_gibps[g];
-      streams[g] = io_duty[g] * static_cast<double>(groups[g].concurrent);
-      total_streams += streams[g];
-      // A job's HDFS pipeline caps what it can pull no matter how many of
-      // its mappers stream concurrently.
-      disk_demand[g] = std::min(streams[g] * spec.disk_stream_cap_mibps,
-                                spec.disk_job_cap_mibps);
-    }
-    const double lat_mult =
-        sim::mem_latency_multiplier(mem_demand, spec) * swap_mult;
-    const double agg_bw = sim::disk_effective_bw_mibps(
-        static_cast<int>(std::ceil(total_streams)), spec);
-    const std::vector<double> grants = sim::waterfill(disk_demand, agg_bw);
-
-    for (std::size_t g = 0; g < k; ++g) {
-      if (!is_active(g)) continue;
-      double others_ws = 0.0;
-      for (std::size_t h = 0; h < k; ++h) {
-        if (h != g) others_ws += cache_mib[h];
-      }
-      je.envs[g].mem_lat_mult = lat_mult;
-      je.envs[g].mpki_mult =
-          sim::llc_mpki_multiplier(cache_mib[g], others_ws, spec);
-      je.envs[g].cpu_eff_mult = crowd_mult;
-      // Granted rate per concurrently-active stream of this group.
-      const double per_stream =
-          streams[g] > 1e-9
-              ? std::min(spec.disk_stream_cap_mibps, grants[g] / streams[g])
-              : std::min(spec.disk_stream_cap_mibps, spec.disk_job_cap_mibps);
-      je.envs[g].io_rate_mibps = std::max(per_stream, 1e-3);
-
-      const TaskRates r = eval_group(model, groups[g], je.envs[g]);
-      const double m = static_cast<double>(groups[g].concurrent);
-      mem_gibps[g] = kDamping * mem_gibps[g] + (1.0 - kDamping) * r.mem_gibps * m;
-      io_duty[g] = kDamping * io_duty[g] + (1.0 - kDamping) * r.io_duty;
-      je.rates[g] = r;
-    }
-  }
+  tls_solver.solve(model, k, groups, je.rates, je.envs);
   return je;
+}
+
+std::uint64_t solve_joint_env_lanes(const TaskModel& model, std::size_t k,
+                                    std::span<const GroupCtx> ctxs,
+                                    std::span<TaskRates> rates,
+                                    std::span<SharedEnv> envs) {
+  return tls_solver.solve(model, k, ctxs, rates, envs);
 }
 
 }  // namespace ecost::mapreduce

@@ -8,6 +8,7 @@
 // identical physics.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -35,5 +36,18 @@ struct JointEnv {
 /// zeroed rates.
 JointEnv solve_joint_env(const TaskModel& model,
                          std::span<const GroupCtx> groups);
+
+/// Batched form: `ctxs.size() / k` independent joint-env problems ("lanes"),
+/// each over `k` groups stored consecutively in `ctxs` (lane l owns
+/// ctxs[l*k .. l*k+k)). `rates` and `envs` are parallel output spans of the
+/// same length. The solver state is struct-of-arrays across lanes and each
+/// lane drops out of the sweep individually once its fixed point converges;
+/// every lane is numerically identical to a scalar solve_joint_env call on
+/// its own groups — the scalar entry point runs on this same kernel with a
+/// single lane. Returns the total number of fixed-point sweeps evaluated.
+std::uint64_t solve_joint_env_lanes(const TaskModel& model, std::size_t k,
+                                    std::span<const GroupCtx> ctxs,
+                                    std::span<TaskRates> rates,
+                                    std::span<SharedEnv> envs);
 
 }  // namespace ecost::mapreduce

@@ -93,6 +93,7 @@ EvalCache::EvalCache(const NodeEvaluator& eval) : EvalCache(eval, Options{}) {}
 
 EvalCache::EvalCache(const NodeEvaluator& eval, Options opts)
     : eval_(eval),
+      grid_(eval),
       opts_(opts),
       owned_metrics_(opts.metrics != nullptr
                          ? nullptr
@@ -104,6 +105,8 @@ EvalCache::EvalCache(const NodeEvaluator& eval, Options opts)
       tail_misses_(metrics_->counter("eval_cache.tail_misses")),
       env_hits_(metrics_->counter("eval_cache.env_hits")),
       env_misses_(metrics_->counter("eval_cache.env_misses")),
+      grid_hits_(metrics_->counter("eval_cache.grid_hits")),
+      grid_misses_(metrics_->counter("eval_cache.grid_misses")),
       evictions_(metrics_->counter("eval_cache.evictions")) {
   ECOST_REQUIRE(opts_.shards >= 1, "need at least one shard");
   ECOST_REQUIRE(opts_.capacity >= 1, "need capacity for at least one entry");
@@ -257,6 +260,88 @@ std::optional<JointEnv> EvalCache::joint_env(std::span<const GroupCtx> ctxs) {
   return shard.envs.try_emplace(key, std::move(je)).first->second;
 }
 
+std::size_t EvalCache::GridKeyHash::operator()(const GridKey& k) const {
+  std::uint64_t h = k.digest_a;
+  h = mix(h, k.digest_b);
+  h = mix(h, k.bytes_a);
+  h = mix(h, k.bytes_b);
+  h = mix(h, k.cfg_digest);
+  h = mix(h, k.pair ? 2u : 1u);
+  return static_cast<std::size_t>(h);
+}
+
+namespace {
+
+std::uint64_t mix_cfg(std::uint64_t h, const AppConfig& cfg) {
+  h = mix(h, static_cast<std::uint64_t>(cfg.freq));
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(cfg.block_mib)));
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(cfg.mappers)));
+  return h;
+}
+
+}  // namespace
+
+std::shared_ptr<const GridEvaluator::Surface> EvalCache::pair_grid(
+    const JobSpec& a, const JobSpec& b, std::span<const PairConfig> cfgs) {
+  if (!opts_.enabled) {
+    return std::make_shared<const GridEvaluator::Surface>(
+        grid_.pair_grid(a, b, cfgs));
+  }
+  GridKey key;
+  key.pair = true;
+  key.digest_a = app_digest(a.app);
+  key.digest_b = app_digest(b.app);
+  key.bytes_a = a.input_bytes;
+  key.bytes_b = b.input_bytes;
+  std::uint64_t cd = cfgs.size();
+  for (const PairConfig& pc : cfgs) {
+    cd = mix_cfg(cd, pc.first);
+    cd = mix_cfg(cd, pc.second);
+  }
+  key.cfg_digest = cd;
+  {
+    std::lock_guard lock(grid_mu_);
+    if (const auto it = grids_.find(key); it != grids_.end()) {
+      grid_hits_.add();
+      return it->second;
+    }
+  }
+  grid_misses_.add();
+  // Compute outside the lock; a racing duplicate produces bit-identical
+  // values, so whichever insertion wins is equivalent.
+  auto surface = std::make_shared<const GridEvaluator::Surface>(
+      grid_.pair_grid(a, b, cfgs, this));
+  std::lock_guard lock(grid_mu_);
+  return grids_.try_emplace(key, std::move(surface)).first->second;
+}
+
+std::shared_ptr<const GridEvaluator::Surface> EvalCache::solo_grid(
+    const JobSpec& job, std::span<const AppConfig> cfgs) {
+  if (!opts_.enabled) {
+    return std::make_shared<const GridEvaluator::Surface>(
+        grid_.solo_grid(job, cfgs));
+  }
+  GridKey key;
+  key.pair = false;
+  key.digest_a = app_digest(job.app);
+  key.bytes_a = job.input_bytes;
+  std::uint64_t cd = cfgs.size();
+  for (const AppConfig& cfg : cfgs) cd = mix_cfg(cd, cfg);
+  key.cfg_digest = cd;
+  {
+    std::lock_guard lock(grid_mu_);
+    if (const auto it = grids_.find(key); it != grids_.end()) {
+      grid_hits_.add();
+      return it->second;
+    }
+  }
+  grid_misses_.add();
+  auto surface = std::make_shared<const GridEvaluator::Surface>(
+      grid_.solo_grid(job, cfgs, this));
+  std::lock_guard lock(grid_mu_);
+  return grids_.try_emplace(key, std::move(surface)).first->second;
+}
+
 EvalCache::Stats EvalCache::stats() const {
   Stats s;
   s.hits = hits_.value();
@@ -265,6 +350,8 @@ EvalCache::Stats EvalCache::stats() const {
   s.tail_misses = tail_misses_.value();
   s.env_hits = env_hits_.value();
   s.env_misses = env_misses_.value();
+  s.grid_hits = grid_hits_.value();
+  s.grid_misses = grid_misses_.value();
   s.evictions = evictions_.value();
   return s;
 }
@@ -286,6 +373,8 @@ void EvalCache::clear() {
     shard->tails.clear();
     shard->envs.clear();
   }
+  std::lock_guard lock(grid_mu_);
+  grids_.clear();
 }
 
 }  // namespace ecost::mapreduce

@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mapreduce/grid_evaluator.hpp"
 #include "mapreduce/node_evaluator.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -82,6 +83,19 @@ class EvalCache final : public NodeEvaluator::Memo {
                                               const AppConfig& cfg) override;
   std::optional<JointEnv> joint_env(std::span<const GroupCtx> ctxs) override;
 
+  /// Cached whole-grid evaluations (mapreduce/grid_evaluator.hpp). One
+  /// entry per (jobs, config list): the training-data sweep computes each
+  /// combo's surface once and the COLAO oracle then re-reads it for free.
+  /// Keys are *ordered* — (A, B) and (B, A) are distinct entries — because
+  /// every sweep in this repo iterates combos in a fixed i <= j order;
+  /// sub-solves underneath (tails, reduce envs) still dedupe through the
+  /// canonical Memo layers. The surface is shared, not copied: callers hold
+  /// a shared_ptr snapshot that stays valid across eviction or clear().
+  std::shared_ptr<const GridEvaluator::Surface> pair_grid(
+      const JobSpec& a, const JobSpec& b, std::span<const PairConfig> cfgs);
+  std::shared_ptr<const GridEvaluator::Surface> solo_grid(
+      const JobSpec& job, std::span<const AppConfig> cfgs);
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -89,6 +103,8 @@ class EvalCache final : public NodeEvaluator::Memo {
     std::uint64_t tail_misses = 0;
     std::uint64_t env_hits = 0;     ///< reduce-env sub-cache
     std::uint64_t env_misses = 0;
+    std::uint64_t grid_hits = 0;    ///< whole-surface grid layer
+    std::uint64_t grid_misses = 0;
     std::uint64_t evictions = 0;
 
     /// Hit rate of the RunResult layer.
@@ -153,6 +169,23 @@ class EvalCache final : public NodeEvaluator::Memo {
     std::unordered_map<EnvKey, JointEnv, EnvKeyHash> envs;
   };
 
+  /// Identity of one grid call: the (app, size) operands plus a digest of
+  /// the exact config list. There are only a handful of surfaces per sweep,
+  /// so they live in one map under one mutex, not in the shards.
+  struct GridKey {
+    std::uint64_t digest_a = 0;
+    std::uint64_t digest_b = 0;  ///< zero for solo surfaces
+    std::uint64_t bytes_a = 0;
+    std::uint64_t bytes_b = 0;
+    std::uint64_t cfg_digest = 0;
+    bool pair = false;
+
+    friend bool operator==(const GridKey&, const GridKey&) = default;
+  };
+  struct GridKeyHash {
+    std::size_t operator()(const GridKey& k) const;
+  };
+
   Shard& shard_for(std::size_t hash) {
     return *shards_[hash & shard_mask_];
   }
@@ -162,10 +195,16 @@ class EvalCache final : public NodeEvaluator::Memo {
   void trace_lookup();
 
   const NodeEvaluator& eval_;
+  GridEvaluator grid_;
   Options opts_;
   std::size_t shard_mask_ = 0;
   std::size_t per_shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex grid_mu_;
+  std::unordered_map<GridKey, std::shared_ptr<const GridEvaluator::Surface>,
+                     GridKeyHash>
+      grids_;
 
   // The bespoke per-cache atomics became obs counters: a private registry
   // by default (per-instance Stats), or the caller's via Options::metrics.
@@ -177,6 +216,8 @@ class EvalCache final : public NodeEvaluator::Memo {
   obs::Counter& tail_misses_;
   obs::Counter& env_hits_;
   obs::Counter& env_misses_;
+  obs::Counter& grid_hits_;
+  obs::Counter& grid_misses_;
   obs::Counter& evictions_;
 
   std::atomic<obs::TraceRecorder*> trace_{nullptr};

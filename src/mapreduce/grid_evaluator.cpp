@@ -1,0 +1,333 @@
+#include "mapreduce/grid_evaluator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "hdfs/block_planner.hpp"
+#include "mapreduce/env_solver.hpp"
+#include "obs/trace.hpp"
+#include "util/argmin.hpp"
+#include "util/error.hpp"
+
+namespace ecost::mapreduce {
+
+namespace {
+
+// Per-side block-plan table: one hdfs::plan_blocks call per distinct block
+// size, not one per config. A sweep uses a handful of block sizes, so a
+// linear scan beats any hash map.
+struct PlanTable {
+  struct Entry {
+    int block_mib = 0;
+    hdfs::BlockPlan plan;
+    double block_bytes = 0.0;  ///< blocks[0].bytes, 0 when the plan is empty
+    int num_blocks = 0;
+  };
+  std::vector<Entry> entries;
+
+  const Entry& get(std::uint64_t input_bytes, int block_mib) {
+    for (const Entry& e : entries) {
+      if (e.block_mib == block_mib) return e;
+    }
+    Entry e;
+    e.block_mib = block_mib;
+    e.plan = hdfs::plan_blocks(input_bytes, block_mib);
+    e.block_bytes = e.plan.blocks.empty()
+                        ? 0.0
+                        : static_cast<double>(e.plan.blocks[0].bytes);
+    e.num_blocks = static_cast<int>(e.plan.num_blocks());
+    entries.push_back(std::move(e));
+    return entries.back();
+  }
+};
+
+// Survivor-tail table: one full-node solo per distinct (freq, block) per
+// side. Keyed through the Memo when available so the entries are shared
+// with the scalar path's cache.
+struct TailTable {
+  std::unordered_map<std::uint64_t, NodeEvaluator::GroupSolution> entries;
+
+  static std::uint64_t key(const AppConfig& cfg) {
+    return (static_cast<std::uint64_t>(cfg.freq) << 32) |
+           static_cast<std::uint32_t>(cfg.block_mib);
+  }
+
+  const NodeEvaluator::GroupSolution& get(const NodeEvaluator& eval,
+                                          const JobSpec& job,
+                                          const AppConfig& cfg,
+                                          NodeEvaluator::Memo* memo) {
+    const std::uint64_t k = key(cfg);
+    auto it = entries.find(k);
+    if (it != entries.end()) return it->second;
+    NodeEvaluator::GroupSolution sol =
+        memo != nullptr ? memo->full_node_solo(job, cfg)
+                        : eval.full_node_solo(job, cfg);
+    return entries.emplace(k, std::move(sol)).first->second;
+  }
+};
+
+std::uint32_t reduce_key(const AppConfig& a, const AppConfig& b) {
+  return (static_cast<std::uint32_t>(a.freq) << 24) |
+         (static_cast<std::uint32_t>(a.mappers) << 16) |
+         (static_cast<std::uint32_t>(b.freq) << 8) |
+         static_cast<std::uint32_t>(b.mappers);
+}
+
+std::uint32_t solo_reduce_key(const AppConfig& cfg) {
+  return (static_cast<std::uint32_t>(cfg.freq) << 8) |
+         static_cast<std::uint32_t>(cfg.mappers);
+}
+
+// Builds the reduce-phase GroupCtx exactly as NodeEvaluator::solve_groups
+// does. The reduce env is invariant in the block knob: shuffle partitions
+// are sized by the mapper count, and plan emptiness depends only on the
+// input size — so one solve covers every block size at this
+// (freq, mappers) point.
+GroupCtx reduce_ctx(const JobSpec& job, const AppConfig& cfg,
+                    bool plan_empty) {
+  GroupCtx ctx;
+  ctx.app = &job.app;
+  ctx.freq = cfg.freq;
+  ctx.is_reduce = true;
+  const double shuffle_total =
+      job.app.shuffle_bpb * static_cast<double>(job.input_bytes);
+  if (shuffle_total >= 1.0 && !plan_empty) {
+    ctx.concurrent = cfg.mappers;
+    ctx.block_bytes = shuffle_total / static_cast<double>(cfg.mappers);
+  }
+  return ctx;
+}
+
+std::uint64_t us_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+GridEvaluator::GridEvaluator(const NodeEvaluator& eval) : eval_(eval) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  c_pair_grids_ = &reg.counter("grid.pair_grids");
+  c_solo_grids_ = &reg.counter("grid.solo_grids");
+  c_lanes_ = &reg.counter("grid.lanes");
+  c_pair_us_ = &reg.counter("grid.pair_us");
+  c_solo_us_ = &reg.counter("grid.solo_us");
+}
+
+GridEvaluator::Surface GridEvaluator::pair_grid(
+    const JobSpec& a, const JobSpec& b, std::span<const PairConfig> cfgs,
+    NodeEvaluator::Memo* memo) const {
+  obs::TraceRecorder* tr = obs::global_trace();
+  const double t0 = tr != nullptr ? tr->wall_s() : 0.0;
+  const auto wall0 = std::chrono::steady_clock::now();
+  c_pair_grids_->add();
+  c_lanes_->add(cfgs.size());
+
+  const std::size_t n = cfgs.size();
+  Surface s;
+  s.makespan_s.resize(n);
+  s.energy_dyn_j.resize(n);
+  s.energy_total_j.resize(n);
+  s.edp.resize(n);
+  if (n == 0) return s;
+
+  a.app.validate();
+  b.app.validate();
+  const sim::NodeSpec& spec = eval_.spec();
+  for (const PairConfig& pc : cfgs) pc.validate(spec);
+
+  // --- axis-invariant hoists ----------------------------------------------
+  PlanTable plans_a, plans_b;
+  TailTable tails_a, tails_b;
+  std::unordered_map<std::uint32_t, JointEnv> reduce_envs;
+
+  // --- per-lane map-phase contexts ----------------------------------------
+  std::vector<GroupCtx> ctxs(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PlanTable::Entry& pa = plans_a.get(a.input_bytes,
+                                             cfgs[i].first.block_mib);
+    const PlanTable::Entry& pb = plans_b.get(b.input_bytes,
+                                             cfgs[i].second.block_mib);
+    GroupCtx& ca = ctxs[2 * i];
+    ca.app = &a.app;
+    ca.block_bytes = pa.block_bytes;
+    ca.freq = cfgs[i].first.freq;
+    ca.concurrent = std::min(cfgs[i].first.mappers, pa.num_blocks);
+    GroupCtx& cb = ctxs[2 * i + 1];
+    cb.app = &b.app;
+    cb.block_bytes = pb.block_bytes;
+    cb.freq = cfgs[i].second.freq;
+    cb.concurrent = std::min(cfgs[i].second.mappers, pb.num_blocks);
+  }
+
+  // The hot part: every lane's map-phase fixed point in one batched sweep.
+  std::vector<TaskRates> rates(2 * n);
+  std::vector<SharedEnv> envs(2 * n);
+  solve_joint_env_lanes(eval_.task_model(), 2, ctxs, rates, envs);
+
+  // --- reduce envs: one solve per distinct (freq_a, m_a, freq_b, m_b) ----
+  const bool empty_a = plans_a.entries.front().plan.blocks.empty();
+  const bool empty_b = plans_b.entries.front().plan.blocks.empty();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t key = reduce_key(cfgs[i].first, cfgs[i].second);
+    if (reduce_envs.contains(key)) continue;
+    const GroupCtx red_ctxs[2] = {reduce_ctx(a, cfgs[i].first, empty_a),
+                                  reduce_ctx(b, cfgs[i].second, empty_b)};
+    std::optional<JointEnv> memoized;
+    if (memo != nullptr) memoized = memo->joint_env(red_ctxs);
+    reduce_envs.emplace(key, memoized
+                                 ? *std::move(memoized)
+                                 : solve_joint_env(eval_.task_model(),
+                                                   red_ctxs));
+  }
+
+  // --- materialize lanes + two-segment timeline ---------------------------
+  NodeEvaluator::GroupSolution sols[2];
+  for (std::size_t i = 0; i < n; ++i) {
+    const PairConfig& pc = cfgs[i];
+    const PlanTable::Entry& pa = plans_a.get(a.input_bytes,
+                                             pc.first.block_mib);
+    const PlanTable::Entry& pb = plans_b.get(b.input_bytes,
+                                             pc.second.block_mib);
+    const JointEnv& je_red = reduce_envs.at(reduce_key(pc.first, pc.second));
+    const GroupCtx red_a = reduce_ctx(a, pc.first, empty_a);
+    const GroupCtx red_b = reduce_ctx(b, pc.second, empty_b);
+    eval_.materialize_group(pa.plan, a.app, pc.first.freq, pc.first.mappers,
+                            rates[2 * i], envs[2 * i], je_red.rates[0],
+                            red_a.concurrent, sols[0]);
+    eval_.materialize_group(pb.plan, b.app, pc.second.freq, pc.second.mappers,
+                            rates[2 * i + 1], envs[2 * i + 1], je_red.rates[1],
+                            red_b.concurrent, sols[1]);
+
+    const double ta = sols[0].total_s();
+    const double tb = sols[1].total_s();
+    const std::size_t long_idx = ta <= tb ? 1 : 0;
+    const double t_short = std::min(ta, tb);
+    const double t_long_joint = std::max(ta, tb);
+
+    if (t_long_joint <= 0.0) continue;  // columns stay zero, as in run_pair
+
+    double t_final_long = t_long_joint;
+    const NodeEvaluator::GroupSolution* survivor = nullptr;
+    const bool has_tail = t_long_joint > t_short + 1e-12;
+    if (has_tail) {
+      survivor = long_idx == 0
+                     ? &tails_a.get(eval_, a, pc.first, memo)
+                     : &tails_b.get(eval_, b, pc.second, memo);
+      const double frac_done = t_long_joint > 0.0 ? t_short / t_long_joint
+                                                  : 1.0;
+      t_final_long = t_short + (1.0 - frac_done) * survivor->total_s();
+    }
+    s.makespan_s[i] = t_final_long;
+
+    double e_dyn = 0.0, e_total = 0.0;
+    if (t_short > 0.0) {
+      const NodeEvaluator::GroupSolution* both[] = {&sols[0], &sols[1]};
+      const sim::PowerBreakdown pb_w = eval_.power_for(both);
+      e_dyn += pb_w.dynamic_w() * t_short;
+      e_total += pb_w.total_w() * t_short;
+    }
+    if (has_tail) {
+      const NodeEvaluator::GroupSolution* solo[] = {survivor};
+      const sim::PowerBreakdown pb_w = eval_.power_for(solo);
+      const double dt = t_final_long - t_short;
+      e_dyn += pb_w.dynamic_w() * dt;
+      e_total += pb_w.total_w() * dt;
+    }
+    s.energy_dyn_j[i] = e_dyn;
+    s.energy_total_j[i] = e_total;
+    s.edp[i] = e_dyn * t_final_long;
+  }
+
+  s.argmin_edp = parallel_argmin(s.edp);
+
+  c_pair_us_->add(us_since(wall0));
+  if (tr != nullptr) tr->span(0, 3, "grid.pair", t0, tr->wall_s());
+  return s;
+}
+
+GridEvaluator::Surface GridEvaluator::solo_grid(
+    const JobSpec& job, std::span<const AppConfig> cfgs,
+    NodeEvaluator::Memo* memo) const {
+  obs::TraceRecorder* tr = obs::global_trace();
+  const double t0 = tr != nullptr ? tr->wall_s() : 0.0;
+  const auto wall0 = std::chrono::steady_clock::now();
+  c_solo_grids_->add();
+  c_lanes_->add(cfgs.size());
+
+  const std::size_t n = cfgs.size();
+  Surface s;
+  s.makespan_s.resize(n);
+  s.energy_dyn_j.resize(n);
+  s.energy_total_j.resize(n);
+  s.edp.resize(n);
+  if (n == 0) return s;
+
+  job.app.validate();
+  const sim::NodeSpec& spec = eval_.spec();
+  for (const AppConfig& cfg : cfgs) cfg.validate(spec);
+
+  PlanTable plans;
+  std::unordered_map<std::uint32_t, JointEnv> reduce_envs;
+
+  std::vector<GroupCtx> ctxs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PlanTable::Entry& p = plans.get(job.input_bytes, cfgs[i].block_mib);
+    ctxs[i].app = &job.app;
+    ctxs[i].block_bytes = p.block_bytes;
+    ctxs[i].freq = cfgs[i].freq;
+    ctxs[i].concurrent = std::min(cfgs[i].mappers, p.num_blocks);
+  }
+
+  std::vector<TaskRates> rates(n);
+  std::vector<SharedEnv> envs(n);
+  solve_joint_env_lanes(eval_.task_model(), 1, ctxs, rates, envs);
+
+  const bool plan_empty = plans.entries.front().plan.blocks.empty();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t key = solo_reduce_key(cfgs[i]);
+    if (reduce_envs.contains(key)) continue;
+    const GroupCtx red_ctx[1] = {reduce_ctx(job, cfgs[i], plan_empty)};
+    std::optional<JointEnv> memoized;
+    if (memo != nullptr) memoized = memo->joint_env(red_ctx);
+    reduce_envs.emplace(key, memoized
+                                 ? *std::move(memoized)
+                                 : solve_joint_env(eval_.task_model(),
+                                                   red_ctx));
+  }
+
+  NodeEvaluator::GroupSolution sol;
+  for (std::size_t i = 0; i < n; ++i) {
+    const AppConfig& cfg = cfgs[i];
+    const PlanTable::Entry& p = plans.get(job.input_bytes, cfg.block_mib);
+    const JointEnv& je_red = reduce_envs.at(solo_reduce_key(cfg));
+    const GroupCtx red = reduce_ctx(job, cfg, plan_empty);
+    eval_.materialize_group(p.plan, job.app, cfg.freq, cfg.mappers, rates[i],
+                            envs[i], je_red.rates[0], red.concurrent, sol);
+
+    const double total = sol.total_s();
+    s.makespan_s[i] = total;
+    if (total > 0.0) {
+      const NodeEvaluator::GroupSolution* running[] = {&sol};
+      const sim::PowerBreakdown pb_w = eval_.power_for(running);
+      s.energy_dyn_j[i] = pb_w.dynamic_w() * total;
+      s.energy_total_j[i] = pb_w.total_w() * total;
+      s.edp[i] = s.energy_dyn_j[i] * total;
+    }
+  }
+
+  s.argmin_edp = parallel_argmin(s.edp);
+
+  c_solo_us_->add(us_since(wall0));
+  if (tr != nullptr) tr->span(0, 3, "grid.solo", t0, tr->wall_s());
+  return s;
+}
+
+}  // namespace ecost::mapreduce

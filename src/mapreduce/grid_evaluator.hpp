@@ -1,0 +1,79 @@
+// Batched config-grid evaluator.
+//
+// The tuners and the STP training-data builder all ask the same question
+// thousands of times in a row: "evaluate (app_a, app_b, size) at every point
+// of a config grid". Scalar NodeEvaluator::run_pair answers one point at a
+// time and re-derives everything from scratch; this evaluator answers the
+// whole grid in one call by factoring the work along the grid's axes:
+//
+//   * HDFS block plans depend only on (input_bytes, block_mib) — one plan
+//     per distinct block size per side, not one per config.
+//   * Reduce-phase joint environments are invariant in the block knob —
+//     one solve per distinct (freq_a, m_a, freq_b, m_b), shared with the
+//     scalar path through the Memo hook.
+//   * Survivor tails depend only on (job, freq, block) — one full-node solo
+//     per distinct pair per side, again via Memo.
+//   * The per-config map-phase fixed points — the only genuinely per-lane
+//     work — run through the struct-of-arrays batch kernel
+//     (solve_joint_env_lanes) with per-lane early exit.
+//
+// Every lane reproduces NodeEvaluator::run_pair / run_solo bit-for-bit: the
+// batch kernel *is* the scalar kernel, and materialization goes through the
+// same NodeEvaluator::materialize_group. What the grid path skips is the
+// per-config RunResult/telemetry scaffolding — a Surface stores only the
+// objective columns, struct-of-arrays, plus the argmin the tuners need.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mapreduce/config.hpp"
+#include "mapreduce/job.hpp"
+#include "mapreduce/node_evaluator.hpp"
+#include "obs/metrics.hpp"
+
+namespace ecost::mapreduce {
+
+class GridEvaluator {
+ public:
+  /// Borrows the evaluator (and through it the node spec and models); the
+  /// evaluator must outlive the grid evaluator.
+  explicit GridEvaluator(const NodeEvaluator& eval);
+
+  /// Objective columns for one (job, job, grid) evaluation, index-parallel
+  /// with the config span passed in. Identical, config by config, to what
+  /// the scalar run_pair / run_solo RunResult would report.
+  struct Surface {
+    std::vector<double> makespan_s;
+    std::vector<double> energy_dyn_j;
+    std::vector<double> energy_total_j;
+    std::vector<double> edp;            ///< energy_dyn_j * makespan_s
+    std::size_t argmin_edp = 0;         ///< lowest index attaining min EDP
+
+    std::size_t size() const { return edp.size(); }
+  };
+
+  /// Evaluates `a` co-located with `b` at every PairConfig in `cfgs`.
+  /// `memo` (typically the EvalCache) shares reduce-env and survivor-tail
+  /// sub-solves with the scalar path; pass nullptr to solve everything
+  /// locally — results are identical either way.
+  Surface pair_grid(const JobSpec& a, const JobSpec& b,
+                    std::span<const PairConfig> cfgs,
+                    NodeEvaluator::Memo* memo = nullptr) const;
+
+  /// Evaluates `job` alone on the node at every AppConfig in `cfgs`.
+  Surface solo_grid(const JobSpec& job, std::span<const AppConfig> cfgs,
+                    NodeEvaluator::Memo* memo = nullptr) const;
+
+ private:
+  const NodeEvaluator& eval_;
+
+  obs::Counter* c_pair_grids_;
+  obs::Counter* c_solo_grids_;
+  obs::Counter* c_lanes_;
+  obs::Counter* c_pair_us_;  ///< wall microseconds inside pair_grid
+  obs::Counter* c_solo_us_;  ///< wall microseconds inside solo_grid
+};
+
+}  // namespace ecost::mapreduce

@@ -82,57 +82,65 @@ std::vector<NodeEvaluator::GroupSolution> NodeEvaluator::solve_groups(
   // --- materialize converged group executions -----------------------------
   std::vector<GroupSolution> out(k);
   for (std::size_t g = 0; g < k; ++g) {
-    GroupSolution& sol = out[g];
-    sol.freq = groups[g].cfg.freq;
-    sol.mappers = groups[g].cfg.mappers;
-    if (plans[g].blocks.empty()) continue;
-
-    const AppProfile& app = groups[g].job->app;
-    sol.full = je.rates[g];
-
-    TaskRates partial = sol.full;
-    if (plans[g].partial_bytes() > 0) {
-      partial = tasks_.map_task(app,
-                                static_cast<double>(plans[g].partial_bytes()),
-                                groups[g].cfg.freq, je.envs[g]);
-    }
-    sol.map_ph =
-        waves_.map_phase(plans[g], groups[g].cfg.mappers, sol.full, partial);
-
-    TaskRates reduce{};
-    if (red_ctxs[g].concurrent > 0) reduce = je_reduce.rates[g];
-    sol.reduce_ph = waves_.reduce_phase(groups[g].cfg.mappers, reduce);
-
-    const double n = static_cast<double>(plans[g].num_blocks());
-    sol.total_read_bytes =
-        sol.full.read_bytes * n + reduce.read_bytes * groups[g].cfg.mappers;
-    sol.total_write_bytes =
-        sol.full.write_bytes * n + reduce.write_bytes * groups[g].cfg.mappers;
-
-    // Duration-weighted loads across the two phases.
-    const double total = sol.total_s();
-    if (total > 0.0) {
-      auto blend = [&](double map_v, double red_v) {
-        return (map_v * sol.map_ph.duration_s +
-                red_v * sol.reduce_ph.duration_s) /
-               total;
-      };
-      sol.avg_cores =
-          blend(sol.map_ph.avg_concurrency, sol.reduce_ph.avg_concurrency);
-      sol.mem_gibps = blend(sol.map_ph.mem_gibps, sol.reduce_ph.mem_gibps);
-      sol.disk_mibps = blend(sol.map_ph.disk_mibps, sol.reduce_ph.disk_mibps);
-      sol.io_streams = blend(sol.map_ph.io_streams, sol.reduce_ph.io_streams);
-      const double core_secs =
-          sol.map_ph.task_core_seconds + sol.reduce_ph.task_core_seconds;
-      sol.activity = core_secs > 0.0
-                         ? (sol.map_ph.activity * sol.map_ph.task_core_seconds +
-                            sol.reduce_ph.activity *
-                                sol.reduce_ph.task_core_seconds) /
-                               core_secs
-                         : 0.0;
-    }
+    materialize_group(plans[g], groups[g].job->app, groups[g].cfg.freq,
+                      groups[g].cfg.mappers, je.rates[g], je.envs[g],
+                      je_reduce.rates[g], red_ctxs[g].concurrent, out[g]);
   }
   return out;
+}
+
+void NodeEvaluator::materialize_group(const hdfs::BlockPlan& plan,
+                                      const AppProfile& app,
+                                      sim::FreqLevel freq, int mappers,
+                                      const TaskRates& full,
+                                      const SharedEnv& env,
+                                      const TaskRates& reduce,
+                                      int reduce_concurrent,
+                                      GroupSolution& sol) const {
+  sol = GroupSolution{};
+  sol.freq = freq;
+  sol.mappers = mappers;
+  if (plan.blocks.empty()) return;
+
+  sol.full = full;
+
+  TaskRates partial = sol.full;
+  if (plan.partial_bytes() > 0) {
+    partial = tasks_.map_task(app, static_cast<double>(plan.partial_bytes()),
+                              freq, env);
+  }
+  sol.map_ph = waves_.map_phase(plan, mappers, sol.full, partial);
+
+  TaskRates red{};
+  if (reduce_concurrent > 0) red = reduce;
+  sol.reduce_ph = waves_.reduce_phase(mappers, red);
+
+  const double n = static_cast<double>(plan.num_blocks());
+  sol.total_read_bytes = sol.full.read_bytes * n + red.read_bytes * mappers;
+  sol.total_write_bytes = sol.full.write_bytes * n + red.write_bytes * mappers;
+
+  // Duration-weighted loads across the two phases.
+  const double total = sol.total_s();
+  if (total > 0.0) {
+    auto blend = [&](double map_v, double red_v) {
+      return (map_v * sol.map_ph.duration_s +
+              red_v * sol.reduce_ph.duration_s) /
+             total;
+    };
+    sol.avg_cores =
+        blend(sol.map_ph.avg_concurrency, sol.reduce_ph.avg_concurrency);
+    sol.mem_gibps = blend(sol.map_ph.mem_gibps, sol.reduce_ph.mem_gibps);
+    sol.disk_mibps = blend(sol.map_ph.disk_mibps, sol.reduce_ph.disk_mibps);
+    sol.io_streams = blend(sol.map_ph.io_streams, sol.reduce_ph.io_streams);
+    const double core_secs =
+        sol.map_ph.task_core_seconds + sol.reduce_ph.task_core_seconds;
+    sol.activity = core_secs > 0.0
+                       ? (sol.map_ph.activity * sol.map_ph.task_core_seconds +
+                          sol.reduce_ph.activity *
+                              sol.reduce_ph.task_core_seconds) /
+                             core_secs
+                       : 0.0;
+  }
 }
 
 sim::PowerBreakdown NodeEvaluator::power_for(

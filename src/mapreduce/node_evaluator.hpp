@@ -117,6 +117,8 @@ class NodeEvaluator {
   double dynamic_power_w(std::span<const GroupLoads> loads) const;
 
  private:
+  friend class GridEvaluator;
+
   struct GroupInput {
     const JobSpec* job;
     AppConfig cfg;
@@ -124,6 +126,16 @@ class NodeEvaluator {
 
   std::vector<GroupSolution> solve_groups(std::span<const GroupInput> groups,
                                           Memo* memo = nullptr) const;
+
+  /// Turns one group's converged joint-env solve into a GroupSolution:
+  /// representative rates -> wave phases -> duration-weighted loads. Shared
+  /// verbatim by solve_groups and the batched GridEvaluator so the two paths
+  /// cannot drift. `reduce` is ignored when `reduce_concurrent == 0`.
+  void materialize_group(const hdfs::BlockPlan& plan, const AppProfile& app,
+                         sim::FreqLevel freq, int mappers,
+                         const TaskRates& full, const SharedEnv& env,
+                         const TaskRates& reduce, int reduce_concurrent,
+                         GroupSolution& sol) const;
 
   /// Instantaneous node power for a set of concurrently running groups.
   sim::PowerBreakdown power_for(

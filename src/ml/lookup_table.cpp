@@ -13,10 +13,9 @@ LookupTableModel::LookupTableModel(LookupTableParams params)
   ECOST_REQUIRE(params_.bins_per_feature >= 2, "need at least 2 bins");
 }
 
-std::vector<int> LookupTableModel::bin_row(
-    std::span<const double> features) const {
+void LookupTableModel::bin_row_into(std::span<const double> features,
+                                    std::span<int> bins) const {
   ECOST_REQUIRE(features.size() == lo_.size(), "feature arity mismatch");
-  std::vector<int> bins(features.size());
   for (std::size_t j = 0; j < features.size(); ++j) {
     const double range = hi_[j] - lo_[j];
     if (range <= 0.0) {
@@ -27,6 +26,12 @@ std::vector<int> LookupTableModel::bin_row(
     bins[j] = std::clamp(static_cast<int>(t * params_.bins_per_feature), 0,
                          params_.bins_per_feature - 1);
   }
+}
+
+std::vector<int> LookupTableModel::bin_row(
+    std::span<const double> features) const {
+  std::vector<int> bins(features.size());
+  bin_row_into(features, bins);
   return bins;
 }
 
@@ -67,13 +72,7 @@ void LookupTableModel::fit(const Dataset& data) {
   global_mean_ /= static_cast<double>(data.size());
 }
 
-double LookupTableModel::predict(std::span<const double> features) const {
-  ECOST_REQUIRE(!cells_.empty(), "model not fitted");
-  const auto bins = bin_row(features);
-  const auto it = cells_.find(key_of(bins));
-  if (it != cells_.end()) return it->second.mean();
-
-  // Nearest occupied cell by L1 distance in bin space.
+double LookupTableModel::nearest_cell(std::span<const int> bins) const {
   double best_dist = std::numeric_limits<double>::infinity();
   double best_val = global_mean_;
   for (const auto& [key, cell] : cells_) {
@@ -87,6 +86,31 @@ double LookupTableModel::predict(std::span<const double> features) const {
     }
   }
   return best_val;
+}
+
+double LookupTableModel::predict(std::span<const double> features) const {
+  ECOST_REQUIRE(!cells_.empty(), "model not fitted");
+  const auto bins = bin_row(features);
+  const auto it = cells_.find(key_of(bins));
+  if (it != cells_.end()) return it->second.mean();
+  return nearest_cell(bins);
+}
+
+void LookupTableModel::predict_batch(std::span<const double> rows,
+                                     std::size_t row_len,
+                                     std::span<double> out) const {
+  ECOST_REQUIRE(!cells_.empty(), "model not fitted");
+  ECOST_REQUIRE(row_len > 0 && rows.size() % row_len == 0,
+                "ragged row buffer");
+  ECOST_REQUIRE(out.size() == rows.size() / row_len,
+                "output size must match row count");
+  // One bin scratch for the whole batch; everything else is hash lookups.
+  std::vector<int> bins(row_len);
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    bin_row_into(rows.subspan(r * row_len, row_len), bins);
+    const auto it = cells_.find(key_of(bins));
+    out[r] = it != cells_.end() ? it->second.mean() : nearest_cell(bins);
+  }
 }
 
 }  // namespace ecost::ml

@@ -22,13 +22,20 @@ class LookupTableModel final : public Regressor {
 
   void fit(const Dataset& data) override;
   double predict(std::span<const double> features) const override;
+  void predict_batch(std::span<const double> rows, std::size_t row_len,
+                     std::span<double> out) const override;
   std::string name() const override { return "LkT"; }
 
   std::size_t occupied_cells() const { return cells_.size(); }
 
  private:
+  void bin_row_into(std::span<const double> features,
+                    std::span<int> bins) const;
   std::vector<int> bin_row(std::span<const double> features) const;
   static std::uint64_t key_of(std::span<const int> bins);
+  /// Nearest occupied cell by L1 distance in bin space; ties resolve to
+  /// the first minimum in table iteration order (same scan as predict).
+  double nearest_cell(std::span<const int> bins) const;
 
   struct Cell {
     double sum = 0.0;

@@ -191,19 +191,43 @@ void RepTree::predict_batch(std::span<const double> rows, std::size_t row_len,
                 "ragged row buffer");
   ECOST_REQUIRE(out.size() == rows.size() / row_len,
                 "output size must match row count");
-  for (std::size_t r = 0; r < out.size(); ++r) {
-    const double* row = rows.data() + r * row_len;
-    // Iterative walk; same routing (and therefore same leaf) as the
-    // recursive predict_node.
-    std::int32_t ni = root_;
-    for (;;) {
-      const Node& n = nodes_[static_cast<std::size_t>(ni)];
-      if (n.leaf) {
-        out[r] = n.value;
-        break;
-      }
-      ni = row[n.feature] <= n.threshold ? n.left : n.right;
+  const std::size_t m = out.size();
+  if (m == 0) return;
+
+  // Node-major traversal: rather than walking each row down the tree
+  // independently (one dependent pointer chase per level per row), route
+  // the whole batch through one node at a time. A stack frame owns a
+  // contiguous slice of row indices; a split node partitions its slice
+  // around the threshold and hands the halves to its children, a leaf
+  // writes its value to every row in the slice. Each reachable node is
+  // touched at most once per batch and each row's feature cell exactly
+  // once per level, with the same routing — and therefore the same leaf —
+  // as the recursive predict_node.
+  std::vector<std::uint32_t> idx(m);
+  for (std::size_t r = 0; r < m; ++r) idx[r] = static_cast<std::uint32_t>(r);
+  struct Frame {
+    std::int32_t node;
+    std::uint32_t lo, hi;  ///< slice of idx routed to this node
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root_, 0, static_cast<std::uint32_t>(m)});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<std::size_t>(f.node)];
+    if (n.leaf) {
+      for (std::uint32_t i = f.lo; i < f.hi; ++i) out[idx[i]] = n.value;
+      continue;
     }
+    const auto first = idx.begin() + f.lo;
+    const auto last = idx.begin() + f.hi;
+    const auto mid_it =
+        std::partition(first, last, [&](std::uint32_t r) {
+          return rows[r * row_len + n.feature] <= n.threshold;
+        });
+    const auto mid = static_cast<std::uint32_t>(mid_it - idx.begin());
+    if (mid > f.lo) stack.push_back({n.left, f.lo, mid});
+    if (mid < f.hi) stack.push_back({n.right, mid, f.hi});
   }
 }
 

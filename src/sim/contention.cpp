@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "util/error.hpp"
 #include "util/units.hpp"
@@ -83,35 +84,46 @@ std::vector<double> disk_allocate(std::span<const double> demands_mibps,
 
 std::vector<double> waterfill(std::span<const double> demands,
                               double capacity) {
-  ECOST_REQUIRE(capacity >= 0.0, "capacity must be non-negative");
   std::vector<double> granted(demands.size(), 0.0);
-  std::vector<bool> done(demands.size(), false);
+  waterfill_into(demands, capacity, granted);
+  return granted;
+}
+
+void waterfill_into(std::span<const double> demands, double capacity,
+                    std::span<double> granted) {
+  ECOST_REQUIRE(capacity >= 0.0, "capacity must be non-negative");
+  ECOST_REQUIRE(granted.size() == demands.size(),
+                "granted/demands length mismatch");
+  // The satisfied set is tracked in a stack bitset so the fixed-point
+  // kernels stay allocation-free; 64 entries dwarfs any node's group count.
+  ECOST_REQUIRE(demands.size() <= 64, "waterfill_into supports <= 64 entries");
+  std::uint64_t done = 0;
   int remaining = 0;
-  for (double d : demands) {
-    ECOST_REQUIRE(d >= 0.0, "demand must be non-negative");
-    if (d > 0.0) ++remaining;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    ECOST_REQUIRE(demands[i] >= 0.0, "demand must be non-negative");
+    granted[i] = 0.0;
+    if (demands[i] > 0.0) ++remaining;
   }
   while (remaining > 0 && capacity > 1e-12) {
     const double share = capacity / static_cast<double>(remaining);
     bool satisfied_any = false;
     for (std::size_t i = 0; i < demands.size(); ++i) {
-      if (done[i] || demands[i] <= 0.0) continue;
+      if ((done >> i & 1) != 0 || demands[i] <= 0.0) continue;
       if (demands[i] <= share + 1e-12) {
         granted[i] = demands[i];
         capacity -= demands[i];
-        done[i] = true;
+        done |= std::uint64_t{1} << i;
         --remaining;
         satisfied_any = true;
       }
     }
     if (!satisfied_any) {
       for (std::size_t i = 0; i < demands.size(); ++i) {
-        if (!done[i] && demands[i] > 0.0) granted[i] = share;
+        if ((done >> i & 1) == 0 && demands[i] > 0.0) granted[i] = share;
       }
       break;
     }
   }
-  return granted;
 }
 
 double split_io_efficiency(double split_bytes, const NodeSpec& spec) {

@@ -46,6 +46,13 @@ std::vector<double> disk_allocate(std::span<const double> demands_mibps,
 std::vector<double> waterfill(std::span<const double> demands,
                               double capacity);
 
+/// Allocation-free form of waterfill(): writes the granted rates into
+/// `granted` (same length as `demands`). Bit-identical to waterfill() —
+/// the joint-environment fixed point calls this once per iteration per
+/// lane, so the hot sweep kernels must not touch the heap.
+void waterfill_into(std::span<const double> demands, double capacity,
+                    std::span<double> granted);
+
 /// Per-split sequential-I/O efficiency in (0, 1]: small HDFS blocks pay a
 /// relatively larger positioning/readahead cost.
 double split_io_efficiency(double split_bytes, const NodeSpec& spec);

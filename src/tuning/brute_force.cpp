@@ -1,10 +1,8 @@
 #include "tuning/brute_force.hpp"
 
 #include <limits>
-#include <vector>
 
 #include "util/error.hpp"
-#include "util/parallel_for.hpp"
 
 namespace ecost::tuning {
 
@@ -25,39 +23,31 @@ SoloOutcome BruteForce::tune_solo(const JobSpec& job, int min_mappers,
   const auto configs =
       solo_configs(evaluator().spec(), min_mappers,
                    max_mappers == 0 ? evaluator().spec().cores : max_mappers);
-  // Parallel EDP fill, serial first-wins argmin: the winner (EDP ties
-  // included) never depends on thread interleaving, and the winning
-  // RunResult is re-read from the cache instead of being copied 160 times.
-  std::vector<double> edps(configs.size());
-  parallel_for(configs.size(), [&](std::size_t i) {
-    edps[i] = cache_->run_solo(job, configs[i]).edp();
-  });
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < edps.size(); ++i) {
-    if (edps[i] < edps[best]) best = i;
-  }
+  // One batched grid evaluation instead of |configs| scalar runs; the
+  // surface's argmin is a deterministic lowest-index reduction, so the
+  // winner (EDP ties included) never depends on thread interleaving. Only
+  // the winner's full RunResult is materialized.
+  const auto surface = cache_->solo_grid(job, configs);
+  const std::size_t best = surface->argmin_edp;
   ECOST_CHECK(!configs.empty() &&
-                  edps[best] < std::numeric_limits<double>::infinity(),
+                  surface->edp[best] < std::numeric_limits<double>::infinity(),
               "no feasible solo configuration");
-  return {configs[best], cache_->run_solo(job, configs[best]), edps[best]};
+  return {configs[best], cache_->run_solo(job, configs[best]),
+          surface->edp[best]};
 }
 
 PairOutcome BruteForce::colao(const JobSpec& a, const JobSpec& b) const {
   const auto configs = pair_configs(evaluator().spec());
-  std::vector<double> edps(configs.size());
-  parallel_for(configs.size(), [&](std::size_t i) {
-    edps[i] = cache_->run_pair(a, configs[i].first, b, configs[i].second).edp();
-  });
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < edps.size(); ++i) {
-    if (edps[i] < edps[best]) best = i;
-  }
+  // The whole 2800-point oracle sweep is one surface evaluation — and when
+  // the dataset builder already swept this combo, one cache lookup.
+  const auto surface = cache_->pair_grid(a, b, configs);
+  const std::size_t best = surface->argmin_edp;
   ECOST_CHECK(!configs.empty() &&
-                  edps[best] < std::numeric_limits<double>::infinity(),
+                  surface->edp[best] < std::numeric_limits<double>::infinity(),
               "no feasible pair configuration");
   return {configs[best],
           cache_->run_pair(a, configs[best].first, b, configs[best].second),
-          edps[best]};
+          surface->edp[best]};
 }
 
 IlaoOutcome BruteForce::ilao(const JobSpec& a, const JobSpec& b) const {

@@ -1,0 +1,55 @@
+#include "util/argmin.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/parallel_for.hpp"
+
+namespace ecost {
+
+namespace {
+
+// Chunk size for the parallel phase. Large enough that the per-chunk
+// bookkeeping is negligible, small enough that typical sweep grids
+// (a few thousand configs) still split across the pool.
+constexpr std::size_t kChunk = 512;
+
+std::size_t argmin_range(std::span<const double> values, std::size_t begin,
+                         std::size_t end) {
+  std::size_t best = begin;
+  double best_v = values[begin];
+  for (std::size_t i = begin + 1; i < end; ++i) {
+    // Strict < keeps the lowest index on ties; NaN compares false and loses.
+    if (values[i] < best_v) {
+      best = i;
+      best_v = values[i];
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t parallel_argmin(std::span<const double> values) {
+  ECOST_REQUIRE(!values.empty(), "argmin over an empty range");
+  const std::size_t n = values.size();
+  if (n <= kChunk) return argmin_range(values, 0, n);
+
+  const std::size_t chunks = (n + kChunk - 1) / kChunk;
+  std::vector<std::size_t> winners(chunks);
+  parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * kChunk;
+    const std::size_t end = begin + kChunk < n ? begin + kChunk : n;
+    winners[c] = argmin_range(values, begin, end);
+  });
+
+  // Serial fold in chunk order: deterministic lowest-index tie-break.
+  std::size_t best = winners[0];
+  for (std::size_t c = 1; c < chunks; ++c) {
+    if (values[winners[c]] < values[best]) best = winners[c];
+  }
+  return best;
+}
+
+}  // namespace ecost

@@ -1,0 +1,22 @@
+// Deterministic parallel argmin reduction.
+//
+// The brute-force tuners and the grid evaluator both end in "find the index
+// of the smallest EDP in a dense vector". A naive parallel reduction is
+// non-deterministic under ties (whichever worker publishes first wins);
+// here each worker reduces a fixed contiguous chunk and the chunk winners
+// are folded serially in index order, so the result is always the *lowest*
+// index attaining the minimum — independent of thread count or scheduling.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ecost {
+
+/// Index of the smallest element of `values`, ties broken by the lowest
+/// index. Requires a non-empty span. NaN entries never win (comparisons
+/// with NaN are false, so they are skipped unless every entry is NaN, in
+/// which case index 0 is returned).
+std::size_t parallel_argmin(std::span<const double> values);
+
+}  // namespace ecost

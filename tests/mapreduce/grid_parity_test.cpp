@@ -1,0 +1,234 @@
+// Parity suite for the batched grid evaluator: every Surface column must
+// reproduce the scalar NodeEvaluator run for run, over randomized jobs and
+// config subsets as well as the exact paper grids. The batch kernel IS the
+// scalar kernel, so in practice agreement is bit-exact; the assertions allow
+// a 1e-9 relative band so the suite stays meaningful if the shared kernel
+// ever gains a reordering optimization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "mapreduce/eval_cache.hpp"
+#include "mapreduce/grid_evaluator.hpp"
+#include "mapreduce/node_evaluator.hpp"
+#include "tuning/config_space.hpp"
+#include "util/rng.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::mapreduce {
+namespace {
+
+constexpr double kRelTol = 1e-9;
+
+void expect_close(double grid, double scalar, const char* what,
+                  std::size_t i) {
+  const double scale = std::max({std::abs(grid), std::abs(scalar), 1e-300});
+  EXPECT_LE(std::abs(grid - scalar), kRelTol * scale)
+      << what << " mismatch at config " << i << ": grid=" << grid
+      << " scalar=" << scalar;
+}
+
+/// Draws a random job over the real application profiles, with input sizes
+/// spanning sub-GiB to multi-wave runs.
+JobSpec random_job(Rng& rng) {
+  const auto apps = workloads::all_apps();
+  const auto& app = apps[rng.uniform_u64(apps.size())];
+  return JobSpec::of_gib(app, rng.uniform(0.25, 12.0));
+}
+
+/// Random subset of `all`, preserving order (the surface is index-parallel
+/// with its config span, so order must be stable between paths).
+template <typename Cfg>
+std::vector<Cfg> random_subset(const std::vector<Cfg>& all, std::size_t want,
+                               Rng& rng) {
+  std::vector<Cfg> out;
+  out.reserve(want);
+  const auto perm = rng.permutation(all.size());
+  std::vector<bool> take(all.size(), false);
+  for (std::size_t i = 0; i < want && i < all.size(); ++i) {
+    take[perm[i]] = true;
+  }
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (take[i]) out.push_back(all[i]);
+  }
+  return out;
+}
+
+class GridParity : public ::testing::Test {
+ protected:
+  const NodeEvaluator eval_;
+  const GridEvaluator grid_{eval_};
+};
+
+TEST_F(GridParity, PairSurfaceMatchesScalarOnRandomizedJobs) {
+  Rng rng(0xEC057'6121ULL);
+  const auto all = tuning::pair_configs(eval_.spec());
+  for (int trial = 0; trial < 4; ++trial) {
+    const JobSpec a = random_job(rng);
+    const JobSpec b = random_job(rng);
+    const auto cfgs = random_subset(all, 64, rng);
+    const auto surf = grid_.pair_grid(a, b, cfgs);
+    ASSERT_EQ(surf.size(), cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      const RunResult rr =
+          eval_.run_pair(a, cfgs[i].first, b, cfgs[i].second);
+      expect_close(surf.makespan_s[i], rr.makespan_s, "makespan_s", i);
+      expect_close(surf.energy_dyn_j[i], rr.energy_dyn_j, "energy_dyn_j", i);
+      expect_close(surf.energy_total_j[i], rr.energy_total_j,
+                   "energy_total_j", i);
+      expect_close(surf.edp[i], rr.edp(), "edp", i);
+    }
+  }
+}
+
+TEST_F(GridParity, SoloSurfaceMatchesScalarOnRandomizedJobs) {
+  Rng rng(0xEC057'5010ULL);
+  const auto all = tuning::solo_configs(eval_.spec());
+  for (int trial = 0; trial < 4; ++trial) {
+    const JobSpec job = random_job(rng);
+    const auto cfgs = random_subset(all, 48, rng);
+    const auto surf = grid_.solo_grid(job, cfgs);
+    ASSERT_EQ(surf.size(), cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      const RunResult rr = eval_.run_solo(job, cfgs[i]);
+      expect_close(surf.makespan_s[i], rr.makespan_s, "makespan_s", i);
+      expect_close(surf.energy_dyn_j[i], rr.energy_dyn_j, "energy_dyn_j", i);
+      expect_close(surf.energy_total_j[i], rr.energy_total_j,
+                   "energy_total_j", i);
+      expect_close(surf.edp[i], rr.edp(), "edp", i);
+    }
+  }
+}
+
+TEST(GridParityRandomSpec, PairSurfaceMatchesScalarOnPerturbedNodes) {
+  // The factorization must hold for ANY physical node, not just the default
+  // calibration: perturb the substrate constants and re-check parity.
+  Rng rng(0xEC057'BEEFULL);
+  for (int trial = 0; trial < 3; ++trial) {
+    sim::NodeSpec spec = sim::NodeSpec::atom_c2758();
+    const auto jitter = [&rng](double& v) { v *= rng.uniform(0.7, 1.4); };
+    jitter(spec.mem_bw_gibps);
+    jitter(spec.mem_latency_ns);
+    jitter(spec.llc_mib);
+    jitter(spec.llc_sensitivity);
+    jitter(spec.idle_power_w);
+    jitter(spec.active_floor_w);
+    jitter(spec.cpu_crowd_coeff);
+    jitter(spec.task_setup_s);
+    jitter(spec.sort_buffer_mib);
+    ASSERT_NO_THROW(spec.validate());
+
+    const NodeEvaluator eval(spec);
+    const GridEvaluator grid(eval);
+    const JobSpec a = random_job(rng);
+    const JobSpec b = random_job(rng);
+    const auto cfgs = random_subset(tuning::pair_configs(spec), 48, rng);
+    const auto surf = grid.pair_grid(a, b, cfgs);
+    ASSERT_EQ(surf.size(), cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      const RunResult rr = eval.run_pair(a, cfgs[i].first, b,
+                                         cfgs[i].second);
+      expect_close(surf.makespan_s[i], rr.makespan_s, "makespan_s", i);
+      expect_close(surf.energy_dyn_j[i], rr.energy_dyn_j, "energy_dyn_j", i);
+      expect_close(surf.edp[i], rr.edp(), "edp", i);
+    }
+  }
+}
+
+TEST_F(GridParity, ArgminMatchesScalarScanOnPaperGrids) {
+  // Full paper-sized grids; the argmin must agree with a plain left-to-right
+  // scan of the EDP column (lowest index wins ties), which in turn must be
+  // the argmin a scalar tuner looping run_pair/run_solo would have picked.
+  const auto pair_cfgs = tuning::pair_configs(eval_.spec());
+  const auto solo_cfgs = tuning::solo_configs(eval_.spec());
+  const JobSpec a = JobSpec::of_gib(workloads::app_by_abbrev("WC"), 2.0);
+  const JobSpec b = JobSpec::of_gib(workloads::app_by_abbrev("TS"), 1.0);
+
+  const auto pair_surf = grid_.pair_grid(a, b, pair_cfgs);
+  ASSERT_EQ(pair_surf.size(), pair_cfgs.size());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pair_surf.size(); ++i) {
+    if (pair_surf.edp[i] < pair_surf.edp[best]) best = i;
+  }
+  EXPECT_EQ(pair_surf.argmin_edp, best);
+  const RunResult rr_best = eval_.run_pair(a, pair_cfgs[best].first, b,
+                                           pair_cfgs[best].second);
+  expect_close(pair_surf.edp[best], rr_best.edp(), "argmin edp", best);
+
+  const auto solo_surf = grid_.solo_grid(a, solo_cfgs);
+  ASSERT_EQ(solo_surf.size(), solo_cfgs.size());
+  best = 0;
+  for (std::size_t i = 1; i < solo_surf.size(); ++i) {
+    if (solo_surf.edp[i] < solo_surf.edp[best]) best = i;
+  }
+  EXPECT_EQ(solo_surf.argmin_edp, best);
+}
+
+TEST_F(GridParity, MemoizedAndUnmemoizedSurfacesAreIdentical) {
+  // The Memo hook (shared reduce envs + survivor tails) is a pure
+  // factorization: routing sub-solves through the cache must not perturb a
+  // single bit of the surface.
+  Rng rng(0xEC057'0003ULL);
+  const auto all = tuning::pair_configs(eval_.spec());
+  const JobSpec a = random_job(rng);
+  const JobSpec b = random_job(rng);
+  const auto cfgs = random_subset(all, 96, rng);
+
+  EvalCache cache(eval_);
+  const auto plain = grid_.pair_grid(a, b, cfgs, nullptr);
+  const auto memod = grid_.pair_grid(a, b, cfgs, &cache);
+  // Second memoized pass: every tail / reduce env now hits the sub-caches.
+  const auto warm = grid_.pair_grid(a, b, cfgs, &cache);
+  ASSERT_EQ(plain.size(), cfgs.size());
+  ASSERT_EQ(memod.size(), cfgs.size());
+  ASSERT_EQ(warm.size(), cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    EXPECT_EQ(plain.makespan_s[i], memod.makespan_s[i]) << i;
+    EXPECT_EQ(plain.energy_dyn_j[i], memod.energy_dyn_j[i]) << i;
+    EXPECT_EQ(plain.energy_total_j[i], memod.energy_total_j[i]) << i;
+    EXPECT_EQ(plain.edp[i], memod.edp[i]) << i;
+    EXPECT_EQ(memod.edp[i], warm.edp[i]) << i;
+  }
+  EXPECT_EQ(plain.argmin_edp, memod.argmin_edp);
+  EXPECT_EQ(memod.argmin_edp, warm.argmin_edp);
+  const auto st = cache.stats();
+  EXPECT_GT(st.env_hits + st.tail_hits, 0u)
+      << "warm pass never hit the sub-caches; memo wiring is dead";
+}
+
+TEST_F(GridParity, RepeatedCallsAreDeterministic) {
+  // Same inputs, same surface, bit for bit — including through the
+  // EvalCache grid layer, whose snapshot must be the surface it computed.
+  Rng rng(0xEC057'0444ULL);
+  const auto all = tuning::pair_configs(eval_.spec());
+  const JobSpec a = random_job(rng);
+  const JobSpec b = random_job(rng);
+  const auto cfgs = random_subset(all, 128, rng);
+
+  const auto s1 = grid_.pair_grid(a, b, cfgs);
+  const auto s2 = grid_.pair_grid(a, b, cfgs);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1.edp[i], s2.edp[i]) << i;
+    EXPECT_EQ(s1.makespan_s[i], s2.makespan_s[i]) << i;
+  }
+  EXPECT_EQ(s1.argmin_edp, s2.argmin_edp);
+
+  EvalCache cache(eval_);
+  const auto c1 = cache.pair_grid(a, b, cfgs);
+  const auto c2 = cache.pair_grid(a, b, cfgs);
+  ASSERT_TRUE(c1 && c2);
+  EXPECT_EQ(c1.get(), c2.get()) << "second lookup should reuse the snapshot";
+  ASSERT_EQ(c1->size(), s1.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(c1->edp[i], s1.edp[i]) << i;
+  }
+  const auto st = cache.stats();
+  EXPECT_EQ(st.grid_misses, 1u);
+  EXPECT_EQ(st.grid_hits, 1u);
+}
+
+}  // namespace
+}  // namespace ecost::mapreduce

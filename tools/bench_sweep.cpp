@@ -174,6 +174,7 @@ int main(int argc, char** argv) {
   if (trace_p != nullptr) {
     trace_p->name_lane(0, 1, "thread pool");
     trace_p->name_lane(0, 2, "eval cache");
+    trace_p->name_lane(0, 3, "grid evaluator");
     obs::set_global_trace(trace_p);
   }
 
@@ -187,7 +188,25 @@ int main(int argc, char** argv) {
   std::cout << "  build " << json_double(base.build_s) << " s, colao "
             << json_double(base.colao_s) << " s\n";
 
-  // Tuned: one shared cache across both stages.
+  // Tuned: one shared cache across both stages. The grid-stage counters
+  // and the solver's iteration histogram are process-global and already
+  // hold the baseline run's samples, so snapshot them around the tuned
+  // pipeline and report the deltas.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter& c_pair_grids = reg.counter("grid.pair_grids");
+  obs::Counter& c_solo_grids = reg.counter("grid.solo_grids");
+  obs::Counter& c_lanes = reg.counter("grid.lanes");
+  obs::Counter& c_pair_us = reg.counter("grid.pair_us");
+  obs::Counter& c_solo_us = reg.counter("grid.solo_us");
+  obs::Histogram& h_iters = reg.histogram("env_solver.iters", {1.0});
+  const std::uint64_t g0_pair = c_pair_grids.value();
+  const std::uint64_t g0_solo = c_solo_grids.value();
+  const std::uint64_t g0_lanes = c_lanes.value();
+  const std::uint64_t g0_pair_us = c_pair_us.value();
+  const std::uint64_t g0_solo_us = c_solo_us.value();
+  const std::uint64_t g0_iters_n = h_iters.count();
+  const double g0_iters_sum = h_iters.sum();
+
   EvalCache cache(eval);
   cache.set_trace(trace_p);
   std::cout << "tuned (cache enabled)...\n";
@@ -197,8 +216,29 @@ int main(int argc, char** argv) {
 
   const EvalCache::Stats st = cache.stats();
   const double speedup = base.total_s() / tuned.total_s();
+  const std::uint64_t grid_pair = c_pair_grids.value() - g0_pair;
+  const std::uint64_t grid_solo = c_solo_grids.value() - g0_solo;
+  const std::uint64_t grid_lanes = c_lanes.value() - g0_lanes;
+  const double grid_pair_s =
+      static_cast<double>(c_pair_us.value() - g0_pair_us) * 1e-6;
+  const double grid_solo_s =
+      static_cast<double>(c_solo_us.value() - g0_solo_us) * 1e-6;
+  const std::uint64_t iters_n = h_iters.count() - g0_iters_n;
+  const double grid_mean_iters =
+      iters_n == 0 ? 0.0 : (h_iters.sum() - g0_iters_sum) /
+                               static_cast<double>(iters_n);
+  const std::uint64_t grid_lookups = st.grid_hits + st.grid_misses;
+  const double grid_hit_rate =
+      grid_lookups == 0 ? 0.0 : static_cast<double>(st.grid_hits) /
+                                    static_cast<double>(grid_lookups);
   std::cout << "cache hit rate " << json_double(st.hit_rate())
+            << ", grid surface hit rate " << json_double(grid_hit_rate)
             << ", speedup " << json_double(speedup) << "x\n";
+  std::cout << "grid stage: " << grid_pair << " pair + " << grid_solo
+            << " solo surfaces, " << grid_lanes << " lanes in "
+            << json_double(grid_pair_s + grid_solo_s)
+            << " s, mean fixed-point iters " << json_double(grid_mean_iters)
+            << "\n";
 
   // Figure-9 mapping-policy study through the unified cluster runtime.
   std::cout << "fig9 policy study (unified engine)...\n";
@@ -242,8 +282,20 @@ int main(int argc, char** argv) {
       << "    \"tail_misses\": " << json_u64(st.tail_misses) << ",\n"
       << "    \"env_hits\": " << json_u64(st.env_hits) << ",\n"
       << "    \"env_misses\": " << json_u64(st.env_misses) << ",\n"
+      << "    \"grid_hits\": " << json_u64(st.grid_hits) << ",\n"
+      << "    \"grid_misses\": " << json_u64(st.grid_misses) << ",\n"
       << "    \"evictions\": " << json_u64(st.evictions) << ",\n"
       << "    \"entries\": " << cache.size() << "\n"
+      << "  },\n"
+      << "  \"grid\": {\n"
+      << "    \"pair_grids\": " << json_u64(grid_pair) << ",\n"
+      << "    \"solo_grids\": " << json_u64(grid_solo) << ",\n"
+      << "    \"lanes\": " << json_u64(grid_lanes) << ",\n"
+      << "    \"pair_grid_s\": " << json_double(grid_pair_s) << ",\n"
+      << "    \"solo_grid_s\": " << json_double(grid_solo_s) << ",\n"
+      << "    \"hit_rate\": " << json_double(grid_hit_rate) << ",\n"
+      << "    \"mean_fixed_point_iters\": " << json_double(grid_mean_iters)
+      << "\n"
       << "  },\n"
       << "  \"fig9_unified_engine\": {\n"
       << "    \"nodes\": 4,\n"

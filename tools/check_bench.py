@@ -3,13 +3,17 @@
 
 Compares a freshly produced bench_sweep report against a committed
 baseline and fails when the pipeline got materially slower or the
-evaluation cache stopped hitting:
+grid-evaluation stage degraded:
 
     check_bench.py CURRENT BASELINE [--tolerance=0.25] [--update]
 
 Checks (relative, +/- tolerance band):
-  * tuned.total_s          -- wall time of the cached sweep pipeline
-  * eval_cache.hit_rate    -- RunResult-layer hit rate
+  * tuned.total_s                -- wall time of the cached sweep pipeline
+  * grid.hit_rate                -- whole-surface cache hit rate (the COLAO
+                                    oracle re-reading the builder's sweeps)
+  * grid.mean_fixed_point_iters  -- solver sweeps per lane; catches a
+                                    convergence regression that raw wall
+                                    time would hide behind machine noise
 
 Reports from different machines or configurations are not comparable:
 the gate refuses (exit 2) when the benchmark mode (--quick vs full) or
@@ -101,7 +105,8 @@ def main() -> int:
 
     checks = [
         ("tuned.total_s", "lower-is-better"),
-        ("eval_cache.hit_rate", "higher-is-better"),
+        ("grid.hit_rate", "higher-is-better"),
+        ("grid.mean_fixed_point_iters", "lower-is-better"),
     ]
     failed = False
     for path, direction in checks:
