@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
-#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "mapreduce/grid_evaluator.hpp"
 
@@ -13,7 +14,6 @@
 #include "tuning/brute_force.hpp"
 #include "tuning/config_space.hpp"
 #include "util/error.hpp"
-#include "util/parallel_for.hpp"
 #include "util/rng.hpp"
 #include "workloads/apps.hpp"
 
@@ -141,11 +141,25 @@ TrainingData build_training_data(mapreduce::EvalCache& cache,
   td.classifier.fit(clf_features, clf_labels);
 
   // --- best solo configs per (class, size) for PTM --------------------------
+  // All (app, size) solo surfaces fill in parallel; the fold below runs
+  // serially in the same app-major order the single-threaded loop used, so
+  // tie-breaks between same-class apps are schedule-independent.
   const tuning::BruteForce bf(cache);
-  std::map<SoloKey, double> solo_edp;
+  std::vector<JobSpec> solo_jobs;
+  solo_jobs.reserve(apps.size() * opts.sizes_gib.size());
   for (const AppProfile& app : apps) {
     for (double gib : opts.sizes_gib) {
-      const auto solo = bf.tune_solo(JobSpec::of_gib(app, gib));
+      solo_jobs.push_back(JobSpec::of_gib(app, gib));
+    }
+  }
+  const std::vector<tuning::SoloOutcome> solos =
+      bf.tune_solo_batch(solo_jobs, /*min_mappers=*/1, /*max_mappers=*/0,
+                         opts.threads);
+  std::map<SoloKey, double> solo_edp;
+  std::size_t solo_at = 0;
+  for (const AppProfile& app : apps) {
+    for (double gib : opts.sizes_gib) {
+      const tuning::SoloOutcome& solo = solos[solo_at++];
       const SoloKey key{app.true_class, gib};
       const auto it = solo_edp.find(key);
       if (it == solo_edp.end() || solo.edp < it->second) {
@@ -209,22 +223,24 @@ TrainingData build_training_data(mapreduce::EvalCache& cache,
   }
   // Each task's 2800-point EDP column comes from one batched surface
   // evaluation (mapreduce/grid_evaluator.hpp) instead of 2800 scalar
-  // run_pair calls; the surface stays cached so the COLAO oracle that
-  // typically follows re-reads it for free.
-  std::vector<std::shared_ptr<const mapreduce::GridEvaluator::Surface>>
-      edps_all(tasks.size());
-  parallel_for(
-      tasks.size(),
-      [&](std::size_t t) {
-        const Combo& ca = combos[tasks[t].i];
-        const Combo& cb = combos[tasks[t].j];
-        const JobSpec job_a = JobSpec::of_gib(
-            *ca.app, opts.sizes_gib[static_cast<std::size_t>(ca.size_idx)]);
-        const JobSpec job_b = JobSpec::of_gib(
-            *cb.app, opts.sizes_gib[static_cast<std::size_t>(cb.size_idx)]);
-        edps_all[t] = cache.pair_grid(job_a, job_b, pair_cfgs);
-      },
-      opts.threads, /*grain=*/1);
+  // run_pair calls. The whole task list goes through one pair_grids batch:
+  // duplicate (apps, sizes) keys are deduplicated *before* any work is
+  // scheduled — the old per-task pair_grid calls could compute a racing
+  // duplicate and throw one copy away — and the surfaces stay cached so
+  // the COLAO oracle that typically follows re-reads them for free.
+  std::vector<std::pair<JobSpec, JobSpec>> task_jobs;
+  task_jobs.reserve(tasks.size());
+  for (const PairTask& task : tasks) {
+    const Combo& ca = combos[task.i];
+    const Combo& cb = combos[task.j];
+    task_jobs.emplace_back(
+        JobSpec::of_gib(*ca.app,
+                        opts.sizes_gib[static_cast<std::size_t>(ca.size_idx)]),
+        JobSpec::of_gib(*cb.app,
+                        opts.sizes_gib[static_cast<std::size_t>(cb.size_idx)]));
+  }
+  const std::vector<std::shared_ptr<const mapreduce::GridEvaluator::Surface>>
+      edps_all = cache.pair_grids(task_jobs, pair_cfgs, opts.threads);
 
   // Phase 2 — serial fold in combo order.
   for (std::size_t t = 0; t < tasks.size(); ++t) {

@@ -6,6 +6,8 @@
 #include "obs/metrics.hpp"
 #include "sim/contention.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
+#include "util/units.hpp"
 
 namespace ecost::mapreduce {
 namespace {
@@ -328,6 +330,544 @@ std::uint64_t LaneSolver::solve(const TaskModel& model, std::size_t k,
 
 thread_local LaneSolver tls_solver;
 
+// ---------------------------------------------------------------------------
+// Vectorized engine for the grid shapes (k <= 2): W lanes advance per SIMD
+// step over group-major state columns.
+//
+// Bit-exactness with LaneSolver is by construction, not by tolerance:
+//  * every iteration-invariant quantity (compute seconds, miss traffic
+//    coefficients, I/O volume, the LLC multiplier) is hoisted via
+//    TaskModel::task_consts using the exact expressions — and rounding
+//    order — of TaskModel::solve;
+//  * the per-iteration recurrence recombines those constants in solve()'s
+//    association, lanewise, with no fused ops (this TU compiles with FP
+//    contraction off);
+//  * transcendental-bearing helpers (mem_latency_multiplier's pow, the
+//    disk bandwidth curve) stay scalar calls per SIMD lane;
+//  * the k<=2 waterfill is an exhaustive branchless case split of
+//    sim::waterfill_into's sequential semantics, epsilons included;
+//  * convergence commits, Aitken extrapolation, and its ceil(streams)
+//    guard are the scalar code verbatim, run per lane after each vector
+//    sweep;
+//  * the final TaskRates are reconstructed with one real eval_group call
+//    at the stored last-step environment — the environment fully
+//    determines the task model's output, so the reconstruction reproduces
+//    what the scalar path's last in-loop evaluation wrote.
+// Lanes retire individually (same convergence test); survivors are
+// stably compacted at the end of each sweep so blocks stay dense.
+// ---------------------------------------------------------------------------
+
+// Mirrors task_model.cpp's private kBytesPerMiss (one LLC miss moves one
+// 64-byte line); q2 below recombines it exactly as solve()'s mem_gibps does.
+constexpr double kBytesPerMissLine = 64.0;
+
+/// Rebuilds the full TaskRates that an eval_group call at this environment
+/// would produce, from the hoisted constants — TaskModel::solve expression
+/// for expression, in the same association, so the result is bit-identical.
+TaskRates rates_from_consts(const TaskConsts& tc, double mpki_mult,
+                            double mem_lat_mult, double io_rate_mibps,
+                            double cpu_eff_mult, const sim::NodeSpec& spec) {
+  TaskRates r;
+  r.instructions = tc.instructions;
+  r.read_bytes = tc.read_bytes;
+  r.write_bytes = tc.write_bytes;
+  r.io_bytes = tc.io_bytes;
+  r.footprint_mib = tc.footprint_mib;
+  r.cache_mib = tc.cache_mib;
+  r.mpki_eff = tc.llc_mpki * mpki_mult;
+  r.compute_s = tc.cycles_frontend * cpu_eff_mult / tc.f_hz;
+  r.stall_s = tc.instructions * (r.mpki_eff / 1000.0) *
+              (spec.mem_latency_ns * mem_lat_mult) / kNsPerSec;
+  const double cpu_s = r.compute_s + r.stall_s;
+  r.io_transfer_s = tc.io_mib / (io_rate_mibps * tc.io_efficiency);
+  const double longer = std::max(cpu_s, r.io_transfer_s);
+  const double shorter = std::min(cpu_s, r.io_transfer_s);
+  r.duration_s = longer + (1.0 - spec.cpu_io_overlap) * shorter;
+  if (r.duration_s <= 0.0) {
+    r.duration_s = 0.0;
+    r.activity = 0.0;
+    return r;
+  }
+  r.iowait_s = std::max(0.0, r.duration_s - cpu_s);
+  r.io_duty = std::min(1.0, r.io_transfer_s / r.duration_s);
+  r.activity = (r.compute_s * 1.0 + r.stall_s * spec.stall_activity +
+                r.iowait_s * spec.iowait_activity) /
+               r.duration_s;
+  r.activity = std::clamp(r.activity, 0.0, 1.0);
+  r.mem_gibps = tc.instructions * (r.mpki_eff / 1000.0) * kBytesPerMissLine /
+                r.duration_s / kGiB;
+  r.disk_mibps = tc.io_mib / r.duration_s;
+  const double busy_cycles = cpu_s * tc.f_hz;
+  r.ipc = busy_cycles > 0.0 ? tc.instructions / busy_cycles : 0.0;
+  return r;
+}
+
+template <int W>
+class BlockEngine {
+ public:
+  std::uint64_t solve(const TaskModel& model, std::size_t k,
+                      std::span<const GroupCtx> ctxs,
+                      std::span<TaskRates> rates, std::span<SharedEnv> envs);
+
+ private:
+  using P = util::simd::Pack<W>;
+  using M = util::simd::Mask<W>;
+
+  std::size_t slot(std::size_t g, std::size_t l) const { return g * pad_ + l; }
+
+  /// One damped vector sweep of lanes [i, i+W), commit fused: the plain
+  /// damped update, or (every other sweep, `extrapolate`) the Aitken
+  /// delta-squared extrapolation with its ceil(total_streams) boundary
+  /// guard. Padding lanes are inert.
+  void step_block(std::size_t i, std::size_t k, const sim::NodeSpec& spec,
+                  bool extrapolate);
+
+  /// Write the lane's converged environment and reconstruct its rates.
+  void retire(std::size_t w, int iters, const TaskModel& model, std::size_t k,
+              std::span<TaskRates> rates, std::span<SharedEnv> envs,
+              obs::Histogram& iters_h);
+
+  std::size_t pad_ = 0;  ///< padded lane capacity (multiple of W)
+  // Group-major state/constant columns (group g, lane w at g * pad_ + w).
+  std::vector<double> mem_, duty_, conc_, act_;
+  std::vector<double> cs_;     ///< compute seconds (crowding folded in)
+  std::vector<double> q1_;     ///< instr * (mpki_eff / 1000)
+  std::vector<double> q2_;     ///< q1 * bytes-per-miss
+  std::vector<double> iom_;    ///< I/O volume (MiB)
+  std::vector<double> ioeff_;  ///< split I/O efficiency (1.0 when inert)
+  std::vector<double> mpm_;    ///< hoisted LLC MPKI multiplier
+  std::vector<double> pdm_, pdd_;  ///< Aitken previous deltas (mem, duty)
+  std::vector<double> env_rate_;   ///< last-step granted per-stream rate
+  std::vector<TaskConsts> tc_;     ///< full consts for rate reconstruction
+  // Per-lane columns.
+  std::vector<double> delta_, crowd_, swap_, env_lat_;
+  std::vector<unsigned char> retired_;
+  std::vector<std::uint32_t> orig_;  ///< compacted slot -> original lane
+};
+
+template <int W>
+void BlockEngine<W>::step_block(std::size_t i, std::size_t k,
+                                const sim::NodeSpec& spec, bool extrapolate) {
+  const P zero = P::splat(0.0);
+  const P one = P::splat(1.0);
+  const double stream_cap = spec.disk_stream_cap_mibps;
+  const double job_cap = spec.disk_job_cap_mibps;
+
+  P memv[2], dutyv[2], concv[2], streams[2], demand[2], grants[2];
+  P nmv[2], ndv[2];
+  P md = zero;
+  P ts = zero;
+  for (std::size_t g = 0; g < k; ++g) {
+    memv[g] = P::load(&mem_[slot(g, i)]);
+    dutyv[g] = P::load(&duty_[slot(g, i)]);
+    concv[g] = P::load(&conc_[slot(g, i)]);
+    streams[g] = dutyv[g] * concv[g];
+    demand[g] = min(streams[g] * P::splat(stream_cap), P::splat(job_cap));
+    md = md + memv[g];
+    ts = ts + streams[g];
+  }
+
+  // Queueing (pow) and the seek curve go through the real sim:: helpers,
+  // one scalar call per lane — identical to what the scalar solver does.
+  alignas(64) double a_md[W], a_ts[W], a_lat[W], a_bw[W];
+  md.store(a_md);
+  ts.store(a_ts);
+  for (int w = 0; w < W; ++w) {
+    a_lat[w] = sim::mem_latency_multiplier(a_md[w], spec);
+    a_bw[w] = sim::disk_effective_bw_mibps(
+        static_cast<int>(std::ceil(a_ts[w])), spec);
+  }
+  const P lat = P::load(a_lat) * P::load(&swap_[i]);
+  lat.store(&env_lat_[i]);
+  const P cap = P::load(a_bw);
+
+  // waterfill_into, unrolled branchlessly for k <= 2. Pass 1 hands every
+  // stream under the fair share its exact demand (capacity shrinking in
+  // index order); pass 2 re-shares what is left with the lone survivor;
+  // an all-oversubscribed pass splits the share evenly. All comparisons
+  // use the scalar code's epsilons.
+  const P eps12 = P::splat(1e-12);
+  if (k == 1) {
+    const M a0 = cmp_gt(demand[0], zero);
+    const M capok = cmp_gt(cap, eps12);
+    const P g1 = select(cmp_le(demand[0], cap + eps12), demand[0], cap);
+    grants[0] = select(mask_and(a0, capok), g1, zero);
+  } else {
+    const P d0 = demand[0];
+    const P d1 = demand[1];
+    const M a0 = cmp_gt(d0, zero);
+    const M a1 = cmp_gt(d1, zero);
+    const M capok = cmp_gt(cap, eps12);
+    // Both streams active: pass-1 share is capacity / 2.
+    const P share = cap / P::splat(2.0);
+    const P share_eps = share + eps12;
+    const M s0 = cmp_le(d0, share_eps);
+    const M s1 = cmp_le(d1, share_eps);
+    const P c2 = cap - d0;  // capacity left after granting d0 in pass 1
+    const P c3 = cap - d1;
+    const P g1_after0 =
+        select(cmp_gt(c2, eps12), select(cmp_le(d1, c2 + eps12), d1, c2),
+               zero);
+    const P g0_after1 =
+        select(cmp_gt(c3, eps12), select(cmp_le(d0, c3 + eps12), d0, c3),
+               zero);
+    const P g0_both = select(s0, d0, select(s1, g0_after1, share));
+    const P g1_both = select(s1, d1, select(s0, g1_after0, share));
+    // Solo-active lanes: share = capacity / 1.
+    const P g0_solo = select(cmp_le(d0, cap + eps12), d0, cap);
+    const P g1_solo = select(cmp_le(d1, cap + eps12), d1, cap);
+    const M both = mask_and(a0, a1);
+    P g0 = select(both, g0_both, select(a0, g0_solo, zero));
+    P g1 = select(both, g1_both, select(a1, g1_solo, zero));
+    grants[0] = select(mask_and(a0, capok), g0, zero);
+    grants[1] = select(mask_and(a1, capok), g1, zero);
+  }
+
+  const P eps9 = P::splat(1e-9);
+  const P eps3 = P::splat(1e-3);
+  const P scap = P::splat(stream_cap);
+  const P smin = P::splat(std::min(stream_cap, job_cap));
+  const P latns = P::splat(spec.mem_latency_ns);
+  const P kns = P::splat(kNsPerSec);
+  const P kgib = P::splat(kGiB);
+  const P ov = P::splat(1.0 - spec.cpu_io_overlap);
+  const P kd = P::splat(kDamping);
+  const P om = P::splat(1.0 - kDamping);
+  const P half = P::splat(0.5);
+  const P tiny = P::splat(1e-30);
+  const P c_lat = latns * lat;
+
+  P delta = zero;
+  for (std::size_t g = 0; g < k; ++g) {
+    const std::size_t s = slot(g, i);
+    const M has_s = cmp_gt(streams[g], eps9);
+    const P per_stream =
+        select(has_s, min(scap, grants[g] / streams[g]), smin);
+    const P rate = max(per_stream, eps3);
+    rate.store(&env_rate_[s]);
+
+    const P stall = (P::load(&q1_[s]) * c_lat) / kns;
+    const P cpu = P::load(&cs_[s]) + stall;
+    const P iot = P::load(&iom_[s]) / (rate * P::load(&ioeff_[s]));
+    const P longer = max(cpu, iot);
+    const P shorter = min(cpu, iot);
+    const P dur = longer + ov * shorter;
+    const M okd = cmp_gt(dur, zero);
+    const P io_duty = select(okd, min(one, iot / dur), zero);
+    const P gib = select(okd, (P::load(&q2_[s]) / dur) / kgib, zero);
+
+    P nm = (kd * memv[g]) + ((om * gib) * concv[g]);
+    P nd = (kd * dutyv[g]) + (om * io_duty);
+    const M am = cmp_gt(P::load(&act_[s]), half);
+    nm = select(am, nm, memv[g]);
+    nd = select(am, nd, dutyv[g]);
+    const P dm = abs(nm - memv[g]) / max(abs(nm), tiny);
+    const P dd = abs(nd - dutyv[g]) / max(abs(nd), tiny);
+    delta = max(delta, select(am, dm, zero));
+    delta = max(delta, select(am, dd, zero));
+    nmv[g] = nm;
+    ndv[g] = nd;
+  }
+  delta.store(&delta_[i]);
+
+  // --- commit, fused so the candidate state never round-trips memory -----
+  if (!extrapolate) {
+    // Plain damped commit; remember the step for next sweep's ratio.
+    for (std::size_t g = 0; g < k; ++g) {
+      const std::size_t s = slot(g, i);
+      (nmv[g] - memv[g]).store(&pdm_[s]);
+      (ndv[g] - dutyv[g]).store(&pdd_[s]);
+      nmv[g].store(&mem_[s]);
+      ndv[g].store(&duty_[s]);
+    }
+    return;
+  }
+  // Aitken delta-squared, lanewise: estimate the contraction ratio rho from
+  // two consecutive deltas and jump to the projected limit past the damped
+  // update — LaneSolver's commit, arithmetic step for arithmetic step, as
+  // masked lane operations. Lanes whose ratio fails the guards (rho outside
+  // (0, kAitkenRhoMax), or a zero previous delta — where rho is inf/NaN and
+  // every comparison is false) are blended back to the plain update; inert
+  // padding lanes always take that path, so they never drift.
+  const P rho_max = P::splat(kAitkenRhoMax);
+  P st_plain = zero;
+  P st_ex = zero;
+  P vm[2];
+  P vd[2];
+  for (std::size_t g = 0; g < k; ++g) {
+    const std::size_t s = slot(g, i);
+    {
+      const P ns = nmv[g];
+      const P pd = P::load(&pdm_[s]);
+      const P d = ns - memv[g];
+      const P rho = d / pd;
+      P v = ns + (d * rho) / (one - rho);
+      v = select(cmp_gt(zero, v), zero, v);
+      const M take =
+          mask_and(cmp_gt(abs(pd), zero),
+                   mask_and(cmp_gt(rho, zero), cmp_gt(rho_max, rho)));
+      vm[g] = select(take, v, ns);
+    }
+    {
+      const P ns = ndv[g];
+      const P pd = P::load(&pdd_[s]);
+      const P d = ns - dutyv[g];
+      const P rho = d / pd;
+      P v = ns + (d * rho) / (one - rho);
+      v = select(cmp_gt(zero, v), zero, v);
+      v = select(cmp_gt(v, one), one, v);
+      const M take =
+          mask_and(cmp_gt(abs(pd), zero),
+                   mask_and(cmp_gt(rho, zero), cmp_gt(rho_max, rho)));
+      vd[g] = select(take, v, ns);
+      // Stream totals, summed in group order exactly as the scalar commit.
+      st_plain = st_plain + ns * concv[g];
+      st_ex = st_ex + vd[g] * concv[g];
+    }
+  }
+  // The jump must not cross a ceil(total_streams) boundary — the disk model
+  // quantizes the stream count, and hopping the discontinuity can land the
+  // lane on a different self-consistent attractor than plain iteration.
+  const M keep = cmp_eq(ceil(st_plain), ceil(st_ex));
+  for (std::size_t g = 0; g < k; ++g) {
+    const std::size_t s = slot(g, i);
+    select(keep, vm[g], nmv[g]).store(&mem_[s]);
+    select(keep, vd[g], ndv[g]).store(&duty_[s]);
+    zero.store(&pdm_[s]);
+    zero.store(&pdd_[s]);
+  }
+}
+
+template <int W>
+void BlockEngine<W>::retire(std::size_t w, int iters, const TaskModel& model,
+                            std::size_t k, std::span<TaskRates> rates,
+                            std::span<SharedEnv> envs,
+                            obs::Histogram& iters_h) {
+  iters_h.observe(static_cast<double>(iters));
+  const sim::NodeSpec& spec = model.spec();
+  const std::size_t base = static_cast<std::size_t>(orig_[w]) * k;
+  for (std::size_t g = 0; g < k; ++g) {
+    const std::size_t s = slot(g, w);
+    if (act_[s] == 0.0) continue;  // init already zeroed the outputs
+    SharedEnv& env = envs[base + g];
+    env.mem_lat_mult = env_lat_[w];
+    env.mpki_mult = mpm_[s];
+    env.io_rate_mibps = env_rate_[s];
+    env.cpu_eff_mult = crowd_[w];
+    rates[base + g] = rates_from_consts(tc_[s], mpm_[s], env_lat_[w],
+                                        env_rate_[s], crowd_[w], spec);
+  }
+}
+
+template <int W>
+std::uint64_t BlockEngine<W>::solve(const TaskModel& model, std::size_t k,
+                                    std::span<const GroupCtx> ctxs,
+                                    std::span<TaskRates> rates,
+                                    std::span<SharedEnv> envs) {
+  const sim::NodeSpec& spec = model.spec();
+  ECOST_REQUIRE(k >= 1 && k <= 2, "block engine handles k <= 2");
+  ECOST_REQUIRE(ctxs.size() % k == 0, "ctxs length must be a multiple of k");
+  ECOST_REQUIRE(rates.size() == ctxs.size() && envs.size() == ctxs.size(),
+                "rates/envs must parallel ctxs");
+  const std::size_t lanes = ctxs.size() / k;
+  if (lanes == 0) return 0;
+
+  pad_ = (lanes + W - 1) / W * W;
+  const std::size_t n = k * pad_;
+  mem_.assign(n, 0.0);
+  duty_.assign(n, 0.0);
+  conc_.assign(n, 0.0);
+  act_.assign(n, 0.0);
+  cs_.assign(n, 0.0);
+  q1_.assign(n, 0.0);
+  q2_.assign(n, 0.0);
+  iom_.assign(n, 0.0);
+  ioeff_.assign(n, 1.0);  // inert slots divide by 1, not 0
+  mpm_.assign(n, 0.0);
+  pdm_.assign(n, 0.0);
+  pdd_.assign(n, 0.0);
+  env_rate_.assign(n, 0.0);
+  tc_.assign(n, TaskConsts{});
+  delta_.resize(pad_);
+  crowd_.assign(pad_, 1.0);
+  swap_.assign(pad_, 1.0);
+  env_lat_.assign(pad_, 1.0);
+  retired_.assign(pad_, 0);
+  orig_.resize(pad_);
+
+  // Init, identical to LaneSolver: neutral-environment evaluation, then
+  // crowding / RAM-pressure factors, then the hoisted constants.
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const std::size_t base = l * k;
+    int total_tasks = 0;
+    int active_jobs = 0;
+    double cache_tmp[2] = {0.0, 0.0};
+    for (std::size_t g = 0; g < k; ++g) {
+      const GroupCtx& ctx = ctxs[base + g];
+      conc_[slot(g, l)] = static_cast<double>(ctx.concurrent);
+      rates[base + g] = TaskRates{};
+      envs[base + g] = SharedEnv{};
+      total_tasks += std::max(0, ctx.concurrent);
+      if (ctx.concurrent > 0 && ctx.block_bytes > 0.0) ++active_jobs;
+      if (!is_active(ctx)) continue;
+      ECOST_REQUIRE(ctx.concurrent <= spec.cores,
+                    "more concurrent tasks than cores");
+      act_[slot(g, l)] = 1.0;
+      const TaskConsts tc =
+          model.task_consts(*ctx.app, ctx.block_bytes, ctx.freq,
+                            ctx.is_reduce);
+      tc_[slot(g, l)] = tc;
+      // First-cut demand rates under the neutral environment — the same
+      // numbers eval_group(ctx, SharedEnv{}) establishes for LaneSolver.
+      const SharedEnv neutral{};
+      const TaskRates r =
+          rates_from_consts(tc, neutral.mpki_mult, neutral.mem_lat_mult,
+                            neutral.io_rate_mibps, neutral.cpu_eff_mult,
+                            spec);
+      const double m = static_cast<double>(ctx.concurrent);
+      mem_[slot(g, l)] = r.mem_gibps * m;
+      duty_[slot(g, l)] = r.io_duty;
+      cache_tmp[g] = r.cache_mib * m;
+    }
+    crowd_[l] = 1.0 + spec.cpu_crowd_coeff * std::max(0, total_tasks - 1) +
+                spec.job_crowd_coeff * std::max(0, active_jobs - 1);
+    double resident_mib =
+        static_cast<double>(active_jobs) * spec.job_overhead_mib;
+    for (std::size_t g = 0; g < k; ++g) {
+      if (act_[slot(g, l)] == 0.0) continue;
+      resident_mib += tc_[slot(g, l)].footprint_mib *
+                      static_cast<double>(ctxs[base + g].concurrent);
+    }
+    const double ram_mib = spec.ram_gib * 1024.0;
+    const double fill = resident_mib / ram_mib;
+    const double pressure =
+        std::max(0.0, fill - spec.ram_pressure_threshold) /
+        (1.0 - spec.ram_pressure_threshold);
+    swap_[l] = 1.0 + spec.swap_latency_penalty * pressure;
+    orig_[l] = static_cast<std::uint32_t>(l);
+
+    for (std::size_t g = 0; g < k; ++g) {
+      if (act_[slot(g, l)] == 0.0) continue;
+      double others_ws = 0.0;
+      for (std::size_t h = 0; h < k; ++h) {
+        if (h != g) others_ws += cache_tmp[h];
+      }
+      const double mpm =
+          sim::llc_mpki_multiplier(cache_tmp[g], others_ws, spec);
+      const TaskConsts& tc = tc_[slot(g, l)];
+      const double mpki_eff = tc.llc_mpki * mpm;
+      mpm_[slot(g, l)] = mpm;
+      q1_[slot(g, l)] = tc.instructions * (mpki_eff / 1000.0);
+      q2_[slot(g, l)] = q1_[slot(g, l)] * kBytesPerMissLine;
+      cs_[slot(g, l)] = tc.cycles_frontend * crowd_[l] / tc.f_hz;
+      iom_[slot(g, l)] = tc.io_mib;
+      ioeff_[slot(g, l)] = tc.io_efficiency;
+    }
+  }
+
+  obs::Histogram& iters_h = iters_histogram();
+  std::uint64_t sweeps = 0;
+  // The sweep streams every active lane's state columns, so iterating the
+  // whole grid at once would re-fetch the full surface (hundreds of KiB)
+  // from memory on every one of its ~10 sweeps. Lanes never interact:
+  // running a cache-resident tile to convergence before the next is the
+  // identical per-lane computation in a different order, and bit-identical.
+  constexpr std::size_t kTileLanes = 256;  // multiple of every pack width
+  static_assert(kTileLanes % W == 0);
+  for (std::size_t t0 = 0; t0 < lanes; t0 += kTileLanes) {
+    std::size_t n_active = std::min(kTileLanes, lanes - t0);
+    for (int iter = 0; iter < kMaxIters && n_active > 0; ++iter) {
+      // Every lane enters the run with no previous delta and the alternation
+      // between plain commit and Aitken attempt is unconditional, so the
+      // phase is uniform across the whole active set: plain on even sweeps,
+      // extrapolate on odd ones (LaneSolver's per-lane have_prev flag,
+      // hoisted). Converged lanes are committed too — harmless, since they
+      // retire from the environment snapshot and are compacted away below.
+      const bool extrapolate = iter % 2 != 0;
+      for (std::size_t i = 0; i < n_active; i += W) {
+        step_block(t0 + i, k, spec, extrapolate);
+      }
+      sweeps += n_active;
+
+      bool any_retired = false;
+      for (std::size_t w = t0; w < t0 + n_active; ++w) {
+        if (delta_[w] < kConvergedTol) {
+          retire(w, iter + 1, model, k, rates, envs, iters_h);
+          retired_[w] = 1;
+          any_retired = true;
+        } else {
+          retired_[w] = 0;
+        }
+      }
+
+      if (!any_retired) continue;
+      // Stable compaction: surviving lanes slide to the tile's left edge;
+      // vacated slots are re-inerted so padding columns never compute on
+      // stale state.
+      std::size_t out = t0;
+      for (std::size_t w = t0; w < t0 + n_active; ++w) {
+        if (retired_[w] != 0) continue;
+        if (out != w) {
+          for (std::size_t g = 0; g < k; ++g) {
+            const std::size_t src = slot(g, w);
+            const std::size_t dst = slot(g, out);
+            mem_[dst] = mem_[src];
+            duty_[dst] = duty_[src];
+            conc_[dst] = conc_[src];
+            act_[dst] = act_[src];
+            cs_[dst] = cs_[src];
+            q1_[dst] = q1_[src];
+            q2_[dst] = q2_[src];
+            iom_[dst] = iom_[src];
+            ioeff_[dst] = ioeff_[src];
+            mpm_[dst] = mpm_[src];
+            pdm_[dst] = pdm_[src];
+            pdd_[dst] = pdd_[src];
+            env_rate_[dst] = env_rate_[src];
+            tc_[dst] = tc_[src];
+          }
+          crowd_[out] = crowd_[w];
+          swap_[out] = swap_[w];
+          env_lat_[out] = env_lat_[w];
+          orig_[out] = orig_[w];
+        }
+        ++out;
+      }
+      for (std::size_t w = out; w < t0 + n_active; ++w) {
+        for (std::size_t g = 0; g < k; ++g) {
+          const std::size_t s = slot(g, w);
+          mem_[s] = 0.0;
+          duty_[s] = 0.0;
+          conc_[s] = 0.0;
+          act_[s] = 0.0;
+          cs_[s] = 0.0;
+          q1_[s] = 0.0;
+          q2_[s] = 0.0;
+          iom_[s] = 0.0;
+          ioeff_[s] = 1.0;
+          mpm_[s] = 0.0;
+          pdm_[s] = 0.0;
+          pdd_[s] = 0.0;
+          tc_[s] = TaskConsts{};
+        }
+        crowd_[w] = 1.0;
+        swap_[w] = 1.0;
+      }
+      n_active = out - t0;
+    }
+    // Lanes still active at the cap keep their latest environment — the same
+    // truncation semantics as the scalar solver.
+    for (std::size_t w = t0; w < t0 + n_active; ++w) {
+      retire(w, kMaxIters, model, k, rates, envs, iters_h);
+    }
+  }
+  lanes_histogram().observe(static_cast<double>(lanes));
+  return sweeps;
+}
+
+thread_local BlockEngine<util::simd::kNativeWidth> tls_block;
+thread_local BlockEngine<1> tls_block_ref;
+
 }  // namespace
 
 JointEnv solve_joint_env(const TaskModel& model,
@@ -337,7 +877,7 @@ JointEnv solve_joint_env(const TaskModel& model,
   JointEnv je;
   je.rates.resize(k);
   je.envs.resize(k);
-  tls_solver.solve(model, k, groups, je.rates, je.envs);
+  solve_joint_env_lanes(model, k, groups, je.rates, je.envs);
   return je;
 }
 
@@ -345,7 +885,23 @@ std::uint64_t solve_joint_env_lanes(const TaskModel& model, std::size_t k,
                                     std::span<const GroupCtx> ctxs,
                                     std::span<TaskRates> rates,
                                     std::span<SharedEnv> envs) {
+  // The vector engine covers the grid shapes (solo and pair lanes); wider
+  // group sets — ad-hoc co-location states from the cluster runtime — take
+  // the general scalar path.
+  if (k >= 1 && k <= 2) return tls_block.solve(model, k, ctxs, rates, envs);
   return tls_solver.solve(model, k, ctxs, rates, envs);
 }
+
+std::uint64_t solve_joint_env_lanes_ref(const TaskModel& model, std::size_t k,
+                                        std::span<const GroupCtx> ctxs,
+                                        std::span<TaskRates> rates,
+                                        std::span<SharedEnv> envs) {
+  if (k >= 1 && k <= 2) return tls_block_ref.solve(model, k, ctxs, rates, envs);
+  return tls_solver.solve(model, k, ctxs, rates, envs);
+}
+
+int solve_lanes_simd_width() { return util::simd::kNativeWidth; }
+
+const char* solve_lanes_simd_isa() { return util::simd::kIsaName; }
 
 }  // namespace ecost::mapreduce

@@ -50,4 +50,18 @@ std::uint64_t solve_joint_env_lanes(const TaskModel& model, std::size_t k,
                                     std::span<TaskRates> rates,
                                     std::span<SharedEnv> envs);
 
+/// Width-1 reference instantiation of the same kernel (plain doubles, no
+/// SIMD). Exists so tests can assert that the vectorized path is
+/// bit-identical to scalar arithmetic regardless of the build's native
+/// vector width.
+std::uint64_t solve_joint_env_lanes_ref(const TaskModel& model, std::size_t k,
+                                        std::span<const GroupCtx> ctxs,
+                                        std::span<TaskRates> rates,
+                                        std::span<SharedEnv> envs);
+
+/// Vector width the kernel was compiled with (4 = AVX2, 2 = SSE2/NEON,
+/// 1 = scalar fallback or ECOST_SIMD=OFF) and the matching ISA name.
+int solve_lanes_simd_width();
+const char* solve_lanes_simd_isa();
+
 }  // namespace ecost::mapreduce

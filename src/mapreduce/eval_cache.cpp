@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ecost::mapreduce {
 namespace {
@@ -107,6 +108,7 @@ EvalCache::EvalCache(const NodeEvaluator& eval, Options opts)
       env_misses_(metrics_->counter("eval_cache.env_misses")),
       grid_hits_(metrics_->counter("eval_cache.grid_hits")),
       grid_misses_(metrics_->counter("eval_cache.grid_misses")),
+      grid_batch_fills_(metrics_->counter("eval_cache.grid_batch_fills")),
       evictions_(metrics_->counter("eval_cache.evictions")) {
   ECOST_REQUIRE(opts_.shards >= 1, "need at least one shard");
   ECOST_REQUIRE(opts_.capacity >= 1, "need capacity for at least one entry");
@@ -281,12 +283,8 @@ std::uint64_t mix_cfg(std::uint64_t h, const AppConfig& cfg) {
 
 }  // namespace
 
-std::shared_ptr<const GridEvaluator::Surface> EvalCache::pair_grid(
-    const JobSpec& a, const JobSpec& b, std::span<const PairConfig> cfgs) {
-  if (!opts_.enabled) {
-    return std::make_shared<const GridEvaluator::Surface>(
-        grid_.pair_grid(a, b, cfgs));
-  }
+EvalCache::GridKey EvalCache::pair_key(const JobSpec& a, const JobSpec& b,
+                                       std::span<const PairConfig> cfgs) {
   GridKey key;
   key.pair = true;
   key.digest_a = app_digest(a.app);
@@ -299,6 +297,28 @@ std::shared_ptr<const GridEvaluator::Surface> EvalCache::pair_grid(
     cd = mix_cfg(cd, pc.second);
   }
   key.cfg_digest = cd;
+  return key;
+}
+
+EvalCache::GridKey EvalCache::solo_key(const JobSpec& job,
+                                       std::span<const AppConfig> cfgs) {
+  GridKey key;
+  key.pair = false;
+  key.digest_a = app_digest(job.app);
+  key.bytes_a = job.input_bytes;
+  std::uint64_t cd = cfgs.size();
+  for (const AppConfig& cfg : cfgs) cd = mix_cfg(cd, cfg);
+  key.cfg_digest = cd;
+  return key;
+}
+
+std::shared_ptr<const GridEvaluator::Surface> EvalCache::pair_grid(
+    const JobSpec& a, const JobSpec& b, std::span<const PairConfig> cfgs) {
+  if (!opts_.enabled) {
+    return std::make_shared<const GridEvaluator::Surface>(
+        grid_.pair_grid(a, b, cfgs));
+  }
+  const GridKey key = pair_key(a, b, cfgs);
   {
     std::lock_guard lock(grid_mu_);
     if (const auto it = grids_.find(key); it != grids_.end()) {
@@ -321,13 +341,7 @@ std::shared_ptr<const GridEvaluator::Surface> EvalCache::solo_grid(
     return std::make_shared<const GridEvaluator::Surface>(
         grid_.solo_grid(job, cfgs));
   }
-  GridKey key;
-  key.pair = false;
-  key.digest_a = app_digest(job.app);
-  key.bytes_a = job.input_bytes;
-  std::uint64_t cd = cfgs.size();
-  for (const AppConfig& cfg : cfgs) cd = mix_cfg(cd, cfg);
-  key.cfg_digest = cd;
+  const GridKey key = solo_key(job, cfgs);
   {
     std::lock_guard lock(grid_mu_);
     if (const auto it = grids_.find(key); it != grids_.end()) {
@@ -342,6 +356,126 @@ std::shared_ptr<const GridEvaluator::Surface> EvalCache::solo_grid(
   return grids_.try_emplace(key, std::move(surface)).first->second;
 }
 
+template <typename Compute>
+std::vector<std::shared_ptr<const GridEvaluator::Surface>>
+EvalCache::batch_grids(std::span<const GridKey> keys, unsigned threads,
+                       Compute&& compute) {
+  const std::size_t n = keys.size();
+  std::vector<std::shared_ptr<const GridEvaluator::Surface>> out(n);
+  if (n == 0) return out;
+
+  // Dedup before scheduling: one unique slot per distinct key, claimed in
+  // first-occurrence order so the fill schedule is reproducible.
+  std::unordered_map<GridKey, std::size_t, GridKeyHash> slot_of;
+  slot_of.reserve(n);
+  std::vector<std::size_t> first_req;  // unique slot -> first request index
+  std::vector<std::size_t> slot(n);    // request index -> unique slot
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [it, inserted] = slot_of.try_emplace(keys[i], first_req.size());
+    if (inserted) first_req.push_back(i);
+    slot[i] = it->second;
+  }
+
+  // Serve what the cache already holds; everything else becomes fill work.
+  std::vector<std::shared_ptr<const GridEvaluator::Surface>> uniq(
+      first_req.size());
+  std::vector<std::size_t> misses;  // unique slots to fill
+  {
+    std::lock_guard lock(grid_mu_);
+    for (std::size_t u = 0; u < first_req.size(); ++u) {
+      if (const auto it = grids_.find(keys[first_req[u]]);
+          it != grids_.end()) {
+        uniq[u] = it->second;
+      } else {
+        misses.push_back(u);
+      }
+    }
+  }
+  grid_hits_.add(first_req.size() - misses.size());
+  grid_misses_.add(misses.size());
+
+  // Fill every distinct missing surface on the pool. Each surface is the
+  // work item — fills never split across workers — so its bits cannot
+  // depend on the worker count or the interleaving. Sub-solves underneath
+  // (tails, reduce envs) go through the sharded Memo layers, which are
+  // already value-deterministic under concurrency.
+  parallel_for(
+      misses.size(),
+      [&](std::size_t m) {
+        obs::TraceRecorder* const trace =
+            trace_.load(std::memory_order_acquire);
+        const double t0 = trace != nullptr ? trace->wall_s() : 0.0;
+        uniq[misses[m]] = compute(first_req[misses[m]]);
+        grid_batch_fills_.add();
+        if (trace != nullptr) {
+          trace->span(0, 2, "grid.fill", t0, trace->wall_s());
+        }
+      },
+      threads, /*grain=*/1);
+
+  // First-writer-wins insertion: a scalar pair_grid()/solo_grid() racing
+  // this batch may have inserted a key first; both surfaces are
+  // bit-identical, so adopt whichever is in the map.
+  {
+    std::lock_guard lock(grid_mu_);
+    for (const std::size_t u : misses) {
+      uniq[u] =
+          grids_.try_emplace(keys[first_req[u]], std::move(uniq[u]))
+              .first->second;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = uniq[slot[i]];
+  return out;
+}
+
+std::vector<std::shared_ptr<const GridEvaluator::Surface>>
+EvalCache::pair_grids(std::span<const std::pair<JobSpec, JobSpec>> jobs,
+                      std::span<const PairConfig> cfgs, unsigned threads) {
+  if (!opts_.enabled) {
+    std::vector<std::shared_ptr<const GridEvaluator::Surface>> out(
+        jobs.size());
+    parallel_for(
+        jobs.size(),
+        [&](std::size_t i) {
+          out[i] = std::make_shared<const GridEvaluator::Surface>(
+              grid_.pair_grid(jobs[i].first, jobs[i].second, cfgs));
+        },
+        threads, /*grain=*/1);
+    return out;
+  }
+  std::vector<GridKey> keys;
+  keys.reserve(jobs.size());
+  for (const auto& [a, b] : jobs) keys.push_back(pair_key(a, b, cfgs));
+  return batch_grids(keys, threads, [&](std::size_t i) {
+    return std::make_shared<const GridEvaluator::Surface>(
+        grid_.pair_grid(jobs[i].first, jobs[i].second, cfgs, this));
+  });
+}
+
+std::vector<std::shared_ptr<const GridEvaluator::Surface>>
+EvalCache::solo_grids(std::span<const JobSpec> jobs,
+                      std::span<const AppConfig> cfgs, unsigned threads) {
+  if (!opts_.enabled) {
+    std::vector<std::shared_ptr<const GridEvaluator::Surface>> out(
+        jobs.size());
+    parallel_for(
+        jobs.size(),
+        [&](std::size_t i) {
+          out[i] = std::make_shared<const GridEvaluator::Surface>(
+              grid_.solo_grid(jobs[i], cfgs));
+        },
+        threads, /*grain=*/1);
+    return out;
+  }
+  std::vector<GridKey> keys;
+  keys.reserve(jobs.size());
+  for (const JobSpec& job : jobs) keys.push_back(solo_key(job, cfgs));
+  return batch_grids(keys, threads, [&](std::size_t i) {
+    return std::make_shared<const GridEvaluator::Surface>(
+        grid_.solo_grid(jobs[i], cfgs, this));
+  });
+}
+
 EvalCache::Stats EvalCache::stats() const {
   Stats s;
   s.hits = hits_.value();
@@ -352,6 +486,7 @@ EvalCache::Stats EvalCache::stats() const {
   s.env_misses = env_misses_.value();
   s.grid_hits = grid_hits_.value();
   s.grid_misses = grid_misses_.value();
+  s.grid_batch_fills = grid_batch_fills_.value();
   s.evictions = evictions_.value();
   return s;
 }

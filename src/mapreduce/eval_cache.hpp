@@ -30,7 +30,9 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mapreduce/grid_evaluator.hpp"
@@ -96,6 +98,24 @@ class EvalCache final : public NodeEvaluator::Memo {
   std::shared_ptr<const GridEvaluator::Surface> solo_grid(
       const JobSpec& job, std::span<const AppConfig> cfgs);
 
+  /// Batched surface fill: answers one request per entry of `jobs`, filling
+  /// every *distinct* missing surface in parallel on the global thread pool
+  /// (`threads` caps the participants, 0 = all, 1 = serial in index order).
+  /// Requests are deduplicated before any work is scheduled, so a batch
+  /// that names the same (apps, sizes, grid) K times computes it once and
+  /// returns K references to one shared snapshot. Insertion back into the
+  /// cache is first-writer-wins: a scalar pair_grid()/solo_grid() call that
+  /// races the batch keeps whichever bit-identical surface landed first.
+  /// Results — values and argmins — are byte-identical for every `threads`
+  /// setting: each surface is filled by exactly one worker and the fill
+  /// itself is single-threaded and deterministic.
+  std::vector<std::shared_ptr<const GridEvaluator::Surface>> pair_grids(
+      std::span<const std::pair<JobSpec, JobSpec>> jobs,
+      std::span<const PairConfig> cfgs, unsigned threads = 0);
+  std::vector<std::shared_ptr<const GridEvaluator::Surface>> solo_grids(
+      std::span<const JobSpec> jobs, std::span<const AppConfig> cfgs,
+      unsigned threads = 0);
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -105,6 +125,8 @@ class EvalCache final : public NodeEvaluator::Memo {
     std::uint64_t env_misses = 0;
     std::uint64_t grid_hits = 0;    ///< whole-surface grid layer
     std::uint64_t grid_misses = 0;
+    std::uint64_t grid_batch_fills = 0;  ///< surfaces filled by pair_grids/
+                                         ///< solo_grids workers
     std::uint64_t evictions = 0;
 
     /// Hit rate of the RunResult layer.
@@ -186,6 +208,19 @@ class EvalCache final : public NodeEvaluator::Memo {
     std::size_t operator()(const GridKey& k) const;
   };
 
+  static GridKey pair_key(const JobSpec& a, const JobSpec& b,
+                          std::span<const PairConfig> cfgs);
+  static GridKey solo_key(const JobSpec& job, std::span<const AppConfig> cfgs);
+
+  /// Shared batch plumbing behind pair_grids/solo_grids: dedup requests by
+  /// key, serve hits under grid_mu_, fill distinct misses via parallel_for
+  /// (each fill wrapped in a "grid.fill" trace span), insert first-writer-
+  /// wins, scatter to request order. `compute(i)` must return the surface
+  /// for request index i.
+  template <typename Compute>
+  std::vector<std::shared_ptr<const GridEvaluator::Surface>> batch_grids(
+      std::span<const GridKey> keys, unsigned threads, Compute&& compute);
+
   Shard& shard_for(std::size_t hash) {
     return *shards_[hash & shard_mask_];
   }
@@ -218,6 +253,7 @@ class EvalCache final : public NodeEvaluator::Memo {
   obs::Counter& env_misses_;
   obs::Counter& grid_hits_;
   obs::Counter& grid_misses_;
+  obs::Counter& grid_batch_fills_;
   obs::Counter& evictions_;
 
   std::atomic<obs::TraceRecorder*> trace_{nullptr};

@@ -119,6 +119,7 @@ GridEvaluator::GridEvaluator(const NodeEvaluator& eval) : eval_(eval) {
   c_lanes_ = &reg.counter("grid.lanes");
   c_pair_us_ = &reg.counter("grid.pair_us");
   c_solo_us_ = &reg.counter("grid.solo_us");
+  g_lanes_per_s_ = &reg.gauge("grid.lanes_per_s");
 }
 
 GridEvaluator::Surface GridEvaluator::pair_grid(
@@ -146,7 +147,16 @@ GridEvaluator::Surface GridEvaluator::pair_grid(
   // --- axis-invariant hoists ----------------------------------------------
   PlanTable plans_a, plans_b;
   TailTable tails_a, tails_b;
-  std::unordered_map<std::uint32_t, JointEnv> reduce_envs;
+  // One reduce-env solve per distinct (freq_a, m_a, freq_b, m_b); the entry
+  // also carries each side's reduce concurrency (a function of the same key
+  // fields), and every lane keeps a pointer, so the materialize loop pays
+  // neither the hash lookup nor the ctx rebuild per config.
+  struct ReduceEntry {
+    JointEnv je;
+    int conc_a = 0;
+    int conc_b = 0;
+  };
+  std::unordered_map<std::uint32_t, ReduceEntry> reduce_envs;
 
   // --- per-lane map-phase contexts ----------------------------------------
   std::vector<GroupCtx> ctxs(2 * n);
@@ -172,20 +182,25 @@ GridEvaluator::Surface GridEvaluator::pair_grid(
   std::vector<SharedEnv> envs(2 * n);
   solve_joint_env_lanes(eval_.task_model(), 2, ctxs, rates, envs);
 
-  // --- reduce envs: one solve per distinct (freq_a, m_a, freq_b, m_b) ----
   const bool empty_a = plans_a.entries.front().plan.blocks.empty();
   const bool empty_b = plans_b.entries.front().plan.blocks.empty();
+  std::vector<const ReduceEntry*> lane_red(n);
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint32_t key = reduce_key(cfgs[i].first, cfgs[i].second);
-    if (reduce_envs.contains(key)) continue;
-    const GroupCtx red_ctxs[2] = {reduce_ctx(a, cfgs[i].first, empty_a),
-                                  reduce_ctx(b, cfgs[i].second, empty_b)};
-    std::optional<JointEnv> memoized;
-    if (memo != nullptr) memoized = memo->joint_env(red_ctxs);
-    reduce_envs.emplace(key, memoized
-                                 ? *std::move(memoized)
-                                 : solve_joint_env(eval_.task_model(),
-                                                   red_ctxs));
+    auto it = reduce_envs.find(key);
+    if (it == reduce_envs.end()) {
+      const GroupCtx red_ctxs[2] = {reduce_ctx(a, cfgs[i].first, empty_a),
+                                    reduce_ctx(b, cfgs[i].second, empty_b)};
+      std::optional<JointEnv> memoized;
+      if (memo != nullptr) memoized = memo->joint_env(red_ctxs);
+      ReduceEntry e;
+      e.je = memoized ? *std::move(memoized)
+                      : solve_joint_env(eval_.task_model(), red_ctxs);
+      e.conc_a = red_ctxs[0].concurrent;
+      e.conc_b = red_ctxs[1].concurrent;
+      it = reduce_envs.emplace(key, std::move(e)).first;
+    }
+    lane_red[i] = &it->second;
   }
 
   // --- materialize lanes + two-segment timeline ---------------------------
@@ -196,15 +211,13 @@ GridEvaluator::Surface GridEvaluator::pair_grid(
                                              pc.first.block_mib);
     const PlanTable::Entry& pb = plans_b.get(b.input_bytes,
                                              pc.second.block_mib);
-    const JointEnv& je_red = reduce_envs.at(reduce_key(pc.first, pc.second));
-    const GroupCtx red_a = reduce_ctx(a, pc.first, empty_a);
-    const GroupCtx red_b = reduce_ctx(b, pc.second, empty_b);
+    const ReduceEntry& red = *lane_red[i];
     eval_.materialize_group(pa.plan, a.app, pc.first.freq, pc.first.mappers,
-                            rates[2 * i], envs[2 * i], je_red.rates[0],
-                            red_a.concurrent, sols[0]);
+                            rates[2 * i], envs[2 * i], red.je.rates[0],
+                            red.conc_a, sols[0]);
     eval_.materialize_group(pb.plan, b.app, pc.second.freq, pc.second.mappers,
-                            rates[2 * i + 1], envs[2 * i + 1], je_red.rates[1],
-                            red_b.concurrent, sols[1]);
+                            rates[2 * i + 1], envs[2 * i + 1], red.je.rates[1],
+                            red.conc_b, sols[1]);
 
     const double ta = sols[0].total_s();
     const double tb = sols[1].total_s();
@@ -248,7 +261,9 @@ GridEvaluator::Surface GridEvaluator::pair_grid(
 
   s.argmin_edp = parallel_argmin(s.edp);
 
-  c_pair_us_->add(us_since(wall0));
+  const std::uint64_t us = us_since(wall0);
+  c_pair_us_->add(us);
+  if (us > 0) g_lanes_per_s_->set(static_cast<double>(n) * 1e6 / us);
   if (tr != nullptr) tr->span(0, 3, "grid.pair", t0, tr->wall_s());
   return s;
 }
@@ -275,7 +290,12 @@ GridEvaluator::Surface GridEvaluator::solo_grid(
   for (const AppConfig& cfg : cfgs) cfg.validate(spec);
 
   PlanTable plans;
-  std::unordered_map<std::uint32_t, JointEnv> reduce_envs;
+  // Same per-key + per-lane-pointer scheme as pair_grid's reduce envs.
+  struct ReduceEntry {
+    JointEnv je;
+    int conc = 0;
+  };
+  std::unordered_map<std::uint32_t, ReduceEntry> reduce_envs;
 
   std::vector<GroupCtx> ctxs(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -291,26 +311,30 @@ GridEvaluator::Surface GridEvaluator::solo_grid(
   solve_joint_env_lanes(eval_.task_model(), 1, ctxs, rates, envs);
 
   const bool plan_empty = plans.entries.front().plan.blocks.empty();
+  std::vector<const ReduceEntry*> lane_red(n);
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint32_t key = solo_reduce_key(cfgs[i]);
-    if (reduce_envs.contains(key)) continue;
-    const GroupCtx red_ctx[1] = {reduce_ctx(job, cfgs[i], plan_empty)};
-    std::optional<JointEnv> memoized;
-    if (memo != nullptr) memoized = memo->joint_env(red_ctx);
-    reduce_envs.emplace(key, memoized
-                                 ? *std::move(memoized)
-                                 : solve_joint_env(eval_.task_model(),
-                                                   red_ctx));
+    auto it = reduce_envs.find(key);
+    if (it == reduce_envs.end()) {
+      const GroupCtx red_ctx[1] = {reduce_ctx(job, cfgs[i], plan_empty)};
+      std::optional<JointEnv> memoized;
+      if (memo != nullptr) memoized = memo->joint_env(red_ctx);
+      ReduceEntry e;
+      e.je = memoized ? *std::move(memoized)
+                      : solve_joint_env(eval_.task_model(), red_ctx);
+      e.conc = red_ctx[0].concurrent;
+      it = reduce_envs.emplace(key, std::move(e)).first;
+    }
+    lane_red[i] = &it->second;
   }
 
   NodeEvaluator::GroupSolution sol;
   for (std::size_t i = 0; i < n; ++i) {
     const AppConfig& cfg = cfgs[i];
     const PlanTable::Entry& p = plans.get(job.input_bytes, cfg.block_mib);
-    const JointEnv& je_red = reduce_envs.at(solo_reduce_key(cfg));
-    const GroupCtx red = reduce_ctx(job, cfg, plan_empty);
+    const ReduceEntry& red = *lane_red[i];
     eval_.materialize_group(p.plan, job.app, cfg.freq, cfg.mappers, rates[i],
-                            envs[i], je_red.rates[0], red.concurrent, sol);
+                            envs[i], red.je.rates[0], red.conc, sol);
 
     const double total = sol.total_s();
     s.makespan_s[i] = total;
@@ -325,7 +349,9 @@ GridEvaluator::Surface GridEvaluator::solo_grid(
 
   s.argmin_edp = parallel_argmin(s.edp);
 
-  c_solo_us_->add(us_since(wall0));
+  const std::uint64_t us = us_since(wall0);
+  c_solo_us_->add(us);
+  if (us > 0) g_lanes_per_s_->set(static_cast<double>(n) * 1e6 / us);
   if (tr != nullptr) tr->span(0, 3, "grid.solo", t0, tr->wall_s());
   return s;
 }

@@ -74,6 +74,7 @@ class GridEvaluator {
   obs::Counter* c_lanes_;
   obs::Counter* c_pair_us_;  ///< wall microseconds inside pair_grid
   obs::Counter* c_solo_us_;  ///< wall microseconds inside solo_grid
+  obs::Gauge* g_lanes_per_s_;  ///< throughput of the most recent grid call
 };
 
 }  // namespace ecost::mapreduce

@@ -68,6 +68,39 @@ TaskRates TaskModel::reduce_task(const AppProfile& app, double shuffle_bytes,
                freq, env);
 }
 
+TaskConsts TaskModel::task_consts(const AppProfile& app, double block_bytes,
+                                  sim::FreqLevel freq, bool is_reduce) const {
+  ECOST_REQUIRE(block_bytes >= 0.0, "negative task input size");
+  TaskConsts c;
+  if (is_reduce) {
+    c.instructions = app.reduce_instr_per_byte * block_bytes;
+    c.read_bytes = block_bytes;
+    c.write_bytes = 0.7 * block_bytes;
+    c.llc_mpki = 0.6 * app.llc_mpki;
+    c.footprint_mib =
+        0.6 * app.footprint_fixed_mib + 0.05 * bytes_to_mib(block_bytes);
+    c.cache_mib = 0.5 * app.cache_mib;
+  } else {
+    const double spill = spill_bytes(app, block_bytes);
+    c.instructions = app.instr_per_byte * block_bytes;
+    c.read_bytes = app.io_read_bpb * block_bytes + spill;
+    c.write_bytes = app.io_write_bpb * block_bytes + spill;
+    c.llc_mpki = app.llc_mpki;
+    c.footprint_mib = footprint_mib(app, block_bytes);
+    c.cache_mib = app.cache_mib;
+  }
+  // Same association as solve(): io_bytes is summed first, converted once.
+  c.io_bytes = c.read_bytes + c.write_bytes;
+  c.io_mib = bytes_to_mib(c.io_bytes);
+  const double cpi_frontend = app.base_cpi +
+                              (app.icache_mpki / 1000.0) * kIcacheMissCycles +
+                              (app.branch_mpki / 1000.0) * kBranchMissCycles;
+  c.cycles_frontend = c.instructions * cpi_frontend;
+  c.io_efficiency = sim::split_io_efficiency(block_bytes, spec_);
+  c.f_hz = sim::ghz(freq) * kGHz;
+  return c;
+}
+
 TaskRates TaskModel::solve(double instructions, double read_bytes,
                            double write_bytes, double footprint,
                            double cache_mib, double base_cpi, double llc_mpki,

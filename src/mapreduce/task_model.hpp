@@ -47,6 +47,25 @@ struct TaskRates {
   double write_bytes = 0.0;
 };
 
+/// Environment-invariant constants of one task, precomputed once so the
+/// fixed-point kernel can iterate on a reduced recurrence. Every field is
+/// produced by the exact expression (and rounding order) `solve()` uses, so
+/// a solver that recombines them in `solve()`'s association reproduces the
+/// full model bit for bit.
+struct TaskConsts {
+  double instructions = 0.0;
+  double read_bytes = 0.0;
+  double write_bytes = 0.0;
+  double io_bytes = 0.0;         ///< read_bytes + write_bytes
+  double io_mib = 0.0;           ///< bytes_to_mib(io_bytes)
+  double cycles_frontend = 0.0;  ///< instructions * cpi_frontend (one rounding)
+  double llc_mpki = 0.0;         ///< baseline MPKI before env.mpki_mult
+  double io_efficiency = 0.0;    ///< split_io_efficiency of the task's input
+  double f_hz = 0.0;             ///< core frequency in Hz
+  double footprint_mib = 0.0;
+  double cache_mib = 0.0;
+};
+
 class TaskModel {
  public:
   explicit TaskModel(const sim::NodeSpec& spec);
@@ -68,6 +87,11 @@ class TaskModel {
 
   /// Resident set of one map task over a split of `block_bytes`.
   double footprint_mib(const AppProfile& app, double block_bytes) const;
+
+  /// Environment-invariant constants for the task `map_task`/`reduce_task`
+  /// (selected by `is_reduce`) would model over the same inputs.
+  TaskConsts task_consts(const AppProfile& app, double block_bytes,
+                         sim::FreqLevel freq, bool is_reduce) const;
 
   /// Per-task launch overhead (JVM spawn etc.).
   double setup_s() const { return spec_.task_setup_s; }

@@ -22,19 +22,6 @@ double llc_mpki_multiplier(double own_mib, double others_mib,
   return std::min(mult, spec.llc_pressure_cap);
 }
 
-double mem_latency_multiplier(double demand_gibps, const NodeSpec& spec) {
-  ECOST_REQUIRE(demand_gibps >= 0.0, "memory demand must be non-negative");
-  const double rho = demand_gibps / spec.mem_bw_gibps;
-  return 1.0 + spec.mem_queue_gain * std::pow(rho, spec.mem_queue_exponent);
-}
-
-double disk_effective_bw_mibps(int streams, const NodeSpec& spec) {
-  ECOST_REQUIRE(streams >= 0, "stream count must be non-negative");
-  if (streams == 0) return spec.disk_bw_mibps;
-  return spec.disk_bw_mibps /
-         (1.0 + spec.disk_seek_degradation * static_cast<double>(streams - 1));
-}
-
 std::vector<double> disk_allocate(std::span<const double> demands_mibps,
                                   const NodeSpec& spec) {
   std::vector<double> granted(demands_mibps.size(), 0.0);

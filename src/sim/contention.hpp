@@ -4,10 +4,12 @@
 // runner so both see the same physics.
 #pragma once
 
+#include <cmath>
 #include <span>
 #include <vector>
 
 #include "sim/node_spec.hpp"
+#include "util/error.hpp"
 
 namespace ecost::sim {
 
@@ -24,11 +26,37 @@ double llc_mpki_multiplier(double own_mib, double others_mib,
 /// DRAM traffic demand on the node. 1 + gain * rho^exponent with
 /// rho = demand / bandwidth; deliberately defined for rho > 1 as well so the
 /// task-time fixed point self-limits instead of needing a hard clamp.
-double mem_latency_multiplier(double demand_gibps, const NodeSpec& spec);
+///
+/// Inline: the fixed-point sweep kernels call this once per lane per
+/// iteration, and a cross-TU call (plus std::pow for the calibrated integer
+/// exponent) costs as much as the rest of a sweep combined. Small integer
+/// exponents take the exact repeated-multiply path; every solver shares this
+/// definition, so the paths stay mutually consistent for any exponent.
+inline double mem_latency_multiplier(double demand_gibps,
+                                     const NodeSpec& spec) {
+  ECOST_REQUIRE(demand_gibps >= 0.0, "memory demand must be non-negative");
+  const double rho = demand_gibps / spec.mem_bw_gibps;
+  const double e = spec.mem_queue_exponent;
+  double q;
+  if (e == 3.0) {
+    q = (rho * rho) * rho;
+  } else if (e == 2.0) {
+    q = rho * rho;
+  } else {
+    q = std::pow(rho, e);
+  }
+  return 1.0 + spec.mem_queue_gain * q;
+}
 
 /// Effective aggregate disk bandwidth when `streams` concurrent sequential
-/// streams are active (seek/mixing degradation).
-double disk_effective_bw_mibps(int streams, const NodeSpec& spec);
+/// streams are active (seek/mixing degradation). Inline for the same
+/// hot-sweep reason as mem_latency_multiplier.
+inline double disk_effective_bw_mibps(int streams, const NodeSpec& spec) {
+  ECOST_REQUIRE(streams >= 0, "stream count must be non-negative");
+  if (streams == 0) return spec.disk_bw_mibps;
+  return spec.disk_bw_mibps /
+         (1.0 + spec.disk_seek_degradation * static_cast<double>(streams - 1));
+}
 
 /// Max-min fair ("water-filling") allocation of disk bandwidth.
 ///

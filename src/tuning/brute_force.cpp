@@ -20,34 +20,63 @@ BruteForce::BruteForce(EvalCache& cache) : cache_(&cache) {}
 
 SoloOutcome BruteForce::tune_solo(const JobSpec& job, int min_mappers,
                                   int max_mappers) const {
-  const auto configs =
-      solo_configs(evaluator().spec(), min_mappers,
-                   max_mappers == 0 ? evaluator().spec().cores : max_mappers);
-  // One batched grid evaluation instead of |configs| scalar runs; the
-  // surface's argmin is a deterministic lowest-index reduction, so the
-  // winner (EDP ties included) never depends on thread interleaving. Only
-  // the winner's full RunResult is materialized.
-  const auto surface = cache_->solo_grid(job, configs);
-  const std::size_t best = surface->argmin_edp;
-  ECOST_CHECK(!configs.empty() &&
-                  surface->edp[best] < std::numeric_limits<double>::infinity(),
-              "no feasible solo configuration");
-  return {configs[best], cache_->run_solo(job, configs[best]),
-          surface->edp[best]};
+  return tune_solo_batch({&job, 1}, min_mappers, max_mappers,
+                         /*threads=*/1)[0];
 }
 
 PairOutcome BruteForce::colao(const JobSpec& a, const JobSpec& b) const {
+  const std::pair<JobSpec, JobSpec> one{a, b};
+  return colao_batch({&one, 1}, /*threads=*/1)[0];
+}
+
+std::vector<SoloOutcome> BruteForce::tune_solo_batch(
+    std::span<const JobSpec> jobs, int min_mappers, int max_mappers,
+    unsigned threads) const {
+  const auto configs =
+      solo_configs(evaluator().spec(), min_mappers,
+                   max_mappers == 0 ? evaluator().spec().cores : max_mappers);
+  // One batched grid evaluation per job instead of |configs| scalar runs,
+  // with distinct missing surfaces filling in parallel; each surface's
+  // argmin is a deterministic lowest-index reduction, so the winner (EDP
+  // ties included) never depends on thread interleaving. Only winners'
+  // full RunResults are materialized, serially in input order.
+  const auto surfaces = cache_->solo_grids(jobs, configs, threads);
+  std::vector<SoloOutcome> out;
+  out.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const std::size_t best = surfaces[i]->argmin_edp;
+    ECOST_CHECK(
+        !configs.empty() &&
+            surfaces[i]->edp[best] < std::numeric_limits<double>::infinity(),
+        "no feasible solo configuration");
+    out.push_back({configs[best], cache_->run_solo(jobs[i], configs[best]),
+                   surfaces[i]->edp[best]});
+  }
+  return out;
+}
+
+std::vector<PairOutcome> BruteForce::colao_batch(
+    std::span<const std::pair<JobSpec, JobSpec>> pairs,
+    unsigned threads) const {
   const auto configs = pair_configs(evaluator().spec());
-  // The whole 2800-point oracle sweep is one surface evaluation — and when
-  // the dataset builder already swept this combo, one cache lookup.
-  const auto surface = cache_->pair_grid(a, b, configs);
-  const std::size_t best = surface->argmin_edp;
-  ECOST_CHECK(!configs.empty() &&
-                  surface->edp[best] < std::numeric_limits<double>::infinity(),
-              "no feasible pair configuration");
-  return {configs[best],
-          cache_->run_pair(a, configs[best].first, b, configs[best].second),
-          surface->edp[best]};
+  // Each 2800-point oracle sweep is one surface evaluation — filled in
+  // parallel across pairs when missing, and when the dataset builder
+  // already swept a combo, one cache lookup.
+  const auto surfaces = cache_->pair_grids(pairs, configs, threads);
+  std::vector<PairOutcome> out;
+  out.reserve(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const std::size_t best = surfaces[i]->argmin_edp;
+    ECOST_CHECK(
+        !configs.empty() &&
+            surfaces[i]->edp[best] < std::numeric_limits<double>::infinity(),
+        "no feasible pair configuration");
+    out.push_back({configs[best],
+                   cache_->run_pair(pairs[i].first, configs[best].first,
+                                    pairs[i].second, configs[best].second),
+                   surfaces[i]->edp[best]});
+  }
+  return out;
 }
 
 IlaoOutcome BruteForce::ilao(const JobSpec& a, const JobSpec& b) const {

@@ -16,6 +16,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "mapreduce/eval_cache.hpp"
 #include "mapreduce/job.hpp"
@@ -61,6 +64,19 @@ class BruteForce {
   /// COLAO oracle: exhaustive pair-configuration search.
   PairOutcome colao(const mapreduce::JobSpec& a,
                     const mapreduce::JobSpec& b) const;
+
+  /// Batched forms of tune_solo/colao: all missing surfaces fill in
+  /// parallel on the global pool (`threads` caps the participants, 0 =
+  /// all), then winners materialize serially in input order. Outcome i is
+  /// identical — bit for bit, ties included — to the scalar call on
+  /// element i, for every `threads` setting; the scalar entry points are
+  /// one-element batches of these.
+  std::vector<SoloOutcome> tune_solo_batch(
+      std::span<const mapreduce::JobSpec> jobs, int min_mappers = 1,
+      int max_mappers = 0 /*=cores*/, unsigned threads = 0) const;
+  std::vector<PairOutcome> colao_batch(
+      std::span<const std::pair<mapreduce::JobSpec, mapreduce::JobSpec>> pairs,
+      unsigned threads = 0) const;
 
   /// ILAO baseline: serial dedicated-node runs, freq+block tuned per app.
   IlaoOutcome ilao(const mapreduce::JobSpec& a,

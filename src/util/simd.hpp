@@ -1,0 +1,338 @@
+// Minimal fixed-width SIMD value types for the fixed-point lane kernel.
+//
+// `Pack<W>` is W IEEE doubles wide; `Mask<W>` is the result of a lanewise
+// comparison and feeds `select`. The width the build should use is
+// `kNativeWidth`, chosen at compile time from the target ISA: 4 on AVX2,
+// 2 on SSE2/NEON, 1 otherwise — or forced to 1 when the build defines
+// ECOST_SIMD_FORCE_SCALAR (the `ECOST_SIMD=OFF` CMake option).
+//
+// Every operation is a plain IEEE-754 binary64 operation applied lanewise,
+// never a fused or approximated one, so `Pack<1>` arithmetic and `Pack<W>`
+// arithmetic produce bit-identical lanes as long as the including
+// translation unit is compiled with FP contraction disabled (the kernel's
+// CMake rule does this). NaN propagation of min/max follows the x86
+// MINPD/MAXPD convention — `min(a, b)` is `a < b ? a : b` — in every
+// implementation, including the generic one, so results do not depend on
+// which backend was selected.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#if !defined(ECOST_SIMD_FORCE_SCALAR)
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define ECOST_SIMD_AVX2 1
+#elif defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#define ECOST_SIMD_SSE2 1
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#include <arm_neon.h>
+#define ECOST_SIMD_NEON 1
+#endif
+#endif
+
+namespace ecost::util::simd {
+
+#if defined(ECOST_SIMD_AVX2)
+inline constexpr int kNativeWidth = 4;
+inline constexpr const char* kIsaName = "avx2";
+#elif defined(ECOST_SIMD_SSE2)
+inline constexpr int kNativeWidth = 2;
+inline constexpr const char* kIsaName = "sse2";
+#elif defined(ECOST_SIMD_NEON)
+inline constexpr int kNativeWidth = 2;
+inline constexpr const char* kIsaName = "neon";
+#else
+inline constexpr int kNativeWidth = 1;
+inline constexpr const char* kIsaName = "scalar";
+#endif
+
+// ---------------------------------------------------------------------------
+// Generic (any W): a plain lane loop. GCC/Clang unroll these fully; this is
+// also the reference semantics the intrinsic specializations must match.
+// ---------------------------------------------------------------------------
+
+template <int W>
+struct Mask {
+  bool m[W];
+};
+
+template <int W>
+struct Pack {
+  double v[W];
+
+  static Pack load(const double* p) {
+    Pack r;
+    for (int i = 0; i < W; ++i) r.v[i] = p[i];
+    return r;
+  }
+  static Pack splat(double x) {
+    Pack r;
+    for (int i = 0; i < W; ++i) r.v[i] = x;
+    return r;
+  }
+  void store(double* p) const {
+    for (int i = 0; i < W; ++i) p[i] = v[i];
+  }
+};
+
+template <int W>
+inline Pack<W> operator+(Pack<W> a, Pack<W> b) {
+  for (int i = 0; i < W; ++i) a.v[i] = a.v[i] + b.v[i];
+  return a;
+}
+template <int W>
+inline Pack<W> operator-(Pack<W> a, Pack<W> b) {
+  for (int i = 0; i < W; ++i) a.v[i] = a.v[i] - b.v[i];
+  return a;
+}
+template <int W>
+inline Pack<W> operator*(Pack<W> a, Pack<W> b) {
+  for (int i = 0; i < W; ++i) a.v[i] = a.v[i] * b.v[i];
+  return a;
+}
+template <int W>
+inline Pack<W> operator/(Pack<W> a, Pack<W> b) {
+  for (int i = 0; i < W; ++i) a.v[i] = a.v[i] / b.v[i];
+  return a;
+}
+template <int W>
+inline Pack<W> min(Pack<W> a, Pack<W> b) {
+  for (int i = 0; i < W; ++i) a.v[i] = a.v[i] < b.v[i] ? a.v[i] : b.v[i];
+  return a;
+}
+template <int W>
+inline Pack<W> max(Pack<W> a, Pack<W> b) {
+  for (int i = 0; i < W; ++i) a.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+  return a;
+}
+template <int W>
+inline Pack<W> abs(Pack<W> a) {
+  for (int i = 0; i < W; ++i) a.v[i] = std::fabs(a.v[i]);
+  return a;
+}
+template <int W>
+inline Pack<W> ceil(Pack<W> a) {
+  for (int i = 0; i < W; ++i) a.v[i] = std::ceil(a.v[i]);
+  return a;
+}
+template <int W>
+inline Mask<W> cmp_gt(Pack<W> a, Pack<W> b) {
+  Mask<W> r;
+  for (int i = 0; i < W; ++i) r.m[i] = a.v[i] > b.v[i];
+  return r;
+}
+template <int W>
+inline Mask<W> cmp_eq(Pack<W> a, Pack<W> b) {
+  Mask<W> r;
+  for (int i = 0; i < W; ++i) r.m[i] = a.v[i] == b.v[i];
+  return r;
+}
+template <int W>
+inline Mask<W> cmp_le(Pack<W> a, Pack<W> b) {
+  Mask<W> r;
+  for (int i = 0; i < W; ++i) r.m[i] = a.v[i] <= b.v[i];
+  return r;
+}
+template <int W>
+inline Mask<W> mask_and(Mask<W> a, Mask<W> b) {
+  for (int i = 0; i < W; ++i) a.m[i] = a.m[i] && b.m[i];
+  return a;
+}
+template <int W>
+inline Mask<W> mask_not(Mask<W> a) {
+  for (int i = 0; i < W; ++i) a.m[i] = !a.m[i];
+  return a;
+}
+/// Lanewise `mask ? a : b`.
+template <int W>
+inline Pack<W> select(Mask<W> k, Pack<W> a, Pack<W> b) {
+  for (int i = 0; i < W; ++i) b.v[i] = k.m[i] ? a.v[i] : b.v[i];
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2: Pack<4> on __m256d. Masks are all-ones/all-zero lane bit patterns.
+// ---------------------------------------------------------------------------
+
+#if defined(ECOST_SIMD_AVX2)
+
+template <>
+struct Mask<4> {
+  __m256d k;
+};
+
+template <>
+struct Pack<4> {
+  __m256d v;
+
+  static Pack load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static Pack splat(double x) { return {_mm256_set1_pd(x)}; }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+};
+
+inline Pack<4> operator+(Pack<4> a, Pack<4> b) {
+  return {_mm256_add_pd(a.v, b.v)};
+}
+inline Pack<4> operator-(Pack<4> a, Pack<4> b) {
+  return {_mm256_sub_pd(a.v, b.v)};
+}
+inline Pack<4> operator*(Pack<4> a, Pack<4> b) {
+  return {_mm256_mul_pd(a.v, b.v)};
+}
+inline Pack<4> operator/(Pack<4> a, Pack<4> b) {
+  return {_mm256_div_pd(a.v, b.v)};
+}
+inline Pack<4> min(Pack<4> a, Pack<4> b) { return {_mm256_min_pd(a.v, b.v)}; }
+inline Pack<4> max(Pack<4> a, Pack<4> b) { return {_mm256_max_pd(a.v, b.v)}; }
+inline Pack<4> abs(Pack<4> a) {
+  return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+}
+inline Pack<4> ceil(Pack<4> a) { return {_mm256_ceil_pd(a.v)}; }
+inline Mask<4> cmp_gt(Pack<4> a, Pack<4> b) {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_GT_OQ)};
+}
+inline Mask<4> cmp_eq(Pack<4> a, Pack<4> b) {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_EQ_OQ)};
+}
+inline Mask<4> cmp_le(Pack<4> a, Pack<4> b) {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)};
+}
+inline Mask<4> mask_and(Mask<4> a, Mask<4> b) {
+  return {_mm256_and_pd(a.k, b.k)};
+}
+inline Mask<4> mask_not(Mask<4> a) {
+  return {_mm256_xor_pd(a.k, _mm256_castsi256_pd(_mm256_set1_epi64x(-1)))};
+}
+inline Pack<4> select(Mask<4> k, Pack<4> a, Pack<4> b) {
+  return {_mm256_blendv_pd(b.v, a.v, k.k)};
+}
+
+#endif  // ECOST_SIMD_AVX2
+
+// ---------------------------------------------------------------------------
+// SSE2: Pack<2> on __m128d.
+// ---------------------------------------------------------------------------
+
+#if defined(ECOST_SIMD_SSE2)
+
+template <>
+struct Mask<2> {
+  __m128d k;
+};
+
+template <>
+struct Pack<2> {
+  __m128d v;
+
+  static Pack load(const double* p) { return {_mm_loadu_pd(p)}; }
+  static Pack splat(double x) { return {_mm_set1_pd(x)}; }
+  void store(double* p) const { _mm_storeu_pd(p, v); }
+};
+
+inline Pack<2> operator+(Pack<2> a, Pack<2> b) {
+  return {_mm_add_pd(a.v, b.v)};
+}
+inline Pack<2> operator-(Pack<2> a, Pack<2> b) {
+  return {_mm_sub_pd(a.v, b.v)};
+}
+inline Pack<2> operator*(Pack<2> a, Pack<2> b) {
+  return {_mm_mul_pd(a.v, b.v)};
+}
+inline Pack<2> operator/(Pack<2> a, Pack<2> b) {
+  return {_mm_div_pd(a.v, b.v)};
+}
+inline Pack<2> min(Pack<2> a, Pack<2> b) { return {_mm_min_pd(a.v, b.v)}; }
+inline Pack<2> max(Pack<2> a, Pack<2> b) { return {_mm_max_pd(a.v, b.v)}; }
+inline Pack<2> abs(Pack<2> a) {
+  return {_mm_andnot_pd(_mm_set1_pd(-0.0), a.v)};
+}
+// _mm_ceil_pd is SSE4.1; std::ceil per lane is the same IEEE operation.
+inline Pack<2> ceil(Pack<2> a) {
+  alignas(16) double t[2];
+  a.store(t);
+  t[0] = std::ceil(t[0]);
+  t[1] = std::ceil(t[1]);
+  return Pack<2>::load(t);
+}
+inline Mask<2> cmp_gt(Pack<2> a, Pack<2> b) {
+  return {_mm_cmpgt_pd(a.v, b.v)};
+}
+inline Mask<2> cmp_eq(Pack<2> a, Pack<2> b) {
+  return {_mm_cmpeq_pd(a.v, b.v)};
+}
+inline Mask<2> cmp_le(Pack<2> a, Pack<2> b) {
+  return {_mm_cmple_pd(a.v, b.v)};
+}
+inline Mask<2> mask_and(Mask<2> a, Mask<2> b) {
+  return {_mm_and_pd(a.k, b.k)};
+}
+inline Mask<2> mask_not(Mask<2> a) {
+  return {_mm_xor_pd(a.k, _mm_castsi128_pd(_mm_set1_epi64x(-1)))};
+}
+inline Pack<2> select(Mask<2> k, Pack<2> a, Pack<2> b) {
+  // mask ? a : b with all-ones/all-zero lane masks.
+  return {_mm_or_pd(_mm_and_pd(k.k, a.v), _mm_andnot_pd(k.k, b.v))};
+}
+
+#endif  // ECOST_SIMD_SSE2
+
+// ---------------------------------------------------------------------------
+// NEON: Pack<2> on float64x2_t (AArch64).
+// ---------------------------------------------------------------------------
+
+#if defined(ECOST_SIMD_NEON)
+
+template <>
+struct Mask<2> {
+  uint64x2_t k;
+};
+
+template <>
+struct Pack<2> {
+  float64x2_t v;
+
+  static Pack load(const double* p) { return {vld1q_f64(p)}; }
+  static Pack splat(double x) { return {vdupq_n_f64(x)}; }
+  void store(double* p) const { vst1q_f64(p, v); }
+};
+
+inline Pack<2> operator+(Pack<2> a, Pack<2> b) {
+  return {vaddq_f64(a.v, b.v)};
+}
+inline Pack<2> operator-(Pack<2> a, Pack<2> b) {
+  return {vsubq_f64(a.v, b.v)};
+}
+inline Pack<2> operator*(Pack<2> a, Pack<2> b) {
+  return {vmulq_f64(a.v, b.v)};
+}
+inline Pack<2> operator/(Pack<2> a, Pack<2> b) {
+  return {vdivq_f64(a.v, b.v)};
+}
+inline Pack<2> select(Mask<2> k, Pack<2> a, Pack<2> b) {
+  return {vbslq_f64(k.k, a.v, b.v)};
+}
+inline Pack<2> ceil(Pack<2> a) { return {vrndpq_f64(a.v)}; }
+inline Mask<2> cmp_gt(Pack<2> a, Pack<2> b) { return {vcgtq_f64(a.v, b.v)}; }
+inline Mask<2> cmp_le(Pack<2> a, Pack<2> b) { return {vcleq_f64(a.v, b.v)}; }
+inline Mask<2> cmp_eq(Pack<2> a, Pack<2> b) { return {vceqq_f64(a.v, b.v)}; }
+inline Mask<2> mask_and(Mask<2> a, Mask<2> b) {
+  return {vandq_u64(a.k, b.k)};
+}
+inline Mask<2> mask_not(Mask<2> a) {
+  return {veorq_u64(a.k, vdupq_n_u64(~0ULL))};
+}
+// vminq/vmaxq propagate NaN; route through select to keep the MINPD
+// convention (`a < b ? a : b`) shared by every backend.
+inline Pack<2> min(Pack<2> a, Pack<2> b) {
+  return select(Mask<2>{vcltq_f64(a.v, b.v)}, a, b);
+}
+inline Pack<2> max(Pack<2> a, Pack<2> b) {
+  return select(Mask<2>{vcgtq_f64(a.v, b.v)}, a, b);
+}
+inline Pack<2> abs(Pack<2> a) { return {vabsq_f64(a.v)}; }
+
+#endif  // ECOST_SIMD_NEON
+
+}  // namespace ecost::util::simd

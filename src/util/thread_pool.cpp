@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/error.hpp"
 
 namespace ecost {
 
@@ -19,6 +20,12 @@ unsigned default_workers() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 1 ? hw - 1 : 0;
 }
+
+// configure_global() handshake: -1 = use default_workers(). The created
+// flag flips inside global()'s static initializer, so a configure that
+// loses the race with first use fails loudly instead of being ignored.
+std::atomic<int> g_global_workers{-1};
+std::atomic<bool> g_global_created{false};
 
 }  // namespace
 
@@ -80,8 +87,19 @@ ThreadPool::~ThreadPool() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(default_workers());
+  static ThreadPool pool([] {
+    g_global_created.store(true, std::memory_order_release);
+    const int configured = g_global_workers.load(std::memory_order_acquire);
+    return configured >= 0 ? static_cast<unsigned>(configured)
+                           : default_workers();
+  }());
   return pool;
+}
+
+void ThreadPool::configure_global(unsigned workers) {
+  ECOST_REQUIRE(!g_global_created.load(std::memory_order_acquire),
+                "configure_global must run before the global pool is used");
+  g_global_workers.store(static_cast<int>(workers), std::memory_order_release);
 }
 
 void ThreadPool::work_on(Task& t, std::size_t home) {

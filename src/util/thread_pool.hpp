@@ -41,6 +41,12 @@ class ThreadPool {
   /// with hardware_concurrency() - 1 workers.
   static ThreadPool& global();
 
+  /// Overrides the worker count global() will construct with (tools expose
+  /// this as --threads). Must run before anything touches global(): once
+  /// the pool exists its threads cannot be resized, so a late call throws
+  /// InvariantError instead of silently not applying.
+  static void configure_global(unsigned workers);
+
   unsigned worker_count() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Invokes body(i) for i in [0, n) across the caller plus up to

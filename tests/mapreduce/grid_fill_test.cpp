@@ -1,0 +1,178 @@
+// Parallel batched surface fill (EvalCache::pair_grids / solo_grids) and
+// the tuner batch entry points built on it. The contract under test: the
+// worker count is invisible in the results — surfaces and argmins are
+// byte-identical for 1 vs N participants — and duplicate requests share
+// one snapshot instead of racing duplicate fills.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "mapreduce/eval_cache.hpp"
+#include "mapreduce/node_evaluator.hpp"
+#include "tuning/brute_force.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::mapreduce {
+namespace {
+
+const NodeEvaluator& evaluator() {
+  static const NodeEvaluator eval;
+  return eval;
+}
+
+JobSpec job_of(const char* abbrev, double gib) {
+  return JobSpec::of_gib(workloads::app_by_abbrev(abbrev), gib);
+}
+
+bool bytes_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// Byte-level equality of two surfaces, argmin included.
+bool surfaces_identical(const GridEvaluator::Surface& a,
+                        const GridEvaluator::Surface& b) {
+  return a.argmin_edp == b.argmin_edp &&
+         bytes_equal(a.makespan_s, b.makespan_s) &&
+         bytes_equal(a.energy_dyn_j, b.energy_dyn_j) &&
+         bytes_equal(a.energy_total_j, b.energy_total_j) &&
+         bytes_equal(a.edp, b.edp);
+}
+
+std::vector<AppConfig> small_solo_grid() {
+  std::vector<AppConfig> cfgs;
+  for (const sim::FreqLevel f : {sim::FreqLevel::F1_6, sim::FreqLevel::F2_4}) {
+    for (const int block : {128, 512}) {
+      for (const int mappers : {2, 4}) {
+        cfgs.push_back({f, block, mappers});
+      }
+    }
+  }
+  return cfgs;
+}
+
+std::vector<PairConfig> small_pair_grid() {
+  std::vector<PairConfig> cfgs;
+  for (const AppConfig& a : small_solo_grid()) {
+    for (const sim::FreqLevel f : {sim::FreqLevel::F2_0}) {
+      cfgs.push_back({a, {f, 256, 3}});
+    }
+  }
+  return cfgs;
+}
+
+std::vector<std::pair<JobSpec, JobSpec>> pair_requests() {
+  return {{job_of("WC", 1.0), job_of("ST", 1.0)},
+          {job_of("CF", 1.0), job_of("TS", 1.0)},
+          {job_of("WC", 1.0), job_of("ST", 1.0)},  // duplicate of [0]
+          {job_of("PR", 1.0), job_of("PR", 1.0)},
+          {job_of("CF", 2.0), job_of("TS", 1.0)}};
+}
+
+TEST(GridFillTest, PairSurfacesAreThreadCountInvariant) {
+  const auto cfgs = small_pair_grid();
+  const auto jobs = pair_requests();
+  // Fresh caches per worker count: both batches fill every surface from
+  // scratch, so any schedule-dependence would show up as differing bytes.
+  EvalCache serial(evaluator());
+  EvalCache pooled(evaluator());
+  const auto one = serial.pair_grids(jobs, cfgs, /*threads=*/1);
+  const auto many = pooled.pair_grids(jobs, cfgs, /*threads=*/0);
+  ASSERT_EQ(one.size(), jobs.size());
+  ASSERT_EQ(many.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_TRUE(surfaces_identical(*one[i], *many[i]))
+        << "surface " << i << " depends on the worker count";
+  }
+}
+
+TEST(GridFillTest, SoloSurfacesAreThreadCountInvariant) {
+  const auto cfgs = small_solo_grid();
+  const std::vector<JobSpec> jobs = {job_of("WC", 1.0), job_of("ST", 1.0),
+                                     job_of("CF", 1.0), job_of("TS", 2.0)};
+  EvalCache serial(evaluator());
+  EvalCache pooled(evaluator());
+  const auto one = serial.solo_grids(jobs, cfgs, /*threads=*/1);
+  const auto many = pooled.solo_grids(jobs, cfgs, /*threads=*/0);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_TRUE(surfaces_identical(*one[i], *many[i]));
+  }
+}
+
+TEST(GridFillTest, DuplicateRequestsShareOneSnapshot) {
+  const auto cfgs = small_pair_grid();
+  const auto jobs = pair_requests();  // jobs[2] duplicates jobs[0]
+  EvalCache cache(evaluator());
+  const auto out = cache.pair_grids(jobs, cfgs);
+  EXPECT_EQ(out[0].get(), out[2].get());
+  const EvalCache::Stats st = cache.stats();
+  // Four distinct keys: the duplicate is deduplicated before scheduling,
+  // not filled twice and discarded.
+  EXPECT_EQ(st.grid_misses, 4u);
+  EXPECT_EQ(st.grid_batch_fills, 4u);
+  EXPECT_EQ(st.grid_hits, 0u);
+}
+
+TEST(GridFillTest, BatchMatchesScalarCallsAndWarmsTheCache) {
+  const auto cfgs = small_pair_grid();
+  const auto jobs = pair_requests();
+  EvalCache batch_cache(evaluator());
+  EvalCache scalar_cache(evaluator());
+  const auto batched = batch_cache.pair_grids(jobs, cfgs);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto scalar =
+        scalar_cache.pair_grid(jobs[i].first, jobs[i].second, cfgs);
+    EXPECT_TRUE(surfaces_identical(*batched[i], *scalar));
+    // The batch inserted into its cache: a later scalar call on the same
+    // cache is a hit returning the same snapshot.
+    const auto again =
+        batch_cache.pair_grid(jobs[i].first, jobs[i].second, cfgs);
+    EXPECT_EQ(again.get(), batched[i].get());
+  }
+}
+
+TEST(GridFillTest, DisabledCacheStillAnswersBatches) {
+  EvalCache::Options off;
+  off.enabled = false;
+  EvalCache cache(evaluator(), off);
+  const auto cfgs = small_solo_grid();
+  const std::vector<JobSpec> jobs = {job_of("WC", 1.0), job_of("WC", 1.0)};
+  const auto out = cache.solo_grids(jobs, cfgs);
+  ASSERT_EQ(out.size(), 2u);
+  // Pass-through mode computes per request (no dedup, nothing retained),
+  // but the values still agree.
+  EXPECT_NE(out[0].get(), out[1].get());
+  EXPECT_TRUE(surfaces_identical(*out[0], *out[1]));
+  EXPECT_EQ(cache.stats().grid_misses, 0u);
+}
+
+TEST(GridFillTest, TunerBatchesMatchScalarTuners) {
+  EvalCache cache(evaluator());
+  const tuning::BruteForce bf(cache);
+  const std::vector<JobSpec> solo_jobs = {job_of("WC", 1.0), job_of("CF", 1.0),
+                                          job_of("ST", 2.0)};
+  const auto batch = bf.tune_solo_batch(solo_jobs);
+  ASSERT_EQ(batch.size(), solo_jobs.size());
+  for (std::size_t i = 0; i < solo_jobs.size(); ++i) {
+    const tuning::SoloOutcome one = bf.tune_solo(solo_jobs[i]);
+    EXPECT_EQ(batch[i].cfg, one.cfg);
+    EXPECT_EQ(std::memcmp(&batch[i].edp, &one.edp, sizeof(double)), 0);
+  }
+
+  const std::vector<std::pair<JobSpec, JobSpec>> pairs = {
+      {job_of("WC", 1.0), job_of("ST", 1.0)},
+      {job_of("CF", 1.0), job_of("TS", 1.0)}};
+  const auto pair_batch = bf.colao_batch(pairs);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const tuning::PairOutcome one = bf.colao(pairs[i].first, pairs[i].second);
+    EXPECT_EQ(pair_batch[i].cfg.first, one.cfg.first);
+    EXPECT_EQ(pair_batch[i].cfg.second, one.cfg.second);
+    EXPECT_EQ(std::memcmp(&pair_batch[i].edp, &one.edp, sizeof(double)), 0);
+  }
+}
+
+}  // namespace
+}  // namespace ecost::mapreduce

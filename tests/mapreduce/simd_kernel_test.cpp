@@ -1,0 +1,173 @@
+// Bit-parity of the vectorized fixed-point lane kernel against the width-1
+// reference instantiation. These tests are the tripwire for anything that
+// could silently fork the two paths: FP contraction sneaking back into the
+// kernel TU, an intrinsic whose rounding differs from the scalar operation,
+// or a masked-commit rewrite that mishandles an inactive or retiring lane.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mapreduce/env_solver.hpp"
+#include "util/simd.hpp"
+#include "util/units.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::mapreduce {
+namespace {
+
+bool bits_equal(const TaskRates& a, const TaskRates& b) {
+  return std::memcmp(&a, &b, sizeof(TaskRates)) == 0;
+}
+
+bool bits_equal(const SharedEnv& a, const SharedEnv& b) {
+  return std::memcmp(&a, &b, sizeof(SharedEnv)) == 0;
+}
+
+class SimdKernelTest : public ::testing::Test {
+ protected:
+  GroupCtx ctx(const char* abbrev, int concurrent, double block_mib = 512.0,
+               sim::FreqLevel freq = sim::FreqLevel::F2_4,
+               bool is_reduce = false) {
+    GroupCtx g;
+    g.app = &workloads::app_by_abbrev(abbrev);
+    g.block_bytes = mib_to_bytes(block_mib);
+    g.freq = freq;
+    g.concurrent = concurrent;
+    g.is_reduce = is_reduce;
+    return g;
+  }
+
+  /// Runs both instantiations over the same lane set and asserts bitwise
+  /// equality of every output field and of the sweep count (equal sweeps
+  /// means every lane retired on the same iteration in both paths).
+  void expect_parity(std::size_t k, const std::vector<GroupCtx>& ctxs) {
+    ASSERT_EQ(ctxs.size() % k, 0u);
+    const std::size_t lanes = ctxs.size() / k;
+    std::vector<TaskRates> rates_v(ctxs.size()), rates_r(ctxs.size());
+    std::vector<SharedEnv> envs_v(ctxs.size()), envs_r(ctxs.size());
+    const std::uint64_t sweeps_v =
+        solve_joint_env_lanes(model_, k, ctxs, rates_v, envs_v);
+    const std::uint64_t sweeps_r =
+        solve_joint_env_lanes_ref(model_, k, ctxs, rates_r, envs_r);
+    EXPECT_EQ(sweeps_v, sweeps_r) << "lanes=" << lanes << " k=" << k;
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+      EXPECT_TRUE(bits_equal(rates_v[i], rates_r[i]))
+          << "rates diverge at slot " << i << " (lanes=" << lanes
+          << ", k=" << k << ")";
+      EXPECT_TRUE(bits_equal(envs_v[i], envs_r[i]))
+          << "envs diverge at slot " << i << " (lanes=" << lanes
+          << ", k=" << k << ")";
+    }
+  }
+
+  /// A lane whose per-lane knobs vary with `i` so no two lanes converge on
+  /// the same iteration — early exits land mid-pack, exercising the masked
+  /// compaction in the vector path.
+  GroupCtx varied(std::size_t i) {
+    static const char* const kApps[] = {"WC", "TS", "CF", "ST", "PR"};
+    static const double kBlocks[] = {64.0, 128.0, 256.0, 512.0, 1024.0};
+    static const sim::FreqLevel kFreqs[] = {
+        sim::FreqLevel::F1_6, sim::FreqLevel::F2_0, sim::FreqLevel::F2_4};
+    return ctx(kApps[i % 5], 1 + static_cast<int>(i % 8), kBlocks[i % 5],
+               kFreqs[i % 3]);
+  }
+
+  sim::NodeSpec spec_ = sim::NodeSpec::atom_c2758();
+  TaskModel model_{spec_};
+};
+
+TEST_F(SimdKernelTest, ReportsCompiledWidthAndIsa) {
+  EXPECT_EQ(solve_lanes_simd_width(), util::simd::kNativeWidth);
+  EXPECT_STREQ(solve_lanes_simd_isa(), util::simd::kIsaName);
+}
+
+TEST_F(SimdKernelTest, SingleGroupParityAcrossLaneCounts) {
+  // Ragged tails on purpose: every residue class of lanes % W for W in
+  // {1, 2, 4}, plus pack-aligned counts and a multi-tile-free large case.
+  for (const std::size_t lanes :
+       {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 16u, 33u}) {
+    std::vector<GroupCtx> ctxs;
+    ctxs.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) ctxs.push_back(varied(i));
+    expect_parity(1, ctxs);
+  }
+}
+
+TEST_F(SimdKernelTest, PairGroupParityAcrossLaneCounts) {
+  for (const std::size_t lanes : {1u, 2u, 3u, 5u, 7u, 8u, 9u, 33u}) {
+    std::vector<GroupCtx> ctxs;
+    ctxs.reserve(lanes * 2);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      ctxs.push_back(varied(i));
+      ctxs.push_back(varied(i + 3));
+    }
+    expect_parity(2, ctxs);
+  }
+}
+
+TEST_F(SimdKernelTest, InactiveGroupsStayZeroInBothPaths) {
+  // Lanes mixing an active group with a concurrent == 0 or zero-byte group:
+  // the inert-slot handling must agree bit for bit, including the zeroed
+  // outputs.
+  std::vector<GroupCtx> ctxs;
+  for (std::size_t i = 0; i < 6; ++i) {
+    ctxs.push_back(varied(i));
+    GroupCtx off = varied(i + 1);
+    if (i % 2 == 0) {
+      off.concurrent = 0;
+    } else {
+      off.block_bytes = 0.0;
+    }
+    ctxs.push_back(off);
+  }
+  expect_parity(2, ctxs);
+  for (std::size_t l = 0; l < 6; ++l) {
+    std::vector<TaskRates> rates(ctxs.size());
+    std::vector<SharedEnv> envs(ctxs.size());
+    solve_joint_env_lanes(model_, 2, ctxs, rates, envs);
+    EXPECT_EQ(rates[l * 2 + 1].duration_s, 0.0);
+  }
+}
+
+TEST_F(SimdKernelTest, MixedEarlyExitParity) {
+  // Deliberately pathological mix: heavily contended lanes (slow to
+  // converge) interleaved with near-idle ones (retire almost immediately),
+  // so packs spend most sweeps partially retired.
+  std::vector<GroupCtx> ctxs;
+  for (std::size_t i = 0; i < 13; ++i) {
+    if (i % 2 == 0) {
+      ctxs.push_back(ctx("CF", 8, 1024.0));  // memory-bound, crowded
+    } else {
+      ctxs.push_back(ctx("WC", 1, 64.0));  // tiny, converges fast
+    }
+  }
+  expect_parity(1, ctxs);
+}
+
+TEST_F(SimdKernelTest, ReduceLanesParity) {
+  std::vector<GroupCtx> ctxs;
+  for (std::size_t i = 0; i < 7; ++i) {
+    GroupCtx g = varied(i);
+    g.is_reduce = true;
+    ctxs.push_back(g);
+  }
+  expect_parity(1, ctxs);
+}
+
+TEST_F(SimdKernelTest, ScalarEntryPointMatchesReference) {
+  // solve_joint_env is the one-lane case of the same kernel; the scalar
+  // NodeEvaluator path must see the reference bits too.
+  const GroupCtx both[] = {ctx("CF", 4), ctx("ST", 4)};
+  const JointEnv je = solve_joint_env(model_, both);
+  std::vector<TaskRates> rates(2);
+  std::vector<SharedEnv> envs(2);
+  solve_joint_env_lanes_ref(model_, 2, both, rates, envs);
+  for (std::size_t g = 0; g < 2; ++g) {
+    EXPECT_TRUE(bits_equal(je.rates[g], rates[g]));
+    EXPECT_TRUE(bits_equal(je.envs[g], envs[g]));
+  }
+}
+
+}  // namespace
+}  // namespace ecost::mapreduce

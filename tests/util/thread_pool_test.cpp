@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace ecost {
 namespace {
 
@@ -99,6 +101,24 @@ TEST(ThreadPoolTest, LargeGrainFallsBackToOneChunk) {
   ThreadPool::global().run(10, [&](std::size_t) { count++; },
                            /*max_threads=*/0, /*grain=*/1 << 20);
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolConfigTest, ConfigureGlobalAppliesOrThrowsAfterFirstUse) {
+  // Under ctest each test runs in its own process, so nothing has touched
+  // global() yet and the configure applies. When the whole binary runs in
+  // one process an earlier test may have constructed the pool first; the
+  // documented behavior then is to throw, never to silently not resize.
+  bool configured = false;
+  try {
+    ThreadPool::configure_global(2);
+    configured = true;
+  } catch (const InvariantError&) {
+  }
+  if (configured) {
+    EXPECT_EQ(ThreadPool::global().worker_count(), 2u);
+  }
+  // Either way the pool exists now, so a late configure must throw.
+  EXPECT_THROW(ThreadPool::configure_global(4), InvariantError);
 }
 
 }  // namespace

@@ -8,16 +8,21 @@
 // eight policies (SM/MNM1/MNM2/SNM/CBM/PTM/ECoST/UB) executed as
 // dispatchers through the unified ClusterEngine, per scenario.
 //
-// Usage: bench_sweep [--quick] [--out=BENCH_sweep.json]
+// Usage: bench_sweep [--quick] [--threads=auto|N] [--out=BENCH_sweep.json]
 //                    [--trace-out=FILE] [--metrics-out=FILE]
 //   --quick        one input size, smaller reservoirs, fig9 on WS8 only
 //                  (CI smoke)
+//   --threads      total participating threads (callers + pool workers):
+//                  auto (default) sizes the pool to hardware_concurrency,
+//                  N pins it to exactly N so reports stay comparable
+//                  across runs on the same machine
 //   --trace-out    record a Chrome trace of the fig9 policy runs (one track
 //                  per scenario/policy) plus host-side pool/cache activity;
 //                  open the file in chrome://tracing or ui.perfetto.dev
 //   --metrics-out  dump the process metrics registry (engine, dispatcher,
 //                  evaluator, thread pool counters) as JSON
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -28,6 +33,7 @@
 #include "core/dataset_builder.hpp"
 #include "core/mapping_policies.hpp"
 #include "core/stp.hpp"
+#include "mapreduce/env_solver.hpp"
 #include "mapreduce/eval_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -76,13 +82,20 @@ PhaseTimes run_pipeline(EvalCache& cache, const core::SweepOptions& opts) {
 
   const tuning::BruteForce bf(cache);
   t0 = std::chrono::steady_clock::now();
-  double edp_sum = 0.0;
+  // One batched oracle call: every missing surface fills in parallel on
+  // the pool (a warm cache — the usual case right after the builder —
+  // serves them all as lookups); outcomes come back in combo order.
+  std::vector<std::pair<JobSpec, JobSpec>> pairs;
+  pairs.reserve(combos.size() * (combos.size() + 1) / 2);
   for (std::size_t i = 0; i < combos.size(); ++i) {
     for (std::size_t j = i; j < combos.size(); ++j) {
-      const JobSpec a = JobSpec::of_gib(*combos[i].app, combos[i].gib);
-      const JobSpec b = JobSpec::of_gib(*combos[j].app, combos[j].gib);
-      edp_sum += bf.colao(a, b).edp;
+      pairs.emplace_back(JobSpec::of_gib(*combos[i].app, combos[i].gib),
+                         JobSpec::of_gib(*combos[j].app, combos[j].gib));
     }
+  }
+  double edp_sum = 0.0;
+  for (const tuning::PairOutcome& o : bf.colao_batch(pairs)) {
+    edp_sum += o.edp;
   }
   t.colao_s = seconds_since(t0);
   ECOST_CHECK(edp_sum > 0.0, "COLAO sweep produced no finite EDP");
@@ -127,21 +140,39 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_sweep.json";
   std::string trace_path;
   std::string metrics_path;
+  std::string threads_arg = "auto";
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads_arg = argv[i] + 10;
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_path = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_path = argv[i] + 14;
     } else {
-      std::cerr << "usage: bench_sweep [--quick] [--out=FILE]"
-                   " [--trace-out=FILE] [--metrics-out=FILE]\n";
+      std::cerr << "usage: bench_sweep [--quick] [--threads=auto|N]"
+                   " [--out=FILE] [--trace-out=FILE] [--metrics-out=FILE]\n";
       return 2;
     }
+  }
+
+  // Pin the pool before anything touches it: the report's "threads" field
+  // is the count of participants (pool workers + the calling thread), and
+  // check_bench refuses comparisons across differing counts.
+  if (threads_arg != "auto") {
+    char* end = nullptr;
+    const long n = std::strtol(threads_arg.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || n < 1) {
+      std::cerr << "bench_sweep: --threads expects 'auto' or an integer"
+                   " >= 1, got '"
+                << threads_arg << "'\n";
+      return 2;
+    }
+    ThreadPool::configure_global(static_cast<unsigned>(n - 1));
   }
 
   // Fail on an unwritable output path before spending minutes benchmarking.
@@ -165,7 +196,9 @@ int main(int argc, char** argv) {
   const unsigned participants = pool_workers + 1;
 
   std::cout << "bench_sweep: " << (quick ? "quick" : "full")
-            << " pipeline, " << participants << " thread(s)\n";
+            << " pipeline, " << participants << " thread(s), simd "
+            << mapreduce::solve_lanes_simd_isa() << " (width "
+            << mapreduce::solve_lanes_simd_width() << ")\n";
 
   // Optional observability sinks. The recorder must outlive every producer
   // holding it through the global hook, so it lives for all of main.
@@ -227,6 +260,9 @@ int main(int argc, char** argv) {
   const double grid_mean_iters =
       iters_n == 0 ? 0.0 : (h_iters.sum() - g0_iters_sum) /
                                static_cast<double>(iters_n);
+  const double grid_fill_s = grid_pair_s + grid_solo_s;
+  const double grid_lanes_per_s =
+      grid_fill_s > 0.0 ? static_cast<double>(grid_lanes) / grid_fill_s : 0.0;
   const std::uint64_t grid_lookups = st.grid_hits + st.grid_misses;
   const double grid_hit_rate =
       grid_lookups == 0 ? 0.0 : static_cast<double>(st.grid_hits) /
@@ -236,9 +272,10 @@ int main(int argc, char** argv) {
             << ", speedup " << json_double(speedup) << "x\n";
   std::cout << "grid stage: " << grid_pair << " pair + " << grid_solo
             << " solo surfaces, " << grid_lanes << " lanes in "
-            << json_double(grid_pair_s + grid_solo_s)
-            << " s, mean fixed-point iters " << json_double(grid_mean_iters)
-            << "\n";
+            << json_double(grid_fill_s) << " s ("
+            << json_double(grid_lanes_per_s)
+            << " lanes/s), mean fixed-point iters "
+            << json_double(grid_mean_iters) << "\n";
 
   // Figure-9 mapping-policy study through the unified cluster runtime.
   std::cout << "fig9 policy study (unified engine)...\n";
@@ -293,6 +330,11 @@ int main(int argc, char** argv) {
       << "    \"lanes\": " << json_u64(grid_lanes) << ",\n"
       << "    \"pair_grid_s\": " << json_double(grid_pair_s) << ",\n"
       << "    \"solo_grid_s\": " << json_double(grid_solo_s) << ",\n"
+      << "    \"lanes_per_s\": " << json_double(grid_lanes_per_s) << ",\n"
+      << "    \"simd_width\": " << mapreduce::solve_lanes_simd_width()
+      << ",\n"
+      << "    \"simd_isa\": \"" << mapreduce::solve_lanes_simd_isa()
+      << "\",\n"
       << "    \"hit_rate\": " << json_double(grid_hit_rate) << ",\n"
       << "    \"mean_fixed_point_iters\": " << json_double(grid_mean_iters)
       << "\n"

@@ -14,12 +14,16 @@ Checks (relative, +/- tolerance band):
   * grid.mean_fixed_point_iters  -- solver sweeps per lane; catches a
                                     convergence regression that raw wall
                                     time would hide behind machine noise
+  * grid.lanes_per_s             -- fixed-point kernel throughput through
+                                    the grid stage; catches a vectorization
+                                    or codegen regression directly
 
 Reports from different machines or configurations are not comparable:
-the gate refuses (exit 2) when the benchmark mode (--quick vs full) or
-the thread count differs between the two reports, instead of producing
-a nonsense verdict. Regenerate the baseline on the matching
-configuration, or rerun with --update to overwrite it with CURRENT.
+the gate refuses (exit 2) when the benchmark mode (--quick vs full),
+the thread count, or the kernel's SIMD ISA / vector width differs
+between the two reports, instead of producing a nonsense verdict.
+Regenerate the baseline on the matching configuration, or rerun with
+--update to overwrite it with CURRENT.
 
 Exit codes: 0 ok, 1 regression, 2 incomparable / bad input.
 """
@@ -102,11 +106,22 @@ def main() -> int:
             f"thread count mismatch: current ran with {cur_threads}"
             f" thread(s), baseline with {base_threads}"
         )
+    # Lane throughput is a property of the compiled kernel: an AVX2 report
+    # and a scalar-fallback report measure different code.
+    for field in ("simd_isa", "simd_width"):
+        cur_v = cur.get("grid", {}).get(field)
+        base_v = base.get("grid", {}).get(field)
+        if cur_v != base_v:
+            refuse(
+                f"grid.{field} mismatch: current '{cur_v}' vs baseline"
+                f" '{base_v}'"
+            )
 
     checks = [
         ("tuned.total_s", "lower-is-better"),
         ("grid.hit_rate", "higher-is-better"),
         ("grid.mean_fixed_point_iters", "lower-is-better"),
+        ("grid.lanes_per_s", "higher-is-better"),
     ]
     failed = False
     for path, direction in checks:
