@@ -4,8 +4,11 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <set>
 #include <sstream>
+#include <unordered_map>
 
+#include "sim/event_queue.hpp"
 #include "util/error.hpp"
 
 namespace ecost::core {
@@ -13,7 +16,21 @@ namespace {
 
 constexpr double kEps = 1e-9;
 /// A part is retired once its remaining work fraction drops below this.
+/// Completion events within this sliver of the current batch collapse into
+/// it — the same grouping the pre-calendar engine got from retiring every
+/// part with `remaining <= kDoneFrac` after one shared dt step.
 constexpr double kDoneFrac = 1e-6;
+
+// Equal-time events fire by ascending lane: arrivals first, then network
+// completions, then node (part) events in node-id order — the order the
+// pre-calendar engine's linear scan produced.
+constexpr std::int64_t kArrivalLane = -2;
+constexpr std::int64_t kNetLane = -1;
+
+/// Two HDFS replicas leave the writing node (replication factor 3: one
+/// local copy plus two remote). The flow model routes them as one stream
+/// to the deterministic off-rack target.
+constexpr double kRemoteReplicas = 2.0;
 
 }  // namespace
 
@@ -25,6 +42,60 @@ std::size_t ClusterView::free_slots(int node) const {
   const std::size_t used = jobs.size();
   const std::size_t cap = static_cast<std::size_t>(slots_);
   return used >= cap ? 0 : cap - used;
+}
+
+std::size_t ClusterView::busy_slots_in_rack(int rack) const {
+  const int first = rack * topo_->nodes_per_rack();
+  const int last = std::min(first + topo_->nodes_per_rack(), nodes());
+  std::size_t busy = 0;
+  for (int n = first; n < last; ++n) {
+    busy += (*node_jobs_)[static_cast<std::size_t>(n)].size();
+  }
+  return busy;
+}
+
+std::vector<int> ClusterView::nodes_rack_major(RackOrder order) const {
+  const int n_racks = topo_->racks();
+  const int per_rack = topo_->nodes_per_rack();
+  std::vector<int> rack_ids(static_cast<std::size_t>(n_racks));
+  for (int r = 0; r < n_racks; ++r) rack_ids[static_cast<std::size_t>(r)] = r;
+  if (n_racks > 1 && order != RackOrder::ById) {
+    std::vector<long long> key(static_cast<std::size_t>(n_racks), 0);
+    for (int r = 0; r < n_racks; ++r) {
+      const auto ru = static_cast<std::size_t>(r);
+      switch (order) {
+        case RackOrder::LeastBusyFirst:
+          key[ru] = static_cast<long long>(busy_slots_in_rack(r));
+          break;
+        case RackOrder::MostBusyFirst:
+          key[ru] = -static_cast<long long>(busy_slots_in_rack(r));
+          break;
+        case RackOrder::MostEmptyNodesFirst: {
+          const int first = r * per_rack;
+          const int last = std::min(first + per_rack, nodes());
+          long long empties = 0;
+          for (int n = first; n < last; ++n) empties += empty(n) ? 1 : 0;
+          key[ru] = -empties;
+          break;
+        }
+        case RackOrder::ById:
+          break;
+      }
+    }
+    std::stable_sort(rack_ids.begin(), rack_ids.end(),
+                     [&](int a, int b) {
+                       return key[static_cast<std::size_t>(a)] <
+                              key[static_cast<std::size_t>(b)];
+                     });
+  }
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(nodes()));
+  for (const int r : rack_ids) {
+    const int first = r * per_rack;
+    const int last = std::min(first + per_rack, nodes());
+    for (int n = first; n < last; ++n) out.push_back(n);
+  }
+  return out;
 }
 
 std::string PlacementRecord::format() const {
@@ -41,8 +112,15 @@ std::string PlacementRecord::format() const {
 
 ClusterEngine::ClusterEngine(const mapreduce::NodeEvaluator& eval, int nodes,
                              int slots_per_node)
-    : eval_(eval), nodes_(nodes), slots_(slots_per_node) {
-  ECOST_REQUIRE(nodes >= 1, "need at least one node");
+    : ClusterEngine(eval, sim::Topology::flat(nodes), slots_per_node) {}
+
+ClusterEngine::ClusterEngine(const mapreduce::NodeEvaluator& eval,
+                             sim::Topology topo, int slots_per_node)
+    : eval_(eval),
+      topo_(std::move(topo)),
+      nodes_(topo_.nodes()),
+      slots_(slots_per_node) {
+  ECOST_REQUIRE(nodes_ >= 1, "need at least one node");
   ECOST_REQUIRE(slots_per_node >= 1, "need at least one slot per node");
 }
 
@@ -54,6 +132,13 @@ void ClusterEngine::set_obs(obs::TraceRecorder* trace, std::uint32_t pid) {
   for (int n = 0; n < nodes_; ++n) {
     trace_->name_lane(pid_, static_cast<std::uint32_t>(n) + 1,
                       "node " + std::to_string(n));
+  }
+  if (!topo_.ideal()) {
+    for (int r = 0; r < topo_.racks(); ++r) {
+      trace_->name_lane(pid_,
+                        static_cast<std::uint32_t>(nodes_ + 1 + r),
+                        "rack " + std::to_string(r) + " fabric");
+    }
   }
 }
 
@@ -67,10 +152,46 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
   std::vector<char> dirty(n_nodes, 1);  ///< environment must be re-solved
   std::vector<double> node_power(n_nodes, 0.0);
   std::map<std::uint64_t, int> parts_left;  ///< logical job id -> live parts
+  std::map<std::uint64_t, int> net_left;    ///< logical job id -> live flows
+  std::map<std::uint64_t, int> job_head;    ///< logical job id -> gang head
+  std::map<std::uint64_t, double> job_start;
   ClusterOutcome out;
   double now = 0.0;
+  double cluster_power = 0.0;
+  std::size_t live_parts = 0;
   std::size_t guard = 0;
-  const ClusterView view(&node_jobs, slots_);
+
+  sim::EventQueue cal;
+  std::optional<sim::FlowNet> net;
+  if (!topo_.ideal()) net.emplace(topo_);
+
+  // Per-part calendar state, keyed by RunningJob::part_id. `synced_s` is
+  // the last instant `remaining` was materialized; between syncs the part's
+  // true progress is implied by (now - synced_s) / est_total_s.
+  struct PartTrack {
+    sim::EventQueue::EventId ev;
+    double deadline_s = std::numeric_limits<double>::infinity();
+    double synced_s = 0.0;
+  };
+  std::unordered_map<std::uint64_t, PartTrack> part_track;
+  std::uint64_t next_part_id = 1;
+
+  // Batch-collection state: event callbacks only record what fired; the
+  // loop body applies the effects in the documented order.
+  std::vector<std::pair<int, std::uint64_t>> fired_parts;  // (node, part id)
+  bool net_fired = false;
+  sim::EventQueue::EventId arrival_ev;
+  sim::EventQueue::EventId net_ev;
+
+  // Nodes with at least one free co-residency slot — the standing re-tune
+  // candidates (a survivor next to a free slot may expand onto it as soon
+  // as nothing is left to fill it). Ordered so offers run in node order.
+  std::set<int> spare;
+  for (int n = 0; n < nodes_; ++n) spare.insert(n);
+  // Nodes whose membership or knobs changed since their last re-solve.
+  std::vector<int> touched;
+  touched.reserve(n_nodes);
+  for (int n = 0; n < nodes_; ++n) touched.push_back(n);
 
   // Observability. Counters are process-wide totals; trace events carry the
   // engine's deterministic simulated clock on this run's track (pid_).
@@ -80,14 +201,58 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
   obs::Counter& c_parts_done = metrics_->counter("engine.parts_finished");
   obs::Counter& c_jobs_done = metrics_->counter("engine.jobs_finished");
   obs::Counter& c_idle_jumps = metrics_->counter("engine.idle_jumps");
+  obs::Counter& c_events = metrics_->counter("engine.events");
+  obs::Counter& c_flows = metrics_->counter("engine.flows");
   obs::Histogram& h_dt = metrics_->histogram(
       "engine.step_dt_s", {0.1, 1.0, 10.0, 60.0, 300.0, 1800.0, 7200.0});
   dispatcher.set_obs(trace_, pid_, metrics_);
-  std::map<std::uint64_t, double> job_start;  ///< logical job id -> t placed
   // A "wave" is a constant co-residency segment on one node: it opens when
   // the node's joint environment is (re-)solved and closes at the next
   // membership or knob change. -1 marks an idle node (no open wave).
   std::vector<double> wave_start(n_nodes, -1.0);
+
+  auto rack_lane = [&](int node) {
+    return static_cast<std::uint32_t>(nodes_ + 1 + topo_.rack_of(node));
+  };
+
+  auto update_spare = [&](int n) {
+    std::size_t free = static_cast<std::size_t>(slots_);
+    for (const RunningJob& rj : node_jobs[static_cast<std::size_t>(n)]) {
+      if (rj.exclusive) {
+        free = 0;
+        break;
+      }
+      free = free == 0 ? 0 : free - 1;
+    }
+    if (free > 0) {
+      spare.insert(n);
+    } else {
+      spare.erase(n);
+    }
+  };
+
+  // Materializes the lazily-tracked progress of every part on `n` at `now`.
+  // Idempotent within a batch (synced_s advances to now on first call).
+  std::function<void(int)> refresh_node = [&](int n) {
+    for (RunningJob& rj : node_jobs[static_cast<std::size_t>(n)]) {
+      PartTrack& pt = part_track[rj.part_id];
+      const double dt = now - pt.synced_s;
+      if (dt > 0.0 && rj.est_total_s > 0.0) {
+        rj.remaining = std::max(0.0, rj.remaining - dt / rj.est_total_s);
+      }
+      pt.synced_s = now;
+    }
+  };
+
+  const ClusterView view(&node_jobs, slots_, &topo_, &refresh_node);
+
+  auto finish_job = [&](std::uint64_t job_id) {
+    out.finish_times.emplace_back(job_id, now);
+    c_jobs_done.add();
+    if (trace_ != nullptr) {
+      trace_->span(pid_, 0, "job", job_start[job_id], now, job_id);
+    }
+  };
 
   // Asks the dispatcher for placements and applies them. Placements are
   // validated against the evolving state, so a plan may not over-commit the
@@ -113,6 +278,8 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
       }
       ECOST_REQUIRE(parts_left.find(p.job.id) == parts_left.end(),
                     "job id already running");
+      ECOST_REQUIRE(net_left.find(p.job.id) == net_left.end(),
+                    "job id still draining the network");
 
       // Input splits evenly across the gang (integer division, as an HDFS
       // block assignment would round).
@@ -126,10 +293,18 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
         rj.placed_s = now;
         rj.exclusive = p.exclusive;
         rj.spread = static_cast<int>(k);
+        rj.part_id = next_part_id++;
+        part_track[rj.part_id].synced_s = now;
         node_jobs[static_cast<std::size_t>(n)].push_back(std::move(rj));
-        dirty[static_cast<std::size_t>(n)] = 1;
+        if (!dirty[static_cast<std::size_t>(n)]) {
+          dirty[static_cast<std::size_t>(n)] = 1;
+          touched.push_back(n);
+        }
+        update_spare(n);
+        ++live_parts;
       }
       parts_left[p.job.id] = static_cast<int>(k);
+      job_head[p.job.id] = p.nodes.front();
       job_start.emplace(p.job.id, now);
       c_placements.add();
       if (trace_ != nullptr) {
@@ -141,22 +316,32 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
   };
 
   // Offers a re-tune for every resident of a node whose membership changed
-  // or that still has spare capacity (a survivor next to a free slot may
-  // expand onto it as soon as nothing is left to fill it).
+  // or that still has spare capacity. Candidates are the touched nodes plus
+  // the spare-capacity set — never a full cluster scan.
   auto run_retunes = [&] {
-    for (std::size_t n = 0; n < n_nodes; ++n) {
-      auto& jobs = node_jobs[n];
+    std::vector<int> cand(spare.begin(), spare.end());
+    cand.insert(cand.end(), touched.begin(), touched.end());
+    std::sort(cand.begin(), cand.end());
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+    for (const int n : cand) {
+      auto& jobs = node_jobs[static_cast<std::size_t>(n)];
       if (jobs.empty()) continue;
-      if (!dirty[n] && view.free_slots(static_cast<int>(n)) == 0) continue;
+      if (!dirty[static_cast<std::size_t>(n)] && view.free_slots(n) == 0) {
+        continue;
+      }
+      refresh_node(n);
       for (RunningJob& rj : jobs) {
         if (const auto cfg = dispatcher.retune(rj, jobs)) {
           if (!(rj.cfg == *cfg)) {
             rj.cfg = *cfg;
-            dirty[n] = 1;
+            if (!dirty[static_cast<std::size_t>(n)]) {
+              dirty[static_cast<std::size_t>(n)] = 1;
+              touched.push_back(n);
+            }
             c_retunes.add();
             if (trace_ != nullptr) {
               trace_->instant(pid_, static_cast<std::uint32_t>(n) + 1,
-                              "retune", now, rj.job.id, static_cast<int>(n));
+                              "retune", now, rj.job.id, n);
             }
           }
         }
@@ -164,127 +349,246 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
     }
   };
 
-  auto any_running = [&] {
-    return std::any_of(node_jobs.begin(), node_jobs.end(),
-                       [](const auto& v) { return !v.empty(); });
-  };
-
-  apply_plan();
-  run_retunes();
-
-  while (true) {
-    if (!any_running()) {
-      // Idle cluster: jump to the next arrival, if any work remains.
-      const double next = dispatcher.next_arrival_s(now);
-      if (!std::isfinite(next)) break;
-      const double idle_from = now;
-      now = std::max(now, next);
-      c_idle_jumps.add();
-      if (trace_ != nullptr && now > idle_from + kEps) {
-        trace_->span(pid_, 0, "idle", idle_from, now);
+  // Re-solves one dirty node's joint environment: syncs resident progress,
+  // updates power, and re-schedules each resident's completion event at
+  // now + remaining * est — the only place completion times are decided.
+  auto resolve_node = [&](int n) {
+    const auto nu = static_cast<std::size_t>(n);
+    auto& jobs = node_jobs[nu];
+    if (jobs.empty()) {
+      if (trace_ != nullptr && wave_start[nu] >= 0.0) {
+        if (now > wave_start[nu] + kEps) {
+          trace_->span(pid_, static_cast<std::uint32_t>(n) + 1, "wave",
+                       wave_start[nu], now, obs::kNoJob, n);
+        }
+        wave_start[nu] = -1.0;
       }
-      apply_plan();
-      run_retunes();
-      if (!any_running()) break;  // dispatcher produced nothing — done
+      cluster_power -= node_power[nu];
+      node_power[nu] = 0.0;
+      dirty[nu] = 0;
+      return;
     }
-    ECOST_CHECK(++guard < 1'000'000, "cluster engine event budget exhausted");
-
-    // Re-solve the joint environment of nodes whose residents (or knobs)
-    // changed; untouched nodes keep their converged solution.
-    double dt = std::numeric_limits<double>::infinity();
-    for (std::size_t n = 0; n < n_nodes; ++n) {
-      auto& jobs = node_jobs[n];
-      if (jobs.empty()) {
-        if (trace_ != nullptr && wave_start[n] >= 0.0) {
-          if (now > wave_start[n] + kEps) {
-            trace_->span(pid_, static_cast<std::uint32_t>(n) + 1, "wave",
-                         wave_start[n], now, obs::kNoJob, static_cast<int>(n));
-          }
-          wave_start[n] = -1.0;
-        }
-        node_power[n] = 0.0;
-        continue;
-      }
-      if (dirty[n]) {
-        if (trace_ != nullptr) {
-          if (wave_start[n] >= 0.0 && now > wave_start[n] + kEps) {
-            trace_->span(pid_, static_cast<std::uint32_t>(n) + 1, "wave",
-                         wave_start[n], now, obs::kNoJob, static_cast<int>(n));
-          }
-          wave_start[n] = now;
-        }
-        c_env_resolves.add();
-        std::vector<const mapreduce::JobSpec*> specs;
-        std::vector<mapreduce::AppConfig> cfgs;
-        specs.reserve(jobs.size());
-        cfgs.reserve(jobs.size());
-        for (const RunningJob& rj : jobs) {
-          specs.push_back(&rj.part);
-          cfgs.push_back(rj.cfg);
-        }
-        const auto loads = eval_.co_run_loads(specs, cfgs);
-        node_power[n] = eval_.dynamic_power_w(loads);
-        for (std::size_t j = 0; j < jobs.size(); ++j) {
-          jobs[j].est_total_s = std::max(loads[j].total_s, kEps);
-        }
-        dirty[n] = 0;
-      }
-      for (const RunningJob& rj : jobs) {
-        dt = std::min(dt, rj.remaining * rj.est_total_s);
-      }
-    }
-    ECOST_CHECK(std::isfinite(dt) && dt >= 0.0, "bad event horizon");
+    refresh_node(n);
     if (trace_ != nullptr) {
-      double total_w = 0.0;
-      for (std::size_t n = 0; n < n_nodes; ++n) total_w += node_power[n];
-      trace_->counter(pid_, 0, "power_w", now, total_w);
+      if (wave_start[nu] >= 0.0 && now > wave_start[nu] + kEps) {
+        trace_->span(pid_, static_cast<std::uint32_t>(n) + 1, "wave",
+                     wave_start[nu], now, obs::kNoJob, n);
+      }
+      wave_start[nu] = now;
     }
-    // A mid-flight arrival interrupts the horizon so it gets placed on any
-    // free capacity promptly.
-    const double next_arrival = dispatcher.next_arrival_s(now);
-    if (std::isfinite(next_arrival) && next_arrival > now) {
-      dt = std::min(dt, next_arrival - now);
+    c_env_resolves.add();
+    std::vector<const mapreduce::JobSpec*> specs;
+    std::vector<mapreduce::AppConfig> cfgs;
+    specs.reserve(jobs.size());
+    cfgs.reserve(jobs.size());
+    for (const RunningJob& rj : jobs) {
+      specs.push_back(&rj.part);
+      cfgs.push_back(rj.cfg);
     }
-    dt = std::max(dt, kEps);
-    h_dt.observe(dt);
+    const auto loads = eval_.co_run_loads(specs, cfgs);
+    cluster_power += eval_.dynamic_power_w(loads) - node_power[nu];
+    node_power[nu] = eval_.dynamic_power_w(loads);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      RunningJob& rj = jobs[j];
+      rj.est_total_s = std::max(loads[j].total_s, kEps);
+      PartTrack& pt = part_track[rj.part_id];
+      if (pt.ev.valid()) cal.cancel(pt.ev);
+      // The batch's collapse window can leave cal.now() a sliver past the
+      // batch time — never schedule into the past.
+      pt.deadline_s =
+          std::max(now + rj.remaining * rj.est_total_s, cal.now());
+      const int node_id = n;
+      const std::uint64_t part_id = rj.part_id;
+      pt.ev = cal.schedule_at(pt.deadline_s, node_id, [&fired_parts, node_id,
+                                                       part_id] {
+        fired_parts.emplace_back(node_id, part_id);
+      });
+    }
+    dirty[nu] = 0;
+  };
 
-    // Advance time, integrate energy, retire finished parts.
-    now += dt;
-    for (std::size_t n = 0; n < n_nodes; ++n) {
-      auto& jobs = node_jobs[n];
-      if (jobs.empty()) continue;
-      out.energy_dyn_j += node_power[n] * dt;
-      for (auto it = jobs.begin(); it != jobs.end();) {
-        it->remaining -= dt / it->est_total_s;
-        if (it->remaining <= kDoneFrac) {
-          c_parts_done.add();
-          if (trace_ != nullptr) {
-            trace_->span(pid_, static_cast<std::uint32_t>(n) + 1, "part",
-                         it->placed_s, now, it->job.id, static_cast<int>(n));
-          }
-          const auto pl = parts_left.find(it->job.id);
-          ECOST_CHECK(pl != parts_left.end(), "retired an untracked part");
-          if (--pl->second == 0) {
-            out.finish_times.emplace_back(it->job.id, now);
-            c_jobs_done.add();
-            if (trace_ != nullptr) {
-              trace_->span(pid_, 0, "job", job_start[it->job.id], now,
-                           it->job.id);
-            }
-            parts_left.erase(pl);
-          }
-          it = jobs.erase(it);
-          dirty[n] = 1;
-        } else {
-          ++it;
+  // Retires one part whose completion event fired: frees the slot, starts
+  // its fabric traffic (racked topologies), and finishes the logical job
+  // when its last part — and last byte — is done.
+  auto retire_part = [&](int n, std::uint64_t part_id) {
+    const auto nu = static_cast<std::size_t>(n);
+    auto& jobs = node_jobs[nu];
+    const auto it =
+        std::find_if(jobs.begin(), jobs.end(), [&](const RunningJob& rj) {
+          return rj.part_id == part_id;
+        });
+    ECOST_CHECK(it != jobs.end(), "completion event for a missing part");
+    c_parts_done.add();
+    if (trace_ != nullptr) {
+      trace_->span(pid_, static_cast<std::uint32_t>(n) + 1, "part",
+                   it->placed_s, now, it->job.id, n);
+    }
+    const std::uint64_t job_id = it->job.id;
+    int flows_started = 0;
+    if (net.has_value()) {
+      const auto& app = it->part.app;
+      const double in_bytes = static_cast<double>(it->part.input_bytes);
+      if (it->spread > 1) {
+        const int head = job_head[job_id];
+        const double bytes = in_bytes * app.shuffle_bpb;
+        if (n != head && bytes > 0.0) {
+          net->start(n, head, bytes, sim::FlowKind::Shuffle, job_id, now);
+          ++flows_started;
         }
       }
+      const int replica = topo_.replica_target(n);
+      const double rep_bytes = in_bytes * app.io_write_bpb * kRemoteReplicas;
+      if (replica != n && rep_bytes > 0.0) {
+        net->start(n, replica, rep_bytes, sim::FlowKind::Replication, job_id,
+                   now);
+        ++flows_started;
+      }
     }
+    if (flows_started > 0) {
+      net_left[job_id] += flows_started;
+      c_flows.add(static_cast<std::uint64_t>(flows_started));
+    }
+    part_track.erase(part_id);
+    jobs.erase(it);
+    if (!dirty[nu]) {
+      dirty[nu] = 1;
+      touched.push_back(n);
+    }
+    update_spare(n);
+    --live_parts;
+    const auto pl = parts_left.find(job_id);
+    ECOST_CHECK(pl != parts_left.end(), "retired an untracked part");
+    if (--pl->second == 0) {
+      parts_left.erase(pl);
+      if (net_left.find(job_id) == net_left.end()) finish_job(job_id);
+    }
+  };
+
+  auto handle_flow_completions = [&] {
+    for (const sim::Flow& f : net->pop_completed(now)) {
+      if (trace_ != nullptr) {
+        trace_->span(pid_, rack_lane(f.src),
+                     f.kind == sim::FlowKind::Shuffle ? "shuffle" : "replicate",
+                     f.start_s, now, f.job, f.src);
+      }
+      const auto nl = net_left.find(f.job);
+      ECOST_CHECK(nl != net_left.end(), "drained flow of an untracked job");
+      if (--nl->second == 0) {
+        net_left.erase(nl);
+        if (parts_left.find(f.job) == parts_left.end()) finish_job(f.job);
+      }
+    }
+  };
+
+  // Re-aims the single network-completion event at the earliest flow drain
+  // (also recomputes rates after a membership change — required before the
+  // net advances past `now`).
+  auto sync_net = [&] {
+    if (!net.has_value()) return;
+    if (net_ev.valid()) {
+      cal.cancel(net_ev);
+      net_ev = sim::EventQueue::EventId{};
+    }
+    const double t_next = net->next_completion_s();
+    if (std::isfinite(t_next)) {
+      net_ev = cal.schedule_at(std::max(t_next, cal.now()), kNetLane,
+                               [&net_fired] { net_fired = true; });
+    }
+    if (trace_ != nullptr) {
+      for (int r = 0; r < topo_.racks(); ++r) {
+        trace_->counter(pid_, static_cast<std::uint32_t>(nodes_ + 1 + r),
+                        "uplink_util", now,
+                        net->link_util(topo_.uplink(r)));
+      }
+    }
+  };
+
+  // Re-aims the single arrival event. An arrival at or before `now` never
+  // schedules — plan() already ran this batch and will run every batch.
+  auto sync_arrival = [&] {
+    if (arrival_ev.valid()) {
+      cal.cancel(arrival_ev);
+      arrival_ev = sim::EventQueue::EventId{};
+    }
+    const double next = dispatcher.next_arrival_s(now);
+    if (std::isfinite(next) && next > now) {
+      arrival_ev = cal.schedule_at(std::max(next, cal.now()), kArrivalLane,
+                                   [] {});
+    }
+  };
+
+  // Shared tail of every batch (and of time zero): give the dispatcher its
+  // scheduling opportunity, re-solve what changed, re-aim the net/arrival
+  // events. Order matches the pre-calendar loop: plan, retune, resolve.
+  auto settle = [&] {
     apply_plan();
     run_retunes();
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    // resolve_node may not extend `touched` — iterate a stable copy.
+    const std::vector<int> batch = touched;
+    touched.clear();
+    for (const int n : batch) {
+      if (dirty[static_cast<std::size_t>(n)]) resolve_node(n);
+    }
+    if (trace_ != nullptr) {
+      trace_->counter(pid_, 0, "power_w", now, cluster_power);
+    }
+    sync_net();
+    sync_arrival();
+  };
+
+  settle();
+
+  while (!cal.empty()) {
+    ECOST_CHECK(++guard < 50'000'000, "cluster engine event budget exhausted");
+    const double t = cal.next_time();
+    if (live_parts == 0 && (!net.has_value() || net->empty()) &&
+        t > now + kEps) {
+      c_idle_jumps.add();
+      if (trace_ != nullptr) trace_->span(pid_, 0, "idle", now, t);
+    }
+    out.energy_dyn_j += cluster_power * (t - now);
+    h_dt.observe(std::max(t - now, kEps));
+    now = t;
+
+    // Pop the batch: everything at exactly t, then any part completion
+    // within the retirement sliver (kDoneFrac of its own estimate) — the
+    // grouping the old shared-dt step produced. A non-part event inside the
+    // sliver ends the batch: arrivals are never pulled early.
+    while (!cal.empty() && cal.next_time() == t) {
+      cal.step();
+      ++out.events;
+      c_events.add();
+    }
+    while (!cal.empty() && cal.next_lane() >= 0) {
+      const int n = static_cast<int>(cal.next_lane());
+      const double tn = cal.next_time();
+      const RunningJob* owner = nullptr;
+      for (const RunningJob& rj : node_jobs[static_cast<std::size_t>(n)]) {
+        const auto pt = part_track.find(rj.part_id);
+        if (pt != part_track.end() && pt->second.deadline_s == tn) {
+          owner = &rj;
+          break;
+        }
+      }
+      if (owner == nullptr || tn > t + kDoneFrac * owner->est_total_s) break;
+      cal.step();
+      ++out.events;
+      c_events.add();
+    }
+
+    if (net_fired) {
+      net_fired = false;
+      handle_flow_completions();
+    }
+    for (const auto& [n, part_id] : fired_parts) retire_part(n, part_id);
+    fired_parts.clear();
+    settle();
   }
-  // The loop exits before the next re-solve pass, so waves on nodes that
-  // retired their last part in the final step are still open — close them.
+  // The run ends with every wave still open on nodes that retired their
+  // last part in the final batch already closed by resolve_node; any node
+  // still tracing (should not happen) is closed defensively.
   if (trace_ != nullptr) {
     for (std::size_t n = 0; n < n_nodes; ++n) {
       if (wave_start[n] >= 0.0 && now > wave_start[n] + kEps) {
@@ -293,7 +597,10 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
       }
     }
   }
+  ECOST_CHECK(live_parts == 0 && parts_left.empty() && net_left.empty(),
+              "cluster engine drained with live work");
   out.makespan_s = now;
+  if (net.has_value()) out.links = net->link_stats();
   return out;
 }
 

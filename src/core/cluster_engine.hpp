@@ -2,7 +2,21 @@
 //
 // Every mapping policy (SM/MNM/SNM/CBM/PTM/ECoST/UB) is a Dispatcher over
 // this engine: the dispatcher decides what starts where and with which
-// tuning knobs, the engine owns time, contention, and energy accounting.
+// tuning knobs, the engine owns time, contention, energy accounting, and
+// (on racked topologies) the fabric.
+//
+// Time is advanced by an indexed event calendar (sim::EventQueue), not by
+// scanning nodes: every running part holds one scheduled completion event,
+// re-scheduled in O(log N) whenever its node's environment is re-solved, so
+// a step costs O(batch + dirty-node re-solves) regardless of cluster size.
+// Simultaneous events fire in a documented, stable order — ascending
+// (time, lane, seq) where the lane orders domains at equal times:
+//
+//   arrivals (lane -2)  <  network completions (-1)  <  node events (node id)
+//
+// and `seq` is scheduling order within a lane. The pre-calendar engine
+// resolved ties by its linear scan's node index order; the calendar keeps
+// exactly that order (pinned by the SimultaneousFinishes regression test).
 //
 // Nodes hold up to `slots_per_node` co-resident jobs. Whenever the running
 // set of a node changes, the joint environment is re-solved (through
@@ -18,9 +32,20 @@
 // over k nodes". A placement may also claim its nodes exclusively, which
 // blocks co-location on them for the placement's lifetime (one-job-per-node
 // mappings, reserved capacity).
+//
+// On a racked topology (sim::Topology with finite link capacities) a part
+// that finishes computing drains its cross-node traffic through the fabric
+// before the logical job may finish: shuffle bytes flow from every gang
+// member to the gang head, and HDFS replication of the part's output flows
+// to a deterministic off-rack target. Flows share links max-min fair
+// (sim::FlowNet); their completion times are calendar events like any
+// other. The default flat topology is ideal (infinite bandwidth): no flow
+// is created and the engine's trajectory is bit-identical to the
+// pre-topology runtime — the WS1..WS8 goldens pin this.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <span>
@@ -32,6 +57,8 @@
 #include "mapreduce/node_evaluator.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/flow_net.hpp"
+#include "sim/topology.hpp"
 
 namespace ecost::core {
 
@@ -45,6 +72,7 @@ struct RunningJob {
   double placed_s = 0.0;      ///< simulated time this part started
   bool exclusive = false;     ///< this part's placement claimed the whole node
   int spread = 1;             ///< number of nodes the logical job spans
+  std::uint64_t part_id = 0;  ///< engine-assigned identity, unique per part
 };
 
 /// One dispatcher decision: start `job` on `nodes` with knobs `cfg`.
@@ -59,25 +87,52 @@ struct Placement {
   bool exclusive = false;
 };
 
+/// Rack iteration preferences for ClusterView::nodes_rack_major.
+enum class RackOrder : std::uint8_t {
+  ById,            ///< racks in index order (node-id order overall)
+  LeastBusyFirst,  ///< balance: emptiest racks first (spread uplink load)
+  MostBusyFirst,   ///< pack: fullest racks first (keep whole racks free)
+  MostEmptyNodesFirst,  ///< gang fit: racks with the most empty nodes first
+};
+
 /// Read-only cluster state handed to Dispatcher::plan.
 class ClusterView {
  public:
   int nodes() const { return static_cast<int>(node_jobs_->size()); }
   int slots_per_node() const { return slots_; }
   std::span<const RunningJob> residents(int node) const {
+    // Part progress advances lazily (only dirty nodes are re-solved per
+    // event), so sync this node to `now` before the dispatcher reads it.
+    if (refresh_ != nullptr) (*refresh_)(node);
     return (*node_jobs_)[static_cast<std::size_t>(node)];
   }
   bool empty(int node) const { return residents(node).empty(); }
   /// Free co-residency slots; 0 while an exclusive placement holds the node.
   std::size_t free_slots(int node) const;
 
+  // --- rack locality -------------------------------------------------------
+  const sim::Topology& topology() const { return *topo_; }
+  int racks() const { return topo_->racks(); }
+  int rack_of(int node) const { return topo_->rack_of(node); }
+  /// Occupied co-residency slots across one rack.
+  std::size_t busy_slots_in_rack(int rack) const;
+  /// Every node id, grouped rack-major with racks ordered by `order` (ties
+  /// by rack id, nodes by id within a rack). On a single-rack topology this
+  /// is always plain node-id order — rack-aware dispatchers degrade to the
+  /// flat behavior the goldens pin.
+  std::vector<int> nodes_rack_major(RackOrder order) const;
+
  private:
   friend class ClusterEngine;
-  ClusterView(const std::vector<std::vector<RunningJob>>* node_jobs, int slots)
-      : node_jobs_(node_jobs), slots_(slots) {}
+  ClusterView(const std::vector<std::vector<RunningJob>>* node_jobs, int slots,
+              const sim::Topology* topo,
+              const std::function<void(int)>* refresh = nullptr)
+      : node_jobs_(node_jobs), slots_(slots), topo_(topo), refresh_(refresh) {}
 
   const std::vector<std::vector<RunningJob>>* node_jobs_;
   int slots_;
+  const sim::Topology* topo_;
+  const std::function<void(int)>* refresh_ = nullptr;
 };
 
 /// Policy hook: decides what runs where.
@@ -146,19 +201,30 @@ struct ClusterOutcome {
   double energy_dyn_j = 0.0;
   std::vector<std::pair<std::uint64_t, double>> finish_times;  // (job id, t)
   std::vector<PlacementRecord> placements;  ///< every decision, in time order
+  std::uint64_t events = 0;   ///< calendar events fired (throughput metric)
+  /// Per-link fabric usage; empty on an ideal (flat) topology.
+  std::vector<sim::LinkStats> links;
 
   double edp() const { return makespan_s * energy_dyn_j; }
 };
 
 class ClusterEngine {
  public:
+  /// Flat ideal topology of `nodes` — the paper-testbed shape.
   ClusterEngine(const mapreduce::NodeEvaluator& eval, int nodes,
+                int slots_per_node = 2);
+
+  /// Explicit topology; `topo.nodes()` is the cluster size. A non-ideal
+  /// topology turns on the shuffle/replication flow model.
+  ClusterEngine(const mapreduce::NodeEvaluator& eval, sim::Topology topo,
                 int slots_per_node = 2);
 
   /// Attaches a trace sink. `pid` is the recorder track group the run
   /// writes to (one per engine run — see TraceRecorder::track); the engine
-  /// names lane 0 "scheduler" and lane n+1 "node n". Null disables:
-  /// every emission site is behind a single pointer test.
+  /// names lane 0 "scheduler", lane n+1 "node n", and — on a racked
+  /// topology — lane nodes+1+r "rack r fabric" (flow spans + uplink
+  /// utilization counters). Null disables: every emission site is behind a
+  /// single pointer test.
   void set_obs(obs::TraceRecorder* trace, std::uint32_t pid);
 
   /// Registry for the engine.* counters (default: the process global).
@@ -169,8 +235,11 @@ class ClusterEngine {
   /// (Dispatcher::set_obs) so decision events land on the same track.
   ClusterOutcome run(Dispatcher& dispatcher);
 
+  const sim::Topology& topology() const { return topo_; }
+
  private:
   const mapreduce::NodeEvaluator& eval_;
+  sim::Topology topo_;
   int nodes_;
   int slots_;
   obs::TraceRecorder* trace_ = nullptr;

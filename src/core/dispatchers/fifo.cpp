@@ -9,7 +9,10 @@ FifoDispatcher::FifoDispatcher(std::deque<QueuedJob> jobs,
 std::vector<Placement> FifoDispatcher::plan(const ClusterView& view,
                                             double now_s) {
   std::vector<Placement> out;
-  for (int n = 0; n < view.nodes() && !jobs_.empty(); ++n) {
+  // Least-busy racks first: FIFO fill spreads across ToR uplinks instead of
+  // saturating rack 0 (plain node order on a single-rack topology).
+  for (const int n : view.nodes_rack_major(RackOrder::LeastBusyFirst)) {
+    if (jobs_.empty()) break;
     for (std::size_t s = view.free_slots(n); s > 0 && !jobs_.empty(); --s) {
       if (trace_ != nullptr) {
         trace_->instant(obs_pid_, 0, "dispatch", now_s, jobs_.front().id, n);

@@ -13,7 +13,10 @@ PairGangDispatcher::PairGangDispatcher(std::vector<PairEntry> entries,
 std::vector<Placement> PairGangDispatcher::plan(const ClusterView& view,
                                                 double now_s) {
   std::vector<Placement> out;
-  for (int n = 0; n < view.nodes() && next_ < entries_.size(); ++n) {
+  // Busiest racks first: pairs pack onto partly-used racks, keeping whole
+  // racks empty (and their uplinks quiet) for as long as possible.
+  for (const int n : view.nodes_rack_major(RackOrder::MostBusyFirst)) {
+    if (next_ >= entries_.size()) break;
     if (!view.empty(n)) continue;
     ECOST_REQUIRE(view.free_slots(n) >= (entries_[next_].b ? 2u : 1u),
                   "pair gang needs two slots per node");

@@ -14,9 +14,12 @@ SpreadDispatcher::SpreadDispatcher(std::vector<SpreadEntry> entries,
 std::vector<Placement> SpreadDispatcher::plan(const ClusterView& view,
                                               double now_s) {
   ECOST_REQUIRE(width_ <= view.nodes(), "spread width exceeds cluster size");
+  // Gangs slice consecutive empties, so collect them rack-major with the
+  // emptiest racks first: a width-k gang then lands on as few racks as
+  // possible, keeping its shuffle inside the ToR instead of the core.
   std::vector<int> empties;
   int busy = 0;
-  for (int n = 0; n < view.nodes(); ++n) {
+  for (const int n : view.nodes_rack_major(RackOrder::MostEmptyNodesFirst)) {
     if (view.empty(n)) {
       empties.push_back(n);
     } else {

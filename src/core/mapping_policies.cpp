@@ -44,8 +44,17 @@ QueuedJob bare_job(std::size_t index, const JobSpec& spec) {
 
 MappingPolicies::MappingPolicies(const mapreduce::NodeEvaluator& eval,
                                  std::vector<JobSpec> jobs, int nodes)
-    : eval_(eval), cache_(eval_), jobs_(std::move(jobs)), nodes_(nodes) {
-  ECOST_REQUIRE(nodes >= 1, "need at least one node");
+    : MappingPolicies(eval, std::move(jobs), sim::Topology::flat(nodes)) {}
+
+MappingPolicies::MappingPolicies(const mapreduce::NodeEvaluator& eval,
+                                 std::vector<JobSpec> jobs,
+                                 sim::Topology topo)
+    : eval_(eval),
+      cache_(eval_),
+      jobs_(std::move(jobs)),
+      topo_(std::move(topo)),
+      nodes_(topo_.nodes()) {
+  ECOST_REQUIRE(nodes_ >= 1, "need at least one node");
   ECOST_REQUIRE(!jobs_.empty(), "need at least one job");
 }
 
@@ -59,7 +68,7 @@ void MappingPolicies::set_obs(obs::TraceRecorder* trace,
 
 ClusterOutcome MappingPolicies::run_policy(Dispatcher& d,
                                            const char* policy) const {
-  ClusterEngine engine(eval_, nodes_, 2);
+  ClusterEngine engine(eval_, topo_, 2);
   if (trace_ != nullptr) {
     engine.set_obs(trace_, trace_->track(track_prefix_ + policy));
   }
@@ -75,7 +84,7 @@ PolicyResult MappingPolicies::serial_mapping() const {
   }
   SpreadDispatcher d(std::move(entries), nodes_);
   const ClusterOutcome oc = run_policy(d, "SM");
-  return {"SM", oc.makespan_s, oc.energy_dyn_j};
+  return {"SM", oc.makespan_s, oc.energy_dyn_j, oc.events};
 }
 
 PolicyResult MappingPolicies::multi_node(int parallel_jobs) const {
@@ -90,7 +99,7 @@ PolicyResult MappingPolicies::multi_node(int parallel_jobs) const {
   SpreadDispatcher d(std::move(entries), group_nodes, parallel_jobs);
   const char* name = parallel_jobs == 2 ? "MNM1" : "MNM2";
   const ClusterOutcome oc = run_policy(d, name);
-  return {name, oc.makespan_s, oc.energy_dyn_j};
+  return {name, oc.makespan_s, oc.energy_dyn_j, oc.events};
 }
 
 PolicyResult MappingPolicies::single_node() const {
@@ -101,7 +110,7 @@ PolicyResult MappingPolicies::single_node() const {
   }
   SpreadDispatcher d(std::move(entries), 1);
   const ClusterOutcome oc = run_policy(d, "SNM");
-  return {"SNM", oc.makespan_s, oc.energy_dyn_j};
+  return {"SNM", oc.makespan_s, oc.energy_dyn_j, oc.events};
 }
 
 PolicyResult MappingPolicies::core_balance() const {
@@ -118,7 +127,7 @@ PolicyResult MappingPolicies::core_balance() const {
   }
   PairGangDispatcher d(std::move(entries), eval_.spec().cores);
   const ClusterOutcome oc = run_policy(d, "CBM");
-  return {"CBM", oc.makespan_s, oc.energy_dyn_j};
+  return {"CBM", oc.makespan_s, oc.energy_dyn_j, oc.events};
 }
 
 PolicyResult MappingPolicies::predict_tuning(const TrainingData& td) const {
@@ -147,7 +156,7 @@ PolicyResult MappingPolicies::predict_tuning(const TrainingData& td) const {
   }
   SpreadDispatcher d(std::move(entries), 1);
   const ClusterOutcome oc = run_policy(d, "PTM");
-  return {"PTM", oc.makespan_s, oc.energy_dyn_j};
+  return {"PTM", oc.makespan_s, oc.energy_dyn_j, oc.events};
 }
 
 PolicyResult MappingPolicies::ecost(const TrainingData& td,
@@ -169,7 +178,7 @@ PolicyResult MappingPolicies::ecost(const TrainingData& td,
   }
   EcostDispatcher dispatcher(eval_, td, stp, std::move(queued));
   const ClusterOutcome oc = run_policy(dispatcher, "ECoST");
-  return {"ECoST", oc.makespan_s, oc.energy_dyn_j};
+  return {"ECoST", oc.makespan_s, oc.energy_dyn_j, oc.events};
 }
 
 PolicyResult MappingPolicies::upper_bound() const {
@@ -202,8 +211,13 @@ PolicyResult MappingPolicies::upper_bound() const {
     return it->second;
   };
 
-  const auto pairs = tuning::min_cost_perfect_matching(
-      n, [&](std::size_t i, std::size_t j) { return colao_of(i, j).edp; });
+  // Exact DP up to its 20-item ceiling; greedy beyond (scale studies pair
+  // hundreds of jobs, where the cached COLAO costs make greedy cheap).
+  const auto cost_fn = [&](std::size_t i, std::size_t j) {
+    return colao_of(i, j).edp;
+  };
+  const auto pairs = n <= 20 ? tuning::min_cost_perfect_matching(n, cost_fn)
+                             : tuning::greedy_min_cost_matching(n, cost_fn);
 
   // Longest pair first, then gang-schedule pairs onto nodes.
   std::vector<std::pair<double, PairEntry>> timed;
@@ -228,7 +242,7 @@ PolicyResult MappingPolicies::upper_bound() const {
 
   PairGangDispatcher d(std::move(entries), eval_.spec().cores);
   const ClusterOutcome oc = run_policy(d, "UB");
-  return {"UB", oc.makespan_s, oc.energy_dyn_j};
+  return {"UB", oc.makespan_s, oc.energy_dyn_j, oc.events};
 }
 
 }  // namespace ecost::core

@@ -34,6 +34,7 @@ struct PolicyResult {
   std::string policy;
   double makespan_s = 0.0;
   double energy_dyn_j = 0.0;
+  std::uint64_t events = 0;  ///< calendar events the engine fired
 
   double edp() const { return makespan_s * energy_dyn_j; }
 };
@@ -41,9 +42,15 @@ struct PolicyResult {
 class MappingPolicies {
  public:
   /// `jobs` carry each application's TOTAL input; multi-node policies
-  /// split it evenly across the nodes a job runs on.
+  /// split it evenly across the nodes a job runs on. A flat (ideal)
+  /// topology of `nodes` — the paper-testbed shape.
   MappingPolicies(const mapreduce::NodeEvaluator& eval,
                   std::vector<mapreduce::JobSpec> jobs, int nodes);
+
+  /// Same, on an explicit topology (racked presets turn on the
+  /// shuffle/replication flow model in every policy run).
+  MappingPolicies(const mapreduce::NodeEvaluator& eval,
+                  std::vector<mapreduce::JobSpec> jobs, sim::Topology topo);
 
   PolicyResult serial_mapping() const;             // SM
   PolicyResult multi_node(int parallel_jobs) const; // MNM1 (2) / MNM2 (4)
@@ -54,6 +61,7 @@ class MappingPolicies {
   PolicyResult upper_bound() const;                // UB
 
   int nodes() const { return nodes_; }
+  const sim::Topology& topology() const { return topo_; }
 
   /// Attaches observability sinks to every subsequent policy run. Each run
   /// gets its own trace track named "<prefix><policy>" (e.g. "WS3/ECoST"),
@@ -74,6 +82,7 @@ class MappingPolicies {
   /// re-score the same solo runs — shared across this object's policies.
   mutable mapreduce::EvalCache cache_;
   std::vector<mapreduce::JobSpec> jobs_;
+  sim::Topology topo_;
   int nodes_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::MetricsRegistry* obs_metrics_ = nullptr;

@@ -1,26 +1,93 @@
 #include "sim/event_queue.hpp"
 
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace ecost::sim {
 
-void EventQueue::schedule_at(double t, Callback cb) {
-  ECOST_REQUIRE(t >= now_ - 1e-12, "cannot schedule in the past");
-  ECOST_REQUIRE(static_cast<bool>(cb), "null event callback");
-  heap_.push(Event{t, next_seq_++, std::move(cb)});
+bool EventQueue::before(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.lane != b.lane) return a.lane < b.lane;
+  return a.seq < b.seq;
 }
 
-void EventQueue::schedule_in(double dt, Callback cb) {
+void EventQueue::place(std::size_t i, Event ev) {
+  pos_[ev.seq] = i;
+  heap_[i] = std::move(ev);
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    Event tmp = std::move(heap_[i]);
+    place(i, std::move(heap_[parent]));
+    place(parent, std::move(tmp));
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    std::size_t best = i;
+    if (l < n && before(heap_[l], heap_[best])) best = l;
+    if (r < n && before(heap_[r], heap_[best])) best = r;
+    if (best == i) break;
+    Event tmp = std::move(heap_[i]);
+    place(i, std::move(heap_[best]));
+    place(best, std::move(tmp));
+    i = best;
+  }
+}
+
+EventQueue::Event EventQueue::extract(std::size_t i) {
+  Event out = std::move(heap_[i]);
+  pos_.erase(out.seq);
+  const std::size_t last = heap_.size() - 1;
+  if (i != last) {
+    place(i, std::move(heap_[last]));
+    heap_.pop_back();
+    // The moved-in entry may violate the invariant in either direction.
+    sift_down(i);
+    sift_up(i);
+  } else {
+    heap_.pop_back();
+  }
+  return out;
+}
+
+EventQueue::EventId EventQueue::schedule_at(double t, std::int64_t lane,
+                                            Callback cb) {
+  ECOST_REQUIRE(t >= now_ - 1e-12, "cannot schedule in the past");
+  ECOST_REQUIRE(static_cast<bool>(cb), "null event callback");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Event{t, lane, seq, std::move(cb)});
+  pos_[seq] = heap_.size() - 1;
+  sift_up(heap_.size() - 1);
+  return EventId{seq};
+}
+
+EventQueue::EventId EventQueue::schedule_in(double dt, std::int64_t lane,
+                                            Callback cb) {
   ECOST_REQUIRE(dt >= 0.0, "negative delay");
-  schedule_at(now_ + dt, std::move(cb));
+  return schedule_at(now_ + dt, lane, std::move(cb));
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  const auto it = pos_.find(id.seq);
+  if (it == pos_.end()) return false;
+  extract(it->second);
+  return true;
 }
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // priority_queue::top is const; move out via const_cast is UB-adjacent, so
-  // copy the callback (cheap relative to model work per event).
-  Event ev = heap_.top();
-  heap_.pop();
+  Event ev = extract(0);
   now_ = ev.time;
   ev.cb();
   return true;
@@ -31,6 +98,16 @@ void EventQueue::run(std::size_t max_events) {
   while (step()) {
     ECOST_CHECK(++n <= max_events, "event budget exhausted (runaway model?)");
   }
+}
+
+double EventQueue::next_time() const {
+  ECOST_REQUIRE(!heap_.empty(), "next_time on an empty calendar");
+  return heap_.front().time;
+}
+
+std::int64_t EventQueue::next_lane() const {
+  ECOST_REQUIRE(!heap_.empty(), "next_lane on an empty calendar");
+  return heap_.front().lane;
 }
 
 }  // namespace ecost::sim

@@ -1,13 +1,23 @@
-// Discrete-event simulation kernel.
+// Discrete-event simulation kernel: an indexed event calendar.
 //
-// Minimal, deterministic: events at equal timestamps fire in scheduling
-// order (monotone sequence numbers break ties), so a given seed always
-// produces the same trajectory.
+// A binary heap over (time, lane, seq) with a handle index on the side, so
+// every operation the cluster runtime needs is O(log N):
+//
+//   schedule_at / schedule_in  -> push, returns a cancellation handle
+//   step / next_time           -> pop / peek the earliest event
+//   cancel                     -> remove an in-flight event by handle
+//
+// Ordering is total and deterministic: events fire by ascending time;
+// equal-time events fire by ascending `lane` (callers use it to pin a
+// domain order — the cluster engine passes arrival < network < node id);
+// equal (time, lane) events fire in scheduling order (monotone sequence
+// numbers). A given schedule/cancel history therefore always produces the
+// same trajectory, regardless of how the heap happened to be shaped.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <unordered_map>
 #include <vector>
 
 namespace ecost::sim {
@@ -16,14 +26,32 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
+  /// Cancellation handle for a scheduled event. Default-constructed ids are
+  /// invalid; ids are never reused within one queue's lifetime.
+  struct EventId {
+    std::uint64_t seq = ~std::uint64_t{0};
+    bool valid() const { return seq != ~std::uint64_t{0}; }
+  };
+
   /// Current simulation time in seconds.
   double now() const { return now_; }
 
-  /// Schedules `cb` at absolute time `t` (>= now).
-  void schedule_at(double t, Callback cb);
+  /// Schedules `cb` at absolute time `t` (>= now) on `lane` (equal-time
+  /// ordering key; lower lanes fire first).
+  EventId schedule_at(double t, std::int64_t lane, Callback cb);
+  EventId schedule_at(double t, Callback cb) {
+    return schedule_at(t, 0, std::move(cb));
+  }
 
   /// Schedules `cb` after a non-negative delay.
-  void schedule_in(double dt, Callback cb);
+  EventId schedule_in(double dt, std::int64_t lane, Callback cb);
+  EventId schedule_in(double dt, Callback cb) {
+    return schedule_in(dt, 0, std::move(cb));
+  }
+
+  /// Removes a pending event. Returns false when the id is invalid, was
+  /// already fired, or was already cancelled — cancellation is idempotent.
+  bool cancel(EventId id);
 
   /// Pops and runs the earliest event. Returns false when empty.
   bool step();
@@ -35,20 +63,30 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
 
+  /// Time / lane of the earliest pending event; requires !empty().
+  double next_time() const;
+  std::int64_t next_lane() const;
+
  private:
   struct Event {
-    double time;
-    std::uint64_t seq;
+    double time = 0.0;
+    std::int64_t lane = 0;
+    std::uint64_t seq = 0;
     Callback cb;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// True when `a` fires strictly before `b`.
+  static bool before(const Event& a, const Event& b);
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void place(std::size_t i, Event ev);
+  /// Removes the entry at heap slot `i`, restoring the heap; returns its
+  /// callback (the caller fires or drops it).
+  Event extract(std::size_t i);
+
+  std::vector<Event> heap_;
+  std::unordered_map<std::uint64_t, std::size_t> pos_;  ///< seq -> heap slot
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
 };

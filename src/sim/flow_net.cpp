@@ -1,0 +1,170 @@
+#include "sim/flow_net.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ecost::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// A flow is drained once its remaining bytes fall below this: absorbs the
+/// float error of rate * dt round trips without ever stalling a flow.
+constexpr double kBytesEps = 1e-3;
+
+}  // namespace
+
+FlowNet::FlowNet(const Topology& topo)
+    : topo_(topo),
+      link_rate_(static_cast<std::size_t>(topo.link_count()), 0.0),
+      link_bytes_(static_cast<std::size_t>(topo.link_count()), 0.0),
+      link_peak_util_(static_cast<std::size_t>(topo.link_count()), 0.0) {
+  ECOST_REQUIRE(!topo.ideal(),
+                "FlowNet over an ideal fabric models nothing — skip it");
+}
+
+std::uint64_t FlowNet::start(int src, int dst, double bytes, FlowKind kind,
+                             std::uint64_t job, double now_s) {
+  ECOST_REQUIRE(src != dst, "node-local transfer is not a network flow");
+  ECOST_REQUIRE(bytes > 0.0, "flow must carry bytes");
+  advance_to(now_s);
+  Flow f;
+  f.id = next_id_++;
+  f.src = src;
+  f.dst = dst;
+  f.kind = kind;
+  f.job = job;
+  f.bytes = bytes;
+  f.remaining = bytes;
+  f.start_s = now_s;
+  f.path = topo_.path(src, dst);
+  flows_.push_back(f);
+  rates_stale_ = true;
+  return f.id;
+}
+
+void FlowNet::advance_to(double now_s) {
+  ECOST_REQUIRE(now_s >= last_t_ - 1e-12, "flow net cannot move backwards");
+  const double dt = now_s - last_t_;
+  last_t_ = std::max(last_t_, now_s);
+  if (dt <= 0.0 || flows_.empty()) return;
+  ECOST_CHECK(!rates_stale_,
+              "flow rates are stale across an advance — recompute first");
+  for (Flow& f : flows_) {
+    f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+  }
+  for (std::size_t l = 0; l < link_rate_.size(); ++l) {
+    link_bytes_[l] += link_rate_[l] * dt;
+  }
+  bytes_carried_ += dt * [&] {
+    double sum = 0.0;
+    for (const Flow& f : flows_) sum += f.rate;
+    return sum;
+  }();
+}
+
+void FlowNet::recompute_rates() {
+  std::fill(link_rate_.begin(), link_rate_.end(), 0.0);
+  if (flows_.empty()) {
+    rates_stale_ = false;
+    return;
+  }
+  const std::size_t n_links = link_rate_.size();
+  std::vector<double> cap_left(n_links);
+  std::vector<int> active(n_links, 0);
+  for (std::size_t l = 0; l < n_links; ++l) {
+    cap_left[l] = topo_.link(static_cast<int>(l)).bytes_per_s;
+  }
+  for (const Flow& f : flows_) {
+    for (const int l : f.path) ++active[static_cast<std::size_t>(l)];
+  }
+  // Progressive filling: freeze the flows of the tightest link at its fair
+  // share, release their claim elsewhere, repeat.
+  std::vector<char> frozen(flows_.size(), 0);
+  std::size_t unfrozen = flows_.size();
+  while (unfrozen > 0) {
+    int bottleneck = -1;
+    double share = kInf;
+    for (std::size_t l = 0; l < n_links; ++l) {
+      if (active[l] == 0) continue;
+      const double fair = cap_left[l] / active[l];
+      if (fair < share) {
+        share = fair;
+        bottleneck = static_cast<int>(l);
+      }
+    }
+    ECOST_CHECK(bottleneck >= 0, "active flow without an active link");
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+      if (frozen[i]) continue;
+      Flow& f = flows_[i];
+      const bool crosses =
+          std::find(f.path.begin(), f.path.end(), bottleneck) != f.path.end();
+      if (!crosses) continue;
+      f.rate = share;
+      frozen[i] = 1;
+      --unfrozen;
+      for (const int l : f.path) {
+        const auto lu = static_cast<std::size_t>(l);
+        cap_left[lu] -= share;
+        --active[lu];
+        link_rate_[lu] += share;
+      }
+    }
+  }
+  for (std::size_t l = 0; l < n_links; ++l) {
+    const double cap = topo_.link(static_cast<int>(l)).bytes_per_s;
+    link_peak_util_[l] = std::max(link_peak_util_[l], link_rate_[l] / cap);
+  }
+  rates_stale_ = false;
+}
+
+double FlowNet::next_completion_s() {
+  if (flows_.empty()) return kInf;
+  if (rates_stale_) recompute_rates();
+  double next = kInf;
+  for (const Flow& f : flows_) {
+    ECOST_CHECK(f.rate > 0.0, "active flow starved of bandwidth");
+    const double t =
+        f.remaining <= kBytesEps ? last_t_ : last_t_ + f.remaining / f.rate;
+    next = std::min(next, t);
+  }
+  return next;
+}
+
+std::vector<Flow> FlowNet::pop_completed(double now_s) {
+  if (rates_stale_) recompute_rates();
+  advance_to(now_s);
+  std::vector<Flow> done;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (flows_[i].remaining <= kBytesEps) {
+      done.push_back(flows_[i]);
+    } else {
+      flows_[kept++] = flows_[i];
+    }
+  }
+  if (!done.empty()) {
+    flows_.resize(kept);
+    rates_stale_ = true;
+  }
+  return done;
+}
+
+double FlowNet::link_util(int l) const {
+  const double cap = topo_.link(l).bytes_per_s;
+  return link_rate_[static_cast<std::size_t>(l)] / cap;
+}
+
+std::vector<LinkStats> FlowNet::link_stats() const {
+  std::vector<LinkStats> out;
+  out.reserve(link_rate_.size());
+  for (int l = 0; l < topo_.link_count(); ++l) {
+    const auto lu = static_cast<std::size_t>(l);
+    out.push_back(LinkStats{topo_.link(l).name, topo_.link(l).bytes_per_s,
+                            link_bytes_[lu], link_peak_util_[lu]});
+  }
+  return out;
+}
+
+}  // namespace ecost::sim

@@ -1,0 +1,103 @@
+// Network flows over a Topology with max-min fair bandwidth sharing.
+//
+// Every active flow (shuffle traffic, HDFS replication) crosses the links
+// of its route; link capacity is split by progressive filling: repeatedly
+// find the most constrained link (least capacity per unfrozen flow),
+// freeze its flows at that fair share, subtract, continue. The resulting
+// rates are the classic max-min allocation — a flow is only ever limited
+// by its single bottleneck link, and flows sharing that bottleneck get
+// equal shares.
+//
+// The net is advanced lazily: `advance_to(t)` drains remaining bytes at
+// the current rates (rates are piecewise constant between membership
+// changes), `start`/`pop_completed` change membership and invalidate the
+// rates, and `next_completion_s` recomputes them on demand. All iteration
+// orders are by ascending flow/link id, so a given call history is fully
+// deterministic.
+//
+// Per-link byte and peak-utilization accounting is kept for the whole
+// lifetime of the net — `link_stats()` is the table `ecostctl topo`
+// prints and the per-link gauges the obs layer exports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/topology.hpp"
+
+namespace ecost::sim {
+
+/// What a flow carries — names the trace span on the rack lane.
+enum class FlowKind : std::uint8_t { Shuffle, Replication };
+
+struct Flow {
+  std::uint64_t id = 0;
+  int src = -1;
+  int dst = -1;
+  FlowKind kind = FlowKind::Shuffle;
+  std::uint64_t job = 0;       ///< owning logical job
+  double bytes = 0.0;          ///< original size
+  double remaining = 0.0;
+  double rate = 0.0;           ///< bytes/s under the current allocation
+  double start_s = 0.0;
+  LinkPath path;
+};
+
+/// Lifetime usage of one link.
+struct LinkStats {
+  std::string name;
+  double bytes_per_s = 0.0;  ///< capacity
+  double bytes = 0.0;        ///< total bytes carried
+  double peak_util = 0.0;    ///< max over time of allocated/capacity
+};
+
+class FlowNet {
+ public:
+  /// Requires a non-ideal topology (finite capacities).
+  explicit FlowNet(const Topology& topo);
+
+  /// Starts a flow of `bytes` from `src` to `dst` at time `now_s`
+  /// (monotone across calls). src == dst is node-local and forbidden —
+  /// the caller skips local traffic.
+  std::uint64_t start(int src, int dst, double bytes, FlowKind kind,
+                      std::uint64_t job, double now_s);
+
+  /// Drains progress up to `now_s` at the current rates.
+  void advance_to(double now_s);
+
+  /// Earliest completion instant across active flows (+inf when idle).
+  /// Recomputes rates if membership changed since the last computation.
+  double next_completion_s();
+
+  /// Advances to `now_s` and removes every flow that has drained by then,
+  /// in ascending flow-id order.
+  std::vector<Flow> pop_completed(double now_s);
+
+  bool empty() const { return flows_.empty(); }
+  std::size_t active() const { return flows_.size(); }
+
+  /// Current allocated/capacity share of one link (0 when rates are stale).
+  double link_util(int l) const;
+
+  std::vector<LinkStats> link_stats() const;
+  std::uint64_t flows_started() const { return next_id_; }
+  double bytes_carried() const { return bytes_carried_; }
+
+  const Topology& topology() const { return topo_; }
+
+ private:
+  void recompute_rates();
+
+  const Topology& topo_;
+  std::vector<Flow> flows_;        ///< ascending id (append-only between pops)
+  std::vector<double> link_rate_;  ///< allocated bytes/s per link
+  std::vector<double> link_bytes_;
+  std::vector<double> link_peak_util_;
+  double last_t_ = 0.0;
+  bool rates_stale_ = false;
+  std::uint64_t next_id_ = 0;
+  double bytes_carried_ = 0.0;
+};
+
+}  // namespace ecost::sim

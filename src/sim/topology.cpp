@@ -1,0 +1,113 @@
+#include "sim/topology.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ecost::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double gbps_to_bytes_per_s(double gbps) { return gbps * 1e9 / 8.0; }
+
+}  // namespace
+
+Topology Topology::flat(int nodes) {
+  ECOST_REQUIRE(nodes >= 1, "topology needs at least one node");
+  Topology t;
+  t.nodes_ = nodes;
+  t.racks_ = 1;
+  t.nodes_per_rack_ = nodes;
+  t.ideal_ = true;
+  t.node_bytes_per_s_ = kInf;
+  t.uplink_bytes_per_s_ = kInf;
+  t.links_.reserve(static_cast<std::size_t>(nodes) + 1);
+  for (int n = 0; n < nodes; ++n) {
+    t.links_.push_back(LinkSpec{"node " + std::to_string(n), kInf});
+  }
+  t.links_.push_back(LinkSpec{"rack 0 uplink", kInf});
+  t.name_ = "flat" + std::to_string(nodes);
+  return t;
+}
+
+Topology Topology::racked(int racks, int nodes_per_rack, double node_gbps,
+                          double uplink_gbps) {
+  ECOST_REQUIRE(racks >= 1, "topology needs at least one rack");
+  ECOST_REQUIRE(nodes_per_rack >= 1, "rack needs at least one node");
+  ECOST_REQUIRE(node_gbps > 0.0 && uplink_gbps > 0.0,
+                "link capacity must be positive");
+  Topology t;
+  t.nodes_ = racks * nodes_per_rack;
+  t.racks_ = racks;
+  t.nodes_per_rack_ = nodes_per_rack;
+  t.ideal_ = false;
+  t.node_bytes_per_s_ = gbps_to_bytes_per_s(node_gbps);
+  t.uplink_bytes_per_s_ = gbps_to_bytes_per_s(uplink_gbps);
+  t.links_.reserve(static_cast<std::size_t>(t.nodes_ + racks));
+  for (int n = 0; n < t.nodes_; ++n) {
+    t.links_.push_back(
+        LinkSpec{"node " + std::to_string(n), t.node_bytes_per_s_});
+  }
+  for (int r = 0; r < racks; ++r) {
+    t.links_.push_back(LinkSpec{"rack " + std::to_string(r) + " uplink",
+                                t.uplink_bytes_per_s_});
+  }
+  std::ostringstream name;
+  name << t.nodes_ << "n-" << racks << "r(" << nodes_per_rack << "x"
+       << node_gbps << "Gbps/" << uplink_gbps << "Gbps)";
+  t.name_ = name.str();
+  return t;
+}
+
+Topology Topology::preset(const std::string& name) {
+  if (name == "flat8") return flat(8);
+  if (name == "r64") return racked(4, 16);
+  if (name == "r256") return racked(8, 32);
+  if (name == "r1024") return racked(32, 32);
+  if (name == "r4096") return racked(64, 64);
+  ECOST_REQUIRE(false, "unknown topology preset: " + name +
+                           " (expected flat8, r64, r256, r1024, or r4096)");
+  return flat(1);  // unreachable
+}
+
+std::vector<std::string> Topology::preset_names() {
+  return {"flat8", "r64", "r256", "r1024", "r4096"};
+}
+
+int Topology::rack_of(int node) const {
+  ECOST_REQUIRE(node >= 0 && node < nodes_, "node out of range");
+  return node / nodes_per_rack_;
+}
+
+LinkPath Topology::path(int src, int dst) const {
+  ECOST_REQUIRE(src >= 0 && src < nodes_, "path source out of range");
+  ECOST_REQUIRE(dst >= 0 && dst < nodes_, "path destination out of range");
+  LinkPath p;
+  if (src == dst) return p;
+  p.link[p.count++] = access_link(src);
+  const int rs = rack_of(src);
+  const int rd = rack_of(dst);
+  if (rs != rd) {
+    p.link[p.count++] = uplink(rs);
+    p.link[p.count++] = uplink(rd);
+  }
+  p.link[p.count++] = access_link(dst);
+  return p;
+}
+
+int Topology::replica_target(int node) const {
+  ECOST_REQUIRE(node >= 0 && node < nodes_, "node out of range");
+  if (nodes_ == 1) return node;
+  if (racks_ == 1) return (node + 1) % nodes_;
+  return (node + nodes_per_rack_) % nodes_;
+}
+
+double Topology::oversubscription() const {
+  if (ideal_) return 0.0;
+  return nodes_per_rack_ * node_bytes_per_s_ / uplink_bytes_per_s_;
+}
+
+}  // namespace ecost::sim

@@ -1,0 +1,106 @@
+// Cluster network topology: racks of nodes behind top-of-rack switches.
+//
+// Two-tier model, the shape replicant-opera simulates for Hadoop-on-fabric:
+// every node hangs off its rack's ToR switch through an access link, every
+// ToR hangs off a non-blocking core through one uplink. A rack's uplink is
+// usually oversubscribed (nodes_per_rack * access capacity > uplink
+// capacity), which is exactly the contention the shuffle phase hits in
+// production and the flat 8-node paper testbed never sees.
+//
+// The link table is flat and indexable: links [0, nodes) are access links
+// ("node i <-> ToR"), links [nodes, nodes + racks) are rack uplinks
+// ("ToR r <-> core"). A path crosses at most four links.
+//
+// `Topology::flat(n)` — one rack, infinite bandwidth — is the ideal fabric
+// every pre-existing caller gets by default: `ideal()` is true, no flow is
+// ever modeled, and the engine's behavior is bit-identical to the
+// pre-topology runtime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ecost::sim {
+
+/// One link of the fabric. `bytes_per_s` may be +infinity (ideal fabric).
+struct LinkSpec {
+  std::string name;         ///< "node 3" / "rack 1 uplink"
+  double bytes_per_s = 0.0;
+};
+
+/// A source-to-destination route: up to 4 link ids (access, src uplink,
+/// dst uplink, access). Node-local transfers have zero links.
+struct LinkPath {
+  int count = 0;
+  int link[4] = {-1, -1, -1, -1};
+
+  const int* begin() const { return link; }
+  const int* end() const { return link + count; }
+};
+
+class Topology {
+ public:
+  /// One rack, infinite bandwidth: the ideal fabric (paper testbed shape).
+  static Topology flat(int nodes);
+
+  /// `racks` racks of `nodes_per_rack` nodes; every access link carries
+  /// `node_gbps`, every rack uplink `uplink_gbps` (oversubscription factor
+  /// = nodes_per_rack * node_gbps / uplink_gbps).
+  static Topology racked(int racks, int nodes_per_rack,
+                         double node_gbps = 10.0, double uplink_gbps = 40.0);
+
+  /// Named presets used by the scenario generators and bench_sweep:
+  ///   flat8                     the paper's 8-node ideal cluster
+  ///   r64 / r256 / r1024 / r4096  racked clusters at 10 Gbps access,
+  ///                             40 Gbps uplinks (8:1 .. 16:1 oversub)
+  /// Throws InvariantError for unknown names.
+  static Topology preset(const std::string& name);
+  static std::vector<std::string> preset_names();
+
+  int nodes() const { return nodes_; }
+  int racks() const { return racks_; }
+  int nodes_per_rack() const { return nodes_per_rack_; }
+  int rack_of(int node) const;
+
+  /// True when every link has infinite capacity — no flow is worth
+  /// modeling and the engine skips the network entirely.
+  bool ideal() const { return ideal_; }
+
+  /// nodes() access links, then racks() uplinks.
+  int link_count() const { return static_cast<int>(links_.size()); }
+  const LinkSpec& link(int l) const { return links_[static_cast<std::size_t>(l)]; }
+  int access_link(int node) const { return node; }
+  int uplink(int rack) const { return nodes_ + rack; }
+
+  /// Route from `src` to `dst`: same node -> empty; same rack -> both
+  /// access links; cross rack -> access, both uplinks, access (the core is
+  /// non-blocking and contributes no link).
+  LinkPath path(int src, int dst) const;
+
+  /// Deterministic off-rack replica target for HDFS replication written on
+  /// `node`: the same position in the next rack (wraps). With one rack
+  /// there is no off-rack choice; falls back to the next node (wraps), or
+  /// the node itself on a 1-node cluster.
+  int replica_target(int node) const;
+
+  /// nodes_per_rack * access / uplink — 1.0 for non-oversubscribed, 0 for
+  /// ideal fabrics.
+  double oversubscription() const;
+
+  /// "flat8" / "64n-4r(16x10Gbps/40Gbps)" — for reports and JSON.
+  const std::string& name() const { return name_; }
+
+ private:
+  Topology() = default;
+
+  int nodes_ = 0;
+  int racks_ = 1;
+  int nodes_per_rack_ = 0;
+  bool ideal_ = true;
+  double node_bytes_per_s_ = 0.0;
+  double uplink_bytes_per_s_ = 0.0;
+  std::vector<LinkSpec> links_;
+  std::string name_;
+};
+
+}  // namespace ecost::sim

@@ -1,7 +1,9 @@
 #include "tuning/matching.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <tuple>
 
 #include "util/error.hpp"
 
@@ -48,6 +50,33 @@ std::vector<std::pair<std::size_t, std::size_t>> min_cost_perfect_matching(
     mask &= ~(std::size_t{1} << static_cast<std::size_t>(a));
     mask &= ~(std::size_t{1} << static_cast<std::size_t>(b));
   }
+  return pairs;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> greedy_min_cost_matching(
+    std::size_t n, const PairCostFn& cost) {
+  ECOST_REQUIRE(n % 2 == 0, "perfect matching needs an even item count");
+  ECOST_REQUIRE(n >= 2, "nothing to match");
+
+  std::vector<std::tuple<double, std::size_t, std::size_t>> edges;
+  edges.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      edges.emplace_back(cost(i, j), i, j);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+
+  std::vector<char> taken(n, 0);
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(n / 2);
+  for (const auto& [c, i, j] : edges) {
+    if (taken[i] || taken[j]) continue;
+    taken[i] = taken[j] = 1;
+    pairs.emplace_back(i, j);
+    if (pairs.size() == n / 2) break;
+  }
+  ECOST_CHECK(pairs.size() == n / 2, "greedy matching left items unpaired");
   return pairs;
 }
 

@@ -20,4 +20,11 @@ using PairCostFn = std::function<double(std::size_t, std::size_t)>;
 std::vector<std::pair<std::size_t, std::size_t>> min_cost_perfect_matching(
     std::size_t n, const PairCostFn& cost);
 
+/// Greedy approximation for item sets beyond the exact solver's reach
+/// (scale studies pair hundreds of jobs): sorts all C(n,2) candidate pairs
+/// by cost and takes the cheapest whose endpoints are both free. Ties
+/// break on (i, j) order, so the result is deterministic. Requires n even.
+std::vector<std::pair<std::size_t, std::size_t>> greedy_min_cost_matching(
+    std::size_t n, const PairCostFn& cost);
+
 }  // namespace ecost::tuning

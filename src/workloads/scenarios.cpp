@@ -1,5 +1,7 @@
 #include "workloads/scenarios.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "workloads/apps.hpp"
 
@@ -60,6 +62,27 @@ std::vector<mapreduce::JobSpec> WorkloadScenario::jobs(
     out.push_back(mapreduce::JobSpec::of_gib(app_by_abbrev(a), gib_per_app));
   }
   return out;
+}
+
+std::vector<mapreduce::JobSpec> WorkloadScenario::scaled_jobs(
+    double gib_per_app, std::size_t count) const {
+  ECOST_REQUIRE(gib_per_app > 0.0, "input size must be positive");
+  ECOST_REQUIRE(count >= 1, "need at least one job");
+  std::vector<mapreduce::JobSpec> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string& a = app_abbrevs[i % app_abbrevs.size()];
+    out.push_back(mapreduce::JobSpec::of_gib(app_by_abbrev(a), gib_per_app));
+  }
+  return out;
+}
+
+std::size_t scaled_job_count(int nodes) {
+  ECOST_REQUIRE(nodes >= 1, "need at least one node");
+  std::size_t count = std::max<std::size_t>(
+      16, static_cast<std::size_t>(nodes) / 4);
+  if (count % 2 != 0) ++count;
+  return count;
 }
 
 std::span<const WorkloadScenario> all_scenarios() { return registry(); }

@@ -21,7 +21,19 @@ struct WorkloadScenario {
 
   /// Materializes the 16 jobs with `gib_per_app` input per node each.
   std::vector<mapreduce::JobSpec> jobs(double gib_per_app) const;
+
+  /// Scales the scenario to a racked cluster: cycles the 16-app class
+  /// pattern until `count` jobs (so the class mix is preserved at any
+  /// size). Used by the 64..4096-node topology sweeps, where 16 jobs
+  /// would leave the cluster nearly idle.
+  std::vector<mapreduce::JobSpec> scaled_jobs(double gib_per_app,
+                                              std::size_t count) const;
 };
+
+/// Job count that keeps a cluster of `nodes` busy for a scale sweep: one
+/// job per four nodes, floor of 16 (the paper's stream length), rounded up
+/// to even so pairing policies (CBM/UB) get whole pairs.
+std::size_t scaled_job_count(int nodes);
 
 /// WS1..WS8 as defined in Table 3.
 std::span<const WorkloadScenario> all_scenarios();

@@ -1,0 +1,209 @@
+// Rack-topology behavior of the cluster runtime: flat/int constructor
+// parity, the documented (time, node) simultaneous-retirement tie-break,
+// the shuffle/replication flow model on racked fabrics, and the
+// ClusterView rack-locality helpers the dispatchers order by.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/cluster_engine.hpp"
+#include "core/dispatchers/fifo.hpp"
+#include "sim/topology.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::core {
+namespace {
+
+using dispatchers::FifoDispatcher;
+using mapreduce::AppConfig;
+using mapreduce::JobSpec;
+
+const AppConfig kCfg{sim::FreqLevel::F2_4, 128, 4};
+
+QueuedJob make_job(std::uint64_t id, const char* abbrev, double gib) {
+  QueuedJob qj;
+  qj.id = id;
+  qj.info.job = JobSpec::of_gib(workloads::app_by_abbrev(abbrev), gib);
+  qj.info.cls = qj.info.job.app.true_class;
+  return qj;
+}
+
+class ClusterTopologyTest : public ::testing::Test {
+ protected:
+  mapreduce::NodeEvaluator eval_;
+};
+
+TEST_F(ClusterTopologyTest, FlatTopologyCtorMatchesIntCtorExactly) {
+  auto run_with = [&](auto&&... engine_args) {
+    std::deque<QueuedJob> jobs;
+    for (int i = 0; i < 6; ++i) {
+      jobs.push_back(make_job(static_cast<std::uint64_t>(i),
+                              i % 2 == 0 ? "WC" : "CF", 1.0));
+    }
+    FifoDispatcher d(jobs, kCfg);
+    ClusterEngine engine(eval_, engine_args..., 2);
+    return engine.run(d);
+  };
+  const ClusterOutcome a = run_with(4);
+  const ClusterOutcome b = run_with(sim::Topology::flat(4));
+  EXPECT_EQ(a.makespan_s, b.makespan_s);  // bit-identical, not just close
+  EXPECT_EQ(a.energy_dyn_j, b.energy_dyn_j);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.finish_times, b.finish_times);
+  EXPECT_TRUE(b.links.empty());  // ideal fabric: no flow model
+}
+
+// The documented tie-break: parts retiring at the same instant retire in
+// ascending NODE order, regardless of the order they were scheduled in.
+// Four identical jobs are placed on nodes 3, 2, 1, 0 (reverse scheduling
+// order); their finish events all carry the same timestamp, so only the
+// node-lane ordering can decide who completes first.
+TEST_F(ClusterTopologyTest, SimultaneousFinishesRetireInNodeOrder) {
+  class ReversePlacer final : public Dispatcher {
+   public:
+    std::vector<Placement> plan(const ClusterView& view, double) override {
+      std::vector<Placement> out;
+      if (placed_) return out;
+      placed_ = true;
+      for (int n = view.nodes() - 1; n >= 0; --n) {
+        const std::uint64_t id =
+            static_cast<std::uint64_t>(view.nodes() - 1 - n);
+        out.push_back(Placement{make_job(id, "WC", 1.0), kCfg, {n}, false});
+      }
+      return out;
+    }
+
+   private:
+    bool placed_ = false;
+  };
+
+  for (int round = 0; round < 2; ++round) {  // determinism across reruns
+    ReversePlacer d;
+    ClusterEngine engine(eval_, 4, 2);
+    const ClusterOutcome oc = engine.run(d);
+    ASSERT_EQ(oc.finish_times.size(), 4u);
+    for (std::size_t i = 1; i < 4; ++i) {
+      EXPECT_EQ(oc.finish_times[i].second, oc.finish_times[0].second)
+          << "identical jobs must finish at the same instant";
+    }
+    // Job 0 ran on node 3, job 3 on node 0: node order reverses job order.
+    EXPECT_EQ(oc.finish_times[0].first, 3u);
+    EXPECT_EQ(oc.finish_times[1].first, 2u);
+    EXPECT_EQ(oc.finish_times[2].first, 1u);
+    EXPECT_EQ(oc.finish_times[3].first, 0u);
+  }
+}
+
+TEST_F(ClusterTopologyTest, RackedFabricModelsFlowsAndDefersFinish) {
+  auto run_on = [&](sim::Topology topo) {
+    std::deque<QueuedJob> jobs;
+    for (int i = 0; i < 4; ++i) {
+      jobs.push_back(make_job(static_cast<std::uint64_t>(i), "TS", 1.0));
+    }
+    FifoDispatcher d(jobs, kCfg);
+    ClusterEngine engine(eval_, std::move(topo), 2);
+    return engine.run(d);
+  };
+  const ClusterOutcome flat = run_on(sim::Topology::flat(4));
+  // Slow 0.05 Gbps fabric: replication traffic visibly delays logical
+  // job completion relative to the ideal fabric.
+  const ClusterOutcome racked =
+      run_on(sim::Topology::racked(2, 2, 0.05, 0.05));
+  EXPECT_EQ(racked.finish_times.size(), 4u);
+  EXPECT_GT(racked.makespan_s, flat.makespan_s);
+  ASSERT_EQ(racked.links.size(), 6u);  // 4 access + 2 uplinks
+  // HDFS replication always targets the other rack on a 2-rack fabric.
+  EXPECT_GT(racked.links[4].bytes, 0.0);
+  EXPECT_GT(racked.links[5].bytes, 0.0);
+  for (const sim::LinkStats& ls : racked.links) {
+    EXPECT_GE(ls.peak_util, 0.0);
+    EXPECT_LE(ls.peak_util, 1.0 + 1e-9);
+  }
+}
+
+TEST_F(ClusterTopologyTest, ClusterViewRackHelpersOrderRacksByLoad) {
+  // Places one long job on node 0 (rack 0), then inspects the view at a
+  // mid-flight arrival, when rack 0 holds the only busy slot.
+  class Probe final : public Dispatcher {
+   public:
+    std::vector<Placement> plan(const ClusterView& view, double now) override {
+      if (!placed_) {
+        placed_ = true;
+        return {Placement{make_job(0, "WC", 4.0), kCfg, {0}, false}};
+      }
+      if (now >= arrival_s_ && racks_ == 0) {
+        racks_ = view.racks();
+        rack_of_3_ = view.rack_of(3);
+        busy_r0_ = view.busy_slots_in_rack(0);
+        busy_r1_ = view.busy_slots_in_rack(1);
+        by_id_ = view.nodes_rack_major(RackOrder::ById);
+        least_busy_ = view.nodes_rack_major(RackOrder::LeastBusyFirst);
+        most_busy_ = view.nodes_rack_major(RackOrder::MostBusyFirst);
+        most_empty_ = view.nodes_rack_major(RackOrder::MostEmptyNodesFirst);
+      }
+      return {};
+    }
+    double next_arrival_s(double now_s) const override {
+      return now_s < arrival_s_ ? arrival_s_
+                                : std::numeric_limits<double>::infinity();
+    }
+
+    const double arrival_s_ = 1.0;
+    bool placed_ = false;
+    int racks_ = 0;
+    int rack_of_3_ = -1;
+    std::size_t busy_r0_ = 0;
+    std::size_t busy_r1_ = 0;
+    std::vector<int> by_id_, least_busy_, most_busy_, most_empty_;
+  };
+
+  Probe d;
+  ClusterEngine engine(eval_, sim::Topology::racked(2, 2, 1.0, 1.0), 2);
+  engine.run(d);
+  ASSERT_EQ(d.racks_, 2);
+  EXPECT_EQ(d.rack_of_3_, 1);
+  EXPECT_EQ(d.busy_r0_, 1u);
+  EXPECT_EQ(d.busy_r1_, 0u);
+  EXPECT_EQ(d.by_id_, (std::vector<int>{0, 1, 2, 3}));
+  // Rack 1 is idle: it leads the least-busy and most-empty-nodes orders.
+  EXPECT_EQ(d.least_busy_, (std::vector<int>{2, 3, 0, 1}));
+  EXPECT_EQ(d.most_empty_, (std::vector<int>{2, 3, 0, 1}));
+  // Rack 0 holds the busy slot: it leads the most-busy (packing) order.
+  EXPECT_EQ(d.most_busy_, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_F(ClusterTopologyTest, SingleRackViewKeepsPlainNodeOrder) {
+  class Probe final : public Dispatcher {
+   public:
+    std::vector<Placement> plan(const ClusterView& view, double) override {
+      if (!placed_) {
+        placed_ = true;
+        // Load node 2 so a load-aware order would move it, then check the
+        // single-rack guarantee holds anyway on the next opportunity.
+        return {Placement{make_job(0, "WC", 2.0), kCfg, {2}, false}};
+      }
+      if (least_busy_.empty()) {
+        least_busy_ = view.nodes_rack_major(RackOrder::LeastBusyFirst);
+      }
+      return {};
+    }
+    double next_arrival_s(double now_s) const override {
+      return now_s < 0.5 ? 0.5 : std::numeric_limits<double>::infinity();
+    }
+
+    bool placed_ = false;
+    std::vector<int> least_busy_;
+  };
+
+  Probe d;
+  ClusterEngine engine(eval_, 4, 2);
+  engine.run(d);
+  EXPECT_EQ(d.least_busy_, (std::vector<int>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace ecost::core

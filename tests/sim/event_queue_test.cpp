@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <string>
 #include <vector>
 
 #include "util/error.hpp"
@@ -76,6 +79,137 @@ TEST(EventQueueTest, PendingCount) {
   EXPECT_EQ(q.pending(), 2u);
   q.step();
   EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, DuplicateTimestampsOrderByLaneThenSchedulingOrder) {
+  EventQueue q;
+  std::vector<std::string> order;
+  q.schedule_at(1.0, 2, [&] { order.push_back("l2a"); });
+  q.schedule_at(1.0, -1, [&] { order.push_back("l-1"); });
+  q.schedule_at(1.0, 2, [&] { order.push_back("l2b"); });
+  q.schedule_at(1.0, 0, [&] { order.push_back("l0"); });
+  q.run();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"l-1", "l0", "l2a", "l2b"}));
+}
+
+TEST(EventQueueTest, NextTimeAndLanePeekTheEarliestEvent) {
+  EventQueue q;
+  q.schedule_at(2.0, 7, [] {});
+  q.schedule_at(1.0, 3, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  EXPECT_EQ(q.next_lane(), 3);
+  q.step();
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  EXPECT_EQ(q.next_lane(), 7);
+}
+
+TEST(EventQueueTest, CancelRemovesPendingEvent) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  const auto mid = q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.cancel(mid));
+  EXPECT_EQ(q.pending(), 2u);
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, CancelHeadRevealsTheNextEvent) {
+  EventQueue q;
+  const auto head = q.schedule_at(1.0, [] {});
+  q.schedule_at(5.0, 4, [] {});
+  EXPECT_TRUE(q.cancel(head));
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+  EXPECT_EQ(q.next_lane(), 4);
+}
+
+TEST(EventQueueTest, CancelIsIdempotentAndRejectsFiredOrInvalidIds) {
+  EventQueue q;
+  const auto id = q.schedule_at(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));                     // already cancelled
+  EXPECT_FALSE(q.cancel(EventQueue::EventId{}));  // default id is invalid
+  const auto fired = q.schedule_at(2.0, [] {});
+  q.step();
+  EXPECT_FALSE(q.cancel(fired));                  // already fired
+}
+
+TEST(EventQueueTest, EventCanCancelASimultaneousLaterEvent) {
+  EventQueue q;
+  int fired = 0;
+  EventQueue::EventId second;
+  q.schedule_at(1.0, 0, [&] {
+    ++fired;
+    EXPECT_TRUE(q.cancel(second));
+  });
+  second = q.schedule_at(1.0, 1, [&] { ++fired; });
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+// Randomized schedule/cancel/pop interleavings against a brute-force
+// reference model: the calendar must fire events in exact
+// (time, lane, scheduling-order) order regardless of heap shape, and its
+// handle index must stay consistent through arbitrary removals.
+TEST(EventQueueTest, RandomizedInterleavingsMatchReferenceModel) {
+  std::mt19937 rng(20260808u);
+  EventQueue q;
+  struct Ref {
+    double t;
+    std::int64_t lane;
+    std::uint64_t tag;  ///< scheduling order, monotone
+    EventQueue::EventId id;
+  };
+  const auto earlier = [](const Ref& a, const Ref& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.lane != b.lane) return a.lane < b.lane;
+    return a.tag < b.tag;
+  };
+  std::vector<Ref> live;
+  std::vector<std::uint64_t> fired;
+  std::uint64_t next_tag = 0;
+  double now = 0.0;
+
+  for (int iter = 0; iter < 4000; ++iter) {
+    const unsigned op = rng() % 100;
+    if (op < 55 || live.empty()) {
+      // Coarse time quantum on four lanes: duplicate keys are common.
+      const double t = now + static_cast<double>(rng() % 8) * 0.5;
+      const std::int64_t lane = static_cast<std::int64_t>(rng() % 4) - 1;
+      const std::uint64_t tag = next_tag++;
+      const auto id =
+          q.schedule_at(t, lane, [&fired, tag] { fired.push_back(tag); });
+      EXPECT_TRUE(id.valid());
+      live.push_back(Ref{t, lane, tag, id});
+    } else if (op < 75) {
+      const std::size_t k = rng() % live.size();
+      EXPECT_TRUE(q.cancel(live[k].id));
+      EXPECT_FALSE(q.cancel(live[k].id));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      const auto it = std::min_element(live.begin(), live.end(), earlier);
+      fired.clear();
+      ASSERT_TRUE(q.step());
+      ASSERT_EQ(fired.size(), 1u);
+      EXPECT_EQ(fired.front(), it->tag);
+      EXPECT_DOUBLE_EQ(q.now(), it->t);
+      now = it->t;
+      live.erase(it);
+    }
+    ASSERT_EQ(q.pending(), live.size());
+  }
+
+  // Drain: the rest must come out in exact reference order.
+  std::sort(live.begin(), live.end(), earlier);
+  fired.clear();
+  q.run();
+  ASSERT_EQ(fired.size(), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(fired[i], live[i].tag);
+  }
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace

@@ -1,0 +1,115 @@
+#include "sim/flow_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "sim/topology.hpp"
+#include "util/error.hpp"
+
+namespace ecost::sim {
+namespace {
+
+// 1 Gbps everywhere: 0.125e9 B/s per link, convenient round numbers.
+Topology tiny(int racks = 2, int per_rack = 4) {
+  return Topology::racked(racks, per_rack, 1.0, 1.0);
+}
+
+constexpr double kBps = 1e9 / 8.0;  // one 1 Gbps link in bytes/s
+
+TEST(FlowNetTest, SingleFlowDrainsAtBottleneckRate) {
+  const Topology topo = tiny();
+  FlowNet net(topo);
+  // Same rack: bottleneck is one access link at kBps.
+  net.start(0, 1, kBps * 2.0, FlowKind::Shuffle, 7, 0.0);
+  EXPECT_DOUBLE_EQ(net.next_completion_s(), 2.0);
+  const auto done = net.pop_completed(2.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].job, 7u);
+  EXPECT_DOUBLE_EQ(done[0].remaining, 0.0);
+  EXPECT_TRUE(net.empty());
+}
+
+TEST(FlowNetTest, MaxMinShareSpeedsUpWhenABottleneckFlowFinishes) {
+  const Topology topo = tiny();
+  FlowNet net(topo);
+  // Both flows leave node 0: its access link is the shared bottleneck,
+  // so each gets kBps/2 until the smaller one drains.
+  net.start(0, 1, kBps * 0.5, FlowKind::Shuffle, 1, 0.0);
+  net.start(0, 2, kBps * 1.5, FlowKind::Shuffle, 2, 0.0);
+  EXPECT_DOUBLE_EQ(net.next_completion_s(), 1.0);
+  ASSERT_EQ(net.pop_completed(1.0).size(), 1u);
+  // Survivor has kBps left and the link to itself: finishes at t = 2.
+  EXPECT_DOUBLE_EQ(net.next_completion_s(), 2.0);
+  ASSERT_EQ(net.pop_completed(2.0).size(), 1u);
+  EXPECT_TRUE(net.empty());
+}
+
+TEST(FlowNetTest, CrossRackFlowsShareTheUplink) {
+  const Topology topo = tiny();
+  FlowNet net(topo);
+  // Four flows from distinct rack-0 nodes to distinct rack-1 nodes: the
+  // access links are private, rack 0's uplink is the shared bottleneck.
+  for (int i = 0; i < 4; ++i) {
+    net.start(i, 4 + i, kBps, FlowKind::Shuffle, static_cast<unsigned>(i),
+              0.0);
+  }
+  EXPECT_DOUBLE_EQ(net.next_completion_s(), 4.0);
+  const auto done = net.pop_completed(4.0);
+  ASSERT_EQ(done.size(), 4u);
+  // Simultaneous completions pop in ascending flow id.
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    EXPECT_EQ(done[i].job, i);
+  }
+}
+
+TEST(FlowNetTest, LinkStatsAccumulateBytesAndPeakUtilization) {
+  const Topology topo = tiny();
+  FlowNet net(topo);
+  net.start(0, 1, kBps, FlowKind::Shuffle, 0, 0.0);
+  net.start(0, 2, kBps, FlowKind::Replication, 1, 0.0);
+  const double t_done = net.next_completion_s();  // forces an allocation
+  EXPECT_DOUBLE_EQ(net.link_util(topo.access_link(0)), 1.0);
+  // Equal shares of the same bottleneck: both drain at t = 2.
+  EXPECT_DOUBLE_EQ(t_done, 2.0);
+  EXPECT_EQ(net.pop_completed(t_done).size(), 2u);
+  EXPECT_TRUE(net.empty());
+
+  const std::vector<LinkStats> stats = net.link_stats();
+  ASSERT_EQ(stats.size(), static_cast<std::size_t>(topo.link_count()));
+  // Node 0's access link carried both flows and was saturated.
+  EXPECT_DOUBLE_EQ(stats[0].bytes, 2.0 * kBps);
+  EXPECT_DOUBLE_EQ(stats[0].peak_util, 1.0);
+  // Node 1's access link carried one flow at half rate.
+  EXPECT_DOUBLE_EQ(stats[1].bytes, kBps);
+  EXPECT_DOUBLE_EQ(stats[1].peak_util, 0.5);
+  // No cross-rack traffic: uplinks stayed dark.
+  EXPECT_DOUBLE_EQ(stats[static_cast<std::size_t>(topo.uplink(0))].bytes,
+                   0.0);
+  EXPECT_DOUBLE_EQ(net.bytes_carried(), 2.0 * kBps);
+}
+
+TEST(FlowNetTest, AdvanceBetweenMembershipChangesIsPiecewiseLinear) {
+  const Topology topo = tiny();
+  FlowNet net(topo);
+  net.start(0, 1, kBps * 4.0, FlowKind::Shuffle, 0, 0.0);
+  net.next_completion_s();
+  net.advance_to(1.0);
+  // A second flow on the same bottleneck halves the rate from t = 1.
+  net.start(0, 2, kBps * 10.0, FlowKind::Shuffle, 1, 1.0);
+  // Flow 0 has 3 * kBps left at kBps / 2: completes at t = 7.
+  EXPECT_DOUBLE_EQ(net.next_completion_s(), 7.0);
+}
+
+TEST(FlowNetTest, RejectsIdealTopologyAndLocalFlows) {
+  const Topology flat = Topology::flat(4);
+  EXPECT_THROW(FlowNet{flat}, ecost::InvariantError);
+  const Topology topo = tiny();
+  FlowNet net(topo);
+  EXPECT_THROW(net.start(2, 2, 1.0, FlowKind::Shuffle, 0, 0.0),
+               ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::sim

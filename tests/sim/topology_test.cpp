@@ -1,0 +1,98 @@
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace ecost::sim {
+namespace {
+
+TEST(TopologyTest, FlatIsOneIdealRack) {
+  const Topology t = Topology::flat(8);
+  EXPECT_EQ(t.nodes(), 8);
+  EXPECT_EQ(t.racks(), 1);
+  EXPECT_EQ(t.nodes_per_rack(), 8);
+  EXPECT_TRUE(t.ideal());
+  EXPECT_DOUBLE_EQ(t.oversubscription(), 0.0);
+  for (int n = 0; n < 8; ++n) EXPECT_EQ(t.rack_of(n), 0);
+  EXPECT_TRUE(std::isinf(t.link(t.access_link(3)).bytes_per_s));
+}
+
+TEST(TopologyTest, RackedShapeAndLinkTable) {
+  const Topology t = Topology::racked(4, 16);  // 10 Gbps / 40 Gbps defaults
+  EXPECT_EQ(t.nodes(), 64);
+  EXPECT_EQ(t.racks(), 4);
+  EXPECT_EQ(t.nodes_per_rack(), 16);
+  EXPECT_FALSE(t.ideal());
+  EXPECT_EQ(t.link_count(), 64 + 4);
+  EXPECT_EQ(t.rack_of(0), 0);
+  EXPECT_EQ(t.rack_of(15), 0);
+  EXPECT_EQ(t.rack_of(16), 1);
+  EXPECT_EQ(t.rack_of(63), 3);
+  // 16 nodes x 10 Gbps behind a 40 Gbps uplink.
+  EXPECT_DOUBLE_EQ(t.oversubscription(), 4.0);
+  EXPECT_DOUBLE_EQ(t.link(t.access_link(5)).bytes_per_s, 10e9 / 8.0);
+  EXPECT_DOUBLE_EQ(t.link(t.uplink(2)).bytes_per_s, 40e9 / 8.0);
+}
+
+TEST(TopologyTest, PathsCrossTheExpectedLinks) {
+  const Topology t = Topology::racked(2, 4);
+
+  EXPECT_EQ(t.path(3, 3).count, 0);  // node-local: no links
+
+  const LinkPath same_rack = t.path(0, 2);
+  ASSERT_EQ(same_rack.count, 2);
+  EXPECT_EQ(same_rack.link[0], t.access_link(0));
+  EXPECT_EQ(same_rack.link[1], t.access_link(2));
+
+  const LinkPath cross = t.path(1, 6);
+  ASSERT_EQ(cross.count, 4);
+  EXPECT_EQ(cross.link[0], t.access_link(1));
+  EXPECT_EQ(cross.link[1], t.uplink(0));
+  EXPECT_EQ(cross.link[2], t.uplink(1));
+  EXPECT_EQ(cross.link[3], t.access_link(6));
+}
+
+TEST(TopologyTest, ReplicaTargetIsOffRackWhenPossible) {
+  const Topology racked = Topology::racked(4, 16);
+  for (int n = 0; n < racked.nodes(); ++n) {
+    const int r = racked.replica_target(n);
+    EXPECT_NE(racked.rack_of(r), racked.rack_of(n)) << "node " << n;
+  }
+  EXPECT_EQ(racked.replica_target(0), 16);
+  EXPECT_EQ(racked.replica_target(63), 15);  // wraps to rack 0
+
+  const Topology flat = Topology::flat(8);
+  for (int n = 0; n < 8; ++n) {
+    EXPECT_EQ(flat.replica_target(n), (n + 1) % 8);
+  }
+  EXPECT_EQ(Topology::flat(1).replica_target(0), 0);
+}
+
+TEST(TopologyTest, PresetsResolveAndUnknownThrows) {
+  std::set<int> sizes;
+  for (const std::string& name : Topology::preset_names()) {
+    const Topology t = Topology::preset(name);
+    EXPECT_GE(t.nodes(), 8) << name;
+    sizes.insert(t.nodes());
+  }
+  EXPECT_TRUE(sizes.count(8));
+  EXPECT_TRUE(sizes.count(64));
+  EXPECT_TRUE(sizes.count(1024));
+  EXPECT_TRUE(sizes.count(4096));
+  EXPECT_TRUE(Topology::preset("flat8").ideal());
+  EXPECT_FALSE(Topology::preset("r256").ideal());
+  EXPECT_THROW(Topology::preset("r7"), ecost::InvariantError);
+}
+
+TEST(TopologyTest, InvalidShapesThrow) {
+  EXPECT_THROW(Topology::flat(0), ecost::InvariantError);
+  EXPECT_THROW(Topology::racked(0, 4), ecost::InvariantError);
+  EXPECT_THROW(Topology::racked(4, 0), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::sim

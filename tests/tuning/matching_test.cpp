@@ -53,5 +53,52 @@ TEST(MatchingTest, RejectsOddOrOversizedInputs) {
   EXPECT_THROW(min_cost_perfect_matching(22, cost), ecost::InvariantError);
 }
 
+TEST(MatchingTest, GreedyCoversEveryItemBeyondTheExactLimit) {
+  const std::size_t n = 200;  // far past the bitmask solver's 20-item cap
+  const PairCostFn cost = [](std::size_t i, std::size_t j) {
+    return static_cast<double>((i * 31 + j * 17) % 101);
+  };
+  const auto pairs = greedy_min_cost_matching(n, cost);
+  ASSERT_EQ(pairs.size(), n / 2);
+  std::vector<int> seen(n, 0);
+  for (const auto& [a, b] : pairs) {
+    ASSERT_LT(a, n);
+    ASSERT_LT(b, n);
+    EXPECT_LT(a, b);
+    ++seen[a];
+    ++seen[b];
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(seen[i], 1) << i;
+  EXPECT_EQ(pairs, greedy_min_cost_matching(n, cost));  // deterministic
+}
+
+TEST(MatchingTest, GreedyTakesTheCheapestPairsFirst) {
+  // Costs make {0,1} and {2,3} the obvious greedy picks.
+  const PairCostFn cost = [](std::size_t i, std::size_t j) {
+    if (i == 0 && j == 1) return 0.0;
+    if (i == 2 && j == 3) return 1.0;
+    return 100.0;
+  };
+  const auto pairs = greedy_min_cost_matching(4, cost);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(pairs[1], (std::pair<std::size_t, std::size_t>{2, 3}));
+}
+
+TEST(MatchingTest, GreedyAgreesWithExactOnUniformCosts) {
+  // With all-equal costs any perfect matching is optimal; both solvers
+  // must produce one (and the same total cost).
+  const PairCostFn cost = [](std::size_t, std::size_t) { return 2.0; };
+  const auto exact = min_cost_perfect_matching(8, cost);
+  const auto greedy = greedy_min_cost_matching(8, cost);
+  EXPECT_DOUBLE_EQ(pair_sum(exact, cost), pair_sum(greedy, cost));
+}
+
+TEST(MatchingTest, GreedyRejectsOddInputs) {
+  const PairCostFn cost = [](std::size_t, std::size_t) { return 1.0; };
+  EXPECT_THROW(greedy_min_cost_matching(5, cost), ecost::InvariantError);
+  EXPECT_THROW(greedy_min_cost_matching(0, cost), ecost::InvariantError);
+}
+
 }  // namespace
 }  // namespace ecost::tuning

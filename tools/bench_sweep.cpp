@@ -8,7 +8,14 @@
 // eight policies (SM/MNM1/MNM2/SNM/CBM/PTM/ECoST/UB) executed as
 // dispatchers through the unified ClusterEngine, per scenario.
 //
+// A fourth phase — enabled by --topology — scales the runtime past the
+// 8-node testbed: WS8's class mix, cycled to one job per four nodes, runs
+// through all eight policies on a racked topology (ToR/core links, shuffle
+// and replication flows). It reports per-policy makespan/energy/events and
+// the calendar throughput (cluster.events_per_s) that check_bench gates.
+//
 // Usage: bench_sweep [--quick] [--threads=auto|N] [--out=BENCH_sweep.json]
+//                    [--topology=NAME] [--scale-only]
 //                    [--trace-out=FILE] [--metrics-out=FILE]
 //   --quick        one input size, smaller reservoirs, fig9 on WS8 only
 //                  (CI smoke)
@@ -16,6 +23,10 @@
 //                  auto (default) sizes the pool to hardware_concurrency,
 //                  N pins it to exactly N so reports stay comparable
 //                  across runs on the same machine
+//   --topology     run the scale study on a topology preset (flat8, r64,
+//                  r256, r1024, r4096)
+//   --scale-only   skip the pipeline/fig9 phases; requires --topology
+//                  (the CI scale-smoke configuration)
 //   --trace-out    record a Chrome trace of the fig9 policy runs (one track
 //                  per scenario/policy) plus host-side pool/cache activity;
 //                  open the file in chrome://tracing or ui.perfetto.dev
@@ -37,6 +48,7 @@
 #include "mapreduce/eval_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/topology.hpp"
 #include "tuning/brute_force.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -134,6 +146,75 @@ std::string json_double(double v) {
   return buf;
 }
 
+struct ScalePolicyRow {
+  std::string policy;
+  double makespan_s = 0.0;
+  double energy_dyn_j = 0.0;
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+};
+
+struct ScaleReport {
+  std::string topology;
+  int nodes = 0;
+  int racks = 0;
+  double oversubscription = 0.0;
+  std::size_t jobs = 0;
+  std::vector<ScalePolicyRow> rows;
+  double wall_s = 0.0;
+  std::uint64_t events = 0;
+
+  double events_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+};
+
+/// Scale study: WS8's class mix, cycled to one job per four nodes, through
+/// every policy on `topo`. The events/s figure is the calendar throughput
+/// the indexed event queue buys — the number check_bench gates.
+ScaleReport run_scale_study(const mapreduce::NodeEvaluator& eval,
+                            const sim::Topology& topo,
+                            const core::TrainingData& td,
+                            const core::SelfTuner& stp,
+                            obs::TraceRecorder* trace) {
+  ScaleReport rep;
+  rep.topology = topo.name();
+  rep.nodes = topo.nodes();
+  rep.racks = topo.racks();
+  rep.oversubscription = topo.oversubscription();
+  const auto& ws = workloads::scenario_by_name("WS8");
+  const std::size_t n_jobs = workloads::scaled_job_count(topo.nodes());
+  rep.jobs = n_jobs;
+  core::MappingPolicies mp(eval, ws.scaled_jobs(1.0, n_jobs), topo);
+  if (trace != nullptr) {
+    mp.set_obs(trace, nullptr, "scale/" + topo.name() + "/");
+  }
+  const auto run_one = [&](auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::PolicyResult r = fn();
+    const double wall = seconds_since(t0);
+    rep.rows.push_back(
+        {r.policy, r.makespan_s, r.energy_dyn_j, r.events, wall});
+    rep.wall_s += wall;
+    rep.events += r.events;
+    std::cout << "  " << r.policy << ": makespan "
+              << json_double(r.makespan_s) << " s, " << r.events
+              << " events in " << json_double(wall) << " s wall\n";
+  };
+  run_one([&] { return mp.serial_mapping(); });
+  run_one([&] { return mp.multi_node(2); });
+  run_one([&] { return mp.multi_node(4); });
+  run_one([&] { return mp.single_node(); });
+  run_one([&] { return mp.core_balance(); });
+  run_one([&] { return mp.predict_tuning(td); });
+  run_one([&] { return mp.ecost(td, stp); });
+  run_one([&] { return mp.upper_bound(); });
+  obs::MetricsRegistry::global()
+      .gauge("cluster.events_per_s")
+      .set(rep.events_per_s());
+  return rep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -141,10 +222,16 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string threads_arg = "auto";
+  std::string topo_name;
   bool quick = false;
+  bool scale_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--scale-only") == 0) {
+      scale_only = true;
+    } else if (std::strncmp(argv[i], "--topology=", 11) == 0) {
+      topo_name = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -155,9 +242,14 @@ int main(int argc, char** argv) {
       metrics_path = argv[i] + 14;
     } else {
       std::cerr << "usage: bench_sweep [--quick] [--threads=auto|N]"
-                   " [--out=FILE] [--trace-out=FILE] [--metrics-out=FILE]\n";
+                   " [--out=FILE] [--topology=NAME] [--scale-only]"
+                   " [--trace-out=FILE] [--metrics-out=FILE]\n";
       return 2;
     }
+  }
+  if (scale_only && topo_name.empty()) {
+    std::cerr << "bench_sweep: --scale-only requires --topology=NAME\n";
+    return 2;
   }
 
   // Pin the pool before anything touches it: the report's "threads" field
@@ -213,13 +305,17 @@ int main(int argc, char** argv) {
 
   // Baseline: cache disabled — every run_solo/run_pair query re-solves,
   // exactly as the pipeline executed before the sweep-engine overhaul.
-  EvalCache::Options off;
-  off.enabled = false;
-  EvalCache baseline_cache(eval, off);
-  std::cout << "baseline (cache disabled)...\n";
-  const PhaseTimes base = run_pipeline(baseline_cache, opts);
-  std::cout << "  build " << json_double(base.build_s) << " s, colao "
-            << json_double(base.colao_s) << " s\n";
+  // Skipped in --scale-only mode, which only needs the training data.
+  PhaseTimes base;
+  if (!scale_only) {
+    EvalCache::Options off;
+    off.enabled = false;
+    EvalCache baseline_cache(eval, off);
+    std::cout << "baseline (cache disabled)...\n";
+    base = run_pipeline(baseline_cache, opts);
+    std::cout << "  build " << json_double(base.build_s) << " s, colao "
+              << json_double(base.colao_s) << " s\n";
+  }
 
   // Tuned: one shared cache across both stages. The grid-stage counters
   // and the solver's iteration histogram are process-global and already
@@ -242,13 +338,17 @@ int main(int argc, char** argv) {
 
   EvalCache cache(eval);
   cache.set_trace(trace_p);
-  std::cout << "tuned (cache enabled)...\n";
-  const PhaseTimes tuned = run_pipeline(cache, opts);
-  std::cout << "  build " << json_double(tuned.build_s) << " s, colao "
-            << json_double(tuned.colao_s) << " s\n";
+  PhaseTimes tuned;
+  if (!scale_only) {
+    std::cout << "tuned (cache enabled)...\n";
+    tuned = run_pipeline(cache, opts);
+    std::cout << "  build " << json_double(tuned.build_s) << " s, colao "
+              << json_double(tuned.colao_s) << " s\n";
+  }
 
   const EvalCache::Stats st = cache.stats();
-  const double speedup = base.total_s() / tuned.total_s();
+  const double speedup =
+      tuned.total_s() > 0.0 ? base.total_s() / tuned.total_s() : 0.0;
   const std::uint64_t grid_pair = c_pair_grids.value() - g0_pair;
   const std::uint64_t grid_solo = c_solo_grids.value() - g0_solo;
   const std::uint64_t grid_lanes = c_lanes.value() - g0_lanes;
@@ -267,87 +367,131 @@ int main(int argc, char** argv) {
   const double grid_hit_rate =
       grid_lookups == 0 ? 0.0 : static_cast<double>(st.grid_hits) /
                                     static_cast<double>(grid_lookups);
-  std::cout << "cache hit rate " << json_double(st.hit_rate())
-            << ", grid surface hit rate " << json_double(grid_hit_rate)
-            << ", speedup " << json_double(speedup) << "x\n";
-  std::cout << "grid stage: " << grid_pair << " pair + " << grid_solo
-            << " solo surfaces, " << grid_lanes << " lanes in "
-            << json_double(grid_fill_s) << " s ("
-            << json_double(grid_lanes_per_s)
-            << " lanes/s), mean fixed-point iters "
-            << json_double(grid_mean_iters) << "\n";
-
-  // Figure-9 mapping-policy study through the unified cluster runtime.
-  std::cout << "fig9 policy study (unified engine)...\n";
-  const core::TrainingData td = core::build_training_data(cache, opts);
-  const core::MlmStp stp(core::ModelKind::RepTree, td, eval.spec());
-  std::vector<std::pair<std::string, double>> fig9;
-  double fig9_total_s = 0.0;
-  for (const auto& ws : workloads::all_scenarios()) {
-    if (quick && ws.name != "WS8") continue;
-    const double s = run_fig9_scenario(eval, ws, td, stp, trace_p);
-    std::cout << "  " << ws.name << " " << json_double(s) << " s\n";
-    fig9.emplace_back(ws.name, s);
-    fig9_total_s += s;
+  if (!scale_only) {
+    std::cout << "cache hit rate " << json_double(st.hit_rate())
+              << ", grid surface hit rate " << json_double(grid_hit_rate)
+              << ", speedup " << json_double(speedup) << "x\n";
+    std::cout << "grid stage: " << grid_pair << " pair + " << grid_solo
+              << " solo surfaces, " << grid_lanes << " lanes in "
+              << json_double(grid_fill_s) << " s ("
+              << json_double(grid_lanes_per_s)
+              << " lanes/s), mean fixed-point iters "
+              << json_double(grid_mean_iters) << "\n";
   }
 
+  const core::TrainingData td = core::build_training_data(cache, opts);
+  const core::MlmStp stp(core::ModelKind::RepTree, td, eval.spec());
+
+  // Figure-9 mapping-policy study through the unified cluster runtime.
+  std::vector<std::pair<std::string, double>> fig9;
+  double fig9_total_s = 0.0;
+  if (!scale_only) {
+    std::cout << "fig9 policy study (unified engine)...\n";
+    for (const auto& ws : workloads::all_scenarios()) {
+      if (quick && ws.name != "WS8") continue;
+      const double s = run_fig9_scenario(eval, ws, td, stp, trace_p);
+      std::cout << "  " << ws.name << " " << json_double(s) << " s\n";
+      fig9.emplace_back(ws.name, s);
+      fig9_total_s += s;
+    }
+  }
+
+  // Topology scale study: 8 policies on a racked cluster.
+  std::vector<ScaleReport> scales;
+  if (!topo_name.empty()) {
+    const sim::Topology topo = sim::Topology::preset(topo_name);
+    std::cout << "scale study on " << topo.name() << " ("
+              << topo.nodes() << " nodes, " << topo.racks() << " racks)...\n";
+    scales.push_back(run_scale_study(eval, topo, td, stp, trace_p));
+    std::cout << "  total: " << scales.back().events << " events in "
+              << json_double(scales.back().wall_s) << " s wall ("
+              << json_double(scales.back().events_per_s())
+              << " events/s)\n";
+  }
+
+  const char* mode = scale_only ? "scale" : (quick ? "quick" : "full");
   out << "{\n"
       << "  \"benchmark\": \"sweep_pipeline\",\n"
-      << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
+      << "  \"mode\": \"" << mode << "\",\n"
       << "  \"threads\": " << participants << ",\n"
       << "  \"pool_workers\": " << pool_workers << ",\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n"
-      << "  \"sizes_gib\": " << opts.sizes_gib.size() << ",\n"
-      << "  \"baseline\": {\n"
-      << "    \"build_training_data_s\": " << json_double(base.build_s)
-      << ",\n"
-      << "    \"colao_sweep_s\": " << json_double(base.colao_s) << ",\n"
-      << "    \"total_s\": " << json_double(base.total_s()) << "\n"
-      << "  },\n"
-      << "  \"tuned\": {\n"
-      << "    \"build_training_data_s\": " << json_double(tuned.build_s)
-      << ",\n"
-      << "    \"colao_sweep_s\": " << json_double(tuned.colao_s) << ",\n"
-      << "    \"total_s\": " << json_double(tuned.total_s()) << "\n"
-      << "  },\n"
-      << "  \"eval_cache\": {\n"
-      << "    \"hits\": " << json_u64(st.hits) << ",\n"
-      << "    \"misses\": " << json_u64(st.misses) << ",\n"
-      << "    \"hit_rate\": " << json_double(st.hit_rate()) << ",\n"
-      << "    \"tail_hits\": " << json_u64(st.tail_hits) << ",\n"
-      << "    \"tail_misses\": " << json_u64(st.tail_misses) << ",\n"
-      << "    \"env_hits\": " << json_u64(st.env_hits) << ",\n"
-      << "    \"env_misses\": " << json_u64(st.env_misses) << ",\n"
-      << "    \"grid_hits\": " << json_u64(st.grid_hits) << ",\n"
-      << "    \"grid_misses\": " << json_u64(st.grid_misses) << ",\n"
-      << "    \"evictions\": " << json_u64(st.evictions) << ",\n"
-      << "    \"entries\": " << cache.size() << "\n"
-      << "  },\n"
-      << "  \"grid\": {\n"
-      << "    \"pair_grids\": " << json_u64(grid_pair) << ",\n"
-      << "    \"solo_grids\": " << json_u64(grid_solo) << ",\n"
-      << "    \"lanes\": " << json_u64(grid_lanes) << ",\n"
-      << "    \"pair_grid_s\": " << json_double(grid_pair_s) << ",\n"
-      << "    \"solo_grid_s\": " << json_double(grid_solo_s) << ",\n"
-      << "    \"lanes_per_s\": " << json_double(grid_lanes_per_s) << ",\n"
-      << "    \"simd_width\": " << mapreduce::solve_lanes_simd_width()
-      << ",\n"
-      << "    \"simd_isa\": \"" << mapreduce::solve_lanes_simd_isa()
+      << "  \"topology\": \"" << (topo_name.empty() ? "none" : topo_name)
       << "\",\n"
-      << "    \"hit_rate\": " << json_double(grid_hit_rate) << ",\n"
-      << "    \"mean_fixed_point_iters\": " << json_double(grid_mean_iters)
-      << "\n"
-      << "  },\n"
-      << "  \"fig9_unified_engine\": {\n"
-      << "    \"nodes\": 4,\n"
-      << "    \"policies\": 8,\n";
-  for (const auto& [name, s] : fig9) {
-    out << "    \"" << name << "_s\": " << json_double(s) << ",\n";
+      << "  \"sizes_gib\": " << opts.sizes_gib.size() << ",\n";
+  if (!scale_only) {
+    out << "  \"baseline\": {\n"
+        << "    \"build_training_data_s\": " << json_double(base.build_s)
+        << ",\n"
+        << "    \"colao_sweep_s\": " << json_double(base.colao_s) << ",\n"
+        << "    \"total_s\": " << json_double(base.total_s()) << "\n"
+        << "  },\n"
+        << "  \"tuned\": {\n"
+        << "    \"build_training_data_s\": " << json_double(tuned.build_s)
+        << ",\n"
+        << "    \"colao_sweep_s\": " << json_double(tuned.colao_s) << ",\n"
+        << "    \"total_s\": " << json_double(tuned.total_s()) << "\n"
+        << "  },\n"
+        << "  \"eval_cache\": {\n"
+        << "    \"hits\": " << json_u64(st.hits) << ",\n"
+        << "    \"misses\": " << json_u64(st.misses) << ",\n"
+        << "    \"hit_rate\": " << json_double(st.hit_rate()) << ",\n"
+        << "    \"tail_hits\": " << json_u64(st.tail_hits) << ",\n"
+        << "    \"tail_misses\": " << json_u64(st.tail_misses) << ",\n"
+        << "    \"env_hits\": " << json_u64(st.env_hits) << ",\n"
+        << "    \"env_misses\": " << json_u64(st.env_misses) << ",\n"
+        << "    \"grid_hits\": " << json_u64(st.grid_hits) << ",\n"
+        << "    \"grid_misses\": " << json_u64(st.grid_misses) << ",\n"
+        << "    \"evictions\": " << json_u64(st.evictions) << ",\n"
+        << "    \"entries\": " << cache.size() << "\n"
+        << "  },\n"
+        << "  \"grid\": {\n"
+        << "    \"pair_grids\": " << json_u64(grid_pair) << ",\n"
+        << "    \"solo_grids\": " << json_u64(grid_solo) << ",\n"
+        << "    \"lanes\": " << json_u64(grid_lanes) << ",\n"
+        << "    \"pair_grid_s\": " << json_double(grid_pair_s) << ",\n"
+        << "    \"solo_grid_s\": " << json_double(grid_solo_s) << ",\n"
+        << "    \"lanes_per_s\": " << json_double(grid_lanes_per_s) << ",\n"
+        << "    \"simd_width\": " << mapreduce::solve_lanes_simd_width()
+        << ",\n"
+        << "    \"simd_isa\": \"" << mapreduce::solve_lanes_simd_isa()
+        << "\",\n"
+        << "    \"hit_rate\": " << json_double(grid_hit_rate) << ",\n"
+        << "    \"mean_fixed_point_iters\": " << json_double(grid_mean_iters)
+        << "\n"
+        << "  },\n"
+        << "  \"fig9_unified_engine\": {\n"
+        << "    \"nodes\": 4,\n"
+        << "    \"policies\": 8,\n";
+    for (const auto& [name, s] : fig9) {
+      out << "    \"" << name << "_s\": " << json_double(s) << ",\n";
+    }
+    out << "    \"total_s\": " << json_double(fig9_total_s) << "\n"
+        << "  },\n";
   }
-  out << "    \"total_s\": " << json_double(fig9_total_s) << "\n"
-      << "  },\n"
-      << "  \"speedup\": " << json_double(speedup) << "\n"
+  for (const ScaleReport& sc : scales) {
+    out << "  \"scale\": {\n"
+        << "    \"topology\": \"" << sc.topology << "\",\n"
+        << "    \"nodes\": " << sc.nodes << ",\n"
+        << "    \"racks\": " << sc.racks << ",\n"
+        << "    \"oversubscription\": " << json_double(sc.oversubscription)
+        << ",\n"
+        << "    \"jobs\": " << sc.jobs << ",\n"
+        << "    \"policies\": " << sc.rows.size() << ",\n";
+    for (const ScalePolicyRow& row : sc.rows) {
+      out << "    \"" << row.policy << "\": {\"makespan_s\": "
+          << json_double(row.makespan_s) << ", \"energy_dyn_j\": "
+          << json_double(row.energy_dyn_j) << ", \"events\": "
+          << json_u64(row.events) << ", \"wall_s\": "
+          << json_double(row.wall_s) << "},\n";
+    }
+    out << "    \"events\": " << json_u64(sc.events) << ",\n"
+        << "    \"wall_s\": " << json_double(sc.wall_s) << ",\n"
+        << "    \"events_per_s\": " << json_double(sc.events_per_s()) << "\n"
+        << "  },\n";
+  }
+  out << "  \"speedup\": " << json_double(speedup) << "\n"
       << "}\n";
   std::cout << "wrote " << out_path << "\n";
 

@@ -18,12 +18,22 @@ Checks (relative, +/- tolerance band):
                                     the grid stage; catches a vectorization
                                     or codegen regression directly
 
+Scale reports (bench_sweep --scale-only --topology=NAME, mode "scale")
+are gated on the cluster runtime itself:
+  * scale.events_per_s           -- calendar throughput of the event-driven
+                                    engine across the 8-policy study
+  * scale.events                 -- total events fired; the engine is
+                                    deterministic, so any drift here is a
+                                    behavior change, not noise (exact match)
+
 Reports from different machines or configurations are not comparable:
-the gate refuses (exit 2) when the benchmark mode (--quick vs full),
-the thread count, or the kernel's SIMD ISA / vector width differs
-between the two reports, instead of producing a nonsense verdict.
-Regenerate the baseline on the matching configuration, or rerun with
---update to overwrite it with CURRENT.
+the gate refuses (exit 2) when the benchmark mode (--quick vs full vs
+scale), the cluster topology (--topology=), the thread count, or the
+kernel's SIMD ISA / vector width differs between the two reports,
+instead of producing a nonsense verdict. A 64-node rack study says
+nothing about a 4096-node one, so cross-topology comparisons are always
+refused. Regenerate the baseline on the matching configuration, or
+rerun with --update to overwrite it with CURRENT.
 
 Exit codes: 0 ok, 1 regression, 2 incomparable / bad input.
 """
@@ -99,6 +109,16 @@ def main() -> int:
     base_mode = base.get("mode")
     if cur_mode != base_mode:
         refuse(f"mode mismatch: current '{cur_mode}' vs baseline '{base_mode}'")
+    # A report on one rack topology is incomparable with another: event
+    # counts, flow contention, and thus throughput all change shape.
+    # Older baselines predate the field; treat absence as "none".
+    cur_topo = cur.get("topology", "none")
+    base_topo = base.get("topology", "none")
+    if cur_topo != base_topo:
+        refuse(
+            f"topology mismatch: current '{cur_topo}' vs baseline"
+            f" '{base_topo}'"
+        )
     cur_threads = cur.get("threads")
     base_threads = base.get("threads")
     if cur_threads != base_threads:
@@ -117,13 +137,28 @@ def main() -> int:
                 f" '{base_v}'"
             )
 
-    checks = [
-        ("tuned.total_s", "lower-is-better"),
-        ("grid.hit_rate", "higher-is-better"),
-        ("grid.mean_fixed_point_iters", "lower-is-better"),
-        ("grid.lanes_per_s", "higher-is-better"),
-    ]
     failed = False
+    if cur_mode == "scale":
+        # The engine is deterministic: same topology + job stream must
+        # fire the same calendar events. Drift is a behavior change.
+        c_ev = pick(cur, "scale.events", args.current)
+        b_ev = pick(base, "scale.events", args.baseline)
+        if c_ev != b_ev:
+            print(
+                f"check_bench: scale.events: current={c_ev:.0f}"
+                f" baseline={b_ev:.0f} (exact-match, determinism) FAIL"
+            )
+            failed = True
+        else:
+            print(f"check_bench: scale.events: {c_ev:.0f} == baseline ok")
+        checks = [("scale.events_per_s", "higher-is-better")]
+    else:
+        checks = [
+            ("tuned.total_s", "lower-is-better"),
+            ("grid.hit_rate", "higher-is-better"),
+            ("grid.mean_fixed_point_iters", "lower-is-better"),
+            ("grid.lanes_per_s", "higher-is-better"),
+        ]
     for path, direction in checks:
         c = pick(cur, path, args.current)
         b = pick(base, path, args.baseline)

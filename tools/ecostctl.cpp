@@ -11,6 +11,11 @@
 //                                          Chrome trace of every policy run
 //                                          (open in chrome://tracing or
 //                                          https://ui.perfetto.dev)
+//   ecostctl topo <PRESET> [WS#]           rack/link table of a topology
+//                                          preset, plus per-link traffic and
+//                                          peak utilization from a finished
+//                                          cluster run (default WS8)
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -18,6 +23,7 @@
 
 #include "core/db_io.hpp"
 #include "core/dataset_builder.hpp"
+#include "core/dispatchers/spread.hpp"
 #include "core/mapping_policies.hpp"
 #include "core/profiling.hpp"
 #include "core/stp.hpp"
@@ -212,6 +218,68 @@ int cmd_trace(const std::string& ws, int nodes, const std::string& out_path,
   return 0;
 }
 
+int cmd_topo(const std::string& preset, const std::string& ws_name) {
+  const sim::Topology topo = sim::Topology::preset(preset);
+  std::cout << "topology " << topo.name() << ": " << topo.nodes()
+            << " nodes in " << topo.racks() << " rack(s), "
+            << topo.nodes_per_rack() << " nodes/rack, oversubscription "
+            << Table::num(topo.oversubscription(), 1) << "x\n";
+  if (topo.ideal()) {
+    std::cout << "ideal fabric: infinite link capacity, no flows are "
+                 "modeled (nothing to report)\n";
+    return 0;
+  }
+
+  // One network-heavy reference run: the untuned serial mapping gangs
+  // every job across the whole cluster, so all rack uplinks carry shuffle
+  // and replication traffic. No training sweep is needed.
+  const mapreduce::NodeEvaluator eval;
+  const auto& scenario = workloads::scenario_by_name(ws_name);
+  const auto jobs =
+      scenario.scaled_jobs(1.0, workloads::scaled_job_count(topo.nodes()));
+  const mapreduce::AppConfig cfg{sim::FreqLevel::F2_4, 128, 8};
+  std::vector<core::dispatchers::SpreadEntry> entries;
+  entries.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    core::QueuedJob qj;
+    qj.id = i;
+    qj.info.job = jobs[i];
+    entries.push_back(core::dispatchers::SpreadEntry{std::move(qj), cfg});
+  }
+  core::dispatchers::SpreadDispatcher d(std::move(entries), topo.nodes());
+  core::ClusterEngine engine(eval, topo, 2);
+  const core::ClusterOutcome oc = engine.run(d);
+  std::cout << "reference run: " << scenario.name << " x" << jobs.size()
+            << " jobs, serial mapping: makespan "
+            << Table::num(oc.makespan_s, 1) << " s, " << oc.events
+            << " calendar events\n";
+
+  constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+  Table up({"link", "capacity", "carried [GiB]", "peak util"});
+  for (int r = 0; r < topo.racks(); ++r) {
+    const sim::LinkStats& ls =
+        oc.links[static_cast<std::size_t>(topo.uplink(r))];
+    up.add_row({ls.name, Table::num(ls.bytes_per_s * 8.0 / 1e9, 0) + " Gbps",
+                Table::num(ls.bytes / kGiB, 2),
+                Table::num(ls.peak_util * 100.0, 1) + "%"});
+  }
+  up.print(std::cout);
+
+  double acc_bytes = 0.0;
+  double acc_peak = 0.0;
+  for (int i = 0; i < topo.nodes(); ++i) {
+    const sim::LinkStats& ls = oc.links[static_cast<std::size_t>(i)];
+    acc_bytes += ls.bytes;
+    acc_peak = std::max(acc_peak, ls.peak_util);
+  }
+  std::cout << topo.nodes() << " access links ("
+            << Table::num(topo.link(0).bytes_per_s * 8.0 / 1e9, 0)
+            << " Gbps each): " << Table::num(acc_bytes / kGiB, 2)
+            << " GiB carried, busiest peak util "
+            << Table::num(acc_peak * 100.0, 1) << "%\n";
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage:\n"
                "  ecostctl apps\n"
@@ -222,7 +290,9 @@ int usage() {
                "  ecostctl predict <APP_A> <APP_B> <GIB> <DB_FILE>\n"
                "  ecostctl schedule <WS1..WS8> <NODES>\n"
                "  ecostctl trace <WS1..WS8> <NODES> [--out=trace.json]"
-               " [--metrics-out=FILE]\n";
+               " [--metrics-out=FILE]\n"
+               "  ecostctl topo <PRESET> [WS1..WS8]   (presets: flat8, r64,"
+               " r256, r1024, r4096)\n";
   return 2;
 }
 
@@ -257,6 +327,9 @@ int main(int argc, char** argv) {
         }
       }
       return cmd_trace(argv[2], std::atoi(argv[3]), out_path, metrics_path);
+    }
+    if (cmd == "topo" && (argc == 3 || argc == 4)) {
+      return cmd_topo(argv[2], argc == 4 ? argv[3] : "WS8");
     }
     return usage();
   } catch (const std::exception& e) {
