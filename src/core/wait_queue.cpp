@@ -1,5 +1,7 @@
 #include "core/wait_queue.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace ecost::core {
@@ -18,6 +20,30 @@ std::optional<QueuedJob> WaitQueue::pop_head() {
   if (jobs_.empty()) return std::nullopt;
   QueuedJob job = std::move(jobs_.front());
   jobs_.pop_front();
+  return job;
+}
+
+std::optional<double> WaitQueue::oldest_submit_s() const {
+  if (jobs_.empty()) return std::nullopt;
+  double oldest = jobs_.front().submit_s;
+  for (const QueuedJob& j : jobs_) oldest = std::min(oldest, j.submit_s);
+  return oldest;
+}
+
+std::optional<QueuedJob> WaitQueue::pop_overdue(double now_s,
+                                                double deadline_s) {
+  if (jobs_.empty()) return std::nullopt;
+  std::size_t best_idx = 0;
+  for (std::size_t i = 1; i < jobs_.size(); ++i) {
+    if (jobs_[i].submit_s < jobs_[best_idx].submit_s) best_idx = i;
+  }
+  // A hair of slack absorbs the engine's event-time rounding: a wake-up
+  // scheduled at exactly submit + deadline must count as overdue.
+  if (now_s - jobs_[best_idx].submit_s < deadline_s - 1e-9) {
+    return std::nullopt;
+  }
+  QueuedJob job = std::move(jobs_[best_idx]);
+  jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(best_idx));
   return job;
 }
 

@@ -18,6 +18,7 @@ struct QueuedJob {
   std::uint64_t id = 0;
   AppInfo info;
   double est_duration_s = 0.0;  ///< estimate from the learning-period model
+  double submit_s = 0.0;        ///< when the job reached the datacenter
 };
 
 class WaitQueue {
@@ -42,6 +43,18 @@ class WaitQueue {
   std::optional<QueuedJob> pop_for(mapreduce::AppClass running_cls,
                                    double co_runner_remaining_s,
                                    const PairingPolicy& policy);
+
+  /// Earliest submit time across all queued jobs (the job closest to its
+  /// admission deadline). Empty queue -> nullopt.
+  std::optional<double> oldest_submit_s() const;
+
+  /// Deadline escalation for the streaming daemon: pops the job that has
+  /// been waiting longest — earliest `submit_s`, FIFO position breaking
+  /// ties — but only if its wait at `now_s` has reached `deadline_s`.
+  /// Leap-forward eligibility does not apply: an overdue job is placed
+  /// regardless of its length, which is exactly how large gangs escape the
+  /// starvation that class-ranked backfilling would otherwise inflict.
+  std::optional<QueuedJob> pop_overdue(double now_s, double deadline_s);
 
  private:
   std::deque<QueuedJob> jobs_;

@@ -1,0 +1,103 @@
+#include "serve/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ecost::serve {
+
+namespace {
+
+/// Exact quantile over the decision latencies (nearest-rank); the metrics
+/// histogram keeps its interpolated estimate for live export, but the
+/// report gates on the true distribution.
+double exact_quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto idx = static_cast<std::size_t>(q * (n - 1.0) + 0.5);
+  idx = std::min(idx, sorted.size() - 1);
+  return sorted[idx];
+}
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(const mapreduce::NodeEvaluator& eval,
+                         mapreduce::EvalCache& cache,
+                         const core::TrainingData& td,
+                         const core::SelfTuner& stp, DaemonOptions opts)
+    : eval_(eval), cache_(cache), td_(td), stp_(stp), opts_(opts) {
+  ECOST_REQUIRE(opts_.nodes >= 1, "daemon needs at least one node");
+  ECOST_REQUIRE(opts_.slots_per_node >= 1, "need at least one slot per node");
+  ECOST_REQUIRE(opts_.submit_capacity >= 1, "submit capacity must be >= 1");
+}
+
+void ServeDaemon::set_obs(obs::TraceRecorder* trace, std::uint32_t pid,
+                          obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  pid_ = pid;
+  metrics_ = metrics;
+}
+
+ServeReport ServeDaemon::run_trace(
+    std::span<const workloads::Arrival> arrivals) {
+  SubmitQueue queue(opts_.submit_capacity);
+  StreamDispatcher disp(eval_, cache_, td_, stp_, queue, opts_.serve);
+  core::ClusterEngine engine(eval_, opts_.nodes, opts_.slots_per_node);
+  engine.set_obs(trace_, pid_);
+  if (metrics_ != nullptr) engine.set_metrics(metrics_);
+
+  // The feeder stands in for the network front end: it replays the trace in
+  // order and blocks whenever the bounded queue applies backpressure. The
+  // dispatcher's lookahead barrier makes the hand-off pace unobservable in
+  // simulated time, so this thread may run as fast or slow as it likes.
+  std::thread feeder([&queue, arrivals] {
+    std::uint64_t id = 0;
+    for (const workloads::Arrival& a : arrivals) {
+      Submission s;
+      s.id = ++id;
+      s.arrival_s = a.t_s;
+      s.job = mapreduce::JobSpec::of_gib(a.app, a.gib);
+      if (!queue.submit(std::move(s))) break;
+    }
+    queue.close();
+  });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ServeReport report;
+  try {
+    report.outcome = engine.run(disp);
+  } catch (...) {
+    // Unblock and collect the feeder before unwinding, or the joinable
+    // thread's destructor would terminate the process and eat the error.
+    queue.close();
+    feeder.join();
+    throw;
+  }
+  report.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  feeder.join();
+
+  report.stats = disp.stats();
+  report.jobs = arrivals.size();
+  report.producer_blocked = queue.blocked();
+  report.decisions.assign(disp.decisions().begin(), disp.decisions().end());
+
+  std::vector<double> waits;
+  waits.reserve(report.decisions.size());
+  for (const auto& d : report.decisions) waits.push_back(d.waited_s);
+  std::sort(waits.begin(), waits.end());
+  report.p50_admission_s = exact_quantile(waits, 0.5);
+  report.p99_admission_s = exact_quantile(waits, 0.99);
+  report.max_admission_s = waits.empty() ? 0.0 : waits.back();
+  report.decisions_per_s =
+      report.wall_s > 0.0
+          ? static_cast<double>(report.stats.decisions()) / report.wall_s
+          : 0.0;
+  return report;
+}
+
+}  // namespace ecost::serve

@@ -1,0 +1,84 @@
+// ecostd's engine room: owns the submission queue, the streaming
+// dispatcher, and one ClusterEngine run per replayed trace, with a feeder
+// thread standing in for the network front end. The daemon is the
+// integration point the `ecostd` binary and `ecostctl serve` wrap: callers
+// hand it a pre-generated arrival trace (workloads::ArrivalProcess output)
+// and get back a ServeReport combining the engine outcome with the
+// admission-latency distribution and decision-throughput numbers that CI
+// gates.
+//
+// Determinism contract: the report's simulated-time fields (decision
+// counts, admission latencies, makespan, energy, events) depend only on
+// the trace, the training data, and the serve options — never on feeder
+// pace or host load. Only wall_s and decisions_per_s are wall-clock
+// measurements.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/cluster_engine.hpp"
+#include "serve/stream_dispatcher.hpp"
+#include "workloads/arrivals.hpp"
+
+namespace ecost::serve {
+
+struct DaemonOptions {
+  int nodes = 8;
+  int slots_per_node = 2;
+  /// SubmitQueue capacity — how far (in submissions) the front end may run
+  /// ahead of the scheduling loop before submit() blocks.
+  std::size_t submit_capacity = 256;
+  ServeOptions serve;
+};
+
+/// Everything one serve run produced, simulated and measured.
+struct ServeReport {
+  core::ClusterOutcome outcome;  ///< makespan, energy, events, placements
+  StreamDispatcher::Stats stats;
+  std::uint64_t jobs = 0;        ///< submissions replayed
+  std::uint64_t producer_blocked = 0;  ///< submits that hit backpressure
+
+  // Admission latency (simulated seconds), exact over all decisions.
+  double p50_admission_s = 0.0;
+  double p99_admission_s = 0.0;
+  double max_admission_s = 0.0;
+
+  // Wall-clock throughput of the scheduling loop (host-dependent).
+  double wall_s = 0.0;
+  double decisions_per_s = 0.0;
+
+  std::vector<StreamDispatcher::Decision> decisions;  ///< time order
+};
+
+class ServeDaemon {
+ public:
+  /// Borrows everything; all must outlive the daemon.
+  ServeDaemon(const mapreduce::NodeEvaluator& eval, mapreduce::EvalCache& cache,
+              const core::TrainingData& td, const core::SelfTuner& stp,
+              DaemonOptions opts = {});
+
+  /// Observability sinks for the engine run and the dispatcher's decision
+  /// events (same contract as ClusterEngine::set_obs).
+  void set_obs(obs::TraceRecorder* trace, std::uint32_t pid,
+               obs::MetricsRegistry* metrics = nullptr);
+
+  /// Replays one arrival trace end to end: a feeder thread submits each
+  /// arrival through the bounded queue (blocking under backpressure, closing
+  /// the stream after the last), while the engine drives the streaming
+  /// dispatcher on this thread until the cluster drains.
+  ServeReport run_trace(std::span<const workloads::Arrival> arrivals);
+
+ private:
+  const mapreduce::NodeEvaluator& eval_;
+  mapreduce::EvalCache& cache_;
+  const core::TrainingData& td_;
+  const core::SelfTuner& stp_;
+  DaemonOptions opts_;
+  obs::TraceRecorder* trace_ = nullptr;
+  std::uint32_t pid_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace ecost::serve

@@ -1,0 +1,392 @@
+#include "serve/stream_dispatcher.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "core/profiling.hpp"
+#include "perfmon/perf_sampler.hpp"
+#include "util/error.hpp"
+
+namespace ecost::serve {
+
+using core::AppInfo;
+using core::Placement;
+using core::QueuedJob;
+using core::RunningJob;
+using mapreduce::AppConfig;
+using mapreduce::PairConfig;
+
+namespace {
+constexpr double kEps = 1e-9;
+const AppConfig kDefaultCfg{sim::FreqLevel::F2_4, 128, 8};
+
+// Bucket edges of the admission-latency histogram (simulated seconds).
+std::vector<double> admission_bounds() {
+  return {1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0, 14400.0};
+}
+}  // namespace
+
+StreamDispatcher::StreamDispatcher(const mapreduce::NodeEvaluator& eval,
+                                   mapreduce::EvalCache& cache,
+                                   const core::TrainingData& td,
+                                   const core::SelfTuner& stp,
+                                   SubmitQueue& queue, ServeOptions opts)
+    : eval_(eval),
+      cache_(cache),
+      td_(td),
+      stp_(&stp),
+      submissions_(queue),
+      opts_(opts) {
+  ECOST_REQUIRE(opts_.deadline_s > 0.0, "admission deadline must be positive");
+  ECOST_REQUIRE(opts_.queue_limit >= 2,
+                "queue limit must admit at least one pair");
+  ECOST_REQUIRE(opts_.tuner_cost_s >= 0.0, "tuner cost must be non-negative");
+  ECOST_REQUIRE(opts_.tuner_budget_s >= 0.0,
+                "tuner budget must be non-negative");
+  ECOST_REQUIRE(opts_.classify_runs >= 1, "classification needs >= 1 run");
+}
+
+void StreamDispatcher::ensure_lookahead(double now_s) const {
+  // Wait until the producer has shown us an arrival beyond `now` (or hung
+  // up): only then is the set of due submissions complete, and only then
+  // may a decision be made. This barrier is what makes the simulated
+  // trajectory independent of feeder pace and drain chunking.
+  while (!stream_done_ &&
+         (lookahead_.empty() || lookahead_.back().arrival_s <= now_s)) {
+    drain_buf_.clear();
+    if (!submissions_.wait_drain(drain_buf_)) {
+      stream_done_ = true;
+      break;
+    }
+    for (Submission& s : drain_buf_) {
+      ECOST_REQUIRE(
+          lookahead_.empty() || s.arrival_s >= lookahead_.back().arrival_s,
+          "submissions must arrive in nondecreasing time order");
+      lookahead_.push_back(std::move(s));
+    }
+  }
+}
+
+core::QueuedJob StreamDispatcher::classify(const Submission& s) {
+  const auto t0 = std::chrono::steady_clock::now();
+  // Ground-truth learning-period signature, one solo probe run per distinct
+  // application (memoized — the stream repeats the same apps endlessly).
+  const std::uint64_t digest = mapreduce::app_digest(s.job.app);
+  auto it = truth_.find(digest);
+  if (it == truth_.end()) {
+    const core::ProfilingOptions popts;
+    it = truth_
+             .emplace(digest,
+                      core::profile_application_exact(eval_, s.job.app, popts))
+             .first;
+  }
+  // First counter samples: a seeded multiplexed PMU pass over the truth.
+  perfmon::PerfSampler sampler(opts_.profile_seed ^
+                               (s.id * 0x9E3779B97F4A7C15ULL));
+  QueuedJob qj;
+  qj.id = s.id;
+  qj.info.job = s.job;
+  qj.info.features = sampler.sample_averaged(it->second, opts_.classify_runs);
+  qj.info.cls = td_.classifier.classify(qj.info.features);
+  qj.est_duration_s = cache_.run_solo(s.job, kDefaultCfg).makespan_s;
+  qj.submit_s = s.arrival_s;
+  metrics_->counter("serve.classified").add();
+  metrics_->counter("serve.classify_us")
+      .add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+  return qj;
+}
+
+void StreamDispatcher::admit(double now_s) {
+  while (!lookahead_.empty() &&
+         lookahead_.front().arrival_s <= now_s + kEps) {
+    const Submission& front = lookahead_.front();
+    const bool overdue = now_s - front.arrival_s >= opts_.deadline_s - kEps;
+    if (queue_.size() >= opts_.queue_limit && !overdue) {
+      // Backpressure: the wait queue is full, so admission (and with it
+      // classification) waits. The job keeps aging toward its deadline —
+      // deferral never hides latency, and an overdue job always gets in.
+      if (front.id >= deferral_mark_) {
+        stats_.deferred += 1;
+        metrics_->counter("serve.deferred").add();
+        deferral_mark_ = front.id + 1;
+      }
+      break;
+    }
+    QueuedJob qj = classify(front);
+    stats_.admitted += 1;
+    metrics_->counter("serve.admitted").add();
+    if (trace_ != nullptr) {
+      trace_->instant(obs_pid_, 0, "admit", now_s, qj.id);
+    }
+    queue_.push(std::move(qj));
+    lookahead_.pop_front();
+  }
+}
+
+bool StreamDispatcher::tuner_within_budget(double now_s) {
+  const double wait = std::max(0.0, tuner_free_s_ - now_s);
+  if (wait > opts_.tuner_budget_s) return false;
+  tuner_free_s_ = std::max(now_s, tuner_free_s_) + opts_.tuner_cost_s;
+  return true;
+}
+
+AppConfig StreamDispatcher::untuned_config() const {
+  // CBM-style untuned co-location default: stock frequency and block size,
+  // an even share of the node's cores — safe next to any co-resident
+  // (mapper counts of a co-located pair must partition the cores).
+  AppConfig cfg = kDefaultCfg;
+  cfg.mappers = std::max(1, eval_.spec().cores / 2);
+  return cfg;
+}
+
+AppConfig StreamDispatcher::solo_config(const AppInfo& info) const {
+  // Nearest-size solo optimum for the classified class — a table read, so
+  // it stays on even when the pair tuner is over budget.
+  const AppConfig* best = &kDefaultCfg;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const auto& [key, cfg] : td_.solo_db) {
+    if (key.cls != info.cls) continue;
+    const double d = std::abs(std::log(std::max(key.size_gib, 1e-6) /
+                                       std::max(info.size_gib(), 1e-6)));
+    if (d < best_d) {
+      best_d = d;
+      best = &cfg;
+    }
+  }
+  return *best;
+}
+
+void StreamDispatcher::record(const QueuedJob& job, double now_s, int node,
+                              const AppConfig& cfg, DecisionKind kind,
+                              std::uint64_t partner_id) {
+  const double waited = std::max(0.0, now_s - job.submit_s);
+  stats_.max_wait_s = std::max(stats_.max_wait_s, waited);
+  const char* name = "solo";
+  switch (kind) {
+    case DecisionKind::Pair:
+      stats_.pairs += 1;
+      name = "pair";
+      break;
+    case DecisionKind::Solo:
+      stats_.solos += 1;
+      name = "solo";
+      break;
+    case DecisionKind::Backfill:
+      stats_.backfills += 1;
+      name = "backfill";
+      break;
+    case DecisionKind::Degraded:
+      stats_.degraded += 1;
+      name = "degraded";
+      break;
+    case DecisionKind::Deadline:
+      stats_.deadline_placements += 1;
+      name = "deadline";
+      break;
+  }
+  metrics_->counter(std::string("serve.") + name).add();
+  metrics_->histogram("serve.admission_s", admission_bounds())
+      .observe(waited);
+  if (trace_ != nullptr) {
+    trace_->instant(obs_pid_, 0, name, now_s, job.id, node);
+  }
+  decisions_.push_back({now_s, job.id, node, cfg, kind, partner_id, waited});
+}
+
+std::vector<Placement> StreamDispatcher::plan(const core::ClusterView& view,
+                                              double now_s) {
+  ensure_lookahead(now_s);
+  std::vector<Placement> out;
+  // Slots consumed by this round's own placements — the view only reflects
+  // what the engine has already applied.
+  std::map<int, std::size_t> used;
+  const auto avail = [&](int node) {
+    const std::size_t free = view.free_slots(node);
+    const std::size_t u = used[node];
+    return free > u ? free - u : 0;
+  };
+
+  const std::vector<int> order =
+      view.nodes_rack_major(core::RackOrder::LeastBusyFirst);
+
+  // The engine never re-plans "at now": everything due this instant must be
+  // handled in this one call. Placements can drain the wait queue below its
+  // limit and thereby un-defer admissions that were backpressured moments
+  // ago, so admission and placement repeat until a pass changes nothing.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    admit(now_s);
+
+    // Rung b of the degradation ladder: jobs at their admission deadline take
+    // the first free slot, untuned, bypassing pairing rank and leap rules.
+    bool overdue_left = !queue_.empty();
+    for (const int node : order) {
+      if (!overdue_left) break;
+      if (used[node] > 0) continue;  // filled this pass; re-plan next event
+      const auto residents = view.residents(node);
+      const auto capacity =
+          static_cast<int>(residents.size() + view.free_slots(node));
+      // An emergency placement may land next to any mix of residents, so it
+      // takes an even core share per slot — the one mapper split that stays
+      // within the core budget whatever already runs there once the residents
+      // are shrunk to the same share.
+      AppConfig share = untuned_config();
+      share.mappers = std::max(1, eval_.spec().cores / std::max(1, capacity));
+      bool placed_here = false;
+      while (avail(node) >= 1) {
+        auto job = queue_.pop_overdue(now_s, opts_.deadline_s);
+        if (!job) {
+          overdue_left = false;
+          break;
+        }
+        record(*job, now_s, node, share, DecisionKind::Deadline, 0);
+        used[node] += 1;
+        placed_here = true;
+        progress = true;
+        out.push_back(Placement{std::move(*job), share, {node}, false});
+      }
+      if (placed_here) {
+        for (const RunningJob& survivor : residents) {
+          AppConfig scfg = survivor.cfg;
+          scfg.mappers = share.mappers;
+          if (scfg != survivor.cfg) pending_retune_[survivor.job.id] = scfg;
+        }
+      }
+    }
+
+    // Normal operation: decision-tree pair formation with head reservation,
+    // leap-forward, and survivor backfilling (EcostDispatcher's loop, with
+    // the tuner-budget rung layered on top).
+    for (const int node : order) {
+      if (queue_.empty()) break;
+      if (used[node] > 0) continue;  // filled this round; re-plan next event
+      const auto residents = view.residents(node);
+
+      if (residents.empty() && avail(node) >= 2) {
+        auto head = queue_.pop_head();
+        if (!head) continue;
+        auto partner =
+            queue_.pop_for(head->info.cls, head->est_duration_s, policy_);
+        if (partner) {
+          if (tuner_within_budget(now_s)) {
+            const PairConfig pc = stp_->predict(head->info, partner->info);
+            record(*head, now_s, node, pc.first, DecisionKind::Pair,
+                   partner->id);
+            record(*partner, now_s, node, pc.second, DecisionKind::Pair,
+                   head->id);
+            out.push_back(Placement{std::move(*head), pc.first, {node}, false});
+            out.push_back(
+                Placement{std::move(*partner), pc.second, {node}, false});
+          } else {
+            // Rung a: tuner over budget — co-locate untuned rather than
+            // queueing the pair behind the tuner.
+            const AppConfig cfg = untuned_config();
+            record(*head, now_s, node, cfg, DecisionKind::Degraded,
+                   partner->id);
+            record(*partner, now_s, node, cfg, DecisionKind::Degraded,
+                   head->id);
+            out.push_back(Placement{std::move(*head), cfg, {node}, false});
+            out.push_back(Placement{std::move(*partner), cfg, {node}, false});
+          }
+          used[node] += 2;
+          progress = true;
+        } else {
+          const AppConfig cfg = solo_config(head->info);
+          record(*head, now_s, node, cfg, DecisionKind::Solo, 0);
+          out.push_back(Placement{std::move(*head), cfg, {node}, false});
+          used[node] += 1;
+          progress = true;
+        }
+        continue;
+      }
+
+      if (residents.size() == 1 && avail(node) >= 1) {
+        const RunningJob& survivor = residents[0];
+        const double remaining_s = survivor.remaining * survivor.est_total_s;
+        auto partner =
+            queue_.pop_for(survivor.job.info.cls, remaining_s, policy_);
+        if (partner) {
+          if (tuner_within_budget(now_s)) {
+            const PairConfig pc =
+                stp_->predict(survivor.job.info, partner->info);
+            pending_retune_[survivor.job.id] = pc.first;
+            record(*partner, now_s, node, pc.second, DecisionKind::Backfill,
+                   survivor.job.id);
+            out.push_back(
+                Placement{std::move(*partner), pc.second, {node}, false});
+          } else {
+            const AppConfig cfg = untuned_config();
+            AppConfig scfg = survivor.cfg;
+            scfg.mappers = std::max(1, eval_.spec().cores - cfg.mappers);
+            if (scfg != survivor.cfg) {
+              pending_retune_[survivor.job.id] = scfg;
+            }
+            record(*partner, now_s, node, cfg, DecisionKind::Degraded,
+                   survivor.job.id);
+            out.push_back(Placement{std::move(*partner), cfg, {node}, false});
+          }
+          used[node] += 1;
+          progress = true;
+        }
+      }
+    }
+  }
+
+  metrics_->gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+  metrics_->gauge("serve.backlog_depth")
+      .set(static_cast<double>(lookahead_.size()));
+  if (trace_ != nullptr) {
+    trace_->counter(obs_pid_, 0, "queue_depth", now_s,
+                    static_cast<double>(queue_.size()));
+  }
+  return out;
+}
+
+std::optional<AppConfig> StreamDispatcher::retune(
+    const RunningJob& running, std::span<const RunningJob> others) {
+  const auto it = pending_retune_.find(running.job.id);
+  if (it != pending_retune_.end()) {
+    const AppConfig cfg = it->second;
+    pending_retune_.erase(it);
+    return cfg;
+  }
+  // Alone with nothing left anywhere in the stream: expand onto the node.
+  if (others.size() == 1 && queue_.empty() && lookahead_.empty() &&
+      stream_done_) {
+    AppConfig cfg = solo_config(running.job.info);
+    if (cfg == running.cfg) return std::nullopt;
+    return cfg;
+  }
+  return std::nullopt;
+}
+
+double StreamDispatcher::next_arrival_s(double now_s) const {
+  ensure_lookahead(now_s);
+  double next = std::numeric_limits<double>::infinity();
+  if (!lookahead_.empty()) {
+    const double a = lookahead_.front().arrival_s;
+    next = a > now_s + kEps ? a : now_s;
+  }
+  // Deadline wake-up: re-plan exactly when the oldest unplaced job expires.
+  // An expiry already in the past schedules nothing — capacity, not time,
+  // is what that job is waiting for, and any membership change re-plans.
+  double oldest = std::numeric_limits<double>::infinity();
+  if (const auto q = queue_.oldest_submit_s()) oldest = *q;
+  if (!lookahead_.empty()) {
+    oldest = std::min(oldest, lookahead_.front().arrival_s);
+  }
+  if (std::isfinite(oldest)) {
+    const double expiry = oldest + opts_.deadline_s;
+    if (expiry > now_s + kEps) next = std::min(next, expiry);
+  }
+  if (!std::isfinite(next) && !queue_.empty()) return now_s;
+  return next;
+}
+
+}  // namespace ecost::serve

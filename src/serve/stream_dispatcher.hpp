@@ -1,0 +1,186 @@
+// Online ECoST scheduling over a live submission stream (the daemon's
+// policy brain). Where EcostDispatcher is handed its whole workload up
+// front, this dispatcher discovers jobs as they cross the SubmitQueue and
+// makes every decision with only the information available at that moment:
+//
+//   1. Admission — submissions whose arrival time has been reached enter
+//      the wait queue, bounded by `queue_limit` (backpressure: excess stays
+//      in the arrival-ordered lookahead buffer; the buffer in turn bounds
+//      the SubmitQueue, which blocks the producer).
+//   2. Online classification — each admitted job is classified from the
+//      first perfmon counter samples of its learning period: one noisy
+//      multiplexed PMU run (seeded per job) against the memoized
+//      ground-truth signature, k-NN through the trained classifier. No
+//      full profiling campaign, exactly the Figure 4 Step-1 story.
+//   3. Pair formation under churn — the decision-tree pairing of
+//      EcostDispatcher (head reservation, small-job leap-forward,
+//      backfilling survivors), re-run at every membership change.
+//   4. Degradation ladder — two rungs below fully-tuned operation:
+//        a. tuner over budget: the modeled tuner backlog exceeds
+//           `tuner_budget_s`, so the decision is placed immediately with
+//           the untuned default configuration instead of queueing behind
+//           the tuner (counted in serve.degraded);
+//        b. admission deadline: a job that has waited `deadline_s` is
+//           placed into the first free slot regardless of pairing rank or
+//           leap eligibility (counted in serve.deadline_placements). The
+//           dispatcher schedules its own wake-up through next_arrival_s so
+//           the engine re-plans exactly when the oldest job expires.
+//
+// Everything observable is simulated-time-deterministic: wall-clock feeder
+// pace, drain chunking, and thread scheduling cannot change a single
+// decision, because plan() always waits until the lookahead extends past
+// `now` (or the stream closed) before acting. CI gates exact decision
+// counts on this property.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cluster_engine.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/pairing.hpp"
+#include "core/stp.hpp"
+#include "core/wait_queue.hpp"
+#include "mapreduce/eval_cache.hpp"
+#include "serve/submit_queue.hpp"
+
+namespace ecost::serve {
+
+struct ServeOptions {
+  /// Hard bound on simulated queue wait: a job that has waited this long is
+  /// placed untuned into the first free slot, ahead of any pairing logic.
+  double deadline_s = 3600.0;
+  /// Wait-queue depth that triggers admission backpressure.
+  std::size_t queue_limit = 64;
+  /// Modeled wall cost of one tuned (STP) decision, in simulated seconds —
+  /// the paper's learning-period + prediction overhead (Figure 8).
+  double tuner_cost_s = 2.0;
+  /// Max modeled tuner backlog before decisions degrade to untuned
+  /// placement instead of queueing behind the tuner.
+  double tuner_budget_s = 30.0;
+  /// PMU runs averaged for online classification (1 = first counter
+  /// samples only, the streaming default; EcostDispatcher's offline path
+  /// uses 3).
+  int classify_runs = 1;
+  /// Seed folded with each job id for the per-job sampling noise.
+  std::uint64_t profile_seed = 9000;
+};
+
+class StreamDispatcher final : public core::Dispatcher {
+ public:
+  /// How one placement decision was made — the degradation rung it sits on.
+  enum class DecisionKind : std::uint8_t {
+    Pair,      ///< tuned pair (STP prediction)
+    Solo,      ///< head placed alone, tuned solo config
+    Backfill,  ///< tuned partner for a running survivor
+    Degraded,  ///< tuner over budget: untuned default config
+    Deadline,  ///< admission deadline hit: untuned, pairing bypassed
+  };
+
+  struct Decision {
+    double t_s = 0.0;
+    std::uint64_t job_id = 0;
+    int node = -1;
+    mapreduce::AppConfig cfg;
+    DecisionKind kind = DecisionKind::Solo;
+    std::uint64_t partner_id = 0;  ///< meaningful for Pair/Backfill
+    double waited_s = 0.0;         ///< admission latency of this job
+  };
+
+  /// Borrows everything; `queue` is the live submission stream (producers
+  /// push concurrently, this dispatcher is the single consumer). `eval`
+  /// backs the memoized learning-period runs and duration estimates.
+  StreamDispatcher(const mapreduce::NodeEvaluator& eval,
+                   mapreduce::EvalCache& cache, const core::TrainingData& td,
+                   const core::SelfTuner& stp, SubmitQueue& queue,
+                   ServeOptions opts = {});
+
+  std::vector<core::Placement> plan(const core::ClusterView& view,
+                                    double now_s) override;
+
+  std::optional<mapreduce::AppConfig> retune(
+      const core::RunningJob& running,
+      std::span<const core::RunningJob> others) override;
+
+  double next_arrival_s(double now_s) const override;
+
+  /// Runtime policy swap: atomically replace the self-tuner the next
+  /// decision consults (e.g. hot-swap a retrained model). Borrowed; must
+  /// outlive the dispatcher.
+  void swap_tuner(const core::SelfTuner& stp) { stp_ = &stp; }
+
+  std::span<const Decision> decisions() const { return decisions_; }
+
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t pairs = 0;
+    std::uint64_t solos = 0;
+    std::uint64_t backfills = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t deadline_placements = 0;
+    std::uint64_t deferred = 0;  ///< admissions delayed by backpressure
+    double max_wait_s = 0.0;     ///< worst admission latency seen
+    std::uint64_t decisions() const {
+      return pairs + solos + backfills + degraded + deadline_placements;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::size_t queued() const { return queue_.size(); }
+
+ private:
+  /// Blocks until the lookahead extends strictly past `now_s` or the
+  /// stream is closed — the determinism barrier between the wall-clock
+  /// producer and the simulated-time consumer.
+  void ensure_lookahead(double now_s) const;
+
+  /// Moves due submissions (arrival <= now) from the lookahead into the
+  /// wait queue, profiling and classifying each, honoring `queue_limit`.
+  void admit(double now_s);
+
+  /// Online learning-period measurement: memoized ground truth + one
+  /// seeded noisy PMU pass; returns the populated job info and estimate.
+  core::QueuedJob classify(const Submission& s);
+
+  /// True when the modeled tuner can take another decision at `now_s`
+  /// within budget; advances the tuner clock when it can.
+  bool tuner_within_budget(double now_s);
+
+  mapreduce::AppConfig untuned_config() const;
+  mapreduce::AppConfig solo_config(const core::AppInfo& info) const;
+
+  void record(const core::QueuedJob& job, double now_s, int node,
+              const mapreduce::AppConfig& cfg, DecisionKind kind,
+              std::uint64_t partner_id);
+
+  const mapreduce::NodeEvaluator& eval_;
+  mapreduce::EvalCache& cache_;
+  const core::TrainingData& td_;
+  const core::SelfTuner* stp_;
+  SubmitQueue& submissions_;
+  ServeOptions opts_;
+  core::PairingPolicy policy_;
+
+  // Single-consumer state; mutable because next_arrival_s (const in the
+  // Dispatcher interface) must also be able to pull the lookahead forward.
+  mutable std::deque<Submission> lookahead_;
+  mutable std::vector<Submission> drain_buf_;
+  mutable bool stream_done_ = false;
+
+  core::WaitQueue queue_;
+  /// Ids below this were already counted as deferred (ids are stream-ordered,
+  /// so one watermark counts each job's deferral exactly once).
+  std::uint64_t deferral_mark_ = 0;
+  std::map<std::uint64_t, mapreduce::AppConfig> pending_retune_;
+  std::unordered_map<std::uint64_t, perfmon::FeatureVector> truth_;
+  double tuner_free_s_ = 0.0;  ///< when the modeled tuner next idles
+  std::vector<Decision> decisions_;
+  Stats stats_;
+};
+
+}  // namespace ecost::serve

@@ -1,0 +1,77 @@
+#include "serve/submit_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace ecost::serve {
+
+SubmitQueue::SubmitQueue(std::size_t capacity) : cap_(capacity) {
+  ECOST_REQUIRE(capacity >= 1, "submit queue capacity must be >= 1");
+}
+
+bool SubmitQueue::submit(Submission s) {
+  std::unique_lock lock(mu_);
+  if (q_.size() >= cap_ && !closed_) ++blocked_;
+  can_push_.wait(lock, [&] { return q_.size() < cap_ || closed_; });
+  if (closed_) return false;
+  q_.push_back(std::move(s));
+  ++accepted_;
+  can_pop_.notify_one();
+  return true;
+}
+
+bool SubmitQueue::try_submit(Submission s) {
+  std::lock_guard lock(mu_);
+  if (closed_ || q_.size() >= cap_) return false;
+  q_.push_back(std::move(s));
+  ++accepted_;
+  can_pop_.notify_one();
+  return true;
+}
+
+std::size_t SubmitQueue::drain(std::vector<Submission>& out) {
+  std::lock_guard lock(mu_);
+  const std::size_t n = q_.size();
+  for (Submission& s : q_) out.push_back(std::move(s));
+  q_.clear();
+  if (n > 0) can_push_.notify_all();
+  return n;
+}
+
+bool SubmitQueue::wait_drain(std::vector<Submission>& out) {
+  std::unique_lock lock(mu_);
+  can_pop_.wait(lock, [&] { return !q_.empty() || closed_; });
+  if (q_.empty()) return false;  // closed and empty: end of stream
+  for (Submission& s : q_) out.push_back(std::move(s));
+  q_.clear();
+  can_push_.notify_all();
+  return true;
+}
+
+void SubmitQueue::close() {
+  std::lock_guard lock(mu_);
+  closed_ = true;
+  can_push_.notify_all();
+  can_pop_.notify_all();
+}
+
+bool SubmitQueue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::size_t SubmitQueue::size() const {
+  std::lock_guard lock(mu_);
+  return q_.size();
+}
+
+std::uint64_t SubmitQueue::accepted() const {
+  std::lock_guard lock(mu_);
+  return accepted_;
+}
+
+std::uint64_t SubmitQueue::blocked() const {
+  std::lock_guard lock(mu_);
+  return blocked_;
+}
+
+}  // namespace ecost::serve

@@ -1,0 +1,74 @@
+// The daemon's front door: a bounded, thread-safe submission queue between
+// arrival producers (trace replayers, future RPC handlers) and the single
+// scheduling thread that drains it.
+//
+// Backpressure is structural: `submit` blocks while the queue is full, so a
+// producer can never run unboundedly ahead of a scheduling loop that has
+// fallen behind — the producer is throttled to the consumer's pace instead
+// of growing an unbounded backlog. `try_submit` is the non-blocking variant
+// for producers that would rather shed load.
+//
+// Shutdown is cooperative: `close()` wakes every blocked producer and
+// consumer; subsequent submits fail, drains serve out the remaining items
+// and then report end-of-stream.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "mapreduce/job.hpp"
+
+namespace ecost::serve {
+
+/// One raw job submission, before the daemon has profiled or classified it.
+struct Submission {
+  std::uint64_t id = 0;       ///< caller-assigned, unique per stream
+  double arrival_s = 0.0;     ///< simulated submission timestamp
+  mapreduce::JobSpec job;     ///< the application and its input size
+};
+
+class SubmitQueue {
+ public:
+  /// `capacity` bounds the number of undrained submissions (>= 1).
+  explicit SubmitQueue(std::size_t capacity);
+
+  /// Blocks while full. Returns false (and drops `s`) once closed.
+  bool submit(Submission s);
+
+  /// Non-blocking submit. False when the queue is full or closed.
+  bool try_submit(Submission s);
+
+  /// Appends every currently queued submission to `out` without blocking;
+  /// returns the number drained.
+  std::size_t drain(std::vector<Submission>& out);
+
+  /// Blocks until at least one submission is available or the queue is
+  /// closed; drains everything available into `out`. Returns false only at
+  /// end of stream (closed and empty, nothing drained).
+  bool wait_drain(std::vector<Submission>& out);
+
+  void close();
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return cap_; }
+
+  /// Total submissions that ever entered the queue (accepted submits).
+  std::uint64_t accepted() const;
+  /// submit() calls that had to block on a full queue at least once.
+  std::uint64_t blocked() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<Submission> q_;
+  std::size_t cap_;
+  bool closed_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t blocked_ = 0;
+};
+
+}  // namespace ecost::serve

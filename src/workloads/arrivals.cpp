@@ -1,0 +1,102 @@
+#include "workloads/arrivals.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::workloads {
+
+std::string to_string(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::Poisson: return "poisson";
+    case ArrivalKind::Diurnal: return "diurnal";
+    case ArrivalKind::Bursty: return "bursty";
+  }
+  ECOST_CHECK(false, "unreachable arrival kind");
+}
+
+ArrivalSpec ArrivalSpec::preset(std::string_view name) {
+  ArrivalSpec spec;
+  if (name == "poisson") {
+    spec.kind = ArrivalKind::Poisson;
+    return spec;
+  }
+  if (name == "diurnal") {
+    spec.kind = ArrivalKind::Diurnal;
+    return spec;
+  }
+  if (name == "bursty") {
+    spec.kind = ArrivalKind::Bursty;
+    return spec;
+  }
+  ECOST_REQUIRE(false, "unknown arrival preset (want poisson|diurnal|bursty)");
+}
+
+ArrivalProcess::ArrivalProcess(ArrivalSpec spec)
+    : spec_(spec), rng_(spec.seed) {
+  ECOST_REQUIRE(spec_.mean_gap_s > 0.0, "mean inter-arrival must be positive");
+  ECOST_REQUIRE(spec_.gib > 0.0, "arrival input size must be positive");
+  if (spec_.kind == ArrivalKind::Diurnal) {
+    ECOST_REQUIRE(spec_.period_s > 0.0, "diurnal period must be positive");
+    ECOST_REQUIRE(spec_.trough > 0.0 && spec_.trough <= 1.0,
+                  "diurnal trough must be in (0, 1]");
+  }
+  if (spec_.kind == ArrivalKind::Bursty) {
+    ECOST_REQUIRE(spec_.burst_factor >= 1.0, "burst factor must be >= 1");
+    ECOST_REQUIRE(spec_.burst_len_s > 0.0 && spec_.calm_len_s > 0.0,
+                  "burst/calm phase lengths must be positive");
+  }
+}
+
+double ArrivalProcess::rate_at(double t) {
+  const double base = 1.0 / spec_.mean_gap_s;
+  switch (spec_.kind) {
+    case ArrivalKind::Poisson:
+      return base;
+    case ArrivalKind::Diurnal: {
+      // Sinusoid between trough*base and base, peaking mid-period.
+      const double phase = 2.0 * M_PI * (t / spec_.period_s);
+      const double lo = spec_.trough;
+      const double mix = 0.5 * (1.0 - std::cos(phase));  // 0 at t=0, 1 mid
+      return base * (lo + (1.0 - lo) * mix);
+    }
+    case ArrivalKind::Bursty: {
+      // Advance the two-state phase machine up to t. Phase flips are drawn
+      // lazily but deterministically from the same stream as the gaps.
+      while (t >= phase_end_s_) {
+        const double mean =
+            in_burst_ ? spec_.calm_len_s : spec_.burst_len_s;
+        in_burst_ = !in_burst_;
+        phase_end_s_ += -mean * std::log(1.0 - rng_.uniform());
+      }
+      return in_burst_ ? base * spec_.burst_factor : base;
+    }
+  }
+  ECOST_CHECK(false, "unreachable arrival kind");
+}
+
+Arrival ArrivalProcess::next() {
+  // Exponential gap at the rate in force when the previous job arrived —
+  // a first-order approximation of an inhomogeneous Poisson process that
+  // keeps every draw a single uniform (and the stream reproducible).
+  const double rate = rate_at(t_);
+  const double gap = -std::log(1.0 - rng_.uniform()) / rate;
+  t_ += std::max(gap, 1e-9);  // strictly increasing timestamps
+
+  const auto apps = all_apps();
+  Arrival a;
+  a.t_s = t_;
+  a.app = apps[rng_.uniform_u64(apps.size())];
+  a.gib = spec_.gib;
+  return a;
+}
+
+std::vector<Arrival> ArrivalProcess::take(std::size_t count) {
+  std::vector<Arrival> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace ecost::workloads

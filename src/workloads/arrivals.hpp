@@ -1,0 +1,90 @@
+// Arrival-process generators for the streaming scheduling daemon: the
+// stand-in for a datacenter's job submission front door. Three shapes:
+//
+//   * Poisson — memoryless arrivals at a constant mean rate (the classic
+//     open-system model);
+//   * Diurnal — a Poisson process whose rate follows a day/night sinusoid
+//     (peak at mid-period, trough at the edges);
+//   * Bursty — a two-state Markov-modulated Poisson process: calm stretches
+//     at the base rate interrupted by bursts at `burst_factor` times the
+//     rate (the trace the CI soak gate replays).
+//
+// Every draw goes through one seeded Rng, so a (spec, count) pair always
+// produces the same trace — the daemon's decision counts are gated exactly
+// in CI, which only works because the input stream is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mapreduce/app_profile.hpp"
+#include "util/rng.hpp"
+
+namespace ecost::workloads {
+
+/// One job submission: when it reaches the datacenter and what it is.
+struct Arrival {
+  double t_s = 0.0;                ///< absolute submission time
+  mapreduce::AppProfile app;       ///< drawn from the studied application mix
+  double gib = 1.0;                ///< input size per node
+};
+
+enum class ArrivalKind : std::uint8_t { Poisson, Diurnal, Bursty };
+
+std::string to_string(ArrivalKind kind);
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::Poisson;
+  double mean_gap_s = 30.0;  ///< mean inter-arrival time at the base rate
+  double gib = 1.0;          ///< input size of every generated job
+  std::uint64_t seed = 2026;
+
+  // Diurnal shape: rate swings sinusoidally with this period; the trough
+  // rate is `trough` times the peak rate.
+  double period_s = 86400.0;
+  double trough = 0.2;
+
+  // Bursty shape (MMPP): exponential calm/burst phase lengths; inside a
+  // burst the arrival rate is multiplied by `burst_factor`.
+  double burst_factor = 8.0;
+  double burst_len_s = 240.0;
+  double calm_len_s = 1200.0;
+
+  /// Named presets: "poisson", "diurnal", "bursty". Throws InvariantError
+  /// for an unknown name.
+  static ArrivalSpec preset(std::string_view name);
+};
+
+/// Generates a deterministic arrival stream, one application at a time,
+/// drawn uniformly from the full studied application mix (training and
+/// unknown apps alike — the serving scenario of section 7).
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(ArrivalSpec spec);
+
+  /// Next arrival; times are strictly increasing.
+  Arrival next();
+
+  /// First `count` arrivals of the stream (trace materialization — the
+  /// daemon replays such traces through its submission queue).
+  std::vector<Arrival> take(std::size_t count);
+
+  const ArrivalSpec& spec() const { return spec_; }
+
+  /// Simulated time of the last generated arrival (0 before any).
+  double now_s() const { return t_; }
+
+ private:
+  /// Instantaneous arrival rate at time `t` (jobs per second).
+  double rate_at(double t);
+
+  ArrivalSpec spec_;
+  Rng rng_;
+  double t_ = 0.0;
+  bool in_burst_ = false;
+  double phase_end_s_ = 0.0;  ///< bursty: when the current phase flips
+};
+
+}  // namespace ecost::workloads

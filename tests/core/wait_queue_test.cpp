@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "util/error.hpp"
 #include "workloads/apps.hpp"
 
@@ -10,11 +13,13 @@ namespace {
 
 using mapreduce::AppClass;
 
-QueuedJob make_job(std::uint64_t id, AppClass cls, double est = 100.0) {
+QueuedJob make_job(std::uint64_t id, AppClass cls, double est = 100.0,
+                   double submit = 0.0) {
   QueuedJob qj;
   qj.id = id;
   qj.info.cls = cls;
   qj.est_duration_s = est;
+  qj.submit_s = submit;
   return qj;
 }
 
@@ -90,6 +95,95 @@ TEST(WaitQueueTest, NegativeEstimateRejected) {
   WaitQueue q;
   EXPECT_THROW(q.push(make_job(1, AppClass::Compute, -1.0)),
                ecost::InvariantError);
+}
+
+TEST(WaitQueueTest, OldestSubmitTracksEarliestAcrossChurn) {
+  WaitQueue q;
+  EXPECT_FALSE(q.oldest_submit_s().has_value());
+  q.push(make_job(1, AppClass::Compute, 10.0, 5.0));
+  q.push(make_job(2, AppClass::Hybrid, 10.0, 2.0));
+  q.push(make_job(3, AppClass::IoBound, 10.0, 8.0));
+  EXPECT_DOUBLE_EQ(*q.oldest_submit_s(), 2.0);
+  // Popping the head (submit 5.0) does not disturb the true minimum.
+  EXPECT_EQ(q.pop_head()->id, 1u);
+  EXPECT_DOUBLE_EQ(*q.oldest_submit_s(), 2.0);
+  // Once the oldest leaves, the minimum moves to the next waiter.
+  PairingPolicy policy;
+  EXPECT_EQ(q.pop_for(AppClass::Compute, 100.0, policy)->id, 3u);  // I leaps
+  EXPECT_DOUBLE_EQ(*q.oldest_submit_s(), 2.0);
+  EXPECT_EQ(q.pop_head()->id, 2u);
+  EXPECT_FALSE(q.oldest_submit_s().has_value());
+}
+
+TEST(WaitQueueTest, DrainWhileInsertKeepsFifoOrder) {
+  // Streaming churn: arrivals interleave with pops. The survivors must keep
+  // their submission order — a drain must never reorder what it leaves.
+  WaitQueue q;
+  std::vector<std::uint64_t> popped;
+  std::uint64_t next_id = 1;
+  for (int round = 0; round < 8; ++round) {
+    q.push(make_job(next_id, AppClass::Hybrid, 10.0, double(next_id)));
+    ++next_id;
+    q.push(make_job(next_id, AppClass::Hybrid, 10.0, double(next_id)));
+    ++next_id;
+    popped.push_back(q.pop_head()->id);  // drain one per two inserts
+  }
+  while (auto j = q.pop_head()) popped.push_back(j->id);
+  ASSERT_EQ(popped.size(), 16u);
+  EXPECT_TRUE(std::is_sorted(popped.begin(), popped.end()));
+}
+
+TEST(WaitQueueTest, PopOverdueHonorsDeadline) {
+  WaitQueue q;
+  q.push(make_job(1, AppClass::Compute, 10.0, 100.0));
+  // Not yet at the deadline: nothing escalates, the job stays queued.
+  EXPECT_FALSE(q.pop_overdue(149.0, 50.0).has_value());
+  EXPECT_EQ(q.size(), 1u);
+  // Exactly at the deadline it pops.
+  const auto j = q.pop_overdue(150.0, 50.0);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->id, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WaitQueueTest, PopOverduePicksLongestWaiterNotHead) {
+  WaitQueue q;
+  q.push(make_job(1, AppClass::Compute, 10.0, 30.0));  // head, newer submit
+  q.push(make_job(2, AppClass::Compute, 10.0, 10.0));  // oldest waiter
+  q.push(make_job(3, AppClass::Compute, 10.0, 10.0));  // same age, later FIFO
+  const auto j = q.pop_overdue(100.0, 50.0);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->id, 2u);  // earliest submit wins; FIFO breaks the tie
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.head_class(), AppClass::Compute);
+  EXPECT_EQ(q.pop_head()->id, 1u);
+}
+
+TEST(WaitQueueTest, LargeGangStarvedByLeapersIsRescuedByOverduePop) {
+  // The starvation pop_overdue exists for: a huge memory-bound gang sits at
+  // the head, and every backfill slot goes to a short I/O job that leaps
+  // past it (better class rank, fits the co-runner window). Under a steady
+  // drip of small arrivals the gang would wait forever.
+  WaitQueue q;
+  PairingPolicy policy;
+  q.push(make_job(1, AppClass::MemBound, 5000.0, 0.0));  // the gang
+  double now = 0.0;
+  for (std::uint64_t id = 2; id < 12; ++id) {
+    now += 10.0;
+    q.push(make_job(id, AppClass::IoBound, 5.0, now));
+    const auto picked = q.pop_for(AppClass::Compute, 50.0, policy);
+    ASSERT_TRUE(picked.has_value());
+    EXPECT_EQ(picked->id, id) << "leaper must win every backfill";
+    EXPECT_EQ(q.size(), 1u) << "the gang alone keeps waiting";
+  }
+  // Deadline escalation ignores both rank and leap eligibility: the gang is
+  // placed even though its estimate dwarfs the co-runner window.
+  EXPECT_FALSE(q.pop_overdue(now, 1000.0).has_value());  // not yet overdue
+  now = 1000.0;
+  const auto gang = q.pop_overdue(now, 1000.0);
+  ASSERT_TRUE(gang.has_value());
+  EXPECT_EQ(gang->id, 1u);
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+#include "serve/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/stp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tests/core/training_fixture.hpp"
+#include "util/error.hpp"
+#include "workloads/arrivals.hpp"
+
+namespace ecost::serve {
+namespace {
+
+class ServeDaemonTest : public ::testing::Test {
+ protected:
+  const mapreduce::NodeEvaluator& eval_ = core::testing::shared_eval();
+  const core::TrainingData& td_ = core::testing::shared_training_data();
+  core::LkTStp stp_{td_};
+  mapreduce::EvalCache cache_{eval_};
+
+  std::vector<workloads::Arrival> bursty_trace(std::size_t jobs) {
+    return workloads::ArrivalProcess(workloads::ArrivalSpec::preset("bursty"))
+        .take(jobs);
+  }
+};
+
+TEST_F(ServeDaemonTest, BurstyTraceDecidesEveryJobExactlyOnce) {
+  const auto trace = bursty_trace(40);
+  DaemonOptions opts;
+  opts.nodes = 4;
+  ServeDaemon daemon(eval_, cache_, td_, stp_, opts);
+  const ServeReport report = daemon.run_trace(trace);
+
+  EXPECT_EQ(report.jobs, 40u);
+  EXPECT_EQ(report.stats.admitted, 40u);
+  EXPECT_EQ(report.stats.decisions(), 40u);
+  ASSERT_EQ(report.decisions.size(), 40u);
+
+  std::set<std::uint64_t> ids;
+  double prev_t = 0.0;
+  for (const auto& d : report.decisions) {
+    EXPECT_TRUE(ids.insert(d.job_id).second)
+        << "job " << d.job_id << " decided twice";
+    EXPECT_GE(d.t_s, prev_t) << "decisions must come out in time order";
+    prev_t = d.t_s;
+    EXPECT_GE(d.node, 0);
+    EXPECT_LT(d.node, opts.nodes);
+  }
+  EXPECT_EQ(ids.size(), 40u);
+
+  // The engine ran the cluster to drain and accounted for it.
+  EXPECT_GT(report.outcome.makespan_s, trace.back().t_s);
+  EXPECT_GT(report.outcome.energy_dyn_j, 0.0);
+  EXPECT_GT(report.outcome.events, 0u);
+  EXPECT_EQ(report.outcome.finish_times.size(), 40u);
+
+  // Admission-latency summary is an exact, ordered distribution.
+  EXPECT_LE(report.p50_admission_s, report.p99_admission_s);
+  EXPECT_LE(report.p99_admission_s, report.max_admission_s);
+  EXPECT_DOUBLE_EQ(report.max_admission_s, report.stats.max_wait_s);
+  EXPECT_GT(report.wall_s, 0.0);
+  EXPECT_GT(report.decisions_per_s, 0.0);
+}
+
+TEST_F(ServeDaemonTest, FeederPaceCannotChangeTheTrajectory) {
+  // The lookahead barrier promises that wall-clock hand-off pace is
+  // unobservable in simulated time. A one-deep submit queue forces the
+  // feeder to crawl; a roomy one lets it sprint — every decision must be
+  // bit-identical either way. CI's exact-count gate rests on this.
+  const auto trace = bursty_trace(30);
+  DaemonOptions slow;
+  slow.nodes = 3;
+  slow.submit_capacity = 1;
+  DaemonOptions fast = slow;
+  fast.submit_capacity = 512;
+
+  ServeDaemon a(eval_, cache_, td_, stp_, slow);
+  ServeDaemon b(eval_, cache_, td_, stp_, fast);
+  const ServeReport ra = a.run_trace(trace);
+  const ServeReport rb = b.run_trace(trace);
+
+  ASSERT_EQ(ra.decisions.size(), rb.decisions.size());
+  for (std::size_t i = 0; i < ra.decisions.size(); ++i) {
+    const auto& da = ra.decisions[i];
+    const auto& db = rb.decisions[i];
+    EXPECT_DOUBLE_EQ(da.t_s, db.t_s) << "decision " << i;
+    EXPECT_EQ(da.job_id, db.job_id) << "decision " << i;
+    EXPECT_EQ(da.node, db.node) << "decision " << i;
+    EXPECT_EQ(da.kind, db.kind) << "decision " << i;
+    EXPECT_TRUE(da.cfg == db.cfg) << "decision " << i;
+    EXPECT_DOUBLE_EQ(da.waited_s, db.waited_s) << "decision " << i;
+  }
+  EXPECT_DOUBLE_EQ(ra.outcome.makespan_s, rb.outcome.makespan_s);
+  EXPECT_DOUBLE_EQ(ra.outcome.energy_dyn_j, rb.outcome.energy_dyn_j);
+  EXPECT_EQ(ra.outcome.events, rb.outcome.events);
+}
+
+TEST_F(ServeDaemonTest, ObservabilitySinksReceiveTheRun) {
+  const auto trace = bursty_trace(10);
+  obs::TraceRecorder rec;
+  obs::MetricsRegistry metrics;
+  DaemonOptions opts;
+  opts.nodes = 2;
+  ServeDaemon daemon(eval_, cache_, td_, stp_, opts);
+  daemon.set_obs(&rec, 7, &metrics);
+  const ServeReport report = daemon.run_trace(trace);
+  EXPECT_EQ(report.stats.decisions(), 10u);
+  EXPECT_GT(rec.size(), 0u);
+}
+
+TEST_F(ServeDaemonTest, RejectsNonsenseOptions) {
+  DaemonOptions opts;
+  opts.nodes = 0;
+  EXPECT_THROW(ServeDaemon(eval_, cache_, td_, stp_, opts),
+               ecost::InvariantError);
+  opts.nodes = 2;
+  opts.submit_capacity = 0;
+  EXPECT_THROW(ServeDaemon(eval_, cache_, td_, stp_, opts),
+               ecost::InvariantError);
+  // Serve knobs are validated when the dispatcher is built for a run.
+  opts.submit_capacity = 8;
+  opts.serve.deadline_s = 0.0;
+  ServeDaemon daemon(eval_, cache_, td_, stp_, opts);
+  EXPECT_THROW(daemon.run_trace({}), ecost::InvariantError);
+}
+
+}  // namespace
+}  // namespace ecost::serve

@@ -1,0 +1,223 @@
+#include "serve/stream_dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cluster_engine.hpp"
+#include "core/stp.hpp"
+#include "serve/daemon.hpp"
+#include "serve/submit_queue.hpp"
+#include "tests/core/training_fixture.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/arrivals.hpp"
+
+namespace ecost::serve {
+namespace {
+
+using Kind = StreamDispatcher::DecisionKind;
+
+workloads::Arrival arr(double t_s, const char* abbrev, double gib) {
+  workloads::Arrival a;
+  a.t_s = t_s;
+  a.app = workloads::app_by_abbrev(abbrev);
+  a.gib = gib;
+  return a;
+}
+
+class StreamDispatcherTest : public ::testing::Test {
+ protected:
+  const mapreduce::NodeEvaluator& eval_ = core::testing::shared_eval();
+  const core::TrainingData& td_ = core::testing::shared_training_data();
+  core::LkTStp stp_{td_};
+  mapreduce::EvalCache cache_{eval_};
+
+  ServeReport run(const std::vector<workloads::Arrival>& trace,
+                  DaemonOptions opts) {
+    ServeDaemon daemon(eval_, cache_, td_, stp_, opts);
+    return daemon.run_trace(trace);
+  }
+};
+
+TEST_F(StreamDispatcherTest, SimultaneousArrivalsFormTunedPair) {
+  // Two jobs hit the front door in the same instant with an empty node
+  // waiting: the decision tree must co-locate them as a tuned pair, not
+  // trickle them in as solo + backfill.
+  DaemonOptions opts;
+  opts.nodes = 1;
+  const auto report =
+      run({arr(1.0, "WC", 1.0), arr(1.0, "ST", 1.0)}, opts);
+  EXPECT_EQ(report.stats.pairs, 2u);
+  EXPECT_EQ(report.stats.decisions(), 2u);
+  ASSERT_EQ(report.decisions.size(), 2u);
+  const auto& d0 = report.decisions[0];
+  const auto& d1 = report.decisions[1];
+  EXPECT_EQ(d0.kind, Kind::Pair);
+  EXPECT_EQ(d1.kind, Kind::Pair);
+  EXPECT_EQ(d0.node, d1.node);
+  EXPECT_EQ(d0.partner_id, d1.job_id);
+  EXPECT_EQ(d1.partner_id, d0.job_id);
+  // A tuned pair's mapper counts partition the node's cores.
+  EXPECT_LE(d0.cfg.mappers + d1.cfg.mappers, eval_.spec().cores);
+  EXPECT_GT(report.outcome.makespan_s, 0.0);
+}
+
+TEST_F(StreamDispatcherTest, LoneArrivalRunsSolo) {
+  DaemonOptions opts;
+  opts.nodes = 1;
+  const auto report = run({arr(1.0, "GP", 1.0)}, opts);
+  EXPECT_EQ(report.stats.solos, 1u);
+  EXPECT_EQ(report.stats.decisions(), 1u);
+  ASSERT_EQ(report.decisions.size(), 1u);
+  EXPECT_EQ(report.decisions[0].kind, Kind::Solo);
+  EXPECT_DOUBLE_EQ(report.decisions[0].waited_s, 0.0);
+}
+
+TEST_F(StreamDispatcherTest, LateArrivalBackfillsTheRunningSurvivor) {
+  // The second job arrives while the first still runs on the only node:
+  // the dispatcher backfills it next to the survivor and retunes the pair.
+  DaemonOptions opts;
+  opts.nodes = 1;
+  const auto report =
+      run({arr(1.0, "WC", 8.0), arr(120.0, "ST", 1.0)}, opts);
+  EXPECT_EQ(report.stats.solos, 1u);
+  EXPECT_EQ(report.stats.backfills, 1u);
+  ASSERT_EQ(report.decisions.size(), 2u);
+  EXPECT_EQ(report.decisions[1].kind, Kind::Backfill);
+  EXPECT_EQ(report.decisions[1].partner_id, report.decisions[0].job_id);
+}
+
+TEST_F(StreamDispatcherTest, TunerOverBudgetDegradesToUntunedColocation) {
+  // Rung a of the degradation ladder: the modeled tuner can absorb exactly
+  // one pair prediction; the second pair must not queue behind it and gets
+  // the untuned even-share configuration instead.
+  DaemonOptions opts;
+  opts.nodes = 2;
+  opts.serve.tuner_cost_s = 1e6;
+  opts.serve.tuner_budget_s = 0.0;
+  const auto report = run({arr(1.0, "WC", 1.0), arr(1.0, "ST", 1.0),
+                           arr(1.0, "GP", 1.0), arr(1.0, "TS", 1.0)},
+                          opts);
+  EXPECT_EQ(report.stats.pairs, 2u);
+  EXPECT_EQ(report.stats.degraded, 2u);
+  EXPECT_EQ(report.stats.decisions(), 4u);
+  const int half = eval_.spec().cores / 2;
+  for (const auto& d : report.decisions) {
+    if (d.kind == Kind::Degraded) {
+      EXPECT_EQ(d.cfg.mappers, half);
+    }
+  }
+}
+
+TEST_F(StreamDispatcherTest, NoJobWaitsPastTheAdmissionDeadline) {
+  // Starvation shape: a node whose two residents will run for a long time
+  // and whose third slot the pairing rules never fill (they only pair onto
+  // empty or single-resident nodes). The last arrival would wait until a
+  // resident finishes — the admission deadline must cap that wait exactly.
+  const std::vector<workloads::Arrival> trace = {
+      arr(1.0, "WC", 8.0), arr(2.0, "ST", 8.0), arr(3.0, "GP", 1.0)};
+  DaemonOptions opts;
+  opts.nodes = 1;
+  opts.slots_per_node = 3;
+  opts.serve.deadline_s = 50.0;
+  const auto report = run(trace, opts);
+  EXPECT_EQ(report.stats.deadline_placements, 1u);
+  EXPECT_EQ(report.stats.decisions(), 3u);
+  for (const auto& d : report.decisions) {
+    EXPECT_LE(d.waited_s, opts.serve.deadline_s + 1e-6)
+        << "job " << d.job_id << " waited past its admission deadline";
+  }
+  const auto& rescue = report.decisions.back();
+  EXPECT_EQ(rescue.kind, Kind::Deadline);
+  EXPECT_EQ(rescue.job_id, 3u);
+  // The wake-up fires exactly at expiry, not at the next membership event.
+  EXPECT_NEAR(rescue.t_s, 3.0 + opts.serve.deadline_s, 1e-6);
+  EXPECT_NEAR(rescue.waited_s, opts.serve.deadline_s, 1e-6);
+  // Even share across the three slots keeps the core budget intact.
+  EXPECT_EQ(rescue.cfg.mappers, eval_.spec().cores / 3);
+
+  // Control: with a generous deadline the same trace really does starve
+  // the third job until a resident finishes — the rescue above is load-
+  // bearing, not a scenario that would have resolved itself.
+  DaemonOptions lax = opts;
+  lax.serve.deadline_s = 1e9;
+  const auto baseline = run(trace, lax);
+  EXPECT_EQ(baseline.stats.deadline_placements, 0u);
+  EXPECT_GT(baseline.max_admission_s, 50.0);
+}
+
+TEST_F(StreamDispatcherTest, QueueLimitDefersAdmissionWithoutLosingJobs) {
+  // Six simultaneous arrivals against a two-deep wait queue: admission is
+  // deferred (backpressure) but every job is still decided in the same
+  // simulated instant, via immediate re-plan wake-ups.
+  DaemonOptions opts;
+  opts.nodes = 3;
+  opts.serve.queue_limit = 2;
+  const auto report = run({arr(1.0, "WC", 1.0), arr(1.0, "ST", 1.0),
+                           arr(1.0, "GP", 1.0), arr(1.0, "TS", 1.0),
+                           arr(1.0, "FP", 1.0), arr(1.0, "WC", 1.0)},
+                          opts);
+  EXPECT_EQ(report.stats.decisions(), 6u);
+  EXPECT_GE(report.stats.deferred, 1u);
+  for (const auto& d : report.decisions) {
+    EXPECT_DOUBLE_EQ(d.t_s, 1.0);
+    EXPECT_DOUBLE_EQ(d.waited_s, 0.0);
+  }
+}
+
+/// Delegating tuner that hot-swaps the dispatcher to `next` after its first
+/// prediction — exercising a runtime policy swap mid-stream, from within
+/// the scheduling thread (the only thread that may touch the dispatcher).
+class SwappingTuner final : public core::SelfTuner {
+ public:
+  explicit SwappingTuner(const core::SelfTuner& inner) : inner_(inner) {}
+
+  mapreduce::PairConfig predict(const core::AppInfo& a,
+                                const core::AppInfo& b) const override {
+    ++calls;
+    if (victim != nullptr && next != nullptr && calls == 1) {
+      victim->swap_tuner(*next);
+    }
+    return inner_.predict(a, b);
+  }
+  std::string name() const override { return "swapping"; }
+
+  StreamDispatcher* victim = nullptr;
+  const core::SelfTuner* next = nullptr;
+  mutable int calls = 0;
+
+ private:
+  const core::SelfTuner& inner_;
+};
+
+TEST_F(StreamDispatcherTest, SwapTunerRedirectsTheNextDecision) {
+  SubmitQueue queue(16);
+  std::uint64_t id = 0;
+  for (const char* abbrev : {"WC", "ST", "GP", "TS"}) {
+    Submission s;
+    s.id = ++id;
+    s.arrival_s = 1.0;
+    s.job = mapreduce::JobSpec::of_gib(workloads::app_by_abbrev(abbrev), 1.0);
+    ASSERT_TRUE(queue.submit(std::move(s)));
+  }
+  queue.close();
+
+  SwappingTuner first(stp_);
+  SwappingTuner second(stp_);
+  StreamDispatcher disp(eval_, cache_, td_, first, queue, {});
+  first.victim = &disp;
+  first.next = &second;
+
+  core::ClusterEngine engine(eval_, 2, 2);
+  engine.run(disp);
+
+  // Two pair decisions: the first consults `first` (which swaps itself
+  // out), the second must land on `second`.
+  EXPECT_EQ(disp.stats().pairs, 4u);
+  EXPECT_EQ(first.calls, 1);
+  EXPECT_EQ(second.calls, 1);
+}
+
+}  // namespace
+}  // namespace ecost::serve

@@ -1,0 +1,129 @@
+#include "serve/submit_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "workloads/apps.hpp"
+
+namespace ecost::serve {
+namespace {
+
+Submission make_sub(std::uint64_t id, double t = 0.0) {
+  Submission s;
+  s.id = id;
+  s.arrival_s = t;
+  s.job = mapreduce::JobSpec::of_gib(workloads::app_by_abbrev("WC"), 1.0);
+  return s;
+}
+
+TEST(SubmitQueueTest, DrainPreservesSubmissionOrder) {
+  SubmitQueue q(8);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    EXPECT_TRUE(q.submit(make_sub(id, double(id))));
+  }
+  EXPECT_EQ(q.size(), 5u);
+  std::vector<Submission> out;
+  EXPECT_EQ(q.drain(out), 5u);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::uint64_t id = 1; id <= 5; ++id) EXPECT_EQ(out[id - 1].id, id);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.accepted(), 5u);
+}
+
+TEST(SubmitQueueTest, TrySubmitShedsWhenFull) {
+  SubmitQueue q(2);
+  EXPECT_TRUE(q.try_submit(make_sub(1)));
+  EXPECT_TRUE(q.try_submit(make_sub(2)));
+  EXPECT_FALSE(q.try_submit(make_sub(3)));  // full: shed, don't block
+  std::vector<Submission> out;
+  q.drain(out);
+  EXPECT_TRUE(q.try_submit(make_sub(4)));
+  EXPECT_EQ(q.accepted(), 3u);
+}
+
+TEST(SubmitQueueTest, SubmitBlocksUntilConsumerDrains) {
+  SubmitQueue q(1);
+  ASSERT_TRUE(q.submit(make_sub(1)));
+  std::atomic<bool> second_in{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.submit(make_sub(2)));  // blocks: queue is full
+    second_in = true;
+  });
+  // The producer must be stuck behind the full queue until we drain.
+  while (q.blocked() == 0) std::this_thread::yield();
+  EXPECT_FALSE(second_in.load());
+  std::vector<Submission> out;
+  EXPECT_TRUE(q.wait_drain(out));
+  producer.join();
+  EXPECT_TRUE(second_in.load());
+  out.clear();
+  EXPECT_TRUE(q.wait_drain(out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 2u);
+  EXPECT_GE(q.blocked(), 1u);
+}
+
+TEST(SubmitQueueTest, CloseWakesBlockedProducerAndFailsTheSubmit) {
+  SubmitQueue q(1);
+  ASSERT_TRUE(q.submit(make_sub(1)));
+  std::thread producer([&] {
+    EXPECT_FALSE(q.submit(make_sub(2)));  // woken by close, rejected
+  });
+  while (q.blocked() == 0) std::this_thread::yield();
+  q.close();
+  producer.join();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.submit(make_sub(3)));
+  EXPECT_FALSE(q.try_submit(make_sub(4)));
+  // Items queued before close still drain out; only then end-of-stream.
+  std::vector<Submission> out;
+  EXPECT_TRUE(q.wait_drain(out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 1u);
+  out.clear();
+  EXPECT_FALSE(q.wait_drain(out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SubmitQueueTest, WaitDrainBlocksUntilSomethingArrives) {
+  SubmitQueue q(4);
+  std::thread producer([&] {
+    q.submit(make_sub(1));
+    q.close();
+  });
+  std::vector<Submission> out;
+  EXPECT_TRUE(q.wait_drain(out));  // blocks until the producer shows up
+  producer.join();
+  ASSERT_GE(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 1u);
+}
+
+TEST(SubmitQueueTest, ConcurrentProducerDeliversEverythingInOrder) {
+  SubmitQueue q(4);  // tight bound: forces backpressure mid-stream
+  constexpr std::uint64_t kJobs = 200;
+  std::thread producer([&] {
+    for (std::uint64_t id = 1; id <= kJobs; ++id) {
+      ASSERT_TRUE(q.submit(make_sub(id, double(id))));
+    }
+    q.close();
+  });
+  std::vector<Submission> all;
+  std::vector<Submission> chunk;
+  while (true) {
+    chunk.clear();
+    if (!q.wait_drain(chunk)) break;
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  producer.join();
+  ASSERT_EQ(all.size(), kJobs);
+  for (std::uint64_t id = 1; id <= kJobs; ++id) {
+    EXPECT_EQ(all[id - 1].id, id);
+  }
+  EXPECT_EQ(q.accepted(), kJobs);
+}
+
+}  // namespace
+}  // namespace ecost::serve

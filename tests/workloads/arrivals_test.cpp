@@ -1,0 +1,114 @@
+#include "workloads/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mapreduce/eval_cache.hpp"
+#include "util/error.hpp"
+#include "workloads/apps.hpp"
+
+namespace ecost::workloads {
+namespace {
+
+double mean_gap(const std::vector<Arrival>& trace) {
+  if (trace.size() < 2) return 0.0;
+  return (trace.back().t_s - trace.front().t_s) /
+         static_cast<double>(trace.size() - 1);
+}
+
+TEST(ArrivalsTest, PresetsParse) {
+  EXPECT_EQ(ArrivalSpec::preset("poisson").kind, ArrivalKind::Poisson);
+  EXPECT_EQ(ArrivalSpec::preset("diurnal").kind, ArrivalKind::Diurnal);
+  EXPECT_EQ(ArrivalSpec::preset("bursty").kind, ArrivalKind::Bursty);
+  EXPECT_THROW(ArrivalSpec::preset("lumpy"), ecost::InvariantError);
+}
+
+TEST(ArrivalsTest, TraceIsDeterministic) {
+  // The CI soak gates exact decision counts, which is only sound if the
+  // same (spec, count) pair always materializes the same trace.
+  const ArrivalSpec spec = ArrivalSpec::preset("bursty");
+  const auto a = ArrivalProcess(spec).take(500);
+  const auto b = ArrivalProcess(spec).take(500);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].t_s, b[i].t_s);
+    EXPECT_EQ(mapreduce::app_digest(a[i].app), mapreduce::app_digest(b[i].app));
+    EXPECT_DOUBLE_EQ(a[i].gib, b[i].gib);
+  }
+}
+
+TEST(ArrivalsTest, SeedChangesTheTrace) {
+  ArrivalSpec spec = ArrivalSpec::preset("poisson");
+  const auto a = ArrivalProcess(spec).take(100);
+  spec.seed += 1;
+  const auto b = ArrivalProcess(spec).take(100);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].t_s != b[i].t_s) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ArrivalsTest, TimesStrictlyIncreaseAcrossAllShapes) {
+  for (const char* name : {"poisson", "diurnal", "bursty"}) {
+    ArrivalProcess proc(ArrivalSpec::preset(name));
+    double prev = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+      const Arrival a = proc.next();
+      EXPECT_GT(a.t_s, prev) << name << " at arrival " << i;
+      prev = a.t_s;
+    }
+    EXPECT_DOUBLE_EQ(proc.now_s(), prev);
+  }
+}
+
+TEST(ArrivalsTest, PoissonMatchesItsMeanRate) {
+  ArrivalSpec spec = ArrivalSpec::preset("poisson");
+  spec.mean_gap_s = 20.0;
+  const auto trace = ArrivalProcess(spec).take(5000);
+  // Law of large numbers: the empirical mean gap lands near the spec's.
+  EXPECT_NEAR(mean_gap(trace), spec.mean_gap_s, 0.15 * spec.mean_gap_s);
+}
+
+TEST(ArrivalsTest, BurstsRaiseTheOverallRate) {
+  // The MMPP spends part of its time at burst_factor times the base rate,
+  // so the overall mean gap must come out below the calm-only gap.
+  const ArrivalSpec spec = ArrivalSpec::preset("bursty");
+  const auto trace = ArrivalProcess(spec).take(5000);
+  EXPECT_LT(mean_gap(trace), spec.mean_gap_s);
+}
+
+TEST(ArrivalsTest, DiurnalTroughSlowsArrivals) {
+  // Averaged over whole periods the sinusoid spends half its swing below
+  // the peak, so the mean gap exceeds the peak-rate gap.
+  const ArrivalSpec spec = ArrivalSpec::preset("diurnal");
+  const auto trace = ArrivalProcess(spec).take(5000);
+  EXPECT_GT(mean_gap(trace), spec.mean_gap_s);
+}
+
+TEST(ArrivalsTest, DrawsSpanTheStudiedApplicationMix) {
+  const auto trace = ArrivalProcess(ArrivalSpec::preset("poisson")).take(500);
+  std::vector<std::uint64_t> digests;
+  for (const Arrival& a : trace) {
+    digests.push_back(mapreduce::app_digest(a.app));
+  }
+  std::sort(digests.begin(), digests.end());
+  digests.erase(std::unique(digests.begin(), digests.end()), digests.end());
+  // 500 uniform draws over 11 apps miss one with probability ~ 1e-19.
+  EXPECT_EQ(digests.size(), all_apps().size());
+}
+
+TEST(ArrivalsTest, TakeMatchesRepeatedNext) {
+  const ArrivalSpec spec = ArrivalSpec::preset("diurnal");
+  ArrivalProcess one(spec);
+  ArrivalProcess two(spec);
+  const auto trace = one.take(50);
+  for (const Arrival& a : trace) {
+    EXPECT_DOUBLE_EQ(two.next().t_s, a.t_s);
+  }
+}
+
+}  // namespace
+}  // namespace ecost::workloads

@@ -14,8 +14,13 @@
 // and replication flows). It reports per-policy makespan/energy/events and
 // the calendar throughput (cluster.events_per_s) that check_bench gates.
 //
+// A fifth phase — enabled by --serve — exercises the streaming daemon: a
+// bursty arrival trace replayed through ServeDaemon (online classification,
+// pair formation under churn, degradation ladder) with the admission-latency
+// distribution and decision throughput reported under a "serve" key.
+//
 // Usage: bench_sweep [--quick] [--threads=auto|N] [--out=BENCH_sweep.json]
-//                    [--topology=NAME] [--scale-only]
+//                    [--topology=NAME] [--scale-only] [--serve]
 //                    [--trace-out=FILE] [--metrics-out=FILE]
 //   --quick        one input size, smaller reservoirs, fig9 on WS8 only
 //                  (CI smoke)
@@ -27,6 +32,8 @@
 //                  r256, r1024, r4096)
 //   --scale-only   skip the pipeline/fig9 phases; requires --topology
 //                  (the CI scale-smoke configuration)
+//   --serve        run the streaming-daemon phase (bursty trace replay
+//                  through ecostd's ServeDaemon)
 //   --trace-out    record a Chrome trace of the fig9 policy runs (one track
 //                  per scenario/policy) plus host-side pool/cache activity;
 //                  open the file in chrome://tracing or ui.perfetto.dev
@@ -48,7 +55,9 @@
 #include "mapreduce/eval_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/daemon.hpp"
 #include "sim/topology.hpp"
+#include "workloads/arrivals.hpp"
 #include "tuning/brute_force.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -225,11 +234,14 @@ int main(int argc, char** argv) {
   std::string topo_name;
   bool quick = false;
   bool scale_only = false;
+  bool serve = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--scale-only") == 0) {
       scale_only = true;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
     } else if (std::strncmp(argv[i], "--topology=", 11) == 0) {
       topo_name = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
@@ -242,7 +254,7 @@ int main(int argc, char** argv) {
       metrics_path = argv[i] + 14;
     } else {
       std::cerr << "usage: bench_sweep [--quick] [--threads=auto|N]"
-                   " [--out=FILE] [--topology=NAME] [--scale-only]"
+                   " [--out=FILE] [--topology=NAME] [--scale-only] [--serve]"
                    " [--trace-out=FILE] [--metrics-out=FILE]\n";
       return 2;
     }
@@ -409,6 +421,31 @@ int main(int argc, char** argv) {
               << " events/s)\n";
   }
 
+  // Streaming-daemon phase: bursty trace through ServeDaemon. Small enough
+  // to ride along with either pipeline mode; the gated soak configuration
+  // lives in the dedicated ecostd binary.
+  bool have_serve = false;
+  serve::ServeReport serve_rep;
+  if (serve) {
+    const std::size_t serve_jobs = quick ? 500 : 2000;
+    serve::DaemonOptions dopts;
+    dopts.nodes = 8;
+    std::cout << "serve phase: bursty x" << serve_jobs << " jobs on "
+              << dopts.nodes << " nodes...\n";
+    const std::vector<workloads::Arrival> arrivals =
+        workloads::ArrivalProcess(workloads::ArrivalSpec::preset("bursty"))
+            .take(serve_jobs);
+    serve::ServeDaemon daemon(eval, cache, td, stp, dopts);
+    daemon.set_obs(trace_p, 1, &obs::MetricsRegistry::global());
+    serve_rep = daemon.run_trace(arrivals);
+    have_serve = true;
+    std::cout << "  " << serve_rep.stats.decisions() << " decisions in "
+              << json_double(serve_rep.wall_s) << " s wall ("
+              << json_double(serve_rep.decisions_per_s)
+              << " decisions/s), admission p99 "
+              << json_double(serve_rep.p99_admission_s) << " s\n";
+  }
+
   const char* mode = scale_only ? "scale" : (quick ? "quick" : "full");
   out << "{\n"
       << "  \"benchmark\": \"sweep_pipeline\",\n"
@@ -489,6 +526,31 @@ int main(int argc, char** argv) {
     out << "    \"events\": " << json_u64(sc.events) << ",\n"
         << "    \"wall_s\": " << json_double(sc.wall_s) << ",\n"
         << "    \"events_per_s\": " << json_double(sc.events_per_s()) << "\n"
+        << "  },\n";
+  }
+  if (have_serve) {
+    const auto& st = serve_rep.stats;
+    out << "  \"serve\": {\n"
+        << "    \"arrivals\": \"bursty\",\n"
+        << "    \"jobs\": " << serve_rep.jobs << ",\n"
+        << "    \"nodes\": 8,\n"
+        << "    \"decisions\": " << st.decisions() << ",\n"
+        << "    \"pairs\": " << st.pairs << ",\n"
+        << "    \"solos\": " << st.solos << ",\n"
+        << "    \"backfills\": " << st.backfills << ",\n"
+        << "    \"degraded\": " << st.degraded << ",\n"
+        << "    \"deadline_placements\": " << st.deadline_placements << ",\n"
+        << "    \"deferred\": " << st.deferred << ",\n"
+        << "    \"p50_admission_s\": "
+        << json_double(serve_rep.p50_admission_s) << ",\n"
+        << "    \"p99_admission_s\": "
+        << json_double(serve_rep.p99_admission_s) << ",\n"
+        << "    \"makespan_s\": "
+        << json_double(serve_rep.outcome.makespan_s) << ",\n"
+        << "    \"events\": " << serve_rep.outcome.events << ",\n"
+        << "    \"wall_s\": " << json_double(serve_rep.wall_s) << ",\n"
+        << "    \"decisions_per_s\": "
+        << json_double(serve_rep.decisions_per_s) << "\n"
         << "  },\n";
   }
   out << "  \"speedup\": " << json_double(speedup) << "\n"

@@ -26,6 +26,18 @@ are gated on the cluster runtime itself:
                                     deterministic, so any drift here is a
                                     behavior change, not noise (exact match)
 
+Serve reports (ecostd, mode "serve") are gated on the streaming daemon:
+  * serve.decisions, serve.pairs, serve.solos, serve.backfills,
+    serve.degraded, serve.deadline_placements, serve.events -- the daemon's
+    trajectory is simulated-time-deterministic, so every decision count
+    must match the baseline exactly; drift is a scheduling-behavior change
+  * serve.decisions_per_s        -- wall-clock scheduling-loop throughput
+                                    (banded, higher is better)
+  * serve.p99_admission_s        -- simulated admission latency at p99
+                                    (banded, lower is better)
+A serve baseline is tied to its trace and cluster shape: comparisons are
+refused when arrivals/jobs/seed/nodes/slots/deadline/queue-limit differ.
+
 Reports from different machines or configurations are not comparable:
 the gate refuses (exit 2) when the benchmark mode (--quick vs full vs
 scale), the cluster topology (--topology=), the thread count, or the
@@ -126,6 +138,30 @@ def main() -> int:
             f"thread count mismatch: current ran with {cur_threads}"
             f" thread(s), baseline with {base_threads}"
         )
+    if cur_mode == "serve":
+        # A serve run is one deterministic trajectory of (trace, cluster,
+        # policy knobs): decision counts from a different configuration are
+        # a different experiment, not a regression signal.
+        for field in (
+            "arrivals",
+            "jobs",
+            "seed",
+            "mean_gap_s",
+            "gib",
+            "nodes",
+            "slots_per_node",
+            "deadline_s",
+            "tuner_budget_s",
+            "tuner_cost_s",
+            "queue_limit",
+        ):
+            cur_v = cur.get(field)
+            base_v = base.get(field)
+            if cur_v != base_v:
+                refuse(
+                    f"serve config mismatch: '{field}' is {cur_v!r} in"
+                    f" current vs {base_v!r} in baseline"
+                )
     # Lane throughput is a property of the compiled kernel: an AVX2 report
     # and a scalar-fallback report measure different code.
     for field in ("simd_isa", "simd_width"):
@@ -138,7 +174,34 @@ def main() -> int:
             )
 
     failed = False
-    if cur_mode == "scale":
+    if cur_mode == "serve":
+        # Same trace + same knobs must reproduce the same decisions: the
+        # dispatcher blocks until its arrival lookahead covers `now`, so
+        # feeder pace and host load cannot change the trajectory.
+        for path in (
+            "serve.decisions",
+            "serve.pairs",
+            "serve.solos",
+            "serve.backfills",
+            "serve.degraded",
+            "serve.deadline_placements",
+            "serve.events",
+        ):
+            c_v = pick(cur, path, args.current)
+            b_v = pick(base, path, args.baseline)
+            if c_v != b_v:
+                print(
+                    f"check_bench: {path}: current={c_v:.0f}"
+                    f" baseline={b_v:.0f} (exact-match, determinism) FAIL"
+                )
+                failed = True
+            else:
+                print(f"check_bench: {path}: {c_v:.0f} == baseline ok")
+        checks = [
+            ("serve.decisions_per_s", "higher-is-better"),
+            ("serve.p99_admission_s", "lower-is-better"),
+        ]
+    elif cur_mode == "scale":
         # The engine is deterministic: same topology + job stream must
         # fire the same calendar events. Drift is a behavior change.
         c_ev = pick(cur, "scale.events", args.current)

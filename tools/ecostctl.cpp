@@ -15,6 +15,11 @@
 //                                          preset, plus per-link traffic and
 //                                          peak utilization from a finished
 //                                          cluster run (default WS8)
+//   ecostctl serve <ARRIVALS> <JOBS> <NODES>
+//                                          replay an arrival trace (poisson,
+//                                          diurnal, bursty) through the
+//                                          ecostd scheduling daemon and
+//                                          summarize its decisions
 #include <algorithm>
 #include <cstring>
 #include <fstream>
@@ -29,6 +34,7 @@
 #include "core/stp.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/daemon.hpp"
 #include "tuning/brute_force.hpp"
 #include "util/table.hpp"
 #include "workloads/apps.hpp"
@@ -280,6 +286,68 @@ int cmd_topo(const std::string& preset, const std::string& ws_name) {
   return 0;
 }
 
+int cmd_serve(const std::string& arrivals, std::size_t jobs, int nodes,
+              const std::string& trace_path) {
+  const mapreduce::NodeEvaluator eval;
+  mapreduce::EvalCache cache(eval);
+
+  // Quick sweep: `serve` is an operator smoke view of the daemon, not the
+  // gated benchmark — ecostd owns that.
+  core::SweepOptions opts;
+  opts.sizes_gib = {1.0};
+  opts.max_rows_per_class_pair = 1000;
+  opts.candidates_per_combo = 16;
+  std::cout << "training ECoST (quick sweep)...\n";
+  const core::TrainingData td = core::build_training_data(cache, opts);
+  const core::MlmStp stp(core::ModelKind::RepTree, td, eval.spec());
+
+  const workloads::ArrivalSpec spec = workloads::ArrivalSpec::preset(arrivals);
+  const std::vector<workloads::Arrival> trace =
+      workloads::ArrivalProcess(spec).take(jobs);
+
+  obs::TraceRecorder rec;
+  obs::TraceRecorder* const rec_p = trace_path.empty() ? nullptr : &rec;
+
+  serve::DaemonOptions dopts;
+  dopts.nodes = nodes;
+  serve::ServeDaemon daemon(eval, cache, td, stp, dopts);
+  daemon.set_obs(rec_p, 1);
+  std::cout << "serving " << jobs << " " << arrivals << " arrivals on "
+            << nodes << " nodes...\n";
+  const serve::ServeReport rep = daemon.run_trace(trace);
+
+  const auto& st = rep.stats;
+  Table table({"metric", "value"});
+  table.add_row({"decisions", std::to_string(st.decisions())});
+  table.add_row({"pairs", std::to_string(st.pairs)});
+  table.add_row({"solos", std::to_string(st.solos)});
+  table.add_row({"backfills", std::to_string(st.backfills)});
+  table.add_row({"degraded (tuner budget)", std::to_string(st.degraded)});
+  table.add_row(
+      {"deadline placements", std::to_string(st.deadline_placements)});
+  table.add_row({"deferred admissions", std::to_string(st.deferred)});
+  table.add_row({"producer blocked", std::to_string(rep.producer_blocked)});
+  table.add_row({"admission p50 [s]", Table::num(rep.p50_admission_s, 1)});
+  table.add_row({"admission p99 [s]", Table::num(rep.p99_admission_s, 1)});
+  table.add_row({"admission max [s]", Table::num(rep.max_admission_s, 1)});
+  table.add_row({"makespan [s]", Table::num(rep.outcome.makespan_s, 1)});
+  table.add_row({"energy [kJ]", Table::num(rep.outcome.energy_dyn_j / 1e3, 1)});
+  table.add_row({"decisions/s (wall)", Table::num(rep.decisions_per_s, 0)});
+  table.print(std::cout);
+
+  if (rec_p != nullptr) {
+    std::ofstream tf(trace_path);
+    if (!tf) {
+      std::cerr << "cannot open " << trace_path << '\n';
+      return 1;
+    }
+    rec_p->export_chrome_json(tf);
+    std::cout << "wrote " << trace_path << " (" << rec_p->size()
+              << " events); open it in chrome://tracing or ui.perfetto.dev\n";
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage:\n"
                "  ecostctl apps\n"
@@ -292,7 +360,9 @@ int usage() {
                "  ecostctl trace <WS1..WS8> <NODES> [--out=trace.json]"
                " [--metrics-out=FILE]\n"
                "  ecostctl topo <PRESET> [WS1..WS8]   (presets: flat8, r64,"
-               " r256, r1024, r4096)\n";
+               " r256, r1024, r4096)\n"
+               "  ecostctl serve <poisson|diurnal|bursty> <JOBS> <NODES>"
+               " [--trace-out=FILE]\n";
   return 2;
 }
 
@@ -330,6 +400,21 @@ int main(int argc, char** argv) {
     }
     if (cmd == "topo" && (argc == 3 || argc == 4)) {
       return cmd_topo(argv[2], argc == 4 ? argv[3] : "WS8");
+    }
+    if (cmd == "serve" && argc >= 5) {
+      std::string trace_path;
+      for (int i = 5; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+          trace_path = argv[i] + 12;
+        } else {
+          return usage();
+        }
+      }
+      const long long jobs = std::atoll(argv[3]);
+      const int nodes = std::atoi(argv[4]);
+      if (jobs < 1 || nodes < 1) return usage();
+      return cmd_serve(argv[2], static_cast<std::size_t>(jobs), nodes,
+                       trace_path);
     }
     return usage();
   } catch (const std::exception& e) {

@@ -1,0 +1,279 @@
+// ecostd — the persistent scheduling service, driven end to end.
+//
+// Trains the ECoST pipeline once, generates a deterministic arrival trace
+// (Poisson / diurnal / bursty), and replays it through ServeDaemon: a feeder
+// thread submits jobs through the bounded queue while the streaming
+// dispatcher classifies each unknown application online, forms pairs under
+// churn, and degrades to untuned placement when the modeled tuner falls
+// behind or a job hits its admission deadline. Writes a mode-"serve" JSON
+// report that tools/check_bench.py gates in CI (exact decision counts,
+// banded decisions/s and p99 admission latency).
+//
+// Usage: ecostd [--arrivals=poisson|diurnal|bursty] [--jobs=N] [--nodes=N]
+//               [--slots=N] [--mean-gap=S] [--gib=G] [--seed=N]
+//               [--deadline=S] [--tuner-budget=S] [--tuner-cost=S]
+//               [--queue-limit=N] [--submit-capacity=N] [--quick]
+//               [--threads=auto|N] [--out=FILE] [--trace-out=FILE]
+//               [--metrics-out=FILE]
+//   --quick   cheap training sweep (CI smoke/soak configuration)
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dataset_builder.hpp"
+#include "core/stp.hpp"
+#include "mapreduce/env_solver.hpp"
+#include "mapreduce/eval_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/daemon.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/arrivals.hpp"
+
+using namespace ecost;
+
+namespace {
+
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int usage() {
+  std::cerr
+      << "usage: ecostd [--arrivals=poisson|diurnal|bursty] [--jobs=N]\n"
+         "              [--nodes=N] [--slots=N] [--mean-gap=S] [--gib=G]\n"
+         "              [--seed=N] [--deadline=S] [--tuner-budget=S]\n"
+         "              [--tuner-cost=S] [--queue-limit=N]\n"
+         "              [--submit-capacity=N] [--quick] [--threads=auto|N]\n"
+         "              [--out=FILE] [--trace-out=FILE] [--metrics-out=FILE]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string arrivals_name = "bursty";
+  std::string out_path = "BENCH_serve.json";
+  std::string trace_path;
+  std::string metrics_path;
+  std::string threads_arg = "auto";
+  std::size_t jobs = 10000;
+  serve::DaemonOptions dopts;
+  dopts.nodes = 16;
+  double mean_gap_s = -1.0;  // < 0: keep the preset's value
+  double gib = -1.0;
+  long long seed = -1;
+  bool quick = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto num = [&](const char* flag, std::size_t n) -> const char* {
+      return std::strncmp(argv[i], flag, n) == 0 ? argv[i] + n : nullptr;
+    };
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (const char* v = num("--arrivals=", 11)) {
+      arrivals_name = v;
+    } else if (const char* v = num("--jobs=", 7)) {
+      jobs = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = num("--nodes=", 8)) {
+      dopts.nodes = std::atoi(v);
+    } else if (const char* v = num("--slots=", 8)) {
+      dopts.slots_per_node = std::atoi(v);
+    } else if (const char* v = num("--mean-gap=", 11)) {
+      mean_gap_s = std::atof(v);
+    } else if (const char* v = num("--gib=", 6)) {
+      gib = std::atof(v);
+    } else if (const char* v = num("--seed=", 7)) {
+      seed = std::atoll(v);
+    } else if (const char* v = num("--deadline=", 11)) {
+      dopts.serve.deadline_s = std::atof(v);
+    } else if (const char* v = num("--tuner-budget=", 15)) {
+      dopts.serve.tuner_budget_s = std::atof(v);
+    } else if (const char* v = num("--tuner-cost=", 13)) {
+      dopts.serve.tuner_cost_s = std::atof(v);
+    } else if (const char* v = num("--queue-limit=", 14)) {
+      dopts.serve.queue_limit =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = num("--submit-capacity=", 18)) {
+      dopts.submit_capacity =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = num("--threads=", 10)) {
+      threads_arg = v;
+    } else if (const char* v = num("--out=", 6)) {
+      out_path = v;
+    } else if (const char* v = num("--trace-out=", 12)) {
+      trace_path = v;
+    } else if (const char* v = num("--metrics-out=", 14)) {
+      metrics_path = v;
+    } else {
+      return usage();
+    }
+  }
+  if (jobs == 0 || dopts.nodes < 1 || dopts.slots_per_node < 1) {
+    return usage();
+  }
+
+  if (threads_arg != "auto") {
+    char* end = nullptr;
+    const long n = std::strtol(threads_arg.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || n < 1) {
+      std::cerr << "ecostd: --threads expects 'auto' or an integer >= 1\n";
+      return 2;
+    }
+    ThreadPool::configure_global(static_cast<unsigned>(n - 1));
+  }
+
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::cerr << "ecostd: cannot write " << out_path << "\n";
+    return 1;
+  }
+
+  try {
+    workloads::ArrivalSpec spec = workloads::ArrivalSpec::preset(arrivals_name);
+    if (mean_gap_s > 0.0) spec.mean_gap_s = mean_gap_s;
+    if (gib > 0.0) spec.gib = gib;
+    if (seed >= 0) spec.seed = static_cast<std::uint64_t>(seed);
+
+    const unsigned participants = ThreadPool::global().worker_count() + 1;
+    std::cout << "ecostd: " << to_string(spec.kind) << " trace, " << jobs
+              << " jobs, " << dopts.nodes << " nodes x "
+              << dopts.slots_per_node << " slots, " << participants
+              << " thread(s)\n";
+
+    const mapreduce::NodeEvaluator eval;
+    mapreduce::EvalCache cache(eval);
+    core::SweepOptions sweep;
+    if (quick) {
+      sweep.sizes_gib = {1.0};
+      sweep.max_rows_per_class_pair = 1000;
+      sweep.candidates_per_combo = 16;
+    }
+    std::cout << "training ECoST (" << (quick ? "quick" : "full")
+              << " sweep)...\n";
+    auto t0 = std::chrono::steady_clock::now();
+    const core::TrainingData td = core::build_training_data(cache, sweep);
+    const core::MlmStp stp(core::ModelKind::RepTree, td, eval.spec());
+    const double train_s = seconds_since(t0);
+    std::cout << "  trained in " << json_double(train_s) << " s\n";
+
+    const std::vector<workloads::Arrival> trace =
+        workloads::ArrivalProcess(spec).take(jobs);
+
+    obs::TraceRecorder rec;
+    obs::TraceRecorder* const rec_p = trace_path.empty() ? nullptr : &rec;
+
+    serve::ServeDaemon daemon(eval, cache, td, stp, dopts);
+    daemon.set_obs(rec_p, 1, &obs::MetricsRegistry::global());
+    std::cout << "serving...\n";
+    const serve::ServeReport rep = daemon.run_trace(trace);
+
+    const auto& st = rep.stats;
+    std::cout << "  " << st.decisions() << " decisions in "
+              << json_double(rep.wall_s) << " s wall ("
+              << json_double(rep.decisions_per_s) << " decisions/s)\n"
+              << "  pairs " << st.pairs << ", solos " << st.solos
+              << ", backfills " << st.backfills << ", degraded "
+              << st.degraded << ", deadline " << st.deadline_placements
+              << ", deferred " << st.deferred << "\n"
+              << "  admission p50 " << json_double(rep.p50_admission_s)
+              << " s, p99 " << json_double(rep.p99_admission_s) << " s, max "
+              << json_double(rep.max_admission_s) << " s (simulated)\n"
+              << "  makespan " << json_double(rep.outcome.makespan_s)
+              << " s, " << rep.outcome.events << " calendar events\n";
+    ECOST_CHECK(st.decisions() == jobs,
+                "every submitted job must receive exactly one decision");
+
+    out << "{\n"
+        << "  \"benchmark\": \"ecostd_serve\",\n"
+        << "  \"mode\": \"serve\",\n"
+        << "  \"threads\": " << participants << ",\n"
+        << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "  \"arrivals\": \"" << to_string(spec.kind) << "\",\n"
+        << "  \"jobs\": " << jobs << ",\n"
+        << "  \"nodes\": " << dopts.nodes << ",\n"
+        << "  \"slots_per_node\": " << dopts.slots_per_node << ",\n"
+        << "  \"seed\": " << spec.seed << ",\n"
+        << "  \"mean_gap_s\": " << json_double(spec.mean_gap_s) << ",\n"
+        << "  \"gib\": " << json_double(spec.gib) << ",\n"
+        << "  \"deadline_s\": " << json_double(dopts.serve.deadline_s)
+        << ",\n"
+        << "  \"tuner_budget_s\": "
+        << json_double(dopts.serve.tuner_budget_s) << ",\n"
+        << "  \"tuner_cost_s\": " << json_double(dopts.serve.tuner_cost_s)
+        << ",\n"
+        << "  \"queue_limit\": " << dopts.serve.queue_limit << ",\n"
+        << "  \"submit_capacity\": " << dopts.submit_capacity << ",\n"
+        << "  \"train_s\": " << json_double(train_s) << ",\n"
+        << "  \"grid\": {\n"
+        << "    \"simd_width\": " << mapreduce::solve_lanes_simd_width()
+        << ",\n"
+        << "    \"simd_isa\": \"" << mapreduce::solve_lanes_simd_isa()
+        << "\"\n"
+        << "  },\n"
+        << "  \"serve\": {\n"
+        << "    \"decisions\": " << st.decisions() << ",\n"
+        << "    \"pairs\": " << st.pairs << ",\n"
+        << "    \"solos\": " << st.solos << ",\n"
+        << "    \"backfills\": " << st.backfills << ",\n"
+        << "    \"degraded\": " << st.degraded << ",\n"
+        << "    \"deadline_placements\": " << st.deadline_placements << ",\n"
+        << "    \"deferred\": " << st.deferred << ",\n"
+        << "    \"producer_blocked\": " << rep.producer_blocked << ",\n"
+        << "    \"p50_admission_s\": " << json_double(rep.p50_admission_s)
+        << ",\n"
+        << "    \"p99_admission_s\": " << json_double(rep.p99_admission_s)
+        << ",\n"
+        << "    \"max_admission_s\": " << json_double(rep.max_admission_s)
+        << ",\n"
+        << "    \"makespan_s\": " << json_double(rep.outcome.makespan_s)
+        << ",\n"
+        << "    \"energy_dyn_j\": " << json_double(rep.outcome.energy_dyn_j)
+        << ",\n"
+        << "    \"events\": " << rep.outcome.events << ",\n"
+        << "    \"wall_s\": " << json_double(rep.wall_s) << ",\n"
+        << "    \"decisions_per_s\": " << json_double(rep.decisions_per_s)
+        << "\n"
+        << "  }\n"
+        << "}\n";
+    std::cout << "wrote " << out_path << "\n";
+
+    if (rec_p != nullptr) {
+      std::ofstream tf(trace_path);
+      if (!tf.good()) {
+        std::cerr << "ecostd: cannot write " << trace_path << "\n";
+        return 1;
+      }
+      rec_p->export_chrome_json(tf);
+      std::cout << "wrote " << trace_path << " (" << rec_p->size()
+                << " events); open in chrome://tracing or ui.perfetto.dev\n";
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream mf(metrics_path);
+      if (!mf.good()) {
+        std::cerr << "ecostd: cannot write " << metrics_path << "\n";
+        return 1;
+      }
+      obs::MetricsRegistry::global().write_json(mf);
+      std::cout << "wrote " << metrics_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "ecostd: error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
