@@ -1,0 +1,142 @@
+// Microbenchmarks of the path-class-aggregated flow network
+// (google-benchmark): one max-min recompute must stay scale-free in the
+// number of concurrent FLOWS — its cost is a function of path CLASSES and
+// touched links only. The flows-per-class sweep pins that claim: rows with
+// the same class count and wildly different flow counts must report the
+// same ns/recompute.
+//
+// Every benchmark also reports an `allocs_per_iter` counter from a global
+// operator-new probe: the steady-state churn loop (start one flow, drain
+// it, recompute twice) must stay at ~2 allocations per cycle — only the
+// by-value vector `pop_completed` returns, never the recompute scratch,
+// the class heaps (pooled), or the touched-link buffers, all of which are
+// recycled. A count that scales with flows or classes is a regression
+// even when the wall time looks fine.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "sim/flow_net.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+// Heap-count probe: every allocation in the process bumps one counter.
+// Relaxed ordering is fine — benchmarks read it around a loop boundary.
+// (GCC flags free() inside a replaced operator delete as mismatched with
+// the default operator new it can no longer see; the pair is consistent.)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace ecost;
+
+/// Fills `net` with `flows` long-lived flows spread over `classes`
+/// distinct same-rack node pairs (plus cross-rack spill when a rack runs
+/// out of pairs). The payload is large enough that nothing drains during
+/// the benchmark loop.
+void populate(sim::FlowNet& net, const sim::Topology& topo, int flows,
+              int classes) {
+  const int per_rack = topo.nodes_per_rack();
+  for (int f = 0; f < flows; ++f) {
+    const int c = f % classes;
+    const int rack = c / (per_rack - 2);
+    const int slot = c % (per_rack - 2);
+    const int src = rack * per_rack + slot;
+    const int dst = rack * per_rack + slot + 1;
+    net.start(src, dst, 1e15, sim::FlowKind::Shuffle,
+              static_cast<std::uint64_t>(f), 0.0);
+  }
+}
+
+/// Steady-state churn: one tiny flow on a dedicated node pair starts,
+/// becomes the earliest completion, and drains — two membership epochs
+/// (and so two max-min recomputes) per iteration, against a standing
+/// population of `flows` flows in `classes` classes.
+void BM_RecomputeChurn(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  const int classes = static_cast<int>(state.range(1));
+  const sim::Topology topo = sim::Topology::racked(64, 32, 10.0, 40.0);
+  sim::FlowNet net(topo);
+  populate(net, topo, flows, classes);
+  // Dedicated churn pair on the last rack, untouched by populate().
+  const int churn_src = topo.nodes() - 1;
+  const int churn_dst = topo.nodes() - 2;
+  double now = net.next_completion_s() * 0.0;  // warm the first recompute
+  std::uint64_t job = 1u << 20;
+  // Warm-up churn so every pool and scratch buffer reaches steady state
+  // before the allocation probe starts counting.
+  for (int i = 0; i < 3; ++i) {
+    net.start(churn_src, churn_dst, 1.0, sim::FlowKind::Replication, ++job,
+              now);
+    now = net.next_completion_s();
+    benchmark::DoNotOptimize(net.pop_completed(now));
+  }
+  const std::uint64_t recomputes0 = net.recomputes();
+  const std::uint64_t allocs0 =
+      g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    net.start(churn_src, churn_dst, 1.0, sim::FlowKind::Replication, ++job,
+              now);
+    now = net.next_completion_s();
+    benchmark::DoNotOptimize(net.pop_completed(now));
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["recomputes_per_s"] = benchmark::Counter(
+      static_cast<double>(net.recomputes() - recomputes0),
+      benchmark::Counter::kIsRate);
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(g_allocs.load(std::memory_order_relaxed) -
+                          allocs0) /
+      (iters > 0.0 ? iters : 1.0));
+  state.counters["classes"] =
+      static_cast<double>(net.active_classes());
+}
+// Same class count, 1x / 8x / 64x the flows: ns/recompute must not move.
+BENCHMARK(BM_RecomputeChurn)
+    ->ArgNames({"flows", "classes"})
+    ->Args({32, 32})
+    ->Args({256, 32})
+    ->Args({2048, 32})
+    ->Args({256, 256})
+    ->Args({2048, 256})
+    ->Args({2048, 1024});
+
+/// Cold recompute over a fresh population — measures the start-heavy path
+/// (interning, class creation, first fill) rather than steady churn.
+void BM_PopulateAndFirstFill(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  const int classes = static_cast<int>(state.range(1));
+  const sim::Topology topo = sim::Topology::racked(64, 32, 10.0, 40.0);
+  for (auto _ : state) {
+    sim::FlowNet net(topo);
+    populate(net, topo, flows, classes);
+    benchmark::DoNotOptimize(net.next_completion_s());
+  }
+}
+BENCHMARK(BM_PopulateAndFirstFill)
+    ->ArgNames({"flows", "classes"})
+    ->Args({256, 32})
+    ->Args({2048, 256});
+
+}  // namespace

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "mapreduce/eval_cache.hpp"
 #include "sim/event_queue.hpp"
 #include "util/error.hpp"
 
@@ -55,47 +56,53 @@ std::size_t ClusterView::busy_slots_in_rack(int rack) const {
 }
 
 std::vector<int> ClusterView::nodes_rack_major(RackOrder order) const {
+  std::vector<int> out;
+  nodes_rack_major(order, out);
+  return out;
+}
+
+void ClusterView::nodes_rack_major(RackOrder order,
+                                   std::vector<int>& out) const {
   const int n_racks = topo_->racks();
   const int per_rack = topo_->nodes_per_rack();
-  std::vector<int> rack_ids(static_cast<std::size_t>(n_racks));
-  for (int r = 0; r < n_racks; ++r) rack_ids[static_cast<std::size_t>(r)] = r;
+  rack_ids_.resize(static_cast<std::size_t>(n_racks));
+  for (int r = 0; r < n_racks; ++r) rack_ids_[static_cast<std::size_t>(r)] = r;
   if (n_racks > 1 && order != RackOrder::ById) {
-    std::vector<long long> key(static_cast<std::size_t>(n_racks), 0);
+    rack_key_.assign(static_cast<std::size_t>(n_racks), 0);
     for (int r = 0; r < n_racks; ++r) {
       const auto ru = static_cast<std::size_t>(r);
       switch (order) {
         case RackOrder::LeastBusyFirst:
-          key[ru] = static_cast<long long>(busy_slots_in_rack(r));
+          rack_key_[ru] = static_cast<long long>(busy_slots_in_rack(r));
           break;
         case RackOrder::MostBusyFirst:
-          key[ru] = -static_cast<long long>(busy_slots_in_rack(r));
+          rack_key_[ru] = -static_cast<long long>(busy_slots_in_rack(r));
           break;
         case RackOrder::MostEmptyNodesFirst: {
           const int first = r * per_rack;
           const int last = std::min(first + per_rack, nodes());
           long long empties = 0;
           for (int n = first; n < last; ++n) empties += empty(n) ? 1 : 0;
-          key[ru] = -empties;
+          rack_key_[ru] = -empties;
           break;
         }
         case RackOrder::ById:
           break;
       }
     }
-    std::stable_sort(rack_ids.begin(), rack_ids.end(),
+    std::stable_sort(rack_ids_.begin(), rack_ids_.end(),
                      [&](int a, int b) {
-                       return key[static_cast<std::size_t>(a)] <
-                              key[static_cast<std::size_t>(b)];
+                       return rack_key_[static_cast<std::size_t>(a)] <
+                              rack_key_[static_cast<std::size_t>(b)];
                      });
   }
-  std::vector<int> out;
+  out.clear();
   out.reserve(static_cast<std::size_t>(nodes()));
-  for (const int r : rack_ids) {
+  for (const int r : rack_ids_) {
     const int first = r * per_rack;
     const int last = std::min(first + per_rack, nodes());
     for (int n = first; n < last; ++n) out.push_back(n);
   }
-  return out;
 }
 
 std::string PlacementRecord::format() const {
@@ -165,16 +172,38 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
   std::optional<sim::FlowNet> net;
   if (!topo_.ideal()) net.emplace(topo_);
 
-  // Per-part calendar state, keyed by RunningJob::part_id. `synced_s` is
-  // the last instant `remaining` was materialized; between syncs the part's
-  // true progress is implied by (now - synced_s) / est_total_s.
-  struct PartTrack {
-    sim::EventQueue::EventId ev;
-    double deadline_s = std::numeric_limits<double>::infinity();
-    double synced_s = 0.0;
-  };
-  std::unordered_map<std::uint64_t, PartTrack> part_track;
   std::uint64_t next_part_id = 1;
+
+  // Joint-environment memo: co_run_loads is a pure function of the resident
+  // (application, split bytes, knobs) sequence, and big-cluster mappings
+  // re-solve the SAME environment on hundreds of nodes per wave (a gang
+  // places one split everywhere). Key = 3 words per resident, in residency
+  // order; results (loads + dynamic power) are reused bit-identically.
+  struct EnvEntry {
+    std::vector<mapreduce::NodeEvaluator::GroupLoads> loads;
+    double power_w = 0.0;
+  };
+  struct EnvKeyHash {
+    std::size_t operator()(const std::vector<std::uint64_t>& k) const {
+      std::uint64_t h = 0xcbf29ce484222325ULL;
+      for (const std::uint64_t w : k) {
+        h = (h ^ w) * 0x100000001b3ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<std::vector<std::uint64_t>, EnvEntry, EnvKeyHash>
+      env_memo;
+  std::vector<std::uint64_t> env_key;  ///< lookup scratch, reused
+  const auto cfg_word = [](const mapreduce::AppConfig& cfg) {
+    return static_cast<std::uint64_t>(cfg.freq) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                cfg.block_mib))
+            << 8) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                cfg.mappers))
+            << 40);
+  };
 
   // Batch-collection state: event callbacks only record what fired; the
   // loop body applies the effects in the documented order.
@@ -183,11 +212,13 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
   sim::EventQueue::EventId arrival_ev;
   sim::EventQueue::EventId net_ev;
 
-  // Nodes with at least one free co-residency slot — the standing re-tune
-  // candidates (a survivor next to a free slot may expand onto it as soon
-  // as nothing is left to fill it). Ordered so offers run in node order.
+  // Occupied nodes with at least one free co-residency slot — the standing
+  // re-tune candidates (a survivor next to a free slot may expand onto it
+  // as soon as nothing is left to fill it). Empty nodes have nothing to
+  // re-tune, so they never enter the set and a mostly-idle big cluster
+  // keeps this near-empty instead of cluster-sized. Ordered so offers run
+  // in node order.
   std::set<int> spare;
-  for (int n = 0; n < nodes_; ++n) spare.insert(n);
   // Nodes whose membership or knobs changed since their last re-solve.
   std::vector<int> touched;
   touched.reserve(n_nodes);
@@ -216,15 +247,16 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
   };
 
   auto update_spare = [&](int n) {
+    const auto& jobs = node_jobs[static_cast<std::size_t>(n)];
     std::size_t free = static_cast<std::size_t>(slots_);
-    for (const RunningJob& rj : node_jobs[static_cast<std::size_t>(n)]) {
+    for (const RunningJob& rj : jobs) {
       if (rj.exclusive) {
         free = 0;
         break;
       }
       free = free == 0 ? 0 : free - 1;
     }
-    if (free > 0) {
+    if (free > 0 && !jobs.empty()) {
       spare.insert(n);
     } else {
       spare.erase(n);
@@ -235,12 +267,11 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
   // Idempotent within a batch (synced_s advances to now on first call).
   std::function<void(int)> refresh_node = [&](int n) {
     for (RunningJob& rj : node_jobs[static_cast<std::size_t>(n)]) {
-      PartTrack& pt = part_track[rj.part_id];
-      const double dt = now - pt.synced_s;
+      const double dt = now - rj.synced_s;
       if (dt > 0.0 && rj.est_total_s > 0.0) {
         rj.remaining = std::max(0.0, rj.remaining - dt / rj.est_total_s);
       }
-      pt.synced_s = now;
+      rj.synced_s = now;
     }
   };
 
@@ -256,18 +287,22 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
 
   // Asks the dispatcher for placements and applies them. Placements are
   // validated against the evolving state, so a plan may not over-commit the
-  // capacity it saw.
+  // capacity it saw. Node-repeat validation is one epoch-stamped mark per
+  // node, not a pairwise scan — a cluster-wide gang is O(k), not O(k^2).
+  std::vector<std::uint64_t> node_mark(n_nodes, 0);
+  std::uint64_t mark_epoch = 0;
   auto apply_plan = [&] {
     const auto placements = dispatcher.plan(view, now);
     for (const Placement& p : placements) {
       const std::size_t k = p.nodes.size();
       ECOST_REQUIRE(k >= 1, "placement targets no nodes");
+      ++mark_epoch;
       for (std::size_t i = 0; i < k; ++i) {
         const int n = p.nodes[i];
         ECOST_REQUIRE(n >= 0 && n < nodes_, "placement node out of range");
-        for (std::size_t j = i + 1; j < k; ++j) {
-          ECOST_REQUIRE(p.nodes[j] != n, "placement repeats a node");
-        }
+        ECOST_REQUIRE(node_mark[static_cast<std::size_t>(n)] != mark_epoch,
+                      "placement repeats a node");
+        node_mark[static_cast<std::size_t>(n)] = mark_epoch;
         if (p.exclusive) {
           ECOST_REQUIRE(node_jobs[static_cast<std::size_t>(n)].empty(),
                         "exclusive placement on a busy node");
@@ -285,6 +320,9 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
       // block assignment would round).
       mapreduce::JobSpec part = p.job.info.job;
       part.input_bytes /= static_cast<std::uint64_t>(k);
+      // One digest per placement, shared by the whole gang — the memo key
+      // component is a property of the application, not the node.
+      const std::uint64_t digest = mapreduce::app_digest(part.app);
       for (const int n : p.nodes) {
         RunningJob rj;
         rj.job = p.job;
@@ -294,7 +332,8 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
         rj.exclusive = p.exclusive;
         rj.spread = static_cast<int>(k);
         rj.part_id = next_part_id++;
-        part_track[rj.part_id].synced_s = now;
+        rj.synced_s = now;
+        rj.app_digest = digest;
         node_jobs[static_cast<std::size_t>(n)].push_back(std::move(rj));
         if (!dirty[static_cast<std::size_t>(n)]) {
           dirty[static_cast<std::size_t>(n)] = 1;
@@ -317,13 +356,23 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
 
   // Offers a re-tune for every resident of a node whose membership changed
   // or that still has spare capacity. Candidates are the touched nodes plus
-  // the spare-capacity set — never a full cluster scan.
+  // the spare-capacity set — never a full cluster scan, and never a copy:
+  // `touched` must arrive sorted and deduplicated, and is merge-iterated
+  // against the (ordered) spare set. Retunes may append to `touched` past
+  // the snapshot; those nodes are exactly the ones being visited, so the
+  // merge never misses them.
   auto run_retunes = [&] {
-    std::vector<int> cand(spare.begin(), spare.end());
-    cand.insert(cand.end(), touched.begin(), touched.end());
-    std::sort(cand.begin(), cand.end());
-    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
-    for (const int n : cand) {
+    const std::size_t touched_end = touched.size();
+    std::size_t ti = 0;
+    auto si = spare.begin();
+    while (ti < touched_end || si != spare.end()) {
+      int n;
+      if (si == spare.end() || (ti < touched_end && touched[ti] <= *si)) {
+        n = touched[ti++];
+        if (si != spare.end() && *si == n) ++si;  // in both: visit once
+      } else {
+        n = *si++;
+      }
       auto& jobs = node_jobs[static_cast<std::size_t>(n)];
       if (jobs.empty()) continue;
       if (!dirty[static_cast<std::size_t>(n)] && view.free_slots(n) == 0) {
@@ -352,6 +401,8 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
   // Re-solves one dirty node's joint environment: syncs resident progress,
   // updates power, and re-schedules each resident's completion event at
   // now + remaining * est — the only place completion times are decided.
+  std::vector<const mapreduce::JobSpec*> resolve_specs;  ///< reused scratch
+  std::vector<mapreduce::AppConfig> resolve_cfgs;
   auto resolve_node = [&](int n) {
     const auto nu = static_cast<std::size_t>(n);
     auto& jobs = node_jobs[nu];
@@ -377,29 +428,39 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
       wave_start[nu] = now;
     }
     c_env_resolves.add();
-    std::vector<const mapreduce::JobSpec*> specs;
-    std::vector<mapreduce::AppConfig> cfgs;
-    specs.reserve(jobs.size());
-    cfgs.reserve(jobs.size());
+    env_key.clear();
     for (const RunningJob& rj : jobs) {
-      specs.push_back(&rj.part);
-      cfgs.push_back(rj.cfg);
+      env_key.push_back(rj.app_digest);
+      env_key.push_back(rj.part.input_bytes);
+      env_key.push_back(cfg_word(rj.cfg));
     }
-    const auto loads = eval_.co_run_loads(specs, cfgs);
-    cluster_power += eval_.dynamic_power_w(loads) - node_power[nu];
-    node_power[nu] = eval_.dynamic_power_w(loads);
+    auto memo = env_memo.find(env_key);
+    if (memo == env_memo.end()) {
+      resolve_specs.clear();
+      resolve_cfgs.clear();
+      for (const RunningJob& rj : jobs) {
+        resolve_specs.push_back(&rj.part);
+        resolve_cfgs.push_back(rj.cfg);
+      }
+      EnvEntry entry;
+      entry.loads = eval_.co_run_loads(resolve_specs, resolve_cfgs);
+      entry.power_w = eval_.dynamic_power_w(entry.loads);
+      memo = env_memo.emplace(env_key, std::move(entry)).first;
+    }
+    const EnvEntry& env = memo->second;
+    cluster_power += env.power_w - node_power[nu];
+    node_power[nu] = env.power_w;
     for (std::size_t j = 0; j < jobs.size(); ++j) {
       RunningJob& rj = jobs[j];
-      rj.est_total_s = std::max(loads[j].total_s, kEps);
-      PartTrack& pt = part_track[rj.part_id];
-      if (pt.ev.valid()) cal.cancel(pt.ev);
+      rj.est_total_s = std::max(env.loads[j].total_s, kEps);
+      if (rj.ev.valid()) cal.cancel(rj.ev);
       // The batch's collapse window can leave cal.now() a sliver past the
       // batch time — never schedule into the past.
-      pt.deadline_s =
+      rj.deadline_s =
           std::max(now + rj.remaining * rj.est_total_s, cal.now());
       const int node_id = n;
       const std::uint64_t part_id = rj.part_id;
-      pt.ev = cal.schedule_at(pt.deadline_s, node_id, [&fired_parts, node_id,
+      rj.ev = cal.schedule_at(rj.deadline_s, node_id, [&fired_parts, node_id,
                                                        part_id] {
         fired_parts.emplace_back(node_id, part_id);
       });
@@ -448,7 +509,6 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
       net_left[job_id] += flows_started;
       c_flows.add(static_cast<std::uint64_t>(flows_started));
     }
-    part_track.erase(part_id);
     jobs.erase(it);
     if (!dirty[nu]) {
       dirty[nu] = 1;
@@ -520,13 +580,18 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
   // Shared tail of every batch (and of time zero): give the dispatcher its
   // scheduling opportunity, re-solve what changed, re-aim the net/arrival
   // events. Order matches the pre-calendar loop: plan, retune, resolve.
-  auto settle = [&] {
-    apply_plan();
-    run_retunes();
+  std::vector<int> batch;  ///< resolve-loop snapshot, reused across batches
+  auto sort_touched = [&] {
     std::sort(touched.begin(), touched.end());
     touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  };
+  auto settle = [&] {
+    apply_plan();
+    sort_touched();  // run_retunes merge-iterates, so order first
+    run_retunes();
+    sort_touched();
     // resolve_node may not extend `touched` — iterate a stable copy.
-    const std::vector<int> batch = touched;
+    batch.assign(touched.begin(), touched.end());
     touched.clear();
     for (const int n : batch) {
       if (dirty[static_cast<std::size_t>(n)]) resolve_node(n);
@@ -566,8 +631,7 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
       const double tn = cal.next_time();
       const RunningJob* owner = nullptr;
       for (const RunningJob& rj : node_jobs[static_cast<std::size_t>(n)]) {
-        const auto pt = part_track.find(rj.part_id);
-        if (pt != part_track.end() && pt->second.deadline_s == tn) {
+        if (rj.deadline_s == tn) {
           owner = &rj;
           break;
         }
@@ -600,7 +664,10 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
   ECOST_CHECK(live_parts == 0 && parts_left.empty() && net_left.empty(),
               "cluster engine drained with live work");
   out.makespan_s = now;
-  if (net.has_value()) out.links = net->link_stats();
+  if (net.has_value()) {
+    out.net_recomputes = net->recomputes();
+    out.links = net->link_stats();
+  }
   return out;
 }
 

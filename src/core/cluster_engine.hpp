@@ -57,6 +57,7 @@
 #include "mapreduce/node_evaluator.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/flow_net.hpp"
 #include "sim/topology.hpp"
 
@@ -73,6 +74,14 @@ struct RunningJob {
   bool exclusive = false;     ///< this part's placement claimed the whole node
   int spread = 1;             ///< number of nodes the logical job spans
   std::uint64_t part_id = 0;  ///< engine-assigned identity, unique per part
+
+  // Engine-internal calendar tracking (written only by ClusterEngine::run;
+  // dispatchers should treat these as opaque). Keeping them inline with the
+  // part avoids a part-id hash lookup on every progress refresh.
+  sim::EventQueue::EventId ev;  ///< pending completion event
+  double deadline_s = std::numeric_limits<double>::infinity();
+  double synced_s = 0.0;   ///< last instant `remaining` was materialized
+  std::uint64_t app_digest = 0;  ///< joint-environment memo key component
 };
 
 /// One dispatcher decision: start `job` on `nodes` with knobs `cfg`.
@@ -121,6 +130,9 @@ class ClusterView {
   /// is always plain node-id order — rack-aware dispatchers degrade to the
   /// flat behavior the goldens pin.
   std::vector<int> nodes_rack_major(RackOrder order) const;
+  /// Same ordering written into `out` (cleared first) — dispatchers that
+  /// plan every batch reuse one buffer instead of allocating per call.
+  void nodes_rack_major(RackOrder order, std::vector<int>& out) const;
 
  private:
   friend class ClusterEngine;
@@ -133,6 +145,10 @@ class ClusterView {
   int slots_;
   const sim::Topology* topo_;
   const std::function<void(int)>* refresh_ = nullptr;
+  /// Rack-sort scratch for nodes_rack_major (the engine is single-threaded
+  /// per run; dispatchers call through one view at a time).
+  mutable std::vector<int> rack_ids_;
+  mutable std::vector<long long> rack_key_;
 };
 
 /// Policy hook: decides what runs where.
@@ -202,6 +218,9 @@ struct ClusterOutcome {
   std::vector<std::pair<std::uint64_t, double>> finish_times;  // (job id, t)
   std::vector<PlacementRecord> placements;  ///< every decision, in time order
   std::uint64_t events = 0;   ///< calendar events fired (throughput metric)
+  /// Max-min rate recomputations the flow net performed (one per membership
+  /// epoch — the batched-recompute contract); 0 on an ideal topology.
+  std::uint64_t net_recomputes = 0;
   /// Per-link fabric usage; empty on an ideal (flat) topology.
   std::vector<sim::LinkStats> links;
 

@@ -79,10 +79,12 @@ std::vector<Placement> EcostDispatcher::plan(const ClusterView& view,
                                              double now_s) {
   admit_arrivals(now_s);
   std::vector<Placement> out;
+  if (queue_.empty()) return out;
   // Least-busy racks first: fresh pairs land where uplinks are quietest,
   // so replication traffic spreads across the fabric. Falls back to plain
   // node order on a single rack — the paper-testbed behavior.
-  for (const int node : view.nodes_rack_major(RackOrder::LeastBusyFirst)) {
+  view.nodes_rack_major(RackOrder::LeastBusyFirst, order_);
+  for (const int node : order_) {
     if (queue_.empty()) break;
     const auto residents = view.residents(node);
     const std::size_t free = view.free_slots(node);

@@ -71,6 +71,7 @@ class EcostDispatcher final : public Dispatcher {
   WaitQueue queue_;
   std::map<std::uint64_t, mapreduce::AppConfig> pending_retune_;
   std::vector<Decision> decisions_;
+  std::vector<int> order_;  ///< rack-major scratch, reused across plans
 };
 
 }  // namespace ecost::core::dispatchers

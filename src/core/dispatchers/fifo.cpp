@@ -9,9 +9,11 @@ FifoDispatcher::FifoDispatcher(std::deque<QueuedJob> jobs,
 std::vector<Placement> FifoDispatcher::plan(const ClusterView& view,
                                             double now_s) {
   std::vector<Placement> out;
+  if (jobs_.empty()) return out;
   // Least-busy racks first: FIFO fill spreads across ToR uplinks instead of
   // saturating rack 0 (plain node order on a single-rack topology).
-  for (const int n : view.nodes_rack_major(RackOrder::LeastBusyFirst)) {
+  view.nodes_rack_major(RackOrder::LeastBusyFirst, order_);
+  for (const int n : order_) {
     if (jobs_.empty()) break;
     for (std::size_t s = view.free_slots(n); s > 0 && !jobs_.empty(); --s) {
       if (trace_ != nullptr) {

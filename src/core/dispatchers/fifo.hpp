@@ -21,6 +21,7 @@ class FifoDispatcher final : public Dispatcher {
  private:
   std::deque<QueuedJob> jobs_;
   mapreduce::AppConfig cfg_;
+  std::vector<int> order_;  ///< rack-major scratch, reused across plans
 };
 
 }  // namespace ecost::core::dispatchers

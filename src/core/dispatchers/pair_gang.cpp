@@ -13,9 +13,11 @@ PairGangDispatcher::PairGangDispatcher(std::vector<PairEntry> entries,
 std::vector<Placement> PairGangDispatcher::plan(const ClusterView& view,
                                                 double now_s) {
   std::vector<Placement> out;
+  if (next_ >= entries_.size()) return out;
   // Busiest racks first: pairs pack onto partly-used racks, keeping whole
   // racks empty (and their uplinks quiet) for as long as possible.
-  for (const int n : view.nodes_rack_major(RackOrder::MostBusyFirst)) {
+  view.nodes_rack_major(RackOrder::MostBusyFirst, order_);
+  for (const int n : order_) {
     if (next_ >= entries_.size()) break;
     if (!view.empty(n)) continue;
     ECOST_REQUIRE(view.free_slots(n) >= (entries_[next_].b ? 2u : 1u),

@@ -47,6 +47,7 @@ class PairGangDispatcher final : public Dispatcher {
   std::set<std::uint64_t> paired_ids_;  ///< jobs placed with a partner
   std::size_t next_ = 0;
   int cores_;
+  std::vector<int> order_;  ///< rack-major scratch, reused across plans
 };
 
 }  // namespace ecost::core::dispatchers

@@ -14,30 +14,32 @@ SpreadDispatcher::SpreadDispatcher(std::vector<SpreadEntry> entries,
 std::vector<Placement> SpreadDispatcher::plan(const ClusterView& view,
                                               double now_s) {
   ECOST_REQUIRE(width_ <= view.nodes(), "spread width exceeds cluster size");
+  std::vector<Placement> out;
+  if (next_ >= entries_.size()) return out;
   // Gangs slice consecutive empties, so collect them rack-major with the
   // emptiest racks first: a width-k gang then lands on as few racks as
   // possible, keeping its shuffle inside the ToR instead of the core.
-  std::vector<int> empties;
+  view.nodes_rack_major(RackOrder::MostEmptyNodesFirst, order_);
+  empties_.clear();
   int busy = 0;
-  for (const int n : view.nodes_rack_major(RackOrder::MostEmptyNodesFirst)) {
+  for (const int n : order_) {
     if (view.empty(n)) {
-      empties.push_back(n);
+      empties_.push_back(n);
     } else {
       ++busy;
     }
   }
   // Every running entry holds exactly `width` nodes.
   int active = busy / width_;
-  std::vector<Placement> out;
   std::size_t taken = 0;
   while (next_ < entries_.size() &&
-         empties.size() - taken >= static_cast<std::size_t>(width_) &&
+         empties_.size() - taken >= static_cast<std::size_t>(width_) &&
          (max_parallel_ == 0 || active < max_parallel_)) {
     ++active;
     SpreadEntry& e = entries_[next_++];
-    std::vector<int> targets(empties.begin() + static_cast<std::ptrdiff_t>(taken),
-                             empties.begin() +
-                                 static_cast<std::ptrdiff_t>(taken + width_));
+    std::vector<int> targets(
+        empties_.begin() + static_cast<std::ptrdiff_t>(taken),
+        empties_.begin() + static_cast<std::ptrdiff_t>(taken + width_));
     taken += static_cast<std::size_t>(width_);
     metrics_->counter("dispatcher.spread.gangs").add();
     if (trace_ != nullptr) {

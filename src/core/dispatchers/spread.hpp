@@ -40,6 +40,8 @@ class SpreadDispatcher final : public Dispatcher {
   std::size_t next_ = 0;
   int width_;
   int max_parallel_;
+  std::vector<int> order_;    ///< rack-major scratch, reused across plans
+  std::vector<int> empties_;  ///< empty-node scratch, reused across plans
 };
 
 }  // namespace ecost::core::dispatchers

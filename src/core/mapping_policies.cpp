@@ -84,7 +84,7 @@ PolicyResult MappingPolicies::serial_mapping() const {
   }
   SpreadDispatcher d(std::move(entries), nodes_);
   const ClusterOutcome oc = run_policy(d, "SM");
-  return {"SM", oc.makespan_s, oc.energy_dyn_j, oc.events};
+  return {"SM", oc.makespan_s, oc.energy_dyn_j, oc.events, oc.net_recomputes};
 }
 
 PolicyResult MappingPolicies::multi_node(int parallel_jobs) const {
@@ -99,7 +99,7 @@ PolicyResult MappingPolicies::multi_node(int parallel_jobs) const {
   SpreadDispatcher d(std::move(entries), group_nodes, parallel_jobs);
   const char* name = parallel_jobs == 2 ? "MNM1" : "MNM2";
   const ClusterOutcome oc = run_policy(d, name);
-  return {name, oc.makespan_s, oc.energy_dyn_j, oc.events};
+  return {name, oc.makespan_s, oc.energy_dyn_j, oc.events, oc.net_recomputes};
 }
 
 PolicyResult MappingPolicies::single_node() const {
@@ -110,7 +110,7 @@ PolicyResult MappingPolicies::single_node() const {
   }
   SpreadDispatcher d(std::move(entries), 1);
   const ClusterOutcome oc = run_policy(d, "SNM");
-  return {"SNM", oc.makespan_s, oc.energy_dyn_j, oc.events};
+  return {"SNM", oc.makespan_s, oc.energy_dyn_j, oc.events, oc.net_recomputes};
 }
 
 PolicyResult MappingPolicies::core_balance() const {
@@ -127,7 +127,7 @@ PolicyResult MappingPolicies::core_balance() const {
   }
   PairGangDispatcher d(std::move(entries), eval_.spec().cores);
   const ClusterOutcome oc = run_policy(d, "CBM");
-  return {"CBM", oc.makespan_s, oc.energy_dyn_j, oc.events};
+  return {"CBM", oc.makespan_s, oc.energy_dyn_j, oc.events, oc.net_recomputes};
 }
 
 PolicyResult MappingPolicies::predict_tuning(const TrainingData& td) const {
@@ -156,7 +156,7 @@ PolicyResult MappingPolicies::predict_tuning(const TrainingData& td) const {
   }
   SpreadDispatcher d(std::move(entries), 1);
   const ClusterOutcome oc = run_policy(d, "PTM");
-  return {"PTM", oc.makespan_s, oc.energy_dyn_j, oc.events};
+  return {"PTM", oc.makespan_s, oc.energy_dyn_j, oc.events, oc.net_recomputes};
 }
 
 PolicyResult MappingPolicies::ecost(const TrainingData& td,
@@ -178,7 +178,7 @@ PolicyResult MappingPolicies::ecost(const TrainingData& td,
   }
   EcostDispatcher dispatcher(eval_, td, stp, std::move(queued));
   const ClusterOutcome oc = run_policy(dispatcher, "ECoST");
-  return {"ECoST", oc.makespan_s, oc.energy_dyn_j, oc.events};
+  return {"ECoST", oc.makespan_s, oc.energy_dyn_j, oc.events, oc.net_recomputes};
 }
 
 PolicyResult MappingPolicies::upper_bound() const {
@@ -242,7 +242,7 @@ PolicyResult MappingPolicies::upper_bound() const {
 
   PairGangDispatcher d(std::move(entries), eval_.spec().cores);
   const ClusterOutcome oc = run_policy(d, "UB");
-  return {"UB", oc.makespan_s, oc.energy_dyn_j, oc.events};
+  return {"UB", oc.makespan_s, oc.energy_dyn_j, oc.events, oc.net_recomputes};
 }
 
 }  // namespace ecost::core

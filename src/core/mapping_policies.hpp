@@ -35,6 +35,8 @@ struct PolicyResult {
   double makespan_s = 0.0;
   double energy_dyn_j = 0.0;
   std::uint64_t events = 0;  ///< calendar events the engine fired
+  /// Max-min recomputations the flow net ran (0 on an ideal topology).
+  std::uint64_t net_recomputes = 0;
 
   double edp() const { return makespan_s * energy_dyn_j; }
 };

@@ -204,15 +204,18 @@ std::vector<Placement> StreamDispatcher::plan(const core::ClusterView& view,
   std::vector<Placement> out;
   // Slots consumed by this round's own placements — the view only reflects
   // what the engine has already applied.
-  std::map<int, std::size_t> used;
+  used_.assign(static_cast<std::size_t>(view.nodes()), 0);
+  auto used = [&](int node) -> std::size_t& {
+    return used_[static_cast<std::size_t>(node)];
+  };
   const auto avail = [&](int node) {
     const std::size_t free = view.free_slots(node);
-    const std::size_t u = used[node];
+    const std::size_t u = used(node);
     return free > u ? free - u : 0;
   };
 
-  const std::vector<int> order =
-      view.nodes_rack_major(core::RackOrder::LeastBusyFirst);
+  view.nodes_rack_major(core::RackOrder::LeastBusyFirst, order_);
+  const std::vector<int>& order = order_;
 
   // The engine never re-plans "at now": everything due this instant must be
   // handled in this one call. Placements can drain the wait queue below its
@@ -228,7 +231,7 @@ std::vector<Placement> StreamDispatcher::plan(const core::ClusterView& view,
     bool overdue_left = !queue_.empty();
     for (const int node : order) {
       if (!overdue_left) break;
-      if (used[node] > 0) continue;  // filled this pass; re-plan next event
+      if (used(node) > 0) continue;  // filled this pass; re-plan next event
       const auto residents = view.residents(node);
       const auto capacity =
           static_cast<int>(residents.size() + view.free_slots(node));
@@ -246,7 +249,7 @@ std::vector<Placement> StreamDispatcher::plan(const core::ClusterView& view,
           break;
         }
         record(*job, now_s, node, share, DecisionKind::Deadline, 0);
-        used[node] += 1;
+        used(node) += 1;
         placed_here = true;
         progress = true;
         out.push_back(Placement{std::move(*job), share, {node}, false});
@@ -265,7 +268,7 @@ std::vector<Placement> StreamDispatcher::plan(const core::ClusterView& view,
     // the tuner-budget rung layered on top).
     for (const int node : order) {
       if (queue_.empty()) break;
-      if (used[node] > 0) continue;  // filled this round; re-plan next event
+      if (used(node) > 0) continue;  // filled this round; re-plan next event
       const auto residents = view.residents(node);
 
       if (residents.empty() && avail(node) >= 2) {
@@ -294,13 +297,13 @@ std::vector<Placement> StreamDispatcher::plan(const core::ClusterView& view,
             out.push_back(Placement{std::move(*head), cfg, {node}, false});
             out.push_back(Placement{std::move(*partner), cfg, {node}, false});
           }
-          used[node] += 2;
+          used(node) += 2;
           progress = true;
         } else {
           const AppConfig cfg = solo_config(head->info);
           record(*head, now_s, node, cfg, DecisionKind::Solo, 0);
           out.push_back(Placement{std::move(*head), cfg, {node}, false});
-          used[node] += 1;
+          used(node) += 1;
           progress = true;
         }
         continue;
@@ -331,7 +334,7 @@ std::vector<Placement> StreamDispatcher::plan(const core::ClusterView& view,
                    survivor.job.id);
             out.push_back(Placement{std::move(*partner), cfg, {node}, false});
           }
-          used[node] += 1;
+          used(node) += 1;
           progress = true;
         }
       }

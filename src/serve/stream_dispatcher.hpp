@@ -181,6 +181,9 @@ class StreamDispatcher final : public core::Dispatcher {
   double tuner_free_s_ = 0.0;  ///< when the modeled tuner next idles
   std::vector<Decision> decisions_;
   Stats stats_;
+  // plan() scratch, reused across calls (one plan per engine batch).
+  std::vector<int> order_;             ///< rack-major node order
+  std::vector<std::size_t> used_;      ///< slots taken by this round's plan
 };
 
 }  // namespace ecost::serve

@@ -17,9 +17,12 @@ constexpr double kBytesEps = 1e-3;
 
 FlowNet::FlowNet(const Topology& topo)
     : topo_(topo),
+      interner_(topo),
       link_rate_(static_cast<std::size_t>(topo.link_count()), 0.0),
       link_bytes_(static_cast<std::size_t>(topo.link_count()), 0.0),
-      link_peak_util_(static_cast<std::size_t>(topo.link_count()), 0.0) {
+      link_peak_util_(static_cast<std::size_t>(topo.link_count()), 0.0),
+      touched_idx_(static_cast<std::size_t>(topo.link_count()), -1),
+      link_epoch_(static_cast<std::size_t>(topo.link_count()), 0) {
   ECOST_REQUIRE(!topo.ideal(),
                 "FlowNet over an ideal fabric models nothing — skip it");
 }
@@ -29,60 +32,276 @@ std::uint64_t FlowNet::start(int src, int dst, double bytes, FlowKind kind,
   ECOST_REQUIRE(src != dst, "node-local transfer is not a network flow");
   ECOST_REQUIRE(bytes > 0.0, "flow must carry bytes");
   advance_to(now_s);
-  Flow f;
-  f.id = next_id_++;
-  f.src = src;
-  f.dst = dst;
-  f.kind = kind;
-  f.job = job;
-  f.bytes = bytes;
-  f.remaining = bytes;
-  f.start_s = now_s;
-  f.path = topo_.path(src, dst);
-  flows_.push_back(f);
+  const int pid = interner_.intern(src, dst);
+  if (static_cast<std::size_t>(pid) >= slot_by_path_.size()) {
+    slot_by_path_.resize(static_cast<std::size_t>(interner_.size()), -1);
+  }
+  int slot = slot_by_path_[static_cast<std::size_t>(pid)];
+  if (slot < 0) {
+    slot = static_cast<int>(classes_.size());
+    PathClass c;
+    c.path_id = pid;
+    c.path = interner_.path(pid);
+    if (!heap_pool_.empty()) {
+      c.heap = std::move(heap_pool_.back());
+      heap_pool_.pop_back();
+    }
+    classes_.push_back(std::move(c));
+    slot_by_path_[static_cast<std::size_t>(pid)] = slot;
+  }
+  PathClass& c = classes_[static_cast<std::size_t>(slot)];
+  ClassFlow cf;
+  cf.threshold = c.drained + bytes;
+  cf.id = next_id_++;
+  cf.src = src;
+  cf.dst = dst;
+  cf.kind = kind;
+  cf.job = job;
+  cf.bytes = bytes;
+  cf.start_s = now_s;
+  c.heap.push_back(cf);
+  std::push_heap(c.heap.begin(), c.heap.end(), ThresholdGreater{});
+  ++n_flows_;
   rates_stale_ = true;
-  return f.id;
+  return cf.id;
 }
 
 void FlowNet::advance_to(double now_s) {
   ECOST_REQUIRE(now_s >= last_t_ - 1e-12, "flow net cannot move backwards");
   const double dt = now_s - last_t_;
   last_t_ = std::max(last_t_, now_s);
-  if (dt <= 0.0 || flows_.empty()) return;
+  if (dt <= 0.0 || n_flows_ == 0) return;
   ECOST_CHECK(!rates_stale_,
               "flow rates are stale across an advance — recompute first");
-  for (Flow& f : flows_) {
-    f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+  for (PathClass& c : classes_) c.drained += c.rate * dt;
+  for (const auto& [l, r] : carrying_links_) {
+    link_bytes_[static_cast<std::size_t>(l)] += r * dt;
   }
-  for (std::size_t l = 0; l < link_rate_.size(); ++l) {
-    link_bytes_[l] += link_rate_[l] * dt;
-  }
-  bytes_carried_ += dt * [&] {
-    double sum = 0.0;
-    for (const Flow& f : flows_) sum += f.rate;
-    return sum;
-  }();
+  bytes_carried_ += agg_rate_ * dt;
 }
 
 void FlowNet::recompute_rates() {
-  std::fill(link_rate_.begin(), link_rate_.end(), 0.0);
-  if (flows_.empty()) {
-    rates_stale_ = false;
-    return;
+  ++recomputes_;
+  for (const auto& [l, r] : carrying_links_) {
+    link_rate_[static_cast<std::size_t>(l)] = 0.0;
   }
-  const std::size_t n_links = link_rate_.size();
+  carrying_links_.clear();
+  agg_rate_ = 0.0;
+  rates_stale_ = false;
+  if (classes_.empty()) return;
+
+  // Collect the links crossed by any active class (ascending, so the
+  // bottleneck scan visits candidates in the same order as the per-flow
+  // reference's full-table scan — inactive links are skipped there too).
+  ++epoch_;
+  touched_.clear();
+  for (const PathClass& c : classes_) {
+    for (const int l : c.path) {
+      auto& stamp = link_epoch_[static_cast<std::size_t>(l)];
+      if (stamp != epoch_) {
+        stamp = epoch_;
+        touched_.push_back(l);
+      }
+    }
+  }
+  std::sort(touched_.begin(), touched_.end());
+  const std::size_t n_touched = touched_.size();
+  cap_left_.resize(n_touched);
+  active_.assign(n_touched, 0);
+  for (std::size_t ti = 0; ti < n_touched; ++ti) {
+    const int l = touched_[ti];
+    touched_idx_[static_cast<std::size_t>(l)] = static_cast<int>(ti);
+    cap_left_[ti] = topo_.link(l).bytes_per_s;
+  }
+  // CSR index: which classes cross each touched link. Paths never repeat a
+  // link, so each (link, class) pair appears once.
+  csr_off_.assign(n_touched, 0);
+  for (const PathClass& c : classes_) {
+    const int n = static_cast<int>(c.heap.size());
+    for (const int l : c.path) {
+      const auto ti = static_cast<std::size_t>(
+          touched_idx_[static_cast<std::size_t>(l)]);
+      ++csr_off_[ti];
+      active_[ti] += n;
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t ti = 0; ti < n_touched; ++ti) {
+    const std::size_t cnt = csr_off_[ti];
+    csr_off_[ti] = total;
+    total += cnt;
+  }
+  csr_cls_.resize(total);
+  for (std::size_t cs = 0; cs < classes_.size(); ++cs) {
+    for (const int l : classes_[cs].path) {
+      const auto ti = static_cast<std::size_t>(
+          touched_idx_[static_cast<std::size_t>(l)]);
+      csr_cls_[csr_off_[ti]++] = static_cast<int>(cs);
+    }
+  }
+  // csr_off_[ti] now marks the END of link ti's class list; the start is
+  // csr_off_[ti - 1] (0 for the first link).
+
+  // Progressive filling over classes: freeze the classes of the tightest
+  // link at its per-flow fair share, release their claim elsewhere, repeat.
+  // The arithmetic is one `share` subtraction per FLOW per crossed link —
+  // the same chain of identical operands as the per-flow reference, just
+  // grouped by class — so the resulting rates and link allocations are
+  // bit-identical to recompute_rates_ref().
+  frozen_.assign(classes_.size(), 0);
+  std::size_t unfrozen = n_flows_;
+  while (unfrozen > 0) {
+    int bti = -1;
+    double share = kInf;
+    for (std::size_t ti = 0; ti < n_touched; ++ti) {
+      if (active_[ti] == 0) continue;
+      const double fair = cap_left_[ti] / active_[ti];
+      if (fair < share) {
+        share = fair;
+        bti = static_cast<int>(ti);
+      }
+    }
+    ECOST_CHECK(bti >= 0, "active flow without an active link");
+    const std::size_t b0 = bti == 0 ? 0 : csr_off_[static_cast<std::size_t>(bti) - 1];
+    const std::size_t b1 = csr_off_[static_cast<std::size_t>(bti)];
+    for (std::size_t i = b0; i < b1; ++i) {
+      const auto cs = static_cast<std::size_t>(csr_cls_[i]);
+      if (frozen_[cs]) continue;
+      PathClass& c = classes_[cs];
+      const std::size_t k = c.heap.size();
+      c.rate = share;
+      frozen_[cs] = 1;
+      unfrozen -= k;
+      for (const int l : c.path) {
+        const auto ti = static_cast<std::size_t>(
+            touched_idx_[static_cast<std::size_t>(l)]);
+        const auto lu = static_cast<std::size_t>(l);
+        for (std::size_t j = 0; j < k; ++j) {
+          cap_left_[ti] -= share;
+          link_rate_[lu] += share;
+        }
+        active_[ti] -= static_cast<int>(k);
+      }
+    }
+  }
+  carrying_links_.reserve(n_touched);
+  for (std::size_t ti = 0; ti < n_touched; ++ti) {
+    const int l = touched_[ti];
+    const auto lu = static_cast<std::size_t>(l);
+    carrying_links_.emplace_back(l, link_rate_[lu]);
+    const double cap = topo_.link(l).bytes_per_s;
+    link_peak_util_[lu] =
+        std::max(link_peak_util_[lu], link_rate_[lu] / cap);
+  }
+  for (const PathClass& c : classes_) {
+    agg_rate_ += c.rate * static_cast<double>(c.heap.size());
+  }
+}
+
+double FlowNet::next_completion_s() {
+  if (n_flows_ == 0) return kInf;
+  if (rates_stale_) recompute_rates();
+  double next = kInf;
+  for (const PathClass& c : classes_) {
+    ECOST_CHECK(c.rate > 0.0, "active flow starved of bandwidth");
+    const double rem = c.heap.front().threshold - c.drained;
+    const double t = rem <= kBytesEps ? last_t_ : last_t_ + rem / c.rate;
+    next = std::min(next, t);
+  }
+  return next;
+}
+
+std::vector<Flow> FlowNet::pop_completed(double now_s) {
+  if (rates_stale_) recompute_rates();
+  advance_to(now_s);
+  std::vector<Flow> done;
+  std::size_t cs = 0;
+  while (cs < classes_.size()) {
+    PathClass& c = classes_[cs];
+    while (!c.heap.empty() &&
+           c.heap.front().threshold - c.drained <= kBytesEps) {
+      done.push_back(materialize(c.heap.front(), c));
+      std::pop_heap(c.heap.begin(), c.heap.end(), ThresholdGreater{});
+      c.heap.pop_back();
+      --n_flows_;
+    }
+    if (c.heap.empty()) {
+      remove_class(cs);  // swap-erase: re-examine this slot
+    } else {
+      ++cs;
+    }
+  }
+  if (!done.empty()) {
+    std::sort(done.begin(), done.end(),
+              [](const Flow& a, const Flow& b) { return a.id < b.id; });
+    rates_stale_ = true;
+  }
+  return done;
+}
+
+void FlowNet::remove_class(std::size_t slot) {
+  PathClass& c = classes_[slot];
+  slot_by_path_[static_cast<std::size_t>(c.path_id)] = -1;
+  c.heap.clear();
+  heap_pool_.push_back(std::move(c.heap));
+  if (slot + 1 != classes_.size()) {
+    c = std::move(classes_.back());
+    slot_by_path_[static_cast<std::size_t>(c.path_id)] =
+        static_cast<int>(slot);
+  }
+  classes_.pop_back();
+}
+
+Flow FlowNet::materialize(const ClassFlow& cf, const PathClass& c) const {
+  Flow f;
+  f.id = cf.id;
+  f.src = cf.src;
+  f.dst = cf.dst;
+  f.kind = cf.kind;
+  f.job = cf.job;
+  f.bytes = cf.bytes;
+  f.remaining = std::max(0.0, cf.threshold - c.drained);
+  f.rate = c.rate;
+  f.start_s = cf.start_s;
+  f.path = c.path;
+  return f;
+}
+
+std::vector<Flow> FlowNet::current_flows() {
+  if (rates_stale_) recompute_rates();
+  std::vector<Flow> out;
+  out.reserve(n_flows_);
+  for (const PathClass& c : classes_) {
+    for (const ClassFlow& cf : c.heap) out.push_back(materialize(cf, c));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Flow& a, const Flow& b) { return a.id < b.id; });
+  return out;
+}
+
+FlowNet::RefRates FlowNet::recompute_rates_ref() const {
+  RefRates ref;
+  ref.link_rate.assign(link_rate_.size(), 0.0);
+  for (const PathClass& c : classes_) {
+    for (const ClassFlow& cf : c.heap) ref.flows.push_back(materialize(cf, c));
+  }
+  std::sort(ref.flows.begin(), ref.flows.end(),
+            [](const Flow& a, const Flow& b) { return a.id < b.id; });
+  auto& flows = ref.flows;
+  auto& link_rate = ref.link_rate;
+  if (flows.empty()) return ref;
+  // The pre-aggregation per-flow progressive filling, verbatim.
+  const std::size_t n_links = link_rate.size();
   std::vector<double> cap_left(n_links);
   std::vector<int> active(n_links, 0);
   for (std::size_t l = 0; l < n_links; ++l) {
     cap_left[l] = topo_.link(static_cast<int>(l)).bytes_per_s;
   }
-  for (const Flow& f : flows_) {
+  for (const Flow& f : flows) {
     for (const int l : f.path) ++active[static_cast<std::size_t>(l)];
   }
-  // Progressive filling: freeze the flows of the tightest link at its fair
-  // share, release their claim elsewhere, repeat.
-  std::vector<char> frozen(flows_.size(), 0);
-  std::size_t unfrozen = flows_.size();
+  std::vector<char> frozen(flows.size(), 0);
+  std::size_t unfrozen = flows.size();
   while (unfrozen > 0) {
     int bottleneck = -1;
     double share = kInf;
@@ -95,9 +314,9 @@ void FlowNet::recompute_rates() {
       }
     }
     ECOST_CHECK(bottleneck >= 0, "active flow without an active link");
-    for (std::size_t i = 0; i < flows_.size(); ++i) {
+    for (std::size_t i = 0; i < flows.size(); ++i) {
       if (frozen[i]) continue;
-      Flow& f = flows_[i];
+      Flow& f = flows[i];
       const bool crosses =
           std::find(f.path.begin(), f.path.end(), bottleneck) != f.path.end();
       if (!crosses) continue;
@@ -108,47 +327,11 @@ void FlowNet::recompute_rates() {
         const auto lu = static_cast<std::size_t>(l);
         cap_left[lu] -= share;
         --active[lu];
-        link_rate_[lu] += share;
+        link_rate[lu] += share;
       }
     }
   }
-  for (std::size_t l = 0; l < n_links; ++l) {
-    const double cap = topo_.link(static_cast<int>(l)).bytes_per_s;
-    link_peak_util_[l] = std::max(link_peak_util_[l], link_rate_[l] / cap);
-  }
-  rates_stale_ = false;
-}
-
-double FlowNet::next_completion_s() {
-  if (flows_.empty()) return kInf;
-  if (rates_stale_) recompute_rates();
-  double next = kInf;
-  for (const Flow& f : flows_) {
-    ECOST_CHECK(f.rate > 0.0, "active flow starved of bandwidth");
-    const double t =
-        f.remaining <= kBytesEps ? last_t_ : last_t_ + f.remaining / f.rate;
-    next = std::min(next, t);
-  }
-  return next;
-}
-
-std::vector<Flow> FlowNet::pop_completed(double now_s) {
-  if (rates_stale_) recompute_rates();
-  advance_to(now_s);
-  std::vector<Flow> done;
-  std::size_t kept = 0;
-  for (std::size_t i = 0; i < flows_.size(); ++i) {
-    if (flows_[i].remaining <= kBytesEps) {
-      done.push_back(flows_[i]);
-    } else {
-      flows_[kept++] = flows_[i];
-    }
-  }
-  if (!done.empty()) {
-    flows_.resize(kept);
-    rates_stale_ = true;
-  }
-  return done;
+  return ref;
 }
 
 double FlowNet::link_util(int l) const {

@@ -8,11 +8,30 @@
 // by its single bottleneck link, and flows sharing that bottleneck get
 // equal shares.
 //
+// Flows are aggregated into PATH CLASSES: all concurrent flows between the
+// same unordered node pair cross the same link set (sim::PathInterner), so
+// under max-min filling they provably carry the same rate. Progressive
+// filling runs over classes through a per-link class index — one recompute
+// costs O(rounds * touched-links + sum of path lengths) instead of the
+// per-flow O(rounds * flows) — and the per-flow arithmetic (one capacity
+// subtraction per flow per crossed link, all of the same share within a
+// round) is kept verbatim so the rates are BIT-IDENTICAL to the per-flow
+// algorithm, which survives as `recompute_rates_ref` and pins the claim in
+// a randomized parity suite.
+//
+// Within a class every flow drains at the same rate, so completion order
+// is fixed at start time: each class keeps a min-heap of absolute drain
+// thresholds (bytes drained per flow since the class became active), and
+// `next_completion_s`/`pop_completed` peek O(active classes) heap tops
+// instead of scanning every flow.
+//
 // The net is advanced lazily: `advance_to(t)` drains remaining bytes at
 // the current rates (rates are piecewise constant between membership
-// changes), `start`/`pop_completed` change membership and invalidate the
-// rates, and `next_completion_s` recomputes them on demand. All iteration
-// orders are by ascending flow/link id, so a given call history is fully
+// changes) in one pass over the active classes and carrying links — the
+// total rate is aggregated at recompute time, never re-summed per advance.
+// `start`/`pop_completed` change membership and invalidate the rates, and
+// `next_completion_s` recomputes them on demand. All iteration orders
+// depend only on the call history, so a given history is fully
 // deterministic.
 //
 // Per-link byte and peak-utilization accounting is kept for the whole
@@ -74,30 +93,103 @@ class FlowNet {
   /// in ascending flow-id order.
   std::vector<Flow> pop_completed(double now_s);
 
-  bool empty() const { return flows_.empty(); }
-  std::size_t active() const { return flows_.size(); }
+  bool empty() const { return n_flows_ == 0; }
+  std::size_t active() const { return n_flows_; }
+  /// Distinct routes with at least one active flow.
+  std::size_t active_classes() const { return classes_.size(); }
 
-  /// Current allocated/capacity share of one link (0 when rates are stale).
+  /// Allocated/capacity share of one link under the last computed rates.
   double link_util(int l) const;
 
   std::vector<LinkStats> link_stats() const;
   std::uint64_t flows_started() const { return next_id_; }
   double bytes_carried() const { return bytes_carried_; }
+  /// Max-min rate recomputations performed so far (one per membership
+  /// epoch, not one per flow event — the number bench_sweep divides by
+  /// wall time into the net.recompute_per_s gauge).
+  std::uint64_t recomputes() const { return recomputes_; }
 
   const Topology& topology() const { return topo_; }
 
+  /// The pre-aggregation per-flow progressive filling, kept verbatim as
+  /// the parity reference: materializes the active flows (ascending id)
+  /// and max-min-fills them one flow at a time. Pure — the live
+  /// allocation is untouched. The randomized parity suite asserts the
+  /// class-aggregated rates and link allocations match these bitwise.
+  struct RefRates {
+    std::vector<Flow> flows;        ///< ascending id, `rate` filled in
+    std::vector<double> link_rate;  ///< allocated bytes/s per link
+  };
+  RefRates recompute_rates_ref() const;
+
+  /// Active flows (ascending id) with their current remaining bytes and
+  /// class rates; recomputes first if membership changed. Test probe.
+  std::vector<Flow> current_flows();
+
  private:
+  /// One live flow inside its path class. `threshold` is the class drain
+  /// depth (bytes drained per flow since the class became active) at
+  /// which this flow completes — fixed at start time, because every flow
+  /// of a class drains at the same rate.
+  struct ClassFlow {
+    double threshold = 0.0;
+    std::uint64_t id = 0;
+    int src = -1;
+    int dst = -1;
+    FlowKind kind = FlowKind::Shuffle;
+    std::uint64_t job = 0;
+    double bytes = 0.0;
+    double start_s = 0.0;
+  };
+  struct ThresholdGreater {
+    bool operator()(const ClassFlow& a, const ClassFlow& b) const {
+      return a.threshold > b.threshold;
+    }
+  };
+  /// All concurrent flows over one interned route. Dense slots — classes
+  /// are swap-erased when their last flow drains; `slot_by_path_` maps
+  /// the stable interned id back to the live slot.
+  struct PathClass {
+    int path_id = -1;
+    LinkPath path;
+    double rate = 0.0;     ///< per-flow bytes/s under the current allocation
+    double drained = 0.0;  ///< bytes drained per flow since activation
+    std::vector<ClassFlow> heap;  ///< min-heap on threshold
+  };
+
   void recompute_rates();
+  void remove_class(std::size_t slot);
+  Flow materialize(const ClassFlow& cf, const PathClass& c) const;
 
   const Topology& topo_;
-  std::vector<Flow> flows_;        ///< ascending id (append-only between pops)
+  PathInterner interner_;
+  std::vector<PathClass> classes_;    ///< dense, one per active route
+  std::vector<int> slot_by_path_;     ///< interned path id -> slot or -1
+  std::vector<std::vector<ClassFlow>> heap_pool_;  ///< recycled heap storage
+  std::size_t n_flows_ = 0;
   std::vector<double> link_rate_;  ///< allocated bytes/s per link
   std::vector<double> link_bytes_;
   std::vector<double> link_peak_util_;
+  /// Links with a nonzero allocation, ascending — the only ones an
+  /// advance must integrate.
+  std::vector<std::pair<int, double>> carrying_links_;
+  double agg_rate_ = 0.0;  ///< sum of class rate * class size
   double last_t_ = 0.0;
   bool rates_stale_ = false;
   std::uint64_t next_id_ = 0;
+  std::uint64_t recomputes_ = 0;
   double bytes_carried_ = 0.0;
+
+  // Recompute scratch, reused across calls (no steady-state allocation).
+  std::vector<int> touched_;      ///< links crossed by any active class
+  std::vector<int> touched_idx_;  ///< link id -> dense index into touched_
+  std::vector<std::uint64_t> link_epoch_;  ///< dedup stamp for touched_
+  std::uint64_t epoch_ = 0;
+  std::vector<double> cap_left_;   ///< by touched index
+  std::vector<int> active_;        ///< flows per link, by touched index
+  std::vector<std::size_t> csr_off_;  ///< touched index -> class list start
+  std::vector<int> csr_cls_;          ///< class slots, grouped by link
+  std::vector<char> frozen_;
 };
 
 }  // namespace ecost::sim

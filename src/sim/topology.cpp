@@ -1,5 +1,6 @@
 #include "sim/topology.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -108,6 +109,19 @@ int Topology::replica_target(int node) const {
 double Topology::oversubscription() const {
   if (ideal_) return 0.0;
   return nodes_per_rack_ * node_bytes_per_s_ / uplink_bytes_per_s_;
+}
+
+int PathInterner::intern(int src, int dst) {
+  ECOST_REQUIRE(src != dst, "a node-local route has no path class");
+  const int lo = std::min(src, dst);
+  const int hi = std::max(src, dst);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(lo)) << 32) |
+      static_cast<std::uint32_t>(hi);
+  const auto [it, inserted] =
+      ids_.emplace(key, static_cast<int>(paths_.size()));
+  if (inserted) paths_.push_back(topo_->path(lo, hi));
+  return it->second;
 }
 
 }  // namespace ecost::sim

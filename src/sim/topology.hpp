@@ -17,7 +17,9 @@
 // pre-topology runtime.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace ecost::sim {
@@ -101,6 +103,33 @@ class Topology {
   double uplink_bytes_per_s_ = 0.0;
   std::vector<LinkSpec> links_;
   std::string name_;
+};
+
+/// Interns routes into dense path-class ids. Two flows between the same
+/// unordered node pair cross the same link SET (the two-tier fabric is
+/// direction-symmetric), so they share an id — and, under max-min filling,
+/// provably the same rate, which is what lets FlowNet run progressive
+/// filling over path classes instead of individual flows. Ids are assigned
+/// in first-use order, so a given call history is fully deterministic.
+class PathInterner {
+ public:
+  explicit PathInterner(const Topology& topo) : topo_(&topo) {}
+
+  /// Dense id of the route between `src` and `dst` (src != dst). The
+  /// stored LinkPath is the canonical (min-id -> max-id) direction; only
+  /// the link set matters to bandwidth sharing.
+  int intern(int src, int dst);
+
+  const LinkPath& path(int id) const {
+    return paths_[static_cast<std::size_t>(id)];
+  }
+  /// Number of distinct routes interned so far (ids are [0, size())).
+  int size() const { return static_cast<int>(paths_.size()); }
+
+ private:
+  const Topology* topo_;
+  std::unordered_map<std::uint64_t, int> ids_;
+  std::vector<LinkPath> paths_;
 };
 
 }  // namespace ecost::sim

@@ -1,0 +1,209 @@
+// Randomized parity suite for the path-class-aggregated FlowNet.
+//
+// The aggregated allocator claims BIT-IDENTICAL rates to the per-flow
+// progressive filling it replaced (kept verbatim as recompute_rates_ref):
+// within a filling round every flow frozen at a bottleneck receives the
+// same share, and the class version performs the same one-subtraction-per-
+// flow-per-link arithmetic, so no floating-point result may differ. These
+// tests drive random flow histories and assert exact (==) equality on
+// every rate and every link allocation — EXPECT_EQ on doubles is the
+// point, not an oversight.
+//
+// A shadow per-flow drain simulation (same rates, per-flow remaining)
+// additionally pins the completion ORDER, and an engine-level regression
+// pins the r256 scale-study event count — the determinism contract
+// check_bench gates in CI, reproduced here without the bench harness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/mapping_policies.hpp"
+#include "sim/flow_net.hpp"
+#include "sim/topology.hpp"
+#include "util/rng.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace ecost::sim {
+namespace {
+
+/// Asserts the live class-aggregated allocation equals the per-flow
+/// reference bitwise: same flows, same rates, same per-link shares.
+void expect_parity(FlowNet& net) {
+  const FlowNet::RefRates ref = net.recompute_rates_ref();
+  const std::vector<Flow> cur = net.current_flows();
+  ASSERT_EQ(cur.size(), ref.flows.size());
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    ASSERT_EQ(cur[i].id, ref.flows[i].id);
+    EXPECT_EQ(cur[i].rate, ref.flows[i].rate) << "flow " << cur[i].id;
+  }
+  const Topology& topo = net.topology();
+  for (int l = 0; l < topo.link_count(); ++l) {
+    const double cap = topo.link(l).bytes_per_s;
+    EXPECT_EQ(net.link_util(l), ref.link_rate[static_cast<std::size_t>(l)] / cap)
+        << "link " << l;
+  }
+}
+
+/// Random interleaving of starts and completions on one topology: after
+/// every membership epoch the aggregated rates must match the reference.
+void run_random_history(const Topology& topo, std::uint64_t seed) {
+  ecost::Rng rng(seed);
+  FlowNet net(topo);
+  double now = 0.0;
+  const int n = topo.nodes();
+  int started = 0;
+  while (started < 120 || !net.empty()) {
+    const bool can_start = started < 120;
+    if (can_start && (net.empty() || rng.uniform() < 0.6)) {
+      // Burst of 1..4 flows at the same instant (batched starts).
+      const int burst = 1 + static_cast<int>(rng.uniform_u64(4));
+      for (int b = 0; b < burst && started < 120; ++b) {
+        const int src = static_cast<int>(rng.uniform_u64(
+            static_cast<std::uint64_t>(n)));
+        int dst = static_cast<int>(rng.uniform_u64(
+            static_cast<std::uint64_t>(n)));
+        if (dst == src) dst = (dst + 1) % n;
+        const double bytes = rng.uniform(1e6, 5e9);
+        net.start(src, dst, bytes,
+                  rng.uniform() < 0.5 ? FlowKind::Shuffle
+                                      : FlowKind::Replication,
+                  static_cast<std::uint64_t>(started), now);
+        ++started;
+      }
+    } else {
+      const double t = net.next_completion_s();
+      ASSERT_TRUE(std::isfinite(t));
+      now = std::max(now, t);
+      const auto done = net.pop_completed(now);
+      ASSERT_FALSE(done.empty());
+      for (std::size_t i = 1; i < done.size(); ++i) {
+        EXPECT_LT(done[i - 1].id, done[i].id);
+      }
+    }
+    if (!net.empty()) expect_parity(net);
+  }
+  EXPECT_EQ(net.active_classes(), 0u);
+}
+
+TEST(FlowNetParityTest, RandomHistoriesMatchReferenceBitwiseSmall) {
+  const Topology topo = Topology::racked(2, 4, 1.0, 2.0);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    run_random_history(topo, seed);
+  }
+}
+
+TEST(FlowNetParityTest, RandomHistoriesMatchReferenceBitwiseOversubscribed) {
+  // 8:1 oversubscribed uplinks — deep progressive-filling rounds where
+  // uplink bottlenecks freeze many classes at once.
+  const Topology topo = Topology::racked(4, 8, 10.0, 10.0);
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    run_random_history(topo, seed);
+  }
+}
+
+TEST(FlowNetParityTest, FanInCollapsesToFewClassesWithPerFlowParity) {
+  // Shuffle fan-in: many flows between the same node pairs — the shape
+  // the aggregation exists for. Classes must stay few while per-flow
+  // rates still match the reference exactly.
+  const Topology topo = Topology::racked(2, 8, 10.0, 40.0);
+  FlowNet net(topo);
+  for (int i = 0; i < 64; ++i) {
+    net.start(1 + (i % 7), 0, 1e8 + 1e6 * i, FlowKind::Shuffle,
+              static_cast<std::uint64_t>(i), 0.0);
+  }
+  net.next_completion_s();  // force a recompute
+  EXPECT_EQ(net.active(), 64u);
+  EXPECT_EQ(net.active_classes(), 7u);
+  expect_parity(net);
+  while (!net.empty()) {
+    const double t = net.next_completion_s();
+    net.pop_completed(t);
+    if (!net.empty()) expect_parity(net);
+  }
+}
+
+TEST(FlowNetParityTest, CompletionOrderMatchesPerFlowShadowSimulation) {
+  // Shadow drain: per-flow remaining decremented with the reference rates
+  // at every epoch. The class-heap implementation must retire flows in
+  // the same order at the same instants (tolerance only for the
+  // accumulation-order difference between threshold and per-flow drain).
+  const Topology topo = Topology::racked(2, 4, 1.0, 2.0);
+  ecost::Rng rng(99);
+  FlowNet net(topo);
+  struct Shadow {
+    std::uint64_t id;
+    double remaining;
+  };
+  std::vector<Shadow> shadow;
+  double now = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    const int src = static_cast<int>(rng.uniform_u64(8));
+    int dst = static_cast<int>(rng.uniform_u64(8));
+    if (dst == src) dst = (dst + 1) % 8;
+    const double bytes = rng.uniform(1e7, 2e9);
+    net.start(src, dst, bytes, FlowKind::Shuffle,
+              static_cast<std::uint64_t>(i), now);
+    shadow.push_back({net.flows_started() - 1, bytes});
+  }
+  std::vector<std::uint64_t> order;
+  while (!net.empty()) {
+    const FlowNet::RefRates ref = net.recompute_rates_ref();
+    const double t = net.next_completion_s();
+    ASSERT_TRUE(std::isfinite(t));
+    const double dt = t - now;
+    // Drain the shadow at the reference rates and collect what finishes.
+    std::vector<std::uint64_t> expect_done;
+    for (Shadow& s : shadow) {
+      const auto it = std::find_if(
+          ref.flows.begin(), ref.flows.end(),
+          [&](const Flow& f) { return f.id == s.id; });
+      ASSERT_NE(it, ref.flows.end());
+      s.remaining -= it->rate * dt;
+      if (s.remaining <= 2e-3) expect_done.push_back(s.id);
+    }
+    const auto done = net.pop_completed(t);
+    ASSERT_FALSE(done.empty());
+    for (const Flow& f : done) {
+      order.push_back(f.id);
+      EXPECT_TRUE(std::find(expect_done.begin(), expect_done.end(), f.id) !=
+                  expect_done.end())
+          << "flow " << f.id << " retired before its shadow drained";
+      shadow.erase(std::remove_if(shadow.begin(), shadow.end(),
+                                  [&](const Shadow& s) { return s.id == f.id; }),
+                   shadow.end());
+    }
+    now = t;
+  }
+  EXPECT_EQ(order.size(), 40u);
+  EXPECT_TRUE(shadow.empty());
+}
+
+TEST(FlowNetParityTest, R256ScaleStudyEventCountIsPinned) {
+  // Engine-level determinism regression: the no-training-data half of the
+  // scale study (SM / MNM2 / CBM / UB) on r256 must fire exactly the same
+  // calendar events and flow-net recomputes on every machine, every run.
+  // A drift here is a trajectory change in the engine or the flow net,
+  // never noise — update the constants only for an intended change, and
+  // re-record BENCH_scale_r1024.json in the same commit.
+  const Topology topo = Topology::preset("r256");
+  const auto& ws = workloads::scenario_by_name("WS8");
+  const std::size_t n_jobs = workloads::scaled_job_count(topo.nodes());
+  const mapreduce::NodeEvaluator eval;
+  core::MappingPolicies mp(eval, ws.scaled_jobs(1.0, n_jobs), topo);
+  std::uint64_t events = 0;
+  std::uint64_t recomputes = 0;
+  for (const core::PolicyResult& r :
+       {mp.serial_mapping(), mp.multi_node(4), mp.core_balance(),
+        mp.upper_bound()}) {
+    events += r.events;
+    recomputes += r.net_recomputes;
+  }
+  EXPECT_EQ(events, 21057u);
+  EXPECT_EQ(recomputes, 464u);
+}
+
+}  // namespace
+}  // namespace ecost::sim

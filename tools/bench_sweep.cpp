@@ -160,6 +160,7 @@ struct ScalePolicyRow {
   double makespan_s = 0.0;
   double energy_dyn_j = 0.0;
   std::uint64_t events = 0;
+  std::uint64_t net_recomputes = 0;
   double wall_s = 0.0;
 };
 
@@ -172,9 +173,13 @@ struct ScaleReport {
   std::vector<ScalePolicyRow> rows;
   double wall_s = 0.0;
   std::uint64_t events = 0;
+  std::uint64_t net_recomputes = 0;
 
   double events_per_s() const {
     return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+  double recompute_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(net_recomputes) / wall_s : 0.0;
   }
 };
 
@@ -202,10 +207,11 @@ ScaleReport run_scale_study(const mapreduce::NodeEvaluator& eval,
     const auto t0 = std::chrono::steady_clock::now();
     const core::PolicyResult r = fn();
     const double wall = seconds_since(t0);
-    rep.rows.push_back(
-        {r.policy, r.makespan_s, r.energy_dyn_j, r.events, wall});
+    rep.rows.push_back({r.policy, r.makespan_s, r.energy_dyn_j, r.events,
+                        r.net_recomputes, wall});
     rep.wall_s += wall;
     rep.events += r.events;
+    rep.net_recomputes += r.net_recomputes;
     std::cout << "  " << r.policy << ": makespan "
               << json_double(r.makespan_s) << " s, " << r.events
               << " events in " << json_double(wall) << " s wall\n";
@@ -221,6 +227,9 @@ ScaleReport run_scale_study(const mapreduce::NodeEvaluator& eval,
   obs::MetricsRegistry::global()
       .gauge("cluster.events_per_s")
       .set(rep.events_per_s());
+  obs::MetricsRegistry::global()
+      .gauge("net.recompute_per_s")
+      .set(rep.recompute_per_s());
   return rep;
 }
 
@@ -303,6 +312,16 @@ int main(int argc, char** argv) {
             << " pipeline, " << participants << " thread(s), simd "
             << mapreduce::solve_lanes_simd_isa() << " (width "
             << mapreduce::solve_lanes_simd_width() << ")\n";
+
+  // Oversubscribed benchmarks measure scheduler contention, not the code:
+  // warn loudly so the numbers are not mistaken for a comparable report.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0 && participants > hw) {
+    std::cerr << "bench_sweep: WARNING: " << participants
+              << " threads oversubscribe this host ("
+              << hw << " hardware threads); timings will be noisy and"
+                 " check_bench refuses cross-host comparisons\n";
+  }
 
   // Optional observability sinks. The recorder must outlive every producer
   // holding it through the global hook, so it lives for all of main.
@@ -520,12 +539,16 @@ int main(int argc, char** argv) {
       out << "    \"" << row.policy << "\": {\"makespan_s\": "
           << json_double(row.makespan_s) << ", \"energy_dyn_j\": "
           << json_double(row.energy_dyn_j) << ", \"events\": "
-          << json_u64(row.events) << ", \"wall_s\": "
+          << json_u64(row.events) << ", \"net_recomputes\": "
+          << json_u64(row.net_recomputes) << ", \"wall_s\": "
           << json_double(row.wall_s) << "},\n";
     }
     out << "    \"events\": " << json_u64(sc.events) << ",\n"
+        << "    \"net_recomputes\": " << json_u64(sc.net_recomputes) << ",\n"
         << "    \"wall_s\": " << json_double(sc.wall_s) << ",\n"
-        << "    \"events_per_s\": " << json_double(sc.events_per_s()) << "\n"
+        << "    \"events_per_s\": " << json_double(sc.events_per_s()) << ",\n"
+        << "    \"net_recompute_per_s\": "
+        << json_double(sc.recompute_per_s()) << "\n"
         << "  },\n";
   }
   if (have_serve) {

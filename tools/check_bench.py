@@ -25,6 +25,12 @@ are gated on the cluster runtime itself:
   * scale.events                 -- total events fired; the engine is
                                     deterministic, so any drift here is a
                                     behavior change, not noise (exact match)
+  * scale.net_recomputes         -- max-min rate recomputations the flow
+                                    net ran; one per membership epoch, so
+                                    this too is exact (batched-recompute
+                                    contract)
+  * scale.net_recompute_per_s    -- fabric-model throughput (banded,
+                                    higher is better)
 
 Serve reports (ecostd, mode "serve") are gated on the streaming daemon:
   * serve.decisions, serve.pairs, serve.solos, serve.backfills,
@@ -40,9 +46,10 @@ refused when arrivals/jobs/seed/nodes/slots/deadline/queue-limit differ.
 
 Reports from different machines or configurations are not comparable:
 the gate refuses (exit 2) when the benchmark mode (--quick vs full vs
-scale), the cluster topology (--topology=), the thread count, or the
-kernel's SIMD ISA / vector width differs between the two reports,
-instead of producing a nonsense verdict. A 64-node rack study says
+scale), the cluster topology (--topology=), the thread count, the
+host's hardware_concurrency, or the kernel's SIMD ISA / vector width
+differs between the two reports, instead of producing a nonsense
+verdict. A 64-node rack study says
 nothing about a 4096-node one, so cross-topology comparisons are always
 refused. Regenerate the baseline on the matching configuration, or
 rerun with --update to overwrite it with CURRENT.
@@ -138,6 +145,16 @@ def main() -> int:
             f"thread count mismatch: current ran with {cur_threads}"
             f" thread(s), baseline with {base_threads}"
         )
+    # Even at a pinned --threads=N, wall-clock numbers depend on how many
+    # hardware threads the host actually has (oversubscription, turbo
+    # headroom). Reports missing the field predate it and act as wildcard.
+    cur_hw = cur.get("hardware_concurrency")
+    base_hw = base.get("hardware_concurrency")
+    if cur_hw is not None and base_hw is not None and cur_hw != base_hw:
+        refuse(
+            f"hardware_concurrency mismatch: current host has {cur_hw}"
+            f" hardware thread(s), baseline host had {base_hw}"
+        )
     if cur_mode == "serve":
         # A serve run is one deterministic trajectory of (trace, cluster,
         # policy knobs): decision counts from a different configuration are
@@ -214,7 +231,30 @@ def main() -> int:
             failed = True
         else:
             print(f"check_bench: scale.events: {c_ev:.0f} == baseline ok")
+        # One recompute per membership epoch (the batched-recompute
+        # contract): the count is as deterministic as the event count.
+        # Baselines predating the field skip the check.
+        if "net_recomputes" in cur.get("scale", {}) and "net_recomputes" in base.get("scale", {}):
+            c_nr = pick(cur, "scale.net_recomputes", args.current)
+            b_nr = pick(base, "scale.net_recomputes", args.baseline)
+            if c_nr != b_nr:
+                print(
+                    f"check_bench: scale.net_recomputes: current={c_nr:.0f}"
+                    f" baseline={b_nr:.0f} (exact-match, determinism) FAIL"
+                )
+                failed = True
+            else:
+                print(
+                    f"check_bench: scale.net_recomputes: {c_nr:.0f}"
+                    " == baseline ok"
+                )
         checks = [("scale.events_per_s", "higher-is-better")]
+        # Banded throughput check only where the fabric model actually ran
+        # (an ideal topology recomputes nothing and reports zero).
+        if base.get("scale", {}).get("net_recompute_per_s", 0) and cur.get(
+            "scale", {}
+        ).get("net_recompute_per_s") is not None:
+            checks.append(("scale.net_recompute_per_s", "higher-is-better"))
     else:
         checks = [
             ("tuned.total_s", "lower-is-better"),

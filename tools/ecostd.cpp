@@ -153,6 +153,12 @@ int main(int argc, char** argv) {
               << " jobs, " << dopts.nodes << " nodes x "
               << dopts.slots_per_node << " slots, " << participants
               << " thread(s)\n";
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0 && participants > hw) {
+      std::cerr << "ecostd: WARNING: " << participants
+                << " threads oversubscribe this host (" << hw
+                << " hardware threads); soak timings will be noisy\n";
+    }
 
     const mapreduce::NodeEvaluator eval;
     mapreduce::EvalCache cache(eval);
