@@ -158,10 +158,17 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
   std::vector<std::vector<RunningJob>> node_jobs(n_nodes);
   std::vector<char> dirty(n_nodes, 1);  ///< environment must be re-solved
   std::vector<double> node_power(n_nodes, 0.0);
-  std::map<std::uint64_t, int> parts_left;  ///< logical job id -> live parts
-  std::map<std::uint64_t, int> net_left;    ///< logical job id -> live flows
-  std::map<std::uint64_t, int> job_head;    ///< logical job id -> gang head
-  std::map<std::uint64_t, double> job_start;
+  // Per-job bookkeeping: probed/erased on every part and flow retirement,
+  // never iterated (only .empty() at the end), so hash maps — a serving
+  // run retires hundreds of thousands of parts.
+  std::unordered_map<std::uint64_t, int> parts_left;  ///< job id -> live parts
+  std::unordered_map<std::uint64_t, int> net_left;    ///< job id -> live flows
+  std::unordered_map<std::uint64_t, int> job_head;    ///< job id -> gang head
+  std::unordered_map<std::uint64_t, double> job_start;
+  parts_left.reserve(256);
+  net_left.reserve(256);
+  job_head.reserve(256);
+  job_start.reserve(1024);
   ClusterOutcome out;
   double now = 0.0;
   double cluster_power = 0.0;
@@ -265,7 +272,7 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
 
   // Materializes the lazily-tracked progress of every part on `n` at `now`.
   // Idempotent within a batch (synced_s advances to now on first call).
-  std::function<void(int)> refresh_node = [&](int n) {
+  auto refresh_node = [&](int n) {
     for (RunningJob& rj : node_jobs[static_cast<std::size_t>(n)]) {
       const double dt = now - rj.synced_s;
       if (dt > 0.0 && rj.est_total_s > 0.0) {
@@ -275,7 +282,15 @@ ClusterOutcome ClusterEngine::run(Dispatcher& dispatcher) {
     }
   };
 
-  const ClusterView view(&node_jobs, slots_, &topo_, &refresh_node);
+  // The view refreshes through a capture-less trampoline: dispatchers call
+  // residents() for every node they inspect, so this indirect call is too
+  // hot for std::function dispatch.
+  const ClusterView view(
+      &node_jobs, slots_, &topo_,
+      [](void* ctx, int n) {
+        (*static_cast<decltype(refresh_node)*>(ctx))(n);
+      },
+      &refresh_node);
 
   auto finish_job = [&](std::uint64_t job_id) {
     out.finish_times.emplace_back(job_id, now);

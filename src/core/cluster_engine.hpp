@@ -107,12 +107,17 @@ enum class RackOrder : std::uint8_t {
 /// Read-only cluster state handed to Dispatcher::plan.
 class ClusterView {
  public:
+  /// Progress-sync hook (raw pointer + context, not std::function — this
+  /// fires for every node a dispatcher inspects, which is the hottest
+  /// indirect call in a serving run).
+  using RefreshFn = void (*)(void*, int);
+
   int nodes() const { return static_cast<int>(node_jobs_->size()); }
   int slots_per_node() const { return slots_; }
   std::span<const RunningJob> residents(int node) const {
     // Part progress advances lazily (only dirty nodes are re-solved per
     // event), so sync this node to `now` before the dispatcher reads it.
-    if (refresh_ != nullptr) (*refresh_)(node);
+    if (refresh_ != nullptr) refresh_(refresh_ctx_, node);
     return (*node_jobs_)[static_cast<std::size_t>(node)];
   }
   bool empty(int node) const { return residents(node).empty(); }
@@ -137,14 +142,19 @@ class ClusterView {
  private:
   friend class ClusterEngine;
   ClusterView(const std::vector<std::vector<RunningJob>>* node_jobs, int slots,
-              const sim::Topology* topo,
-              const std::function<void(int)>* refresh = nullptr)
-      : node_jobs_(node_jobs), slots_(slots), topo_(topo), refresh_(refresh) {}
+              const sim::Topology* topo, RefreshFn refresh = nullptr,
+              void* refresh_ctx = nullptr)
+      : node_jobs_(node_jobs),
+        slots_(slots),
+        topo_(topo),
+        refresh_(refresh),
+        refresh_ctx_(refresh_ctx) {}
 
   const std::vector<std::vector<RunningJob>>* node_jobs_;
   int slots_;
   const sim::Topology* topo_;
-  const std::function<void(int)>* refresh_ = nullptr;
+  RefreshFn refresh_ = nullptr;
+  void* refresh_ctx_ = nullptr;
   /// Rack-sort scratch for nodes_rack_major (the engine is single-threaded
   /// per run; dispatchers call through one view at a time).
   mutable std::vector<int> rack_ids_;

@@ -8,6 +8,11 @@ namespace ecost::core {
 
 void WaitQueue::push(QueuedJob job) {
   ECOST_REQUIRE(job.est_duration_s >= 0.0, "negative duration estimate");
+  if (jobs_.empty()) {
+    sorted_ = true;  // an emptied queue is trivially sorted again
+  } else if (job.submit_s < jobs_.back().submit_s) {
+    sorted_ = false;
+  }
   jobs_.push_back(std::move(job));
 }
 
@@ -25,6 +30,7 @@ std::optional<QueuedJob> WaitQueue::pop_head() {
 
 std::optional<double> WaitQueue::oldest_submit_s() const {
   if (jobs_.empty()) return std::nullopt;
+  if (sorted_) return jobs_.front().submit_s;
   double oldest = jobs_.front().submit_s;
   for (const QueuedJob& j : jobs_) oldest = std::min(oldest, j.submit_s);
   return oldest;
@@ -33,9 +39,14 @@ std::optional<double> WaitQueue::oldest_submit_s() const {
 std::optional<QueuedJob> WaitQueue::pop_overdue(double now_s,
                                                 double deadline_s) {
   if (jobs_.empty()) return std::nullopt;
+  // When sorted, the front is the earliest submit — and a strict-< scan
+  // would land on the first occurrence of the minimum, i.e. the front, so
+  // the fast path pops the exact job the scan would.
   std::size_t best_idx = 0;
-  for (std::size_t i = 1; i < jobs_.size(); ++i) {
-    if (jobs_[i].submit_s < jobs_[best_idx].submit_s) best_idx = i;
+  if (!sorted_) {
+    for (std::size_t i = 1; i < jobs_.size(); ++i) {
+      if (jobs_[i].submit_s < jobs_[best_idx].submit_s) best_idx = i;
+    }
   }
   // A hair of slack absorbs the engine's event-time rounding: a wake-up
   // scheduled at exactly submit + deadline must count as overdue.

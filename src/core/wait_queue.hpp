@@ -19,6 +19,9 @@ struct QueuedJob {
   AppInfo info;
   double est_duration_s = 0.0;  ///< estimate from the learning-period model
   double submit_s = 0.0;        ///< when the job reached the datacenter
+  /// mapreduce::app_digest of info.job.app, memoized by whoever classified
+  /// the job (0 = not computed). Decision-cache key component.
+  std::uint64_t app_digest = 0;
 };
 
 class WaitQueue {
@@ -58,6 +61,13 @@ class WaitQueue {
 
  private:
   std::deque<QueuedJob> jobs_;
+  /// True while submit times are nondecreasing front-to-back. Streaming
+  /// dispatchers always push in arrival order and removals preserve
+  /// relative order, so this usually holds — and then the oldest job is
+  /// simply the front, making oldest_submit_s/pop_overdue O(1) instead of
+  /// full scans. Cleared (conservatively, forever) by an out-of-order
+  /// push; every answer is identical either way.
+  bool sorted_ = true;
 };
 
 }  // namespace ecost::core

@@ -179,6 +179,38 @@ RunResult EvalCache::run_solo(const JobSpec& job, const AppConfig& cfg) {
   return rr;
 }
 
+std::size_t EvalCache::prefetch_solo(std::span<const JobSpec> jobs,
+                                     const AppConfig& cfg, unsigned threads) {
+  if (!opts_.enabled || jobs.empty()) return 0;
+  // Dedupe requests and drop already-cached entries silently — a prefetch
+  // probe is not a lookup and must not skew the hit/miss telemetry.
+  std::vector<ResultKey> keys;
+  std::vector<const JobSpec*> missing;
+  keys.reserve(jobs.size());
+  for (const JobSpec& job : jobs) {
+    ResultKey key;
+    key.a = make_eval_key(job, cfg);
+    key.pair = false;
+    bool dup = false;
+    for (const ResultKey& k : keys) {
+      if (k == key) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    keys.push_back(key);
+    Shard& shard = shard_for(ResultKeyHash{}(key));
+    std::lock_guard lock(shard.mu);
+    if (!shard.results.contains(key)) missing.push_back(&job);
+  }
+  if (missing.empty()) return 0;
+  parallel_for(
+      missing.size(), [&](std::size_t i) { run_solo(*missing[i], cfg); },
+      threads);
+  return missing.size();
+}
+
 RunResult EvalCache::run_pair(const JobSpec& a, const AppConfig& cfg_a,
                               const JobSpec& b, const AppConfig& cfg_b) {
   if (!opts_.enabled) return eval_.run_pair(a, cfg_a, b, cfg_b);

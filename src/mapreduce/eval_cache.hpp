@@ -116,6 +116,16 @@ class EvalCache final : public NodeEvaluator::Memo {
       std::span<const JobSpec> jobs, std::span<const AppConfig> cfgs,
       unsigned threads = 0);
 
+  /// Speculative warm-up: computes and caches run_solo(job, cfg) for every
+  /// entry of `jobs` that is not already cached, fanning the distinct
+  /// misses across the global thread pool (`threads` caps participants,
+  /// 0 = all). Duplicate requests are deduplicated first; entries already
+  /// present are skipped without touching the hit/miss counters. Returns
+  /// the number of entries actually computed. Values are identical to an
+  /// inline run_solo — the prefetch only moves the compute off the caller.
+  std::size_t prefetch_solo(std::span<const JobSpec> jobs,
+                            const AppConfig& cfg, unsigned threads = 0);
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;

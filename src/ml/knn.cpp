@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -22,9 +22,27 @@ void KnnClassifier::fit(const Matrix& x, std::vector<int> labels) {
 
 namespace {
 
-std::vector<std::pair<double, std::size_t>> ranked_distances(
-    const Matrix& x, std::span<const double> q) {
+// Per-thread query scratch: predict() runs once per admitted job (and
+// concurrently from the admission batch and the prefetcher), so the
+// distance table and standardized query reuse thread-local buffers
+// instead of allocating per call.
+struct QueryScratch {
+  std::vector<double> q;
   std::vector<std::pair<double, std::size_t>> d;
+};
+
+QueryScratch& scratch() {
+  thread_local QueryScratch s;
+  return s;
+}
+
+/// Fills `d` with (distance^2, row) and sorts the first `k` entries into
+/// their full-sort positions (ties break by row index via pair ordering,
+/// so the prefix is identical to what a full sort would produce).
+void ranked_distances(const Matrix& x, std::span<const double> q,
+                      std::size_t k,
+                      std::vector<std::pair<double, std::size_t>>& d) {
+  d.clear();
   d.reserve(x.rows());
   for (std::size_t i = 0; i < x.rows(); ++i) {
     const auto row = x.row(i);
@@ -35,39 +53,51 @@ std::vector<std::pair<double, std::size_t>> ranked_distances(
     }
     d.emplace_back(acc, i);
   }
-  std::sort(d.begin(), d.end());
-  return d;
+  std::partial_sort(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(k),
+                    d.end());
 }
 
 }  // namespace
 
 int KnnClassifier::predict(std::span<const double> features) const {
   ECOST_REQUIRE(fitted(), "classifier not fitted");
-  const auto q = scaler_.transform_row(features);
-  const auto ranked = ranked_distances(x_, q);
-  const std::size_t k = std::min(k_, ranked.size());
+  QueryScratch& s = scratch();
+  scaler_.transform_row(features, s.q);
+  const std::size_t k = std::min(k_, x_.rows());
+  ranked_distances(x_, s.q, k, s.d);
+  const auto& ranked = s.d;
 
-  std::map<int, std::size_t> votes;
-  for (std::size_t i = 0; i < k; ++i) votes[labels_[ranked[i].second]]++;
-  int best_label = labels_[ranked[0].second];
+  // Majority vote over at most k labels — a flat scan beats a map for the
+  // handful of classes involved.
+  const int nearest_label = labels_[ranked[0].second];
+  int best_label = nearest_label;
   std::size_t best_votes = 0;
-  for (const auto& [label, count] : votes) {
-    if (count > best_votes) {
+  std::size_t nearest_votes = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const int label = labels_[ranked[i].second];
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      count += labels_[ranked[j].second] == label ? 1 : 0;
+    }
+    if (label == nearest_label) nearest_votes = count;
+    // Ties toward the smaller label, matching ordered-map iteration.
+    if (count > best_votes ||
+        (count == best_votes && label < best_label)) {
       best_votes = count;
       best_label = label;
     }
   }
   // Tie: prefer the label of the single nearest neighbour.
-  if (votes[labels_[ranked[0].second]] == best_votes) {
-    best_label = labels_[ranked[0].second];
-  }
+  if (nearest_votes == best_votes) best_label = nearest_label;
   return best_label;
 }
 
 std::size_t KnnClassifier::nearest(std::span<const double> features) const {
   ECOST_REQUIRE(fitted(), "classifier not fitted");
-  const auto q = scaler_.transform_row(features);
-  return ranked_distances(x_, q).front().second;
+  QueryScratch& s = scratch();
+  scaler_.transform_row(features, s.q);
+  ranked_distances(x_, s.q, 1, s.d);
+  return s.d.front().second;
 }
 
 }  // namespace ecost::ml

@@ -45,13 +45,19 @@ Matrix StandardScaler::transform(const Matrix& x) const {
 
 std::vector<double> StandardScaler::transform_row(
     std::span<const double> row) const {
+  std::vector<double> out;
+  transform_row(row, out);
+  return out;
+}
+
+void StandardScaler::transform_row(std::span<const double> row,
+                                   std::vector<double>& out) const {
   ECOST_REQUIRE(fitted(), "scaler not fitted");
   ECOST_REQUIRE(row.size() == mean_.size(), "column mismatch");
-  std::vector<double> out(row.size());
+  out.resize(row.size());
   for (std::size_t j = 0; j < row.size(); ++j) {
     out[j] = (row[j] - mean_[j]) / std_[j];
   }
-  return out;
 }
 
 double StandardScaler::inverse_one(std::size_t col, double standardized) const {

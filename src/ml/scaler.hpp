@@ -19,6 +19,10 @@ class StandardScaler {
 
   Matrix transform(const Matrix& x) const;
   std::vector<double> transform_row(std::span<const double> row) const;
+  /// Allocation-free variant for per-query hot paths: writes into `out`
+  /// (resized to the row width).
+  void transform_row(std::span<const double> row,
+                     std::vector<double>& out) const;
 
   /// Inverse of transform_row for a single column index.
   double inverse_one(std::size_t col, double standardized) const;

@@ -45,7 +45,10 @@ ServeReport ServeDaemon::run_trace(
     std::span<const workloads::Arrival> arrivals) {
   SubmitQueue queue(opts_.submit_capacity);
   StreamDispatcher disp(eval_, cache_, td_, stp_, queue, opts_.serve);
-  core::ClusterEngine engine(eval_, opts_.nodes, opts_.slots_per_node);
+  core::ClusterEngine engine =
+      opts_.topology.has_value()
+          ? core::ClusterEngine(eval_, *opts_.topology, opts_.slots_per_node)
+          : core::ClusterEngine(eval_, opts_.nodes, opts_.slots_per_node);
   engine.set_obs(trace_, pid_);
   if (metrics_ != nullptr) engine.set_metrics(metrics_);
 
@@ -82,6 +85,8 @@ ServeReport ServeDaemon::run_trace(
   feeder.join();
 
   report.stats = disp.stats();
+  report.cache = disp.cache_stats();
+  report.prefetch = disp.prefetch_stats();
   report.jobs = arrivals.size();
   report.producer_blocked = queue.blocked();
   report.decisions.assign(disp.decisions().begin(), disp.decisions().end());
@@ -90,9 +95,9 @@ ServeReport ServeDaemon::run_trace(
   waits.reserve(report.decisions.size());
   for (const auto& d : report.decisions) waits.push_back(d.waited_s);
   std::sort(waits.begin(), waits.end());
-  report.p50_admission_s = exact_quantile(waits, 0.5);
-  report.p99_admission_s = exact_quantile(waits, 0.99);
-  report.max_admission_s = waits.empty() ? 0.0 : waits.back();
+  report.p50_placement_wait_s = exact_quantile(waits, 0.5);
+  report.p99_placement_wait_s = exact_quantile(waits, 0.99);
+  report.max_placement_wait_s = waits.empty() ? 0.0 : waits.back();
   report.decisions_per_s =
       report.wall_s > 0.0
           ? static_cast<double>(report.stats.decisions()) / report.wall_s

@@ -15,11 +15,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/cluster_engine.hpp"
 #include "serve/stream_dispatcher.hpp"
+#include "sim/topology.hpp"
 #include "workloads/arrivals.hpp"
 
 namespace ecost::serve {
@@ -30,6 +32,10 @@ struct DaemonOptions {
   /// SubmitQueue capacity — how far (in submissions) the front end may run
   /// ahead of the scheduling loop before submit() blocks.
   std::size_t submit_capacity = 256;
+  /// Racked fabric to serve on; unset = ideal flat fabric over `nodes`
+  /// (the paper testbed shape). When set, `nodes` is taken from the
+  /// topology and the flow network is modeled.
+  std::optional<sim::Topology> topology;
   ServeOptions serve;
 };
 
@@ -40,14 +46,24 @@ struct ServeReport {
   std::uint64_t jobs = 0;        ///< submissions replayed
   std::uint64_t producer_blocked = 0;  ///< submits that hit backpressure
 
-  // Admission latency (simulated seconds), exact over all decisions.
-  double p50_admission_s = 0.0;
-  double p99_admission_s = 0.0;
-  double max_admission_s = 0.0;
+  // Placement wait (simulated seconds), exact over all decisions: how long
+  // each job sat in the wait queue between submit and placement. This is
+  // NOT an admission-deadline guarantee — under saturation the deadline
+  // rung still needs a free slot, so the tail can exceed deadline_s (see
+  // DESIGN.md §5i).
+  double p50_placement_wait_s = 0.0;
+  double p99_placement_wait_s = 0.0;
+  double max_placement_wait_s = 0.0;
 
   // Wall-clock throughput of the scheduling loop (host-dependent).
   double wall_s = 0.0;
   double decisions_per_s = 0.0;
+
+  // Serving-hot-path telemetry (ISSUE 10): decision-memo and prefetcher
+  // effectiveness. Wall-time-only signals — the trajectory is identical
+  // with the cache and prefetcher off.
+  DecisionCache::Stats cache;
+  Prefetcher::Stats prefetch;
 
   std::vector<StreamDispatcher::Decision> decisions;  ///< time order
 };

@@ -1,0 +1,257 @@
+#include "serve/decision_cache.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "core/dataset_builder.hpp"
+#include "util/error.hpp"
+
+namespace ecost::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFFu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv_config(std::uint64_t h, const mapreduce::AppConfig& c) {
+  h = fnv_mix(h, static_cast<std::uint64_t>(c.freq));
+  h = fnv_mix(h, static_cast<std::uint64_t>(c.block_mib));
+  return fnv_mix(h, static_cast<std::uint64_t>(c.mappers));
+}
+
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::uint64_t knob_space_digest(const core::TrainingData& td) {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& [pair, cfgs] : td.candidate_configs) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(pair.first));
+    h = fnv_mix(h, static_cast<std::uint64_t>(pair.second));
+    h = fnv_mix(h, cfgs.size());
+    for (const mapreduce::PairConfig& pc : cfgs) {
+      h = fnv_config(h, pc.first);
+      h = fnv_config(h, pc.second);
+    }
+  }
+  for (const auto& [key, cfg] : td.solo_db) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(key.cls));
+    h = fnv_mix(h, std::bit_cast<std::uint64_t>(key.size_gib));
+    h = fnv_config(h, cfg);
+  }
+  return h;
+}
+
+mapreduce::AppConfig solo_optimum(const core::TrainingData& td,
+                                  mapreduce::AppClass cls, double size_gib) {
+  const mapreduce::AppConfig* best = &kServeDefaultCfg;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const auto& [key, cfg] : td.solo_db) {
+    if (key.cls != cls) continue;
+    const double d = std::abs(std::log(std::max(key.size_gib, 1e-6) /
+                                       std::max(size_gib, 1e-6)));
+    if (d < best_d) {
+      best_d = d;
+      best = &cfg;
+    }
+  }
+  return *best;
+}
+
+template <typename K, typename V>
+std::size_t DecisionCache::Table<K, V>::KeyHash::operator()(
+    const K& k) const {
+  std::uint64_t h = fnv_mix(kFnvOffset, seed);
+  if constexpr (std::is_same_v<K, PairDecisionKey>) {
+    h = fnv_mix(h, k.a_digest);
+    h = fnv_mix(h, k.b_digest);
+    h = fnv_mix(h, k.a_bytes);
+    h = fnv_mix(h, k.b_bytes);
+    h = fnv_mix(h, k.classes);
+  } else {
+    h = fnv_mix(h, k.cls);
+    h = fnv_mix(h, k.bytes);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+template <typename K, typename V>
+typename DecisionCache::Table<K, V>::Shard&
+DecisionCache::Table<K, V>::shard_for(const K& k, std::uint64_t seed) {
+  const std::size_t h = KeyHash{seed}(k);
+  // The low bits pick the map bucket inside the shard; use high bits here
+  // so the two selections stay independent.
+  return shards[(h >> 48) & (shards.size() - 1)];
+}
+
+DecisionCache::DecisionCache() : DecisionCache(Options{}) {}
+
+DecisionCache::DecisionCache(Options opts) : opts_(opts) {
+  ECOST_REQUIRE(opts_.shards >= 1, "decision cache needs >= 1 shard");
+  ECOST_REQUIRE(opts_.capacity >= 1, "decision cache needs capacity >= 1");
+  const std::size_t n = next_pow2(opts_.shards);
+  opts_.shards = n;
+  const std::size_t per_shard = (opts_.capacity + n - 1) / n;
+  pair_.shards = std::vector<decltype(pair_)::Shard>(n);
+  pair_.shard_cap = per_shard;
+  solo_.shards = std::vector<decltype(solo_)::Shard>(n);
+  solo_.shard_cap = per_shard;
+  attach_metrics(opts_.metrics);
+}
+
+void DecisionCache::attach_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  m_hits_ = &metrics->counter("serve.dcache_hits");
+  m_misses_ = &metrics->counter("serve.dcache_misses");
+  m_evictions_ = &metrics->counter("serve.dcache_evictions");
+  m_invalidations_ = &metrics->counter("serve.dcache_invalidations");
+  m_prefetch_wins_ = &metrics->counter("serve.dcache_prefetch_wins");
+}
+
+template <typename K, typename V>
+std::optional<V> DecisionCache::lookup(Table<K, V>& t, const K& k) {
+  auto& shard = t.shard_for(k, opts_.knob_digest);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.map.find(k);
+  if (it == shard.map.end()) {
+    n_.misses.fetch_add(1, std::memory_order_relaxed);
+    if (m_misses_ != nullptr) m_misses_->add();
+    return std::nullopt;
+  }
+  shard.recency.splice(shard.recency.begin(), shard.recency, it->second.lru);
+  if (it->second.speculative) {
+    it->second.speculative = false;  // count the win once per entry
+    n_.prefetch_wins.fetch_add(1, std::memory_order_relaxed);
+    if (m_prefetch_wins_ != nullptr) m_prefetch_wins_->add();
+  }
+  n_.hits.fetch_add(1, std::memory_order_relaxed);
+  if (m_hits_ != nullptr) m_hits_->add();
+  return it->second.value;
+}
+
+template <typename K, typename V>
+void DecisionCache::insert(Table<K, V>& t, const K& k, const V& v,
+                           std::uint64_t computed_epoch, bool speculative) {
+  auto& shard = t.shard_for(k, opts_.knob_digest);
+  std::lock_guard lock(shard.mu);
+  // An invalidation that landed after the value was computed makes it
+  // stale — the tuner it came from is gone. The epoch is re-read under the
+  // shard lock, and invalidate() bumps it while holding every shard lock,
+  // so a stale value can never be published.
+  if (epoch_.load(std::memory_order_acquire) != computed_epoch) {
+    n_.stale_rejects.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const auto it = shard.map.find(k);
+  if (it != shard.map.end()) {
+    shard.recency.splice(shard.recency.begin(), shard.recency,
+                         it->second.lru);
+    it->second.value = v;
+    return;
+  }
+  if (shard.map.size() >= t.shard_cap) {
+    const K& victim = shard.recency.back();
+    shard.map.erase(victim);
+    shard.recency.pop_back();
+    n_.evictions.fetch_add(1, std::memory_order_relaxed);
+    if (m_evictions_ != nullptr) m_evictions_->add();
+  }
+  shard.recency.push_front(k);
+  shard.map.emplace(
+      k, typename Table<K, V>::Entry{v, shard.recency.begin(), speculative});
+  if (speculative) {
+    n_.speculative_inserts.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::optional<mapreduce::PairConfig> DecisionCache::pair_lookup(
+    const PairDecisionKey& k) {
+  return lookup(pair_, k);
+}
+
+void DecisionCache::pair_insert(const PairDecisionKey& k,
+                                const mapreduce::PairConfig& v,
+                                std::uint64_t computed_epoch,
+                                bool speculative) {
+  insert(pair_, k, v, computed_epoch, speculative);
+}
+
+bool DecisionCache::pair_contains(const PairDecisionKey& k) {
+  auto& shard = pair_.shard_for(k, opts_.knob_digest);
+  std::lock_guard lock(shard.mu);
+  return shard.map.contains(k);
+}
+
+std::optional<mapreduce::AppConfig> DecisionCache::solo_lookup(
+    const SoloDecisionKey& k) {
+  return lookup(solo_, k);
+}
+
+void DecisionCache::solo_insert(const SoloDecisionKey& k,
+                                const mapreduce::AppConfig& v,
+                                std::uint64_t computed_epoch,
+                                bool speculative) {
+  insert(solo_, k, v, computed_epoch, speculative);
+}
+
+void DecisionCache::invalidate() {
+  // Take every shard lock (fixed order: pair table then solo, index order)
+  // so the epoch bump and the clears are one atomic step relative to any
+  // insert, which holds its shard lock across its epoch check.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(pair_.shards.size() + solo_.shards.size());
+  for (auto& s : pair_.shards) locks.emplace_back(s.mu);
+  for (auto& s : solo_.shards) locks.emplace_back(s.mu);
+  epoch_.fetch_add(1, std::memory_order_release);
+  for (auto& s : pair_.shards) {
+    s.map.clear();
+    s.recency.clear();
+  }
+  for (auto& s : solo_.shards) {
+    s.map.clear();
+    s.recency.clear();
+  }
+  n_.invalidations.fetch_add(1, std::memory_order_relaxed);
+  if (m_invalidations_ != nullptr) m_invalidations_->add();
+}
+
+DecisionCache::Stats DecisionCache::stats() const {
+  Stats s;
+  s.hits = n_.hits.load(std::memory_order_relaxed);
+  s.misses = n_.misses.load(std::memory_order_relaxed);
+  s.evictions = n_.evictions.load(std::memory_order_relaxed);
+  s.invalidations = n_.invalidations.load(std::memory_order_relaxed);
+  s.speculative_inserts =
+      n_.speculative_inserts.load(std::memory_order_relaxed);
+  s.prefetch_wins = n_.prefetch_wins.load(std::memory_order_relaxed);
+  s.stale_rejects = n_.stale_rejects.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t DecisionCache::size() const {
+  std::size_t total = 0;
+  for (const auto& s : pair_.shards) {
+    std::lock_guard lock(s.mu);
+    total += s.map.size();
+  }
+  for (const auto& s : solo_.shards) {
+    std::lock_guard lock(s.mu);
+    total += s.map.size();
+  }
+  return total;
+}
+
+}  // namespace ecost::serve

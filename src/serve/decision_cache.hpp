@@ -1,0 +1,219 @@
+// Sharded, LRU-bounded memo of tuned serving decisions (ISSUE 10 tentpole
+// part 1). The hot rungs of StreamDispatcher::plan() — the STP pair
+// prediction and the solo-optimum table scan — are pure functions of their
+// operands, so the daemon can answer a repeated decision without touching
+// the model or the grid evaluator at all.
+//
+// Key semantics (documented in DESIGN.md §5i): entries are keyed on the
+// *identity* of both operands — app digest + exact input bytes + assigned
+// class — not on the class pair alone. The ECoST class is a lossy label:
+// two applications of the same class pair can tune to different configs,
+// so a class-pair key would change decisions and break the exact decision
+// counters that CI gates. App identity is the finest key the decision
+// depends on (predictions are invariant to the per-job PMU sampling noise,
+// which only enters through the classifier), so memoization is exact: a
+// cached run is bit-identical to an uncached one. The knob-space digest is
+// folded into every hash so baselines trained over different candidate
+// sets never alias.
+//
+// Invalidation: swap_tuner() bumps the epoch and drops every entry. Inserts
+// carry the epoch their value was computed under; a stale insert (raced by
+// an invalidation — e.g. a prefetch completing across a tuner swap) is
+// rejected, never published.
+//
+// Thread safety: one mutex per shard; lookups and inserts from the
+// scheduling thread and the prefetcher interleave freely.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mapreduce/app_profile.hpp"
+#include "mapreduce/config.hpp"
+#include "obs/metrics.hpp"
+
+namespace ecost::core {
+struct TrainingData;
+}
+
+namespace ecost::serve {
+
+/// Identity of one tuned pair decision, in predict(a, b) argument order.
+struct PairDecisionKey {
+  std::uint64_t a_digest = 0;  ///< mapreduce::app_digest of the head/survivor
+  std::uint64_t b_digest = 0;  ///< digest of the partner
+  std::uint64_t a_bytes = 0;   ///< exact input bytes, not a bucket
+  std::uint64_t b_bytes = 0;
+  std::uint16_t classes = 0;   ///< (cls_a << 8) | cls_b guard
+  friend bool operator==(const PairDecisionKey&,
+                         const PairDecisionKey&) = default;
+};
+
+/// Identity of one solo-optimum decision (solo_config is a pure function
+/// of the class and the input size).
+struct SoloDecisionKey {
+  std::uint8_t cls = 0;
+  std::uint64_t bytes = 0;
+  friend bool operator==(const SoloDecisionKey&,
+                         const SoloDecisionKey&) = default;
+};
+
+/// Order-independent digest of the tuner's knob domain (candidate configs
+/// per class pair + the solo database). Folded into every cache hash so
+/// entries computed over one knob space never answer for another.
+std::uint64_t knob_space_digest(const core::TrainingData& td);
+
+/// The CBM-style untuned default every serving rung starts from (stock
+/// frequency and block size) — shared by the dispatcher and prefetcher so
+/// speculative warms hit the exact keys the inline path will ask for.
+inline constexpr mapreduce::AppConfig kServeDefaultCfg{
+    sim::FreqLevel::F2_4, 128, 8};
+
+/// Nearest-size solo optimum for a class — the pure function behind
+/// StreamDispatcher's solo rung, factored out so prefetch fills compute
+/// byte-identical values.
+mapreduce::AppConfig solo_optimum(const core::TrainingData& td,
+                                  mapreduce::AppClass cls, double size_gib);
+
+inline PairDecisionKey make_pair_key(std::uint64_t a_digest,
+                                     std::uint64_t a_bytes,
+                                     mapreduce::AppClass a_cls,
+                                     std::uint64_t b_digest,
+                                     std::uint64_t b_bytes,
+                                     mapreduce::AppClass b_cls) {
+  PairDecisionKey k;
+  k.a_digest = a_digest;
+  k.b_digest = b_digest;
+  k.a_bytes = a_bytes;
+  k.b_bytes = b_bytes;
+  k.classes = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(a_cls) << 8) |
+      static_cast<std::uint16_t>(b_cls));
+  return k;
+}
+
+class DecisionCache {
+ public:
+  struct Options {
+    std::size_t shards = 8;      ///< rounded up to a power of two
+    std::size_t capacity = 4096; ///< max entries per table (pair and solo)
+    std::uint64_t knob_digest = 0;
+    /// Registry for hit/miss/evict/invalidate counters. Null: counters
+    /// stay internal to stats() only.
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  DecisionCache();
+  explicit DecisionCache(Options opts);
+
+  /// (Re)binds the registry-mirror counters. The dispatcher learns its
+  /// registry via set_obs after construction, so the mirrors attach
+  /// lazily; internal stats() counters run from the start regardless.
+  void attach_metrics(obs::MetricsRegistry* metrics);
+
+  /// Current invalidation epoch. Capture it *before* computing a value to
+  /// insert; the insert is dropped if an invalidation landed in between.
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  std::optional<mapreduce::PairConfig> pair_lookup(const PairDecisionKey& k);
+  void pair_insert(const PairDecisionKey& k, const mapreduce::PairConfig& v,
+                   std::uint64_t computed_epoch, bool speculative = false);
+
+  /// Presence probe that touches neither the counters nor the LRU order —
+  /// the prefetcher uses it to skip speculation that is already cached.
+  bool pair_contains(const PairDecisionKey& k);
+
+  std::optional<mapreduce::AppConfig> solo_lookup(const SoloDecisionKey& k);
+  void solo_insert(const SoloDecisionKey& k, const mapreduce::AppConfig& v,
+                   std::uint64_t computed_epoch, bool speculative = false);
+
+  /// Drops every entry and bumps the epoch (swap_tuner hook).
+  void invalidate();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t speculative_inserts = 0;
+    /// Speculative entries that served at least one hit (counted once).
+    std::uint64_t prefetch_wins = 0;
+    /// Inserts rejected because an invalidation raced the compute.
+    std::uint64_t stale_rejects = 0;
+
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+  Stats stats() const;
+
+  /// Live entries across both tables and all shards.
+  std::size_t size() const;
+  std::size_t shards() const { return pair_.shards.size(); }
+  std::size_t capacity() const { return opts_.capacity; }
+
+ private:
+  template <typename K, typename V>
+  struct Table {
+    struct Entry {
+      V value{};
+      typename std::list<K>::iterator lru;
+      bool speculative = false;
+    };
+    struct KeyHash {
+      std::uint64_t seed = 0;
+      std::size_t operator()(const K& k) const;
+    };
+    struct Shard {
+      mutable std::mutex mu;
+      std::unordered_map<K, Entry, KeyHash> map;
+      std::list<K> recency;  ///< front = most recently used
+    };
+    std::vector<Shard> shards;
+    std::size_t shard_cap = 0;
+
+    Shard& shard_for(const K& k, std::uint64_t seed);
+  };
+
+  template <typename K, typename V>
+  std::optional<V> lookup(Table<K, V>& t, const K& k);
+  template <typename K, typename V>
+  void insert(Table<K, V>& t, const K& k, const V& v,
+              std::uint64_t computed_epoch, bool speculative);
+
+  Options opts_;
+  Table<PairDecisionKey, mapreduce::PairConfig> pair_;
+  Table<SoloDecisionKey, mapreduce::AppConfig> solo_;
+  std::atomic<std::uint64_t> epoch_{0};
+
+  struct Counters {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> invalidations{0};
+    std::atomic<std::uint64_t> speculative_inserts{0};
+    std::atomic<std::uint64_t> prefetch_wins{0};
+    std::atomic<std::uint64_t> stale_rejects{0};
+  };
+  mutable Counters n_;
+
+  // Optional registry mirrors, resolved once at construction.
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_invalidations_ = nullptr;
+  obs::Counter* m_prefetch_wins_ = nullptr;
+};
+
+}  // namespace ecost::serve

@@ -1,0 +1,173 @@
+#include "serve/prefetcher.hpp"
+
+#include <array>
+#include <utility>
+
+#include "mapreduce/eval_cache.hpp"
+
+namespace ecost::serve {
+
+using mapreduce::JobSpec;
+
+const perfmon::FeatureVector& TruthCache::get_or_profile(
+    const mapreduce::NodeEvaluator& eval, const mapreduce::AppProfile& app,
+    std::uint64_t digest) {
+  {
+    std::lock_guard lock(mu_);
+    if (const auto it = map_.find(digest); it != map_.end()) {
+      return it->second;
+    }
+  }
+  // Compute outside the lock (the probe run is the expensive part); the
+  // profile is deterministic per app, so a racing second computation
+  // produces an identical value and first-writer-wins is exact.
+  const core::ProfilingOptions popts;
+  perfmon::FeatureVector fv = core::profile_application_exact(eval, app, popts);
+  std::lock_guard lock(mu_);
+  return map_.emplace(digest, std::move(fv)).first->second;
+}
+
+Prefetcher::Prefetcher(const mapreduce::NodeEvaluator& eval,
+                       mapreduce::EvalCache& cache,
+                       const core::TrainingData& td, DecisionCache& dcache,
+                       TruthCache& truth, const core::SelfTuner& stp,
+                       Options opts)
+    : eval_(eval),
+      cache_(cache),
+      td_(td),
+      dcache_(dcache),
+      truth_(truth),
+      stp_(&stp),
+      opts_(opts),
+      ring_(opts.queue_capacity),
+      worker_([this] { run(); }) {}
+
+Prefetcher::~Prefetcher() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard lock(mu_);
+    cv_.notify_all();
+  }
+  worker_.join();
+}
+
+void Prefetcher::hint(const JobSpec& job) {
+  if (!ring_.try_push(job)) {
+    n_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  n_hinted_.fetch_add(1, std::memory_order_relaxed);
+  enqueued_.fetch_add(1, std::memory_order_release);
+  {
+    // Empty critical section: orders this notify after the worker's
+    // predicate re-check, closing the park/notify race.
+    std::lock_guard lock(mu_);
+  }
+  cv_.notify_one();
+}
+
+void Prefetcher::quiesce() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [&] {
+    return processed_.load(std::memory_order_acquire) >=
+           enqueued_.load(std::memory_order_acquire);
+  });
+}
+
+void Prefetcher::run() {
+  std::vector<JobSpec> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               ring_.size_approx() > 0;
+      });
+    }
+    if (ring_.drain(batch) == 0) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    // Warm the duration-estimate entries first, fanned across the global
+    // pool — by the time the hints are processed serially below, the
+    // expensive evaluator work is done.
+    if (cache_.prefetch_solo(batch, kServeDefaultCfg, opts_.fill_threads) >
+        0) {
+      n_eval_warms_.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (const JobSpec& job : batch) {
+      process(job);
+      processed_.fetch_add(1, std::memory_order_release);
+    }
+    {
+      std::lock_guard lock(mu_);
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void Prefetcher::process(const JobSpec& job) {
+  const std::uint64_t digest = mapreduce::app_digest(job.app);
+  const perfmon::FeatureVector& fv =
+      truth_.get_or_profile(eval_, job.app, digest);
+  const mapreduce::AppClass cls = td_.classifier.classify(fv);
+
+  // Solo-optimum fill: pure in (class, size), so this is never wrong, only
+  // possibly keyed under a class the noisy inline classification won't ask
+  // for (then it simply never hits).
+  {
+    const std::uint64_t epoch = dcache_.epoch();
+    dcache_.solo_insert(
+        {static_cast<std::uint8_t>(cls), job.input_bytes},
+        solo_optimum(td_, cls, job.input_gib()), epoch, /*speculative=*/true);
+    n_solo_fills_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Pair speculation: predict this app against the recent-operand window,
+  // in both argument orders (head/partner roles differ). The epoch is
+  // captured before the tuner pointer so a fill raced by swap_tuner can
+  // only pair a stale epoch with a fresh tuner — rejected on insert.
+  for (const Seen& w : window_) {
+    if (w.digest == digest && w.job.input_bytes == job.input_bytes) continue;
+    const core::AppInfo a{job, fv, cls};
+    const core::AppInfo b{w.job, w.features, w.cls};
+    const std::array<std::pair<const core::AppInfo*, const core::AppInfo*>,
+                     2>
+        orders{{{&a, &b}, {&b, &a}}};
+    for (const auto& [head, partner] : orders) {
+      const PairDecisionKey key = make_pair_key(
+          mapreduce::app_digest(head->job.app), head->job.input_bytes,
+          head->cls, mapreduce::app_digest(partner->job.app),
+          partner->job.input_bytes, partner->cls);
+      if (dcache_.pair_contains(key)) continue;
+      const std::uint64_t epoch = dcache_.epoch();
+      const core::SelfTuner* stp = stp_.load(std::memory_order_acquire);
+      const mapreduce::PairConfig pc = stp->predict(*head, *partner);
+      dcache_.pair_insert(key, pc, epoch, /*speculative=*/true);
+      n_pair_fills_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Window update: keep the most recent distinct operands.
+  for (auto it = window_.begin(); it != window_.end(); ++it) {
+    if (it->digest == digest && it->job.input_bytes == job.input_bytes) {
+      window_.erase(it);
+      break;
+    }
+  }
+  window_.push_front(Seen{digest, job, fv, cls});
+  while (window_.size() > opts_.partner_window) window_.pop_back();
+}
+
+Prefetcher::Stats Prefetcher::stats() const {
+  Stats s;
+  s.hinted = n_hinted_.load(std::memory_order_relaxed);
+  s.dropped = n_dropped_.load(std::memory_order_relaxed);
+  s.solo_fills = n_solo_fills_.load(std::memory_order_relaxed);
+  s.pair_fills = n_pair_fills_.load(std::memory_order_relaxed);
+  s.eval_warms = n_eval_warms_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace ecost::serve

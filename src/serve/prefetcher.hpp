@@ -1,0 +1,141 @@
+// Asynchronous decision prefetch (ISSUE 10 tentpole part 2). When the
+// daemon runs with --serve-threads >= 2, classification hints flow from the
+// admission path into this background worker, which speculatively warms
+// every memo layer the next decisions will consult:
+//
+//   - the shared ground-truth profile cache (one exact learning-period
+//     probe per distinct application),
+//   - the EvalCache run_solo entry behind each duration estimate
+//     (EvalCache::prefetch_solo fans distinct misses across the global
+//     thread pool — PR 5's batch fill machinery),
+//   - the DecisionCache solo optimum for the hinted (class, size), and
+//   - speculative STP pair predictions against a sliding window of
+//     recently hinted applications (both argument orders — the head/
+//     partner roles are not symmetric).
+//
+// Everything here is *speculation about wall time only*: a prefetched
+// entry holds exactly the value the scheduling thread would compute inline
+// (pair predictions are pure in the operand identities; speculative
+// classification runs on noise-free truth features, and a job whose noisy
+// classification disagrees simply misses and computes inline). Decision
+// trajectories are bit-identical with the prefetcher on or off; CI pins
+// this. Tuner swaps are safe by construction: fills carry the DecisionCache
+// epoch captured before the tuner pointer was read, so a fill raced by
+// swap_tuner is rejected, never published (set_tuner must be called before
+// the invalidation — see swap_tuner).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dataset_builder.hpp"
+#include "core/profiling.hpp"
+#include "core/stp.hpp"
+#include "mapreduce/eval_cache.hpp"
+#include "serve/decision_cache.hpp"
+#include "util/mpsc_ring.hpp"
+
+namespace ecost::serve {
+
+/// Memoized ground-truth learning-period signatures, shared between the
+/// scheduling thread and the prefetcher. References stay valid for the
+/// cache's lifetime (node-based map, entries never erased).
+class TruthCache {
+ public:
+  const perfmon::FeatureVector& get_or_profile(
+      const mapreduce::NodeEvaluator& eval, const mapreduce::AppProfile& app,
+      std::uint64_t digest);
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, perfmon::FeatureVector> map_;
+};
+
+class Prefetcher {
+ public:
+  struct Options {
+    std::size_t queue_capacity = 1024;  ///< pending hints; overflow drops
+    std::size_t partner_window = 8;     ///< recent distinct apps to pair
+    /// Participant cap for the EvalCache batch warm (0 = whole pool).
+    unsigned fill_threads = 0;
+  };
+
+  /// Borrows everything; all referents must outlive the prefetcher.
+  Prefetcher(const mapreduce::NodeEvaluator& eval,
+             mapreduce::EvalCache& cache, const core::TrainingData& td,
+             DecisionCache& dcache, TruthCache& truth,
+             const core::SelfTuner& stp, Options opts);
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  /// Hands the worker one likely-upcoming job. Non-blocking; a full queue
+  /// drops the hint (prefetch is advisory, never backpressure).
+  void hint(const mapreduce::JobSpec& job);
+
+  /// Atomically points future speculation at a new tuner. Call *before*
+  /// DecisionCache::invalidate() so an epoch-fresh fill can only have read
+  /// the fresh tuner.
+  void set_tuner(const core::SelfTuner& stp) {
+    stp_.store(&stp, std::memory_order_release);
+  }
+
+  /// Blocks until every hint enqueued so far has been processed (test
+  /// hook; the daemon never waits on speculation).
+  void quiesce();
+
+  struct Stats {
+    std::uint64_t hinted = 0;
+    std::uint64_t dropped = 0;       ///< queue-full hints shed
+    std::uint64_t solo_fills = 0;    ///< DecisionCache solo inserts issued
+    std::uint64_t pair_fills = 0;    ///< speculative pair predictions
+    std::uint64_t eval_warms = 0;    ///< EvalCache run_solo warm batches
+  };
+  Stats stats() const;
+
+ private:
+  void run();
+  void process(const mapreduce::JobSpec& job);
+
+  const mapreduce::NodeEvaluator& eval_;
+  mapreduce::EvalCache& cache_;
+  const core::TrainingData& td_;
+  DecisionCache& dcache_;
+  TruthCache& truth_;
+  std::atomic<const core::SelfTuner*> stp_;
+  Options opts_;
+
+  MpscRing<mapreduce::JobSpec> ring_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> processed_{0};
+
+  /// Worker-private sliding window of recent distinct operands.
+  struct Seen {
+    std::uint64_t digest = 0;
+    mapreduce::JobSpec job;
+    perfmon::FeatureVector features{};
+    mapreduce::AppClass cls{};
+  };
+  std::deque<Seen> window_;
+
+  std::atomic<std::uint64_t> n_hinted_{0};
+  std::atomic<std::uint64_t> n_dropped_{0};
+  std::atomic<std::uint64_t> n_solo_fills_{0};
+  std::atomic<std::uint64_t> n_pair_fills_{0};
+  std::atomic<std::uint64_t> n_eval_warms_{0};
+
+  std::thread worker_;  ///< last member: starts after everything above
+};
+
+}  // namespace ecost::serve

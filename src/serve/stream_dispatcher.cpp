@@ -8,6 +8,7 @@
 #include "core/profiling.hpp"
 #include "perfmon/perf_sampler.hpp"
 #include "util/error.hpp"
+#include "util/parallel_for.hpp"
 
 namespace ecost::serve {
 
@@ -20,7 +21,6 @@ using mapreduce::PairConfig;
 
 namespace {
 constexpr double kEps = 1e-9;
-const AppConfig kDefaultCfg{sim::FreqLevel::F2_4, 128, 8};
 
 // Bucket edges of the admission-latency histogram (simulated seconds).
 std::vector<double> admission_bounds() {
@@ -38,7 +38,9 @@ StreamDispatcher::StreamDispatcher(const mapreduce::NodeEvaluator& eval,
       td_(td),
       stp_(&stp),
       submissions_(queue),
-      opts_(opts) {
+      opts_(opts),
+      dcache_(DecisionCache::Options{opts.cache_shards, opts.cache_capacity,
+                                     knob_space_digest(td), nullptr}) {
   ECOST_REQUIRE(opts_.deadline_s > 0.0, "admission deadline must be positive");
   ECOST_REQUIRE(opts_.queue_limit >= 2,
                 "queue limit must admit at least one pair");
@@ -46,6 +48,41 @@ StreamDispatcher::StreamDispatcher(const mapreduce::NodeEvaluator& eval,
   ECOST_REQUIRE(opts_.tuner_budget_s >= 0.0,
                 "tuner budget must be non-negative");
   ECOST_REQUIRE(opts_.classify_runs >= 1, "classification needs >= 1 run");
+  ECOST_REQUIRE(opts_.serve_threads >= 1, "serving needs >= 1 thread");
+  if (opts_.serve_threads >= 2 && opts_.prefetch) {
+    Prefetcher::Options popts;
+    prefetcher_ = std::make_unique<Prefetcher>(eval_, cache_, td_, dcache_,
+                                               truth_, stp, popts);
+  }
+}
+
+void StreamDispatcher::bind_metrics() {
+  if (bound_metrics_ == metrics_) return;
+  bound_metrics_ = metrics_;
+  c_classified_ = &metrics_->counter("serve.classified");
+  c_classify_us_ = &metrics_->counter("serve.classify_us");
+  c_admitted_ = &metrics_->counter("serve.admitted");
+  c_deferred_ = &metrics_->counter("serve.deferred");
+  c_kind_[static_cast<int>(DecisionKind::Pair)] =
+      &metrics_->counter("serve.pair");
+  c_kind_[static_cast<int>(DecisionKind::Solo)] =
+      &metrics_->counter("serve.solo");
+  c_kind_[static_cast<int>(DecisionKind::Backfill)] =
+      &metrics_->counter("serve.backfill");
+  c_kind_[static_cast<int>(DecisionKind::Degraded)] =
+      &metrics_->counter("serve.degraded");
+  c_kind_[static_cast<int>(DecisionKind::Deadline)] =
+      &metrics_->counter("serve.deadline");
+  h_admission_ = &metrics_->histogram("serve.admission_s", admission_bounds());
+  g_queue_depth_ = &metrics_->gauge("serve.queue_depth");
+  g_backlog_depth_ = &metrics_->gauge("serve.backlog_depth");
+  dcache_.attach_metrics(metrics_);
+}
+
+void StreamDispatcher::swap_tuner(const core::SelfTuner& stp) {
+  stp_ = &stp;
+  if (prefetcher_) prefetcher_->set_tuner(stp);
+  dcache_.invalidate();
 }
 
 void StreamDispatcher::ensure_lookahead(double now_s) const {
@@ -64,6 +101,10 @@ void StreamDispatcher::ensure_lookahead(double now_s) const {
       ECOST_REQUIRE(
           lookahead_.empty() || s.arrival_s >= lookahead_.back().arrival_s,
           "submissions must arrive in nondecreasing time order");
+      // Earliest possible speculation point: the job will not be admitted
+      // before the next plan(), so the prefetcher has the whole gap to
+      // warm the caches it will consult.
+      if (prefetcher_) prefetcher_->hint(s.job);
       lookahead_.push_back(std::move(s));
     }
   }
@@ -74,57 +115,77 @@ core::QueuedJob StreamDispatcher::classify(const Submission& s) {
   // Ground-truth learning-period signature, one solo probe run per distinct
   // application (memoized — the stream repeats the same apps endlessly).
   const std::uint64_t digest = mapreduce::app_digest(s.job.app);
-  auto it = truth_.find(digest);
-  if (it == truth_.end()) {
-    const core::ProfilingOptions popts;
-    it = truth_
-             .emplace(digest,
-                      core::profile_application_exact(eval_, s.job.app, popts))
-             .first;
-  }
+  const perfmon::FeatureVector& fv =
+      truth_.get_or_profile(eval_, s.job.app, digest);
   // First counter samples: a seeded multiplexed PMU pass over the truth.
   perfmon::PerfSampler sampler(opts_.profile_seed ^
                                (s.id * 0x9E3779B97F4A7C15ULL));
   QueuedJob qj;
   qj.id = s.id;
   qj.info.job = s.job;
-  qj.info.features = sampler.sample_averaged(it->second, opts_.classify_runs);
+  qj.info.features = sampler.sample_averaged(fv, opts_.classify_runs);
   qj.info.cls = td_.classifier.classify(qj.info.features);
-  qj.est_duration_s = cache_.run_solo(s.job, kDefaultCfg).makespan_s;
+  qj.est_duration_s = cache_.run_solo(s.job, kServeDefaultCfg).makespan_s;
   qj.submit_s = s.arrival_s;
-  metrics_->counter("serve.classified").add();
-  metrics_->counter("serve.classify_us")
-      .add(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - t0)
-              .count()));
+  qj.app_digest = digest;
+  c_classified_->add();
+  c_classify_us_->add(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
   return qj;
 }
 
 void StreamDispatcher::admit(double now_s) {
+  // Phase 1 (serial): decide which due submissions are admissible this
+  // instant — pure arrival/queue-depth/deadline logic, no classification.
+  admit_buf_.clear();
+  std::size_t depth = queue_.size();
   while (!lookahead_.empty() &&
          lookahead_.front().arrival_s <= now_s + kEps) {
     const Submission& front = lookahead_.front();
     const bool overdue = now_s - front.arrival_s >= opts_.deadline_s - kEps;
-    if (queue_.size() >= opts_.queue_limit && !overdue) {
+    if (depth >= opts_.queue_limit && !overdue) {
       // Backpressure: the wait queue is full, so admission (and with it
       // classification) waits. The job keeps aging toward its deadline —
       // deferral never hides latency, and an overdue job always gets in.
       if (front.id >= deferral_mark_) {
         stats_.deferred += 1;
-        metrics_->counter("serve.deferred").add();
+        c_deferred_->add();
         deferral_mark_ = front.id + 1;
       }
       break;
     }
-    QueuedJob qj = classify(front);
+    admit_buf_.push_back(front);
+    depth += 1;
+    lookahead_.pop_front();
+  }
+  if (admit_buf_.empty()) return;
+
+  // Phase 2: classify the batch. Every per-job quantity (sampler seed,
+  // truth signature, duration estimate) depends only on the submission
+  // itself, so the index-addressed parallel run produces bit-identical
+  // QueuedJobs in every schedule and at every worker count.
+  classified_buf_.assign(admit_buf_.size(), QueuedJob{});
+  if (opts_.serve_threads >= 2 && admit_buf_.size() >= 2) {
+    parallel_for(
+        admit_buf_.size(),
+        [&](std::size_t i) { classified_buf_[i] = classify(admit_buf_[i]); },
+        static_cast<unsigned>(opts_.serve_threads));
+  } else {
+    for (std::size_t i = 0; i < admit_buf_.size(); ++i) {
+      classified_buf_[i] = classify(admit_buf_[i]);
+    }
+  }
+
+  // Phase 3 (serial): push in arrival order; stats and trace stay ordered.
+  for (QueuedJob& qj : classified_buf_) {
     stats_.admitted += 1;
-    metrics_->counter("serve.admitted").add();
+    c_admitted_->add();
     if (trace_ != nullptr) {
       trace_->instant(obs_pid_, 0, "admit", now_s, qj.id);
     }
     queue_.push(std::move(qj));
-    lookahead_.pop_front();
   }
 }
 
@@ -139,26 +200,54 @@ AppConfig StreamDispatcher::untuned_config() const {
   // CBM-style untuned co-location default: stock frequency and block size,
   // an even share of the node's cores — safe next to any co-resident
   // (mapper counts of a co-located pair must partition the cores).
-  AppConfig cfg = kDefaultCfg;
+  AppConfig cfg = kServeDefaultCfg;
   cfg.mappers = std::max(1, eval_.spec().cores / 2);
   return cfg;
 }
 
-AppConfig StreamDispatcher::solo_config(const AppInfo& info) const {
-  // Nearest-size solo optimum for the classified class — a table read, so
-  // it stays on even when the pair tuner is over budget.
-  const AppConfig* best = &kDefaultCfg;
-  double best_d = std::numeric_limits<double>::infinity();
-  for (const auto& [key, cfg] : td_.solo_db) {
-    if (key.cls != info.cls) continue;
-    const double d = std::abs(std::log(std::max(key.size_gib, 1e-6) /
-                                       std::max(info.size_gib(), 1e-6)));
-    if (d < best_d) {
-      best_d = d;
-      best = &cfg;
-    }
+AppConfig StreamDispatcher::solo_config(const AppInfo& info) {
+  // Nearest-size solo optimum for the classified class — a table read
+  // behind the decision cache, so it stays on even when the pair tuner is
+  // over budget.
+  if (!opts_.decision_cache) {
+    return solo_optimum(td_, info.cls, info.size_gib());
   }
-  return *best;
+  const SoloDecisionKey key{static_cast<std::uint8_t>(info.cls),
+                            info.job.input_bytes};
+  if (const auto hit = dcache_.solo_lookup(key)) return *hit;
+  const std::uint64_t epoch = dcache_.epoch();
+  const AppConfig cfg = solo_optimum(td_, info.cls, info.size_gib());
+  dcache_.solo_insert(key, cfg, epoch);
+  return cfg;
+}
+
+PairConfig StreamDispatcher::pair_config(const QueuedJob& head,
+                                         const QueuedJob& partner) {
+  if (!opts_.decision_cache) return stp_->predict(head.info, partner.info);
+  const PairDecisionKey key = make_pair_key(
+      head.app_digest, head.info.job.input_bytes, head.info.cls,
+      partner.app_digest, partner.info.job.input_bytes, partner.info.cls);
+  if (const auto hit = dcache_.pair_lookup(key)) return *hit;
+  const std::uint64_t epoch = dcache_.epoch();
+  const PairConfig pc = stp_->predict(head.info, partner.info);
+  dcache_.pair_insert(key, pc, epoch);
+  return pc;
+}
+
+PairConfig StreamDispatcher::pair_config(const RunningJob& survivor,
+                                         const QueuedJob& partner) {
+  if (!opts_.decision_cache) {
+    return stp_->predict(survivor.job.info, partner.info);
+  }
+  const PairDecisionKey key =
+      make_pair_key(survivor.app_digest, survivor.job.info.job.input_bytes,
+                    survivor.job.info.cls, partner.app_digest,
+                    partner.info.job.input_bytes, partner.info.cls);
+  if (const auto hit = dcache_.pair_lookup(key)) return *hit;
+  const std::uint64_t epoch = dcache_.epoch();
+  const PairConfig pc = stp_->predict(survivor.job.info, partner.info);
+  dcache_.pair_insert(key, pc, epoch);
+  return pc;
 }
 
 void StreamDispatcher::record(const QueuedJob& job, double now_s, int node,
@@ -189,9 +278,8 @@ void StreamDispatcher::record(const QueuedJob& job, double now_s, int node,
       name = "deadline";
       break;
   }
-  metrics_->counter(std::string("serve.") + name).add();
-  metrics_->histogram("serve.admission_s", admission_bounds())
-      .observe(waited);
+  c_kind_[static_cast<int>(kind)]->add();
+  h_admission_->observe(waited);
   if (trace_ != nullptr) {
     trace_->instant(obs_pid_, 0, name, now_s, job.id, node);
   }
@@ -200,6 +288,7 @@ void StreamDispatcher::record(const QueuedJob& job, double now_s, int node,
 
 std::vector<Placement> StreamDispatcher::plan(const core::ClusterView& view,
                                               double now_s) {
+  bind_metrics();
   ensure_lookahead(now_s);
   std::vector<Placement> out;
   // Slots consumed by this round's own placements — the view only reflects
@@ -228,7 +317,15 @@ std::vector<Placement> StreamDispatcher::plan(const core::ClusterView& view,
 
     // Rung b of the degradation ladder: jobs at their admission deadline take
     // the first free slot, untuned, bypassing pairing rank and leap rules.
-    bool overdue_left = !queue_.empty();
+    // The O(1) oldest-submit probe skips the whole rung (and its per-node
+    // residents/free-slot walks) when nothing can be overdue: pop_overdue
+    // answers nullopt for every node in that case, so the skip is
+    // trajectory-identical — `now` is constant within the pass and admit()
+    // has already run.
+    bool overdue_left = false;
+    if (const auto oldest = queue_.oldest_submit_s()) {
+      overdue_left = now_s - *oldest >= opts_.deadline_s - kEps;
+    }
     for (const int node : order) {
       if (!overdue_left) break;
       if (used(node) > 0) continue;  // filled this pass; re-plan next event
@@ -278,7 +375,10 @@ std::vector<Placement> StreamDispatcher::plan(const core::ClusterView& view,
             queue_.pop_for(head->info.cls, head->est_duration_s, policy_);
         if (partner) {
           if (tuner_within_budget(now_s)) {
-            const PairConfig pc = stp_->predict(head->info, partner->info);
+            // NOTE: tuner budget is charged above even on a cache hit — a
+            // hit saves wall time, not the modeled tuner occupancy, so the
+            // degradation trajectory is identical with the cache on or off.
+            const PairConfig pc = pair_config(*head, *partner);
             record(*head, now_s, node, pc.first, DecisionKind::Pair,
                    partner->id);
             record(*partner, now_s, node, pc.second, DecisionKind::Pair,
@@ -316,8 +416,7 @@ std::vector<Placement> StreamDispatcher::plan(const core::ClusterView& view,
             queue_.pop_for(survivor.job.info.cls, remaining_s, policy_);
         if (partner) {
           if (tuner_within_budget(now_s)) {
-            const PairConfig pc =
-                stp_->predict(survivor.job.info, partner->info);
+            const PairConfig pc = pair_config(survivor, *partner);
             pending_retune_[survivor.job.id] = pc.first;
             record(*partner, now_s, node, pc.second, DecisionKind::Backfill,
                    survivor.job.id);
@@ -341,9 +440,8 @@ std::vector<Placement> StreamDispatcher::plan(const core::ClusterView& view,
     }
   }
 
-  metrics_->gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
-  metrics_->gauge("serve.backlog_depth")
-      .set(static_cast<double>(lookahead_.size()));
+  g_queue_depth_->set(static_cast<double>(queue_.size()));
+  g_backlog_depth_->set(static_cast<double>(lookahead_.size()));
   if (trace_ != nullptr) {
     trace_->counter(obs_pid_, 0, "queue_depth", now_s,
                     static_cast<double>(queue_.size()));

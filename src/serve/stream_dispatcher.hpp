@@ -35,7 +35,7 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -47,6 +47,8 @@
 #include "core/stp.hpp"
 #include "core/wait_queue.hpp"
 #include "mapreduce/eval_cache.hpp"
+#include "serve/decision_cache.hpp"
+#include "serve/prefetcher.hpp"
 #include "serve/submit_queue.hpp"
 
 namespace ecost::serve {
@@ -69,6 +71,21 @@ struct ServeOptions {
   int classify_runs = 1;
   /// Seed folded with each job id for the per-job sampling noise.
   std::uint64_t profile_seed = 9000;
+  /// Serving worker threads. 1 = fully serial (the bench default on small
+  /// hosts). >= 2 turns on (a) batched classification of due arrivals via
+  /// parallel_for and (b) the async prefetcher. Decisions are identical at
+  /// every setting — only wall time changes (CI pins this).
+  int serve_threads = 1;
+  /// Decision memoization (DecisionCache). Off = every rung recomputes
+  /// inline; decisions are identical either way.
+  bool decision_cache = true;
+  /// Decision-cache geometry. Shard count is part of the bench identity
+  /// (check_bench refuses cross-shard-count compares).
+  std::size_t cache_shards = 8;
+  std::size_t cache_capacity = 4096;
+  /// Speculative warm-up of truth/EvalCache/decision entries on a
+  /// background thread. Only effective when serve_threads >= 2.
+  bool prefetch = true;
 };
 
 class StreamDispatcher final : public core::Dispatcher {
@@ -111,10 +128,20 @@ class StreamDispatcher final : public core::Dispatcher {
 
   /// Runtime policy swap: atomically replace the self-tuner the next
   /// decision consults (e.g. hot-swap a retrained model). Borrowed; must
-  /// outlive the dispatcher.
-  void swap_tuner(const core::SelfTuner& stp) { stp_ = &stp; }
+  /// outlive the dispatcher. Repoints the prefetcher *before* invalidating
+  /// the decision cache, so an in-flight speculative fill can only pair a
+  /// stale epoch with the fresh tuner — rejected on insert, never
+  /// published.
+  void swap_tuner(const core::SelfTuner& stp);
 
   std::span<const Decision> decisions() const { return decisions_; }
+
+  /// Decision memo telemetry (hits/misses/evictions/prefetch wins).
+  DecisionCache::Stats cache_stats() const { return dcache_.stats(); }
+  /// Prefetcher telemetry; zeroes when the prefetcher is off.
+  Prefetcher::Stats prefetch_stats() const {
+    return prefetcher_ ? prefetcher_->stats() : Prefetcher::Stats{};
+  }
 
   struct Stats {
     std::uint64_t admitted = 0;
@@ -141,10 +168,13 @@ class StreamDispatcher final : public core::Dispatcher {
 
   /// Moves due submissions (arrival <= now) from the lookahead into the
   /// wait queue, profiling and classifying each, honoring `queue_limit`.
+  /// With serve_threads >= 2 the classification of one batch runs through
+  /// parallel_for; admission order, stats, and trace events stay serial.
   void admit(double now_s);
 
   /// Online learning-period measurement: memoized ground truth + one
   /// seeded noisy PMU pass; returns the populated job info and estimate.
+  /// Thread-safe (called concurrently by the admission batch).
   core::QueuedJob classify(const Submission& s);
 
   /// True when the modeled tuner can take another decision at `now_s`
@@ -152,11 +182,22 @@ class StreamDispatcher final : public core::Dispatcher {
   bool tuner_within_budget(double now_s);
 
   mapreduce::AppConfig untuned_config() const;
-  mapreduce::AppConfig solo_config(const core::AppInfo& info) const;
+  mapreduce::AppConfig solo_config(const core::AppInfo& info);
+
+  /// Memoized STP pair prediction: decision-cache hit or inline predict +
+  /// fill. Exact — see DESIGN.md §5i for the key argument.
+  mapreduce::PairConfig pair_config(const core::QueuedJob& head,
+                                    const core::QueuedJob& partner);
+  mapreduce::PairConfig pair_config(const core::RunningJob& survivor,
+                                    const core::QueuedJob& partner);
 
   void record(const core::QueuedJob& job, double now_s, int node,
               const mapreduce::AppConfig& cfg, DecisionKind kind,
               std::uint64_t partner_id);
+
+  /// Resolves metric handles once per registry (set_obs happens after
+  /// construction, so handles bind lazily on first use).
+  void bind_metrics();
 
   const mapreduce::NodeEvaluator& eval_;
   mapreduce::EvalCache& cache_;
@@ -176,14 +217,30 @@ class StreamDispatcher final : public core::Dispatcher {
   /// Ids below this were already counted as deferred (ids are stream-ordered,
   /// so one watermark counts each job's deferral exactly once).
   std::uint64_t deferral_mark_ = 0;
-  std::map<std::uint64_t, mapreduce::AppConfig> pending_retune_;
-  std::unordered_map<std::uint64_t, perfmon::FeatureVector> truth_;
+  std::unordered_map<std::uint64_t, mapreduce::AppConfig> pending_retune_;
+  TruthCache truth_;
+  DecisionCache dcache_;
+  mutable std::unique_ptr<Prefetcher> prefetcher_;
   double tuner_free_s_ = 0.0;  ///< when the modeled tuner next idles
   std::vector<Decision> decisions_;
   Stats stats_;
   // plan() scratch, reused across calls (one plan per engine batch).
   std::vector<int> order_;             ///< rack-major node order
   std::vector<std::size_t> used_;      ///< slots taken by this round's plan
+  std::vector<Submission> admit_buf_;  ///< one admission batch
+  std::vector<core::QueuedJob> classified_buf_;
+
+  // Metric handles, resolved once per registry (see bind_metrics). The
+  // by-string registry lookups (map + mutex) were ~6% of serve wall time.
+  obs::MetricsRegistry* bound_metrics_ = nullptr;
+  obs::Counter* c_classified_ = nullptr;
+  obs::Counter* c_classify_us_ = nullptr;
+  obs::Counter* c_admitted_ = nullptr;
+  obs::Counter* c_deferred_ = nullptr;
+  obs::Counter* c_kind_[5] = {};  ///< indexed by DecisionKind
+  obs::Histogram* h_admission_ = nullptr;
+  obs::Gauge* g_queue_depth_ = nullptr;
+  obs::Gauge* g_backlog_depth_ = nullptr;
 };
 
 }  // namespace ecost::serve

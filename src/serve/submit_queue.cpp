@@ -1,77 +1,101 @@
 #include "serve/submit_queue.hpp"
 
-#include "util/error.hpp"
-
 namespace ecost::serve {
 
-SubmitQueue::SubmitQueue(std::size_t capacity) : cap_(capacity) {
-  ECOST_REQUIRE(capacity >= 1, "submit queue capacity must be >= 1");
+SubmitQueue::SubmitQueue(std::size_t capacity) : ring_(capacity) {}
+
+void SubmitQueue::wake_consumer() {
+  if (pop_waiters_.load(std::memory_order_seq_cst) > 0) {
+    // The lock orders this notify after the sleeper's predicate re-check:
+    // either the sleeper sees the new item before parking, or it parks
+    // first and this wakes it. Without the lock the notify could fire
+    // between check and park and be lost.
+    std::lock_guard lock(mu_);
+    can_pop_.notify_one();
+  }
+}
+
+void SubmitQueue::wake_producers() {
+  if (push_waiters_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard lock(mu_);
+    can_push_.notify_all();
+  }
 }
 
 bool SubmitQueue::submit(Submission s) {
+  if (try_submit(s)) return true;
+  if (closed_.load(std::memory_order_acquire)) return false;
+  blocked_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock lock(mu_);
-  if (q_.size() >= cap_ && !closed_) ++blocked_;
-  can_push_.wait(lock, [&] { return q_.size() < cap_ || closed_; });
-  if (closed_) return false;
-  q_.push_back(std::move(s));
-  ++accepted_;
-  can_pop_.notify_one();
-  return true;
+  push_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  for (;;) {
+    if (closed_.load(std::memory_order_acquire)) {
+      push_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+      return false;
+    }
+    // Re-try under the lock: a concurrent drain may have made room between
+    // the failed fast path and parking.
+    if (ring_.try_push(std::move(s))) {
+      push_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      wake_consumer();
+      return true;
+    }
+    can_push_.wait(lock);
+  }
 }
 
 bool SubmitQueue::try_submit(Submission s) {
-  std::lock_guard lock(mu_);
-  if (closed_ || q_.size() >= cap_) return false;
-  q_.push_back(std::move(s));
-  ++accepted_;
-  can_pop_.notify_one();
+  if (closed_.load(std::memory_order_acquire)) return false;
+  if (!ring_.try_push(std::move(s))) return false;
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  wake_consumer();
   return true;
 }
 
 std::size_t SubmitQueue::drain(std::vector<Submission>& out) {
-  std::lock_guard lock(mu_);
-  const std::size_t n = q_.size();
-  for (Submission& s : q_) out.push_back(std::move(s));
-  q_.clear();
-  if (n > 0) can_push_.notify_all();
+  const std::size_t n = ring_.drain(out);
+  if (n > 0) wake_producers();
   return n;
 }
 
 bool SubmitQueue::wait_drain(std::vector<Submission>& out) {
+  std::size_t n = ring_.drain(out);
+  if (n > 0) {
+    wake_producers();
+    return true;
+  }
+  if (closed_.load(std::memory_order_acquire)) {
+    // Closed producers may have published between the drain above and the
+    // flag read; serve those out before reporting end of stream.
+    n = ring_.drain(out);
+    if (n > 0) wake_producers();
+    return n > 0;
+  }
   std::unique_lock lock(mu_);
-  can_pop_.wait(lock, [&] { return !q_.empty() || closed_; });
-  if (q_.empty()) return false;  // closed and empty: end of stream
-  for (Submission& s : q_) out.push_back(std::move(s));
-  q_.clear();
-  can_push_.notify_all();
-  return true;
+  pop_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  for (;;) {
+    n = ring_.drain(out);
+    if (n > 0) {
+      pop_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+      lock.unlock();
+      wake_producers();
+      return true;
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      pop_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+      return false;
+    }
+    can_pop_.wait(lock);
+  }
 }
 
 void SubmitQueue::close() {
+  closed_.store(true, std::memory_order_seq_cst);
   std::lock_guard lock(mu_);
-  closed_ = true;
   can_push_.notify_all();
   can_pop_.notify_all();
-}
-
-bool SubmitQueue::closed() const {
-  std::lock_guard lock(mu_);
-  return closed_;
-}
-
-std::size_t SubmitQueue::size() const {
-  std::lock_guard lock(mu_);
-  return q_.size();
-}
-
-std::uint64_t SubmitQueue::accepted() const {
-  std::lock_guard lock(mu_);
-  return accepted_;
-}
-
-std::uint64_t SubmitQueue::blocked() const {
-  std::lock_guard lock(mu_);
-  return blocked_;
 }
 
 }  // namespace ecost::serve

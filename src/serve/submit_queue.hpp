@@ -2,6 +2,14 @@
 // arrival producers (trace replayers, future RPC handlers) and the single
 // scheduling thread that drains it.
 //
+// Storage is a lock-free MPSC ring (util/mpsc_ring): producers publish with
+// one CAS + release store and the consumer drains in push order without
+// ever taking a mutex on the fast path. The mutex below exists only for the
+// *blocking* edges — a producer facing a full ring, a consumer facing an
+// empty one — and is taken by the fast path only when a sleeper count says
+// someone is actually parked (an eventcount-lite, so the uncontended
+// schedule loop never serializes on it).
+//
 // Backpressure is structural: `submit` blocks while the queue is full, so a
 // producer can never run unboundedly ahead of a scheduling loop that has
 // fallen behind — the producer is throttled to the consumer's pace instead
@@ -13,13 +21,14 @@
 // and then report end-of-stream.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <vector>
 
 #include "mapreduce/job.hpp"
+#include "util/mpsc_ring.hpp"
 
 namespace ecost::serve {
 
@@ -51,24 +60,36 @@ class SubmitQueue {
   bool wait_drain(std::vector<Submission>& out);
 
   void close();
-  bool closed() const;
-  std::size_t size() const;
-  std::size_t capacity() const { return cap_; }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  std::size_t size() const { return ring_.size_approx(); }
+  std::size_t capacity() const { return ring_.capacity(); }
 
   /// Total submissions that ever entered the queue (accepted submits).
-  std::uint64_t accepted() const;
+  std::uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
   /// submit() calls that had to block on a full queue at least once.
-  std::uint64_t blocked() const;
+  std::uint64_t blocked() const {
+    return blocked_.load(std::memory_order_relaxed);
+  }
 
  private:
-  mutable std::mutex mu_;
+  /// Wakes the consumer / producers iff someone is actually parked.
+  void wake_consumer();
+  void wake_producers();
+
+  MpscRing<Submission> ring_;
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> blocked_{0};
+
+  // Blocking-edge machinery only; never touched while the ring has room
+  // (producers) or items (consumer) and nobody sleeps.
+  std::mutex mu_;
   std::condition_variable can_push_;
   std::condition_variable can_pop_;
-  std::deque<Submission> q_;
-  std::size_t cap_;
-  bool closed_ = false;
-  std::uint64_t accepted_ = 0;
-  std::uint64_t blocked_ = 0;
+  std::atomic<int> push_waiters_{0};
+  std::atomic<int> pop_waiters_{0};
 };
 
 }  // namespace ecost::serve

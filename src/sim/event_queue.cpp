@@ -6,51 +6,58 @@
 
 namespace ecost::sim {
 
-bool EventQueue::before(const Event& a, const Event& b) {
+bool EventQueue::before(const Entry& a, const Entry& b) {
   if (a.time != b.time) return a.time < b.time;
   if (a.lane != b.lane) return a.lane < b.lane;
   return a.seq < b.seq;
 }
 
-void EventQueue::place(std::size_t i, Event ev) {
-  pos_[ev.seq] = i;
-  heap_[i] = std::move(ev);
+void EventQueue::place(std::size_t i, const Entry& ev) {
+  heap_[i] = ev;
+  slots_[ev.slot].heap_pos = static_cast<std::uint32_t>(i);
 }
 
 void EventQueue::sift_up(std::size_t i) {
+  const Entry ev = heap_[i];
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (!before(heap_[i], heap_[parent])) break;
-    Event tmp = std::move(heap_[i]);
-    place(i, std::move(heap_[parent]));
-    place(parent, std::move(tmp));
+    if (!before(ev, heap_[parent])) break;
+    place(i, heap_[parent]);
     i = parent;
   }
+  place(i, ev);
 }
 
 void EventQueue::sift_down(std::size_t i) {
   const std::size_t n = heap_.size();
+  const Entry ev = heap_[i];
   while (true) {
     const std::size_t l = 2 * i + 1;
     const std::size_t r = 2 * i + 2;
     std::size_t best = i;
-    if (l < n && before(heap_[l], heap_[best])) best = l;
-    if (r < n && before(heap_[r], heap_[best])) best = r;
+    const Entry* best_ev = &ev;
+    if (l < n && before(heap_[l], *best_ev)) {
+      best = l;
+      best_ev = &heap_[l];
+    }
+    if (r < n && before(heap_[r], *best_ev)) {
+      best = r;
+      best_ev = &heap_[r];
+    }
     if (best == i) break;
-    Event tmp = std::move(heap_[i]);
-    place(i, std::move(heap_[best]));
-    place(best, std::move(tmp));
+    place(i, heap_[best]);
     i = best;
   }
+  place(i, ev);
 }
 
-EventQueue::Event EventQueue::extract(std::size_t i) {
-  Event out = std::move(heap_[i]);
-  pos_.erase(out.seq);
+EventQueue::Entry EventQueue::extract(std::size_t i) {
+  const Entry out = heap_[i];
   const std::size_t last = heap_.size() - 1;
   if (i != last) {
-    place(i, std::move(heap_[last]));
+    const Entry moved = heap_[last];
     heap_.pop_back();
+    place(i, moved);
     // The moved-in entry may violate the invariant in either direction.
     sift_down(i);
     sift_up(i);
@@ -60,15 +67,36 @@ EventQueue::Event EventQueue::extract(std::size_t i) {
   return out;
 }
 
+std::uint32_t EventQueue::acquire_slot(Callback cb, std::uint64_t seq) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].cb = std::move(cb);
+  slots_[slot].seq = seq;
+  return slot;
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  slots_[slot].cb = nullptr;  // drop captures promptly
+  slots_[slot].seq = ~std::uint64_t{0};
+  free_slots_.push_back(slot);
+}
+
 EventQueue::EventId EventQueue::schedule_at(double t, std::int64_t lane,
                                             Callback cb) {
   ECOST_REQUIRE(t >= now_ - 1e-12, "cannot schedule in the past");
   ECOST_REQUIRE(static_cast<bool>(cb), "null event callback");
   const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Event{t, lane, seq, std::move(cb)});
-  pos_[seq] = heap_.size() - 1;
+  const std::uint32_t slot = acquire_slot(std::move(cb), seq);
+  heap_.push_back(Entry{t, lane, seq, slot});
+  slots_[slot].heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
   sift_up(heap_.size() - 1);
-  return EventId{seq};
+  return EventId{seq, slot};
 }
 
 EventQueue::EventId EventQueue::schedule_in(double dt, std::int64_t lane,
@@ -78,18 +106,22 @@ EventQueue::EventId EventQueue::schedule_in(double dt, std::int64_t lane,
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (!id.valid()) return false;
-  const auto it = pos_.find(id.seq);
-  if (it == pos_.end()) return false;
-  extract(it->second);
+  if (!id.valid() || id.slot >= slots_.size()) return false;
+  if (slots_[id.slot].seq != id.seq) return false;  // fired or cancelled
+  extract(slots_[id.slot].heap_pos);
+  release_slot(id.slot);
   return true;
 }
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  Event ev = extract(0);
+  const Entry ev = extract(0);
+  // Move the callback out before firing: the callback may schedule new
+  // events that recycle this slot.
+  Callback cb = std::move(slots_[ev.slot].cb);
+  release_slot(ev.slot);
   now_ = ev.time;
-  ev.cb();
+  cb();
   return true;
 }
 

@@ -13,11 +13,18 @@
 // equal (time, lane) events fire in scheduling order (monotone sequence
 // numbers). A given schedule/cancel history therefore always produces the
 // same trajectory, regardless of how the heap happened to be shaped.
+//
+// Layout: the heap itself holds only POD entries (time, lane, seq, slot) —
+// sift swaps are word copies, never std::function moves. Callbacks live in
+// a recycled slot slab on the side, and each slot remembers its heap
+// position, so cancellation needs no hash lookup: handle -> slot -> heap
+// index is two array reads. Slots are validated by the (never reused)
+// sequence number, so a stale handle can never cancel a recycled slot's
+// new occupant.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 namespace ecost::sim {
@@ -27,9 +34,11 @@ class EventQueue {
   using Callback = std::function<void()>;
 
   /// Cancellation handle for a scheduled event. Default-constructed ids are
-  /// invalid; ids are never reused within one queue's lifetime.
+  /// invalid; sequence numbers are never reused within one queue's
+  /// lifetime (slots are, which is why the seq rides along for validation).
   struct EventId {
     std::uint64_t seq = ~std::uint64_t{0};
+    std::uint32_t slot = ~std::uint32_t{0};
     bool valid() const { return seq != ~std::uint64_t{0}; }
   };
 
@@ -68,25 +77,35 @@ class EventQueue {
   std::int64_t next_lane() const;
 
  private:
-  struct Event {
+  /// POD heap entry; the callback lives in slots_[slot].
+  struct Entry {
     double time = 0.0;
     std::int64_t lane = 0;
     std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+  };
+
+  struct Slot {
     Callback cb;
+    std::uint64_t seq = ~std::uint64_t{0};  ///< occupant; ~0 when free
+    std::uint32_t heap_pos = 0;
   };
 
   /// True when `a` fires strictly before `b`.
-  static bool before(const Event& a, const Event& b);
+  static bool before(const Entry& a, const Entry& b);
 
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
-  void place(std::size_t i, Event ev);
-  /// Removes the entry at heap slot `i`, restoring the heap; returns its
-  /// callback (the caller fires or drops it).
-  Event extract(std::size_t i);
+  void place(std::size_t i, const Entry& ev);
+  /// Removes the entry at heap slot `i`, restoring the heap. The caller
+  /// owns releasing the slot.
+  Entry extract(std::size_t i);
+  std::uint32_t acquire_slot(Callback cb, std::uint64_t seq);
+  void release_slot(std::uint32_t slot);
 
-  std::vector<Event> heap_;
-  std::unordered_map<std::uint64_t, std::size_t> pos_;  ///< seq -> heap slot
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
 };

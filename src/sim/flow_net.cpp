@@ -218,8 +218,17 @@ std::vector<Flow> FlowNet::pop_completed(double now_s) {
   std::size_t cs = 0;
   while (cs < classes_.size()) {
     PathClass& c = classes_[cs];
-    while (!c.heap.empty() &&
-           c.heap.front().threshold - c.drained <= kBytesEps) {
+    // A flow is done when its remainder is within the byte epsilon — or
+    // when the time its remainder needs is below the resolution of the
+    // clock (last_t_ + rem/rate rounds back to last_t_). The second arm
+    // must match next_completion_s exactly: without it, the calendar
+    // fires an event at a frozen `now` that this pop refuses to retire,
+    // and the engine spins at one simulated instant forever.
+    const auto drained_out = [&c, this](double threshold) {
+      const double rem = threshold - c.drained;
+      return rem <= kBytesEps || last_t_ + rem / c.rate <= last_t_;
+    };
+    while (!c.heap.empty() && drained_out(c.heap.front().threshold)) {
       done.push_back(materialize(c.heap.front(), c));
       std::pop_heap(c.heap.begin(), c.heap.end(), ThresholdGreater{});
       c.heap.pop_back();

@@ -1,0 +1,136 @@
+// Bounded multi-producer single-consumer ring (Vyukov-style).
+//
+// Each cell carries a sequence stamp that encodes, relative to the
+// producer/consumer tickets, whether the cell is free, full, or in flight.
+// Producers claim a ticket with one CAS and then publish their payload with
+// a release store to the cell stamp; the single consumer observes cells in
+// ticket order, so the drain order is the global push order (per-producer
+// FIFO, cross-producer ordered by ticket acquisition). No mutex is ever
+// taken on the fast path — the only waiting primitive lives in the blocking
+// shell around this ring (serve/submit_queue), not here.
+//
+// The ring is bounded at the *requested* capacity even though the cell
+// array is rounded up to a power of two: a producer whose would-be ticket
+// is `capacity` ahead of the consumer fails the push instead of using the
+// pow2 headroom, so "full" means exactly `capacity` undrained items.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ecost {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// `capacity` >= 1 bounds the number of unpopped items; the cell array is
+  /// rounded up to the next power of two internally.
+  explicit MpscRing(std::size_t capacity) : cap_(capacity) {
+    ECOST_REQUIRE(capacity >= 1, "ring capacity must be >= 1");
+    std::size_t cells = 1;
+    while (cells < capacity) cells <<= 1;
+    mask_ = cells - 1;
+    cells_ = std::make_unique<Cell[]>(cells);
+    for (std::size_t i = 0; i < cells; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Multi-producer push. False when the ring holds `capacity` undrained
+  /// items (never blocks, never spins unboundedly). The rvalue overload
+  /// moves from `v` only on success: a failed push leaves the caller's
+  /// object intact, so blocking shells can retry the same payload.
+  bool try_push(const T& v) {
+    T copy(v);
+    return try_push(std::move(copy));
+  }
+
+  bool try_push(T&& v) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (pos - tail_.load(std::memory_order_acquire) >= cap_) {
+        return false;  // full at the requested bound
+      }
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(v);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry with the fresh ticket.
+      } else if (diff < 0) {
+        return false;  // the cell still holds an unpopped lap
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer pop. False when no published item is ready.
+  bool try_pop(T& out) {
+    const std::size_t pos = tail_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) -
+            static_cast<std::intptr_t>(pos + 1) !=
+        0) {
+      return false;  // empty, or the producer has not published yet
+    }
+    out = std::move(cell.value);
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    tail_.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Single-consumer batch pop: appends every currently published item to
+  /// `out` in push order; returns the number drained.
+  std::size_t drain(std::vector<T>& out) {
+    std::size_t n = 0;
+    T v;
+    while (try_pop(v)) {
+      out.push_back(std::move(v));
+      ++n;
+    }
+    return n;
+  }
+
+  std::size_t capacity() const { return cap_; }
+
+  /// Racy by nature (producers and the consumer move concurrently); exact
+  /// when quiescent.
+  std::size_t size_approx() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return head >= tail ? head - tail : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  std::size_t cap_ = 0;
+  // Producer and consumer tickets on separate cache lines so producers'
+  // CAS traffic does not steal the consumer's line.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace ecost

@@ -59,10 +59,10 @@ TEST_F(ServeDaemonTest, BurstyTraceDecidesEveryJobExactlyOnce) {
   EXPECT_GT(report.outcome.events, 0u);
   EXPECT_EQ(report.outcome.finish_times.size(), 40u);
 
-  // Admission-latency summary is an exact, ordered distribution.
-  EXPECT_LE(report.p50_admission_s, report.p99_admission_s);
-  EXPECT_LE(report.p99_admission_s, report.max_admission_s);
-  EXPECT_DOUBLE_EQ(report.max_admission_s, report.stats.max_wait_s);
+  // Placement-wait summary is an exact, ordered distribution.
+  EXPECT_LE(report.p50_placement_wait_s, report.p99_placement_wait_s);
+  EXPECT_LE(report.p99_placement_wait_s, report.max_placement_wait_s);
+  EXPECT_DOUBLE_EQ(report.max_placement_wait_s, report.stats.max_wait_s);
   EXPECT_GT(report.wall_s, 0.0);
   EXPECT_GT(report.decisions_per_s, 0.0);
 }
@@ -98,6 +98,56 @@ TEST_F(ServeDaemonTest, FeederPaceCannotChangeTheTrajectory) {
   EXPECT_DOUBLE_EQ(ra.outcome.makespan_s, rb.outcome.makespan_s);
   EXPECT_DOUBLE_EQ(ra.outcome.energy_dyn_j, rb.outcome.energy_dyn_j);
   EXPECT_EQ(ra.outcome.events, rb.outcome.events);
+}
+
+TEST_F(ServeDaemonTest, CacheThreadsAndPrefetchCannotChangeTheTrajectory) {
+  // The ISSUE 10 hot-path machinery (decision memo, worker threads, async
+  // prefetch) is wall-time-only: every combination must reproduce the
+  // serial uncached trajectory bit for bit. CI's exact-count gate and the
+  // --serve-threads invariance promise both rest on this.
+  const auto trace = bursty_trace(60);
+  DaemonOptions reference;
+  reference.nodes = 4;
+  reference.serve.serve_threads = 1;
+  reference.serve.decision_cache = false;
+  reference.serve.prefetch = false;
+
+  DaemonOptions cached = reference;
+  cached.serve.decision_cache = true;
+  DaemonOptions threaded = reference;
+  threaded.serve.serve_threads = 4;
+  threaded.serve.decision_cache = true;
+  threaded.serve.prefetch = true;
+  DaemonOptions no_prefetch = threaded;
+  no_prefetch.serve.serve_threads = 2;
+  no_prefetch.serve.prefetch = false;
+
+  ServeDaemon ref_daemon(eval_, cache_, td_, stp_, reference);
+  const ServeReport ref = ref_daemon.run_trace(trace);
+  EXPECT_EQ(ref.cache.hits + ref.cache.misses, 0u) << "cache off = no memo";
+
+  for (const DaemonOptions& opts : {cached, threaded, no_prefetch}) {
+    ServeDaemon daemon(eval_, cache_, td_, stp_, opts);
+    const ServeReport got = daemon.run_trace(trace);
+    ASSERT_EQ(got.decisions.size(), ref.decisions.size());
+    for (std::size_t i = 0; i < ref.decisions.size(); ++i) {
+      const auto& a = ref.decisions[i];
+      const auto& b = got.decisions[i];
+      EXPECT_DOUBLE_EQ(a.t_s, b.t_s) << "decision " << i;
+      EXPECT_EQ(a.job_id, b.job_id) << "decision " << i;
+      EXPECT_EQ(a.node, b.node) << "decision " << i;
+      EXPECT_EQ(a.kind, b.kind) << "decision " << i;
+      EXPECT_TRUE(a.cfg == b.cfg) << "decision " << i;
+      EXPECT_DOUBLE_EQ(a.waited_s, b.waited_s) << "decision " << i;
+    }
+    EXPECT_DOUBLE_EQ(got.outcome.makespan_s, ref.outcome.makespan_s);
+    EXPECT_DOUBLE_EQ(got.outcome.energy_dyn_j, ref.outcome.energy_dyn_j);
+    EXPECT_EQ(got.outcome.events, ref.outcome.events);
+    if (opts.serve.decision_cache) {
+      EXPECT_GT(got.cache.hits + got.cache.misses, 0u)
+          << "memo must actually be consulted when enabled";
+    }
+  }
 }
 
 TEST_F(ServeDaemonTest, ObservabilitySinksReceiveTheRun) {

@@ -1,0 +1,170 @@
+#include "serve/decision_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ecost::serve {
+namespace {
+
+using mapreduce::AppClass;
+using mapreduce::AppConfig;
+using mapreduce::PairConfig;
+
+PairDecisionKey key(std::uint64_t a, std::uint64_t b) {
+  return make_pair_key(a, /*a_bytes=*/a * 100, AppClass::Compute, b,
+                       /*b_bytes=*/b * 100, AppClass::IoBound);
+}
+
+PairConfig value(int mappers) {
+  PairConfig v;
+  v.first.mappers = mappers;
+  v.second.mappers = mappers + 1;
+  return v;
+}
+
+TEST(DecisionCacheTest, PairRoundTripCountsHitsAndMisses) {
+  DecisionCache cache;
+  EXPECT_FALSE(cache.pair_lookup(key(1, 2)).has_value());
+  cache.pair_insert(key(1, 2), value(3), cache.epoch());
+  const auto hit = cache.pair_lookup(key(1, 2));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, value(3));
+  // Same digests, different byte counts: a different decision identity.
+  auto other = key(1, 2);
+  other.b_bytes += 1;
+  EXPECT_FALSE(cache.pair_lookup(other).has_value());
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DecisionCacheTest, SoloRoundTrip) {
+  DecisionCache cache;
+  SoloDecisionKey k;
+  k.cls = static_cast<std::uint8_t>(AppClass::MemBound);
+  k.bytes = 1 << 30;
+  EXPECT_FALSE(cache.solo_lookup(k).has_value());
+  AppConfig v = kServeDefaultCfg;
+  v.mappers = 6;
+  cache.solo_insert(k, v, cache.epoch());
+  const auto hit = cache.solo_lookup(k);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->mappers, 6);
+}
+
+TEST(DecisionCacheTest, LruEvictsTheColdestEntryAtCapacity) {
+  DecisionCache::Options opts;
+  opts.shards = 1;
+  opts.capacity = 2;
+  DecisionCache cache(opts);
+  cache.pair_insert(key(1, 1), value(1), cache.epoch());
+  cache.pair_insert(key(2, 2), value(2), cache.epoch());
+  // Touch (1,1) so (2,2) is the LRU victim when (3,3) lands.
+  EXPECT_TRUE(cache.pair_lookup(key(1, 1)).has_value());
+  cache.pair_insert(key(3, 3), value(3), cache.epoch());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.pair_lookup(key(1, 1)).has_value());
+  EXPECT_FALSE(cache.pair_lookup(key(2, 2)).has_value());
+  EXPECT_TRUE(cache.pair_lookup(key(3, 3)).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(DecisionCacheTest, InvalidateDropsEverythingAndRejectsStaleInserts) {
+  DecisionCache cache;
+  cache.pair_insert(key(1, 2), value(3), cache.epoch());
+  const std::uint64_t stale_epoch = cache.epoch();
+  cache.invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.pair_lookup(key(1, 2)).has_value());
+  // A compute that began before the invalidation must not be published:
+  // its value came from the old tuner.
+  cache.pair_insert(key(4, 5), value(6), stale_epoch);
+  EXPECT_FALSE(cache.pair_lookup(key(4, 5)).has_value());
+  const auto st = cache.stats();
+  EXPECT_EQ(st.invalidations, 1u);
+  EXPECT_EQ(st.stale_rejects, 1u);
+  // Fresh-epoch inserts publish normally again.
+  cache.pair_insert(key(4, 5), value(6), cache.epoch());
+  EXPECT_TRUE(cache.pair_lookup(key(4, 5)).has_value());
+}
+
+TEST(DecisionCacheTest, SpeculativeEntryCountsOnePrefetchWin) {
+  DecisionCache cache;
+  cache.pair_insert(key(7, 8), value(1), cache.epoch(),
+                    /*speculative=*/true);
+  EXPECT_EQ(cache.stats().speculative_inserts, 1u);
+  EXPECT_EQ(cache.stats().prefetch_wins, 0u);
+  EXPECT_TRUE(cache.pair_lookup(key(7, 8)).has_value());
+  EXPECT_TRUE(cache.pair_lookup(key(7, 8)).has_value());
+  // The win is attributed once per warmed entry, not once per hit.
+  EXPECT_EQ(cache.stats().prefetch_wins, 1u);
+  EXPECT_TRUE(cache.pair_contains(key(7, 8)));
+  EXPECT_FALSE(cache.pair_contains(key(8, 7)));
+}
+
+// Randomized mixed-operation stress (runs under TSan via the `concurrency`
+// ctest label): reader/writer threads hammer a small key universe through
+// a tiny sharded cache while another thread periodically invalidates —
+// the scheduling-thread + prefetcher + swap_tuner interleaving. The
+// assertions are the cross-thread accounting invariants; TSan checks the
+// rest.
+TEST(DecisionCacheStressTest, ConcurrentLookupsInsertsAndInvalidations) {
+  DecisionCache::Options opts;
+  opts.shards = 4;
+  opts.capacity = 64;
+  DecisionCache cache(opts);
+
+  constexpr int kWorkers = 3;
+  constexpr int kOpsPerWorker = 20000;
+  std::atomic<std::uint64_t> lookups{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&cache, &lookups, w] {
+      Rng rng(17 * (w + 1));
+      for (int i = 0; i < kOpsPerWorker; ++i) {
+        const auto a = rng.uniform_u64(32);
+        const auto b = rng.uniform_u64(32);
+        if ((rng.next_u64() & 3) == 0) {
+          const std::uint64_t epoch = cache.epoch();
+          cache.pair_insert(key(a, b), value(static_cast<int>(a + 2)), epoch,
+                            /*speculative=*/(w & 1) != 0);
+        } else {
+          const auto v = cache.pair_lookup(key(a, b));
+          lookups.fetch_add(1, std::memory_order_relaxed);
+          if (v.has_value()) {
+            // Values are a pure function of the key: a torn or stale read
+            // would surface here.
+            EXPECT_EQ(v->first.mappers, static_cast<int>(a + 2));
+          }
+        }
+      }
+    });
+  }
+  std::thread invalidator([&cache] {
+    for (int i = 0; i < 50; ++i) {
+      cache.invalidate();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : workers) t.join();
+  invalidator.join();
+
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits + st.misses, lookups.load());
+  EXPECT_EQ(st.invalidations, 50u);
+  EXPECT_LE(cache.size(), 64u * 2u);  // per-table bound across both tables
+
+  cache.invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ecost::serve

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 #include <vector>
 
@@ -28,6 +29,27 @@ TEST(FlowNetTest, SingleFlowDrainsAtBottleneckRate) {
   ASSERT_EQ(done.size(), 1u);
   EXPECT_EQ(done[0].job, 7u);
   EXPECT_DOUBLE_EQ(done[0].remaining, 0.0);
+  EXPECT_TRUE(net.empty());
+}
+
+TEST(FlowNetTest, SubUlpRemainderAtLargeTimeStillCompletes) {
+  // Regression: a flow whose remaining bytes sit just above kBytesEps but
+  // whose remaining drain time is below the ulp of the clock
+  // (last_t_ + rem/rate == last_t_) must still be retired by
+  // pop_completed. Before the fix, next_completion_s reported a
+  // completion at exactly `now` that pop_completed refused to pop, and
+  // the cluster engine's calendar spun at one frozen simulated instant
+  // until its event budget blew (seen serving 500 bursty jobs on r64).
+  const Topology topo = tiny();
+  FlowNet net(topo);
+  const double t0 = 1.0e9;  // ulp(1e9) ~ 1.2e-7 s; 2e-3 B / kBps ~ 1.6e-11 s
+  net.start(0, 1, 2e-3, FlowKind::Shuffle, 11, t0);
+  const double t_next = net.next_completion_s();
+  ASSERT_TRUE(std::isfinite(t_next));
+  EXPECT_DOUBLE_EQ(t_next, t0) << "remainder time must round back to now";
+  const auto done = net.pop_completed(t_next);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].job, 11u);
   EXPECT_TRUE(net.empty());
 }
 

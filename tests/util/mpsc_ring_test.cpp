@@ -1,0 +1,123 @@
+#include "util/mpsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ecost {
+namespace {
+
+TEST(MpscRingTest, BoundsAtRequestedCapacityNotPow2Rounding) {
+  MpscRing<int> ring(3);  // cell array rounds to 4; the bound must stay 3
+  EXPECT_EQ(ring.capacity(), 3u);
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_TRUE(ring.try_push(3));
+  EXPECT_FALSE(ring.try_push(4));
+  int v = 0;
+  ASSERT_TRUE(ring.try_pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(ring.try_push(4));
+  std::vector<int> rest;
+  EXPECT_EQ(ring.drain(rest), 3u);
+  EXPECT_EQ(rest, (std::vector<int>{2, 3, 4}));
+  EXPECT_FALSE(ring.try_pop(v));
+}
+
+TEST(MpscRingTest, FailedPushLeavesTheCallersPayloadIntact) {
+  // Regression: the by-value try_push destroyed the payload on a full
+  // ring, so a blocking shell's retry loop re-pushed a moved-from object.
+  MpscRing<std::unique_ptr<int>> ring(1);
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(7)));
+  auto second = std::make_unique<int>(9);
+  EXPECT_FALSE(ring.try_push(std::move(second)));
+  ASSERT_NE(second, nullptr) << "failed push must not consume the payload";
+  EXPECT_EQ(*second, 9);
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(*out, 7);
+  EXPECT_TRUE(ring.try_push(std::move(second)));
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(*out, 9);
+}
+
+TEST(MpscRingTest, WrapsManyLapsSingleThreaded) {
+  MpscRing<std::uint64_t> ring(4);
+  std::uint64_t next_out = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.try_push(i));
+    if (i % 3 == 0) {
+      std::uint64_t v = 0;
+      ASSERT_TRUE(ring.try_pop(v));
+      EXPECT_EQ(v, next_out++);
+    }
+    while (ring.size_approx() >= ring.capacity()) {
+      std::uint64_t v = 0;
+      ASSERT_TRUE(ring.try_pop(v));
+      EXPECT_EQ(v, next_out++);
+    }
+  }
+  std::uint64_t v = 0;
+  while (ring.try_pop(v)) EXPECT_EQ(v, next_out++);
+  EXPECT_EQ(next_out, 1000u);
+}
+
+// Randomized multi-producer stress (runs under TSan via the `concurrency`
+// ctest label): producers retry full pushes while the consumer drains
+// concurrently through a deliberately small ring, forcing many laps. Every
+// item must come out exactly once, and each producer's items must come out
+// in the order that producer pushed them (the MPSC per-producer FIFO
+// contract the SubmitQueue's deferral watermark depends on).
+TEST(MpscRingStressTest, ConcurrentProducersLoseNothingAndKeepFifo) {
+  constexpr std::uint64_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 4000;
+  MpscRing<std::uint64_t> ring(32);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      Rng jitter(0x9e3779b9u ^ p);
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t tagged = (p << 32) | i;
+        while (!ring.try_push(tagged)) std::this_thread::yield();
+        // Occasionally stall so producers interleave across laps instead
+        // of one producer monopolizing consecutive tickets.
+        if ((jitter.next_u64() & 0xff) == 0) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::uint64_t> next_seq(kProducers, 0);
+  std::uint64_t drained = 0;
+  std::vector<std::uint64_t> batch;
+  while (drained < kProducers * kPerProducer) {
+    batch.clear();
+    if (ring.drain(batch) == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (const std::uint64_t tagged : batch) {
+      const std::uint64_t p = tagged >> 32;
+      const std::uint64_t i = tagged & 0xffffffffu;
+      ASSERT_LT(p, kProducers);
+      ASSERT_EQ(i, next_seq[p]) << "producer " << p << " reordered";
+      ++next_seq[p];
+      ++drained;
+    }
+  }
+  for (auto& t : producers) t.join();
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_seq[p], kPerProducer) << "producer " << p << " lost items";
+  }
+  std::uint64_t leftover = 0;
+  EXPECT_FALSE(ring.try_pop(leftover));
+}
+
+}  // namespace
+}  // namespace ecost

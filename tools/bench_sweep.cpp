@@ -60,6 +60,7 @@
 #include "workloads/arrivals.hpp"
 #include "tuning/brute_force.hpp"
 #include "util/error.hpp"
+#include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/apps.hpp"
 #include "workloads/scenarios.hpp"
@@ -461,8 +462,20 @@ int main(int argc, char** argv) {
     std::cout << "  " << serve_rep.stats.decisions() << " decisions in "
               << json_double(serve_rep.wall_s) << " s wall ("
               << json_double(serve_rep.decisions_per_s)
-              << " decisions/s), admission p99 "
-              << json_double(serve_rep.p99_admission_s) << " s\n";
+              << " decisions/s), placement wait p99 "
+              << json_double(serve_rep.p99_placement_wait_s) << " s\n";
+    // One-line hot-path summary: how much the decision memo and the
+    // speculative prefetcher actually saved on this trace.
+    Table hot({"cache hits", "misses", "hit rate", "evictions",
+               "prefetch hints", "prefetch wins", "decisions/s"});
+    hot.add_row({std::to_string(serve_rep.cache.hits),
+                 std::to_string(serve_rep.cache.misses),
+                 Table::num(serve_rep.cache.hit_rate(), 3),
+                 std::to_string(serve_rep.cache.evictions),
+                 std::to_string(serve_rep.prefetch.hinted),
+                 std::to_string(serve_rep.cache.prefetch_wins),
+                 Table::num(serve_rep.decisions_per_s, 0)});
+    hot.print(std::cout);
   }
 
   const char* mode = scale_only ? "scale" : (quick ? "quick" : "full");
@@ -564,10 +577,17 @@ int main(int argc, char** argv) {
         << "    \"degraded\": " << st.degraded << ",\n"
         << "    \"deadline_placements\": " << st.deadline_placements << ",\n"
         << "    \"deferred\": " << st.deferred << ",\n"
-        << "    \"p50_admission_s\": "
-        << json_double(serve_rep.p50_admission_s) << ",\n"
-        << "    \"p99_admission_s\": "
-        << json_double(serve_rep.p99_admission_s) << ",\n"
+        << "    \"p50_placement_wait_s\": "
+        << json_double(serve_rep.p50_placement_wait_s) << ",\n"
+        << "    \"p99_placement_wait_s\": "
+        << json_double(serve_rep.p99_placement_wait_s) << ",\n"
+        << "    \"cache_hits\": " << serve_rep.cache.hits << ",\n"
+        << "    \"cache_misses\": " << serve_rep.cache.misses << ",\n"
+        << "    \"cache_hit_rate\": "
+        << json_double(serve_rep.cache.hit_rate()) << ",\n"
+        << "    \"prefetch_hints\": " << serve_rep.prefetch.hinted << ",\n"
+        << "    \"prefetch_wins\": " << serve_rep.cache.prefetch_wins
+        << ",\n"
         << "    \"makespan_s\": "
         << json_double(serve_rep.outcome.makespan_s) << ",\n"
         << "    \"events\": " << serve_rep.outcome.events << ",\n"

@@ -39,20 +39,31 @@ Serve reports (ecostd, mode "serve") are gated on the streaming daemon:
     must match the baseline exactly; drift is a scheduling-behavior change
   * serve.decisions_per_s        -- wall-clock scheduling-loop throughput
                                     (banded, higher is better)
-  * serve.p99_admission_s        -- simulated admission latency at p99
-                                    (banded, lower is better)
+  * serve.p99_placement_wait_s   -- simulated queue wait at p99 (banded,
+                                    lower is better; includes the
+                                    capacity-starved tail past the
+                                    admission deadline — see DESIGN.md §5i)
+  * serve.cache_hit_rate         -- decision-memo effectiveness (banded,
+                                    higher is better; skipped for
+                                    baselines predating the cache or runs
+                                    with the cache off)
 A serve baseline is tied to its trace and cluster shape: comparisons are
-refused when arrivals/jobs/seed/nodes/slots/deadline/queue-limit differ.
+refused when arrivals/jobs/seed/nodes/slots/deadline/queue-limit differ,
+and when serve_threads or the decision-cache shard count differ — shard
+count changes the eviction pattern, so hit rates from different shard
+geometries are different experiments.
 
 Reports from different machines or configurations are not comparable:
 the gate refuses (exit 2) when the benchmark mode (--quick vs full vs
-scale), the cluster topology (--topology=), the thread count, the
-host's hardware_concurrency, or the kernel's SIMD ISA / vector width
-differs between the two reports, instead of producing a nonsense
-verdict. A 64-node rack study says
+scale), the cluster topology (--topology=), the thread count, or the
+kernel's SIMD ISA / vector width differs between the two reports,
+instead of producing a nonsense verdict. A 64-node rack study says
 nothing about a 4096-node one, so cross-topology comparisons are always
-refused. Regenerate the baseline on the matching configuration, or
-rerun with --update to overwrite it with CURRENT.
+refused. A hardware_concurrency mismatch (different host class) keeps
+the exact determinism checks — those hold on any machine — but skips
+every wall-clock band, since timings from different hosts are noise.
+Regenerate the baseline on the matching configuration, or rerun with
+--update to overwrite it with CURRENT.
 
 Exit codes: 0 ok, 1 regression, 2 incomparable / bad input.
 """
@@ -150,10 +161,15 @@ def main() -> int:
     # headroom). Reports missing the field predate it and act as wildcard.
     cur_hw = cur.get("hardware_concurrency")
     base_hw = base.get("hardware_concurrency")
+    skip_wall = False
     if cur_hw is not None and base_hw is not None and cur_hw != base_hw:
-        refuse(
-            f"hardware_concurrency mismatch: current host has {cur_hw}"
-            f" hardware thread(s), baseline host had {base_hw}"
+        # Different host class. The exact determinism checks and the
+        # simulated-time bands still hold — only timings are incomparable.
+        skip_wall = True
+        print(
+            f"check_bench: hardware_concurrency differs (current {cur_hw},"
+            f" baseline {base_hw}): keeping exact/simulated checks,"
+            " skipping wall-clock bands"
         )
     if cur_mode == "serve":
         # A serve run is one deterministic trajectory of (trace, cluster,
@@ -171,6 +187,8 @@ def main() -> int:
             "tuner_budget_s",
             "tuner_cost_s",
             "queue_limit",
+            "serve_threads",
+            "cache_shards",
         ):
             cur_v = cur.get(field)
             base_v = base.get(field)
@@ -214,10 +232,19 @@ def main() -> int:
                 failed = True
             else:
                 print(f"check_bench: {path}: {c_v:.0f} == baseline ok")
+        # Third element: True when the metric is wall-clock (host-timing)
+        # dependent and must be skipped across host classes. Placement wait
+        # is simulated time, so it bands on any machine; the cache hit rate
+        # depends on prefetch races, so it is timing-dependent.
         checks = [
-            ("serve.decisions_per_s", "higher-is-better"),
-            ("serve.p99_admission_s", "lower-is-better"),
+            ("serve.decisions_per_s", "higher-is-better", True),
+            ("serve.p99_placement_wait_s", "lower-is-better", False),
         ]
+        if base.get("cache_shards", 0) and cur.get("cache_shards", 0):
+            if base.get("serve", {}).get("cache_hit_rate", 0):
+                checks.append(
+                    ("serve.cache_hit_rate", "higher-is-better", True)
+                )
     elif cur_mode == "scale":
         # The engine is deterministic: same topology + job stream must
         # fire the same calendar events. Drift is a behavior change.
@@ -248,24 +275,37 @@ def main() -> int:
                     f"check_bench: scale.net_recomputes: {c_nr:.0f}"
                     " == baseline ok"
                 )
-        checks = [("scale.events_per_s", "higher-is-better")]
+        checks = [("scale.events_per_s", "higher-is-better", True)]
         # Banded throughput check only where the fabric model actually ran
         # (an ideal topology recomputes nothing and reports zero).
         if base.get("scale", {}).get("net_recompute_per_s", 0) and cur.get(
             "scale", {}
         ).get("net_recompute_per_s") is not None:
-            checks.append(("scale.net_recompute_per_s", "higher-is-better"))
+            checks.append(
+                ("scale.net_recompute_per_s", "higher-is-better", True)
+            )
     else:
         checks = [
-            ("tuned.total_s", "lower-is-better"),
-            ("grid.hit_rate", "higher-is-better"),
-            ("grid.mean_fixed_point_iters", "lower-is-better"),
-            ("grid.lanes_per_s", "higher-is-better"),
+            ("tuned.total_s", "lower-is-better", True),
+            ("grid.hit_rate", "higher-is-better", False),
+            ("grid.mean_fixed_point_iters", "lower-is-better", False),
+            ("grid.lanes_per_s", "higher-is-better", True),
         ]
-    for path, direction in checks:
+    for path, direction, wall_clock in checks:
+        if wall_clock and skip_wall:
+            print(
+                f"check_bench: {path}: skipped (wall-clock band,"
+                " host class differs)"
+            )
+            continue
         c = pick(cur, path, args.current)
         b = pick(base, path, args.baseline)
         if b == 0.0:
+            # A legitimately-zero baseline (e.g. zero p99 placement wait on
+            # an underloaded cluster) gates exactly: zero must stay zero.
+            if c == 0.0:
+                print(f"check_bench: {path}: 0 == baseline 0 ok")
+                continue
             refuse(f"baseline field '{path}' is zero")
         rel = (c - b) / b
         lo, hi = -args.tolerance, args.tolerance

@@ -327,9 +327,12 @@ int cmd_serve(const std::string& arrivals, std::size_t jobs, int nodes,
       {"deadline placements", std::to_string(st.deadline_placements)});
   table.add_row({"deferred admissions", std::to_string(st.deferred)});
   table.add_row({"producer blocked", std::to_string(rep.producer_blocked)});
-  table.add_row({"admission p50 [s]", Table::num(rep.p50_admission_s, 1)});
-  table.add_row({"admission p99 [s]", Table::num(rep.p99_admission_s, 1)});
-  table.add_row({"admission max [s]", Table::num(rep.max_admission_s, 1)});
+  table.add_row(
+      {"placement wait p50 [s]", Table::num(rep.p50_placement_wait_s, 1)});
+  table.add_row(
+      {"placement wait p99 [s]", Table::num(rep.p99_placement_wait_s, 1)});
+  table.add_row(
+      {"placement wait max [s]", Table::num(rep.max_placement_wait_s, 1)});
   table.add_row({"makespan [s]", Table::num(rep.outcome.makespan_s, 1)});
   table.add_row({"energy [kJ]", Table::num(rep.outcome.energy_dyn_j / 1e3, 1)});
   table.add_row({"decisions/s (wall)", Table::num(rep.decisions_per_s, 0)});

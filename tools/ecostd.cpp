@@ -10,12 +10,16 @@
 // banded decisions/s and p99 admission latency).
 //
 // Usage: ecostd [--arrivals=poisson|diurnal|bursty] [--jobs=N] [--nodes=N]
-//               [--slots=N] [--mean-gap=S] [--gib=G] [--seed=N]
-//               [--deadline=S] [--tuner-budget=S] [--tuner-cost=S]
-//               [--queue-limit=N] [--submit-capacity=N] [--quick]
-//               [--threads=auto|N] [--out=FILE] [--trace-out=FILE]
-//               [--metrics-out=FILE]
-//   --quick   cheap training sweep (CI smoke/soak configuration)
+//               [--slots=N] [--topology=NAME] [--mean-gap=S] [--gib=G]
+//               [--seed=N] [--deadline=S] [--tuner-budget=S]
+//               [--tuner-cost=S] [--queue-limit=N] [--submit-capacity=N]
+//               [--quick] [--threads=auto|N] [--serve-threads=N]
+//               [--no-decision-cache] [--no-prefetch] [--out=FILE]
+//               [--trace-out=FILE] [--metrics-out=FILE]
+//   --quick          cheap training sweep (CI smoke/soak configuration)
+//   --topology=NAME  racked preset (r64/r256/r1024/...); overrides --nodes
+//   --serve-threads  scheduling-loop worker threads (decisions identical at
+//                    every setting; >= 2 also enables the prefetcher)
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +36,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/daemon.hpp"
+#include "sim/topology.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/arrivals.hpp"
@@ -54,11 +59,14 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 int usage() {
   std::cerr
       << "usage: ecostd [--arrivals=poisson|diurnal|bursty] [--jobs=N]\n"
-         "              [--nodes=N] [--slots=N] [--mean-gap=S] [--gib=G]\n"
+         "              [--nodes=N] [--slots=N] [--topology=NAME]\n"
+         "              [--mean-gap=S] [--gib=G]\n"
          "              [--seed=N] [--deadline=S] [--tuner-budget=S]\n"
          "              [--tuner-cost=S] [--queue-limit=N]\n"
          "              [--submit-capacity=N] [--quick] [--threads=auto|N]\n"
-         "              [--out=FILE] [--trace-out=FILE] [--metrics-out=FILE]\n";
+         "              [--serve-threads=N] [--no-decision-cache]\n"
+         "              [--no-prefetch] [--out=FILE] [--trace-out=FILE]\n"
+         "              [--metrics-out=FILE]\n";
   return 2;
 }
 
@@ -66,6 +74,7 @@ int usage() {
 
 int main(int argc, char** argv) {
   std::string arrivals_name = "bursty";
+  std::string topology_name;
   std::string out_path = "BENCH_serve.json";
   std::string trace_path;
   std::string metrics_path;
@@ -92,6 +101,14 @@ int main(int argc, char** argv) {
       dopts.nodes = std::atoi(v);
     } else if (const char* v = num("--slots=", 8)) {
       dopts.slots_per_node = std::atoi(v);
+    } else if (const char* v = num("--topology=", 11)) {
+      topology_name = v;
+    } else if (const char* v = num("--serve-threads=", 16)) {
+      dopts.serve.serve_threads = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--no-decision-cache") == 0) {
+      dopts.serve.decision_cache = false;
+    } else if (std::strcmp(argv[i], "--no-prefetch") == 0) {
+      dopts.serve.prefetch = false;
     } else if (const char* v = num("--mean-gap=", 11)) {
       mean_gap_s = std::atof(v);
     } else if (const char* v = num("--gib=", 6)) {
@@ -148,11 +165,18 @@ int main(int argc, char** argv) {
     if (gib > 0.0) spec.gib = gib;
     if (seed >= 0) spec.seed = static_cast<std::uint64_t>(seed);
 
+    if (!topology_name.empty()) {
+      dopts.topology = sim::Topology::preset(topology_name);
+      dopts.nodes = dopts.topology->nodes();
+    }
+
     const unsigned participants = ThreadPool::global().worker_count() + 1;
     std::cout << "ecostd: " << to_string(spec.kind) << " trace, " << jobs
               << " jobs, " << dopts.nodes << " nodes x "
-              << dopts.slots_per_node << " slots, " << participants
-              << " thread(s)\n";
+              << dopts.slots_per_node << " slots"
+              << (topology_name.empty() ? "" : " (" + topology_name + ")")
+              << ", " << participants << " pool thread(s), "
+              << dopts.serve.serve_threads << " serve thread(s)\n";
     const unsigned hw = std::thread::hardware_concurrency();
     if (hw > 0 && participants > hw) {
       std::cerr << "ecostd: WARNING: " << participants
@@ -195,9 +219,14 @@ int main(int argc, char** argv) {
               << ", backfills " << st.backfills << ", degraded "
               << st.degraded << ", deadline " << st.deadline_placements
               << ", deferred " << st.deferred << "\n"
-              << "  admission p50 " << json_double(rep.p50_admission_s)
-              << " s, p99 " << json_double(rep.p99_admission_s) << " s, max "
-              << json_double(rep.max_admission_s) << " s (simulated)\n"
+              << "  placement wait p50 "
+              << json_double(rep.p50_placement_wait_s) << " s, p99 "
+              << json_double(rep.p99_placement_wait_s) << " s, max "
+              << json_double(rep.max_placement_wait_s) << " s (simulated)\n"
+              << "  decision cache: " << rep.cache.hits << " hits, "
+              << rep.cache.misses << " misses ("
+              << json_double(rep.cache.hit_rate()) << " hit rate), "
+              << rep.cache.prefetch_wins << " prefetch wins\n"
               << "  makespan " << json_double(rep.outcome.makespan_s)
               << " s, " << rep.outcome.events << " calendar events\n";
     ECOST_CHECK(st.decisions() == jobs,
@@ -207,8 +236,14 @@ int main(int argc, char** argv) {
         << "  \"benchmark\": \"ecostd_serve\",\n"
         << "  \"mode\": \"serve\",\n"
         << "  \"threads\": " << participants << ",\n"
+        << "  \"serve_threads\": " << dopts.serve.serve_threads << ",\n"
+        << "  \"cache_shards\": "
+        << (dopts.serve.decision_cache ? dopts.serve.cache_shards : 0)
+        << ",\n"
         << "  \"hardware_concurrency\": "
         << std::thread::hardware_concurrency() << ",\n"
+        << "  \"topology\": \""
+        << (topology_name.empty() ? "none" : topology_name) << "\",\n"
         << "  \"arrivals\": \"" << to_string(spec.kind) << "\",\n"
         << "  \"jobs\": " << jobs << ",\n"
         << "  \"nodes\": " << dopts.nodes << ",\n"
@@ -240,17 +275,24 @@ int main(int argc, char** argv) {
         << "    \"deadline_placements\": " << st.deadline_placements << ",\n"
         << "    \"deferred\": " << st.deferred << ",\n"
         << "    \"producer_blocked\": " << rep.producer_blocked << ",\n"
-        << "    \"p50_admission_s\": " << json_double(rep.p50_admission_s)
-        << ",\n"
-        << "    \"p99_admission_s\": " << json_double(rep.p99_admission_s)
-        << ",\n"
-        << "    \"max_admission_s\": " << json_double(rep.max_admission_s)
-        << ",\n"
+        << "    \"p50_placement_wait_s\": "
+        << json_double(rep.p50_placement_wait_s) << ",\n"
+        << "    \"p99_placement_wait_s\": "
+        << json_double(rep.p99_placement_wait_s) << ",\n"
+        << "    \"max_placement_wait_s\": "
+        << json_double(rep.max_placement_wait_s) << ",\n"
         << "    \"makespan_s\": " << json_double(rep.outcome.makespan_s)
         << ",\n"
         << "    \"energy_dyn_j\": " << json_double(rep.outcome.energy_dyn_j)
         << ",\n"
         << "    \"events\": " << rep.outcome.events << ",\n"
+        << "    \"cache_hits\": " << rep.cache.hits << ",\n"
+        << "    \"cache_misses\": " << rep.cache.misses << ",\n"
+        << "    \"cache_evictions\": " << rep.cache.evictions << ",\n"
+        << "    \"cache_hit_rate\": " << json_double(rep.cache.hit_rate())
+        << ",\n"
+        << "    \"prefetch_hints\": " << rep.prefetch.hinted << ",\n"
+        << "    \"prefetch_wins\": " << rep.cache.prefetch_wins << ",\n"
         << "    \"wall_s\": " << json_double(rep.wall_s) << ",\n"
         << "    \"decisions_per_s\": " << json_double(rep.decisions_per_s)
         << "\n"
